@@ -1,0 +1,44 @@
+//! Figures 6–8 bench: the α × p interaction grid. Each iteration runs the
+//! paper's four α values across the 17-point p grid on one graph per group.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use d2pr_bench::bench_graph;
+use d2pr_datagen::worlds::PaperGraph;
+use d2pr_experiments::sweep::{best_point, SweepConfig};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn alpha_grid(c: &mut Criterion, figure: &str, pg: PaperGraph) {
+    let (g, sig) = bench_graph(pg);
+    let cfg = SweepConfig { alphas: SweepConfig::paper_alphas(), ..Default::default() };
+    let points = cfg.run(&g, &sig);
+    let best = best_point(&points).expect("non-empty grid");
+    eprintln!(
+        "[{figure}] {:<30} best (p, alpha) = ({:+.1}, {:.2}) rho {:+.3}",
+        pg.name(),
+        best.p,
+        best.alpha,
+        best.spearman
+    );
+    let mut group = c.benchmark_group(figure);
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group.bench_function(pg.name(), |b| {
+        b.iter(|| black_box(cfg.run(black_box(&g), black_box(&sig))))
+    });
+    group.finish();
+}
+
+fn fig6(c: &mut Criterion) {
+    alpha_grid(c, "fig6_alpha_sweep_group_a", PaperGraph::EpinionsCommenterCommenter);
+}
+
+fn fig7(c: &mut Criterion) {
+    alpha_grid(c, "fig7_alpha_sweep_group_b", PaperGraph::ImdbMovieMovie);
+}
+
+fn fig8(c: &mut Criterion) {
+    alpha_grid(c, "fig8_alpha_sweep_group_c", PaperGraph::DblpArticleArticle);
+}
+
+criterion_group!(benches, fig6, fig7, fig8);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Figures 9–11 bench: the β × p interaction grid on weighted graphs.
+//! β blends connection strength against degree de-coupling (paper §3.2.3);
+//! each iteration runs the paper's five β values over the 17-point p grid.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use d2pr_bench::bench_graph_weighted;
+use d2pr_datagen::worlds::PaperGraph;
+use d2pr_experiments::sweep::{best_point, SweepConfig};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn beta_grid(c: &mut Criterion, figure: &str, pg: PaperGraph) {
+    let (g, sig) = bench_graph_weighted(pg);
+    assert!(g.is_weighted(), "beta sweeps need the weighted graph");
+    let cfg = SweepConfig { betas: SweepConfig::paper_betas(), ..Default::default() };
+    let points = cfg.run(&g, &sig);
+    let best = best_point(&points).expect("non-empty grid");
+    eprintln!(
+        "[{figure}] {:<30} best (p, beta) = ({:+.1}, {:.2}) rho {:+.3}",
+        pg.name(),
+        best.p,
+        best.beta,
+        best.spearman
+    );
+    let mut group = c.benchmark_group(figure);
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group.bench_function(pg.name(), |b| {
+        b.iter(|| black_box(cfg.run(black_box(&g), black_box(&sig))))
+    });
+    group.finish();
+}
+
+fn fig9(c: &mut Criterion) {
+    beta_grid(c, "fig9_beta_sweep_group_a", PaperGraph::ImdbActorActor);
+}
+
+fn fig10(c: &mut Criterion) {
+    beta_grid(c, "fig10_beta_sweep_group_b", PaperGraph::ImdbMovieMovie);
+}
+
+fn fig11(c: &mut Criterion) {
+    beta_grid(c, "fig11_beta_sweep_group_c", PaperGraph::LastfmListenerListener);
+}
+
+criterion_group!(benches, fig9, fig10, fig11);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Figures 2–4 bench: the unweighted p sweep per application group. One
+//! Criterion function per group; each iteration runs the full paper grid
+//! (17 p values) on one representative graph and reports the optimum.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use d2pr_bench::bench_graph;
+use d2pr_datagen::worlds::PaperGraph;
+use d2pr_experiments::sweep::{best_point, SweepConfig};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn sweep_group(c: &mut Criterion, bench_name: &str, figure: &str, pg: PaperGraph) {
+    let (g, sig) = bench_graph(pg);
+    let cfg = SweepConfig::default();
+    // Regenerate the figure series once for the log.
+    let points = cfg.run(&g, &sig);
+    let best = best_point(&points).expect("non-empty sweep");
+    eprintln!(
+        "[{figure}] {:<30} best p = {:+.1} (rho {:+.3}); rho(p=0) = {:+.3}",
+        pg.name(),
+        best.p,
+        best.spearman,
+        points.iter().find(|pt| pt.p == 0.0).expect("grid has p=0").spearman,
+    );
+    let mut group = c.benchmark_group(bench_name);
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group.bench_function(pg.name(), |b| {
+        b.iter(|| black_box(cfg.run(black_box(&g), black_box(&sig))))
+    });
+    group.finish();
+}
+
+fn fig2_group_a(c: &mut Criterion) {
+    sweep_group(c, "fig2_p_sweep_group_a", "fig2", PaperGraph::ImdbActorActor);
+    sweep_group(c, "fig2_p_sweep_group_a", "fig2", PaperGraph::EpinionsProductProduct);
+}
+
+fn fig3_group_b(c: &mut Criterion) {
+    sweep_group(c, "fig3_p_sweep_group_b", "fig3", PaperGraph::DblpAuthorAuthor);
+}
+
+fn fig4_group_c(c: &mut Criterion) {
+    sweep_group(c, "fig4_p_sweep_group_c", "fig4", PaperGraph::LastfmArtistArtist);
+}
+
+criterion_group!(benches, fig2_group_a, fig3_group_b, fig4_group_c);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Core-kernel microbenchmarks: transition-matrix construction and the
+//! power-iteration solve, across p values and graph families. These are the
+//! primitives every figure's sweep multiplies; Figure 1's kernel arithmetic
+//! is the innermost loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use d2pr_core::kernel::DegreeKernel;
+use d2pr_core::pagerank::{pagerank_with_matrix, PageRankConfig};
+use d2pr_core::transition::{TransitionMatrix, TransitionModel};
+use d2pr_graph::generators::{barabasi_albert, erdos_renyi_nm};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn kernel_normalize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_kernel_normalize");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    // Paper Figure 1 neighborhood and a large hub neighborhood.
+    let small = [2.0, 3.0, 1.0];
+    let large: Vec<f64> = (1..=512).map(f64::from).collect();
+    for p in [0.0, 2.0, -2.0] {
+        let kernel = DegreeKernel::new(p);
+        group.bench_with_input(BenchmarkId::new("small", p), &small[..], |b, degs| {
+            let mut out = Vec::new();
+            b.iter(|| kernel.normalize_into(black_box(degs), &mut out))
+        });
+        group.bench_with_input(BenchmarkId::new("large512", p), &large[..], |b, degs| {
+            let mut out = Vec::new();
+            b.iter(|| kernel.normalize_into(black_box(degs), &mut out))
+        });
+    }
+    group.finish();
+}
+
+fn transition_build(c: &mut Criterion) {
+    let g = barabasi_albert(5_000, 8, 42).expect("generator succeeds");
+    let mut group = c.benchmark_group("transition_build");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    for p in [0.0, 0.5, -2.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            b.iter(|| {
+                black_box(TransitionMatrix::build(
+                    black_box(&g),
+                    TransitionModel::DegreeDecoupled { p },
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn power_iteration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("power_iteration");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    for (name, g) in [
+        ("ba_5k", barabasi_albert(5_000, 8, 42).expect("generator succeeds")),
+        ("er_5k", erdos_renyi_nm(5_000, 40_000, 42).expect("generator succeeds")),
+    ] {
+        let matrix = TransitionMatrix::build(&g, TransitionModel::DegreeDecoupled { p: 0.5 });
+        let cfg = PageRankConfig::default();
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(pagerank_with_matrix(black_box(&g), &matrix, &cfg, None)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, kernel_normalize, transition_build, power_iteration);
+criterion_main!(benches);

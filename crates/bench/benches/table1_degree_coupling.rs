@@ -1,0 +1,33 @@
+//! Table 1 bench: measure the cost of the degree–PageRank coupling
+//! computation (conventional PageRank + Spearman) on the three graphs the
+//! paper reports, and print the regenerated table rows.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use d2pr_bench::bench_graph;
+use d2pr_datagen::worlds::PaperGraph;
+use d2pr_experiments::experiments::degree_pagerank_coupling;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn table1(c: &mut Criterion) {
+    let graphs = [
+        PaperGraph::LastfmListenerListener,
+        PaperGraph::DblpArticleArticle,
+        PaperGraph::ImdbMovieMovie,
+    ];
+    let mut group = c.benchmark_group("table1_degree_coupling");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for pg in graphs {
+        let (g, _) = bench_graph(pg);
+        // Print the regenerated table row once, outside the timing loop.
+        let rho = degree_pagerank_coupling(&g);
+        eprintln!("[table1] {:<30} Spearman(degree, PageRank) = {rho:+.3}", pg.name());
+        group.bench_function(pg.name(), |b| {
+            b.iter(|| black_box(degree_pagerank_coupling(black_box(&g))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table1);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Tables 2–3 bench: world generation (affiliation + projections +
+//! significance) and graph statistics for every dataset, plus the Table 2
+//! rank-shift computation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use d2pr_bench::{BENCH_SCALE, BENCH_SEED};
+use d2pr_core::d2pr::D2pr;
+use d2pr_datagen::worlds::{Dataset, PaperGraph, World};
+use d2pr_graph::stats::degree_stats;
+use d2pr_stats::rank::{ordinal_ranks, RankOrder};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn table3_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_world_generation");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    for dataset in Dataset::all() {
+        // Emit the Table 3 rows once.
+        let w = World::generate(dataset, BENCH_SCALE, BENCH_SEED).expect("world generates");
+        for (g, side) in [(&w.entity_graph, "entity"), (&w.container_graph, "container")] {
+            let s = degree_stats(g);
+            eprintln!(
+                "[table3] {:<9} {side:<9}: {} nodes, {} edges, avg {:.2}, std {:.2}, med-nbr-std {:.2}",
+                dataset.name(),
+                s.num_nodes,
+                s.num_edges,
+                s.avg_degree,
+                s.std_degree,
+                s.median_neighbor_degree_std
+            );
+        }
+        group.bench_function(dataset.name(), |b| {
+            b.iter(|| {
+                black_box(
+                    World::generate(black_box(dataset), BENCH_SCALE, BENCH_SEED)
+                        .expect("world generates"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn table2_rank_shifts(c: &mut Criterion) {
+    let world =
+        World::generate(Dataset::Imdb, BENCH_SCALE, BENCH_SEED).expect("world generates");
+    let (g, _) = PaperGraph::ImdbActorActor.view(&world);
+    let g = g.to_unweighted();
+    let engine = D2pr::new(&g);
+    let mut group = c.benchmark_group("table2_rank_shifts");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group.bench_function("five_p_rankings", |b| {
+        b.iter(|| {
+            for p in [-4.0, -2.0, 0.0, 2.0, 4.0] {
+                let scores = engine.scores(black_box(p)).expect("valid p").scores;
+                black_box(ordinal_ranks(&scores, RankOrder::Descending));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, table3_generation, table2_rank_shifts);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Shared fixtures for the Criterion benchmark suite.
+//!
+//! Each bench target in `benches/` regenerates one of the paper's tables or
+//! figures at bench scale (small enough for Criterion's repeated sampling,
+//! large enough that the measured kernels dominate setup noise). Generation
+//! is deterministic, so every Criterion sample measures identical work.
+
+use d2pr_datagen::worlds::{Dataset, World};
+use d2pr_graph::csr::CsrGraph;
+
+/// Scale used by the bench suite (relative to the paper's Table 3 sizes).
+/// Chosen so a full `cargo bench --workspace` finishes in minutes.
+pub const BENCH_SCALE: f64 = 0.02;
+
+/// Seed shared by all bench fixtures.
+pub const BENCH_SEED: u64 = 0xBE_5C;
+
+/// Generate the world for one dataset at bench scale.
+pub fn bench_world(dataset: Dataset) -> World {
+    World::generate(dataset, BENCH_SCALE, BENCH_SEED).expect("bench world generates")
+}
+
+/// An unweighted paper graph plus its significance at bench scale.
+pub fn bench_graph(graph: d2pr_datagen::worlds::PaperGraph) -> (CsrGraph, Vec<f64>) {
+    let world = bench_world(graph.dataset());
+    let (g, s) = graph.view(&world);
+    (g.to_unweighted(), s.to_vec())
+}
+
+/// A weighted paper graph plus its significance at bench scale.
+pub fn bench_graph_weighted(
+    graph: d2pr_datagen::worlds::PaperGraph,
+) -> (CsrGraph, Vec<f64>) {
+    let world = bench_world(graph.dataset());
+    let (g, s) = graph.view(&world);
+    (g.clone(), s.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use d2pr_datagen::worlds::PaperGraph;
+
+    #[test]
+    fn fixtures_generate() {
+        let (g, s) = bench_graph(PaperGraph::ImdbActorActor);
+        assert!(g.num_nodes() > 0);
+        assert_eq!(g.num_nodes(), s.len());
+        let (gw, _) = bench_graph_weighted(PaperGraph::ImdbActorActor);
+        assert!(gw.is_weighted());
+    }
+}

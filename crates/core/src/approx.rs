@@ -1,0 +1,285 @@
+//! Approximate, locality-sensitive personalized PageRank.
+//!
+//! The authors' companion work (Kim, Candan, Sapino, KAIS 2015 — cited as
+//! reference 17 in the paper) motivates *locality-sensitive* PPR computation:
+//! when scores are needed relative to a few seeds, touching the whole graph
+//! is wasteful. This module provides the two standard building blocks, both
+//! operating over an arbitrary column-stochastic operator — so they compose
+//! with degree de-coupled transitions exactly like the exact solver:
+//!
+//! * [`forward_push`] — the Andersen–Chung–Lang local push algorithm with
+//!   an `epsilon` residual threshold; touches only the neighborhood where
+//!   mass actually flows and comes with the classic guarantee
+//!   `|score(v) − estimate(v)| ≤ epsilon · deg(v)` (adapted to weighted
+//!   out-probabilities here: residual per node ≤ epsilon).
+//! * [`monte_carlo_ppr`] — terminating random walks with restart; the
+//!   empirical visit distribution converges to PPR at `O(1/√walks)`.
+
+use crate::transition::TransitionMatrix;
+use d2pr_graph::csr::{CsrGraph, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of an approximate PPR computation.
+#[derive(Debug, Clone)]
+pub struct ApproxResult {
+    /// Estimated PPR scores (sums to ≤ 1; un-pushed residual mass is the
+    /// deficit for forward push, sampling noise for Monte Carlo).
+    pub scores: Vec<f64>,
+    /// Number of elementary operations (pushes or walk steps) performed.
+    pub work: usize,
+    /// Number of nodes with a non-zero estimate (locality measure).
+    pub touched: usize,
+}
+
+impl ApproxResult {
+    /// Nodes sorted by descending estimated score (zero entries excluded).
+    pub fn ranking(&self) -> Vec<NodeId> {
+        let mut idx: Vec<NodeId> = (0..self.scores.len() as u32)
+            .filter(|&v| self.scores[v as usize] > 0.0)
+            .collect();
+        idx.sort_by(|&a, &b| {
+            self.scores[b as usize]
+                .partial_cmp(&self.scores[a as usize])
+                .expect("finite scores")
+                .then(a.cmp(&b))
+        });
+        idx
+    }
+}
+
+/// Forward-push approximate PPR from a single seed over a prebuilt
+/// transition operator.
+///
+/// `alpha` is the residual probability (forward-transition probability), as
+/// in the exact solver; `epsilon` bounds the per-node residual left
+/// un-pushed. Smaller `epsilon` means more work and better accuracy.
+///
+/// # Panics
+/// Panics when the seed is out of range or parameters are invalid.
+pub fn forward_push(
+    graph: &CsrGraph,
+    matrix: &TransitionMatrix,
+    seed: NodeId,
+    alpha: f64,
+    epsilon: f64,
+) -> ApproxResult {
+    let n = graph.num_nodes();
+    assert!((seed as usize) < n, "seed {seed} out of range");
+    assert!((0.0..1.0).contains(&alpha), "alpha must lie in [0,1)");
+    assert!(epsilon > 0.0, "epsilon must be positive");
+
+    let (offsets, targets, _) = graph.parts();
+    let probs = matrix.arc_probs();
+
+    let mut estimate = vec![0.0f64; n];
+    let mut residual = vec![0.0f64; n];
+    residual[seed as usize] = 1.0;
+    let mut queue: Vec<NodeId> = vec![seed];
+    let mut in_queue = vec![false; n];
+    in_queue[seed as usize] = true;
+    let mut work = 0usize;
+
+    while let Some(v) = queue.pop() {
+        in_queue[v as usize] = false;
+        let r = residual[v as usize];
+        if r < epsilon {
+            continue;
+        }
+        residual[v as usize] = 0.0;
+        // (1 - alpha) of the mass settles here…
+        estimate[v as usize] += (1.0 - alpha) * r;
+        let (s, e) = (offsets[v as usize], offsets[v as usize + 1]);
+        if s == e {
+            // Dangling node: the forward mass restarts at the seed
+            // (consistent with RedistributeTeleport over a seed teleport).
+            residual[seed as usize] += alpha * r;
+            if !in_queue[seed as usize] && residual[seed as usize] >= epsilon {
+                in_queue[seed as usize] = true;
+                queue.push(seed);
+            }
+            continue;
+        }
+        // …and alpha of it pushes along out-arcs.
+        for k in s..e {
+            work += 1;
+            let t = targets[k] as usize;
+            residual[t] += alpha * r * probs[k];
+            if !in_queue[t] && residual[t] >= epsilon {
+                in_queue[t] = true;
+                queue.push(t as NodeId);
+            }
+        }
+    }
+
+    let touched = estimate.iter().filter(|&&x| x > 0.0).count();
+    ApproxResult { scores: estimate, work, touched }
+}
+
+/// Monte-Carlo PPR: run `walks` random walks from the seed; each step
+/// terminates with probability `1 − alpha`, and the termination node is
+/// tallied. The normalized tally estimates the PPR vector.
+pub fn monte_carlo_ppr(
+    graph: &CsrGraph,
+    matrix: &TransitionMatrix,
+    seed: NodeId,
+    alpha: f64,
+    walks: usize,
+    rng_seed: u64,
+) -> ApproxResult {
+    let n = graph.num_nodes();
+    assert!((seed as usize) < n, "seed {seed} out of range");
+    assert!((0.0..1.0).contains(&alpha), "alpha must lie in [0,1)");
+    assert!(walks > 0, "need at least one walk");
+
+    let (offsets, targets, _) = graph.parts();
+    let probs = matrix.arc_probs();
+    let mut rng = StdRng::seed_from_u64(rng_seed ^ 0x3C4A);
+    let mut counts = vec![0u32; n];
+    let mut work = 0usize;
+
+    for _ in 0..walks {
+        let mut v = seed as usize;
+        loop {
+            if rng.gen::<f64>() >= alpha {
+                break; // terminate here
+            }
+            let (s, e) = (offsets[v], offsets[v + 1]);
+            if s == e {
+                v = seed as usize; // dangling: restart at the seed
+                continue;
+            }
+            // Sample an out-arc by its transition probability.
+            let mut x: f64 = rng.gen();
+            let mut next = targets[e - 1] as usize;
+            for k in s..e {
+                work += 1;
+                x -= probs[k];
+                if x <= 0.0 {
+                    next = targets[k] as usize;
+                    break;
+                }
+            }
+            v = next;
+        }
+        counts[v] += 1;
+    }
+
+    let scores: Vec<f64> = counts.iter().map(|&c| f64::from(c) / walks as f64).collect();
+    let touched = counts.iter().filter(|&&c| c > 0).count();
+    ApproxResult { scores, work, touched }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pagerank::{pagerank_with_matrix, PageRankConfig};
+    use crate::transition::{TransitionMatrix, TransitionModel};
+    use d2pr_graph::builder::GraphBuilder;
+    use d2pr_graph::csr::Direction;
+    use d2pr_graph::generators::{barabasi_albert, erdos_renyi_nm};
+
+    fn exact_ppr(g: &CsrGraph, m: &TransitionMatrix, seed: NodeId, alpha: f64) -> Vec<f64> {
+        let mut t = vec![0.0; g.num_nodes()];
+        t[seed as usize] = 1.0;
+        let cfg = PageRankConfig { alpha, tolerance: 1e-12, max_iterations: 500, ..Default::default() };
+        pagerank_with_matrix(g, m, &cfg, Some(&t)).scores
+    }
+
+    #[test]
+    fn forward_push_approaches_exact_ppr() {
+        let g = erdos_renyi_nm(80, 320, 11).unwrap();
+        let m = TransitionMatrix::build(&g, TransitionModel::Standard);
+        let exact = exact_ppr(&g, &m, 5, 0.85);
+        let approx = forward_push(&g, &m, 5, 0.85, 1e-8);
+        let l1: f64 = exact.iter().zip(&approx.scores).map(|(a, b)| (a - b).abs()).sum();
+        assert!(l1 < 1e-4, "L1 gap {l1}");
+    }
+
+    #[test]
+    fn forward_push_works_with_decoupled_transitions() {
+        let g = barabasi_albert(100, 3, 3).unwrap();
+        let m = TransitionMatrix::build(&g, TransitionModel::DegreeDecoupled { p: 1.0 });
+        let exact = exact_ppr(&g, &m, 0, 0.85);
+        let approx = forward_push(&g, &m, 0, 0.85, 1e-9);
+        let l1: f64 = exact.iter().zip(&approx.scores).map(|(a, b)| (a - b).abs()).sum();
+        assert!(l1 < 1e-5, "L1 gap {l1}");
+    }
+
+    #[test]
+    fn forward_push_coarse_epsilon_is_local() {
+        let g = barabasi_albert(2_000, 3, 7).unwrap();
+        let m = TransitionMatrix::build(&g, TransitionModel::Standard);
+        let coarse = forward_push(&g, &m, 42, 0.85, 1e-3);
+        let fine = forward_push(&g, &m, 42, 0.85, 1e-7);
+        assert!(coarse.touched < fine.touched, "coarser epsilon must touch fewer nodes");
+        assert!(coarse.work < fine.work);
+        // Mass conservation: estimates sum to <= 1; the unsettled deficit is
+        // bounded by epsilon * n (each node may hold < epsilon residual).
+        let total: f64 = coarse.scores.iter().sum();
+        assert!(total <= 1.0 + 1e-9);
+        let deficit_bound = 1e-3 * g.num_nodes() as f64;
+        assert!(1.0 - total <= deficit_bound + 1e-9, "deficit {} > bound {deficit_bound}", 1.0 - total);
+        let fine_total: f64 = fine.scores.iter().sum();
+        assert!(fine_total > 0.99, "fine epsilon should settle nearly all mass, got {fine_total}");
+    }
+
+    #[test]
+    fn forward_push_handles_dangling_seeds() {
+        let mut b = GraphBuilder::new(Direction::Directed, 3);
+        b.add_edge(0, 1); // 1 dangling, 2 isolated
+        let g = b.build().unwrap();
+        let m = TransitionMatrix::build(&g, TransitionModel::Standard);
+        let r = forward_push(&g, &m, 0, 0.85, 1e-10);
+        assert!(r.scores[0] > 0.0);
+        assert!(r.scores[1] > 0.0);
+        assert_eq!(r.scores[2], 0.0);
+        let total: f64 = r.scores.iter().sum();
+        assert!((total - 1.0).abs() < 1e-6, "total {total}");
+    }
+
+    #[test]
+    fn monte_carlo_converges_with_walks() {
+        let g = erdos_renyi_nm(60, 240, 5).unwrap();
+        let m = TransitionMatrix::build(&g, TransitionModel::Standard);
+        let exact = exact_ppr(&g, &m, 3, 0.85);
+        let few = monte_carlo_ppr(&g, &m, 3, 0.85, 200, 1);
+        let many = monte_carlo_ppr(&g, &m, 3, 0.85, 20_000, 1);
+        let l1 = |approx: &[f64]| -> f64 {
+            exact.iter().zip(approx).map(|(a, b)| (a - b).abs()).sum()
+        };
+        assert!(l1(&many.scores) < l1(&few.scores), "more walks must reduce error");
+        assert!(l1(&many.scores) < 0.12, "20k walks should be close, got {}", l1(&many.scores));
+    }
+
+    #[test]
+    fn monte_carlo_is_deterministic_per_seed() {
+        let g = erdos_renyi_nm(30, 90, 2).unwrap();
+        let m = TransitionMatrix::build(&g, TransitionModel::Standard);
+        let a = monte_carlo_ppr(&g, &m, 1, 0.85, 500, 9);
+        let b = monte_carlo_ppr(&g, &m, 1, 0.85, 500, 9);
+        assert_eq!(a.scores, b.scores);
+    }
+
+    #[test]
+    fn approx_ranking_excludes_untouched() {
+        let g = barabasi_albert(500, 2, 4).unwrap();
+        let m = TransitionMatrix::build(&g, TransitionModel::Standard);
+        let r = forward_push(&g, &m, 10, 0.85, 1e-3);
+        let ranking = r.ranking();
+        assert_eq!(ranking.len(), r.touched);
+        assert!(ranking.contains(&10));
+        // ranking is sorted by score
+        for w in ranking.windows(2) {
+            assert!(r.scores[w[0] as usize] >= r.scores[w[1] as usize]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn forward_push_rejects_bad_seed() {
+        let g = erdos_renyi_nm(5, 8, 1).unwrap();
+        let m = TransitionMatrix::build(&g, TransitionModel::Standard);
+        forward_push(&g, &m, 99, 0.85, 1e-4);
+    }
+}

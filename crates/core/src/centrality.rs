@@ -1,0 +1,261 @@
+//! Baseline centrality measures.
+//!
+//! The paper contrasts PageRank with other topology-based significance
+//! measures (§1: betweenness, centrality/cohesion, authority measures).
+//! These baselines let the experiment harness put D2PR's correlations in
+//! context: degree centrality is the "Factor 2 only" straw man, HITS is the
+//! eigen-analysis alternative, and sampled closeness approximates the
+//! path-based family at tractable cost.
+
+use d2pr_graph::csr::CsrGraph;
+use d2pr_graph::traversal::bfs_distances;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Degree centrality: `deg(v) / (n − 1)` (out-degree for directed graphs).
+pub fn degree_centrality(g: &CsrGraph) -> Vec<f64> {
+    let n = g.num_nodes();
+    if n <= 1 {
+        return vec![0.0; n];
+    }
+    let denom = (n - 1) as f64;
+    g.nodes().map(|v| f64::from(g.out_degree(v)) / denom).collect()
+}
+
+/// In-degree centrality: `indeg(v) / (n − 1)`.
+pub fn in_degree_centrality(g: &CsrGraph) -> Vec<f64> {
+    let n = g.num_nodes();
+    if n <= 1 {
+        return vec![0.0; n];
+    }
+    let denom = (n - 1) as f64;
+    g.nodes().map(|v| f64::from(g.in_degree(v)) / denom).collect()
+}
+
+/// Result of a HITS computation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HitsResult {
+    /// Authority score per node (normalized to unit L2).
+    pub authorities: Vec<f64>,
+    /// Hub score per node (normalized to unit L2).
+    pub hubs: Vec<f64>,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Whether the tolerance was met.
+    pub converged: bool,
+}
+
+/// Kleinberg's HITS by power iteration. On undirected graphs hubs equal
+/// authorities (the adjacency is symmetric).
+pub fn hits(g: &CsrGraph, max_iterations: usize, tolerance: f64) -> HitsResult {
+    let n = g.num_nodes();
+    if n == 0 {
+        return HitsResult { authorities: vec![], hubs: vec![], iterations: 0, converged: true };
+    }
+    let init = 1.0 / (n as f64).sqrt();
+    let mut auth = vec![init; n];
+    let mut hub = vec![init; n];
+    let mut new_auth = vec![0.0; n];
+    let mut new_hub = vec![0.0; n];
+    let mut iterations = 0;
+    let mut converged = false;
+    while iterations < max_iterations {
+        iterations += 1;
+        // authority = sum of hub scores of in-neighbors
+        new_auth.iter_mut().for_each(|x| *x = 0.0);
+        for (u, v) in g.arcs() {
+            new_auth[v as usize] += hub[u as usize];
+        }
+        normalize_l2(&mut new_auth);
+        // hub = sum of authority scores of out-neighbors
+        new_hub.iter_mut().for_each(|x| *x = 0.0);
+        for (u, v) in g.arcs() {
+            new_hub[u as usize] += new_auth[v as usize];
+        }
+        normalize_l2(&mut new_hub);
+        let delta: f64 = auth
+            .iter()
+            .zip(&new_auth)
+            .chain(hub.iter().zip(&new_hub))
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        auth.copy_from_slice(&new_auth);
+        hub.copy_from_slice(&new_hub);
+        if delta < tolerance {
+            converged = true;
+            break;
+        }
+    }
+    HitsResult { authorities: auth, hubs: hub, iterations, converged }
+}
+
+fn normalize_l2(xs: &mut [f64]) {
+    let norm = xs.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if norm > 0.0 {
+        for x in xs.iter_mut() {
+            *x /= norm;
+        }
+    }
+}
+
+/// Closeness centrality estimated from `samples` BFS sources (Eppstein–Wang
+/// style sampling). Exact when `samples >= n`. Unreachable pairs contribute
+/// nothing (harmonic-free variant on the reachable set).
+pub fn sampled_closeness(g: &CsrGraph, samples: usize, seed: u64) -> Vec<f64> {
+    let n = g.num_nodes();
+    if n == 0 {
+        return vec![];
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let k = samples.min(n);
+    // Sample distinct sources (Floyd's algorithm would be fancier; for the
+    // sizes involved a partial shuffle is clear and cheap).
+    let mut ids: Vec<u32> = (0..n as u32).collect();
+    for i in 0..k {
+        let j = rng.gen_range(i..n);
+        ids.swap(i, j);
+    }
+    let mut dist_sum = vec![0.0f64; n];
+    let mut reach_count = vec![0u32; n];
+    for &src in &ids[..k] {
+        let d = bfs_distances(g, src);
+        for (v, &dv) in d.iter().enumerate() {
+            if dv != u32::MAX && v != src as usize {
+                dist_sum[v] += f64::from(dv);
+                reach_count[v] += 1;
+            }
+        }
+    }
+    (0..n)
+        .map(|v| {
+            if reach_count[v] == 0 || dist_sum[v] == 0.0 {
+                0.0
+            } else {
+                f64::from(reach_count[v]) / dist_sum[v]
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use d2pr_graph::builder::GraphBuilder;
+    use d2pr_graph::csr::Direction;
+
+    fn star5() -> CsrGraph {
+        let mut b = GraphBuilder::new(Direction::Undirected, 5);
+        for leaf in 1..5 {
+            b.add_edge(0, leaf);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn degree_centrality_star() {
+        let c = degree_centrality(&star5());
+        assert!((c[0] - 1.0).abs() < 1e-12);
+        assert!((c[1] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn in_degree_centrality_directed() {
+        let mut b = GraphBuilder::new(Direction::Directed, 3);
+        b.add_edge(0, 2);
+        b.add_edge(1, 2);
+        let g = b.build().unwrap();
+        let c = in_degree_centrality(&g);
+        assert!((c[2] - 1.0).abs() < 1e-12);
+        assert_eq!(c[0], 0.0);
+    }
+
+    #[test]
+    fn degree_centrality_degenerate_sizes() {
+        let g = GraphBuilder::new(Direction::Undirected, 1).build().unwrap();
+        assert_eq!(degree_centrality(&g), vec![0.0]);
+        let e = GraphBuilder::new(Direction::Undirected, 0).build().unwrap();
+        assert!(degree_centrality(&e).is_empty());
+    }
+
+    #[test]
+    fn hits_star_hub_dominates() {
+        let r = hits(&star5(), 100, 1e-12);
+        assert!(r.converged);
+        assert!(r.authorities[0] > r.authorities[1]);
+    }
+
+    #[test]
+    fn hits_hubs_equal_authorities_on_non_bipartite_undirected() {
+        // A star is bipartite, so the alternating iteration converges to
+        // different hub/authority vectors there. On a non-bipartite
+        // undirected graph (triangle + tail) they coincide.
+        let mut b = GraphBuilder::new(Direction::Undirected, 4);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(0, 2);
+        b.add_edge(2, 3);
+        let g = b.build().unwrap();
+        let r = hits(&g, 500, 1e-13);
+        assert!(r.converged);
+        for (h, a) in r.hubs.iter().zip(&r.authorities) {
+            assert!((h - a).abs() < 1e-5, "hub {h} vs auth {a}");
+        }
+        // node 2 (degree 3) is the strongest authority
+        assert!(r.authorities[2] > r.authorities[0]);
+        assert!(r.authorities[2] > r.authorities[3]);
+    }
+
+    #[test]
+    fn hits_directed_bipartite_pattern() {
+        // sources 0,1 -> sinks 2,3 ; sources are pure hubs, sinks pure authorities
+        let mut b = GraphBuilder::new(Direction::Directed, 4);
+        b.add_edge(0, 2);
+        b.add_edge(0, 3);
+        b.add_edge(1, 2);
+        let g = b.build().unwrap();
+        let r = hits(&g, 100, 1e-12);
+        assert!(r.hubs[0] > r.hubs[2]);
+        assert!(r.authorities[2] > r.authorities[0]);
+        // node 2 has two in-edges vs node 3's one
+        assert!(r.authorities[2] > r.authorities[3]);
+    }
+
+    #[test]
+    fn hits_empty_graph() {
+        let g = GraphBuilder::new(Direction::Directed, 0).build().unwrap();
+        let r = hits(&g, 10, 1e-9);
+        assert!(r.authorities.is_empty());
+        assert!(r.converged);
+    }
+
+    #[test]
+    fn closeness_center_of_path_highest() {
+        // path 0-1-2-3-4: node 2 is the center
+        let mut b = GraphBuilder::new(Direction::Undirected, 5);
+        for v in 0..4u32 {
+            b.add_edge(v, v + 1);
+        }
+        let g = b.build().unwrap();
+        let c = sampled_closeness(&g, 5, 1); // exact: samples >= n
+        assert!(c[2] > c[0]);
+        assert!(c[2] > c[4]);
+        assert!(c[1] > c[0]);
+    }
+
+    #[test]
+    fn closeness_sampling_is_deterministic() {
+        let g = star5();
+        let a = sampled_closeness(&g, 3, 9);
+        let b = sampled_closeness(&g, 3, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn closeness_isolated_node_zero() {
+        let mut b = GraphBuilder::new(Direction::Undirected, 3);
+        b.add_edge(0, 1);
+        let g = b.build().unwrap();
+        let c = sampled_closeness(&g, 3, 4);
+        assert_eq!(c[2], 0.0);
+    }
+}

@@ -1,0 +1,195 @@
+//! Gauss–Seidel PageRank.
+//!
+//! The Jacobi-style power iteration in [`mod@crate::pagerank`] computes every
+//! new score from the *previous* iterate. Gauss–Seidel instead consumes
+//! updates immediately (in place), which typically halves the iteration
+//! count for PageRank systems when the sweep order aligns with the graph's
+//! structure, at the cost of a sequential dependency (no trivial
+//! parallelism) and a pull-ordered traversal. The ablation bench measures
+//! the tradeoff on our graphs; the solvers agree to solver tolerance.
+//!
+//! Implementation: solve `(I − α·T)·r = (1−α)·t` by sweeping nodes in id
+//! order, updating `r[j] ← (1−α)·t[j] + α·Σ_i T(j,i)·r[i]` with the newest
+//! available `r[i]`. Dangling mass is folded in via the standard
+//! redistribute-to-teleport treatment, lagged by one sweep (it converges to
+//! the same fixed point).
+
+use crate::pagerank::{PageRankConfig, PageRankResult};
+use crate::parallel::TransposedMatrix;
+use crate::transition::{TransitionMatrix, TransitionModel};
+use d2pr_graph::csr::CsrGraph;
+
+/// Gauss–Seidel solve over a prebuilt transpose (in-neighbor lists).
+///
+/// Supports uniform teleportation and the `RedistributeTeleport` dangling
+/// policy (the paper's configuration). Returns the same result type as the
+/// power iteration.
+///
+/// # Panics
+/// Panics when the config is invalid or uses another dangling policy.
+pub fn pagerank_gauss_seidel(
+    graph: &CsrGraph,
+    matrix: &TransitionMatrix,
+    config: &PageRankConfig,
+) -> PageRankResult {
+    config.validate().expect("invalid PageRank configuration");
+    assert_eq!(
+        config.dangling,
+        crate::pagerank::DanglingPolicy::RedistributeTeleport,
+        "gauss-seidel solver supports only the RedistributeTeleport dangling policy"
+    );
+    let n = graph.num_nodes();
+    if n == 0 {
+        return PageRankResult { scores: vec![], iterations: 0, residual: 0.0, converged: true };
+    }
+    let transpose = TransposedMatrix::build(graph, matrix);
+    gauss_seidel_with_transpose(graph, &transpose, config)
+}
+
+/// Gauss–Seidel solve when the transpose is already available.
+pub fn gauss_seidel_with_transpose(
+    graph: &CsrGraph,
+    transpose: &TransposedMatrix,
+    config: &PageRankConfig,
+) -> PageRankResult {
+    let n = graph.num_nodes();
+    if n == 0 {
+        return PageRankResult { scores: vec![], iterations: 0, residual: 0.0, converged: true };
+    }
+    let alpha = config.alpha;
+    let uniform = 1.0 / n as f64;
+    let (offsets, _, _) = graph.parts();
+    let dangling: Vec<usize> = (0..n).filter(|&v| offsets[v] == offsets[v + 1]).collect();
+
+    let mut rank = vec![uniform; n];
+    let mut iterations = 0usize;
+    let mut residual = f64::INFINITY;
+
+    while iterations < config.max_iterations {
+        iterations += 1;
+        // Dangling mass lags one sweep: computed from the current iterate.
+        let dangling_mass: f64 = dangling.iter().map(|&v| rank[v]).sum();
+        let base = (1.0 - alpha) * uniform + alpha * dangling_mass * uniform;
+        let mut delta = 0.0;
+        for j in 0..n {
+            let mut acc = base;
+            for (src, prob) in transpose.in_arcs(j as u32) {
+                acc += alpha * prob * rank[src as usize];
+            }
+            delta += (acc - rank[j]).abs();
+            rank[j] = acc;
+        }
+        residual = delta;
+        if residual < config.tolerance {
+            break;
+        }
+    }
+    // Gauss–Seidel with lagged dangling mass can drift off unit mass by a
+    // tolerance-scale amount; renormalize to the simplex.
+    let total: f64 = rank.iter().sum();
+    if total > 0.0 {
+        for r in rank.iter_mut() {
+            *r /= total;
+        }
+    }
+    PageRankResult { scores: rank, iterations, residual, converged: residual < config.tolerance }
+}
+
+/// Convenience: build the operator and solve via Gauss–Seidel.
+pub fn pagerank_gauss_seidel_from_graph(
+    graph: &CsrGraph,
+    model: TransitionModel,
+    config: &PageRankConfig,
+) -> PageRankResult {
+    let matrix = TransitionMatrix::build(graph, model);
+    pagerank_gauss_seidel(graph, &matrix, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pagerank::pagerank;
+    use d2pr_graph::builder::GraphBuilder;
+    use d2pr_graph::csr::Direction;
+    use d2pr_graph::generators::{barabasi_albert, erdos_renyi_nm};
+
+    fn close(a: &[f64], b: &[f64], eps: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < eps, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matches_power_iteration_standard() {
+        let g = erdos_renyi_nm(120, 480, 3).unwrap();
+        let cfg = PageRankConfig { tolerance: 1e-12, ..Default::default() };
+        let power = pagerank(&g, TransitionModel::Standard, &cfg);
+        let gs = pagerank_gauss_seidel_from_graph(&g, TransitionModel::Standard, &cfg);
+        close(&power.scores, &gs.scores, 1e-8);
+    }
+
+    #[test]
+    fn matches_power_iteration_decoupled() {
+        let g = barabasi_albert(100, 3, 5).unwrap();
+        let cfg = PageRankConfig { tolerance: 1e-12, ..Default::default() };
+        for p in [-2.0, 0.5, 3.0] {
+            let model = TransitionModel::DegreeDecoupled { p };
+            let power = pagerank(&g, model, &cfg);
+            let gs = pagerank_gauss_seidel_from_graph(&g, model, &cfg);
+            close(&power.scores, &gs.scores, 1e-8);
+        }
+    }
+
+    #[test]
+    fn iteration_counts_comparable_to_power() {
+        // Gauss–Seidel's advantage is ordering-dependent (classic web-graph
+        // orderings give ~2x; random orderings can lose it). Assert both
+        // converge and stay within a small factor of each other; the speed
+        // question is measured by the ablation bench, not asserted here.
+        let g = barabasi_albert(400, 4, 7).unwrap();
+        let cfg = PageRankConfig { tolerance: 1e-10, ..Default::default() };
+        let power = pagerank(&g, TransitionModel::Standard, &cfg);
+        let gs = pagerank_gauss_seidel_from_graph(&g, TransitionModel::Standard, &cfg);
+        assert!(power.converged && gs.converged);
+        assert!(
+            gs.iterations <= 3 * power.iterations,
+            "gauss-seidel {} vs power {}",
+            gs.iterations,
+            power.iterations
+        );
+    }
+
+    #[test]
+    fn handles_dangling_nodes() {
+        let mut b = GraphBuilder::new(Direction::Directed, 4);
+        b.add_edge(0, 1);
+        b.add_edge(2, 1);
+        let g = b.build().unwrap();
+        let cfg = PageRankConfig { tolerance: 1e-12, ..Default::default() };
+        let power = pagerank(&g, TransitionModel::Standard, &cfg);
+        let gs = pagerank_gauss_seidel_from_graph(&g, TransitionModel::Standard, &cfg);
+        close(&power.scores, &gs.scores, 1e-7);
+        assert!((gs.scores.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new(Direction::Directed, 0).build().unwrap();
+        let r = pagerank_gauss_seidel_from_graph(&g, TransitionModel::Standard, &PageRankConfig::default());
+        assert!(r.converged);
+        assert!(r.scores.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "RedistributeTeleport")]
+    fn rejects_other_dangling_policies() {
+        let g = erdos_renyi_nm(10, 20, 1).unwrap();
+        let m = TransitionMatrix::build(&g, TransitionModel::Standard);
+        let cfg = PageRankConfig {
+            dangling: crate::pagerank::DanglingPolicy::SelfLoop,
+            ..Default::default()
+        };
+        pagerank_gauss_seidel(&g, &m, &cfg);
+    }
+}

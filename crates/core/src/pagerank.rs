@@ -1,0 +1,435 @@
+//! Power-iteration PageRank solver.
+//!
+//! Solves the paper's fixed point `r = α·T·r + (1−α)·t` for an arbitrary
+//! column-stochastic operator `T` (built by [`crate::transition`]) and
+//! teleportation distribution `t`. The solver is a straightforward push-style
+//! power iteration: one pass over the arcs per iteration, `O(E)` work, with
+//! an `L1` convergence criterion. For the graph sizes of the paper (≤ 4.5M
+//! arcs) this converges in well under a second per parameter setting.
+
+use crate::transition::{TransitionMatrix, TransitionModel};
+use d2pr_graph::csr::CsrGraph;
+
+/// What to do with the rank mass sitting on dangling nodes (no out-arcs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DanglingPolicy {
+    /// Redistribute dangling mass according to the teleport vector each
+    /// iteration (the standard remedy; keeps `‖r‖₁ = 1`).
+    #[default]
+    RedistributeTeleport,
+    /// Keep the mass in place (`T[i,i] = 1` for dangling `i`). Models a
+    /// surfer who stays put instead of jumping.
+    SelfLoop,
+    /// Let the mass evaporate and renormalize `r` after each iteration.
+    /// Matches implementations that simply drop dangling columns.
+    Renormalize,
+}
+
+/// Solver configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PageRankConfig {
+    /// Residual probability `α` (the paper's default is 0.85). `1 − α` is
+    /// the teleportation probability.
+    pub alpha: f64,
+    /// Stop when the L1 change between successive iterates drops below this.
+    pub tolerance: f64,
+    /// Hard iteration cap.
+    pub max_iterations: usize,
+    /// Dangling-node handling.
+    pub dangling: DanglingPolicy,
+}
+
+impl Default for PageRankConfig {
+    fn default() -> Self {
+        Self {
+            alpha: 0.85,
+            tolerance: 1e-10,
+            max_iterations: 200,
+            dangling: DanglingPolicy::default(),
+        }
+    }
+}
+
+impl PageRankConfig {
+    /// Validate parameter ranges.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..1.0).contains(&self.alpha) {
+            return Err(format!("alpha must lie in [0,1), got {}", self.alpha));
+        }
+        if self.tolerance <= 0.0 {
+            return Err(format!("tolerance must be positive, got {}", self.tolerance));
+        }
+        if self.max_iterations == 0 {
+            return Err("max_iterations must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
+/// Result of a PageRank computation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PageRankResult {
+    /// Score per node; sums to 1 (except under
+    /// [`DanglingPolicy::Renormalize`], where it is renormalized to 1 too).
+    pub scores: Vec<f64>,
+    /// Number of iterations performed.
+    pub iterations: usize,
+    /// Final L1 residual.
+    pub residual: f64,
+    /// Whether the tolerance was reached within the iteration cap.
+    pub converged: bool,
+}
+
+impl PageRankResult {
+    /// Nodes sorted by descending score (ties by lower id).
+    pub fn ranking(&self) -> Vec<u32> {
+        let mut idx: Vec<u32> = (0..self.scores.len() as u32).collect();
+        idx.sort_by(|&a, &b| {
+            self.scores[b as usize]
+                .partial_cmp(&self.scores[a as usize])
+                .expect("scores are finite")
+                .then(a.cmp(&b))
+        });
+        idx
+    }
+}
+
+/// Solve `r = α·T·r + (1−α)·t` with uniform teleportation.
+pub fn pagerank(
+    graph: &CsrGraph,
+    model: TransitionModel,
+    config: &PageRankConfig,
+) -> PageRankResult {
+    let matrix = TransitionMatrix::build(graph, model);
+    pagerank_with_matrix(graph, &matrix, config, None)
+}
+
+/// Solve with an explicit teleport distribution (`None` = uniform). The
+/// teleport vector must be non-negative and sum to 1; see
+/// [`crate::personalized`] for ergonomic constructors.
+pub fn pagerank_with_matrix(
+    graph: &CsrGraph,
+    matrix: &TransitionMatrix,
+    config: &PageRankConfig,
+    teleport: Option<&[f64]>,
+) -> PageRankResult {
+    pagerank_with_matrix_init(graph, matrix, config, teleport, None)
+}
+
+/// Solve with an explicit teleport distribution and a warm-start iterate.
+///
+/// `init` (normalized internally) seeds the iteration; parameter sweeps use
+/// the previous grid point's solution, which typically saves a large share
+/// of the iterations when consecutive operators are close (see the
+/// `ablation_warm_sweep` bench). The fixed point is independent of `init`.
+pub fn pagerank_with_matrix_init(
+    graph: &CsrGraph,
+    matrix: &TransitionMatrix,
+    config: &PageRankConfig,
+    teleport: Option<&[f64]>,
+    init: Option<&[f64]>,
+) -> PageRankResult {
+    config.validate().expect("invalid PageRank configuration");
+    let n = graph.num_nodes();
+    if n == 0 {
+        return PageRankResult { scores: vec![], iterations: 0, residual: 0.0, converged: true };
+    }
+    // Normalize the teleport vector once so the operator stays stochastic
+    // even when the caller passes unnormalized seed weights.
+    let t_norm: Option<Vec<f64>> = teleport.map(|t| {
+        assert_eq!(t.len(), n, "teleport vector must cover all nodes");
+        assert!(t.iter().all(|&x| x >= 0.0 && x.is_finite()), "teleport entries must be finite and non-negative");
+        let s: f64 = t.iter().sum();
+        assert!(s > 0.0, "teleport vector must have positive mass");
+        t.iter().map(|&x| x / s).collect()
+    });
+    let uniform = 1.0 / n as f64;
+    let tele = |i: usize| t_norm.as_ref().map_or(uniform, |t| t[i]);
+
+    let alpha = config.alpha;
+    let probs = matrix.arc_probs();
+    let (offsets, targets, _) = graph.parts();
+
+    let mut rank: Vec<f64> = match init {
+        Some(r0) => {
+            assert_eq!(r0.len(), n, "warm-start vector must cover all nodes");
+            let s: f64 = r0.iter().sum();
+            assert!(
+                s > 0.0 && r0.iter().all(|&x| x >= 0.0 && x.is_finite()),
+                "warm-start vector must be non-negative with positive mass"
+            );
+            r0.iter().map(|&x| x / s).collect()
+        }
+        None => (0..n).map(tele).collect(),
+    };
+    let mut next = vec![0.0f64; n];
+
+    let dangling: Vec<usize> =
+        (0..n).filter(|&v| offsets[v] == offsets[v + 1]).collect();
+
+    let mut iterations = 0;
+    let mut residual = f64::INFINITY;
+    while iterations < config.max_iterations {
+        iterations += 1;
+        // Base: teleportation.
+        for (i, slot) in next.iter_mut().enumerate() {
+            *slot = (1.0 - alpha) * tele(i);
+        }
+        // Dangling mass.
+        let dangling_mass: f64 = dangling.iter().map(|&v| rank[v]).sum();
+        match config.dangling {
+            DanglingPolicy::RedistributeTeleport => {
+                if dangling_mass > 0.0 {
+                    for (i, slot) in next.iter_mut().enumerate() {
+                        *slot += alpha * dangling_mass * tele(i);
+                    }
+                }
+            }
+            DanglingPolicy::SelfLoop => {
+                for &v in &dangling {
+                    next[v] += alpha * rank[v];
+                }
+            }
+            DanglingPolicy::Renormalize => { /* mass evaporates */ }
+        }
+        // Push along arcs.
+        for v in 0..n {
+            let rv = alpha * rank[v];
+            if rv == 0.0 {
+                continue;
+            }
+            for k in offsets[v]..offsets[v + 1] {
+                next[targets[k] as usize] += rv * probs[k];
+            }
+        }
+        if config.dangling == DanglingPolicy::Renormalize {
+            let total: f64 = next.iter().sum();
+            if total > 0.0 {
+                for x in next.iter_mut() {
+                    *x /= total;
+                }
+            }
+        }
+        residual = rank.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
+        std::mem::swap(&mut rank, &mut next);
+        if residual < config.tolerance {
+            break;
+        }
+    }
+    PageRankResult { scores: rank, iterations, residual, converged: residual < config.tolerance }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use d2pr_graph::builder::GraphBuilder;
+    use d2pr_graph::csr::Direction;
+    use d2pr_graph::generators::erdos_renyi_nm;
+
+    fn sum(xs: &[f64]) -> f64 {
+        xs.iter().sum()
+    }
+
+    #[test]
+    fn scores_sum_to_one_on_connected_graph() {
+        let g = erdos_renyi_nm(100, 300, 42).unwrap();
+        let r = pagerank(&g, TransitionModel::Standard, &PageRankConfig::default());
+        assert!(r.converged, "iterations {}", r.iterations);
+        assert!((sum(&r.scores) - 1.0).abs() < 1e-9);
+        assert!(r.scores.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn uniform_scores_on_symmetric_cycle() {
+        // A directed 4-cycle: perfectly symmetric, so all scores equal 1/4.
+        let mut b = GraphBuilder::new(Direction::Directed, 4);
+        for v in 0..4u32 {
+            b.add_edge(v, (v + 1) % 4);
+        }
+        let g = b.build().unwrap();
+        let r = pagerank(&g, TransitionModel::Standard, &PageRankConfig::default());
+        for &s in &r.scores {
+            assert!((s - 0.25).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn hub_outranks_leaves_in_star() {
+        let mut b = GraphBuilder::new(Direction::Undirected, 5);
+        for leaf in 1..5 {
+            b.add_edge(0, leaf);
+        }
+        let g = b.build().unwrap();
+        let r = pagerank(&g, TransitionModel::Standard, &PageRankConfig::default());
+        assert!(r.scores[0] > r.scores[1] * 2.0);
+        assert_eq!(r.ranking()[0], 0);
+    }
+
+    #[test]
+    fn known_two_node_directed_solution() {
+        // 0 -> 1 only. With redistribute-teleport dangling handling, node 1
+        // is dangling; closed form: r0 = t(1-a) + a*d*t where d = r1 ... solve
+        // numerically and just assert the invariants + ordering instead.
+        let mut b = GraphBuilder::new(Direction::Directed, 2);
+        b.add_edge(0, 1);
+        let g = b.build().unwrap();
+        let r = pagerank(&g, TransitionModel::Standard, &PageRankConfig::default());
+        assert!((sum(&r.scores) - 1.0).abs() < 1e-9);
+        assert!(r.scores[1] > r.scores[0], "receiver must outrank source");
+        // Verify the fixed point algebraically: r1 = (1-a)/2 + a*d/2 + a*r0,
+        // r0 = (1-a)/2 + a*d/2, d = r1.
+        let a = 0.85;
+        let r0 = r.scores[0];
+        let r1 = r.scores[1];
+        assert!((r0 - ((1.0 - a) / 2.0 + a * r1 / 2.0)).abs() < 1e-8);
+        assert!((r1 - ((1.0 - a) / 2.0 + a * r1 / 2.0 + a * r0)).abs() < 1e-8);
+    }
+
+    #[test]
+    fn dangling_self_loop_keeps_mass() {
+        let mut b = GraphBuilder::new(Direction::Directed, 2);
+        b.add_edge(0, 1);
+        let g = b.build().unwrap();
+        let cfg = PageRankConfig { dangling: DanglingPolicy::SelfLoop, ..Default::default() };
+        let r = pagerank(&g, TransitionModel::Standard, &cfg);
+        assert!((sum(&r.scores) - 1.0).abs() < 1e-9);
+        // Self-loop on the sink hoards mass: sink score approaches 1 - ...
+        assert!(r.scores[1] > 0.8);
+    }
+
+    #[test]
+    fn dangling_renormalize_sums_to_one() {
+        let mut b = GraphBuilder::new(Direction::Directed, 3);
+        b.add_edge(0, 1);
+        b.add_edge(0, 2);
+        let g = b.build().unwrap();
+        let cfg = PageRankConfig { dangling: DanglingPolicy::Renormalize, ..Default::default() };
+        let r = pagerank(&g, TransitionModel::Standard, &cfg);
+        assert!((sum(&r.scores) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn alpha_zero_gives_teleport_vector() {
+        let g = erdos_renyi_nm(20, 50, 3).unwrap();
+        let cfg = PageRankConfig { alpha: 0.0, ..Default::default() };
+        let r = pagerank(&g, TransitionModel::Standard, &cfg);
+        for &s in &r.scores {
+            assert!((s - 0.05).abs() < 1e-12);
+        }
+        assert_eq!(r.iterations, 1);
+    }
+
+    #[test]
+    fn higher_alpha_spreads_further_from_teleport() {
+        let mut b = GraphBuilder::new(Direction::Undirected, 4);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(2, 3);
+        let g = b.build().unwrap();
+        let lo = pagerank(&g, TransitionModel::Standard, &PageRankConfig { alpha: 0.5, ..Default::default() });
+        let hi = pagerank(&g, TransitionModel::Standard, &PageRankConfig { alpha: 0.9, ..Default::default() });
+        // Deviation from uniform grows with alpha.
+        let dev = |r: &PageRankResult| -> f64 {
+            r.scores.iter().map(|s| (s - 0.25).abs()).sum()
+        };
+        assert!(dev(&hi) > dev(&lo));
+    }
+
+    #[test]
+    fn custom_teleport_biases_scores() {
+        let g = erdos_renyi_nm(10, 20, 7).unwrap();
+        let matrix = TransitionMatrix::build(&g, TransitionModel::Standard);
+        let mut t = vec![0.0; 10];
+        t[3] = 1.0;
+        let r = pagerank_with_matrix(&g, &matrix, &PageRankConfig::default(), Some(&t));
+        assert!((sum(&r.scores) - 1.0).abs() < 1e-9);
+        let max = r.ranking()[0];
+        assert_eq!(max, 3, "seed node should rank first in its own PPR");
+    }
+
+    #[test]
+    fn unnormalized_teleport_is_normalized() {
+        let g = erdos_renyi_nm(10, 20, 7).unwrap();
+        let matrix = TransitionMatrix::build(&g, TransitionModel::Standard);
+        let t = vec![2.0; 10]; // sums to 20, must behave exactly like uniform
+        let biased = pagerank_with_matrix(&g, &matrix, &PageRankConfig::default(), Some(&t));
+        let uniform = pagerank_with_matrix(&g, &matrix, &PageRankConfig::default(), None);
+        for (a, b) in biased.scores.iter().zip(&uniform.scores) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        assert!((sum(&biased.scores) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_graph_trivial_result() {
+        let g = GraphBuilder::new(Direction::Directed, 0).build().unwrap();
+        let r = pagerank(&g, TransitionModel::Standard, &PageRankConfig::default());
+        assert!(r.scores.is_empty());
+        assert!(r.converged);
+    }
+
+    #[test]
+    fn all_dangling_graph_is_teleport_distribution() {
+        let g = GraphBuilder::new(Direction::Directed, 4).build().unwrap();
+        let r = pagerank(&g, TransitionModel::Standard, &PageRankConfig::default());
+        for &s in &r.scores {
+            assert!((s - 0.25).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn max_iterations_respected() {
+        let g = erdos_renyi_nm(50, 150, 5).unwrap();
+        let cfg = PageRankConfig { max_iterations: 2, tolerance: 1e-300, ..Default::default() };
+        let r = pagerank(&g, TransitionModel::Standard, &cfg);
+        assert_eq!(r.iterations, 2);
+        assert!(!r.converged);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid PageRank configuration")]
+    fn invalid_alpha_panics() {
+        let g = erdos_renyi_nm(5, 5, 1).unwrap();
+        let cfg = PageRankConfig { alpha: 1.0, ..Default::default() };
+        pagerank(&g, TransitionModel::Standard, &cfg);
+    }
+
+    #[test]
+    fn decoupled_p_shifts_mass_to_low_degree_nodes() {
+        // Star: with p > 0 the walk avoids the hub.
+        let mut b = GraphBuilder::new(Direction::Undirected, 6);
+        for leaf in 1..6 {
+            b.add_edge(0, leaf);
+        }
+        // connect leaves in a cycle so leaves have degree 3
+        for leaf in 1..6u32 {
+            let nxt = if leaf == 5 { 1 } else { leaf + 1 };
+            b.add_edge(leaf, nxt);
+        }
+        let g = b.build().unwrap();
+        let std = pagerank(&g, TransitionModel::Standard, &PageRankConfig::default());
+        let pen = pagerank(
+            &g,
+            TransitionModel::DegreeDecoupled { p: 2.0 },
+            &PageRankConfig::default(),
+        );
+        let boost = pagerank(
+            &g,
+            TransitionModel::DegreeDecoupled { p: -2.0 },
+            &PageRankConfig::default(),
+        );
+        assert!(pen.scores[0] < std.scores[0], "penalization must reduce hub score");
+        assert!(boost.scores[0] > std.scores[0], "boosting must raise hub score");
+    }
+
+    #[test]
+    fn ranking_breaks_ties_by_id() {
+        let r = PageRankResult {
+            scores: vec![0.3, 0.3, 0.4],
+            iterations: 1,
+            residual: 0.0,
+            converged: true,
+        };
+        assert_eq!(r.ranking(), vec![2, 0, 1]);
+    }
+}

@@ -1,0 +1,263 @@
+//! Pull-based parallel PageRank using crossbeam scoped threads.
+//!
+//! The serial solver in [`mod@crate::pagerank`] pushes rank along out-arcs,
+//! which races under parallelism (two sources updating one destination).
+//! The parallel solver instead *pulls*: it materializes the transposed
+//! operator once (in-arcs with probabilities) and then each iteration
+//! assigns disjoint destination ranges to worker threads — every output
+//! cell is written by exactly one thread, so no synchronization is needed
+//! beyond the scope join. The ablation bench (`bench ablations`) measures
+//! when the transpose cost pays off.
+
+use crate::pagerank::{DanglingPolicy, PageRankConfig, PageRankResult};
+use crate::transition::{TransitionMatrix, TransitionModel};
+use d2pr_graph::csr::CsrGraph;
+
+/// Transposed stochastic operator: for every destination node, the list of
+/// (source, probability) incoming transitions.
+#[derive(Debug, Clone)]
+pub struct TransposedMatrix {
+    in_offsets: Vec<usize>,
+    in_sources: Vec<u32>,
+    in_probs: Vec<f64>,
+    dangling: Vec<u32>,
+    num_nodes: usize,
+}
+
+impl TransposedMatrix {
+    /// Build the transpose of `matrix` over `graph`.
+    pub fn build(graph: &CsrGraph, matrix: &TransitionMatrix) -> Self {
+        let n = graph.num_nodes();
+        let (offsets, targets, _) = graph.parts();
+        let probs = matrix.arc_probs();
+        let mut counts = vec![0usize; n + 1];
+        for &t in targets {
+            counts[t as usize + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let in_offsets = counts.clone();
+        let mut cursor = counts;
+        let mut in_sources = vec![0u32; targets.len()];
+        let mut in_probs = vec![0.0f64; targets.len()];
+        for v in 0..n {
+            for k in offsets[v]..offsets[v + 1] {
+                let t = targets[k] as usize;
+                let slot = cursor[t];
+                cursor[t] += 1;
+                in_sources[slot] = v as u32;
+                in_probs[slot] = probs[k];
+            }
+        }
+        let dangling =
+            (0..n as u32).filter(|&v| offsets[v as usize] == offsets[v as usize + 1]).collect();
+        Self { in_offsets, in_sources, in_probs, dangling, num_nodes: n }
+    }
+
+    /// Number of nodes covered.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Incoming transitions of node `v` as `(source, probability)` pairs.
+    pub fn in_arcs(&self, v: u32) -> impl Iterator<Item = (u32, f64)> + '_ {
+        let s = self.in_offsets[v as usize];
+        let e = self.in_offsets[v as usize + 1];
+        self.in_sources[s..e].iter().copied().zip(self.in_probs[s..e].iter().copied())
+    }
+
+    /// Nodes with no out-arcs (dangling), as discovered at build time.
+    pub fn dangling(&self) -> &[u32] {
+        &self.dangling
+    }
+}
+
+/// Parallel PageRank over a prebuilt transpose. Supports the
+/// [`DanglingPolicy::RedistributeTeleport`] policy only (the default); other
+/// policies fall back to behaviour-equivalent handling is *not* provided —
+/// callers needing them should use the serial solver.
+///
+/// # Panics
+/// Panics when `config.dangling` is not `RedistributeTeleport`, or when the
+/// config fails validation.
+pub fn pagerank_parallel(
+    transpose: &TransposedMatrix,
+    config: &PageRankConfig,
+    teleport: Option<&[f64]>,
+    num_threads: usize,
+) -> PageRankResult {
+    config.validate().expect("invalid PageRank configuration");
+    assert_eq!(
+        config.dangling,
+        DanglingPolicy::RedistributeTeleport,
+        "parallel solver supports only the RedistributeTeleport dangling policy"
+    );
+    let n = transpose.num_nodes;
+    if n == 0 {
+        return PageRankResult { scores: vec![], iterations: 0, residual: 0.0, converged: true };
+    }
+    let threads = num_threads.max(1).min(n);
+    let t_norm: Option<Vec<f64>> = teleport.map(|t| {
+        assert_eq!(t.len(), n, "teleport vector must cover all nodes");
+        let s: f64 = t.iter().sum();
+        assert!(s > 0.0, "teleport vector must have positive mass");
+        t.iter().map(|&x| x / s).collect()
+    });
+    let uniform = 1.0 / n as f64;
+    let tele = |i: usize| t_norm.as_ref().map_or(uniform, |t| t[i]);
+    let alpha = config.alpha;
+
+    let mut rank: Vec<f64> = (0..n).map(tele).collect();
+    let mut next = vec![0.0f64; n];
+    let chunk = n.div_ceil(threads);
+
+    let mut iterations = 0;
+    let mut residual = f64::INFINITY;
+    while iterations < config.max_iterations {
+        iterations += 1;
+        let dangling_mass: f64 = transpose.dangling.iter().map(|&v| rank[v as usize]).sum();
+        let rank_ref = &rank;
+        let t_ref = &t_norm;
+        let residuals: Vec<f64> = crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for (ci, slice) in next.chunks_mut(chunk).enumerate() {
+                let start = ci * chunk;
+                let in_offsets = &transpose.in_offsets;
+                let in_sources = &transpose.in_sources;
+                let in_probs = &transpose.in_probs;
+                handles.push(scope.spawn(move |_| {
+                    let mut local_residual = 0.0;
+                    for (off, slot) in slice.iter_mut().enumerate() {
+                        let j = start + off;
+                        let tj = t_ref.as_ref().map_or(uniform, |t| t[j]);
+                        let mut acc = (1.0 - alpha) * tj + alpha * dangling_mass * tj;
+                        for k in in_offsets[j]..in_offsets[j + 1] {
+                            acc += alpha * in_probs[k] * rank_ref[in_sources[k] as usize];
+                        }
+                        local_residual += (acc - rank_ref[j]).abs();
+                        *slot = acc;
+                    }
+                    local_residual
+                }));
+            }
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        })
+        .expect("thread scope failed");
+        residual = residuals.iter().sum();
+        std::mem::swap(&mut rank, &mut next);
+        if residual < config.tolerance {
+            break;
+        }
+    }
+    PageRankResult { scores: rank, iterations, residual, converged: residual < config.tolerance }
+}
+
+/// Convenience wrapper: build the operator and transpose, then solve in
+/// parallel with uniform teleportation.
+pub fn pagerank_parallel_from_graph(
+    graph: &CsrGraph,
+    model: TransitionModel,
+    config: &PageRankConfig,
+    num_threads: usize,
+) -> PageRankResult {
+    let matrix = TransitionMatrix::build(graph, model);
+    let transpose = TransposedMatrix::build(graph, &matrix);
+    pagerank_parallel(&transpose, config, None, num_threads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pagerank::pagerank;
+    use d2pr_graph::builder::GraphBuilder;
+    use d2pr_graph::csr::Direction;
+    use d2pr_graph::generators::{barabasi_albert, erdos_renyi_nm};
+
+    fn assert_close(a: &[f64], b: &[f64], eps: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < eps, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_standard() {
+        let g = erdos_renyi_nm(200, 800, 17).unwrap();
+        let cfg = PageRankConfig::default();
+        let serial = pagerank(&g, TransitionModel::Standard, &cfg);
+        let par = pagerank_parallel_from_graph(&g, TransitionModel::Standard, &cfg, 4);
+        assert_close(&serial.scores, &par.scores, 1e-8);
+    }
+
+    #[test]
+    fn parallel_matches_serial_decoupled() {
+        let g = barabasi_albert(150, 3, 5).unwrap();
+        let cfg = PageRankConfig::default();
+        for &p in &[-2.0, 0.5, 4.0] {
+            let model = TransitionModel::DegreeDecoupled { p };
+            let serial = pagerank(&g, model, &cfg);
+            let par = pagerank_parallel_from_graph(&g, model, &cfg, 3);
+            assert_close(&serial.scores, &par.scores, 1e-8);
+        }
+    }
+
+    #[test]
+    fn parallel_handles_dangling_nodes() {
+        let mut b = GraphBuilder::new(Direction::Directed, 4);
+        b.add_edge(0, 1);
+        b.add_edge(2, 1);
+        // 1 and 3 dangling
+        let g = b.build().unwrap();
+        let cfg = PageRankConfig::default();
+        let serial = pagerank(&g, TransitionModel::Standard, &cfg);
+        let par = pagerank_parallel_from_graph(&g, TransitionModel::Standard, &cfg, 2);
+        assert_close(&serial.scores, &par.scores, 1e-8);
+        assert!((par.scores.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_thread_works() {
+        let g = erdos_renyi_nm(50, 150, 2).unwrap();
+        let cfg = PageRankConfig::default();
+        let serial = pagerank(&g, TransitionModel::Standard, &cfg);
+        let par = pagerank_parallel_from_graph(&g, TransitionModel::Standard, &cfg, 1);
+        assert_close(&serial.scores, &par.scores, 1e-8);
+    }
+
+    #[test]
+    fn more_threads_than_nodes_is_fine() {
+        let g = erdos_renyi_nm(5, 8, 2).unwrap();
+        let cfg = PageRankConfig::default();
+        let par = pagerank_parallel_from_graph(&g, TransitionModel::Standard, &cfg, 64);
+        assert!((par.scores.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_with_seed_teleport() {
+        let g = erdos_renyi_nm(40, 120, 8).unwrap();
+        let matrix = TransitionMatrix::build(&g, TransitionModel::Standard);
+        let transpose = TransposedMatrix::build(&g, &matrix);
+        let mut t = vec![0.0; 40];
+        t[7] = 1.0;
+        let r = pagerank_parallel(&transpose, &PageRankConfig::default(), Some(&t), 4);
+        assert_eq!(r.ranking()[0], 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "RedistributeTeleport")]
+    fn non_default_dangling_policy_rejected() {
+        let g = erdos_renyi_nm(10, 20, 1).unwrap();
+        let matrix = TransitionMatrix::build(&g, TransitionModel::Standard);
+        let transpose = TransposedMatrix::build(&g, &matrix);
+        let cfg = PageRankConfig { dangling: DanglingPolicy::SelfLoop, ..Default::default() };
+        pagerank_parallel(&transpose, &cfg, None, 2);
+    }
+
+    #[test]
+    fn empty_graph_parallel() {
+        let g = GraphBuilder::new(Direction::Directed, 0).build().unwrap();
+        let r = pagerank_parallel_from_graph(&g, TransitionModel::Standard, &PageRankConfig::default(), 4);
+        assert!(r.scores.is_empty());
+    }
+}

@@ -1,0 +1,286 @@
+//! Robust personalized PageRank (RPR).
+//!
+//! The paper's related work (§2.2, citing Huang, Li, Candan, Sapino,
+//! ASONAM'14: *"Can you really trust that seed?"*) observes that PPR with a
+//! uniform seed set is fragile: one noisy seed drags the whole ranking.
+//! This module implements the aggregation-based robustification on top of
+//! the D2PR operator: solve one PPR *per seed* and combine the score
+//! vectors with an outlier-insensitive aggregate, so a seed that disagrees
+//! with the consensus cannot dominate.
+//!
+//! This is an extension relative to the paper's evaluation (DESIGN.md §6).
+
+use crate::pagerank::{pagerank_with_matrix, PageRankConfig, PageRankResult};
+use crate::transition::{TransitionMatrix, TransitionModel};
+use d2pr_graph::csr::{CsrGraph, NodeId};
+
+/// How per-seed score vectors are combined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SeedAggregation {
+    /// Arithmetic mean — equivalent to classic multi-seed PPR.
+    Mean,
+    /// Coordinate-wise median — tolerant to a minority of bad seeds.
+    #[default]
+    Median,
+    /// Trimmed mean: drop the lowest and highest value per coordinate
+    /// before averaging (needs ≥ 3 seeds, otherwise falls back to mean).
+    TrimmedMean,
+}
+
+/// Result of a robust PPR computation.
+#[derive(Debug, Clone)]
+pub struct RobustResult {
+    /// Aggregated (and re-normalized) scores.
+    pub scores: Vec<f64>,
+    /// The individual per-seed PageRank runs, seed order preserved.
+    pub per_seed: Vec<PageRankResult>,
+    /// Aggregation used.
+    pub aggregation: SeedAggregation,
+}
+
+impl RobustResult {
+    /// Nodes sorted by descending aggregated score.
+    pub fn ranking(&self) -> Vec<NodeId> {
+        let mut idx: Vec<NodeId> = (0..self.scores.len() as u32).collect();
+        idx.sort_by(|&a, &b| {
+            self.scores[b as usize]
+                .partial_cmp(&self.scores[a as usize])
+                .expect("finite scores")
+                .then(a.cmp(&b))
+        });
+        idx
+    }
+
+    /// Disagreement of one seed with the aggregate: L1 distance between its
+    /// score vector and the aggregated scores. Large values flag suspect
+    /// ("noisy") seeds.
+    pub fn seed_disagreement(&self, seed_index: usize) -> f64 {
+        self.per_seed[seed_index]
+            .scores
+            .iter()
+            .zip(&self.scores)
+            .map(|(a, b)| (a - b).abs())
+            .sum()
+    }
+}
+
+/// Robust personalized D2PR: one restart distribution per seed, aggregated
+/// per [`SeedAggregation`].
+///
+/// # Panics
+/// Panics on an empty or out-of-range seed set, or invalid config.
+pub fn robust_personalized_pagerank(
+    graph: &CsrGraph,
+    model: TransitionModel,
+    seeds: &[NodeId],
+    config: &PageRankConfig,
+    aggregation: SeedAggregation,
+) -> RobustResult {
+    assert!(!seeds.is_empty(), "seed set must not be empty");
+    let n = graph.num_nodes();
+    for &s in seeds {
+        assert!((s as usize) < n, "seed {s} out of range");
+    }
+    let matrix = TransitionMatrix::build(graph, model);
+    let per_seed: Vec<PageRankResult> = seeds
+        .iter()
+        .map(|&s| {
+            let mut t = vec![0.0; n];
+            t[s as usize] = 1.0;
+            pagerank_with_matrix(graph, &matrix, config, Some(&t))
+        })
+        .collect();
+
+    let mut scores = vec![0.0f64; n];
+    let k = per_seed.len();
+    let mut column: Vec<f64> = Vec::with_capacity(k);
+    for (v, slot) in scores.iter_mut().enumerate() {
+        column.clear();
+        column.extend(per_seed.iter().map(|r| r.scores[v]));
+        *slot = match aggregation {
+            SeedAggregation::Mean => column.iter().sum::<f64>() / k as f64,
+            SeedAggregation::Median => {
+                column.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite"));
+                if k % 2 == 1 {
+                    column[k / 2]
+                } else {
+                    (column[k / 2 - 1] + column[k / 2]) / 2.0
+                }
+            }
+            SeedAggregation::TrimmedMean => {
+                if k < 3 {
+                    column.iter().sum::<f64>() / k as f64
+                } else {
+                    column.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite"));
+                    column[1..k - 1].iter().sum::<f64>() / (k - 2) as f64
+                }
+            }
+        };
+    }
+    // Median/trimmed aggregates are not automatically stochastic.
+    let total: f64 = scores.iter().sum();
+    if total > 0.0 {
+        for s in scores.iter_mut() {
+            *s /= total;
+        }
+    }
+    RobustResult { scores, per_seed, aggregation }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use d2pr_graph::builder::GraphBuilder;
+    use d2pr_graph::csr::Direction;
+    use d2pr_graph::generators::erdos_renyi_nm;
+
+    /// Two communities bridged by one edge; seeds 0,1 in the left one and a
+    /// "noisy" seed deep in the right one.
+    fn bridged() -> CsrGraph {
+        let mut b = GraphBuilder::new(Direction::Undirected, 8);
+        for (u, v) in [(0, 1), (1, 2), (0, 2), (2, 3), (0, 3)] {
+            b.add_edge(u, v);
+        }
+        for (u, v) in [(4, 5), (5, 6), (6, 7), (4, 6), (5, 7)] {
+            b.add_edge(u, v);
+        }
+        b.add_edge(3, 4); // bridge
+        b.build().unwrap()
+    }
+
+    fn cfg() -> PageRankConfig {
+        PageRankConfig::default()
+    }
+
+    #[test]
+    fn mean_equals_multi_seed_ppr() {
+        let g = erdos_renyi_nm(30, 90, 4).unwrap();
+        let seeds = [1, 5, 9];
+        let robust = robust_personalized_pagerank(
+            &g,
+            TransitionModel::Standard,
+            &seeds,
+            &cfg(),
+            SeedAggregation::Mean,
+        );
+        let classic = crate::personalized::personalized_pagerank(
+            &g,
+            TransitionModel::Standard,
+            &seeds,
+            &cfg(),
+        );
+        for (a, b) in robust.scores.iter().zip(&classic.scores) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn median_resists_noisy_seed() {
+        let g = bridged();
+        // two good seeds in the left community, one noisy seed on the right
+        let seeds = [0, 1, 7];
+        let mean = robust_personalized_pagerank(
+            &g,
+            TransitionModel::Standard,
+            &seeds,
+            &cfg(),
+            SeedAggregation::Mean,
+        );
+        let median = robust_personalized_pagerank(
+            &g,
+            TransitionModel::Standard,
+            &seeds,
+            &cfg(),
+            SeedAggregation::Median,
+        );
+        let left = |scores: &[f64]| scores[..4].iter().sum::<f64>();
+        assert!(
+            left(&median.scores) > left(&mean.scores),
+            "median should concentrate on the consensus community: {} vs {}",
+            left(&median.scores),
+            left(&mean.scores)
+        );
+    }
+
+    #[test]
+    fn noisy_seed_has_highest_disagreement() {
+        let g = bridged();
+        let seeds = [0, 1, 7];
+        let r = robust_personalized_pagerank(
+            &g,
+            TransitionModel::Standard,
+            &seeds,
+            &cfg(),
+            SeedAggregation::Median,
+        );
+        let d: Vec<f64> = (0..3).map(|i| r.seed_disagreement(i)).collect();
+        assert!(d[2] > d[0] && d[2] > d[1], "noisy seed disagreement {d:?}");
+    }
+
+    #[test]
+    fn aggregated_scores_are_distribution() {
+        let g = erdos_renyi_nm(25, 60, 8).unwrap();
+        for agg in [SeedAggregation::Mean, SeedAggregation::Median, SeedAggregation::TrimmedMean]
+        {
+            let r = robust_personalized_pagerank(
+                &g,
+                TransitionModel::DegreeDecoupled { p: 0.5 },
+                &[2, 3, 4, 5],
+                &cfg(),
+                agg,
+            );
+            let sum: f64 = r.scores.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "{agg:?}: sum {sum}");
+            assert_eq!(r.per_seed.len(), 4);
+        }
+    }
+
+    #[test]
+    fn trimmed_mean_small_seed_sets_fall_back() {
+        let g = erdos_renyi_nm(20, 50, 1).unwrap();
+        let trimmed = robust_personalized_pagerank(
+            &g,
+            TransitionModel::Standard,
+            &[0, 1],
+            &cfg(),
+            SeedAggregation::TrimmedMean,
+        );
+        let mean = robust_personalized_pagerank(
+            &g,
+            TransitionModel::Standard,
+            &[0, 1],
+            &cfg(),
+            SeedAggregation::Mean,
+        );
+        for (a, b) in trimmed.scores.iter().zip(&mean.scores) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "seed set must not be empty")]
+    fn empty_seeds_panic() {
+        let g = erdos_renyi_nm(10, 20, 1).unwrap();
+        robust_personalized_pagerank(
+            &g,
+            TransitionModel::Standard,
+            &[],
+            &cfg(),
+            SeedAggregation::Median,
+        );
+    }
+
+    #[test]
+    fn ranking_orders_by_aggregate() {
+        let g = bridged();
+        let r = robust_personalized_pagerank(
+            &g,
+            TransitionModel::Standard,
+            &[0, 1],
+            &cfg(),
+            SeedAggregation::Median,
+        );
+        let ranking = r.ranking();
+        assert!(ranking[0] == 0 || ranking[0] == 1, "a seed should rank first");
+    }
+}

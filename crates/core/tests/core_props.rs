@@ -1,0 +1,174 @@
+//! Property-based tests for the D2PR core.
+
+use d2pr_core::kernel::DegreeKernel;
+use d2pr_core::pagerank::{pagerank, pagerank_with_matrix, DanglingPolicy, PageRankConfig};
+use d2pr_core::robust::{robust_personalized_pagerank, SeedAggregation};
+use d2pr_core::transition::{TransitionMatrix, TransitionModel};
+use d2pr_graph::builder::GraphBuilder;
+use d2pr_graph::csr::{CsrGraph, Direction};
+use proptest::prelude::*;
+
+fn arb_graph(n: u32, max_edges: usize, directed: bool) -> impl Strategy<Value = CsrGraph> {
+    let dir = if directed { Direction::Directed } else { Direction::Undirected };
+    proptest::collection::vec((0..n, 0..n), 1..=max_edges).prop_map(move |edges| {
+        let mut b = GraphBuilder::new(dir, n as usize);
+        for (u, v) in edges {
+            b.add_edge(u, v);
+        }
+        b.build().expect("in-range edges")
+    })
+}
+
+fn arb_weighted_graph(n: u32, max_edges: usize) -> impl Strategy<Value = CsrGraph> {
+    proptest::collection::vec((0..n, 0..n, 0.01f64..50.0), 1..=max_edges).prop_map(
+        move |edges| {
+            let mut b = GraphBuilder::new(Direction::Directed, n as usize);
+            for (u, v, w) in edges {
+                b.add_weighted_edge(u, v, w);
+            }
+            b.build().expect("in-range edges")
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Kernel outputs are a probability distribution for any inputs.
+    #[test]
+    fn kernel_is_distribution(
+        degs in proptest::collection::vec(0.0f64..1e7, 1..64),
+        p in -50.0f64..50.0,
+    ) {
+        let probs = DegreeKernel::new(p).normalize(&degs);
+        prop_assert_eq!(probs.len(), degs.len());
+        prop_assert!(probs.iter().all(|&x| x.is_finite() && x >= 0.0));
+        let sum: f64 = probs.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9, "sum {sum}");
+    }
+
+    /// Kernel monotonicity: for p > 0, a smaller degree never receives a
+    /// smaller probability than a larger degree (and vice versa for p < 0).
+    #[test]
+    fn kernel_monotone_in_degree(
+        degs in proptest::collection::vec(1.0f64..1e4, 2..32),
+        p in 0.01f64..20.0,
+    ) {
+        let pen = DegreeKernel::new(p).normalize(&degs);
+        let boost = DegreeKernel::new(-p).normalize(&degs);
+        for i in 0..degs.len() {
+            for j in 0..degs.len() {
+                if degs[i] < degs[j] {
+                    prop_assert!(pen[i] >= pen[j] - 1e-12);
+                    prop_assert!(boost[i] <= boost[j] + 1e-12);
+                }
+            }
+        }
+    }
+
+    /// Every dangling policy conserves probability mass.
+    #[test]
+    fn dangling_policies_conserve_mass(
+        g in arb_graph(24, 70, true),
+        p in -3.0f64..3.0,
+    ) {
+        for dangling in [
+            DanglingPolicy::RedistributeTeleport,
+            DanglingPolicy::SelfLoop,
+            DanglingPolicy::Renormalize,
+        ] {
+            let cfg = PageRankConfig { dangling, ..Default::default() };
+            let r = pagerank(&g, TransitionModel::DegreeDecoupled { p }, &cfg);
+            let sum: f64 = r.scores.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-8, "{dangling:?}: {sum}");
+        }
+    }
+
+    /// α = 0 returns exactly the teleport vector, regardless of structure.
+    #[test]
+    fn alpha_zero_is_teleport(g in arb_graph(16, 50, false), p in -2.0f64..2.0) {
+        let cfg = PageRankConfig { alpha: 0.0, ..Default::default() };
+        let r = pagerank(&g, TransitionModel::DegreeDecoupled { p }, &cfg);
+        let u = 1.0 / g.num_nodes() as f64;
+        for &s in &r.scores {
+            prop_assert!((s - u).abs() < 1e-12);
+        }
+    }
+
+    /// Blended transitions interpolate linearly in β.
+    #[test]
+    fn blend_linearity(g in arb_weighted_graph(14, 50), p in -2.0f64..2.0, beta in 0.0f64..=1.0) {
+        let full = TransitionMatrix::build(&g, TransitionModel::Blended { p, beta });
+        let conn = TransitionMatrix::build(&g, TransitionModel::Blended { p, beta: 1.0 });
+        let dec = TransitionMatrix::build(&g, TransitionModel::Blended { p, beta: 0.0 });
+        for i in 0..full.arc_probs().len() {
+            let mix = beta * conn.arc_probs()[i] + (1.0 - beta) * dec.arc_probs()[i];
+            prop_assert!((full.arc_probs()[i] - mix).abs() < 1e-12);
+        }
+    }
+
+    /// On unweighted graphs, DegreeDecoupled{p} equals Blended{p, β} for all
+    /// β (there is no connection-strength signal to blend).
+    #[test]
+    fn unweighted_blend_collapses(g in arb_graph(14, 50, false), p in -2.0f64..2.0) {
+        let a = TransitionMatrix::build(&g, TransitionModel::DegreeDecoupled { p });
+        // β affects only the weighted T_conn component; on unweighted graphs
+        // T_conn is uniform — equal to the p=0 kernel, not to T_D. So only
+        // β = 0 must collapse:
+        let b = TransitionMatrix::build(&g, TransitionModel::Blended { p, beta: 0.0 });
+        for (x, y) in a.arc_probs().iter().zip(b.arc_probs()) {
+            prop_assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    /// Seeded PPR assigns its maximum score within the seed set when seeds
+    /// are dangling-free and alpha is moderate — weaker invariant: every
+    /// seed scores above the uniform baseline.
+    #[test]
+    fn ppr_seeds_above_uniform(g in arb_graph(20, 80, false), seed in 0u32..20) {
+        let matrix = TransitionMatrix::build(&g, TransitionModel::Standard);
+        let mut t = vec![0.0; g.num_nodes()];
+        t[seed as usize] = 1.0;
+        let cfg = PageRankConfig::default();
+        let r = pagerank_with_matrix(&g, &matrix, &cfg, Some(&t));
+        let uniform = 1.0 / g.num_nodes() as f64;
+        prop_assert!(
+            r.scores[seed as usize] >= uniform,
+            "seed score {} below uniform {uniform}",
+            r.scores[seed as usize]
+        );
+    }
+
+    /// Robust aggregation yields a distribution and mean-aggregation equals
+    /// classic multi-seed PPR for any graph.
+    #[test]
+    fn robust_ppr_invariants(g in arb_graph(18, 60, false), s1 in 0u32..18, s2 in 0u32..18) {
+        let cfg = PageRankConfig::default();
+        for agg in [SeedAggregation::Mean, SeedAggregation::Median] {
+            let r = robust_personalized_pagerank(
+                &g,
+                TransitionModel::Standard,
+                &[s1, s2],
+                &cfg,
+                agg,
+            );
+            let sum: f64 = r.scores.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-8, "{agg:?}: {sum}");
+            prop_assert_eq!(r.per_seed.len(), 2);
+        }
+    }
+
+    /// More iterations never increase the final residual (monotone
+    /// convergence of the contraction).
+    #[test]
+    fn residual_shrinks_with_iterations(g in arb_graph(20, 80, false)) {
+        let mk = |iters: usize| PageRankConfig {
+            max_iterations: iters,
+            tolerance: 1e-300,
+            ..Default::default()
+        };
+        let short = pagerank(&g, TransitionModel::Standard, &mk(3));
+        let long = pagerank(&g, TransitionModel::Standard, &mk(30));
+        prop_assert!(long.residual <= short.residual + 1e-12);
+    }
+}

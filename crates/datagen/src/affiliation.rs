@@ -1,0 +1,327 @@
+//! The budget–cost affiliation model.
+//!
+//! This is the synthetic substitute for the paper's four real datasets
+//! (IMDB×MovieLens, DBLP, Last.fm, Epinions). It directly implements the
+//! paper's own causal explanation for why node degree can be *negatively*
+//! related to significance (§1.2.1 and §4.3.1):
+//!
+//! > "(a) acquiring additional edges has a cost that is correlated with the
+//! >  significance of the neighbor (e.g. the effort one needs to invest to a
+//! >  high quality movie) and (b) each node has a limited budget (e.g. total
+//! >  effort an actor/actress can invest in his/her work)."
+//!
+//! Entities (actors, commenters, listeners, authors) join containers
+//! (movies, products, artists, articles):
+//!
+//! 1. every container has a latent quality `q ∈ (0,1)`;
+//! 2. every entity has an *ambition* `a ∈ (0,1)` — how strongly it targets
+//!    high-quality containers — and an effort *budget* (lognormal, heavy
+//!    tailed);
+//! 3. joining a container costs `1 + quality_cost_coupling · q`; entities
+//!    draw candidate containers (quality-targeted with probability
+//!    `ambition_strength`, popularity-biased otherwise) and join until the
+//!    budget runs out.
+//!
+//! With `quality_cost_coupling > 0`, ambitious entities afford *fewer*
+//! memberships, producing the Group-A regime (degree anti-correlated with
+//! quality). With coupling ≈ 0 the regime is neutral (Group B), and
+//! significance models based on volume (Group C) are layered on top by
+//! [`crate::significance`].
+
+use crate::dist;
+use d2pr_graph::bipartite::BipartiteGraph;
+use d2pr_graph::csr::NodeId;
+use d2pr_graph::error::Result;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the affiliation model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AffiliationConfig {
+    /// Number of entities (left side: actors, authors, listeners, commenters).
+    pub num_entities: usize,
+    /// Number of containers (right side: movies, articles, artists, products).
+    pub num_containers: usize,
+    /// Mean effort budget; roughly the mean number of memberships when
+    /// `quality_cost_coupling = 0`.
+    pub mean_budget: f64,
+    /// Lognormal sigma of the budget (tail heaviness of membership counts).
+    pub budget_sigma: f64,
+    /// How much more a high-quality container costs to join:
+    /// `cost(q) = 1 + quality_cost_coupling · q`. The Group-A lever.
+    pub quality_cost_coupling: f64,
+    /// Probability that a candidate draw is quality-targeted (ambition
+    /// matching) instead of popularity-biased. Controls assortativity —
+    /// the "Factor 1" signal that D2PR can exploit.
+    pub ambition_strength: f64,
+    /// Strength of preferential attachment in the popularity-biased draws
+    /// (0 = uniform container choice, 1 = fully proportional to current
+    /// container size).
+    pub popularity_bias: f64,
+    /// Kumaraswamy shape `a` of container quality (with `quality_shape_b`;
+    /// `a=2,b=2` is a symmetric hump, `a=1,b=3` skews low).
+    pub quality_shape_a: f64,
+    /// Kumaraswamy shape `b` of container quality.
+    pub quality_shape_b: f64,
+    /// RNG seed — every run is fully deterministic.
+    pub seed: u64,
+}
+
+impl Default for AffiliationConfig {
+    fn default() -> Self {
+        Self {
+            num_entities: 1_000,
+            num_containers: 2_000,
+            mean_budget: 8.0,
+            budget_sigma: 0.8,
+            quality_cost_coupling: 0.0,
+            ambition_strength: 0.7,
+            popularity_bias: 0.5,
+            quality_shape_a: 2.0,
+            quality_shape_b: 2.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Output of the affiliation generator.
+#[derive(Debug, Clone)]
+pub struct Affiliation {
+    /// The entity × container membership graph.
+    pub bipartite: BipartiteGraph,
+    /// Latent quality of every container, in `(0,1)`.
+    pub container_quality: Vec<f64>,
+    /// Ambition of every entity, in `(0,1)`.
+    pub entity_ambition: Vec<f64>,
+    /// Derived entity quality: mean quality of joined containers (entities
+    /// with no memberships get their ambition as a prior).
+    pub entity_quality: Vec<f64>,
+}
+
+impl AffiliationConfig {
+    /// Run the generator.
+    ///
+    /// # Errors
+    /// Propagates graph-construction errors (they indicate a bug in the
+    /// generator rather than bad user input).
+    pub fn generate(&self) -> Result<Affiliation> {
+        assert!(self.num_entities > 0, "need at least one entity");
+        assert!(self.num_containers > 0, "need at least one container");
+        assert!(
+            (0.0..=1.0).contains(&self.ambition_strength),
+            "ambition_strength must lie in [0,1]"
+        );
+        assert!((0.0..=1.0).contains(&self.popularity_bias), "popularity_bias must lie in [0,1]");
+        assert!(self.quality_cost_coupling >= 0.0, "quality_cost_coupling must be >= 0");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        let container_quality: Vec<f64> = (0..self.num_containers)
+            .map(|_| dist::clamp_unit(dist::kumaraswamy(&mut rng, self.quality_shape_a, self.quality_shape_b)))
+            .collect();
+        let entity_ambition: Vec<f64> =
+            (0..self.num_entities).map(|_| dist::clamp_unit(rng.gen())).collect();
+
+        // Lognormal budgets scaled so the median budget is mean_budget
+        // (heavy tails would inflate the mean wildly otherwise).
+        let log_median = self.mean_budget.max(1.0).ln();
+        let budgets: Vec<f64> = (0..self.num_entities)
+            .map(|_| dist::lognormal(&mut rng, log_median, self.budget_sigma))
+            .collect();
+
+        // Popularity endpoints for preferential attachment.
+        let mut popular: Vec<NodeId> = Vec::new();
+        let mut memberships: Vec<(NodeId, NodeId)> = Vec::new();
+
+        for e in 0..self.num_entities {
+            let ambition = entity_ambition[e];
+            let mut budget = budgets[e];
+            // Hard cap to bound worst-case work on extreme budget draws.
+            let max_joins = (budgets[e] as usize + 1).min(self.num_containers).min(4_096);
+            let mut joined = 0usize;
+            let mut guard = 0usize;
+            while budget > 0.0 && joined < max_joins && guard < 64 * max_joins {
+                guard += 1;
+                let c = self.draw_candidate(&mut rng, ambition, &container_quality, &popular);
+                let cost = 1.0 + self.quality_cost_coupling * container_quality[c as usize];
+                if cost > budget {
+                    break;
+                }
+                budget -= cost;
+                joined += 1;
+                memberships.push((e as NodeId, c));
+                popular.push(c);
+            }
+        }
+
+        let bipartite = BipartiteGraph::from_memberships(
+            self.num_entities,
+            self.num_containers,
+            &memberships,
+        )?;
+
+        let entity_quality: Vec<f64> = (0..self.num_entities as u32)
+            .map(|e| {
+                let cs = bipartite.containers_of(e);
+                if cs.is_empty() {
+                    entity_ambition[e as usize]
+                } else {
+                    cs.iter().map(|&c| container_quality[c as usize]).sum::<f64>()
+                        / cs.len() as f64
+                }
+            })
+            .collect();
+
+        Ok(Affiliation { bipartite, container_quality, entity_ambition, entity_quality })
+    }
+
+    /// Draw one candidate container for an entity with the given ambition.
+    fn draw_candidate(
+        &self,
+        rng: &mut StdRng,
+        ambition: f64,
+        quality: &[f64],
+        popular: &[NodeId],
+    ) -> NodeId {
+        let n = quality.len();
+        if rng.gen::<f64>() < self.ambition_strength {
+            // Quality-targeted: rejection-sample containers whose quality is
+            // close to the entity's ambition level. Ambitious entities land
+            // in high-quality containers, forming quality-assortative
+            // co-occurrence ("Factor 1: significance of neighbors").
+            for _ in 0..16 {
+                let c = rng.gen_range(0..n as u32);
+                let gap = (quality[c as usize] - ambition).abs();
+                if rng.gen::<f64>() < (1.0 - gap).powi(4) {
+                    return c;
+                }
+            }
+            rng.gen_range(0..n as u32)
+        } else if !popular.is_empty() && rng.gen::<f64>() < self.popularity_bias {
+            // Preferential attachment: sample an existing membership's
+            // container (probability proportional to current size).
+            popular[rng.gen_range(0..popular.len())]
+        } else {
+            rng.gen_range(0..n as u32)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use d2pr_stats::correlation::spearman;
+
+    fn base() -> AffiliationConfig {
+        AffiliationConfig {
+            num_entities: 600,
+            num_containers: 900,
+            mean_budget: 6.0,
+            seed: 42,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn generates_nonempty_memberships() {
+        let a = base().generate().unwrap();
+        assert_eq!(a.bipartite.num_left(), 600);
+        assert_eq!(a.bipartite.num_right(), 900);
+        assert!(a.bipartite.num_memberships() > 600, "entities should join multiple containers");
+        assert!(a.container_quality.iter().all(|&q| (0.0..=1.0).contains(&q)));
+        assert!(a.entity_quality.iter().all(|&q| (0.0..=1.0).contains(&q)));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = base().generate().unwrap();
+        let b = base().generate().unwrap();
+        assert_eq!(a.bipartite, b.bipartite);
+        assert_eq!(a.container_quality, b.container_quality);
+        let c = AffiliationConfig { seed: 43, ..base() }.generate().unwrap();
+        assert_ne!(a.bipartite, c.bipartite);
+    }
+
+    #[test]
+    fn cost_coupling_creates_negative_degree_quality_link() {
+        // Group-A lever: with strong quality-cost coupling, entities with
+        // many memberships should have *lower* average quality.
+        let cfg = AffiliationConfig { quality_cost_coupling: 3.0, ..base() };
+        let a = cfg.generate().unwrap();
+        let degrees: Vec<f64> =
+            (0..600u32).map(|e| f64::from(a.bipartite.left_degree(e))).collect();
+        let rho = spearman(&degrees, &a.entity_quality).unwrap();
+        assert!(rho < -0.15, "expected negative coupling, got rho={rho}");
+    }
+
+    #[test]
+    fn no_cost_coupling_is_weakly_coupled() {
+        let cfg = AffiliationConfig { quality_cost_coupling: 0.0, ..base() };
+        let a = cfg.generate().unwrap();
+        let degrees: Vec<f64> =
+            (0..600u32).map(|e| f64::from(a.bipartite.left_degree(e))).collect();
+        let rho = spearman(&degrees, &a.entity_quality).unwrap();
+        assert!(rho.abs() < 0.35, "expected weak coupling, got rho={rho}");
+    }
+
+    #[test]
+    fn ambition_matching_creates_assortativity() {
+        // Entities' derived quality should track their ambition when the
+        // generator is strongly quality-targeted.
+        let cfg = AffiliationConfig { ambition_strength: 0.95, popularity_bias: 0.0, ..base() };
+        let a = cfg.generate().unwrap();
+        let rho = spearman(&a.entity_ambition, &a.entity_quality).unwrap();
+        assert!(rho > 0.5, "ambition should predict joined quality, got rho={rho}");
+    }
+
+    #[test]
+    fn popularity_bias_creates_container_size_skew() {
+        let flat = AffiliationConfig { ambition_strength: 0.0, popularity_bias: 0.0, ..base() }
+            .generate()
+            .unwrap();
+        let skewed = AffiliationConfig { ambition_strength: 0.0, popularity_bias: 0.9, ..base() }
+            .generate()
+            .unwrap();
+        let max_size = |a: &Affiliation| {
+            (0..a.bipartite.num_right() as u32)
+                .map(|c| a.bipartite.right_degree(c))
+                .max()
+                .unwrap()
+        };
+        assert!(
+            max_size(&skewed) > 2 * max_size(&flat),
+            "preferential attachment should create big containers: {} vs {}",
+            max_size(&skewed),
+            max_size(&flat)
+        );
+    }
+
+    #[test]
+    fn heavier_budgets_mean_more_memberships() {
+        let small = AffiliationConfig { mean_budget: 3.0, ..base() }.generate().unwrap();
+        let large = AffiliationConfig { mean_budget: 12.0, ..base() }.generate().unwrap();
+        assert!(large.bipartite.num_memberships() > 2 * small.bipartite.num_memberships());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entity")]
+    fn zero_entities_panics() {
+        let _ = AffiliationConfig { num_entities: 0, ..base() }.generate();
+    }
+
+    #[test]
+    fn entity_quality_prior_for_isolated_entities() {
+        // Tiny budget so some entities may fail to join anything.
+        let cfg = AffiliationConfig {
+            mean_budget: 1.0,
+            budget_sigma: 0.1,
+            quality_cost_coupling: 5.0,
+            ..base()
+        };
+        let a = cfg.generate().unwrap();
+        for e in 0..a.bipartite.num_left() as u32 {
+            if a.bipartite.left_degree(e) == 0 {
+                assert_eq!(a.entity_quality[e as usize], a.entity_ambition[e as usize]);
+            }
+        }
+    }
+}

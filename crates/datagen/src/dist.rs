@@ -1,0 +1,167 @@
+//! Minimal random-variate toolkit.
+//!
+//! The allowed dependency set contains `rand` but not `rand_distr`, so the
+//! handful of distributions the affiliation model needs (normal, lognormal,
+//! beta-shaped) are implemented here, along with the z-scoring helpers used
+//! by the significance synthesizer.
+
+use rand::Rng;
+
+/// One standard-normal variate via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0) by nudging u1 away from zero.
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Normal variate with the given mean and standard deviation.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std: f64) -> f64 {
+    mean + std * standard_normal(rng)
+}
+
+/// Lognormal variate: `exp(N(mu, sigma))`. Heavy-tailed for sigma ≳ 1;
+/// used for effort budgets ("total effort an actor can invest").
+pub fn lognormal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    normal(rng, mu, sigma).exp()
+}
+
+/// A cheap Beta-like variate on (0,1) using the inverse-CDF of the
+/// Kumaraswamy distribution, which matches Beta closely for moderate shape
+/// parameters and needs no rejection loop: `x = (1 − (1 − u)^(1/b))^(1/a)`.
+pub fn kumaraswamy<R: Rng + ?Sized>(rng: &mut R, a: f64, b: f64) -> f64 {
+    assert!(a > 0.0 && b > 0.0, "shape parameters must be positive");
+    let u: f64 = rng.gen();
+    (1.0 - (1.0 - u).powf(1.0 / b)).powf(1.0 / a)
+}
+
+/// Clamp into the open unit interval (useful before logit-like transforms).
+pub fn clamp_unit(x: f64) -> f64 {
+    x.clamp(1e-9, 1.0 - 1e-9)
+}
+
+/// Z-score a sample in place; constant samples become all-zero.
+pub fn standardize(xs: &mut [f64]) {
+    if xs.is_empty() {
+        return;
+    }
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    let std = var.sqrt();
+    if std == 0.0 {
+        xs.iter_mut().for_each(|x| *x = 0.0);
+    } else {
+        xs.iter_mut().for_each(|x| *x = (*x - mean) / std);
+    }
+}
+
+/// Z-scored copy of a sample.
+pub fn standardized(xs: &[f64]) -> Vec<f64> {
+    let mut out = xs.to_vec();
+    standardize(&mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(12345)
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut r = rng();
+        let xs: Vec<f64> = (0..50_000).map(|_| standard_normal(&mut r)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn normal_shifts_and_scales() {
+        let mut r = rng();
+        let xs: Vec<f64> = (0..50_000).map(|_| normal(&mut r, 10.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean - 10.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn lognormal_is_positive_and_skewed() {
+        let mut r = rng();
+        let xs: Vec<f64> = (0..20_000).map(|_| lognormal(&mut r, 0.0, 1.0)).collect();
+        assert!(xs.iter().all(|&x| x > 0.0));
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let mut sorted = xs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[xs.len() / 2];
+        assert!(mean > median, "lognormal mean {mean} should exceed median {median}");
+    }
+
+    #[test]
+    fn kumaraswamy_in_unit_interval() {
+        let mut r = rng();
+        for _ in 0..10_000 {
+            let x = kumaraswamy(&mut r, 2.0, 5.0);
+            assert!((0.0..=1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn kumaraswamy_shapes_move_mass() {
+        let mut r = rng();
+        let lo: f64 =
+            (0..20_000).map(|_| kumaraswamy(&mut r, 1.0, 5.0)).sum::<f64>() / 20_000.0;
+        let hi: f64 =
+            (0..20_000).map(|_| kumaraswamy(&mut r, 5.0, 1.0)).sum::<f64>() / 20_000.0;
+        assert!(lo < 0.3, "b-heavy should sit low, got {lo}");
+        assert!(hi > 0.7, "a-heavy should sit high, got {hi}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn kumaraswamy_rejects_bad_shapes() {
+        let mut r = rng();
+        kumaraswamy(&mut r, 0.0, 1.0);
+    }
+
+    #[test]
+    fn standardize_basics() {
+        let mut xs = vec![1.0, 2.0, 3.0];
+        standardize(&mut xs);
+        assert!((xs.iter().sum::<f64>()).abs() < 1e-12);
+        let var = xs.iter().map(|x| x * x).sum::<f64>() / 3.0;
+        assert!((var - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn standardize_constant_and_empty() {
+        let mut xs = vec![5.0, 5.0];
+        standardize(&mut xs);
+        assert_eq!(xs, vec![0.0, 0.0]);
+        let mut e: Vec<f64> = vec![];
+        standardize(&mut e);
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn clamp_unit_bounds() {
+        assert!(clamp_unit(-1.0) > 0.0);
+        assert!(clamp_unit(2.0) < 1.0);
+        assert_eq!(clamp_unit(0.5), 0.5);
+    }
+
+    #[test]
+    fn determinism_with_same_seed() {
+        let mut a = rng();
+        let mut b = rng();
+        for _ in 0..100 {
+            assert_eq!(standard_normal(&mut a), standard_normal(&mut b));
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! # d2pr-datagen
+//!
+//! Synthetic world generation for the D2PR reproduction. The paper evaluates
+//! on four affiliation datasets (IMDB×MovieLens, DBLP, Last.fm, Epinions)
+//! that are not redistributable; this crate generates statistical stand-ins
+//! whose *mechanics* — not just marginals — match the paper's causal story:
+//!
+//! * [`affiliation`] — the budget–cost membership model ("acquiring
+//!   additional edges has a cost correlated with the significance of the
+//!   neighbor … each node has a limited budget", §1.2.1);
+//! * [`significance`] — application significance synthesis (quality-like
+//!   average ratings vs volume-like citation/listen counts);
+//! * [`worlds`] — the four dataset presets and the paper's eight data
+//!   graphs with their expected application groups;
+//! * [`ratings`] — per-interaction 1–5 star ratings for the
+//!   recommendation-flow examples;
+//! * [`dist`] — the small random-variate toolkit behind it all.
+//!
+//! ```
+//! use d2pr_datagen::worlds::{Dataset, PaperGraph, World};
+//!
+//! let world = World::generate(Dataset::Epinions, 0.02, 7).unwrap();
+//! let (graph, significance) = PaperGraph::EpinionsProductProduct.view(&world);
+//! assert_eq!(graph.num_nodes(), significance.len());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod affiliation;
+pub mod dist;
+pub mod ratings;
+pub mod significance;
+pub mod worlds;
+
+pub use affiliation::{Affiliation, AffiliationConfig};
+pub use significance::SignificanceModel;
+pub use worlds::{ApplicationGroup, Dataset, PaperGraph, World};

@@ -1,0 +1,159 @@
+//! Explicit per-membership ratings (the MovieLens-style 1–5 star signal).
+//!
+//! The paper merges IMDB with MovieLens to obtain user ratings and uses the
+//! *average* rating as node significance. The worlds in [`crate::worlds`]
+//! synthesize significance directly; this module additionally materializes
+//! individual `(entity, container, stars)` ratings so the examples can show
+//! end-to-end recommendation flows (and so held-out evaluation of top-k
+//! metrics has per-interaction data to split).
+
+use crate::affiliation::Affiliation;
+use crate::dist;
+use d2pr_graph::csr::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One rating event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rating {
+    /// The rating entity (user).
+    pub entity: NodeId,
+    /// The rated container (movie/product/…).
+    pub container: NodeId,
+    /// Stars in `[1, 5]`, half-star granularity.
+    pub stars: f64,
+}
+
+/// Generate one rating per membership: container quality drives the rating,
+/// entity ambition adds a critic effect (ambitious raters grade harder), and
+/// Gaussian noise is quantized to half stars.
+pub fn generate_ratings(affiliation: &Affiliation, noise: f64, seed: u64) -> Vec<Rating> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5A75);
+    let mut out = Vec::with_capacity(affiliation.bipartite.num_memberships());
+    for (e, c) in affiliation.bipartite.memberships() {
+        let q = affiliation.container_quality[c as usize];
+        let critic = affiliation.entity_ambition[e as usize] - 0.5; // ±0.5
+        let raw = 1.0 + 4.0 * q - critic + noise * dist::standard_normal(&mut rng);
+        let stars = (raw * 2.0).round() / 2.0;
+        out.push(Rating { entity: e, container: c, stars: stars.clamp(1.0, 5.0) });
+    }
+    out
+}
+
+/// Mean stars per container (`None` entries for unrated containers).
+pub fn mean_container_rating(ratings: &[Rating], num_containers: usize) -> Vec<Option<f64>> {
+    let mut sums = vec![0.0f64; num_containers];
+    let mut counts = vec![0usize; num_containers];
+    for r in ratings {
+        sums[r.container as usize] += r.stars;
+        counts[r.container as usize] += 1;
+    }
+    (0..num_containers)
+        .map(|c| (counts[c] > 0).then(|| sums[c] / counts[c] as f64))
+        .collect()
+}
+
+/// Deterministically split ratings into train/test by hashing the pair ids;
+/// `test_fraction` of ratings land in the second vector.
+pub fn train_test_split(
+    ratings: &[Rating],
+    test_fraction: f64,
+    seed: u64,
+) -> (Vec<Rating>, Vec<Rating>) {
+    assert!((0.0..=1.0).contains(&test_fraction), "test_fraction must lie in [0,1]");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7E57);
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    for &r in ratings {
+        if rng.gen::<f64>() < test_fraction {
+            test.push(r);
+        } else {
+            train.push(r);
+        }
+    }
+    (train, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::affiliation::AffiliationConfig;
+    use d2pr_stats::correlation::spearman;
+
+    fn affiliation() -> Affiliation {
+        AffiliationConfig {
+            num_entities: 300,
+            num_containers: 400,
+            mean_budget: 6.0,
+            seed: 5,
+            ..Default::default()
+        }
+        .generate()
+        .unwrap()
+    }
+
+    #[test]
+    fn ratings_cover_memberships_and_range() {
+        let a = affiliation();
+        let rs = generate_ratings(&a, 0.3, 1);
+        assert_eq!(rs.len(), a.bipartite.num_memberships());
+        for r in &rs {
+            assert!((1.0..=5.0).contains(&r.stars));
+            assert_eq!(r.stars * 2.0, (r.stars * 2.0).round(), "half-star granularity");
+        }
+    }
+
+    #[test]
+    fn ratings_track_container_quality() {
+        let a = affiliation();
+        let rs = generate_ratings(&a, 0.2, 1);
+        let means = mean_container_rating(&rs, a.bipartite.num_right());
+        let mut qs = Vec::new();
+        let mut ms = Vec::new();
+        for (c, m) in means.iter().enumerate() {
+            if let Some(m) = m {
+                qs.push(a.container_quality[c]);
+                ms.push(*m);
+            }
+        }
+        let rho = spearman(&qs, &ms).unwrap();
+        assert!(rho > 0.6, "ratings should track quality, rho={rho}");
+    }
+
+    #[test]
+    fn unrated_containers_are_none() {
+        let means = mean_container_rating(&[], 3);
+        assert_eq!(means, vec![None, None, None]);
+    }
+
+    #[test]
+    fn split_fractions_roughly_respected() {
+        let a = affiliation();
+        let rs = generate_ratings(&a, 0.3, 2);
+        let (train, test) = train_test_split(&rs, 0.25, 9);
+        assert_eq!(train.len() + test.len(), rs.len());
+        let frac = test.len() as f64 / rs.len() as f64;
+        assert!((frac - 0.25).abs() < 0.07, "test fraction {frac}");
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let a = affiliation();
+        let rs = generate_ratings(&a, 0.3, 2);
+        let (t1, _) = train_test_split(&rs, 0.5, 3);
+        let (t2, _) = train_test_split(&rs, 0.5, 3);
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn extreme_split_fractions() {
+        let a = affiliation();
+        let rs = generate_ratings(&a, 0.3, 2);
+        let (train, test) = train_test_split(&rs, 0.0, 1);
+        assert!(test.is_empty());
+        assert_eq!(train.len(), rs.len());
+        let (train2, test2) = train_test_split(&rs, 1.0, 1);
+        assert!(train2.is_empty());
+        assert_eq!(test2.len(), rs.len());
+    }
+}

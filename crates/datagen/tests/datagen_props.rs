@@ -1,0 +1,132 @@
+//! Property-based tests for the synthetic world generator.
+
+use d2pr_datagen::affiliation::AffiliationConfig;
+use d2pr_datagen::ratings::{generate_ratings, train_test_split};
+use d2pr_datagen::significance::SignificanceModel;
+use d2pr_datagen::worlds::{Dataset, PaperGraph, World};
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = AffiliationConfig> {
+    (
+        50usize..200,
+        50usize..200,
+        1.5f64..10.0,
+        0.1f64..1.2,
+        0.0f64..3.0,
+        0.0f64..=1.0,
+        0.0f64..=1.0,
+        any::<u64>(),
+    )
+        .prop_map(
+            |(ne, nc, budget, sigma, cost, ambition, popularity, seed)| AffiliationConfig {
+                num_entities: ne,
+                num_containers: nc,
+                mean_budget: budget,
+                budget_sigma: sigma,
+                quality_cost_coupling: cost,
+                ambition_strength: ambition,
+                popularity_bias: popularity,
+                quality_shape_a: 2.0,
+                quality_shape_b: 2.0,
+                seed,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The affiliation generator always produces structurally valid output:
+    /// qualities in (0,1), memberships in range, determinism per seed.
+    #[test]
+    fn affiliation_always_valid(cfg in arb_config()) {
+        let a = cfg.generate().expect("generation succeeds");
+        prop_assert_eq!(a.bipartite.num_left(), cfg.num_entities);
+        prop_assert_eq!(a.bipartite.num_right(), cfg.num_containers);
+        prop_assert!(a.container_quality.iter().all(|&q| (0.0..=1.0).contains(&q)));
+        prop_assert!(a.entity_quality.iter().all(|&q| (0.0..=1.0).contains(&q)));
+        prop_assert_eq!(a.entity_ambition.len(), cfg.num_entities);
+        // determinism
+        let b = cfg.generate().expect("generation succeeds");
+        prop_assert_eq!(a.bipartite, b.bipartite);
+    }
+
+    /// Budgets bound memberships: no entity exceeds its hard cap, and total
+    /// memberships grow with the mean budget.
+    #[test]
+    fn memberships_respect_budget_cap(cfg in arb_config()) {
+        let a = cfg.generate().expect("generation succeeds");
+        let cap = cfg.num_containers.min(4_096) as u32;
+        for e in 0..cfg.num_entities as u32 {
+            prop_assert!(a.bipartite.left_degree(e) <= cap);
+        }
+    }
+
+    /// Significance synthesis is total and finite for every model.
+    #[test]
+    fn significance_always_finite(
+        cfg in arb_config(),
+        coupling in -1.0f64..1.0,
+        noise in 0.0f64..1.0,
+        eta in 0.1f64..2.0,
+        seed in any::<u64>(),
+    ) {
+        let a = cfg.generate().expect("generation succeeds");
+        let degs: Vec<u32> =
+            (0..cfg.num_entities as u32).map(|e| a.bipartite.left_degree(e)).collect();
+        for model in [
+            SignificanceModel::QualityBased { degree_coupling: coupling, noise },
+            SignificanceModel::VolumeBased { eta, noise },
+        ] {
+            let s = model.synthesize(&a.entity_quality, &degs, seed);
+            prop_assert_eq!(s.len(), cfg.num_entities);
+            prop_assert!(s.iter().all(|x| x.is_finite()));
+        }
+    }
+
+    /// Ratings are always on the half-star 1–5 scale and splits partition.
+    #[test]
+    fn ratings_valid_and_split_partitions(
+        cfg in arb_config(),
+        noise in 0.0f64..1.0,
+        frac in 0.0f64..=1.0,
+        seed in any::<u64>(),
+    ) {
+        let a = cfg.generate().expect("generation succeeds");
+        let rs = generate_ratings(&a, noise, seed);
+        prop_assert_eq!(rs.len(), a.bipartite.num_memberships());
+        for r in &rs {
+            prop_assert!((1.0..=5.0).contains(&r.stars));
+            prop_assert_eq!(r.stars * 2.0, (r.stars * 2.0).round());
+        }
+        let (train, test) = train_test_split(&rs, frac, seed);
+        prop_assert_eq!(train.len() + test.len(), rs.len());
+    }
+}
+
+/// Worlds generate for every dataset across seeds, with matching
+/// graph/significance arities on both sides (not a proptest: generation is
+/// the expensive part, so a small explicit seed set keeps this fast).
+#[test]
+fn worlds_generate_across_seeds() {
+    for dataset in Dataset::all() {
+        for seed in [1u64, 99, 12345] {
+            let w = World::generate(dataset, 0.01, seed).expect("world generates");
+            assert_eq!(w.entity_graph.num_nodes(), w.entity_significance.len());
+            assert_eq!(w.container_graph.num_nodes(), w.container_significance.len());
+            assert!(w.entity_significance.iter().all(|x| x.is_finite()));
+            assert!(w.container_significance.iter().all(|x| x.is_finite()));
+        }
+    }
+}
+
+/// Every paper graph view is consistent with its world at a second scale.
+#[test]
+fn paper_graph_views_consistent() {
+    for pg in PaperGraph::all() {
+        let w = World::generate(pg.dataset(), 0.015, 7).expect("world generates");
+        let (g, s) = pg.view(&w);
+        assert_eq!(g.num_nodes(), s.len(), "{}", pg.name());
+        assert!(g.num_edges() > 0, "{}: empty graph", pg.name());
+    }
+}

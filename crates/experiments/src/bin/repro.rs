@@ -1,0 +1,209 @@
+//! `repro` — regenerate every table and figure of the D2PR paper.
+//!
+//! ```text
+//! repro [--scale S] [--seed N] [--csv] <experiment>
+//!
+//! experiments:
+//!   table1 table2 table3 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8
+//!   fig9 fig10 fig11 all
+//! ```
+//!
+//! `--scale` scales the generated worlds relative to the paper's Table 3
+//! node counts (default 0.05 ≈ tens of seconds of wall time; 1.0
+//! regenerates paper-sized graphs).
+
+use d2pr_datagen::worlds::ApplicationGroup;
+use d2pr_experiments::experiments::{
+    fig1_report, fig5_report, group_alpha_sweep, group_beta_sweep, group_p_sweep,
+    group_p_sweep_report, optimum_summary, series_report, table1_report, table2_report,
+    table3_report, ExperimentContext, GraphSweep,
+};
+use std::process::ExitCode;
+
+struct Options {
+    scale: f64,
+    seed: u64,
+    csv: bool,
+    experiment: String,
+}
+
+const USAGE: &str = "usage: repro [--scale S] [--seed N] [--csv] \
+<table1|table2|table3|fig1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|recs|rewire|stability|all>";
+
+fn parse_args() -> Result<Options, String> {
+    let mut scale = 0.05;
+    let mut seed = 42;
+    let mut csv = false;
+    let mut experiment = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                scale = args
+                    .next()
+                    .ok_or("--scale needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --scale: {e}"))?;
+            }
+            "--seed" => {
+                seed = args
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--csv" => csv = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other if !other.starts_with('-') => experiment = Some(other.to_string()),
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    Ok(Options { scale, seed, csv, experiment: experiment.ok_or_else(|| USAGE.to_string())? })
+}
+
+fn print_table(title: &str, t: &d2pr_experiments::report::TextTable, csv: bool) {
+    println!("== {title} ==");
+    if csv {
+        print!("{}", t.to_csv());
+    } else {
+        print!("{}", t.render());
+    }
+    println!();
+}
+
+fn print_sweeps(title: &str, sweeps: &[GraphSweep], csv: bool) {
+    print_table(title, &group_p_sweep_report(sweeps), csv);
+    print_table(&format!("{title}: optima"), &optimum_summary(sweeps), csv);
+}
+
+fn print_series(title: &str, sweeps: &[GraphSweep], beta: bool, csv: bool) {
+    for s in sweeps {
+        print_table(&format!("{title}: {}", s.graph.name()), &series_report(s, beta), csv);
+    }
+    print_table(&format!("{title}: optima"), &optimum_summary(sweeps), csv);
+}
+
+fn run(opts: &Options) -> Result<(), String> {
+    let all = opts.experiment == "all";
+    let want = |name: &str| all || opts.experiment == name;
+    let known = [
+        "table1", "table2", "table3", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+        "fig8", "fig9", "fig10", "fig11", "recs", "rewire", "stability",
+    ];
+    if !all && !known.contains(&opts.experiment.as_str()) {
+        return Err(format!("unknown experiment '{}'\n{USAGE}", opts.experiment));
+    }
+
+    let needs_ctx = all || opts.experiment != "fig1";
+    let ctx = if needs_ctx {
+        eprintln!("generating worlds (scale {}, seed {}) ...", opts.scale, opts.seed);
+        Some(ExperimentContext::new(opts.scale, opts.seed).map_err(|e| e.to_string())?)
+    } else {
+        None
+    };
+    let ctx = ctx.as_ref();
+    let csv = opts.csv;
+
+    if want("table1") {
+        print_table(
+            "Table 1: Spearman(degree rank, PageRank rank)",
+            &table1_report(ctx.expect("ctx present")),
+            csv,
+        );
+    }
+    if want("table2") {
+        print_table(
+            "Table 2: node ranks under different p",
+            &table2_report(ctx.expect("ctx present")),
+            csv,
+        );
+    }
+    if want("table3") {
+        print_table(
+            "Table 3: data graph statistics",
+            &table3_report(ctx.expect("ctx present")),
+            csv,
+        );
+    }
+    if want("fig1") {
+        print_table("Figure 1: transition probabilities from A", &fig1_report(), csv);
+    }
+    let groups = [
+        ("fig2", "fig6", "fig9", ApplicationGroup::A),
+        ("fig3", "fig7", "fig10", ApplicationGroup::B),
+        ("fig4", "fig8", "fig11", ApplicationGroup::C),
+    ];
+    for (fig_p, fig_alpha, fig_beta, group) in groups {
+        if want(fig_p) {
+            let sweeps = group_p_sweep(ctx.expect("ctx present"), group);
+            print_sweeps(&format!("{fig_p}: group {group:?} p sweep (unweighted)"), &sweeps, csv);
+        }
+        if want(fig_alpha) {
+            let sweeps = group_alpha_sweep(ctx.expect("ctx present"), group);
+            print_series(
+                &format!("{fig_alpha}: group {group:?} alpha x p (unweighted)"),
+                &sweeps,
+                false,
+                csv,
+            );
+        }
+        if want(fig_beta) {
+            let sweeps = group_beta_sweep(ctx.expect("ctx present"), group);
+            print_series(
+                &format!("{fig_beta}: group {group:?} beta x p (weighted)"),
+                &sweeps,
+                true,
+                csv,
+            );
+        }
+    }
+    if want("fig5") {
+        print_table(
+            "Figure 5: corr(degree, significance)",
+            &fig5_report(ctx.expect("ctx present")),
+            csv,
+        );
+    }
+    if want("stability") {
+        let seeds: Vec<u64> = (0..5).map(|i| opts.seed.wrapping_add(i)).collect();
+        eprintln!("stability: regenerating all worlds for seeds {seeds:?} ...");
+        let results = d2pr_experiments::stability::stability_analysis(opts.scale, &seeds)
+            .map_err(|e| e.to_string())?;
+        print_table(
+            "Seed stability: optima across independently regenerated worlds",
+            &d2pr_experiments::stability::stability_report(&results),
+            csv,
+        );
+    }
+    if want("rewire") {
+        print_table(
+            "Rewiring ablation: D2PR gain on original vs degree-preserving rewired graphs",
+            &d2pr_experiments::ablation::rewire_report(ctx.expect("ctx present")),
+            csv,
+        );
+    }
+    if want("recs") {
+        print_table(
+            "Recommendation accuracy: conventional PageRank vs D2PR (extension)",
+            &d2pr_experiments::recommendation::recommendation_report(ctx.expect("ctx present")),
+            csv,
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match parse_args() {
+        Ok(opts) => match run(&opts) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

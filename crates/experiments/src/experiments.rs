@@ -1,0 +1,503 @@
+//! One function per paper table/figure.
+//!
+//! Every experiment consumes an [`ExperimentContext`] (the four generated
+//! worlds at a chosen scale/seed) and returns both structured results (for
+//! integration tests and EXPERIMENTS.md) and a rendered [`TextTable`].
+
+use crate::report::{fmt_corr, fmt_f, TextTable};
+use crate::sweep::{best_point, correlation_with_significance, curve, GridPoint, SweepConfig};
+use d2pr_core::d2pr::D2pr;
+use d2pr_core::kernel::DegreeKernel;
+use d2pr_datagen::worlds::{ApplicationGroup, Dataset, PaperGraph, World};
+use d2pr_graph::csr::CsrGraph;
+use d2pr_graph::error::Result;
+use d2pr_graph::stats::{degree_stats, degrees_f64};
+use d2pr_stats::rank::{ordinal_ranks, RankOrder};
+use std::collections::HashMap;
+
+/// The generated worlds shared by all experiments.
+#[derive(Debug)]
+pub struct ExperimentContext {
+    /// Graph scale relative to the paper's Table 3 sizes.
+    pub scale: f64,
+    /// Master seed.
+    pub seed: u64,
+    worlds: HashMap<Dataset, World>,
+}
+
+impl ExperimentContext {
+    /// Generate all four dataset worlds.
+    ///
+    /// # Errors
+    /// Propagates generator failures.
+    pub fn new(scale: f64, seed: u64) -> Result<Self> {
+        let mut worlds = HashMap::new();
+        for d in Dataset::all() {
+            worlds.insert(d, World::generate(d, scale, seed)?);
+        }
+        Ok(Self { scale, seed, worlds })
+    }
+
+    /// Access a generated world.
+    pub fn world(&self, dataset: Dataset) -> &World {
+        &self.worlds[&dataset]
+    }
+
+    /// The unweighted variant of a paper graph plus its significance
+    /// (Figures 2–8 all use unweighted graphs).
+    pub fn unweighted(&self, graph: PaperGraph) -> (CsrGraph, Vec<f64>) {
+        let (g, s) = graph.view(self.world(graph.dataset()));
+        (g.to_unweighted(), s.to_vec())
+    }
+
+    /// The weighted variant (Figures 9–11).
+    pub fn weighted(&self, graph: PaperGraph) -> (CsrGraph, Vec<f64>) {
+        let (g, s) = graph.view(self.world(graph.dataset()));
+        (g.clone(), s.to_vec())
+    }
+
+    /// The paper graphs belonging to one application group, figure order.
+    pub fn group_members(group: ApplicationGroup) -> Vec<PaperGraph> {
+        match group {
+            ApplicationGroup::A => vec![
+                PaperGraph::ImdbActorActor,
+                PaperGraph::EpinionsCommenterCommenter,
+                PaperGraph::EpinionsProductProduct,
+            ],
+            ApplicationGroup::B => {
+                vec![PaperGraph::DblpAuthorAuthor, PaperGraph::ImdbMovieMovie]
+            }
+            ApplicationGroup::C => vec![
+                PaperGraph::DblpArticleArticle,
+                PaperGraph::LastfmListenerListener,
+                PaperGraph::LastfmArtistArtist,
+            ],
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Table 1
+// ---------------------------------------------------------------------------
+
+/// Spearman correlation between node degree and conventional PageRank
+/// (p = 0, α = 0.85) on one graph — one cell of the paper's Table 1.
+pub fn degree_pagerank_coupling(graph: &CsrGraph) -> f64 {
+    let engine = D2pr::new(graph);
+    let scores = engine.scores(0.0).expect("default parameters are valid").scores;
+    let degs = degrees_f64(graph);
+    correlation_with_significance(&scores, &degs)
+}
+
+/// Structured Table 1: the three graphs the paper reports.
+pub fn table1(ctx: &ExperimentContext) -> Vec<(PaperGraph, f64)> {
+    // Paper: Listener (Last.fm friendship), Article (DBLP), Movie (IMDB).
+    [
+        PaperGraph::LastfmListenerListener,
+        PaperGraph::DblpArticleArticle,
+        PaperGraph::ImdbMovieMovie,
+    ]
+    .into_iter()
+    .map(|pg| {
+        let (g, _) = ctx.unweighted(pg);
+        (pg, degree_pagerank_coupling(&g))
+    })
+    .collect()
+}
+
+/// Rendered Table 1 with the paper's reference values.
+pub fn table1_report(ctx: &ExperimentContext) -> TextTable {
+    let paper = [0.988, 0.997, 0.848];
+    let mut t = TextTable::new(vec!["data graph", "paper rho", "measured rho"]);
+    for ((pg, rho), paper_rho) in table1(ctx).into_iter().zip(paper) {
+        t.push_row(vec![pg.name().to_string(), fmt_f(paper_rho, 3), fmt_corr(rho)]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------------
+// Table 2
+// ---------------------------------------------------------------------------
+
+/// One row of Table 2: a node, its degree, and its D2PR rank at each `p`.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Node id in the sample graph.
+    pub node: u32,
+    /// Node degree.
+    pub degree: u32,
+    /// Ordinal rank (1 = best) at each swept `p`.
+    pub ranks: Vec<usize>,
+}
+
+/// Table 2: ranks of the highest- and lowest-degree nodes under
+/// `p ∈ {−4, −2, 0, 2, 4}` on the Group-A sample graph (IMDB actor–actor).
+pub fn table2(ctx: &ExperimentContext) -> (Vec<f64>, Vec<Table2Row>) {
+    let ps = vec![-4.0, -2.0, 0.0, 2.0, 4.0];
+    let (g, _) = ctx.unweighted(PaperGraph::ImdbActorActor);
+    let engine = D2pr::new(&g);
+    let mut per_p_ranks: Vec<Vec<usize>> = Vec::new();
+    for &p in &ps {
+        let scores = engine.scores(p).expect("valid parameters").scores;
+        per_p_ranks.push(ordinal_ranks(&scores, RankOrder::Descending));
+    }
+    // Two highest-degree and two lowest-degree (non-isolated) nodes.
+    let mut by_degree: Vec<u32> = g.nodes().filter(|&v| g.out_degree(v) > 0).collect();
+    by_degree.sort_by_key(|&v| std::cmp::Reverse(g.out_degree(v)));
+    let mut picks: Vec<u32> = by_degree.iter().take(2).copied().collect();
+    picks.extend(by_degree.iter().rev().take(2).copied());
+    let rows = picks
+        .into_iter()
+        .map(|v| Table2Row {
+            node: v,
+            degree: g.out_degree(v),
+            ranks: per_p_ranks.iter().map(|r| r[v as usize]).collect(),
+        })
+        .collect();
+    (ps, rows)
+}
+
+/// Rendered Table 2.
+pub fn table2_report(ctx: &ExperimentContext) -> TextTable {
+    let (ps, rows) = table2(ctx);
+    let mut header = vec!["node".to_string(), "degree".to_string()];
+    header.extend(ps.iter().map(|p| format!("rank@p={p}")));
+    let mut t = TextTable::new(header);
+    for r in rows {
+        let mut row = vec![r.node.to_string(), r.degree.to_string()];
+        row.extend(r.ranks.iter().map(|x| x.to_string()));
+        t.push_row(row);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------------
+// Table 3
+// ---------------------------------------------------------------------------
+
+/// Rendered Table 3: statistics of all eight generated data graphs, with
+/// the paper's reference rows for comparison.
+pub fn table3_report(ctx: &ExperimentContext) -> TextTable {
+    let mut t = TextTable::new(vec![
+        "data graph",
+        "nodes",
+        "edges",
+        "avg deg",
+        "std deg",
+        "med nbr-deg std",
+    ]);
+    for pg in PaperGraph::all() {
+        let (g, _) = ctx.weighted(pg);
+        let s = degree_stats(&g);
+        t.push_row(vec![
+            pg.name().to_string(),
+            s.num_nodes.to_string(),
+            s.num_edges.to_string(),
+            fmt_f(s.avg_degree, 2),
+            fmt_f(s.std_degree, 2),
+            fmt_f(s.median_neighbor_degree_std, 2),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------------
+// Figure 1
+// ---------------------------------------------------------------------------
+
+/// Rendered Figure 1(b): transition probabilities from node A (neighbors of
+/// degree 2, 3, 1) for `p ∈ {0, 2, −2}` — must match the paper's numbers
+/// 0.33/0.33/0.33, 0.18/0.08/0.74, 0.29/0.64/0.07.
+pub fn fig1_report() -> TextTable {
+    let degs = [2.0, 3.0, 1.0];
+    let labels = ["B (deg 2)", "C (deg 3)", "D (deg 1)"];
+    let mut t = TextTable::new(vec!["dest", "p=0", "p=2", "p=-2"]);
+    let rows: Vec<Vec<f64>> =
+        [0.0, 2.0, -2.0].iter().map(|&p| DegreeKernel::new(p).normalize(&degs)).collect();
+    for (i, label) in labels.iter().enumerate() {
+        t.push_row(vec![
+            label.to_string(),
+            fmt_f(rows[0][i], 3),
+            fmt_f(rows[1][i], 3),
+            fmt_f(rows[2][i], 3),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------------
+// Figures 2–4 (p sweeps per application group)
+// ---------------------------------------------------------------------------
+
+/// A labelled sweep result for one paper graph.
+#[derive(Debug, Clone)]
+pub struct GraphSweep {
+    /// Which data graph.
+    pub graph: PaperGraph,
+    /// All evaluated grid points.
+    pub points: Vec<GridPoint>,
+}
+
+impl GraphSweep {
+    /// The best point of the sweep.
+    pub fn best(&self) -> GridPoint {
+        best_point(&self.points).expect("sweep is never empty")
+    }
+
+    /// Correlation at `p = 0` for the default α/β curve (conventional
+    /// PageRank baseline).
+    pub fn conventional(&self) -> f64 {
+        self.points
+            .iter()
+            .find(|pt| pt.p == 0.0)
+            .map(|pt| pt.spearman)
+            .expect("grid contains p = 0")
+    }
+}
+
+/// Run the unweighted p sweep (α = 0.85, β = 0) for every graph in a group
+/// (Figure 2 for Group A, 3 for B, 4 for C).
+pub fn group_p_sweep(ctx: &ExperimentContext, group: ApplicationGroup) -> Vec<GraphSweep> {
+    let cfg = SweepConfig::default();
+    ExperimentContext::group_members(group)
+        .into_iter()
+        .map(|pg| {
+            let (g, s) = ctx.unweighted(pg);
+            GraphSweep { graph: pg, points: cfg.run(&g, &s) }
+        })
+        .collect()
+}
+
+/// Rendered p-sweep figure: one row per `p`, one column per graph, plus a
+/// summary of optima.
+pub fn group_p_sweep_report(sweeps: &[GraphSweep]) -> TextTable {
+    let mut header = vec!["p".to_string()];
+    header.extend(sweeps.iter().map(|s| s.graph.name().to_string()));
+    let mut t = TextTable::new(header);
+    if sweeps.is_empty() {
+        return t;
+    }
+    let ps: Vec<f64> = curve(&sweeps[0].points, 0.85, 0.0).iter().map(|pt| pt.p).collect();
+    for &p in &ps {
+        let mut row = vec![format!("{p:+.1}")];
+        for s in sweeps {
+            let pt = s
+                .points
+                .iter()
+                .find(|pt| pt.p == p)
+                .expect("all sweeps share the grid");
+            row.push(fmt_corr(pt.spearman));
+        }
+        t.push_row(row);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5
+// ---------------------------------------------------------------------------
+
+/// Correlation between node degrees and application significance per graph
+/// (no PageRank involved) — the grouping evidence of Figure 5.
+pub fn fig5(ctx: &ExperimentContext) -> Vec<(PaperGraph, f64)> {
+    PaperGraph::all()
+        .into_iter()
+        .map(|pg| {
+            let (g, s) = ctx.unweighted(pg);
+            let degs = degrees_f64(&g);
+            (pg, correlation_with_significance(&degs, &s))
+        })
+        .collect()
+}
+
+/// Rendered Figure 5.
+pub fn fig5_report(ctx: &ExperimentContext) -> TextTable {
+    let mut t = TextTable::new(vec!["data graph", "group", "corr(degree, significance)"]);
+    for (pg, rho) in fig5(ctx) {
+        t.push_row(vec![
+            pg.name().to_string(),
+            format!("{:?}", pg.group()),
+            fmt_corr(rho),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------------
+// Figures 6–8 (α × p) and 9–11 (β × p)
+// ---------------------------------------------------------------------------
+
+/// Run the α × p grid on the group's unweighted graphs (Figures 6–8).
+pub fn group_alpha_sweep(ctx: &ExperimentContext, group: ApplicationGroup) -> Vec<GraphSweep> {
+    let cfg = SweepConfig { alphas: SweepConfig::paper_alphas(), ..Default::default() };
+    ExperimentContext::group_members(group)
+        .into_iter()
+        .map(|pg| {
+            let (g, s) = ctx.unweighted(pg);
+            GraphSweep { graph: pg, points: cfg.run(&g, &s) }
+        })
+        .collect()
+}
+
+/// Run the β × p grid on the group's weighted graphs at α = 0.85
+/// (Figures 9–11).
+pub fn group_beta_sweep(ctx: &ExperimentContext, group: ApplicationGroup) -> Vec<GraphSweep> {
+    let cfg = SweepConfig { betas: SweepConfig::paper_betas(), ..Default::default() };
+    ExperimentContext::group_members(group)
+        .into_iter()
+        .map(|pg| {
+            let (g, s) = ctx.weighted(pg);
+            GraphSweep { graph: pg, points: cfg.run(&g, &s) }
+        })
+        .collect()
+}
+
+/// Render one graph's multi-series sweep: one row per `p`, one column per
+/// α (or β) value.
+pub fn series_report(sweep: &GraphSweep, series_is_beta: bool) -> TextTable {
+    let mut series: Vec<f64> = sweep
+        .points
+        .iter()
+        .map(|pt| if series_is_beta { pt.beta } else { pt.alpha })
+        .collect();
+    series.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    series.dedup();
+    let mut ps: Vec<f64> = sweep.points.iter().map(|pt| pt.p).collect();
+    ps.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    ps.dedup();
+
+    let label = if series_is_beta { "beta" } else { "alpha" };
+    let mut header = vec!["p".to_string()];
+    header.extend(series.iter().map(|v| format!("{label}={v}")));
+    let mut t = TextTable::new(header);
+    for &p in &ps {
+        let mut row = vec![format!("{p:+.1}")];
+        for &sv in &series {
+            let pt = sweep
+                .points
+                .iter()
+                .find(|pt| {
+                    pt.p == p
+                        && if series_is_beta {
+                            (pt.beta - sv).abs() < 1e-12
+                        } else {
+                            (pt.alpha - sv).abs() < 1e-12
+                        }
+                })
+                .expect("full grid");
+            row.push(fmt_corr(pt.spearman));
+        }
+        t.push_row(row);
+    }
+    t
+}
+
+/// Summary line used by the repro binary after each sweep.
+pub fn optimum_summary(sweeps: &[GraphSweep]) -> TextTable {
+    let mut t = TextTable::new(vec![
+        "data graph",
+        "group",
+        "best p",
+        "best alpha",
+        "best beta",
+        "best rho",
+        "rho at p=0",
+    ]);
+    for s in sweeps {
+        let b = s.best();
+        t.push_row(vec![
+            s.graph.name().to_string(),
+            format!("{:?}", s.graph.group()),
+            format!("{:+.1}", b.p),
+            format!("{:.2}", b.alpha),
+            format!("{:.2}", b.beta),
+            fmt_corr(b.spearman),
+            fmt_corr(s.conventional()),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> ExperimentContext {
+        ExperimentContext::new(0.02, 17).unwrap()
+    }
+
+    #[test]
+    fn context_generates_all_worlds() {
+        let c = ctx();
+        for d in Dataset::all() {
+            assert!(c.world(d).entity_graph.num_nodes() > 0);
+        }
+        let (g, s) = c.unweighted(PaperGraph::ImdbActorActor);
+        assert!(!g.is_weighted());
+        assert_eq!(g.num_nodes(), s.len());
+        let (gw, _) = c.weighted(PaperGraph::ImdbActorActor);
+        assert!(gw.is_weighted());
+    }
+
+    #[test]
+    fn table1_values_high() {
+        let c = ctx();
+        for (pg, rho) in table1(&c) {
+            assert!(rho > 0.5, "{} coupling too weak: {rho}", pg.name());
+        }
+        let rendered = table1_report(&c);
+        assert_eq!(rendered.num_rows(), 3);
+    }
+
+    #[test]
+    fn table2_high_degree_nodes_fall_with_positive_p() {
+        let c = ctx();
+        let (ps, rows) = table2(&c);
+        assert_eq!(ps, vec![-4.0, -2.0, 0.0, 2.0, 4.0]);
+        assert_eq!(rows.len(), 4);
+        // Highest-degree node: rank at p=-4 (boost) better than at p=+4.
+        let top = &rows[0];
+        assert!(
+            top.ranks[0] < top.ranks[4],
+            "high-degree node should fall when p grows: {:?}",
+            top.ranks
+        );
+        // Lowest-degree node: rank improves as p grows.
+        let bottom = rows.last().unwrap();
+        assert!(
+            bottom.ranks[0] > bottom.ranks[4],
+            "low-degree node should rise when p grows: {:?}",
+            bottom.ranks
+        );
+    }
+
+    #[test]
+    fn fig1_matches_paper_numbers() {
+        let t = fig1_report();
+        let s = t.render();
+        // exact values behind the paper's rounded 0.33/0.74/0.64
+        assert!(s.contains("0.333"), "{s}");
+        assert!(s.contains("0.735"), "{s}");
+        assert!(s.contains("0.643"), "{s}");
+    }
+
+    #[test]
+    fn group_members_cover_all_graphs() {
+        let mut n = 0;
+        for g in [ApplicationGroup::A, ApplicationGroup::B, ApplicationGroup::C] {
+            n += ExperimentContext::group_members(g).len();
+        }
+        assert_eq!(n, 8);
+    }
+
+    #[test]
+    fn sweep_report_shapes() {
+        let c = ctx();
+        let sweeps = group_p_sweep(&c, ApplicationGroup::B);
+        assert_eq!(sweeps.len(), 2);
+        let report = group_p_sweep_report(&sweeps);
+        assert_eq!(report.num_rows(), 17); // paper grid
+        let summary = optimum_summary(&sweeps);
+        assert_eq!(summary.num_rows(), 2);
+    }
+}

@@ -1,0 +1,17 @@
+//! # d2pr-experiments
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! paper's evaluation (§4). The `repro` binary exposes one subcommand per
+//! experiment; this library holds the sweep engine and table formatting so
+//! integration tests and benches can reuse them.
+
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod experiments;
+pub mod recommendation;
+pub mod report;
+pub mod stability;
+pub mod sweep;
+
+pub use sweep::{correlation_with_significance, GridPoint, SweepConfig};

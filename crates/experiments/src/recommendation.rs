@@ -1,0 +1,164 @@
+//! Recommendation-accuracy evaluation (extension, DESIGN.md §6).
+//!
+//! The paper's abstract claims D2PR "improves the effectiveness of
+//! PageRank based … recommendation systems" but evaluates only rank
+//! correlations. This experiment closes the loop: treat the top-quartile
+//! significant nodes as the relevant set, rank nodes with conventional
+//! PageRank vs the group-appropriate D2PR, and report top-k retrieval
+//! quality (precision@k, NDCG@k, average precision).
+
+use crate::report::{fmt_f, TextTable};
+use crate::sweep::best_point;
+use crate::sweep::SweepConfig;
+use d2pr_core::d2pr::D2pr;
+use d2pr_datagen::worlds::PaperGraph;
+use d2pr_graph::csr::CsrGraph;
+use d2pr_stats::metrics::{average_precision, ndcg_at_k, precision_at_k};
+use std::collections::HashSet;
+
+/// Retrieval quality of one ranking against a significance signal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetrievalQuality {
+    /// Precision at `k`.
+    pub precision_at_k: f64,
+    /// Normalized DCG at `k`.
+    pub ndcg_at_k: f64,
+    /// Average precision over the full ranking.
+    pub average_precision: f64,
+    /// The `k` used (top 10% of nodes).
+    pub k: usize,
+}
+
+/// Evaluate a score vector as a recommender for the top-quartile significant
+/// nodes. Returns `None` for degenerate inputs (all-equal significance).
+pub fn retrieval_quality(scores: &[f64], significance: &[f64]) -> Option<RetrievalQuality> {
+    let n = scores.len();
+    if n < 8 || scores.len() != significance.len() {
+        return None;
+    }
+    let k = (n / 10).max(1);
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| significance[b].partial_cmp(&significance[a]).expect("finite"));
+    let relevant: HashSet<usize> = order[..n / 4].iter().copied().collect();
+
+    let min = significance.iter().cloned().fold(f64::INFINITY, f64::min);
+    let gains: Vec<f64> = significance.iter().map(|s| s - min).collect();
+
+    let mut ranked: Vec<usize> = (0..n).collect();
+    ranked.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("finite").then(a.cmp(&b)));
+
+    Some(RetrievalQuality {
+        precision_at_k: precision_at_k(&ranked, &relevant, k)?,
+        ndcg_at_k: ndcg_at_k(&ranked, &gains, k)?,
+        average_precision: average_precision(&ranked, &relevant)?,
+        k,
+    })
+}
+
+/// One row of the recommendation comparison.
+#[derive(Debug, Clone)]
+pub struct RecommendationRow {
+    /// Which data graph.
+    pub graph: PaperGraph,
+    /// The de-coupling weight chosen by the correlation sweep.
+    pub best_p: f64,
+    /// Quality of conventional PageRank (p = 0).
+    pub conventional: RetrievalQuality,
+    /// Quality of D2PR at the swept optimum.
+    pub decoupled: RetrievalQuality,
+}
+
+/// Compare conventional vs sweep-optimal D2PR as recommenders on one graph.
+pub fn compare_recommenders(
+    graph: &CsrGraph,
+    significance: &[f64],
+    pg: PaperGraph,
+) -> Option<RecommendationRow> {
+    let cfg = SweepConfig::default();
+    let points = cfg.run(graph, significance);
+    let best = best_point(&points)?;
+    let engine = D2pr::new(graph);
+    let conventional_scores = engine.scores(0.0).ok()?.scores;
+    let decoupled_scores = engine.scores(best.p).ok()?.scores;
+    Some(RecommendationRow {
+        graph: pg,
+        best_p: best.p,
+        conventional: retrieval_quality(&conventional_scores, significance)?,
+        decoupled: retrieval_quality(&decoupled_scores, significance)?,
+    })
+}
+
+/// Run the comparison for every paper graph in a context; render a table.
+pub fn recommendation_report(ctx: &crate::experiments::ExperimentContext) -> TextTable {
+    let mut t = TextTable::new(vec![
+        "data graph",
+        "group",
+        "best p",
+        "P@k (p=0)",
+        "P@k (D2PR)",
+        "NDCG (p=0)",
+        "NDCG (D2PR)",
+        "AP (p=0)",
+        "AP (D2PR)",
+    ]);
+    for pg in PaperGraph::all() {
+        let (g, s) = ctx.unweighted(pg);
+        if let Some(row) = compare_recommenders(&g, &s, pg) {
+            t.push_row(vec![
+                pg.name().to_string(),
+                format!("{:?}", pg.group()),
+                format!("{:+.1}", row.best_p),
+                fmt_f(row.conventional.precision_at_k, 3),
+                fmt_f(row.decoupled.precision_at_k, 3),
+                fmt_f(row.conventional.ndcg_at_k, 3),
+                fmt_f(row.decoupled.ndcg_at_k, 3),
+                fmt_f(row.conventional.average_precision, 3),
+                fmt_f(row.decoupled.average_precision, 3),
+            ]);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use d2pr_graph::generators::barabasi_albert;
+    use d2pr_graph::stats::degrees_f64;
+
+    #[test]
+    fn perfect_scores_achieve_perfect_retrieval() {
+        let sig: Vec<f64> = (0..100).map(f64::from).collect();
+        let q = retrieval_quality(&sig, &sig).expect("defined");
+        assert!((q.precision_at_k - 1.0).abs() < 1e-12);
+        assert!((q.ndcg_at_k - 1.0).abs() < 1e-12);
+        assert!((q.average_precision - 1.0).abs() < 1e-12);
+        assert_eq!(q.k, 10);
+    }
+
+    #[test]
+    fn reversed_scores_perform_poorly() {
+        let sig: Vec<f64> = (0..100).map(f64::from).collect();
+        let rev: Vec<f64> = sig.iter().rev().copied().collect();
+        let q = retrieval_quality(&rev, &sig).expect("defined");
+        assert_eq!(q.precision_at_k, 0.0);
+        assert!(q.average_precision < 0.3);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_none() {
+        assert!(retrieval_quality(&[1.0; 4], &[1.0; 4]).is_none());
+        assert!(retrieval_quality(&[1.0; 10], &[1.0; 9]).is_none());
+    }
+
+    #[test]
+    fn compare_recommenders_runs_on_synthetic_graph() {
+        let g = barabasi_albert(120, 3, 5).unwrap();
+        // Significance = degree: boosting-friendly; the comparison must run
+        // and D2PR-at-best-p must match or beat conventional on P@k.
+        let sig = degrees_f64(&g);
+        let row =
+            compare_recommenders(&g, &sig, PaperGraph::LastfmArtistArtist).expect("defined");
+        assert!(row.decoupled.precision_at_k >= row.conventional.precision_at_k - 1e-9);
+    }
+}

@@ -1,0 +1,159 @@
+//! Seed-stability analysis of the reproduction.
+//!
+//! A shape claim is only credible if it survives re-generating the worlds
+//! with fresh randomness. `repro stability` regenerates every dataset with
+//! several master seeds, re-runs the Figure 2–4 p sweeps, and reports per
+//! graph: how often the optimum lands in the paper's group region, the
+//! spread of the optimum, and a bootstrap confidence interval on the
+//! conventional-PageRank correlation.
+
+use crate::report::{fmt_corr, TextTable};
+use crate::sweep::{best_point, SweepConfig};
+use d2pr_datagen::worlds::{ApplicationGroup, PaperGraph, World};
+use d2pr_graph::error::Result;
+use d2pr_stats::summary::summarize;
+
+/// Stability outcome for one paper graph across seeds.
+#[derive(Debug, Clone)]
+pub struct GraphStability {
+    /// Which data graph.
+    pub graph: PaperGraph,
+    /// Optimal `p` per seed.
+    pub best_ps: Vec<f64>,
+    /// Best correlation per seed.
+    pub best_rhos: Vec<f64>,
+    /// Correlation at `p = 0` per seed.
+    pub conventional_rhos: Vec<f64>,
+}
+
+impl GraphStability {
+    /// Does an optimum `p` satisfy the graph's group region? Group A needs
+    /// `p > 0`, Group B `|p| ≤ 0.5`, Group C `p ≤ 0.5` with the plateau
+    /// convention of DESIGN.md §4.
+    pub fn in_group_region(&self, p: f64) -> bool {
+        match self.graph.group() {
+            ApplicationGroup::A => p > 0.0,
+            ApplicationGroup::B => p.abs() <= 0.5,
+            ApplicationGroup::C => p <= 0.5,
+        }
+    }
+
+    /// Fraction of seeds whose optimum lands in the group region.
+    pub fn region_hit_rate(&self) -> f64 {
+        if self.best_ps.is_empty() {
+            return 0.0;
+        }
+        let hits = self.best_ps.iter().filter(|&&p| self.in_group_region(p)).count();
+        hits as f64 / self.best_ps.len() as f64
+    }
+}
+
+/// Run the stability sweep: `seeds.len()` independent world generations per
+/// dataset, Figure 2–4 style sweeps on each.
+///
+/// # Errors
+/// Propagates world-generation failures.
+pub fn stability_analysis(scale: f64, seeds: &[u64]) -> Result<Vec<GraphStability>> {
+    let cfg = SweepConfig::default();
+    let mut out: Vec<GraphStability> = PaperGraph::all()
+        .into_iter()
+        .map(|graph| GraphStability {
+            graph,
+            best_ps: Vec::new(),
+            best_rhos: Vec::new(),
+            conventional_rhos: Vec::new(),
+        })
+        .collect();
+    for &seed in seeds {
+        for (idx, pg) in PaperGraph::all().into_iter().enumerate() {
+            let world = World::generate(pg.dataset(), scale, seed)?;
+            let (g, s) = pg.view(&world);
+            let g = g.to_unweighted();
+            let points = cfg.run(&g, s);
+            let best = best_point(&points).expect("non-empty sweep");
+            let conventional = points
+                .iter()
+                .find(|pt| pt.p == 0.0)
+                .expect("grid has p=0")
+                .spearman;
+            out[idx].best_ps.push(best.p);
+            out[idx].best_rhos.push(best.spearman);
+            out[idx].conventional_rhos.push(conventional);
+        }
+    }
+    Ok(out)
+}
+
+/// Render the stability table.
+pub fn stability_report(results: &[GraphStability]) -> TextTable {
+    let mut t = TextTable::new(vec![
+        "data graph",
+        "group",
+        "region hit rate",
+        "best p (mean +/- std)",
+        "best rho (mean)",
+        "rho(p=0) (mean)",
+    ]);
+    for r in results {
+        let ps = summarize(&r.best_ps);
+        let rhos = summarize(&r.best_rhos);
+        let conv = summarize(&r.conventional_rhos);
+        t.push_row(vec![
+            r.graph.name().to_string(),
+            format!("{:?}", r.graph.group()),
+            format!("{:.0}%", 100.0 * r.region_hit_rate()),
+            format!("{:+.2} +/- {:.2}", ps.mean, ps.std),
+            fmt_corr(rhos.mean),
+            fmt_corr(conv.mean),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stability_runs_on_two_seeds() {
+        let results = stability_analysis(0.02, &[5, 6]).unwrap();
+        assert_eq!(results.len(), 8);
+        for r in &results {
+            assert_eq!(r.best_ps.len(), 2);
+            assert_eq!(r.best_rhos.len(), 2);
+            assert_eq!(r.conventional_rhos.len(), 2);
+        }
+        let table = stability_report(&results);
+        assert_eq!(table.num_rows(), 8);
+    }
+
+    #[test]
+    fn group_regions_encode_paper_claims() {
+        let mk = |graph: PaperGraph| GraphStability {
+            graph,
+            best_ps: vec![],
+            best_rhos: vec![],
+            conventional_rhos: vec![],
+        };
+        let a = mk(PaperGraph::ImdbActorActor);
+        assert!(a.in_group_region(0.5));
+        assert!(!a.in_group_region(0.0));
+        let b = mk(PaperGraph::DblpAuthorAuthor);
+        assert!(b.in_group_region(0.0));
+        assert!(!b.in_group_region(1.0));
+        let c = mk(PaperGraph::LastfmArtistArtist);
+        assert!(c.in_group_region(-2.0));
+        assert!(!c.in_group_region(1.0));
+    }
+
+    #[test]
+    fn hit_rate_counts_correctly() {
+        let s = GraphStability {
+            graph: PaperGraph::ImdbActorActor, // Group A: p > 0
+            best_ps: vec![1.0, 2.0, -0.5, 0.5],
+            best_rhos: vec![],
+            conventional_rhos: vec![],
+        };
+        assert!((s.region_hit_rate() - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,193 @@
+//! Bipartite affiliation graphs (entities × containers).
+//!
+//! The paper's eight data graphs are all derived from affiliation data:
+//! actors appear in movies, authors write articles, listeners follow artists,
+//! commenters review products. [`BipartiteGraph`] stores that membership
+//! relation with CSR adjacency in both directions so that
+//! [`crate::projection`] can produce the co-occurrence graphs the paper
+//! evaluates.
+
+use crate::csr::NodeId;
+use crate::error::{GraphError, Result};
+
+/// An immutable bipartite graph between `num_left` entities and `num_right`
+/// containers. Memberships are unweighted (an entity either belongs to a
+/// container or not); multiplicity is collapsed at build time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BipartiteGraph {
+    num_left: usize,
+    num_right: usize,
+    // left -> right adjacency
+    left_offsets: Vec<usize>,
+    left_targets: Vec<NodeId>,
+    // right -> left adjacency
+    right_offsets: Vec<usize>,
+    right_targets: Vec<NodeId>,
+}
+
+impl BipartiteGraph {
+    /// Build from a membership list of `(left, right)` pairs. Duplicate
+    /// pairs are collapsed; ids must be in range.
+    pub fn from_memberships(
+        num_left: usize,
+        num_right: usize,
+        memberships: &[(NodeId, NodeId)],
+    ) -> Result<Self> {
+        if num_left > u32::MAX as usize {
+            return Err(GraphError::TooManyNodes(num_left));
+        }
+        if num_right > u32::MAX as usize {
+            return Err(GraphError::TooManyNodes(num_right));
+        }
+        for &(l, r) in memberships {
+            if (l as usize) >= num_left {
+                return Err(GraphError::NodeOutOfRange { node: l, num_nodes: num_left as u32 });
+            }
+            if (r as usize) >= num_right {
+                return Err(GraphError::NodeOutOfRange { node: r, num_nodes: num_right as u32 });
+            }
+        }
+        let mut pairs: Vec<(NodeId, NodeId)> = memberships.to_vec();
+        pairs.sort_unstable();
+        pairs.dedup();
+
+        let (left_offsets, left_targets) = Self::to_csr(num_left, pairs.iter().copied());
+        let mut flipped: Vec<(NodeId, NodeId)> = pairs.iter().map(|&(l, r)| (r, l)).collect();
+        flipped.sort_unstable();
+        let (right_offsets, right_targets) = Self::to_csr(num_right, flipped.iter().copied());
+
+        Ok(Self { num_left, num_right, left_offsets, left_targets, right_offsets, right_targets })
+    }
+
+    fn to_csr(
+        n: usize,
+        sorted_pairs: impl Iterator<Item = (NodeId, NodeId)>,
+    ) -> (Vec<usize>, Vec<NodeId>) {
+        let mut offsets = vec![0usize; n + 1];
+        let mut targets = Vec::new();
+        for (s, t) in sorted_pairs {
+            offsets[s as usize + 1] += 1;
+            targets.push(t);
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        (offsets, targets)
+    }
+
+    /// Number of entity (left) nodes.
+    pub fn num_left(&self) -> usize {
+        self.num_left
+    }
+
+    /// Number of container (right) nodes.
+    pub fn num_right(&self) -> usize {
+        self.num_right
+    }
+
+    /// Number of distinct memberships.
+    pub fn num_memberships(&self) -> usize {
+        self.left_targets.len()
+    }
+
+    /// Containers the entity `l` belongs to (sorted).
+    pub fn containers_of(&self, l: NodeId) -> &[NodeId] {
+        let l = l as usize;
+        &self.left_targets[self.left_offsets[l]..self.left_offsets[l + 1]]
+    }
+
+    /// Entities that belong to container `r` (sorted).
+    pub fn members_of(&self, r: NodeId) -> &[NodeId] {
+        let r = r as usize;
+        &self.right_targets[self.right_offsets[r]..self.right_offsets[r + 1]]
+    }
+
+    /// Degree of a left node (number of containers it belongs to).
+    pub fn left_degree(&self, l: NodeId) -> u32 {
+        self.containers_of(l).len() as u32
+    }
+
+    /// Degree of a right node (number of members).
+    pub fn right_degree(&self, r: NodeId) -> u32 {
+        self.members_of(r).len() as u32
+    }
+
+    /// Iterate all memberships as `(left, right)`.
+    pub fn memberships(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        (0..self.num_left as u32)
+            .flat_map(move |l| self.containers_of(l).iter().map(move |&r| (l, r)))
+    }
+
+    /// Swap the two sides (entities become containers and vice versa).
+    pub fn transpose(&self) -> BipartiteGraph {
+        BipartiteGraph {
+            num_left: self.num_right,
+            num_right: self.num_left,
+            left_offsets: self.right_offsets.clone(),
+            left_targets: self.right_targets.clone(),
+            right_offsets: self.left_offsets.clone(),
+            right_targets: self.left_targets.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BipartiteGraph {
+        // actors {0,1,2} x movies {0,1}
+        // actor 0 in movie 0; actor 1 in movies 0,1; actor 2 in movie 1
+        BipartiteGraph::from_memberships(3, 2, &[(0, 0), (1, 0), (1, 1), (2, 1)]).unwrap()
+    }
+
+    #[test]
+    fn adjacency_both_directions() {
+        let b = sample();
+        assert_eq!(b.containers_of(1), &[0, 1]);
+        assert_eq!(b.members_of(0), &[0, 1]);
+        assert_eq!(b.members_of(1), &[1, 2]);
+    }
+
+    #[test]
+    fn degrees() {
+        let b = sample();
+        assert_eq!(b.left_degree(1), 2);
+        assert_eq!(b.right_degree(1), 2);
+        assert_eq!(b.num_memberships(), 4);
+    }
+
+    #[test]
+    fn duplicates_collapse() {
+        let b = BipartiteGraph::from_memberships(1, 1, &[(0, 0), (0, 0)]).unwrap();
+        assert_eq!(b.num_memberships(), 1);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert!(BipartiteGraph::from_memberships(1, 1, &[(1, 0)]).is_err());
+        assert!(BipartiteGraph::from_memberships(1, 1, &[(0, 1)]).is_err());
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let b = sample();
+        let t = b.transpose();
+        assert_eq!(t.num_left(), 2);
+        assert_eq!(t.containers_of(0), b.members_of(0));
+        assert_eq!(t.transpose(), b);
+    }
+
+    #[test]
+    fn memberships_iterator() {
+        let b = sample();
+        let ms: Vec<_> = b.memberships().collect();
+        assert_eq!(ms, vec![(0, 0), (1, 0), (1, 1), (2, 1)]);
+    }
+
+    #[test]
+    fn empty_sides_allowed() {
+        let b = BipartiteGraph::from_memberships(0, 0, &[]).unwrap();
+        assert_eq!(b.num_memberships(), 0);
+    }
+}

@@ -1,0 +1,389 @@
+//! Mutable edge accumulation that compiles into an immutable [`CsrGraph`].
+//!
+//! The builder accepts edges in any order, optionally with weights, and
+//! applies configurable policies for self-loops and duplicate edges before
+//! producing sorted CSR adjacency. Sorting happens with a counting-sort pass
+//! (O(V + E)), not per-node comparison sorts, so building paper-scale graphs
+//! (millions of arcs) stays cheap.
+
+use crate::csr::{CsrGraph, Direction, NodeId};
+use crate::error::{GraphError, Result};
+
+/// What to do when the same (source, target) pair is added more than once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DuplicatePolicy {
+    /// Keep every occurrence as its own parallel arc.
+    Keep,
+    /// Collapse duplicates to a single arc; weights are summed.
+    #[default]
+    MergeSum,
+    /// Collapse duplicates to a single arc; the maximum weight wins.
+    MergeMax,
+}
+
+/// What to do with `v -> v` edges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SelfLoopPolicy {
+    /// Silently drop them (default: the paper's co-occurrence graphs are
+    /// loop-free and a self-loop makes `deg` semantics ambiguous).
+    #[default]
+    Drop,
+    /// Keep them as ordinary arcs.
+    Keep,
+    /// Fail the build when one is encountered.
+    Error,
+}
+
+/// Accumulates edges and compiles a [`CsrGraph`].
+///
+/// # Example
+/// ```
+/// use d2pr_graph::builder::GraphBuilder;
+/// use d2pr_graph::csr::Direction;
+///
+/// let mut b = GraphBuilder::new(Direction::Undirected, 3);
+/// b.add_edge(0, 1);
+/// b.add_edge(1, 2);
+/// let g = b.build().unwrap();
+/// assert_eq!(g.num_edges(), 2);
+/// assert_eq!(g.neighbors(1), &[0, 2]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    direction: Direction,
+    num_nodes: usize,
+    // Edge soup in insertion order; symmetrization happens at build time.
+    sources: Vec<NodeId>,
+    targets: Vec<NodeId>,
+    weights: Vec<f64>,
+    weighted: bool,
+    duplicate_policy: DuplicatePolicy,
+    self_loop_policy: SelfLoopPolicy,
+    deferred_error: Option<GraphError>,
+}
+
+impl GraphBuilder {
+    /// New builder over a fixed node set `0..num_nodes`.
+    pub fn new(direction: Direction, num_nodes: usize) -> Self {
+        Self {
+            direction,
+            num_nodes,
+            sources: Vec::new(),
+            targets: Vec::new(),
+            weights: Vec::new(),
+            weighted: false,
+            duplicate_policy: DuplicatePolicy::default(),
+            self_loop_policy: SelfLoopPolicy::default(),
+            deferred_error: None,
+        }
+    }
+
+    /// Switch the duplicate-edge policy (default: [`DuplicatePolicy::MergeSum`]).
+    pub fn duplicate_policy(mut self, p: DuplicatePolicy) -> Self {
+        self.duplicate_policy = p;
+        self
+    }
+
+    /// Switch the self-loop policy (default: [`SelfLoopPolicy::Drop`]).
+    pub fn self_loop_policy(mut self, p: SelfLoopPolicy) -> Self {
+        self.self_loop_policy = p;
+        self
+    }
+
+    /// Number of edge records queued (before policies apply).
+    pub fn pending_edges(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Declared node count.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Grow the node set. Useful when ids are discovered while streaming.
+    pub fn ensure_node(&mut self, v: NodeId) {
+        if (v as usize) >= self.num_nodes {
+            self.num_nodes = v as usize + 1;
+        }
+    }
+
+    /// Queue an unweighted edge. Errors (range, loop policy) are deferred to
+    /// [`Self::build`] so bulk loading loops stay branch-light.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) {
+        self.push(u, v, 1.0, false);
+    }
+
+    /// Queue a weighted edge.
+    pub fn add_weighted_edge(&mut self, u: NodeId, v: NodeId, w: f64) {
+        self.push(u, v, w, true);
+    }
+
+    fn push(&mut self, u: NodeId, v: NodeId, w: f64, weighted: bool) {
+        if self.deferred_error.is_some() {
+            return;
+        }
+        if (u as usize) >= self.num_nodes || (v as usize) >= self.num_nodes {
+            let node = if (u as usize) >= self.num_nodes { u } else { v };
+            self.deferred_error =
+                Some(GraphError::NodeOutOfRange { node, num_nodes: self.num_nodes as u32 });
+            return;
+        }
+        if weighted && (!w.is_finite() || w < 0.0) {
+            self.deferred_error = Some(GraphError::InvalidWeight(w));
+            return;
+        }
+        if u == v {
+            match self.self_loop_policy {
+                SelfLoopPolicy::Drop => return,
+                SelfLoopPolicy::Keep => {}
+                SelfLoopPolicy::Error => {
+                    self.deferred_error = Some(GraphError::Parse {
+                        line: self.sources.len() + 1,
+                        message: format!("self loop on node {u} rejected by policy"),
+                    });
+                    return;
+                }
+            }
+        }
+        self.weighted |= weighted;
+        self.sources.push(u);
+        self.targets.push(v);
+        self.weights.push(w);
+    }
+
+    /// Compile the queued edges into a [`CsrGraph`].
+    ///
+    /// # Errors
+    /// Surfaces any deferred edge error, then CSR validation errors.
+    pub fn build(self) -> Result<CsrGraph> {
+        if let Some(e) = self.deferred_error {
+            return Err(e);
+        }
+        if self.num_nodes > u32::MAX as usize {
+            return Err(GraphError::TooManyNodes(self.num_nodes));
+        }
+        let n = self.num_nodes;
+        let symmetric = self.direction == Direction::Undirected;
+
+        // Materialize the arc list (mirroring for undirected graphs).
+        let arc_count = self.sources.len() * if symmetric { 2 } else { 1 };
+        let mut arc_src: Vec<NodeId> = Vec::with_capacity(arc_count);
+        let mut arc_dst: Vec<NodeId> = Vec::with_capacity(arc_count);
+        let mut arc_w: Vec<f64> = Vec::with_capacity(arc_count);
+        for i in 0..self.sources.len() {
+            let (u, v, w) = (self.sources[i], self.targets[i], self.weights[i]);
+            arc_src.push(u);
+            arc_dst.push(v);
+            arc_w.push(w);
+            if symmetric && u != v {
+                arc_src.push(v);
+                arc_dst.push(u);
+                arc_w.push(w);
+            }
+        }
+
+        // Counting sort by source.
+        let mut counts = vec![0usize; n + 1];
+        for &s in &arc_src {
+            counts[s as usize + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts.clone();
+        let mut cursor = counts;
+        let total = arc_src.len();
+        let mut sorted_dst = vec![0 as NodeId; total];
+        let mut sorted_w = vec![0f64; total];
+        for i in 0..total {
+            let s = arc_src[i] as usize;
+            let slot = cursor[s];
+            cursor[s] += 1;
+            sorted_dst[slot] = arc_dst[i];
+            sorted_w[slot] = arc_w[i];
+        }
+
+        // Per-node target sort + duplicate policy. Neighborhoods are sorted
+        // so `has_arc` can binary search and projections can merge-join.
+        let mut out_offsets = vec![0usize; n + 1];
+        let mut out_dst: Vec<NodeId> = Vec::with_capacity(total);
+        let mut out_w: Vec<f64> = Vec::with_capacity(total);
+        let mut scratch: Vec<(NodeId, f64)> = Vec::new();
+        for v in 0..n {
+            scratch.clear();
+            for i in offsets[v]..offsets[v + 1] {
+                scratch.push((sorted_dst[i], sorted_w[i]));
+            }
+            scratch.sort_unstable_by_key(|&(t, _)| t);
+            match self.duplicate_policy {
+                DuplicatePolicy::Keep => {
+                    for &(t, w) in scratch.iter() {
+                        out_dst.push(t);
+                        out_w.push(w);
+                    }
+                }
+                DuplicatePolicy::MergeSum | DuplicatePolicy::MergeMax => {
+                    let mut it = scratch.iter().copied();
+                    if let Some((mut ct, mut cw)) = it.next() {
+                        for (t, w) in it {
+                            if t == ct {
+                                cw = match self.duplicate_policy {
+                                    DuplicatePolicy::MergeSum => cw + w,
+                                    _ => cw.max(w),
+                                };
+                            } else {
+                                out_dst.push(ct);
+                                out_w.push(cw);
+                                ct = t;
+                                cw = w;
+                            }
+                        }
+                        out_dst.push(ct);
+                        out_w.push(cw);
+                    }
+                }
+            }
+            out_offsets[v + 1] = out_dst.len();
+        }
+
+        let weights = if self.weighted { Some(out_w) } else { None };
+        CsrGraph::from_csr(self.direction, out_offsets, out_dst, weights)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn undirected_edges_are_mirrored() {
+        let mut b = GraphBuilder::new(Direction::Undirected, 4);
+        b.add_edge(0, 1);
+        b.add_edge(2, 1);
+        let g = b.build().unwrap();
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.num_arcs(), 4);
+    }
+
+    #[test]
+    fn directed_edges_are_not_mirrored() {
+        let mut b = GraphBuilder::new(Direction::Directed, 3);
+        b.add_edge(0, 1);
+        let g = b.build().unwrap();
+        assert_eq!(g.neighbors(0), &[1]);
+        assert!(g.neighbors(1).is_empty());
+    }
+
+    #[test]
+    fn duplicates_merge_sum_by_default() {
+        let mut b = GraphBuilder::new(Direction::Directed, 2);
+        b.add_weighted_edge(0, 1, 1.5);
+        b.add_weighted_edge(0, 1, 2.5);
+        let g = b.build().unwrap();
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbor_weights(0).unwrap(), &[4.0]);
+    }
+
+    #[test]
+    fn duplicates_merge_max() {
+        let mut b = GraphBuilder::new(Direction::Directed, 2).duplicate_policy(DuplicatePolicy::MergeMax);
+        b.add_weighted_edge(0, 1, 1.5);
+        b.add_weighted_edge(0, 1, 2.5);
+        let g = b.build().unwrap();
+        assert_eq!(g.neighbor_weights(0).unwrap(), &[2.5]);
+    }
+
+    #[test]
+    fn duplicates_kept_when_asked() {
+        let mut b = GraphBuilder::new(Direction::Directed, 2).duplicate_policy(DuplicatePolicy::Keep);
+        b.add_edge(0, 1);
+        b.add_edge(0, 1);
+        let g = b.build().unwrap();
+        assert_eq!(g.neighbors(0), &[1, 1]);
+    }
+
+    #[test]
+    fn self_loops_dropped_by_default() {
+        let mut b = GraphBuilder::new(Direction::Undirected, 2);
+        b.add_edge(0, 0);
+        b.add_edge(0, 1);
+        let g = b.build().unwrap();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.neighbors(0), &[1]);
+    }
+
+    #[test]
+    fn self_loops_kept_or_rejected_by_policy() {
+        let mut keep = GraphBuilder::new(Direction::Directed, 1).self_loop_policy(SelfLoopPolicy::Keep);
+        keep.add_edge(0, 0);
+        assert_eq!(keep.build().unwrap().neighbors(0), &[0]);
+
+        let mut err = GraphBuilder::new(Direction::Directed, 1).self_loop_policy(SelfLoopPolicy::Error);
+        err.add_edge(0, 0);
+        assert!(err.build().is_err());
+    }
+
+    #[test]
+    fn out_of_range_edge_is_deferred_error() {
+        let mut b = GraphBuilder::new(Direction::Directed, 2);
+        b.add_edge(0, 5);
+        b.add_edge(0, 1); // ignored after the error
+        let err = b.build().unwrap_err();
+        assert_eq!(err, GraphError::NodeOutOfRange { node: 5, num_nodes: 2 });
+    }
+
+    #[test]
+    fn invalid_weight_is_deferred_error() {
+        let mut b = GraphBuilder::new(Direction::Directed, 2);
+        b.add_weighted_edge(0, 1, f64::INFINITY);
+        assert!(matches!(b.build().unwrap_err(), GraphError::InvalidWeight(_)));
+    }
+
+    #[test]
+    fn ensure_node_grows_graph() {
+        let mut b = GraphBuilder::new(Direction::Directed, 0);
+        b.ensure_node(3);
+        b.add_edge(3, 0);
+        let g = b.build().unwrap();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.neighbors(3), &[0]);
+    }
+
+    #[test]
+    fn neighborhoods_come_out_sorted() {
+        let mut b = GraphBuilder::new(Direction::Directed, 5);
+        for t in [4, 1, 3, 2] {
+            b.add_edge(0, t);
+        }
+        let g = b.build().unwrap();
+        assert_eq!(g.neighbors(0), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn mixed_weighted_unweighted_promotes_to_weighted() {
+        let mut b = GraphBuilder::new(Direction::Directed, 3);
+        b.add_edge(0, 1); // implicit weight 1.0
+        b.add_weighted_edge(0, 2, 3.0);
+        let g = b.build().unwrap();
+        assert!(g.is_weighted());
+        assert_eq!(g.neighbor_weights(0).unwrap(), &[1.0, 3.0]);
+    }
+
+    #[test]
+    fn undirected_self_loop_kept_only_once() {
+        let mut b = GraphBuilder::new(Direction::Undirected, 2).self_loop_policy(SelfLoopPolicy::Keep);
+        b.add_edge(0, 0);
+        let g = b.build().unwrap();
+        assert_eq!(g.neighbors(0), &[0]);
+        assert_eq!(g.num_arcs(), 1);
+    }
+
+    #[test]
+    fn empty_build_succeeds() {
+        let g = GraphBuilder::new(Direction::Undirected, 3).build().unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

@@ -1,0 +1,167 @@
+//! Connected components.
+//!
+//! For undirected graphs these are the ordinary components; for directed
+//! graphs the same routine yields *weakly* connected components by scanning
+//! in- and out-neighbors (the paper's graphs are all undirected projections,
+//! but the directed D2PR variant in §3.2.2 still needs a sanity check that
+//! random walks can reach most of the graph).
+
+use crate::csr::{CsrGraph, NodeId};
+use std::collections::VecDeque;
+
+/// Component labelling of a graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Components {
+    /// `labels[v]` is the component id of node `v` (dense, `0..count`).
+    pub labels: Vec<u32>,
+    /// Number of components.
+    pub count: usize,
+    /// Size of each component, indexed by component id.
+    pub sizes: Vec<usize>,
+}
+
+impl Components {
+    /// Id of the largest component (ties broken by lower id).
+    pub fn giant_id(&self) -> Option<u32> {
+        self.sizes
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, &s)| (s, std::cmp::Reverse(i)))
+            .map(|(i, _)| i as u32)
+    }
+
+    /// Size of the largest component.
+    pub fn giant_size(&self) -> usize {
+        self.sizes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Fraction of all nodes inside the largest component.
+    pub fn giant_fraction(&self) -> f64 {
+        if self.labels.is_empty() {
+            return 0.0;
+        }
+        self.giant_size() as f64 / self.labels.len() as f64
+    }
+
+    /// Nodes belonging to component `id`.
+    pub fn members(&self, id: u32) -> Vec<NodeId> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter_map(|(v, &l)| (l == id).then_some(v as NodeId))
+            .collect()
+    }
+}
+
+/// Weakly connected components (connected components for undirected graphs).
+pub fn connected_components(g: &CsrGraph) -> Components {
+    let n = g.num_nodes();
+    let mut labels = vec![u32::MAX; n];
+    let mut sizes = Vec::new();
+
+    // For directed graphs we need reverse adjacency for weak connectivity.
+    let reverse: Option<Vec<Vec<NodeId>>> = if g.is_directed() {
+        let mut rev = vec![Vec::new(); n];
+        for (u, v) in g.arcs() {
+            rev[v as usize].push(u);
+        }
+        Some(rev)
+    } else {
+        None
+    };
+
+    let mut next_label = 0u32;
+    let mut queue = VecDeque::new();
+    for start in 0..n as u32 {
+        if labels[start as usize] != u32::MAX {
+            continue;
+        }
+        let mut size = 0usize;
+        labels[start as usize] = next_label;
+        queue.push_back(start);
+        while let Some(v) = queue.pop_front() {
+            size += 1;
+            for &t in g.neighbors(v) {
+                if labels[t as usize] == u32::MAX {
+                    labels[t as usize] = next_label;
+                    queue.push_back(t);
+                }
+            }
+            if let Some(rev) = &reverse {
+                for &t in &rev[v as usize] {
+                    if labels[t as usize] == u32::MAX {
+                        labels[t as usize] = next_label;
+                        queue.push_back(t);
+                    }
+                }
+            }
+        }
+        sizes.push(size);
+        next_label += 1;
+    }
+    Components { labels, count: next_label as usize, sizes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::csr::Direction;
+
+    #[test]
+    fn two_components_undirected() {
+        let mut b = GraphBuilder::new(Direction::Undirected, 5);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(3, 4);
+        let g = b.build().unwrap();
+        let c = connected_components(&g);
+        assert_eq!(c.count, 2);
+        assert_eq!(c.sizes, vec![3, 2]);
+        assert_eq!(c.giant_id(), Some(0));
+        assert_eq!(c.giant_size(), 3);
+        assert!((c.giant_fraction() - 0.6).abs() < 1e-12);
+        assert_eq!(c.members(1), vec![3, 4]);
+    }
+
+    #[test]
+    fn isolated_nodes_are_singletons() {
+        let g = GraphBuilder::new(Direction::Undirected, 3).build().unwrap();
+        let c = connected_components(&g);
+        assert_eq!(c.count, 3);
+        assert_eq!(c.sizes, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn directed_weak_connectivity() {
+        // 0 -> 1 <- 2 : weakly one component even though no node reaches all.
+        let mut b = GraphBuilder::new(Direction::Directed, 3);
+        b.add_edge(0, 1);
+        b.add_edge(2, 1);
+        let g = b.build().unwrap();
+        let c = connected_components(&g);
+        assert_eq!(c.count, 1);
+        assert_eq!(c.giant_fraction(), 1.0);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new(Direction::Undirected, 0).build().unwrap();
+        let c = connected_components(&g);
+        assert_eq!(c.count, 0);
+        assert_eq!(c.giant_size(), 0);
+        assert_eq!(c.giant_fraction(), 0.0);
+        assert_eq!(c.giant_id(), None);
+    }
+
+    #[test]
+    fn giant_tie_breaks_to_lower_id() {
+        let mut b = GraphBuilder::new(Direction::Undirected, 4);
+        b.add_edge(0, 1);
+        b.add_edge(2, 3);
+        let g = b.build().unwrap();
+        let c = connected_components(&g);
+        assert_eq!(c.sizes, vec![2, 2]);
+        assert_eq!(c.giant_id(), Some(0));
+    }
+}

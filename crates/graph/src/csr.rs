@@ -1,0 +1,375 @@
+//! Compressed sparse row (CSR) graph storage.
+//!
+//! [`CsrGraph`] is the immutable workhorse of the whole library. Nodes are
+//! dense `u32` ids in `0..num_nodes()`. The out-adjacency of every node is a
+//! contiguous slice of a single `targets` array, addressed through an
+//! `offsets` array of length `num_nodes() + 1` — the classic CSR layout,
+//! chosen because the degree de-coupled transition construction repeatedly
+//! scans whole neighborhoods and benefits from the cache-friendly contiguous
+//! layout (see DESIGN.md).
+//!
+//! Undirected graphs are stored as symmetric directed graphs (every edge
+//! appears as two arcs); [`CsrGraph::num_edges`] accounts for that.
+
+use crate::error::{GraphError, Result};
+
+/// Node identifier. Dense, `0..n`.
+pub type NodeId = u32;
+
+/// Whether a graph's edges are directed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Every stored arc is an independent directed edge.
+    Directed,
+    /// Arcs come in symmetric pairs; degree and edge counts reflect that.
+    Undirected,
+}
+
+/// An immutable graph in compressed sparse row form.
+///
+/// Construct via [`crate::builder::GraphBuilder`], the generators in
+/// [`crate::generators`], or a bipartite [`crate::projection`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrGraph {
+    direction: Direction,
+    /// `offsets[v]..offsets[v+1]` indexes `targets`/`weights` for node `v`.
+    offsets: Vec<usize>,
+    targets: Vec<NodeId>,
+    /// Parallel to `targets` when present.
+    weights: Option<Vec<f64>>,
+    /// In-degree per node (number of arcs pointing at the node). For
+    /// undirected graphs this equals the out-degree.
+    in_degrees: Vec<u32>,
+}
+
+impl CsrGraph {
+    /// Build directly from CSR arrays. Intended for internal use and tests;
+    /// most callers should use [`crate::builder::GraphBuilder`].
+    ///
+    /// # Errors
+    /// Returns an error when the arrays are inconsistent (offset length,
+    /// monotonicity, target range, weight length/validity).
+    pub fn from_csr(
+        direction: Direction,
+        offsets: Vec<usize>,
+        targets: Vec<NodeId>,
+        weights: Option<Vec<f64>>,
+    ) -> Result<Self> {
+        if offsets.is_empty() {
+            return Err(GraphError::Snapshot("offsets array must have length n+1 >= 1".into()));
+        }
+        let n = offsets.len() - 1;
+        if n > u32::MAX as usize {
+            return Err(GraphError::TooManyNodes(n));
+        }
+        if offsets[0] != 0 || *offsets.last().expect("non-empty") != targets.len() {
+            return Err(GraphError::Snapshot("offsets must start at 0 and end at targets.len()".into()));
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(GraphError::Snapshot("offsets must be non-decreasing".into()));
+        }
+        if let Some(&bad) = targets.iter().find(|&&t| (t as usize) >= n) {
+            return Err(GraphError::NodeOutOfRange { node: bad, num_nodes: n as u32 });
+        }
+        if let Some(w) = &weights {
+            if w.len() != targets.len() {
+                return Err(GraphError::Snapshot("weights must parallel targets".into()));
+            }
+            if let Some(&bad) = w.iter().find(|x| !x.is_finite() || **x < 0.0) {
+                return Err(GraphError::InvalidWeight(bad));
+            }
+        }
+        let mut in_degrees = vec![0u32; n];
+        for &t in &targets {
+            in_degrees[t as usize] += 1;
+        }
+        Ok(Self { direction, offsets, targets, weights, in_degrees })
+    }
+
+    /// Whether this graph is directed or undirected.
+    #[inline]
+    pub fn direction(&self) -> Direction {
+        self.direction
+    }
+
+    /// `true` when the graph is directed.
+    #[inline]
+    pub fn is_directed(&self) -> bool {
+        self.direction == Direction::Directed
+    }
+
+    /// `true` when the graph stores per-edge weights.
+    #[inline]
+    pub fn is_weighted(&self) -> bool {
+        self.weights.is_some()
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of stored arcs (directed adjacency entries). For an undirected
+    /// graph every edge contributes two arcs.
+    #[inline]
+    pub fn num_arcs(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Number of logical edges: arcs for a directed graph, arcs/2 for an
+    /// undirected graph.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        match self.direction {
+            Direction::Directed => self.num_arcs(),
+            Direction::Undirected => self.num_arcs() / 2,
+        }
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.num_nodes() as u32).map(|v| v as NodeId)
+    }
+
+    /// Out-neighbors of `v` as a contiguous slice.
+    ///
+    /// # Panics
+    /// Panics when `v` is out of range.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        let (s, e) = self.range(v);
+        &self.targets[s..e]
+    }
+
+    /// Edge weights parallel to [`Self::neighbors`], or `None` for an
+    /// unweighted graph.
+    #[inline]
+    pub fn neighbor_weights(&self, v: NodeId) -> Option<&[f64]> {
+        let (s, e) = self.range(v);
+        self.weights.as_ref().map(|w| &w[s..e])
+    }
+
+    /// Out-degree of `v` (number of out-arcs). For undirected graphs this is
+    /// the ordinary degree `deg(v)` of the paper.
+    #[inline]
+    pub fn out_degree(&self, v: NodeId) -> u32 {
+        let (s, e) = self.range(v);
+        (e - s) as u32
+    }
+
+    /// In-degree of `v` (number of arcs pointing at `v`).
+    #[inline]
+    pub fn in_degree(&self, v: NodeId) -> u32 {
+        self.in_degrees[v as usize]
+    }
+
+    /// Degree used by the paper's kernels: `deg(v)` for undirected graphs and
+    /// `outdeg(v)` for directed graphs (paper §3.2.1 vs §3.2.2).
+    #[inline]
+    pub fn kernel_degree(&self, v: NodeId) -> u32 {
+        self.out_degree(v)
+    }
+
+    /// Total out-weight `Θ(v) = Σ_h w(v→h)` (paper §3.2.3). For an
+    /// unweighted graph every arc counts 1, so `Θ(v) = outdeg(v)`.
+    pub fn out_weight(&self, v: NodeId) -> f64 {
+        match self.neighbor_weights(v) {
+            Some(w) => w.iter().sum(),
+            None => f64::from(self.out_degree(v)),
+        }
+    }
+
+    /// Iterate all arcs as `(source, target)` pairs.
+    pub fn arcs(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.nodes().flat_map(move |v| self.neighbors(v).iter().map(move |&t| (v, t)))
+    }
+
+    /// Iterate all arcs with weights (weight = 1.0 for unweighted graphs).
+    pub fn weighted_arcs(&self) -> impl Iterator<Item = (NodeId, NodeId, f64)> + '_ {
+        self.nodes().flat_map(move |v| {
+            let ns = self.neighbors(v);
+            let ws = self.neighbor_weights(v);
+            (0..ns.len()).map(move |i| {
+                let w = ws.map_or(1.0, |w| w[i]);
+                (v, ns[i], w)
+            })
+        })
+    }
+
+    /// `true` when an arc `u -> v` exists. `O(log deg(u))` when the adjacency
+    /// is sorted (builder output always is), `O(deg(u))` otherwise.
+    pub fn has_arc(&self, u: NodeId, v: NodeId) -> bool {
+        let ns = self.neighbors(u);
+        if ns.windows(2).all(|w| w[0] <= w[1]) {
+            ns.binary_search(&v).is_ok()
+        } else {
+            ns.contains(&v)
+        }
+    }
+
+    /// Nodes with no out-arcs ("dangling" nodes in PageRank terms).
+    pub fn dangling_nodes(&self) -> Vec<NodeId> {
+        self.nodes().filter(|&v| self.out_degree(v) == 0).collect()
+    }
+
+    /// Sum of all arc weights (arc count for unweighted graphs).
+    pub fn total_arc_weight(&self) -> f64 {
+        match &self.weights {
+            Some(w) => w.iter().sum(),
+            None => self.num_arcs() as f64,
+        }
+    }
+
+    /// Strip the weights, yielding the purely structural graph.
+    pub fn to_unweighted(&self) -> CsrGraph {
+        CsrGraph {
+            direction: self.direction,
+            offsets: self.offsets.clone(),
+            targets: self.targets.clone(),
+            weights: None,
+            in_degrees: self.in_degrees.clone(),
+        }
+    }
+
+    /// Raw CSR parts `(offsets, targets, weights)`, consumed. Used by the
+    /// snapshot writer.
+    pub fn into_parts(self) -> (Direction, Vec<usize>, Vec<NodeId>, Option<Vec<f64>>) {
+        (self.direction, self.offsets, self.targets, self.weights)
+    }
+
+    /// Borrowed CSR parts.
+    pub fn parts(&self) -> (&[usize], &[NodeId], Option<&[f64]>) {
+        (&self.offsets, &self.targets, self.weights.as_deref())
+    }
+
+    #[inline]
+    fn range(&self, v: NodeId) -> (usize, usize) {
+        let v = v as usize;
+        (self.offsets[v], self.offsets[v + 1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Path graph 0-1-2 stored undirected.
+    fn path3() -> CsrGraph {
+        // arcs: 0->1, 1->0, 1->2, 2->1
+        CsrGraph::from_csr(
+            Direction::Undirected,
+            vec![0, 1, 3, 4],
+            vec![1, 0, 2, 1],
+            None,
+        )
+        .expect("valid csr")
+    }
+
+    #[test]
+    fn basic_counts() {
+        let g = path3();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_arcs(), 4);
+        assert_eq!(g.num_edges(), 2);
+        assert!(!g.is_directed());
+        assert!(!g.is_weighted());
+    }
+
+    #[test]
+    fn neighbors_and_degrees() {
+        let g = path3();
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.out_degree(1), 2);
+        assert_eq!(g.out_degree(0), 1);
+        assert_eq!(g.in_degree(1), 2);
+        assert_eq!(g.kernel_degree(1), 2);
+    }
+
+    #[test]
+    fn directed_counts_differ() {
+        let g = CsrGraph::from_csr(Direction::Directed, vec![0, 2, 2, 2], vec![1, 2], None)
+            .expect("valid");
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.in_degree(0), 0);
+        assert_eq!(g.in_degree(2), 1);
+        assert_eq!(g.dangling_nodes(), vec![1, 2]);
+    }
+
+    #[test]
+    fn out_weight_defaults_to_degree() {
+        let g = path3();
+        assert_eq!(g.out_weight(1), 2.0);
+    }
+
+    #[test]
+    fn out_weight_sums_weights() {
+        let g = CsrGraph::from_csr(
+            Direction::Directed,
+            vec![0, 2, 2],
+            vec![1, 1],
+            Some(vec![0.5, 2.0]),
+        )
+        .expect("valid");
+        assert!((g.out_weight(0) - 2.5).abs() < 1e-12);
+        assert_eq!(g.out_weight(1), 0.0);
+        assert!((g.total_arc_weight() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn has_arc_sorted_adjacency() {
+        let g = path3();
+        assert!(g.has_arc(1, 0));
+        assert!(g.has_arc(1, 2));
+        assert!(!g.has_arc(0, 2));
+    }
+
+    #[test]
+    fn arcs_iterator_round_trips() {
+        let g = path3();
+        let arcs: Vec<_> = g.arcs().collect();
+        assert_eq!(arcs, vec![(0, 1), (1, 0), (1, 2), (2, 1)]);
+        let warcs: Vec<_> = g.weighted_arcs().collect();
+        assert_eq!(warcs[0], (0, 1, 1.0));
+    }
+
+    #[test]
+    fn rejects_bad_offsets() {
+        assert!(CsrGraph::from_csr(Direction::Directed, vec![], vec![], None).is_err());
+        assert!(CsrGraph::from_csr(Direction::Directed, vec![0, 2], vec![0], None).is_err());
+        assert!(CsrGraph::from_csr(Direction::Directed, vec![0, 2, 1, 3], vec![0, 0, 0], None).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_target() {
+        let err = CsrGraph::from_csr(Direction::Directed, vec![0, 1], vec![5], None).unwrap_err();
+        assert_eq!(err, GraphError::NodeOutOfRange { node: 5, num_nodes: 1 });
+    }
+
+    #[test]
+    fn rejects_bad_weights() {
+        assert!(CsrGraph::from_csr(Direction::Directed, vec![0, 1], vec![0], Some(vec![])).is_err());
+        assert!(CsrGraph::from_csr(Direction::Directed, vec![0, 1], vec![0], Some(vec![f64::NAN]))
+            .is_err());
+        assert!(CsrGraph::from_csr(Direction::Directed, vec![0, 1], vec![0], Some(vec![-1.0]))
+            .is_err());
+    }
+
+    #[test]
+    fn to_unweighted_strips_weights() {
+        let g = CsrGraph::from_csr(Direction::Directed, vec![0, 1], vec![0], Some(vec![3.0]))
+            .expect("valid");
+        let u = g.to_unweighted();
+        assert!(!u.is_weighted());
+        assert_eq!(u.num_arcs(), 1);
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let g = CsrGraph::from_csr(Direction::Directed, vec![0], vec![], None).expect("valid");
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.nodes().count(), 0);
+    }
+}

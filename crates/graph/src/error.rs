@@ -1,0 +1,113 @@
+//! Error type shared by the graph substrate.
+
+use std::fmt;
+
+/// Errors produced while constructing or loading graphs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// An edge referenced a node id that is outside the declared node range.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: u32,
+        /// Number of nodes the graph was declared with.
+        num_nodes: u32,
+    },
+    /// The graph was declared with more nodes than the `u32` id space holds.
+    TooManyNodes(usize),
+    /// A weighted API was called on an unweighted graph (or vice versa).
+    WeightMismatch {
+        /// Whether the graph carries weights.
+        graph_weighted: bool,
+    },
+    /// An edge weight was not a finite, non-negative number.
+    InvalidWeight(f64),
+    /// Parsing an edge-list document failed.
+    Parse {
+        /// 1-based line number of the offending record.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// A binary snapshot was malformed or truncated.
+    Snapshot(String),
+    /// An I/O error occurred while reading or writing a graph.
+    Io(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "node id {node} out of range (graph has {num_nodes} nodes)")
+            }
+            GraphError::TooManyNodes(n) => {
+                write!(f, "{n} nodes exceed the u32 node id space")
+            }
+            GraphError::WeightMismatch { graph_weighted } => {
+                if *graph_weighted {
+                    write!(f, "graph is weighted but an unweighted operation was requested")
+                } else {
+                    write!(f, "graph is unweighted but a weighted operation was requested")
+                }
+            }
+            GraphError::InvalidWeight(w) => {
+                write!(f, "edge weight {w} is not finite and non-negative")
+            }
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            GraphError::Snapshot(msg) => write!(f, "snapshot error: {msg}"),
+            GraphError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e.to_string())
+    }
+}
+
+/// Convenience alias used across the substrate.
+pub type Result<T> = std::result::Result<T, GraphError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_node_out_of_range() {
+        let e = GraphError::NodeOutOfRange { node: 7, num_nodes: 3 };
+        assert_eq!(e.to_string(), "node id 7 out of range (graph has 3 nodes)");
+    }
+
+    #[test]
+    fn display_weight_mismatch_both_directions() {
+        let w = GraphError::WeightMismatch { graph_weighted: true };
+        assert!(w.to_string().contains("graph is weighted"));
+        let u = GraphError::WeightMismatch { graph_weighted: false };
+        assert!(u.to_string().contains("graph is unweighted"));
+    }
+
+    #[test]
+    fn display_parse_error_mentions_line() {
+        let e = GraphError::Parse { line: 12, message: "bad token".into() };
+        assert!(e.to_string().contains("line 12"));
+        assert!(e.to_string().contains("bad token"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: GraphError = io.into();
+        assert!(matches!(e, GraphError::Io(_)));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(GraphError::TooManyNodes(9), GraphError::TooManyNodes(9));
+        assert_ne!(GraphError::TooManyNodes(9), GraphError::TooManyNodes(8));
+    }
+}

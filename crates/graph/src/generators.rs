@@ -1,0 +1,372 @@
+//! Classic random-graph generators.
+//!
+//! These are used for unit/property tests, benchmark inputs, and the
+//! quickstart example. The paper's actual data graphs come from the richer
+//! affiliation model in `d2pr-datagen`; the generators here provide neutral
+//! topologies (Erdős–Rényi), heavy-tailed degree sequences (Barabási–Albert,
+//! configuration model, Zipf bipartite) and clustered small worlds
+//! (Watts–Strogatz).
+//!
+//! All generators are deterministic given a seed.
+
+use crate::builder::{DuplicatePolicy, GraphBuilder};
+use crate::csr::{CsrGraph, Direction, NodeId};
+use crate::error::Result;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// G(n, m): `m` distinct undirected edges chosen uniformly at random.
+pub fn erdos_renyi_nm(n: usize, m: usize, seed: u64) -> Result<CsrGraph> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(Direction::Undirected, n);
+    if n < 2 {
+        return b.build();
+    }
+    let max_edges = n * (n - 1) / 2;
+    let m = m.min(max_edges);
+    let mut seen = std::collections::HashSet::with_capacity(m * 2);
+    while seen.len() < m {
+        let u = rng.gen_range(0..n as u32);
+        let v = rng.gen_range(0..n as u32);
+        if u == v {
+            continue;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        if seen.insert(key) {
+            b.add_edge(key.0, key.1);
+        }
+    }
+    b.build()
+}
+
+/// G(n, p): every unordered pair independently becomes an edge with
+/// probability `p`. Uses geometric skipping, so sparse graphs cost O(E).
+pub fn erdos_renyi_np(n: usize, p: f64, seed: u64) -> Result<CsrGraph> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(Direction::Undirected, n);
+    if !(0.0..=1.0).contains(&p) || p == 0.0 || n < 2 {
+        return b.build();
+    }
+    if p >= 1.0 {
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                b.add_edge(u, v);
+            }
+        }
+        return b.build();
+    }
+    // Iterate pair index space [0, n*(n-1)/2) with geometric jumps.
+    let total = (n * (n - 1) / 2) as u64;
+    let log_q = (1.0 - p).ln();
+    let mut idx: u64 = 0;
+    loop {
+        let r: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        let skip = (r.ln() / log_q).floor() as u64;
+        idx = idx.saturating_add(skip);
+        if idx >= total {
+            break;
+        }
+        let (u, v) = pair_from_index(idx, n as u64);
+        b.add_edge(u as NodeId, v as NodeId);
+        idx += 1;
+    }
+    b.build()
+}
+
+/// Invert the row-major upper-triangle pair index.
+fn pair_from_index(idx: u64, n: u64) -> (u64, u64) {
+    // Row u contributes (n - 1 - u) pairs. Find u by walking rows; for the
+    // graph sizes used in tests this linear scan is dominated by edge cost.
+    let mut u = 0u64;
+    let mut remaining = idx;
+    loop {
+        let row = n - 1 - u;
+        if remaining < row {
+            return (u, u + 1 + remaining);
+        }
+        remaining -= row;
+        u += 1;
+    }
+}
+
+/// Barabási–Albert preferential attachment: start from a clique of
+/// `m_attach` nodes, then each new node attaches to `m_attach` existing
+/// nodes chosen proportionally to their current degree.
+pub fn barabasi_albert(n: usize, m_attach: usize, seed: u64) -> Result<CsrGraph> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let m0 = m_attach.max(1);
+    let mut b = GraphBuilder::new(Direction::Undirected, n);
+    if n <= m0 {
+        // Too small for attachment: return a clique on n nodes.
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                b.add_edge(u, v);
+            }
+        }
+        return b.build();
+    }
+    // Repeated-endpoint list: each arc endpoint appears once, so uniform
+    // sampling from it is degree-proportional sampling.
+    let mut endpoints: Vec<NodeId> = Vec::new();
+    for u in 0..m0 as u32 {
+        for v in (u + 1)..m0 as u32 {
+            b.add_edge(u, v);
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    for new in m0 as u32..n as u32 {
+        // `chosen` is a small sorted Vec, not a HashSet: HashSet iteration
+        // order is randomized per process, which would leak into the
+        // `endpoints` array and break cross-process determinism.
+        let mut chosen: Vec<NodeId> = Vec::with_capacity(m0);
+        let mut guard = 0;
+        while chosen.len() < m0 && guard < 100 * m0 {
+            guard += 1;
+            let pick = if endpoints.is_empty() {
+                rng.gen_range(0..new)
+            } else {
+                endpoints[rng.gen_range(0..endpoints.len())]
+            };
+            if pick != new && !chosen.contains(&pick) {
+                chosen.push(pick);
+            }
+        }
+        chosen.sort_unstable();
+        for &t in &chosen {
+            b.add_edge(new, t);
+            endpoints.push(new);
+            endpoints.push(t);
+        }
+    }
+    b.build()
+}
+
+/// Watts–Strogatz small world: ring lattice with `k` nearest neighbors per
+/// side, each edge rewired with probability `beta`.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> Result<CsrGraph> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(Direction::Undirected, n);
+    if n < 3 || k == 0 {
+        return b.build();
+    }
+    let k = k.min((n - 1) / 2);
+    for u in 0..n as u64 {
+        for j in 1..=k as u64 {
+            let v = (u + j) % n as u64;
+            if rng.gen::<f64>() < beta {
+                // Rewire the far endpoint uniformly (avoiding self-loops;
+                // duplicate edges merge in the builder).
+                let mut w = rng.gen_range(0..n as u64);
+                let mut guard = 0;
+                while w == u && guard < 64 {
+                    w = rng.gen_range(0..n as u64);
+                    guard += 1;
+                }
+                if w != u {
+                    b.add_edge(u as NodeId, w as NodeId);
+                }
+            } else {
+                b.add_edge(u as NodeId, v as NodeId);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Configuration model: realize (approximately) a prescribed degree
+/// sequence by randomly pairing half-edges. Self-loops and duplicate pairs
+/// are dropped, so realized degrees can be slightly below the target.
+pub fn configuration_model(degrees: &[u32], seed: u64) -> Result<CsrGraph> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = degrees.len();
+    let mut stubs: Vec<NodeId> = Vec::new();
+    for (v, &d) in degrees.iter().enumerate() {
+        for _ in 0..d {
+            stubs.push(v as NodeId);
+        }
+    }
+    // Fisher-Yates shuffle, then pair consecutive stubs.
+    for i in (1..stubs.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        stubs.swap(i, j);
+    }
+    let mut b = GraphBuilder::new(Direction::Undirected, n)
+        .duplicate_policy(DuplicatePolicy::MergeMax);
+    let mut it = stubs.chunks_exact(2);
+    for pair in &mut it {
+        if pair[0] != pair[1] {
+            b.add_edge(pair[0], pair[1]);
+        }
+    }
+    b.build()
+}
+
+/// Sample `count` values from a (truncated) Zipf distribution over
+/// `1..=max_value` with exponent `s`, via inverse-CDF on precomputed weights.
+pub fn zipf_samples(count: usize, max_value: u32, s: f64, seed: u64) -> Vec<u32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let max_value = max_value.max(1);
+    let mut cdf = Vec::with_capacity(max_value as usize);
+    let mut acc = 0.0;
+    for k in 1..=max_value {
+        acc += f64::from(k).powf(-s);
+        cdf.push(acc);
+    }
+    let total = acc;
+    (0..count)
+        .map(|_| {
+            let u = rng.gen::<f64>() * total;
+            let idx = cdf.partition_point(|&c| c < u);
+            (idx as u32 + 1).min(max_value)
+        })
+        .collect()
+}
+
+/// Random bipartite affiliation with Zipf-distributed left degrees and
+/// uniform container choice. Returns the membership pairs; feed them to
+/// [`crate::bipartite::BipartiteGraph::from_memberships`].
+pub fn zipf_bipartite_memberships(
+    num_left: usize,
+    num_right: usize,
+    max_left_degree: u32,
+    zipf_s: f64,
+    seed: u64,
+) -> Vec<(NodeId, NodeId)> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_b1b1);
+    let degs = zipf_samples(num_left, max_left_degree, zipf_s, seed);
+    let mut pairs = Vec::new();
+    if num_right == 0 {
+        return pairs;
+    }
+    for (l, &d) in degs.iter().enumerate() {
+        for _ in 0..d {
+            pairs.push((l as NodeId, rng.gen_range(0..num_right as u32)));
+        }
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::degree_stats;
+
+    #[test]
+    fn er_nm_has_exact_edge_count() {
+        let g = erdos_renyi_nm(50, 100, 7).unwrap();
+        assert_eq!(g.num_nodes(), 50);
+        assert_eq!(g.num_edges(), 100);
+    }
+
+    #[test]
+    fn er_nm_caps_at_complete_graph() {
+        let g = erdos_renyi_nm(5, 1000, 7).unwrap();
+        assert_eq!(g.num_edges(), 10);
+    }
+
+    #[test]
+    fn er_np_zero_and_one() {
+        assert_eq!(erdos_renyi_np(10, 0.0, 1).unwrap().num_edges(), 0);
+        assert_eq!(erdos_renyi_np(10, 1.0, 1).unwrap().num_edges(), 45);
+    }
+
+    #[test]
+    fn er_np_density_close_to_p() {
+        let n = 200;
+        let p = 0.1;
+        let g = erdos_renyi_np(n, p, 42).unwrap();
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let got = g.num_edges() as f64;
+        assert!((got - expected).abs() < 0.25 * expected, "got {got}, expected ~{expected}");
+    }
+
+    #[test]
+    fn er_is_deterministic() {
+        let a = erdos_renyi_nm(30, 60, 9).unwrap();
+        let b = erdos_renyi_nm(30, 60, 9).unwrap();
+        assert_eq!(a, b);
+        let c = erdos_renyi_nm(30, 60, 10).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn pair_from_index_inverts() {
+        let n = 6u64;
+        let mut idx = 0;
+        for u in 0..n {
+            for v in (u + 1)..n {
+                assert_eq!(pair_from_index(idx, n), (u, v));
+                idx += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn ba_is_connected_and_heavy_tailed() {
+        let g = barabasi_albert(300, 3, 11).unwrap();
+        assert_eq!(g.num_nodes(), 300);
+        let c = crate::components::connected_components(&g);
+        assert_eq!(c.count, 1, "BA graphs are connected by construction");
+        let s = degree_stats(&g);
+        assert!(s.max_degree >= 3 * s.avg_degree as u32, "hub should greatly exceed the mean");
+    }
+
+    #[test]
+    fn ba_small_n_gives_clique() {
+        let g = barabasi_albert(3, 5, 1).unwrap();
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn ws_no_rewiring_is_ring_lattice() {
+        let g = watts_strogatz(20, 2, 0.0, 5).unwrap();
+        let s = degree_stats(&g);
+        assert_eq!(s.min_degree, 4);
+        assert_eq!(s.max_degree, 4);
+        assert_eq!(g.num_edges(), 40);
+    }
+
+    #[test]
+    fn ws_full_rewiring_changes_structure() {
+        let lattice = watts_strogatz(50, 2, 0.0, 5).unwrap();
+        let random = watts_strogatz(50, 2, 1.0, 5).unwrap();
+        assert_ne!(lattice, random);
+        // Edge count can shrink slightly from merged duplicates but stays close.
+        assert!(random.num_edges() > 80);
+    }
+
+    #[test]
+    fn configuration_model_approximates_degrees() {
+        let target = vec![3u32; 100];
+        let g = configuration_model(&target, 13).unwrap();
+        let s = degree_stats(&g);
+        assert!(s.avg_degree > 2.5, "avg {}", s.avg_degree);
+        assert!(s.max_degree <= 3);
+    }
+
+    #[test]
+    fn zipf_samples_in_range_and_skewed() {
+        let xs = zipf_samples(10_000, 100, 1.5, 3);
+        assert!(xs.iter().all(|&x| (1..=100).contains(&x)));
+        let ones = xs.iter().filter(|&&x| x == 1).count();
+        let hundreds = xs.iter().filter(|&&x| x == 100).count();
+        assert!(ones > 10 * (hundreds + 1), "Zipf should heavily favour small values");
+    }
+
+    #[test]
+    fn zipf_bipartite_membership_ranges() {
+        let ms = zipf_bipartite_memberships(100, 20, 10, 1.2, 77);
+        assert!(!ms.is_empty());
+        assert!(ms.iter().all(|&(l, r)| l < 100 && r < 20));
+    }
+
+    #[test]
+    fn generators_handle_degenerate_sizes() {
+        assert_eq!(erdos_renyi_nm(0, 10, 1).unwrap().num_nodes(), 0);
+        assert_eq!(erdos_renyi_np(1, 0.5, 1).unwrap().num_edges(), 0);
+        assert_eq!(watts_strogatz(2, 1, 0.5, 1).unwrap().num_edges(), 0);
+        assert_eq!(configuration_model(&[], 1).unwrap().num_nodes(), 0);
+        assert!(zipf_bipartite_memberships(5, 0, 3, 1.0, 1).is_empty());
+    }
+}

@@ -1,0 +1,61 @@
+//! # d2pr-graph
+//!
+//! Graph substrate for the D2PR (degree de-coupled PageRank) reproduction:
+//! an immutable CSR graph core, a policy-driven builder, bipartite
+//! affiliation graphs with co-occurrence projections, degree statistics
+//! (including the paper's "median standard deviation of neighbors' degrees"),
+//! traversal and component utilities, classic random-graph generators, and
+//! edge-list / binary snapshot I/O.
+//!
+//! Everything is implemented from scratch — no external graph library — per
+//! the reproduction brief (see `DESIGN.md` at the repository root).
+//!
+//! ## Quick tour
+//! ```
+//! use d2pr_graph::prelude::*;
+//!
+//! // Build a small undirected graph.
+//! let mut b = GraphBuilder::new(Direction::Undirected, 4);
+//! b.add_edge(0, 1);
+//! b.add_edge(1, 2);
+//! b.add_edge(2, 3);
+//! let g = b.build().unwrap();
+//!
+//! assert_eq!(g.num_edges(), 3);
+//! assert_eq!(g.neighbors(1), &[0, 2]);
+//!
+//! let stats = d2pr_graph::stats::degree_stats(&g);
+//! assert_eq!(stats.max_degree, 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bipartite;
+pub mod builder;
+pub mod components;
+pub mod csr;
+pub mod error;
+pub mod generators;
+pub mod io;
+pub mod metrics;
+pub mod projection;
+pub mod rewire;
+pub mod subgraph;
+pub mod stats;
+pub mod traversal;
+
+/// Convenient re-exports of the types most callers need.
+pub mod prelude {
+    pub use crate::bipartite::BipartiteGraph;
+    pub use crate::builder::{DuplicatePolicy, GraphBuilder, SelfLoopPolicy};
+    pub use crate::csr::{CsrGraph, Direction, NodeId};
+    pub use crate::error::{GraphError, Result};
+    pub use crate::metrics::{average_clustering, degree_assortativity, local_clustering};
+    pub use crate::projection::{project_left, project_right, ProjectionConfig};
+    pub use crate::rewire::{degree_preserving_rewire, k_core};
+    pub use crate::stats::{degree_stats, degrees, degrees_f64, DegreeStats};
+    pub use crate::subgraph::{giant_component, induced_subgraph, Subgraph};
+}
+
+pub use crate::csr::{CsrGraph, Direction, NodeId};
+pub use crate::error::{GraphError, Result};

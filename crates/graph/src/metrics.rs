@@ -1,0 +1,194 @@
+//! Structural graph metrics beyond plain degree statistics.
+//!
+//! The paper's §4.3.2–4.3.3 argument hinges on *neighbor-degree structure*
+//! (whether a node's neighbors have comparable or dominant degrees). Degree
+//! assortativity and clustering quantify exactly that structure, and the
+//! experiment harness reports them alongside Table 3 so the generated
+//! worlds can be compared to the paper's datasets on richer axes.
+
+use crate::csr::{CsrGraph, NodeId};
+
+/// Pearson degree assortativity over the arcs of the graph (Newman's `r`):
+/// the correlation between the degrees of the endpoints of every edge.
+/// `None` when the graph has no arcs or degenerate degree variance.
+pub fn degree_assortativity(g: &CsrGraph) -> Option<f64> {
+    let m = g.num_arcs();
+    if m == 0 {
+        return None;
+    }
+    // Collect endpoint degree pairs per arc (undirected graphs contribute
+    // both orientations, which is the standard symmetric treatment).
+    let mut sx = 0.0;
+    let mut sy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    let mut sxy = 0.0;
+    for (u, v) in g.arcs() {
+        let du = f64::from(g.kernel_degree(u));
+        let dv = f64::from(g.kernel_degree(v));
+        sx += du;
+        sy += dv;
+        sxx += du * du;
+        syy += dv * dv;
+        sxy += du * dv;
+    }
+    let n = m as f64;
+    let cov = sxy / n - (sx / n) * (sy / n);
+    let vx = sxx / n - (sx / n) * (sx / n);
+    let vy = syy / n - (sy / n) * (sy / n);
+    if vx <= 0.0 || vy <= 0.0 {
+        return None;
+    }
+    Some(cov / (vx * vy).sqrt())
+}
+
+/// Local clustering coefficient of one node: the fraction of its neighbor
+/// pairs that are themselves connected. `None` for degree < 2.
+pub fn local_clustering(g: &CsrGraph, v: NodeId) -> Option<f64> {
+    let ns = g.neighbors(v);
+    let k = ns.len();
+    if k < 2 {
+        return None;
+    }
+    let mut closed = 0usize;
+    for i in 0..k {
+        for j in (i + 1)..k {
+            if ns[i] != ns[j] && g.has_arc(ns[i], ns[j]) {
+                closed += 1;
+            }
+        }
+    }
+    Some(closed as f64 / (k * (k - 1) / 2) as f64)
+}
+
+/// Average local clustering coefficient over nodes with degree ≥ 2
+/// (Watts–Strogatz definition). 0 when no such node exists.
+pub fn average_clustering(g: &CsrGraph) -> f64 {
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for v in g.nodes() {
+        if let Some(c) = local_clustering(g, v) {
+            sum += c;
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        sum / count as f64
+    }
+}
+
+/// Mean degree of a node's neighbors (the quantity whose per-node standard
+/// deviation drives the paper's Table 3 last column). `None` for isolated
+/// nodes.
+pub fn mean_neighbor_degree(g: &CsrGraph, v: NodeId) -> Option<f64> {
+    let ns = g.neighbors(v);
+    if ns.is_empty() {
+        return None;
+    }
+    Some(ns.iter().map(|&t| f64::from(g.kernel_degree(t))).sum::<f64>() / ns.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::csr::Direction;
+    use crate::generators::{barabasi_albert, watts_strogatz};
+
+    fn triangle_plus_tail() -> CsrGraph {
+        let mut b = GraphBuilder::new(Direction::Undirected, 4);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(0, 2);
+        b.add_edge(2, 3);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn clustering_of_triangle_is_one() {
+        let g = triangle_plus_tail();
+        assert_eq!(local_clustering(&g, 0), Some(1.0));
+        assert_eq!(local_clustering(&g, 1), Some(1.0));
+        // node 2 has neighbors {0,1,3}: only (0,1) closed of 3 pairs
+        assert!((local_clustering(&g, 2).unwrap() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(local_clustering(&g, 3), None);
+        let avg = average_clustering(&g);
+        assert!((avg - (1.0 + 1.0 + 1.0 / 3.0) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clique_clustering_is_one() {
+        let mut b = GraphBuilder::new(Direction::Undirected, 5);
+        for u in 0..5u32 {
+            for v in (u + 1)..5 {
+                b.add_edge(u, v);
+            }
+        }
+        let g = b.build().unwrap();
+        assert_eq!(average_clustering(&g), 1.0);
+    }
+
+    #[test]
+    fn star_clustering_is_zero() {
+        let mut b = GraphBuilder::new(Direction::Undirected, 5);
+        for leaf in 1..5 {
+            b.add_edge(0, leaf);
+        }
+        let g = b.build().unwrap();
+        assert_eq!(average_clustering(&g), 0.0);
+        assert_eq!(local_clustering(&g, 0), Some(0.0));
+        assert_eq!(local_clustering(&g, 1), None);
+    }
+
+    #[test]
+    fn star_is_maximally_disassortative() {
+        let mut b = GraphBuilder::new(Direction::Undirected, 6);
+        for leaf in 1..6 {
+            b.add_edge(0, leaf);
+        }
+        let g = b.build().unwrap();
+        let r = degree_assortativity(&g).unwrap();
+        assert!((r + 1.0).abs() < 1e-12, "star assortativity must be -1, got {r}");
+    }
+
+    #[test]
+    fn regular_ring_has_undefined_assortativity() {
+        // every node has degree 2k: zero variance -> None
+        let g = watts_strogatz(20, 2, 0.0, 1).unwrap();
+        assert_eq!(degree_assortativity(&g), None);
+    }
+
+    #[test]
+    fn ba_graph_is_disassortative() {
+        let g = barabasi_albert(500, 3, 9).unwrap();
+        let r = degree_assortativity(&g).unwrap();
+        assert!(r < 0.05, "BA graphs are (weakly) disassortative, got {r}");
+        assert!(r > -1.0);
+    }
+
+    #[test]
+    fn assortativity_bounds() {
+        let g = triangle_plus_tail();
+        let r = degree_assortativity(&g).unwrap();
+        assert!((-1.0..=1.0).contains(&r));
+    }
+
+    #[test]
+    fn empty_graph_metrics() {
+        let g = GraphBuilder::new(Direction::Undirected, 3).build().unwrap();
+        assert_eq!(degree_assortativity(&g), None);
+        assert_eq!(average_clustering(&g), 0.0);
+        assert_eq!(mean_neighbor_degree(&g, 0), None);
+    }
+
+    #[test]
+    fn mean_neighbor_degree_values() {
+        let g = triangle_plus_tail();
+        // node 3's only neighbor is 2 (degree 3)
+        assert_eq!(mean_neighbor_degree(&g, 3), Some(3.0));
+        // node 2's neighbors are 0 (2), 1 (2), 3 (1) -> 5/3
+        assert!((mean_neighbor_degree(&g, 2).unwrap() - 5.0 / 3.0).abs() < 1e-12);
+    }
+}

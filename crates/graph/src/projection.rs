@@ -1,0 +1,154 @@
+//! Co-occurrence projections of bipartite graphs.
+//!
+//! Every data graph in the paper's evaluation (Table 3) is a projection:
+//! "movie nodes are connected by an edge if they share common contributors",
+//! "actor-actor graph based on whether two actors played in the same movie",
+//! and so on. [`project_left`] builds exactly that graph: an undirected
+//! weighted [`CsrGraph`] over the left side, where the weight of edge
+//! `{a, b}` is the number of shared right-side neighbors (e.g. "# of common
+//! movies" — the edge-weight semantics of the paper's Figures 9–11).
+
+use crate::bipartite::BipartiteGraph;
+use crate::csr::{CsrGraph, Direction, NodeId};
+use crate::error::Result;
+
+/// Tuning for a projection pass.
+#[derive(Debug, Clone, Copy)]
+pub struct ProjectionConfig {
+    /// Keep an edge only when at least this many right-side neighbors are
+    /// shared. `1` (default) reproduces the paper's graphs.
+    pub min_shared: u32,
+    /// Skip containers with more than this many members when forming pairs.
+    /// A single huge container contributes O(k²) pairs; real pipelines cap
+    /// this (`None` = no cap, the default).
+    pub max_container_size: Option<u32>,
+}
+
+impl Default for ProjectionConfig {
+    fn default() -> Self {
+        Self { min_shared: 1, max_container_size: None }
+    }
+}
+
+/// Project the bipartite graph onto its left side (entities), connecting two
+/// entities iff they co-occur in at least `config.min_shared` containers.
+/// The resulting graph is undirected and weighted by co-occurrence count.
+pub fn project_left(b: &BipartiteGraph, config: ProjectionConfig) -> Result<CsrGraph> {
+    // Enumerate unordered co-occurrence pairs (u < v), then run-length encode
+    // counts after a sort. This is allocation-heavier than a hash map but has
+    // predictable O(P log P) behaviour and no hashing cost on the hot path.
+    let mut pairs: Vec<(NodeId, NodeId)> = Vec::new();
+    for r in 0..b.num_right() as u32 {
+        let members = b.members_of(r);
+        if let Some(cap) = config.max_container_size {
+            if members.len() as u32 > cap {
+                continue;
+            }
+        }
+        for i in 0..members.len() {
+            for j in (i + 1)..members.len() {
+                // members are sorted, so members[i] < members[j] always holds
+                pairs.push((members[i], members[j]));
+            }
+        }
+    }
+    pairs.sort_unstable();
+
+    let mut offsets_builder = crate::builder::GraphBuilder::new(Direction::Undirected, b.num_left());
+    let mut idx = 0;
+    while idx < pairs.len() {
+        let (u, v) = pairs[idx];
+        let mut count = 1u32;
+        while idx + (count as usize) < pairs.len() && pairs[idx + count as usize] == (u, v) {
+            count += 1;
+        }
+        if count >= config.min_shared {
+            offsets_builder.add_weighted_edge(u, v, f64::from(count));
+        }
+        idx += count as usize;
+    }
+    offsets_builder.build()
+}
+
+/// Project onto the right side (containers) — e.g. the movie–movie graph
+/// from the actor×movie affiliation. Equivalent to projecting the transpose.
+pub fn project_right(b: &BipartiteGraph, config: ProjectionConfig) -> Result<CsrGraph> {
+    project_left(&b.transpose(), config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// actors {0,1,2,3} x movies {0,1,2}:
+    ///   movie 0: {0,1}, movie 1: {0,1,2}, movie 2: {3}
+    fn affiliation() -> BipartiteGraph {
+        BipartiteGraph::from_memberships(
+            4,
+            3,
+            &[(0, 0), (1, 0), (0, 1), (1, 1), (2, 1), (3, 2)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn left_projection_counts_shared_containers() {
+        let g = project_left(&affiliation(), ProjectionConfig::default()).unwrap();
+        assert_eq!(g.num_nodes(), 4);
+        // 0-1 share movies {0,1} => weight 2; 0-2 and 1-2 share movie 1.
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbor_weights(0).unwrap(), &[2.0, 1.0]);
+        assert_eq!(g.neighbors(2), &[0, 1]);
+        // actor 3 is isolated (only member of movie 2)
+        assert!(g.neighbors(3).is_empty());
+        assert!(!g.is_directed());
+    }
+
+    #[test]
+    fn right_projection_is_transpose_projection() {
+        let g = project_right(&affiliation(), ProjectionConfig::default()).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        // movies 0 and 1 share actors {0,1} => weight 2; movie 2 isolated.
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbor_weights(0).unwrap(), &[2.0]);
+        assert!(g.neighbors(2).is_empty());
+    }
+
+    #[test]
+    fn min_shared_threshold_prunes() {
+        let cfg = ProjectionConfig { min_shared: 2, ..Default::default() };
+        let g = project_left(&affiliation(), cfg).unwrap();
+        // only the 0-1 pair shares >= 2 movies
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert!(g.neighbors(2).is_empty());
+    }
+
+    #[test]
+    fn container_cap_skips_big_containers() {
+        let cfg = ProjectionConfig { min_shared: 1, max_container_size: Some(2) };
+        let g = project_left(&affiliation(), cfg).unwrap();
+        // movie 1 (3 members) is skipped; only movie 0 contributes the 0-1 edge
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.neighbor_weights(0).unwrap(), &[1.0]);
+    }
+
+    #[test]
+    fn empty_bipartite_projects_to_empty() {
+        let b = BipartiteGraph::from_memberships(3, 2, &[]).unwrap();
+        let g = project_left(&b, ProjectionConfig::default()).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn projection_weights_are_symmetric() {
+        let g = project_left(&affiliation(), ProjectionConfig::default()).unwrap();
+        for (u, v, w) in g.weighted_arcs() {
+            let ns = g.neighbors(v);
+            let pos = ns.binary_search(&u).expect("mirror arc exists");
+            let w2 = g.neighbor_weights(v).unwrap()[pos];
+            assert_eq!(w, w2);
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Degree statistics of a graph — the columns of the paper's Table 3.
+//!
+//! Table 3 reports, per data graph: number of nodes, number of edges, average
+//! node degree, standard deviation of node degrees, and the *median standard
+//! deviation of neighbors' node degrees*. The last column drives the paper's
+//! explanation of why Group-B curves collapse for `p < 0` while Group-C
+//! curves plateau (§4.3.2–4.3.3), so it is computed here exactly: for every
+//! node take the standard deviation of its neighbors' degrees, then take the
+//! median over all nodes with at least one neighbor.
+
+use crate::csr::{CsrGraph, NodeId};
+
+/// Summary degree statistics for a graph (paper Table 3 row).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeStats {
+    /// Number of nodes.
+    pub num_nodes: usize,
+    /// Number of logical edges (see [`CsrGraph::num_edges`]).
+    pub num_edges: usize,
+    /// Mean node degree.
+    pub avg_degree: f64,
+    /// Population standard deviation of node degrees.
+    pub std_degree: f64,
+    /// Median over nodes of the standard deviation of the node's neighbors'
+    /// degrees. Nodes without neighbors are excluded from the median.
+    pub median_neighbor_degree_std: f64,
+    /// Maximum node degree.
+    pub max_degree: u32,
+    /// Minimum node degree.
+    pub min_degree: u32,
+    /// Number of isolated (degree-0) nodes.
+    pub isolated_nodes: usize,
+}
+
+/// Degree of each node as used throughout the paper: plain degree for
+/// undirected graphs, out-degree for directed graphs.
+pub fn degrees(g: &CsrGraph) -> Vec<u32> {
+    g.nodes().map(|v| g.kernel_degree(v)).collect()
+}
+
+/// Degrees as `f64`, convenient for correlation computations.
+pub fn degrees_f64(g: &CsrGraph) -> Vec<f64> {
+    g.nodes().map(|v| f64::from(g.kernel_degree(v))).collect()
+}
+
+/// Population mean and standard deviation of a slice.
+fn mean_std(xs: &[f64]) -> (f64, f64) {
+    if xs.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    (mean, var.sqrt())
+}
+
+/// Median of a slice (averaging the two middle elements for even lengths).
+fn median(xs: &mut [f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let n = xs.len();
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        (xs[n / 2 - 1] + xs[n / 2]) / 2.0
+    }
+}
+
+/// Standard deviation of the degrees of `v`'s neighbors, or `None` when `v`
+/// has no neighbors.
+pub fn neighbor_degree_std(g: &CsrGraph, v: NodeId, degs: &[u32]) -> Option<f64> {
+    let ns = g.neighbors(v);
+    if ns.is_empty() {
+        return None;
+    }
+    let vals: Vec<f64> = ns.iter().map(|&t| f64::from(degs[t as usize])).collect();
+    Some(mean_std(&vals).1)
+}
+
+/// Compute the full Table-3 statistics for a graph.
+pub fn degree_stats(g: &CsrGraph) -> DegreeStats {
+    let degs = degrees(g);
+    let degs_f: Vec<f64> = degs.iter().map(|&d| f64::from(d)).collect();
+    let (avg, std) = mean_std(&degs_f);
+    let mut neighbor_stds: Vec<f64> = g
+        .nodes()
+        .filter_map(|v| neighbor_degree_std(g, v, &degs))
+        .collect();
+    let med = median(&mut neighbor_stds);
+    DegreeStats {
+        num_nodes: g.num_nodes(),
+        num_edges: g.num_edges(),
+        avg_degree: avg,
+        std_degree: std,
+        median_neighbor_degree_std: med,
+        max_degree: degs.iter().copied().max().unwrap_or(0),
+        min_degree: degs.iter().copied().min().unwrap_or(0),
+        isolated_nodes: degs.iter().filter(|&&d| d == 0).count(),
+    }
+}
+
+/// Degree histogram: `hist[d]` = number of nodes with degree `d`.
+pub fn degree_histogram(g: &CsrGraph) -> Vec<usize> {
+    let degs = degrees(g);
+    let max = degs.iter().copied().max().unwrap_or(0) as usize;
+    let mut hist = vec![0usize; max + 1];
+    for d in degs {
+        hist[d as usize] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::csr::Direction;
+
+    /// Star graph: center 0 connected to 1..=4.
+    fn star5() -> CsrGraph {
+        let mut b = GraphBuilder::new(Direction::Undirected, 5);
+        for leaf in 1..5 {
+            b.add_edge(0, leaf);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn star_degree_stats() {
+        let s = degree_stats(&star5());
+        assert_eq!(s.num_nodes, 5);
+        assert_eq!(s.num_edges, 4);
+        assert_eq!(s.max_degree, 4);
+        assert_eq!(s.min_degree, 1);
+        // degrees: [4,1,1,1,1] -> mean 1.6
+        assert!((s.avg_degree - 1.6).abs() < 1e-12);
+        // var = (4-1.6)^2 + 4*(1-1.6)^2 over 5 = (5.76 + 1.44)/5 = 1.44
+        assert!((s.std_degree - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn star_neighbor_degree_std() {
+        let g = star5();
+        let degs = degrees(&g);
+        // center's neighbors all have degree 1 -> std 0
+        assert_eq!(neighbor_degree_std(&g, 0, &degs), Some(0.0));
+        // each leaf's single neighbor has degree 4 -> std 0
+        assert_eq!(neighbor_degree_std(&g, 1, &degs), Some(0.0));
+        let s = degree_stats(&g);
+        assert_eq!(s.median_neighbor_degree_std, 0.0);
+    }
+
+    #[test]
+    fn isolated_node_excluded_from_median() {
+        let mut b = GraphBuilder::new(Direction::Undirected, 4);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        // node 3 isolated
+        let g = b.build().unwrap();
+        let s = degree_stats(&g);
+        assert_eq!(s.isolated_nodes, 1);
+        assert_eq!(s.min_degree, 0);
+        // neighbor degree std per node: 0:{deg(1)=2}->0, 1:{1,1}->0, 2:{2}->0
+        assert_eq!(s.median_neighbor_degree_std, 0.0);
+    }
+
+    #[test]
+    fn heterogeneous_neighbor_degrees() {
+        // path 0-1-2-3: degrees [1,2,2,1]
+        let mut b = GraphBuilder::new(Direction::Undirected, 4);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(2, 3);
+        let g = b.build().unwrap();
+        let degs = degrees(&g);
+        // node 1 neighbors {0,2} with degrees {1,2}: mean 1.5, std 0.5
+        assert!((neighbor_degree_std(&g, 1, &degs).unwrap() - 0.5).abs() < 1e-12);
+        // node 0 neighbor {1} deg 2 -> std 0
+        assert_eq!(neighbor_degree_std(&g, 0, &degs), Some(0.0));
+        let s = degree_stats(&g);
+        // per-node stds: [0, 0.5, 0.5, 0] -> median (0+0.5)/2... sorted [0,0,0.5,0.5] -> 0.25
+        assert!((s.median_neighbor_degree_std - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn directed_uses_out_degree() {
+        let mut b = GraphBuilder::new(Direction::Directed, 3);
+        b.add_edge(0, 1);
+        b.add_edge(0, 2);
+        let g = b.build().unwrap();
+        assert_eq!(degrees(&g), vec![2, 0, 0]);
+        let s = degree_stats(&g);
+        assert_eq!(s.num_edges, 2);
+        assert_eq!(s.isolated_nodes, 2);
+    }
+
+    #[test]
+    fn histogram_counts_degrees() {
+        let h = degree_histogram(&star5());
+        assert_eq!(h, vec![0, 4, 0, 0, 1]);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = GraphBuilder::new(Direction::Undirected, 0).build().unwrap();
+        let s = degree_stats(&g);
+        assert_eq!(s.num_nodes, 0);
+        assert_eq!(s.avg_degree, 0.0);
+        assert_eq!(s.median_neighbor_degree_std, 0.0);
+        assert_eq!(degree_histogram(&g), vec![0]);
+    }
+
+    #[test]
+    fn median_even_and_odd() {
+        assert_eq!(median(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&mut [4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&mut []), 0.0);
+    }
+}

@@ -1,0 +1,188 @@
+//! Induced subgraphs and component extraction.
+//!
+//! Real evaluation pipelines (including the paper's) typically operate on
+//! the giant component of a projection — isolated nodes hold only teleport
+//! mass and dilute rank correlations. This module extracts induced
+//! subgraphs with a dense re-numbering and a mapping back to the original
+//! node ids.
+
+use crate::components::connected_components;
+use crate::csr::{CsrGraph, Direction, NodeId};
+use crate::error::{GraphError, Result};
+
+/// An induced subgraph together with its id mappings.
+#[derive(Debug, Clone)]
+pub struct Subgraph {
+    /// The extracted graph over dense ids `0..kept.len()`.
+    pub graph: CsrGraph,
+    /// `kept[new_id] = original_id`.
+    pub kept: Vec<NodeId>,
+    /// `original_to_new[original_id] = Some(new_id)` for kept nodes.
+    pub original_to_new: Vec<Option<NodeId>>,
+}
+
+impl Subgraph {
+    /// Map a significance (or any per-node) vector from the original graph
+    /// onto the subgraph's node numbering.
+    ///
+    /// # Panics
+    /// Panics when `values` does not cover the original node set.
+    pub fn project_values(&self, values: &[f64]) -> Vec<f64> {
+        assert_eq!(
+            values.len(),
+            self.original_to_new.len(),
+            "value vector must cover the original graph"
+        );
+        self.kept.iter().map(|&orig| values[orig as usize]).collect()
+    }
+
+    /// Map subgraph scores back to the original numbering (missing nodes
+    /// receive `fill`).
+    pub fn lift_values(&self, values: &[f64], fill: f64) -> Vec<f64> {
+        let mut out = vec![fill; self.original_to_new.len()];
+        for (new_id, &orig) in self.kept.iter().enumerate() {
+            out[orig as usize] = values[new_id];
+        }
+        out
+    }
+}
+
+/// Extract the subgraph induced by `nodes` (duplicates ignored). Edges are
+/// kept when both endpoints are in the set; weights are preserved.
+pub fn induced_subgraph(g: &CsrGraph, nodes: &[NodeId]) -> Result<Subgraph> {
+    let n = g.num_nodes();
+    let mut original_to_new: Vec<Option<NodeId>> = vec![None; n];
+    let mut kept: Vec<NodeId> = Vec::with_capacity(nodes.len());
+    for &v in nodes {
+        if (v as usize) >= n {
+            return Err(GraphError::NodeOutOfRange { node: v, num_nodes: n as u32 });
+        }
+        if original_to_new[v as usize].is_none() {
+            original_to_new[v as usize] = Some(kept.len() as NodeId);
+            kept.push(v);
+        }
+    }
+    let mut b = crate::builder::GraphBuilder::new(g.direction(), kept.len());
+    for (new_src, &orig_src) in kept.iter().enumerate() {
+        let ns = g.neighbors(orig_src);
+        let ws = g.neighbor_weights(orig_src);
+        for (i, &t) in ns.iter().enumerate() {
+            if let Some(new_dst) = original_to_new[t as usize] {
+                // Undirected graphs store mirrored arcs; add each edge once.
+                if g.direction() == Direction::Undirected && (new_src as NodeId) > new_dst {
+                    continue;
+                }
+                if g.direction() == Direction::Undirected && (new_src as NodeId) == new_dst {
+                    continue; // self loop from mirror; builder policy applies on original
+                }
+                match ws {
+                    Some(w) => b.add_weighted_edge(new_src as NodeId, new_dst, w[i]),
+                    None => b.add_edge(new_src as NodeId, new_dst),
+                }
+            }
+        }
+    }
+    Ok(Subgraph { graph: b.build()?, kept, original_to_new })
+}
+
+/// Extract the largest (weakly) connected component.
+pub fn giant_component(g: &CsrGraph) -> Result<Subgraph> {
+    let comps = connected_components(g);
+    let nodes = match comps.giant_id() {
+        Some(id) => comps.members(id),
+        None => Vec::new(),
+    };
+    induced_subgraph(g, &nodes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn two_triangles() -> CsrGraph {
+        // triangle 0-1-2 and edge 3-4 (plus isolated 5)
+        let mut b = GraphBuilder::new(Direction::Undirected, 6);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(0, 2);
+        b.add_edge(3, 4);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn induced_keeps_internal_edges_only() {
+        let g = two_triangles();
+        let sub = induced_subgraph(&g, &[0, 1, 3]).unwrap();
+        assert_eq!(sub.graph.num_nodes(), 3);
+        // only edge 0-1 survives (3's partner 4 is absent)
+        assert_eq!(sub.graph.num_edges(), 1);
+        assert_eq!(sub.kept, vec![0, 1, 3]);
+        assert_eq!(sub.original_to_new[3], Some(2));
+        assert_eq!(sub.original_to_new[4], None);
+    }
+
+    #[test]
+    fn induced_preserves_weights() {
+        let mut b = GraphBuilder::new(Direction::Directed, 3);
+        b.add_weighted_edge(0, 1, 2.5);
+        b.add_weighted_edge(1, 2, 7.0);
+        let g = b.build().unwrap();
+        let sub = induced_subgraph(&g, &[0, 1]).unwrap();
+        assert_eq!(sub.graph.neighbor_weights(0).unwrap(), &[2.5]);
+        assert_eq!(sub.graph.num_edges(), 1);
+    }
+
+    #[test]
+    fn induced_rejects_out_of_range() {
+        let g = two_triangles();
+        assert!(induced_subgraph(&g, &[99]).is_err());
+    }
+
+    #[test]
+    fn duplicates_in_selection_ignored() {
+        let g = two_triangles();
+        let sub = induced_subgraph(&g, &[0, 0, 1, 1]).unwrap();
+        assert_eq!(sub.graph.num_nodes(), 2);
+        assert_eq!(sub.graph.num_edges(), 1);
+    }
+
+    #[test]
+    fn giant_component_extracts_triangle() {
+        let g = two_triangles();
+        let sub = giant_component(&g).unwrap();
+        assert_eq!(sub.graph.num_nodes(), 3);
+        assert_eq!(sub.graph.num_edges(), 3);
+        assert_eq!(sub.kept, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn value_projection_round_trips() {
+        let g = two_triangles();
+        let sub = giant_component(&g).unwrap();
+        let values = vec![10.0, 11.0, 12.0, 13.0, 14.0, 15.0];
+        let proj = sub.project_values(&values);
+        assert_eq!(proj, vec![10.0, 11.0, 12.0]);
+        let lifted = sub.lift_values(&proj, -1.0);
+        assert_eq!(lifted, vec![10.0, 11.0, 12.0, -1.0, -1.0, -1.0]);
+    }
+
+    #[test]
+    fn directed_induced_subgraph() {
+        let mut b = GraphBuilder::new(Direction::Directed, 4);
+        b.add_edge(0, 1);
+        b.add_edge(1, 0);
+        b.add_edge(1, 2);
+        let g = b.build().unwrap();
+        let sub = induced_subgraph(&g, &[0, 1]).unwrap();
+        assert_eq!(sub.graph.num_edges(), 2); // both directions kept
+        assert!(sub.graph.is_directed());
+    }
+
+    #[test]
+    fn empty_selection() {
+        let g = two_triangles();
+        let sub = induced_subgraph(&g, &[]).unwrap();
+        assert_eq!(sub.graph.num_nodes(), 0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Breadth-first and depth-first traversal.
+//!
+//! Used by [`crate::components`] and by tests/examples that need
+//! reachability or distance information (e.g. checking that generated worlds
+//! have a giant component before running random walks on them).
+
+use crate::csr::{CsrGraph, NodeId};
+use std::collections::VecDeque;
+
+/// Order in which nodes are visited from a source, breadth-first. Nodes not
+/// reachable from `source` are absent.
+pub fn bfs_order(g: &CsrGraph, source: NodeId) -> Vec<NodeId> {
+    let mut order = Vec::new();
+    let mut seen = vec![false; g.num_nodes()];
+    let mut queue = VecDeque::new();
+    seen[source as usize] = true;
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        for &t in g.neighbors(v) {
+            if !seen[t as usize] {
+                seen[t as usize] = true;
+                queue.push_back(t);
+            }
+        }
+    }
+    order
+}
+
+/// Hop distance from `source` to every node (`u32::MAX` when unreachable).
+pub fn bfs_distances(g: &CsrGraph, source: NodeId) -> Vec<u32> {
+    let mut dist = vec![u32::MAX; g.num_nodes()];
+    let mut queue = VecDeque::new();
+    dist[source as usize] = 0;
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v as usize];
+        for &t in g.neighbors(v) {
+            if dist[t as usize] == u32::MAX {
+                dist[t as usize] = d + 1;
+                queue.push_back(t);
+            }
+        }
+    }
+    dist
+}
+
+/// Depth-first preorder from a source (iterative, so deep graphs cannot blow
+/// the call stack).
+pub fn dfs_order(g: &CsrGraph, source: NodeId) -> Vec<NodeId> {
+    let mut order = Vec::new();
+    let mut seen = vec![false; g.num_nodes()];
+    let mut stack = vec![source];
+    while let Some(v) = stack.pop() {
+        if seen[v as usize] {
+            continue;
+        }
+        seen[v as usize] = true;
+        order.push(v);
+        // Push in reverse so the smallest neighbor is visited first,
+        // giving a deterministic order matching recursive DFS.
+        for &t in g.neighbors(v).iter().rev() {
+            if !seen[t as usize] {
+                stack.push(t);
+            }
+        }
+    }
+    order
+}
+
+/// Number of nodes reachable from `source` (including itself).
+pub fn reachable_count(g: &CsrGraph, source: NodeId) -> usize {
+    bfs_order(g, source).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::csr::Direction;
+
+    fn path4() -> CsrGraph {
+        let mut b = GraphBuilder::new(Direction::Undirected, 4);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(2, 3);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn bfs_visits_in_level_order() {
+        assert_eq!(bfs_order(&path4(), 1), vec![1, 0, 2, 3]);
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        assert_eq!(bfs_distances(&path4(), 0), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn unreachable_nodes_marked() {
+        let mut b = GraphBuilder::new(Direction::Directed, 3);
+        b.add_edge(0, 1);
+        let g = b.build().unwrap();
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], u32::MAX);
+        assert_eq!(reachable_count(&g, 0), 2);
+    }
+
+    #[test]
+    fn dfs_preorder_deterministic() {
+        // triangle + tail: 0-1, 0-2, 1-2, 2-3
+        let mut b = GraphBuilder::new(Direction::Undirected, 4);
+        b.add_edge(0, 1);
+        b.add_edge(0, 2);
+        b.add_edge(1, 2);
+        b.add_edge(2, 3);
+        let g = b.build().unwrap();
+        assert_eq!(dfs_order(&g, 0), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn dfs_handles_deep_path_without_recursion() {
+        let n = 100_000;
+        let mut b = GraphBuilder::new(Direction::Directed, n);
+        for v in 0..(n as u32 - 1) {
+            b.add_edge(v, v + 1);
+        }
+        let g = b.build().unwrap();
+        assert_eq!(dfs_order(&g, 0).len(), n);
+    }
+
+    #[test]
+    fn singleton_traversals() {
+        let g = GraphBuilder::new(Direction::Undirected, 1).build().unwrap();
+        assert_eq!(bfs_order(&g, 0), vec![0]);
+        assert_eq!(dfs_order(&g, 0), vec![0]);
+        assert_eq!(bfs_distances(&g, 0), vec![0]);
+    }
+}

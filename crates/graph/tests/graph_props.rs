@@ -1,0 +1,224 @@
+//! Property-based tests for the graph substrate.
+
+use d2pr_graph::builder::{DuplicatePolicy, GraphBuilder};
+use d2pr_graph::components::connected_components;
+use d2pr_graph::csr::{CsrGraph, Direction};
+use d2pr_graph::stats::{degree_stats, degrees};
+use d2pr_graph::subgraph::{giant_component, induced_subgraph};
+use d2pr_graph::traversal::{bfs_distances, bfs_order, dfs_order};
+use proptest::prelude::*;
+
+fn arb_edges(n: u32, max_edges: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    proptest::collection::vec((0..n, 0..n), 0..=max_edges)
+}
+
+fn build(direction: Direction, n: u32, edges: &[(u32, u32)]) -> CsrGraph {
+    let mut b = GraphBuilder::new(direction, n as usize);
+    for &(u, v) in edges {
+        b.add_edge(u, v);
+    }
+    b.build().expect("in-range edges")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Undirected storage is perfectly symmetric: u ∈ N(v) ⇔ v ∈ N(u).
+    #[test]
+    fn undirected_adjacency_symmetric(edges in arb_edges(25, 120)) {
+        let g = build(Direction::Undirected, 25, &edges);
+        for (u, v) in g.arcs() {
+            prop_assert!(g.has_arc(v, u), "missing mirror of {u}->{v}");
+        }
+        prop_assert_eq!(g.num_arcs(), 2 * g.num_edges());
+    }
+
+    /// Sum of out-degrees equals the arc count; in-degrees match too.
+    #[test]
+    fn degree_sums_match_arcs(edges in arb_edges(20, 100)) {
+        let g = build(Direction::Directed, 20, &edges);
+        let out_sum: u64 = g.nodes().map(|v| u64::from(g.out_degree(v))).sum();
+        let in_sum: u64 = g.nodes().map(|v| u64::from(g.in_degree(v))).sum();
+        prop_assert_eq!(out_sum, g.num_arcs() as u64);
+        prop_assert_eq!(in_sum, g.num_arcs() as u64);
+    }
+
+    /// Neighborhoods come out sorted and deduplicated under MergeSum.
+    #[test]
+    fn neighborhoods_sorted_dedup(edges in arb_edges(15, 80)) {
+        let g = build(Direction::Directed, 15, &edges);
+        for v in g.nodes() {
+            let ns = g.neighbors(v);
+            prop_assert!(ns.windows(2).all(|w| w[0] < w[1]), "node {v}: {ns:?}");
+        }
+    }
+
+    /// Keep policy preserves multiplicity: arc count equals non-loop input count.
+    #[test]
+    fn keep_policy_preserves_count(edges in arb_edges(12, 60)) {
+        let mut b = GraphBuilder::new(Direction::Directed, 12)
+            .duplicate_policy(DuplicatePolicy::Keep);
+        let mut expected = 0;
+        for &(u, v) in &edges {
+            b.add_edge(u, v);
+            if u != v {
+                expected += 1; // self-loops dropped by default policy
+            }
+        }
+        let g = b.build().expect("valid");
+        prop_assert_eq!(g.num_arcs(), expected);
+    }
+
+    /// Component labels partition the node set and sizes sum to n.
+    #[test]
+    fn components_partition(edges in arb_edges(30, 90)) {
+        let g = build(Direction::Undirected, 30, &edges);
+        let c = connected_components(&g);
+        prop_assert_eq!(c.labels.len(), 30);
+        prop_assert_eq!(c.sizes.iter().sum::<usize>(), 30);
+        for (u, v) in g.arcs() {
+            prop_assert_eq!(c.labels[u as usize], c.labels[v as usize]);
+        }
+        // every label in range
+        prop_assert!(c.labels.iter().all(|&l| (l as usize) < c.count));
+    }
+
+    /// BFS distances satisfy the edge relaxation property:
+    /// |dist(u) − dist(v)| ≤ 1 across every edge (undirected).
+    #[test]
+    fn bfs_distance_relaxation(edges in arb_edges(20, 80), src in 0u32..20) {
+        let g = build(Direction::Undirected, 20, &edges);
+        let d = bfs_distances(&g, src);
+        prop_assert_eq!(d[src as usize], 0);
+        for (u, v) in g.arcs() {
+            let (du, dv) = (d[u as usize], d[v as usize]);
+            if du != u32::MAX {
+                prop_assert!(dv != u32::MAX && dv <= du + 1);
+            }
+        }
+    }
+
+    /// BFS and DFS visit exactly the same node set (reachability agrees).
+    #[test]
+    fn bfs_dfs_reach_same_set(edges in arb_edges(18, 70), src in 0u32..18) {
+        let g = build(Direction::Directed, 18, &edges);
+        let mut b: Vec<u32> = bfs_order(&g, src);
+        let mut d: Vec<u32> = dfs_order(&g, src);
+        b.sort_unstable();
+        d.sort_unstable();
+        prop_assert_eq!(b, d);
+    }
+
+    /// Induced subgraph on ALL nodes reproduces the original edge count,
+    /// and the giant component has no more edges than the original.
+    #[test]
+    fn subgraph_conservation(edges in arb_edges(16, 60)) {
+        let g = build(Direction::Undirected, 16, &edges);
+        let all: Vec<u32> = g.nodes().collect();
+        let full = induced_subgraph(&g, &all).expect("in range");
+        prop_assert_eq!(full.graph.num_edges(), g.num_edges());
+        let giant = giant_component(&g).expect("in range");
+        prop_assert!(giant.graph.num_edges() <= g.num_edges());
+        let c = connected_components(&giant.graph);
+        prop_assert!(c.count <= 1, "giant component must be connected");
+    }
+
+    /// Degree statistics are internally consistent.
+    #[test]
+    fn degree_stats_consistent(edges in arb_edges(22, 100)) {
+        let g = build(Direction::Undirected, 22, &edges);
+        let s = degree_stats(&g);
+        let degs = degrees(&g);
+        prop_assert_eq!(s.max_degree, degs.iter().copied().max().unwrap_or(0));
+        prop_assert_eq!(s.min_degree, degs.iter().copied().min().unwrap_or(0));
+        prop_assert!(s.min_degree <= s.max_degree || degs.is_empty());
+        prop_assert!(s.avg_degree <= f64::from(s.max_degree));
+        prop_assert!(s.avg_degree >= f64::from(s.min_degree));
+        prop_assert!(s.std_degree >= 0.0);
+        let mean = degs.iter().map(|&d| f64::from(d)).sum::<f64>() / 22.0;
+        prop_assert!((s.avg_degree - mean).abs() < 1e-12);
+    }
+
+    /// Edge-list text round trip preserves the graph for arbitrary inputs.
+    #[test]
+    fn edge_list_round_trip(edges in arb_edges(14, 50)) {
+        let g = build(Direction::Undirected, 14, &edges);
+        let mut doc = Vec::new();
+        d2pr_graph::io::write_edge_list(&g, &mut doc).expect("write");
+        let g2 = d2pr_graph::io::read_edge_list(std::io::Cursor::new(doc), Direction::Undirected)
+            .expect("parse");
+        // Node count can shrink (trailing isolated nodes are not serialized);
+        // adjacency of surviving nodes must match exactly.
+        for v in g2.nodes() {
+            prop_assert_eq!(g2.neighbors(v), g.neighbors(v));
+        }
+        prop_assert_eq!(g2.num_edges(), g.num_edges());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Degree-preserving rewiring keeps the exact degree sequence for any
+    /// input graph and swap intensity.
+    #[test]
+    fn rewiring_preserves_degree_sequence(
+        edges in arb_edges(20, 80),
+        swaps in 0.0f64..4.0,
+        seed in proptest::prelude::any::<u64>(),
+    ) {
+        let g = build(Direction::Undirected, 20, &edges);
+        let r = d2pr_graph::rewire::degree_preserving_rewire(&g, swaps, seed)
+            .expect("rewiring valid input");
+        prop_assert_eq!(degrees(&g), degrees(&r));
+        prop_assert_eq!(g.num_edges(), r.num_edges());
+    }
+
+    /// Core numbers never exceed degrees, and the k-core subgraph induced by
+    /// nodes with core >= k has minimum degree >= k inside itself.
+    #[test]
+    fn k_core_invariants(edges in arb_edges(18, 70)) {
+        let g = build(Direction::Undirected, 18, &edges);
+        let core = d2pr_graph::rewire::k_core(&g);
+        for v in g.nodes() {
+            prop_assert!(core[v as usize] <= g.out_degree(v));
+        }
+        let max_core = core.iter().copied().max().unwrap_or(0);
+        if max_core > 0 {
+            let members: Vec<u32> = g
+                .nodes()
+                .filter(|&v| core[v as usize] >= max_core)
+                .collect();
+            let sub = induced_subgraph(&g, &members).expect("in range");
+            for v in sub.graph.nodes() {
+                prop_assert!(
+                    sub.graph.out_degree(v) >= max_core,
+                    "node {v} has degree {} inside the {max_core}-core",
+                    sub.graph.out_degree(v)
+                );
+            }
+        }
+    }
+
+    /// Assortativity, when defined, is a correlation: bounded by [-1, 1].
+    #[test]
+    fn assortativity_bounded(edges in arb_edges(16, 60)) {
+        let g = build(Direction::Undirected, 16, &edges);
+        if let Some(r) = d2pr_graph::metrics::degree_assortativity(&g) {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r), "{r}");
+        }
+    }
+
+    /// Clustering coefficients are proper fractions.
+    #[test]
+    fn clustering_bounded(edges in arb_edges(14, 50)) {
+        let g = build(Direction::Undirected, 14, &edges);
+        for v in g.nodes() {
+            if let Some(c) = d2pr_graph::metrics::local_clustering(&g, v) {
+                prop_assert!((0.0..=1.0).contains(&c));
+            }
+        }
+        let avg = d2pr_graph::metrics::average_clustering(&g);
+        prop_assert!((0.0..=1.0).contains(&avg));
+    }
+}

@@ -1,0 +1,195 @@
+//! Bootstrap confidence intervals for correlation estimates.
+//!
+//! The paper reports point correlations per `(graph, p, α, β)` cell; on
+//! regenerated synthetic worlds the natural question is whether two cells
+//! differ *beyond resampling noise*. EXPERIMENTS.md uses these intervals to
+//! justify calling a plateau "flat" and an optimum "real".
+//!
+//! Implementation notes: a deterministic `SplitMix64` generator keeps this
+//! crate dependency-free while making every interval reproducible.
+
+/// Minimal deterministic PRNG (SplitMix64) — used only for resampling.
+#[derive(Debug, Clone)]
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// A two-sided bootstrap confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// The point estimate on the full sample.
+    pub estimate: f64,
+    /// Lower percentile bound.
+    pub low: f64,
+    /// Upper percentile bound.
+    pub high: f64,
+    /// Number of bootstrap resamples that produced a defined statistic.
+    pub effective_resamples: usize,
+}
+
+impl ConfidenceInterval {
+    /// Whether the interval excludes a value (e.g. 0 for "significantly
+    /// correlated").
+    pub fn excludes(&self, value: f64) -> bool {
+        value < self.low || value > self.high
+    }
+
+    /// Whether two intervals overlap.
+    pub fn overlaps(&self, other: &ConfidenceInterval) -> bool {
+        self.low <= other.high && other.low <= self.high
+    }
+}
+
+/// Percentile-bootstrap CI for any paired statistic (e.g. Spearman).
+///
+/// `statistic` receives resampled-with-replacement pairs; resamples where it
+/// returns `None` (degenerate variance) are skipped. Returns `None` when
+/// the statistic is undefined on the full sample, inputs mismatch, or fewer
+/// than 10 resamples succeed.
+pub fn bootstrap_ci<F>(
+    xs: &[f64],
+    ys: &[f64],
+    statistic: F,
+    resamples: usize,
+    confidence: f64,
+    seed: u64,
+) -> Option<ConfidenceInterval>
+where
+    F: Fn(&[f64], &[f64]) -> Option<f64>,
+{
+    if xs.len() != ys.len() || xs.is_empty() || !(0.0..1.0).contains(&confidence) {
+        return None;
+    }
+    let estimate = statistic(xs, ys)?;
+    let n = xs.len();
+    let mut rng = SplitMix64::new(seed ^ 0xB007);
+    let mut stats = Vec::with_capacity(resamples);
+    let mut rx = vec![0.0; n];
+    let mut ry = vec![0.0; n];
+    for _ in 0..resamples {
+        for i in 0..n {
+            let j = rng.below(n);
+            rx[i] = xs[j];
+            ry[i] = ys[j];
+        }
+        if let Some(s) = statistic(&rx, &ry) {
+            stats.push(s);
+        }
+    }
+    if stats.len() < 10 {
+        return None;
+    }
+    stats.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite statistics"));
+    let tail = (1.0 - confidence) / 2.0;
+    let lo_idx = ((stats.len() as f64) * tail).floor() as usize;
+    let hi_idx = (((stats.len() as f64) * (1.0 - tail)).ceil() as usize)
+        .saturating_sub(1)
+        .min(stats.len() - 1);
+    Some(ConfidenceInterval {
+        estimate,
+        low: stats[lo_idx],
+        high: stats[hi_idx],
+        effective_resamples: stats.len(),
+    })
+}
+
+/// Convenience wrapper: bootstrap CI of the Spearman correlation.
+pub fn spearman_ci(
+    xs: &[f64],
+    ys: &[f64],
+    resamples: usize,
+    confidence: f64,
+    seed: u64,
+) -> Option<ConfidenceInterval> {
+    bootstrap_ci(xs, ys, crate::correlation::spearman, resamples, confidence, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_noisy(n: usize) -> (Vec<f64>, Vec<f64>) {
+        // deterministic pseudo-noise via the same SplitMix
+        let mut rng = SplitMix64::new(7);
+        let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let ys: Vec<f64> =
+            xs.iter().map(|x| x + (rng.next_u64() % 1000) as f64 / 100.0).collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn strong_correlation_excludes_zero() {
+        let (xs, ys) = linear_noisy(200);
+        let ci = spearman_ci(&xs, &ys, 200, 0.95, 1).expect("defined");
+        assert!(ci.estimate > 0.9);
+        assert!(ci.excludes(0.0));
+        assert!(ci.low <= ci.estimate && ci.estimate <= ci.high);
+    }
+
+    #[test]
+    fn independent_data_includes_zero() {
+        // A fixed scrambled pattern with near-zero rank correlation.
+        let xs: Vec<f64> = (0..60).map(f64::from).collect();
+        let mut rng = SplitMix64::new(3);
+        let ys: Vec<f64> = (0..60).map(|_| (rng.next_u64() % 10_000) as f64).collect();
+        let ci = spearman_ci(&xs, &ys, 300, 0.95, 2).expect("defined");
+        assert!(!ci.excludes(0.0), "CI [{}, {}] should include 0", ci.low, ci.high);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (xs, ys) = linear_noisy(50);
+        let a = spearman_ci(&xs, &ys, 100, 0.9, 5).unwrap();
+        let b = spearman_ci(&xs, &ys, 100, 0.9, 5).unwrap();
+        assert_eq!(a, b);
+        let c = spearman_ci(&xs, &ys, 100, 0.9, 6).unwrap();
+        assert!(a.low != c.low || a.high != c.high);
+    }
+
+    #[test]
+    fn wider_confidence_gives_wider_interval() {
+        let (xs, ys) = linear_noisy(80);
+        let narrow = spearman_ci(&xs, &ys, 400, 0.5, 9).unwrap();
+        let wide = spearman_ci(&xs, &ys, 400, 0.99, 9).unwrap();
+        assert!(wide.high - wide.low >= narrow.high - narrow.low);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_none() {
+        assert!(spearman_ci(&[1.0], &[2.0], 100, 0.95, 1).is_none());
+        assert!(spearman_ci(&[1.0, 2.0], &[1.0], 100, 0.95, 1).is_none());
+        // constant sample: statistic undefined on the full sample
+        assert!(spearman_ci(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0], 100, 0.95, 1).is_none());
+        // invalid confidence
+        let (xs, ys) = linear_noisy(20);
+        assert!(spearman_ci(&xs, &ys, 100, 1.0, 1).is_none());
+    }
+
+    #[test]
+    fn overlap_logic() {
+        let a = ConfidenceInterval { estimate: 0.5, low: 0.4, high: 0.6, effective_resamples: 100 };
+        let b = ConfidenceInterval { estimate: 0.55, low: 0.5, high: 0.7, effective_resamples: 100 };
+        let c = ConfidenceInterval { estimate: 0.9, low: 0.8, high: 0.95, effective_resamples: 100 };
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c));
+    }
+}

@@ -1,0 +1,212 @@
+//! Correlation coefficients: Pearson, Spearman, Kendall.
+//!
+//! The paper's evaluation statistic (§4.2) is Spearman's rank correlation —
+//! "the agreement between the D2PR ranks of the nodes in the graph and their
+//! application-specific significances" — computed as Pearson correlation on
+//! fractional ranks, which handles ties correctly (node degrees and listening
+//! counts are heavily tied). Kendall's τ-b is provided as a robustness check.
+
+use crate::rank::{fractional_ranks, RankOrder};
+
+/// Pearson product-moment correlation of two equal-length samples.
+///
+/// Returns `None` when fewer than two points are given, when lengths differ,
+/// or when either sample has zero variance (the coefficient is undefined).
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        let dx = x - mx;
+        let dy = y - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx.sqrt() * syy.sqrt()))
+}
+
+/// Spearman's rank correlation with average-rank tie handling (the paper's
+/// measure). `None` under the same conditions as [`pearson`] — in
+/// particular when either variable is constant.
+pub fn spearman(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let rx = fractional_ranks(xs, RankOrder::Ascending);
+    let ry = fractional_ranks(ys, RankOrder::Ascending);
+    pearson(&rx, &ry)
+}
+
+/// Kendall's τ-b (tie-adjusted), computed by the O(n²) pair scan. Intended
+/// for validation and modest sample sizes; the experiment harness samples
+/// before calling this on large graphs.
+pub fn kendall_tau_b(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let n = xs.len();
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    let mut ties_x = 0i64;
+    let mut ties_y = 0i64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dx = xs[i] - xs[j];
+            let dy = ys[i] - ys[j];
+            // τ-b tie corrections count *every* pair tied in a variable,
+            // including pairs tied in both.
+            if dx == 0.0 {
+                ties_x += 1;
+            }
+            if dy == 0.0 {
+                ties_y += 1;
+            }
+            if dx != 0.0 && dy != 0.0 {
+                if (dx > 0.0) == (dy > 0.0) {
+                    concordant += 1;
+                } else {
+                    discordant += 1;
+                }
+            }
+        }
+    }
+    let n0 = (n * (n - 1) / 2) as i64;
+    let denom = (((n0 - ties_x) as f64) * ((n0 - ties_y) as f64)).sqrt();
+    if denom == 0.0 {
+        return None;
+    }
+    Some((concordant - discordant) as f64 / denom)
+}
+
+/// Spearman correlation between two *already ranked* sequences (no re-ranking),
+/// using the classic d² formula valid when there are no ties:
+/// `ρ = 1 − 6·Σd² / (n·(n²−1))`.
+pub fn spearman_from_distinct_ranks(rx: &[f64], ry: &[f64]) -> Option<f64> {
+    if rx.len() != ry.len() || rx.len() < 2 {
+        return None;
+    }
+    let n = rx.len() as f64;
+    let d2: f64 = rx.iter().zip(ry).map(|(&a, &b)| (a - b) * (a - b)).sum();
+    Some(1.0 - 6.0 * d2 / (n * (n * n - 1.0)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn pearson_perfect_linear() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&xs, &ys).unwrap() - 1.0).abs() < EPS);
+        let neg = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&xs, &neg).unwrap() + 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn pearson_undefined_cases() {
+        assert_eq!(pearson(&[1.0], &[2.0]), None);
+        assert_eq!(pearson(&[1.0, 2.0], &[3.0]), None);
+        assert_eq!(pearson(&[1.0, 1.0], &[1.0, 2.0]), None);
+    }
+
+    #[test]
+    fn spearman_monotone_nonlinear_is_one() {
+        let xs = [1.0f64, 2.0, 3.0, 4.0, 5.0];
+        let ys: Vec<f64> = xs.iter().map(|x| x.exp()).collect();
+        assert!((spearman(&xs, &ys).unwrap() - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn spearman_reversed_is_minus_one() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [9.0, 7.0, 5.0, 1.0];
+        assert!((spearman(&xs, &ys).unwrap() + 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn spearman_with_ties_matches_reference() {
+        // Reference value computed with scipy.stats.spearmanr:
+        // xs=[1,2,2,3], ys=[1,3,2,4] -> rho = 0.9486832980505138
+        let xs = [1.0, 2.0, 2.0, 3.0];
+        let ys = [1.0, 3.0, 2.0, 4.0];
+        assert!((spearman(&xs, &ys).unwrap() - 0.948_683_298_050_513_8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_independent_is_small() {
+        // A fixed "random-looking" pattern with low rank agreement.
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let ys = [5.0, 1.0, 8.0, 2.0, 7.0, 3.0, 6.0, 4.0];
+        let rho = spearman(&xs, &ys).unwrap();
+        assert!(rho.abs() < 0.5, "rho={rho}");
+    }
+
+    #[test]
+    fn kendall_perfect_orders() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [10.0, 20.0, 30.0, 40.0];
+        assert!((kendall_tau_b(&xs, &ys).unwrap() - 1.0).abs() < EPS);
+        let rev = [4.0, 3.0, 2.0, 1.0];
+        assert!((kendall_tau_b(&xs, &rev).unwrap() + 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn kendall_with_ties_matches_reference() {
+        // scipy.stats.kendalltau([1,2,2,3],[1,3,2,4]) -> 0.9128709291752769
+        let xs = [1.0, 2.0, 2.0, 3.0];
+        let ys = [1.0, 3.0, 2.0, 4.0];
+        assert!((kendall_tau_b(&xs, &ys).unwrap() - 0.912_870_929_175_276_9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kendall_undefined_when_constant() {
+        assert_eq!(kendall_tau_b(&[1.0, 1.0], &[1.0, 2.0]), None);
+    }
+
+    #[test]
+    fn spearman_agrees_with_d2_formula_when_no_ties() {
+        let xs = [3.0, 1.0, 4.0, 1.5, 5.0, 9.0, 2.6];
+        let ys = [2.0, 7.0, 1.0, 8.0, 2.8, 1.8, 2.85];
+        let general = spearman(&xs, &ys).unwrap();
+        let rx = fractional_ranks(&xs, RankOrder::Ascending);
+        let ry = fractional_ranks(&ys, RankOrder::Ascending);
+        let classic = spearman_from_distinct_ranks(&rx, &ry).unwrap();
+        assert!((general - classic).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_is_symmetric() {
+        let xs = [1.0, 5.0, 3.0, 2.0];
+        let ys = [4.0, 1.0, 2.0, 8.0];
+        assert!((spearman(&xs, &ys).unwrap() - spearman(&ys, &xs).unwrap()).abs() < EPS);
+        assert!((pearson(&xs, &ys).unwrap() - pearson(&ys, &xs).unwrap()).abs() < EPS);
+        assert!(
+            (kendall_tau_b(&xs, &ys).unwrap() - kendall_tau_b(&ys, &xs).unwrap()).abs() < EPS
+        );
+    }
+
+    #[test]
+    fn rank_direction_does_not_change_spearman_magnitude() {
+        // Spearman on descending ranks equals Spearman on values when both
+        // variables are ranked the same way; flipping one flips the sign.
+        let xs = [0.3, 0.1, 0.9, 0.5];
+        let ys = [1.0, 2.0, 0.5, 0.7];
+        let rho = spearman(&xs, &ys).unwrap();
+        let flipped: Vec<f64> = xs.iter().map(|x| -x).collect();
+        let rho_f = spearman(&flipped, &ys).unwrap();
+        assert!((rho + rho_f).abs() < EPS);
+    }
+}

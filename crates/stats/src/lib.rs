@@ -1,0 +1,34 @@
+//! # d2pr-stats
+//!
+//! Statistics substrate for the D2PR reproduction:
+//!
+//! * [`rank`] — fractional (average-tie) and ordinal ranking, top-k selection;
+//! * [`correlation`] — Pearson, Spearman (the paper's §4.2 evaluation
+//!   statistic) and Kendall τ-b;
+//! * [`summary`] — univariate summaries, quantiles, histograms;
+//! * [`metrics`] — precision@k / recall@k / NDCG / AP for the paper's
+//!   recommendation-accuracy framing.
+//!
+//! The crate is dependency-free and pure: every function is deterministic
+//! over its inputs, which keeps the experiment harness reproducible.
+//!
+//! ```
+//! use d2pr_stats::correlation::spearman;
+//!
+//! let degrees = [4.0, 3.0, 2.0, 1.0];
+//! let pagerank = [0.4, 0.3, 0.2, 0.1];
+//! let rho = spearman(&degrees, &pagerank).unwrap();
+//! assert!((rho - 1.0).abs() < 1e-12);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bootstrap;
+pub mod correlation;
+pub mod metrics;
+pub mod rank;
+pub mod summary;
+
+pub use correlation::{kendall_tau_b, pearson, spearman};
+pub use rank::{fractional_ranks, ordinal_ranks, top_k_indices, RankOrder};
+pub use summary::{quantile, summarize, Histogram, Summary};

@@ -1,0 +1,164 @@
+//! Top-k retrieval quality metrics.
+//!
+//! The paper motivates D2PR through *recommendation accuracy*: a ranking of
+//! nodes is good when its top entries are the application-significant ones.
+//! Beyond the paper's Spearman analysis, the experiment harness reports
+//! precision@k, recall@k, NDCG@k and average precision against the held-out
+//! significance signal — quantifying the claim that "degree de-coupling …
+//! improves recommendation accuracies".
+
+use std::collections::HashSet;
+
+/// Precision@k: fraction of the first `k` recommended items that are
+/// relevant. Returns `None` when `k == 0`.
+pub fn precision_at_k(recommended: &[usize], relevant: &HashSet<usize>, k: usize) -> Option<f64> {
+    if k == 0 {
+        return None;
+    }
+    let k_eff = k.min(recommended.len());
+    if k_eff == 0 {
+        return Some(0.0);
+    }
+    let hits = recommended[..k_eff].iter().filter(|i| relevant.contains(i)).count();
+    Some(hits as f64 / k as f64)
+}
+
+/// Recall@k: fraction of all relevant items that appear in the first `k`
+/// recommendations. Returns `None` when there are no relevant items.
+pub fn recall_at_k(recommended: &[usize], relevant: &HashSet<usize>, k: usize) -> Option<f64> {
+    if relevant.is_empty() {
+        return None;
+    }
+    let k_eff = k.min(recommended.len());
+    let hits = recommended[..k_eff].iter().filter(|i| relevant.contains(i)).count();
+    Some(hits as f64 / relevant.len() as f64)
+}
+
+/// Discounted cumulative gain at `k` over graded relevance
+/// (`gains[item]`), with the standard `log2(rank+1)` discount.
+pub fn dcg_at_k(recommended: &[usize], gains: &[f64], k: usize) -> f64 {
+    recommended
+        .iter()
+        .take(k)
+        .enumerate()
+        .map(|(pos, &item)| {
+            let g = gains.get(item).copied().unwrap_or(0.0);
+            g / ((pos + 2) as f64).log2()
+        })
+        .sum()
+}
+
+/// Normalized DCG at `k`: DCG divided by the best achievable DCG (ideal
+/// ordering of `gains`). Returns `None` when the ideal DCG is zero.
+pub fn ndcg_at_k(recommended: &[usize], gains: &[f64], k: usize) -> Option<f64> {
+    let mut ideal: Vec<usize> = (0..gains.len()).collect();
+    ideal.sort_by(|&a, &b| gains[b].partial_cmp(&gains[a]).expect("no NaN"));
+    let idcg = dcg_at_k(&ideal, gains, k);
+    if idcg == 0.0 {
+        return None;
+    }
+    Some(dcg_at_k(recommended, gains, k) / idcg)
+}
+
+/// Average precision of a single ranked list (AP; the mean over queries is
+/// MAP). Returns `None` when there are no relevant items.
+pub fn average_precision(recommended: &[usize], relevant: &HashSet<usize>) -> Option<f64> {
+    if relevant.is_empty() {
+        return None;
+    }
+    let mut hits = 0usize;
+    let mut sum = 0.0;
+    for (pos, item) in recommended.iter().enumerate() {
+        if relevant.contains(item) {
+            hits += 1;
+            sum += hits as f64 / (pos + 1) as f64;
+        }
+    }
+    Some(sum / relevant.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(items: &[usize]) -> HashSet<usize> {
+        items.iter().copied().collect()
+    }
+
+    #[test]
+    fn precision_counts_prefix_hits() {
+        let rec = [3, 1, 4, 1, 5];
+        let relevant = rel(&[3, 4]);
+        assert_eq!(precision_at_k(&rec, &relevant, 1), Some(1.0));
+        assert_eq!(precision_at_k(&rec, &relevant, 2), Some(0.5));
+        assert!((precision_at_k(&rec, &relevant, 3).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(precision_at_k(&rec, &relevant, 0), None);
+    }
+
+    #[test]
+    fn precision_with_short_list_uses_k_denominator() {
+        let rec = [7];
+        let relevant = rel(&[7]);
+        assert_eq!(precision_at_k(&rec, &relevant, 5), Some(0.2));
+    }
+
+    #[test]
+    fn recall_basics() {
+        let rec = [3, 1, 4];
+        let relevant = rel(&[3, 9]);
+        assert_eq!(recall_at_k(&rec, &relevant, 3), Some(0.5));
+        assert_eq!(recall_at_k(&rec, &rel(&[]), 3), None);
+        assert_eq!(recall_at_k(&rec, &relevant, 0), Some(0.0));
+    }
+
+    #[test]
+    fn dcg_discounts_by_position() {
+        let gains = vec![0.0, 3.0, 2.0];
+        // recommend [1, 2]: 3/log2(2) + 2/log2(3)
+        let d = dcg_at_k(&[1, 2], &gains, 2);
+        let expect = 3.0 / 2f64.log2() + 2.0 / 3f64.log2();
+        assert!((d - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ndcg_perfect_ordering_is_one() {
+        let gains = vec![1.0, 5.0, 3.0];
+        assert!((ndcg_at_k(&[1, 2, 0], &gains, 3).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ndcg_worst_ordering_below_one() {
+        let gains = vec![1.0, 5.0, 3.0];
+        let n = ndcg_at_k(&[0, 2, 1], &gains, 3).unwrap();
+        assert!(n < 1.0 && n > 0.0);
+    }
+
+    #[test]
+    fn ndcg_zero_gains_is_none() {
+        assert_eq!(ndcg_at_k(&[0, 1], &[0.0, 0.0], 2), None);
+    }
+
+    #[test]
+    fn average_precision_reference() {
+        // relevant at positions 1 and 3 (1-based): AP = (1/1 + 2/3)/2
+        let rec = [10, 11, 12];
+        let relevant = rel(&[10, 12]);
+        let ap = average_precision(&rec, &relevant).unwrap();
+        assert!((ap - (1.0 + 2.0 / 3.0) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_precision_counts_missing_relevant() {
+        // one relevant item never retrieved: denominator still counts it
+        let rec = [1];
+        let relevant = rel(&[1, 99]);
+        assert!((average_precision(&rec, &relevant).unwrap() - 0.5).abs() < 1e-12);
+        assert_eq!(average_precision(&rec, &rel(&[])), None);
+    }
+
+    #[test]
+    fn dcg_ignores_out_of_range_items() {
+        let gains = vec![1.0];
+        assert_eq!(dcg_at_k(&[5], &gains, 1), 0.0);
+    }
+}

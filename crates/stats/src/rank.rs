@@ -1,0 +1,161 @@
+//! Ranking utilities with tie handling.
+//!
+//! Spearman correlation (the paper's §4.2 measure) is Pearson correlation on
+//! *ranks*, with tied values receiving the average of the rank positions they
+//! occupy ("fractional ranking"). Both ascending and descending rankings are
+//! provided; the paper ranks nodes so that rank 1 is the most significant /
+//! highest-scoring node (see Table 2).
+
+/// Direction of a ranking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RankOrder {
+    /// Highest value gets rank 1 (the paper's convention for scores).
+    #[default]
+    Descending,
+    /// Lowest value gets rank 1.
+    Ascending,
+}
+
+/// Fractional (average-tie) ranks of `values`, 1-based.
+///
+/// `ranks[i]` is the rank of `values[i]`. Ties receive the mean of the rank
+/// positions they collectively occupy, e.g. two values tied for positions
+/// 2 and 3 both get rank 2.5.
+///
+/// # Panics
+/// Panics if any value is NaN (ranks are meaningless under NaN).
+pub fn fractional_ranks(values: &[f64], order: RankOrder) -> Vec<f64> {
+    assert!(
+        values.iter().all(|v| !v.is_nan()),
+        "fractional_ranks: NaN values cannot be ranked"
+    );
+    let n = values.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    match order {
+        RankOrder::Ascending => {
+            idx.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("no NaN"));
+        }
+        RankOrder::Descending => {
+            idx.sort_by(|&a, &b| values[b].partial_cmp(&values[a]).expect("no NaN"));
+        }
+    }
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && values[idx[j + 1]] == values[idx[i]] {
+            j += 1;
+        }
+        // positions i..=j (0-based) share the average 1-based rank
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            ranks[k] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Ordinal (competition-free) ranking: a permutation of `1..=n` where ties
+/// are broken by original index, giving each item a distinct integer rank.
+/// Used by Table 2, which reports a single integer rank per node.
+pub fn ordinal_ranks(values: &[f64], order: RankOrder) -> Vec<usize> {
+    assert!(values.iter().all(|v| !v.is_nan()), "ordinal_ranks: NaN values cannot be ranked");
+    let n = values.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    match order {
+        RankOrder::Ascending => idx.sort_by(|&a, &b| {
+            values[a].partial_cmp(&values[b]).expect("no NaN").then(a.cmp(&b))
+        }),
+        RankOrder::Descending => idx.sort_by(|&a, &b| {
+            values[b].partial_cmp(&values[a]).expect("no NaN").then(a.cmp(&b))
+        }),
+    }
+    let mut ranks = vec![0usize; n];
+    for (pos, &i) in idx.iter().enumerate() {
+        ranks[i] = pos + 1;
+    }
+    ranks
+}
+
+/// Indices of the `k` largest values, in descending value order (ties broken
+/// by lower index). The building block for top-k recommendation lists.
+pub fn top_k_indices(values: &[f64], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    idx.sort_by(|&a, &b| values[b].partial_cmp(&values[a]).expect("no NaN").then(a.cmp(&b)));
+    idx.truncate(k);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn descending_ranks_no_ties() {
+        let r = fractional_ranks(&[0.1, 0.5, 0.3], RankOrder::Descending);
+        assert_eq!(r, vec![3.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn ascending_ranks_no_ties() {
+        let r = fractional_ranks(&[0.1, 0.5, 0.3], RankOrder::Ascending);
+        assert_eq!(r, vec![1.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn ties_get_average_rank() {
+        // values 5,5 tie for positions 1,2 -> rank 1.5 each
+        let r = fractional_ranks(&[5.0, 5.0, 1.0], RankOrder::Descending);
+        assert_eq!(r, vec![1.5, 1.5, 3.0]);
+    }
+
+    #[test]
+    fn all_tied() {
+        let r = fractional_ranks(&[2.0, 2.0, 2.0, 2.0], RankOrder::Ascending);
+        assert_eq!(r, vec![2.5, 2.5, 2.5, 2.5]);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(fractional_ranks(&[], RankOrder::Descending).is_empty());
+        assert_eq!(fractional_ranks(&[7.0], RankOrder::Descending), vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_panics() {
+        fractional_ranks(&[1.0, f64::NAN], RankOrder::Ascending);
+    }
+
+    #[test]
+    fn ordinal_breaks_ties_by_index() {
+        let r = ordinal_ranks(&[5.0, 5.0, 9.0], RankOrder::Descending);
+        assert_eq!(r, vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn ordinal_is_permutation() {
+        let r = ordinal_ranks(&[3.0, 3.0, 3.0, 1.0, 2.0], RankOrder::Ascending);
+        let mut sorted = r.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn top_k_basics() {
+        let xs = [0.2, 0.9, 0.4, 0.9];
+        assert_eq!(top_k_indices(&xs, 2), vec![1, 3]);
+        assert_eq!(top_k_indices(&xs, 10), vec![1, 3, 2, 0]);
+        assert!(top_k_indices(&xs, 0).is_empty());
+    }
+
+    #[test]
+    fn fractional_ranks_sum_is_invariant() {
+        // Sum of ranks must always be n(n+1)/2 regardless of ties.
+        let xs = [1.0, 2.0, 2.0, 3.0, 3.0, 3.0, 10.0];
+        let r = fractional_ranks(&xs, RankOrder::Descending);
+        let sum: f64 = r.iter().sum();
+        assert!((sum - 28.0).abs() < 1e-12);
+    }
+}

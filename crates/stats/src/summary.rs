@@ -1,0 +1,179 @@
+//! Univariate summary statistics and histograms.
+
+/// Summary of a univariate sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub count: usize,
+    /// Arithmetic mean (0 for an empty sample).
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Median (average of middle pair for even sizes).
+    pub median: f64,
+}
+
+/// Compute the full summary of a sample.
+///
+/// # Panics
+/// Panics on NaN input — summaries over NaN are bugs upstream.
+pub fn summarize(xs: &[f64]) -> Summary {
+    assert!(xs.iter().all(|x| !x.is_nan()), "summarize: NaN in sample");
+    if xs.is_empty() {
+        return Summary { count: 0, mean: 0.0, std: 0.0, min: 0.0, max: 0.0, median: 0.0 };
+    }
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    let mut sorted = xs.to_vec();
+    sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    let median = if sorted.len() % 2 == 1 {
+        sorted[sorted.len() / 2]
+    } else {
+        (sorted[sorted.len() / 2 - 1] + sorted[sorted.len() / 2]) / 2.0
+    };
+    Summary {
+        count: xs.len(),
+        mean,
+        std: var.sqrt(),
+        min: sorted[0],
+        max: *sorted.last().expect("non-empty"),
+        median,
+    }
+}
+
+/// Quantile by linear interpolation between closest ranks
+/// (the "type 7" estimator used by R and NumPy).
+///
+/// # Panics
+/// Panics when `q` is outside `[0, 1]` or the sample is empty/NaN.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile: q must be in [0,1]");
+    assert!(!xs.is_empty(), "quantile: empty sample");
+    assert!(xs.iter().all(|x| !x.is_nan()), "quantile: NaN in sample");
+    let mut sorted = xs.to_vec();
+    sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Fixed-width histogram over `[min, max]` with `bins` buckets; values on a
+/// boundary go to the upper bucket except the maximum, which stays in the
+/// last bucket.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Left edge of the first bucket.
+    pub min: f64,
+    /// Right edge of the last bucket.
+    pub max: f64,
+    /// Bucket counts.
+    pub counts: Vec<usize>,
+}
+
+impl Histogram {
+    /// Build from a sample. `bins` must be ≥ 1.
+    pub fn build(xs: &[f64], bins: usize) -> Option<Histogram> {
+        if xs.is_empty() || bins == 0 || xs.iter().any(|x| x.is_nan()) {
+            return None;
+        }
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut counts = vec![0usize; bins];
+        let width = (max - min) / bins as f64;
+        for &x in xs {
+            let idx = if width == 0.0 {
+                0
+            } else {
+                (((x - min) / width) as usize).min(bins - 1)
+            };
+            counts[idx] += 1;
+        }
+        Some(Histogram { min, max, counts })
+    }
+
+    /// Total number of samples.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let s = summarize(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.std - 2.0).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert!((s.median - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_empty_and_singleton() {
+        let e = summarize(&[]);
+        assert_eq!(e.count, 0);
+        assert_eq!(e.mean, 0.0);
+        let s = summarize(&[3.0]);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.std, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn summary_rejects_nan() {
+        summarize(&[1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn quantile_endpoints_and_interpolation() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert!((quantile(&xs, 0.5) - 2.5).abs() < 1e-12);
+        assert!((quantile(&xs, 0.25) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "q must be")]
+    fn quantile_rejects_bad_q() {
+        quantile(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn histogram_counts_and_edges() {
+        let h = Histogram::build(&[0.0, 0.5, 1.0, 1.5, 2.0], 2).unwrap();
+        assert_eq!(h.min, 0.0);
+        assert_eq!(h.max, 2.0);
+        // buckets [0,1) and [1,2]; 1.0 goes to upper bucket
+        assert_eq!(h.counts, vec![2, 3]);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn histogram_constant_sample() {
+        let h = Histogram::build(&[3.0, 3.0, 3.0], 4).unwrap();
+        assert_eq!(h.counts, vec![3, 0, 0, 0]);
+    }
+
+    #[test]
+    fn histogram_rejects_degenerate_input() {
+        assert!(Histogram::build(&[], 3).is_none());
+        assert!(Histogram::build(&[1.0], 0).is_none());
+        assert!(Histogram::build(&[f64::NAN], 1).is_none());
+    }
+}

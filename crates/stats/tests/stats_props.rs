@@ -1,0 +1,164 @@
+//! Property-based tests for the statistics crate.
+
+use d2pr_stats::correlation::{kendall_tau_b, pearson, spearman};
+use d2pr_stats::rank::{fractional_ranks, ordinal_ranks, top_k_indices, RankOrder};
+use d2pr_stats::summary::{quantile, summarize, Histogram};
+use proptest::prelude::*;
+
+fn arb_sample(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1e6f64..1e6, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Fractional ranks always sum to n(n+1)/2 and lie in [1, n].
+    #[test]
+    fn fractional_rank_invariants(xs in arb_sample(1..60)) {
+        let r = fractional_ranks(&xs, RankOrder::Ascending);
+        let n = xs.len() as f64;
+        let sum: f64 = r.iter().sum();
+        prop_assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-9);
+        prop_assert!(r.iter().all(|&x| (1.0..=n).contains(&x)));
+    }
+
+    /// Ascending and descending fractional ranks mirror each other:
+    /// asc + desc = n + 1 for every element.
+    #[test]
+    fn rank_mirror_identity(xs in arb_sample(1..50)) {
+        let asc = fractional_ranks(&xs, RankOrder::Ascending);
+        let desc = fractional_ranks(&xs, RankOrder::Descending);
+        let n = xs.len() as f64;
+        for (a, d) in asc.iter().zip(&desc) {
+            prop_assert!((a + d - (n + 1.0)).abs() < 1e-9);
+        }
+    }
+
+    /// Ordinal ranks are a permutation of 1..=n.
+    #[test]
+    fn ordinal_is_permutation(xs in arb_sample(1..60)) {
+        let mut r = ordinal_ranks(&xs, RankOrder::Descending);
+        r.sort_unstable();
+        let expect: Vec<usize> = (1..=xs.len()).collect();
+        prop_assert_eq!(r, expect);
+    }
+
+    /// Ranking order agrees with values: higher value ⇒ better (smaller)
+    /// descending rank.
+    #[test]
+    fn ranks_agree_with_values(xs in arb_sample(2..50)) {
+        let r = fractional_ranks(&xs, RankOrder::Descending);
+        for i in 0..xs.len() {
+            for j in 0..xs.len() {
+                if xs[i] > xs[j] {
+                    prop_assert!(r[i] < r[j]);
+                } else if xs[i] == xs[j] {
+                    prop_assert!((r[i] - r[j]).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    /// top_k returns the k genuinely largest elements.
+    #[test]
+    fn top_k_is_correct(xs in arb_sample(1..60), k in 0usize..70) {
+        let top = top_k_indices(&xs, k);
+        let k_eff = k.min(xs.len());
+        prop_assert_eq!(top.len(), k_eff);
+        if k_eff > 0 {
+            let threshold = xs[*top.last().expect("non-empty")];
+            let larger = xs.iter().filter(|&&x| x > threshold).count();
+            prop_assert!(larger < k_eff, "{larger} values above the k-th pick");
+        }
+        // indices are distinct
+        let mut sorted = top.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), k_eff);
+    }
+
+    /// All three correlations are bounded by [−1, 1] and symmetric.
+    #[test]
+    fn correlations_bounded_symmetric(
+        pairs in proptest::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 2..60),
+    ) {
+        let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        for f in [pearson, spearman, kendall_tau_b] {
+            if let Some(c) = f(&xs, &ys) {
+                prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&c), "{c}");
+                let c2 = f(&ys, &xs).expect("symmetric definedness");
+                prop_assert!((c - c2).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Self-correlation is exactly 1 whenever defined.
+    #[test]
+    fn self_correlation_is_one(xs in arb_sample(2..50)) {
+        if let Some(c) = spearman(&xs, &xs) {
+            prop_assert!((c - 1.0).abs() < 1e-9, "{c}");
+        }
+        if let Some(c) = kendall_tau_b(&xs, &xs) {
+            prop_assert!((c - 1.0).abs() < 1e-9, "{c}");
+        }
+    }
+
+    /// Negating one variable negates Spearman and Kendall.
+    #[test]
+    fn negation_flips_sign(
+        pairs in proptest::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 2..40),
+    ) {
+        let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        let neg: Vec<f64> = xs.iter().map(|x| -x).collect();
+        if let (Some(a), Some(b)) = (spearman(&xs, &ys), spearman(&neg, &ys)) {
+            prop_assert!((a + b).abs() < 1e-9, "{a} vs {b}");
+        }
+        if let (Some(a), Some(b)) = (kendall_tau_b(&xs, &ys), kendall_tau_b(&neg, &ys)) {
+            prop_assert!((a + b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    /// Summary invariants: min ≤ median ≤ max, min ≤ mean ≤ max, std ≥ 0.
+    #[test]
+    fn summary_invariants(xs in arb_sample(1..80)) {
+        let s = summarize(&xs);
+        prop_assert!(s.min <= s.median && s.median <= s.max);
+        prop_assert!(s.min <= s.mean && s.mean <= s.max);
+        prop_assert!(s.std >= 0.0);
+        prop_assert_eq!(s.count, xs.len());
+    }
+
+    /// Quantiles are monotone in q and bracketed by min/max.
+    #[test]
+    fn quantile_monotone(xs in arb_sample(1..60), q1 in 0.0f64..=1.0, q2 in 0.0f64..=1.0) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let a = quantile(&xs, lo);
+        let b = quantile(&xs, hi);
+        prop_assert!(a <= b + 1e-9);
+        prop_assert!(quantile(&xs, 0.0) <= a + 1e-9);
+        prop_assert!(b <= quantile(&xs, 1.0) + 1e-9);
+    }
+
+    /// Histogram conserves mass.
+    #[test]
+    fn histogram_mass(xs in arb_sample(1..100), bins in 1usize..20) {
+        let h = Histogram::build(&xs, bins).expect("valid input");
+        prop_assert_eq!(h.total(), xs.len());
+        prop_assert_eq!(h.counts.len(), bins);
+    }
+
+    /// Spearman of strictly monotone transformations equals 1.
+    #[test]
+    fn monotone_transform_correlates_perfectly(xs in arb_sample(2..50)) {
+        // Strictly increasing transform of distinct values.
+        let mut distinct = xs.clone();
+        distinct.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        distinct.dedup();
+        prop_assume!(distinct.len() >= 2);
+        let ys: Vec<f64> = xs.iter().map(|x| x * 3.0 + 1.0).collect();
+        let c = spearman(&xs, &ys).expect("non-constant");
+        prop_assert!((c - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,68 @@
+//! Movie recommendation: the paper's motivating IMDB scenario (§1.2.1).
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example movie_recommendation
+//! ```
+//!
+//! Generates a synthetic IMDB-like world (actors × movies with the
+//! budget–cost mechanism: discriminating "A-movie" actors appear in few,
+//! expensive productions), then compares conventional PageRank against
+//! degree-penalized D2PR at ranking *actors* by the quality of their work.
+//! This is the paper's Group-A application: actor significance is
+//! anti-correlated with the number of movies they appear in, so the naive
+//! PageRank ranking promotes exactly the wrong actors.
+
+use d2pr::datagen::ratings::{generate_ratings, mean_container_rating};
+use d2pr::experiments::sweep::correlation_with_significance;
+use d2pr::prelude::*;
+use d2pr::stats::metrics::{ndcg_at_k, precision_at_k};
+use std::collections::HashSet;
+
+fn main() {
+    let world = World::generate(Dataset::Imdb, 0.05, 2024).expect("generation succeeds");
+    let (graph, significance) = PaperGraph::ImdbActorActor.view(&world);
+    let graph = graph.to_unweighted();
+    println!(
+        "actor-actor graph: {} actors, {} co-star edges",
+        graph.num_nodes(),
+        graph.num_edges()
+    );
+
+    // Per-interaction star ratings (the MovieLens join of the paper).
+    let ratings = generate_ratings(&world.affiliation, 0.3, 7);
+    let movie_means = mean_container_rating(&ratings, world.affiliation.bipartite.num_right());
+    let rated = movie_means.iter().flatten().count();
+    println!("{} ratings over {} rated movies", ratings.len(), rated);
+    println!();
+
+    // "Good actors" ground truth: top quartile by significance.
+    let k = graph.num_nodes() / 10;
+    let mut order: Vec<usize> = (0..significance.len()).collect();
+    order.sort_by(|&a, &b| significance[b].partial_cmp(&significance[a]).expect("finite"));
+    let relevant: HashSet<usize> = order[..graph.num_nodes() / 4].iter().copied().collect();
+    let gains: Vec<f64> = {
+        // shift significances to non-negative gains for NDCG
+        let min = significance.iter().cloned().fold(f64::INFINITY, f64::min);
+        significance.iter().map(|s| s - min).collect()
+    };
+
+    let engine = D2pr::new(&graph);
+    println!(
+        "{:>6}  {:>9}  {:>12}  {:>9}",
+        "p", "Spearman", "prec@10%", "NDCG@10%"
+    );
+    for p in [-1.0, 0.0, 0.5, 1.0, 1.5, 2.0, 3.0] {
+        let result = engine.scores(p).expect("valid parameters");
+        let rho = correlation_with_significance(&result.scores, significance);
+        let recommended: Vec<usize> =
+            result.ranking().iter().map(|&v| v as usize).collect();
+        let prec = precision_at_k(&recommended, &relevant, k).expect("k > 0");
+        let ndcg = ndcg_at_k(&recommended, &gains, k).expect("gains non-trivial");
+        println!("{p:>+6.1}  {rho:>+9.3}  {prec:>12.3}  {ndcg:>9.3}");
+    }
+    println!();
+    println!("Conventional PageRank (p = 0) tracks the number of co-stars and");
+    println!("recommends prolific B-movie actors; moderate degree penalization");
+    println!("(p in [0.5, 2]) aligns the ranking with actual movie quality.");
+}

@@ -1,0 +1,66 @@
+//! Scholarly search: ranking authors and articles (the paper's DBLP
+//! scenario), contrasting a Group-B task with a Group-C task on the same
+//! corpus — and comparing D2PR against the baseline centralities.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example scholarly_search
+//! ```
+//!
+//! * **Author search** (Group B): average citations per paper balance the
+//!   two PageRank factors, so conventional PageRank (p = 0) is already the
+//!   right tool — de-coupling in either direction loses accuracy.
+//! * **Article search** (Group C): total citation counts accrue through
+//!   author visibility, so mild degree *boosting* (p < 0) helps.
+
+use d2pr::core::centrality::{degree_centrality, hits, sampled_closeness};
+use d2pr::experiments::sweep::correlation_with_significance;
+use d2pr::prelude::*;
+
+fn evaluate(graph: &CsrGraph, significance: &[f64], title: &str) {
+    println!("--- {title} ({} nodes, {} edges) ---", graph.num_nodes(), graph.num_edges());
+    let engine = D2pr::new(graph);
+    let mut best = (f64::NEG_INFINITY, 0.0);
+    print!("  D2PR:       ");
+    for p in [-2.0, -1.0, -0.5, 0.0, 0.5, 1.0, 2.0] {
+        let result = engine.scores(p).expect("valid parameters");
+        let rho = correlation_with_significance(&result.scores, significance);
+        if rho > best.0 {
+            best = (rho, p);
+        }
+        print!("p={p:+.1}:{rho:+.3}  ");
+    }
+    println!();
+    println!("  best de-coupling weight: p = {:+.1} (rho {:+.3})", best.1, best.0);
+
+    // Baselines.
+    let deg = degree_centrality(graph);
+    let hits_result = hits(graph, 100, 1e-10);
+    let close = sampled_closeness(graph, 64, 7);
+    println!(
+        "  baselines:  degree:{:+.3}  HITS-authority:{:+.3}  closeness~:{:+.3}",
+        correlation_with_significance(&deg, significance),
+        correlation_with_significance(&hits_result.authorities, significance),
+        correlation_with_significance(&close, significance),
+    );
+    println!();
+}
+
+fn main() {
+    let world = World::generate(Dataset::Dblp, 0.08, 11).expect("generation succeeds");
+
+    let (authors, author_sig) = PaperGraph::DblpAuthorAuthor.view(&world);
+    evaluate(&authors.to_unweighted(), author_sig, "author search (avg citations, Group B)");
+
+    let (articles, article_sig) = PaperGraph::DblpArticleArticle.view(&world);
+    evaluate(
+        &articles.to_unweighted(),
+        article_sig,
+        "article search (citation volume, Group C)",
+    );
+
+    println!("The same ranking engine serves both tasks; only the de-coupling");
+    println!("weight changes. That is the paper's core argument: node degree");
+    println!("means different things in different applications, so the degree");
+    println!("contribution must be a tunable parameter, not a fixed assumption.");
+}

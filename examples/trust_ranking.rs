@@ -1,0 +1,81 @@
+//! Trust-aware reviewer ranking: the paper's Epinions scenario.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example trust_ranking
+//! ```
+//!
+//! Two tasks on the same synthetic Epinions world:
+//!
+//! 1. rank **commenters** by how trustworthy they are (trusts received) —
+//!    Group A: commenting on everything signals low per-comment effort;
+//! 2. rank **products** by average rating — the paper's most extreme case:
+//!    heavily-commented products attract criticism, so conventional
+//!    PageRank is *negatively* correlated with significance and degree
+//!    penalization is essential (§4.3.1, Figure 2(c)).
+//!
+//! Also demonstrates personalized D2PR: "products a specific commenter
+//! would trust", seeded at that commenter's neighborhood.
+
+use d2pr::experiments::sweep::correlation_with_significance;
+use d2pr::prelude::*;
+
+fn sweep_line(graph: &CsrGraph, significance: &[f64], label: &str) {
+    let engine = D2pr::new(graph);
+    print!("{label:>22}: ");
+    for p in [-1.0, 0.0, 0.5, 1.0, 2.0, 4.0] {
+        let result = engine.scores(p).expect("valid parameters");
+        let rho = correlation_with_significance(&result.scores, significance);
+        print!("p={p:+.1}:{rho:+.3}  ");
+    }
+    println!();
+}
+
+fn main() {
+    let world = World::generate(Dataset::Epinions, 0.08, 99).expect("generation succeeds");
+
+    let (commenters, commenter_sig) = PaperGraph::EpinionsCommenterCommenter.view(&world);
+    let (products, product_sig) = PaperGraph::EpinionsProductProduct.view(&world);
+    let commenters_uw = commenters.to_unweighted();
+    let products_uw = products.to_unweighted();
+
+    println!(
+        "commenter graph: {} nodes / {} edges; product graph: {} nodes / {} edges",
+        commenters_uw.num_nodes(),
+        commenters_uw.num_edges(),
+        products_uw.num_nodes(),
+        products_uw.num_edges()
+    );
+    println!();
+    println!("Spearman(rank, significance) across de-coupling weights:");
+    sweep_line(&commenters_uw, commenter_sig, "commenter trust");
+    sweep_line(&products_uw, product_sig, "product rating");
+    println!();
+
+    // Personalized product discovery for one commenter: seed the walk at the
+    // products they commented on, with degree penalization so mass-market
+    // items do not drown out niche quality products.
+    let commenter: NodeId = 3;
+    let seeds: Vec<NodeId> = world.affiliation.bipartite.containers_of(commenter).to_vec();
+    if seeds.is_empty() {
+        println!("commenter {commenter} has no comments; skipping personalization demo");
+        return;
+    }
+    // The product graph comes from its own affiliation sample; clamp seeds.
+    let seeds: Vec<NodeId> =
+        seeds.iter().map(|&s| s % products_uw.num_nodes() as u32).collect();
+    let engine = D2pr::new(&products_uw);
+    let personalized = engine
+        .personalized_scores(1.0, &seeds)
+        .expect("seeds validated above");
+    let top: Vec<u32> = personalized.ranking().into_iter().take(5).collect();
+    println!(
+        "top-5 personalized products for commenter {commenter} (seeds {:?}): {:?}",
+        seeds.iter().take(3).collect::<Vec<_>>(),
+        top
+    );
+    println!(
+        "personalization converged in {} iterations (residual {:.2e})",
+        personalized.iterations, personalized.residual
+    );
+}

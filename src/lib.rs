@@ -1,0 +1,46 @@
+//! # d2pr — Degree De-coupled PageRank
+//!
+//! A full Rust reproduction of *"PageRank Revisited: On the Relationship
+//! between Node Degrees and Node Significances in Different Applications"*
+//! (J.H. Kim, K.S. Candan, M.L. Sapino — EDBT/ICDT 2016 Workshops).
+//!
+//! This crate is a thin façade re-exporting the workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`graph`] | `d2pr-graph` | CSR graphs, builders, bipartite projections, generators, I/O |
+//! | [`core`] | `d2pr-core` | D2PR transitions, PageRank solver, PPR, baselines |
+//! | [`stats`] | `d2pr-stats` | Spearman/Pearson/Kendall, ranking, retrieval metrics |
+//! | [`datagen`] | `d2pr-datagen` | synthetic worlds reproducing the paper's eight data graphs |
+//! | [`experiments`] | `d2pr-experiments` | the table/figure regeneration harness |
+//!
+//! ## Quick start
+//! ```
+//! use d2pr::prelude::*;
+//!
+//! // Build a graph (here: a small preferential-attachment network).
+//! let graph = d2pr::graph::generators::barabasi_albert(300, 3, 7).unwrap();
+//!
+//! // Rank nodes with degree-decoupled PageRank. p = 0 is conventional
+//! // PageRank; p > 0 penalizes high-degree destinations; p < 0 boosts them.
+//! let engine = D2pr::new(&graph);
+//! let ranking = engine.scores(0.5).unwrap().ranking();
+//! assert_eq!(ranking.len(), 300);
+//! ```
+//!
+//! See `examples/` for end-to-end recommendation flows and `DESIGN.md` /
+//! `EXPERIMENTS.md` for the reproduction methodology and results.
+
+pub use d2pr_core as core;
+pub use d2pr_datagen as datagen;
+pub use d2pr_experiments as experiments;
+pub use d2pr_graph as graph;
+pub use d2pr_stats as stats;
+
+/// One-stop imports for typical use.
+pub mod prelude {
+    pub use d2pr_core::prelude::*;
+    pub use d2pr_datagen::{ApplicationGroup, Dataset, PaperGraph, World};
+    pub use d2pr_graph::prelude::*;
+    pub use d2pr_stats::{fractional_ranks, spearman, top_k_indices, RankOrder};
+}

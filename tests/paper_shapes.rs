@@ -1,0 +1,192 @@
+//! The reproduction acceptance tests: every headline claim of the paper's
+//! evaluation (§4), asserted as a *shape* on the regenerated experiments.
+//!
+//! These are the shape criteria listed in DESIGN.md §4. Absolute numbers
+//! differ from the paper (our substrate is a synthetic generator, not the
+//! authors' datasets), but who wins, in which direction, and where the
+//! curves collapse must match.
+
+use d2pr::datagen::{ApplicationGroup, PaperGraph};
+use d2pr::experiments::experiments::{
+    fig5, group_beta_sweep, group_p_sweep, table1, table2, ExperimentContext, GraphSweep,
+};
+use std::sync::OnceLock;
+
+const SCALE: f64 = 0.03;
+const SEED: u64 = 42;
+
+fn ctx() -> &'static ExperimentContext {
+    static CTX: OnceLock<ExperimentContext> = OnceLock::new();
+    CTX.get_or_init(|| ExperimentContext::new(SCALE, SEED).expect("worlds generate"))
+}
+
+fn rho_at(sweep: &GraphSweep, p: f64) -> f64 {
+    sweep
+        .points
+        .iter()
+        .find(|pt| (pt.p - p).abs() < 1e-9)
+        .unwrap_or_else(|| panic!("grid point p={p} missing"))
+        .spearman
+}
+
+/// Table 1: conventional PageRank is tightly coupled to node degree
+/// (paper: rho 0.848–0.997).
+#[test]
+fn table1_pagerank_degree_coupling_is_tight() {
+    for (pg, rho) in table1(ctx()) {
+        assert!(rho > 0.8, "{}: coupling {rho} not tight", pg.name());
+    }
+}
+
+/// Table 2: positive p pushes high-degree nodes down the ranking, negative
+/// p pulls them up.
+#[test]
+fn table2_rank_shifts_follow_p() {
+    let (ps, rows) = table2(ctx());
+    assert_eq!(ps, vec![-4.0, -2.0, 0.0, 2.0, 4.0]);
+    let top = &rows[0]; // highest-degree node
+    let bottom = rows.last().expect("four rows"); // a degree-1 node
+    assert!(top.degree > bottom.degree);
+    assert!(
+        top.ranks[0] <= top.ranks[2] && top.ranks[2] < top.ranks[4],
+        "hub rank must degrade across p = -4, 0, +4: {:?}",
+        top.ranks
+    );
+    assert!(
+        bottom.ranks[0] > bottom.ranks[4],
+        "low-degree rank must improve from p=-4 to p=+4: {:?}",
+        bottom.ranks
+    );
+}
+
+/// Figure 2 / §4.3.1 (Group A): degree penalization helps — the optimum is
+/// at p ≥ 1 and beats conventional PageRank decisively.
+#[test]
+fn group_a_degree_penalization_wins() {
+    for sweep in group_p_sweep(ctx(), ApplicationGroup::A) {
+        let best = sweep.best();
+        assert!(best.p >= 1.0, "{}: optimum p {} not positive enough", sweep.graph.name(), best.p);
+        assert!(
+            best.spearman > sweep.conventional() + 0.05,
+            "{}: penalization must beat conventional ({} vs {})",
+            sweep.graph.name(),
+            best.spearman,
+            sweep.conventional()
+        );
+    }
+}
+
+/// Figure 2(c): the Epinions product–product graph is the paper's extreme
+/// case — conventional PageRank is *negatively* correlated with significance
+/// and the correlation plateaus (does not collapse) under over-penalization.
+#[test]
+fn product_product_negative_at_p0_with_right_plateau() {
+    let sweeps = group_p_sweep(ctx(), ApplicationGroup::A);
+    let pp = sweeps
+        .iter()
+        .find(|s| s.graph == PaperGraph::EpinionsProductProduct)
+        .expect("product-product in group A");
+    assert!(pp.conventional() < 0.0, "p=0 must be negative, got {}", pp.conventional());
+    let at4 = rho_at(pp, 4.0);
+    let at2 = rho_at(pp, 2.0);
+    assert!(at4 > 0.15, "strong penalization must stay high, got {at4}");
+    assert!(at4 >= at2 - 0.05, "no collapse under over-penalization: {at2} -> {at4}");
+}
+
+/// Figure 3 / §4.3.2 (Group B): conventional PageRank is (near-)ideal —
+/// the optimum sits within half a grid step of p = 0.
+#[test]
+fn group_b_conventional_pagerank_is_ideal() {
+    for sweep in group_p_sweep(ctx(), ApplicationGroup::B) {
+        let best = sweep.best();
+        assert!(
+            best.p.abs() <= 0.5,
+            "{}: optimum p {} should be at/near 0",
+            sweep.graph.name(),
+            best.p
+        );
+        // Strong penalization must hurt (right-side decline).
+        assert!(
+            rho_at(&sweep, 3.0) < best.spearman - 0.01,
+            "{}: over-penalization should cost accuracy",
+            sweep.graph.name()
+        );
+    }
+}
+
+/// Figure 4 / §4.3.3 (Group C): degree boosting helps slightly; the left
+/// side is a stable plateau (dominant high-degree neighbors), the right
+/// side collapses.
+#[test]
+fn group_c_boosting_plateau_and_right_collapse() {
+    let sweeps = group_p_sweep(ctx(), ApplicationGroup::C);
+    let mut strictly_negative_optimum = 0;
+    for sweep in &sweeps {
+        let best = sweep.best();
+        assert!(
+            best.p <= 0.5,
+            "{}: optimum p {} must not favour penalization",
+            sweep.graph.name(),
+            best.p
+        );
+        if best.p < 0.0 {
+            strictly_negative_optimum += 1;
+        }
+        // Left plateau: boosting never costs more than a hair.
+        assert!(
+            rho_at(sweep, -1.0) >= sweep.conventional() - 0.01,
+            "{}: boosting must not hurt",
+            sweep.graph.name()
+        );
+        assert!(
+            (rho_at(sweep, -4.0) - rho_at(sweep, -1.0)).abs() < 0.05,
+            "{}: left side must be a plateau",
+            sweep.graph.name()
+        );
+        // Right collapse.
+        assert!(
+            rho_at(sweep, 2.0) < sweep.conventional() - 0.3,
+            "{}: over-penalization must collapse the correlation",
+            sweep.graph.name()
+        );
+    }
+    assert!(
+        strictly_negative_optimum >= 1,
+        "at least one Group-C graph must strictly prefer boosting"
+    );
+}
+
+/// Figure 5: the degree–significance correlation orders the groups:
+/// Group A lowest (negative-ish), Group C highest (strongly positive).
+#[test]
+fn fig5_group_ordering() {
+    let rows = fig5(ctx());
+    let mean = |g: ApplicationGroup| -> f64 {
+        let xs: Vec<f64> =
+            rows.iter().filter(|(pg, _)| pg.group() == g).map(|&(_, rho)| rho).collect();
+        xs.iter().sum::<f64>() / xs.len() as f64
+    };
+    let (a, b, c) =
+        (mean(ApplicationGroup::A), mean(ApplicationGroup::B), mean(ApplicationGroup::C));
+    assert!(a < b && b < c, "group means must order A < B < C: {a:.3} {b:.3} {c:.3}");
+    assert!(a < 0.0, "Group A mean must be negative, got {a:.3}");
+    assert!(c > 0.3, "Group C mean must be strongly positive, got {c:.3}");
+}
+
+/// §4.5 key observation: pure connection strength (β = 1) is never the best
+/// strategy on the weighted graphs — degree de-coupling always helps.
+#[test]
+fn beta_one_is_never_best() {
+    for group in [ApplicationGroup::A, ApplicationGroup::B, ApplicationGroup::C] {
+        for sweep in group_beta_sweep(ctx(), group) {
+            let best = sweep.best();
+            assert!(
+                best.beta < 1.0,
+                "{}: best strategy must involve de-coupling (beta {} rho {})",
+                sweep.graph.name(),
+                best.beta,
+                best.spearman
+            );
+        }
+    }
+}
