@@ -29,7 +29,9 @@ fn theta_caching(c: &mut Criterion) {
     let engine = D2pr::new(&g);
     let ps: Vec<f64> = D2pr::paper_p_grid();
     let mut group = c.benchmark_group("ablation_theta_caching");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     group.bench_function("cached_theta_sweep", |b| {
         b.iter(|| {
             for &p in &ps {
@@ -68,7 +70,9 @@ fn naive_normalize(p: f64, degs: &[f64], out: &mut Vec<f64>) {
 fn kernel_logspace_vs_direct(c: &mut Criterion) {
     let degs: Vec<f64> = (1..=256).map(f64::from).collect();
     let mut group = c.benchmark_group("ablation_kernel_logspace");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
     for p in [0.5, 2.0, -2.0] {
         let kernel = d2pr_core::kernel::DegreeKernel::new(p);
         group.bench_with_input(BenchmarkId::new("logspace", p), &p, |b, _| {
@@ -88,13 +92,21 @@ fn serial_vs_parallel(c: &mut Criterion) {
     let matrix = TransitionMatrix::build(&g, TransitionModel::DegreeDecoupled { p: 0.5 });
     let cfg = PageRankConfig::default();
     let mut group = c.benchmark_group("ablation_serial_vs_parallel");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     group.bench_function("serial_push", |b| {
         b.iter(|| black_box(pagerank_with_matrix(black_box(&g), &matrix, &cfg, None)))
     });
     let transpose_gs = TransposedMatrix::build(&g, &matrix);
     group.bench_function("gauss_seidel_prebuilt", |b| {
-        b.iter(|| black_box(gauss_seidel_with_transpose(black_box(&g), &transpose_gs, &cfg)))
+        b.iter(|| {
+            black_box(gauss_seidel_with_transpose(
+                black_box(&g),
+                &transpose_gs,
+                &cfg,
+            ))
+        })
     });
     for threads in [2usize, 4] {
         group.bench_with_input(
@@ -103,7 +115,7 @@ fn serial_vs_parallel(c: &mut Criterion) {
             |b, &threads| {
                 b.iter(|| {
                     let t = TransposedMatrix::build(black_box(&g), &matrix);
-                    black_box(pagerank_parallel(&t, &cfg, None, threads))
+                    black_box(pagerank_parallel(&t, &cfg, None, threads).expect("valid inputs"))
                 })
             },
         );
@@ -112,7 +124,12 @@ fn serial_vs_parallel(c: &mut Criterion) {
             BenchmarkId::new("parallel_pull_prebuilt", threads),
             &threads,
             |b, &threads| {
-                b.iter(|| black_box(pagerank_parallel(black_box(&transpose), &cfg, None, threads)))
+                b.iter(|| {
+                    black_box(
+                        pagerank_parallel(black_box(&transpose), &cfg, None, threads)
+                            .expect("valid inputs"),
+                    )
+                })
             },
         );
     }
@@ -124,7 +141,9 @@ fn spearman_variants(c: &mut Criterion) {
     let xs: Vec<f64> = (0..20_000).map(|i| f64::from(i % 500)).collect();
     let ys: Vec<f64> = (0..20_000).map(|i| f64::from((i * 7 + 13) % 500)).collect();
     let mut group = c.benchmark_group("ablation_spearman");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     group.bench_function("tie_correct_spearman", |b| {
         b.iter(|| black_box(spearman(black_box(&xs), black_box(&ys))))
     });
@@ -141,7 +160,9 @@ fn warm_vs_cold_sweep(c: &mut Criterion) {
     let engine = D2pr::new(&g);
     let grid = D2pr::paper_p_grid();
     let mut group = c.benchmark_group("ablation_warm_sweep");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     group.bench_function("cold_sweep", |b| {
         b.iter(|| black_box(engine.sweep_p(black_box(&grid)).expect("valid grid")))
     });

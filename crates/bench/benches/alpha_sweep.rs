@@ -10,7 +10,10 @@ use std::time::Duration;
 
 fn alpha_grid(c: &mut Criterion, figure: &str, pg: PaperGraph) {
     let (g, sig) = bench_graph(pg);
-    let cfg = SweepConfig { alphas: SweepConfig::paper_alphas(), ..Default::default() };
+    let cfg = SweepConfig {
+        alphas: SweepConfig::paper_alphas(),
+        ..Default::default()
+    };
     let points = cfg.run(&g, &sig);
     let best = best_point(&points).expect("non-empty grid");
     eprintln!(
@@ -21,7 +24,9 @@ fn alpha_grid(c: &mut Criterion, figure: &str, pg: PaperGraph) {
         best.spearman
     );
     let mut group = c.benchmark_group(figure);
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     group.bench_function(pg.name(), |b| {
         b.iter(|| black_box(cfg.run(black_box(&g), black_box(&sig))))
     });
@@ -29,7 +34,11 @@ fn alpha_grid(c: &mut Criterion, figure: &str, pg: PaperGraph) {
 }
 
 fn fig6(c: &mut Criterion) {
-    alpha_grid(c, "fig6_alpha_sweep_group_a", PaperGraph::EpinionsCommenterCommenter);
+    alpha_grid(
+        c,
+        "fig6_alpha_sweep_group_a",
+        PaperGraph::EpinionsCommenterCommenter,
+    );
 }
 
 fn fig7(c: &mut Criterion) {
@@ -37,7 +46,11 @@ fn fig7(c: &mut Criterion) {
 }
 
 fn fig8(c: &mut Criterion) {
-    alpha_grid(c, "fig8_alpha_sweep_group_c", PaperGraph::DblpArticleArticle);
+    alpha_grid(
+        c,
+        "fig8_alpha_sweep_group_c",
+        PaperGraph::DblpArticleArticle,
+    );
 }
 
 criterion_group!(benches, fig6, fig7, fig8);

@@ -12,7 +12,10 @@ use std::time::Duration;
 fn beta_grid(c: &mut Criterion, figure: &str, pg: PaperGraph) {
     let (g, sig) = bench_graph_weighted(pg);
     assert!(g.is_weighted(), "beta sweeps need the weighted graph");
-    let cfg = SweepConfig { betas: SweepConfig::paper_betas(), ..Default::default() };
+    let cfg = SweepConfig {
+        betas: SweepConfig::paper_betas(),
+        ..Default::default()
+    };
     let points = cfg.run(&g, &sig);
     let best = best_point(&points).expect("non-empty grid");
     eprintln!(
@@ -23,7 +26,9 @@ fn beta_grid(c: &mut Criterion, figure: &str, pg: PaperGraph) {
         best.spearman
     );
     let mut group = c.benchmark_group(figure);
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     group.bench_function(pg.name(), |b| {
         b.iter(|| black_box(cfg.run(black_box(&g), black_box(&sig))))
     });
@@ -39,7 +44,11 @@ fn fig10(c: &mut Criterion) {
 }
 
 fn fig11(c: &mut Criterion) {
-    beta_grid(c, "fig11_beta_sweep_group_c", PaperGraph::LastfmListenerListener);
+    beta_grid(
+        c,
+        "fig11_beta_sweep_group_c",
+        PaperGraph::LastfmListenerListener,
+    );
 }
 
 criterion_group!(benches, fig9, fig10, fig11);

@@ -20,10 +20,16 @@ fn sweep_group(c: &mut Criterion, bench_name: &str, figure: &str, pg: PaperGraph
         pg.name(),
         best.p,
         best.spearman,
-        points.iter().find(|pt| pt.p == 0.0).expect("grid has p=0").spearman,
+        points
+            .iter()
+            .find(|pt| pt.p == 0.0)
+            .expect("grid has p=0")
+            .spearman,
     );
     let mut group = c.benchmark_group(bench_name);
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     group.bench_function(pg.name(), |b| {
         b.iter(|| black_box(cfg.run(black_box(&g), black_box(&sig))))
     });
@@ -31,16 +37,36 @@ fn sweep_group(c: &mut Criterion, bench_name: &str, figure: &str, pg: PaperGraph
 }
 
 fn fig2_group_a(c: &mut Criterion) {
-    sweep_group(c, "fig2_p_sweep_group_a", "fig2", PaperGraph::ImdbActorActor);
-    sweep_group(c, "fig2_p_sweep_group_a", "fig2", PaperGraph::EpinionsProductProduct);
+    sweep_group(
+        c,
+        "fig2_p_sweep_group_a",
+        "fig2",
+        PaperGraph::ImdbActorActor,
+    );
+    sweep_group(
+        c,
+        "fig2_p_sweep_group_a",
+        "fig2",
+        PaperGraph::EpinionsProductProduct,
+    );
 }
 
 fn fig3_group_b(c: &mut Criterion) {
-    sweep_group(c, "fig3_p_sweep_group_b", "fig3", PaperGraph::DblpAuthorAuthor);
+    sweep_group(
+        c,
+        "fig3_p_sweep_group_b",
+        "fig3",
+        PaperGraph::DblpAuthorAuthor,
+    );
 }
 
 fn fig4_group_c(c: &mut Criterion) {
-    sweep_group(c, "fig4_p_sweep_group_c", "fig4", PaperGraph::LastfmArtistArtist);
+    sweep_group(
+        c,
+        "fig4_p_sweep_group_c",
+        "fig4",
+        PaperGraph::LastfmArtistArtist,
+    );
 }
 
 criterion_group!(benches, fig2_group_a, fig3_group_b, fig4_group_c);

@@ -13,7 +13,9 @@ use std::time::Duration;
 
 fn kernel_normalize(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig1_kernel_normalize");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
     // Paper Figure 1 neighborhood and a large hub neighborhood.
     let small = [2.0, 3.0, 1.0];
     let large: Vec<f64> = (1..=512).map(f64::from).collect();
@@ -34,7 +36,9 @@ fn kernel_normalize(c: &mut Criterion) {
 fn transition_build(c: &mut Criterion) {
     let g = barabasi_albert(5_000, 8, 42).expect("generator succeeds");
     let mut group = c.benchmark_group("transition_build");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
     for p in [0.0, 0.5, -2.0] {
         group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
             b.iter(|| {
@@ -50,10 +54,18 @@ fn transition_build(c: &mut Criterion) {
 
 fn power_iteration(c: &mut Criterion) {
     let mut group = c.benchmark_group("power_iteration");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     for (name, g) in [
-        ("ba_5k", barabasi_albert(5_000, 8, 42).expect("generator succeeds")),
-        ("er_5k", erdos_renyi_nm(5_000, 40_000, 42).expect("generator succeeds")),
+        (
+            "ba_5k",
+            barabasi_albert(5_000, 8, 42).expect("generator succeeds"),
+        ),
+        (
+            "er_5k",
+            erdos_renyi_nm(5_000, 40_000, 42).expect("generator succeeds"),
+        ),
     ] {
         let matrix = TransitionMatrix::build(&g, TransitionModel::DegreeDecoupled { p: 0.5 });
         let cfg = PageRankConfig::default();

@@ -16,12 +16,17 @@ fn table1(c: &mut Criterion) {
         PaperGraph::ImdbMovieMovie,
     ];
     let mut group = c.benchmark_group("table1_degree_coupling");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for pg in graphs {
         let (g, _) = bench_graph(pg);
         // Print the regenerated table row once, outside the timing loop.
         let rho = degree_pagerank_coupling(&g);
-        eprintln!("[table1] {:<30} Spearman(degree, PageRank) = {rho:+.3}", pg.name());
+        eprintln!(
+            "[table1] {:<30} Spearman(degree, PageRank) = {rho:+.3}",
+            pg.name()
+        );
         group.bench_function(pg.name(), |b| {
             b.iter(|| black_box(degree_pagerank_coupling(black_box(&g))))
         });

@@ -13,11 +13,16 @@ use std::time::Duration;
 
 fn table3_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("table3_world_generation");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     for dataset in Dataset::all() {
         // Emit the Table 3 rows once.
         let w = World::generate(dataset, BENCH_SCALE, BENCH_SEED).expect("world generates");
-        for (g, side) in [(&w.entity_graph, "entity"), (&w.container_graph, "container")] {
+        for (g, side) in [
+            (&w.entity_graph, "entity"),
+            (&w.container_graph, "container"),
+        ] {
             let s = degree_stats(g);
             eprintln!(
                 "[table3] {:<9} {side:<9}: {} nodes, {} edges, avg {:.2}, std {:.2}, med-nbr-std {:.2}",
@@ -42,13 +47,14 @@ fn table3_generation(c: &mut Criterion) {
 }
 
 fn table2_rank_shifts(c: &mut Criterion) {
-    let world =
-        World::generate(Dataset::Imdb, BENCH_SCALE, BENCH_SEED).expect("world generates");
+    let world = World::generate(Dataset::Imdb, BENCH_SCALE, BENCH_SEED).expect("world generates");
     let (g, _) = PaperGraph::ImdbActorActor.view(&world);
     let g = g.to_unweighted();
     let engine = D2pr::new(&g);
     let mut group = c.benchmark_group("table2_rank_shifts");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     group.bench_function("five_p_rankings", |b| {
         b.iter(|| {
             for p in [-4.0, -2.0, 0.0, 2.0, 4.0] {

@@ -28,9 +28,7 @@ pub fn bench_graph(graph: d2pr_datagen::worlds::PaperGraph) -> (CsrGraph, Vec<f6
 }
 
 /// A weighted paper graph plus its significance at bench scale.
-pub fn bench_graph_weighted(
-    graph: d2pr_datagen::worlds::PaperGraph,
-) -> (CsrGraph, Vec<f64>) {
+pub fn bench_graph_weighted(graph: d2pr_datagen::worlds::PaperGraph) -> (CsrGraph, Vec<f64>) {
     let world = bench_world(graph.dataset());
     let (g, s) = graph.view(&world);
     (g.clone(), s.to_vec())

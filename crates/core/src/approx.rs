@@ -113,7 +113,11 @@ pub fn forward_push(
     }
 
     let touched = estimate.iter().filter(|&&x| x > 0.0).count();
-    ApproxResult { scores: estimate, work, touched }
+    ApproxResult {
+        scores: estimate,
+        work,
+        touched,
+    }
 }
 
 /// Monte-Carlo PPR: run `walks` random walks from the seed; each step
@@ -165,9 +169,16 @@ pub fn monte_carlo_ppr(
         counts[v] += 1;
     }
 
-    let scores: Vec<f64> = counts.iter().map(|&c| f64::from(c) / walks as f64).collect();
+    let scores: Vec<f64> = counts
+        .iter()
+        .map(|&c| f64::from(c) / walks as f64)
+        .collect();
     let touched = counts.iter().filter(|&&c| c > 0).count();
-    ApproxResult { scores, work, touched }
+    ApproxResult {
+        scores,
+        work,
+        touched,
+    }
 }
 
 #[cfg(test)]
@@ -182,7 +193,12 @@ mod tests {
     fn exact_ppr(g: &CsrGraph, m: &TransitionMatrix, seed: NodeId, alpha: f64) -> Vec<f64> {
         let mut t = vec![0.0; g.num_nodes()];
         t[seed as usize] = 1.0;
-        let cfg = PageRankConfig { alpha, tolerance: 1e-12, max_iterations: 500, ..Default::default() };
+        let cfg = PageRankConfig {
+            alpha,
+            tolerance: 1e-12,
+            max_iterations: 500,
+            ..Default::default()
+        };
         pagerank_with_matrix(g, m, &cfg, Some(&t)).scores
     }
 
@@ -192,7 +208,11 @@ mod tests {
         let m = TransitionMatrix::build(&g, TransitionModel::Standard);
         let exact = exact_ppr(&g, &m, 5, 0.85);
         let approx = forward_push(&g, &m, 5, 0.85, 1e-8);
-        let l1: f64 = exact.iter().zip(&approx.scores).map(|(a, b)| (a - b).abs()).sum();
+        let l1: f64 = exact
+            .iter()
+            .zip(&approx.scores)
+            .map(|(a, b)| (a - b).abs())
+            .sum();
         assert!(l1 < 1e-4, "L1 gap {l1}");
     }
 
@@ -202,7 +222,11 @@ mod tests {
         let m = TransitionMatrix::build(&g, TransitionModel::DegreeDecoupled { p: 1.0 });
         let exact = exact_ppr(&g, &m, 0, 0.85);
         let approx = forward_push(&g, &m, 0, 0.85, 1e-9);
-        let l1: f64 = exact.iter().zip(&approx.scores).map(|(a, b)| (a - b).abs()).sum();
+        let l1: f64 = exact
+            .iter()
+            .zip(&approx.scores)
+            .map(|(a, b)| (a - b).abs())
+            .sum();
         assert!(l1 < 1e-5, "L1 gap {l1}");
     }
 
@@ -212,16 +236,26 @@ mod tests {
         let m = TransitionMatrix::build(&g, TransitionModel::Standard);
         let coarse = forward_push(&g, &m, 42, 0.85, 1e-3);
         let fine = forward_push(&g, &m, 42, 0.85, 1e-7);
-        assert!(coarse.touched < fine.touched, "coarser epsilon must touch fewer nodes");
+        assert!(
+            coarse.touched < fine.touched,
+            "coarser epsilon must touch fewer nodes"
+        );
         assert!(coarse.work < fine.work);
         // Mass conservation: estimates sum to <= 1; the unsettled deficit is
         // bounded by epsilon * n (each node may hold < epsilon residual).
         let total: f64 = coarse.scores.iter().sum();
         assert!(total <= 1.0 + 1e-9);
         let deficit_bound = 1e-3 * g.num_nodes() as f64;
-        assert!(1.0 - total <= deficit_bound + 1e-9, "deficit {} > bound {deficit_bound}", 1.0 - total);
+        assert!(
+            1.0 - total <= deficit_bound + 1e-9,
+            "deficit {} > bound {deficit_bound}",
+            1.0 - total
+        );
         let fine_total: f64 = fine.scores.iter().sum();
-        assert!(fine_total > 0.99, "fine epsilon should settle nearly all mass, got {fine_total}");
+        assert!(
+            fine_total > 0.99,
+            "fine epsilon should settle nearly all mass, got {fine_total}"
+        );
     }
 
     #[test]
@@ -245,11 +279,17 @@ mod tests {
         let exact = exact_ppr(&g, &m, 3, 0.85);
         let few = monte_carlo_ppr(&g, &m, 3, 0.85, 200, 1);
         let many = monte_carlo_ppr(&g, &m, 3, 0.85, 20_000, 1);
-        let l1 = |approx: &[f64]| -> f64 {
-            exact.iter().zip(approx).map(|(a, b)| (a - b).abs()).sum()
-        };
-        assert!(l1(&many.scores) < l1(&few.scores), "more walks must reduce error");
-        assert!(l1(&many.scores) < 0.12, "20k walks should be close, got {}", l1(&many.scores));
+        let l1 =
+            |approx: &[f64]| -> f64 { exact.iter().zip(approx).map(|(a, b)| (a - b).abs()).sum() };
+        assert!(
+            l1(&many.scores) < l1(&few.scores),
+            "more walks must reduce error"
+        );
+        assert!(
+            l1(&many.scores) < 0.12,
+            "20k walks should be close, got {}",
+            l1(&many.scores)
+        );
     }
 
     #[test]

@@ -19,7 +19,9 @@ pub fn degree_centrality(g: &CsrGraph) -> Vec<f64> {
         return vec![0.0; n];
     }
     let denom = (n - 1) as f64;
-    g.nodes().map(|v| f64::from(g.out_degree(v)) / denom).collect()
+    g.nodes()
+        .map(|v| f64::from(g.out_degree(v)) / denom)
+        .collect()
 }
 
 /// In-degree centrality: `indeg(v) / (n − 1)`.
@@ -29,7 +31,9 @@ pub fn in_degree_centrality(g: &CsrGraph) -> Vec<f64> {
         return vec![0.0; n];
     }
     let denom = (n - 1) as f64;
-    g.nodes().map(|v| f64::from(g.in_degree(v)) / denom).collect()
+    g.nodes()
+        .map(|v| f64::from(g.in_degree(v)) / denom)
+        .collect()
 }
 
 /// Result of a HITS computation.
@@ -50,7 +54,12 @@ pub struct HitsResult {
 pub fn hits(g: &CsrGraph, max_iterations: usize, tolerance: f64) -> HitsResult {
     let n = g.num_nodes();
     if n == 0 {
-        return HitsResult { authorities: vec![], hubs: vec![], iterations: 0, converged: true };
+        return HitsResult {
+            authorities: vec![],
+            hubs: vec![],
+            iterations: 0,
+            converged: true,
+        };
     }
     let init = 1.0 / (n as f64).sqrt();
     let mut auth = vec![init; n];
@@ -86,7 +95,12 @@ pub fn hits(g: &CsrGraph, max_iterations: usize, tolerance: f64) -> HitsResult {
             break;
         }
     }
-    HitsResult { authorities: auth, hubs: hub, iterations, converged }
+    HitsResult {
+        authorities: auth,
+        hubs: hub,
+        iterations,
+        converged,
+    }
 }
 
 fn normalize_l2(xs: &mut [f64]) {

@@ -1,0 +1,1535 @@
+//! The fused pull-engine: one operator build, one worker pool, zero
+//! per-sweep-point allocations.
+//!
+//! The paper's experiments are parameter sweeps — dozens of PageRank solves
+//! over a grid of `p` (and `α`, `β`) on a fixed graph. The original solver
+//! stack paid three avoidable costs on every grid point:
+//!
+//! 1. **Operator rebuilt twice** — a CSR-ordered [`TransitionMatrix`] was
+//!    materialized, then re-scattered into a fresh transposed copy.
+//! 2. **Threads spawned per iteration** — the old parallel solver created
+//!    and joined OS threads on *every* power iteration.
+//! 3. **Node-count partitions** — destination ranges were split by node
+//!    count, so on the power-law graphs the paper studies one unlucky
+//!    thread owned the hubs and the rest idled.
+//!
+//! [`Engine`] fuses all three away. Per graph it builds the structural
+//! transpose ([`CscStructure`]) once, including the CSR→CSC arc permutation
+//! and arc-balanced destination partitions. Per sweep point it recomputes
+//! only the probability values, in place, through the cached permutation —
+//! zero heap allocations once warm. Per sweep it parks one set of worker
+//! threads on barriers and reuses them across *all* iterations of *all*
+//! grid points. All three [`DanglingPolicy`] variants and personalized
+//! teleport vectors are supported, and every entry point returns
+//! [`SolverError`] instead of panicking. See `DESIGN.md` for the layout.
+//!
+//! The barrier/worker machinery in this module is also reused by the
+//! transpose-level solver in [`crate::parallel`].
+
+use crate::error::SolverError;
+use crate::pagerank::{DanglingPolicy, PageRankConfig, PageRankResult};
+use crate::transition::{fill_arc_probs, ProbScratch, TransitionMatrix, TransitionModel};
+use crate::workspace::Workspace;
+use d2pr_graph::csr::CsrGraph;
+use d2pr_graph::transpose::CscStructure;
+use std::cell::UnsafeCell;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::Barrier;
+
+/// Number of worker threads the engine uses by default: the machine's
+/// available parallelism.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Fused pull-based PageRank engine over a borrowed graph.
+///
+/// ```
+/// use d2pr_core::engine::Engine;
+/// use d2pr_core::transition::TransitionModel;
+/// use d2pr_graph::generators::barabasi_albert;
+///
+/// let g = barabasi_albert(200, 3, 7).unwrap();
+/// let mut engine = Engine::new(&g);
+/// let results = engine
+///     .sweep(&[-1.0, 0.0, 1.0].map(|p| TransitionModel::DegreeDecoupled { p }), true)
+///     .unwrap();
+/// assert!(results.iter().all(|r| r.converged));
+/// ```
+#[derive(Debug)]
+pub struct Engine<'g> {
+    graph: &'g CsrGraph,
+    csc: CscStructure,
+    /// `dangling_mask[v]` ⇔ node `v` has no out-arcs.
+    dangling_mask: Vec<bool>,
+    /// Destination degree table (`deg`/`outdeg`, or Θ on weighted graphs).
+    theta: Vec<f64>,
+    /// `ln(max(Θ, 1))` per node, cached for the factored operator path.
+    log_theta: Vec<f64>,
+    /// Largest entry of `log_theta`.
+    max_log_theta: f64,
+    /// Factored operator, destination factor: `numer[j] = Θ_j^(−p)`.
+    node_numer: Vec<f64>,
+    /// Factored operator, source factor: `inv_denom[i] = 1/Σ_{t∈N(i)} Θ_t^(−p)`
+    /// (0 for dangling `i`).
+    inv_denom: Vec<f64>,
+    /// Ping-pong buffers holding `rank[i]·inv_denom[i]` (factored mode).
+    scaled_a: Vec<f64>,
+    scaled_b: Vec<f64>,
+    /// Whether the loaded operator is in factored form.
+    factored: bool,
+    threads: usize,
+    /// Arc-balanced destination ranges, one per worker.
+    partitions: Vec<Range<usize>>,
+    config: PageRankConfig,
+    model: Option<TransitionModel>,
+    /// Per-arc probabilities in CSR order (scratch for the fused build).
+    csr_probs: Vec<f64>,
+    /// Per-arc probabilities in CSC order — the operator the pull kernel
+    /// reads in **arc mode**. Rewritten in place by [`Engine::set_model`]
+    /// for arc-mode models; factored models never materialize it.
+    in_probs: Vec<f64>,
+    scratch: ProbScratch,
+    ws: Workspace,
+}
+
+impl<'g> Engine<'g> {
+    /// Engine with [`default_threads`] workers and the paper's default
+    /// solver configuration.
+    pub fn new(graph: &'g CsrGraph) -> Self {
+        Self::with_threads(graph, default_threads())
+    }
+
+    /// Engine with an explicit worker count (clamped to at least 1).
+    pub fn with_threads(graph: &'g CsrGraph, threads: usize) -> Self {
+        let csc = CscStructure::build(graph);
+        let threads = threads.max(1);
+        let partitions = csc.arc_balanced_partition(threads);
+        let mut dangling_mask = vec![false; graph.num_nodes()];
+        for &v in csc.dangling() {
+            dangling_mask[v as usize] = true;
+        }
+        let theta: Vec<f64> = if graph.is_weighted() {
+            graph.nodes().map(|v| graph.out_weight(v)).collect()
+        } else {
+            graph
+                .nodes()
+                .map(|v| f64::from(graph.kernel_degree(v)))
+                .collect()
+        };
+        let log_theta: Vec<f64> = theta.iter().map(|&t| t.max(1.0).ln()).collect();
+        let max_log_theta = log_theta.iter().copied().fold(0.0f64, f64::max);
+        let m = graph.num_arcs();
+        Self {
+            graph,
+            csc,
+            dangling_mask,
+            theta,
+            log_theta,
+            max_log_theta,
+            node_numer: Vec::new(),
+            inv_denom: Vec::new(),
+            scaled_a: Vec::new(),
+            scaled_b: Vec::new(),
+            factored: false,
+            threads,
+            partitions,
+            config: PageRankConfig::default(),
+            model: None,
+            csr_probs: vec![0.0; m],
+            in_probs: vec![0.0; m],
+            scratch: ProbScratch::default(),
+            ws: Workspace::with_capacity(graph.num_nodes()),
+        }
+    }
+
+    /// Replace the solver configuration.
+    ///
+    /// # Errors
+    /// Returns [`SolverError::InvalidConfig`] when validation fails.
+    pub fn set_config(&mut self, config: PageRankConfig) -> Result<(), SolverError> {
+        config.validate().map_err(SolverError::InvalidConfig)?;
+        self.config = config;
+        Ok(())
+    }
+
+    /// Builder-style [`Engine::set_config`].
+    ///
+    /// # Errors
+    /// Returns [`SolverError::InvalidConfig`] when validation fails.
+    pub fn with_config(mut self, config: PageRankConfig) -> Result<Self, SolverError> {
+        self.set_config(config)?;
+        Ok(self)
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &PageRankConfig {
+        &self.config
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &CsrGraph {
+        self.graph
+    }
+
+    /// Worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The transition model currently loaded, if any.
+    pub fn model(&self) -> Option<TransitionModel> {
+        self.model
+    }
+
+    /// The cached transpose structure (shared with diagnostics/tests).
+    pub fn csc(&self) -> &CscStructure {
+        &self.csc
+    }
+
+    /// Load a transition model: the **fused operator update**. Probabilities
+    /// are computed in one pass over the graph (reusing the cached Θ table)
+    /// and scattered through the cached CSR→CSC arc permutation, entirely
+    /// into preallocated buffers — zero heap allocations once the engine has
+    /// processed its first model.
+    ///
+    /// For pure degree de-coupling (`β = 0`) with `|p|·max(ln Θ)` inside
+    /// `exp`'s safe range (which covers the paper's whole `[−4, 4]` grid by
+    /// three orders of magnitude), the operator is kept in **factored
+    /// form**: `T_D(j, i) = Θ_j^(−p) · (Σ_{t∈N(i)} Θ_t^(−p))^{-1}` is a
+    /// rank-one product of a destination factor and a source factor, so
+    /// the update computes one `exp` per *node* and never materializes
+    /// per-arc values — and the pull kernel drops its per-arc probability
+    /// load entirely. Other models fall back to the numerically-hardened
+    /// log-sum-exp path of [`fill_arc_probs`] plus the permutation scatter.
+    ///
+    /// # Errors
+    /// Returns [`SolverError::InvalidModel`] when validation fails.
+    pub fn set_model(&mut self, model: TransitionModel) -> Result<(), SolverError> {
+        model.validate().map_err(SolverError::InvalidModel)?;
+        self.factored = factored_eligible(self.max_log_theta, &model);
+        if self.factored {
+            self.set_model_factored(model.p());
+        } else {
+            fill_arc_probs(
+                self.graph,
+                model,
+                &self.theta,
+                &mut self.csr_probs,
+                &mut self.scratch,
+            );
+            self.csc
+                .scatter_arc_values(&self.csr_probs, &mut self.in_probs);
+        }
+        self.model = Some(model);
+        Ok(())
+    }
+
+    /// Factored operator update: one `exp` per node for the destination
+    /// factor, one pass over the CSR arcs for the source denominators.
+    fn set_model_factored(&mut self, p: f64) {
+        let n = self.graph.num_nodes();
+        self.node_numer.resize(n, 0.0);
+        self.inv_denom.resize(n, 0.0);
+        update_factored_into(
+            self.graph,
+            &self.log_theta,
+            p,
+            &mut self.node_numer,
+            &mut self.inv_denom,
+        );
+    }
+
+    /// The CSC-ordered operator values (parallel to the transpose's
+    /// `in_sources`) of the last **arc-mode** model. Factored models (pure
+    /// degree de-coupling) never materialize per-arc values, so after a
+    /// factored [`Engine::set_model`] this buffer still holds the previous
+    /// arc-mode operator — use [`Engine::to_matrix`] for a representation
+    /// that is always current. Exposed for tests and diagnostics.
+    pub fn in_probs(&self) -> &[f64] {
+        &self.in_probs
+    }
+
+    /// Materialize the currently loaded operator as a [`TransitionMatrix`]
+    /// (CSR order) for interop with the serial solvers. Rebuilt from the
+    /// model (the fast operator path skips the CSR-order buffer).
+    pub fn to_matrix(&self) -> Option<TransitionMatrix> {
+        self.model
+            .map(|model| TransitionMatrix::build_with_theta(self.graph, model, &self.theta))
+    }
+
+    /// Solve for the loaded model with uniform teleportation.
+    ///
+    /// # Errors
+    /// Fails when no model is loaded or inputs are invalid.
+    pub fn solve(&mut self) -> Result<PageRankResult, SolverError> {
+        self.solve_with_teleport(None)
+    }
+
+    /// Solve for the loaded model with an optional teleport distribution
+    /// (normalized internally; `None` = uniform).
+    ///
+    /// # Errors
+    /// Fails when no model is loaded or inputs are invalid.
+    pub fn solve_with_teleport(
+        &mut self,
+        teleport: Option<&[f64]>,
+    ) -> Result<PageRankResult, SolverError> {
+        let model = self
+            .model
+            .ok_or_else(|| SolverError::InvalidModel("no transition model loaded".into()))?;
+        let mut out = self.sweep_with_teleport(&[model], teleport, false)?;
+        Ok(out.pop().expect("one model yields one result"))
+    }
+
+    /// Convenience: `set_model` + `solve`.
+    ///
+    /// # Errors
+    /// Propagates validation failures from either step.
+    pub fn solve_model(&mut self, model: TransitionModel) -> Result<PageRankResult, SolverError> {
+        self.set_model(model)?;
+        self.solve()
+    }
+
+    /// Run a sweep: one solve per model, in order, with uniform
+    /// teleportation. The worker pool is spawned once and reused across all
+    /// iterations of all grid points; the operator is rewritten in place
+    /// between points. With `warm_start`, each point starts from the
+    /// previous point's solution (same fixed points, fewer iterations when
+    /// consecutive operators are close — the paper's 0.5-step grids are).
+    ///
+    /// # Errors
+    /// Fails fast on the first invalid model; no solves run in that case.
+    pub fn sweep(
+        &mut self,
+        models: &[TransitionModel],
+        warm_start: bool,
+    ) -> Result<Vec<PageRankResult>, SolverError> {
+        self.sweep_with_teleport(models, None, warm_start)
+    }
+
+    /// [`Engine::sweep`] with an optional teleport distribution shared by
+    /// every grid point.
+    ///
+    /// # Errors
+    /// Fails fast on the first invalid input; no solves run in that case.
+    pub fn sweep_with_teleport(
+        &mut self,
+        models: &[TransitionModel],
+        teleport: Option<&[f64]>,
+        warm_start: bool,
+    ) -> Result<Vec<PageRankResult>, SolverError> {
+        self.config.validate().map_err(SolverError::InvalidConfig)?;
+        for model in models {
+            model.validate().map_err(SolverError::InvalidModel)?;
+        }
+        let n = self.graph.num_nodes();
+        if models.is_empty() {
+            return Ok(Vec::new());
+        }
+        if n == 0 {
+            return Ok(models
+                .iter()
+                .map(|_| PageRankResult {
+                    scores: vec![],
+                    iterations: 0,
+                    residual: 0.0,
+                    converged: true,
+                })
+                .collect());
+        }
+        self.ws.set_teleport(n, teleport)?;
+        if self.partitions.len() <= 1 {
+            self.sweep_serial(models, warm_start)
+        } else {
+            self.sweep_pooled(models, warm_start)
+        }
+    }
+
+    /// Single-threaded sweep (no pool, same math, same buffers).
+    fn sweep_serial(
+        &mut self,
+        models: &[TransitionModel],
+        warm_start: bool,
+    ) -> Result<Vec<PageRankResult>, SolverError> {
+        let n = self.graph.num_nodes();
+        let mut results = Vec::with_capacity(models.len());
+        for (pi, &model) in models.iter().enumerate() {
+            // `solve_model`/`solve` arrive here with the operator already
+            // loaded by `set_model`; don't rebuild it.
+            if self.model != Some(model) {
+                self.set_model(model)?;
+            }
+            if pi == 0 || !warm_start {
+                self.ws.init_rank(n, None)?;
+            }
+            let topo = PullTopo {
+                in_offsets: self.csc.in_offsets(),
+                in_sources: self.csc.in_sources(),
+                dangling_mask: &self.dangling_mask,
+                dangling_nodes: self.csc.dangling(),
+            };
+            let op = if self.factored {
+                EngineOp::Factored {
+                    numer: &self.node_numer,
+                    inv_denom: &self.inv_denom,
+                }
+            } else {
+                EngineOp::Arc(&self.in_probs)
+            };
+            let (iterations, residual) = drive_serial(
+                &topo,
+                op,
+                &self.config,
+                &mut self.ws.rank,
+                &mut self.ws.next,
+                Some((&mut self.scaled_a, &mut self.scaled_b)),
+                &self.ws.teleport,
+            );
+            results.push(PageRankResult {
+                scores: self.ws.rank.clone(),
+                iterations,
+                residual,
+                converged: residual < self.config.tolerance,
+            });
+        }
+        Ok(results)
+    }
+
+    /// Pooled sweep: workers are spawned once, then re-synchronized through
+    /// a pair of barriers for every iteration of every grid point.
+    fn sweep_pooled(
+        &mut self,
+        models: &[TransitionModel],
+        warm_start: bool,
+    ) -> Result<Vec<PageRankResult>, SolverError> {
+        let n = self.graph.num_nodes();
+        let uniform = 1.0 / n as f64;
+        let config = self.config;
+
+        // Pre-size every buffer the pool will share (their pointers are
+        // captured once, so no reallocation may happen inside the scope).
+        self.node_numer.resize(n, 0.0);
+        self.inv_denom.resize(n, 0.0);
+        self.scaled_a.resize(n, 0.0);
+        self.scaled_b.resize(n, 0.0);
+        let max_log_theta = self.max_log_theta;
+
+        // Split the engine into disjoint borrows so worker threads can hold
+        // shared state while the main thread keeps updating the operator.
+        let Engine {
+            graph,
+            csc,
+            dangling_mask,
+            theta,
+            log_theta,
+            partitions,
+            csr_probs,
+            in_probs,
+            node_numer,
+            inv_denom,
+            scaled_a,
+            scaled_b,
+            scratch,
+            ws,
+            model: current_model,
+            factored: current_factored,
+            ..
+        } = self;
+        ws.init_rank(n, None)?;
+        let Workspace {
+            rank,
+            next,
+            teleport,
+        } = ws;
+        let teleport: Option<&[f64]> = if teleport.is_empty() {
+            None
+        } else {
+            Some(&teleport[..])
+        };
+
+        let topo = PullTopo {
+            in_offsets: csc.in_offsets(),
+            in_sources: csc.in_sources(),
+            dangling_mask,
+            dangling_nodes: csc.dangling(),
+        };
+        let shared = PoolShared::new(
+            &topo,
+            SharedSlice::new(in_probs),
+            [SharedSlice::new(rank), SharedSlice::new(next)],
+            Some(FactoredShared {
+                numer: SharedSlice::new(node_numer),
+                inv_denom: SharedSlice::new(inv_denom),
+                scaled: [SharedSlice::new(scaled_a), SharedSlice::new(scaled_b)],
+            }),
+            teleport,
+            &config,
+            partitions.len(),
+        );
+
+        let mut results = Vec::with_capacity(models.len());
+        std::thread::scope(|scope| {
+            for (w, range) in partitions.iter().cloned().enumerate() {
+                let shared = &shared;
+                scope.spawn(move || worker_loop(w, range, shared));
+            }
+
+            // Main thread: drive the sweep. Workers are parked on the start
+            // barrier between phases, so mutating shared buffers here is
+            // sound.
+            for (pi, &model) in models.iter().enumerate() {
+                // Fused operator update, in place, while workers are parked.
+                // `solve_model`/`solve` arrive with the operator already
+                // loaded by `set_model`; don't rebuild it for that point.
+                let point_factored = factored_eligible(max_log_theta, &model);
+                let fshared = shared.factored.as_ref().expect("provided above");
+                let already_loaded = pi == 0 && *current_model == Some(model);
+                if !already_loaded {
+                    if point_factored {
+                        // SAFETY: workers are parked on the `start` barrier,
+                        // so the main thread is the only accessor of the
+                        // factors.
+                        unsafe {
+                            update_factored_into(
+                                graph,
+                                log_theta,
+                                model.p(),
+                                fshared.numer.slice_mut(),
+                                fshared.inv_denom.slice_mut(),
+                            );
+                        }
+                    } else {
+                        fill_arc_probs(graph, model, theta, csr_probs, scratch);
+                        // SAFETY: as above, for the per-arc value buffer.
+                        csc.scatter_arc_values(csr_probs, unsafe { shared.in_probs.slice_mut() });
+                    }
+                }
+                *current_model = Some(model);
+                *current_factored = point_factored;
+
+                let flip = shared.flip.load(Ordering::Relaxed);
+                if pi > 0 && !warm_start {
+                    // SAFETY: workers are parked; main thread owns the bufs.
+                    let rank_buf = unsafe { shared.bufs[flip].slice_mut() };
+                    match teleport {
+                        Some(t) => rank_buf.copy_from_slice(t),
+                        None => rank_buf.fill(uniform),
+                    }
+                }
+                if point_factored {
+                    // The source factors changed with the model, so the
+                    // scaled iterate must be rebuilt even on warm starts.
+                    // SAFETY: workers are parked; main thread owns the bufs.
+                    unsafe {
+                        let rank_buf = shared.bufs[flip].slice();
+                        let invd = fshared.inv_denom.slice();
+                        let scaled = fshared.scaled[flip].slice_mut();
+                        for ((o, &r), &d) in scaled.iter_mut().zip(rank_buf).zip(invd) {
+                            *o = r * d;
+                        }
+                    }
+                }
+                // SAFETY: workers parked; exclusive access to params.
+                unsafe { (*shared.params.get()).factored = point_factored };
+                let (iterations, residual) = drive_pooled_point(&shared, &config, &topo);
+                let flip = shared.flip.load(Ordering::Relaxed);
+                // SAFETY: workers are parked; main thread owns the bufs.
+                let scores = unsafe { shared.bufs[flip].slice() }.to_vec();
+                results.push(PageRankResult {
+                    scores,
+                    iterations,
+                    residual,
+                    converged: residual < config.tolerance,
+                });
+            }
+
+            shared.shutdown();
+        });
+
+        // `rank`/`next` were mutated through the shared slices (their
+        // lengths never changed), and may hold either iterate depending on
+        // the final flip — fine, the workspace only promises reusable
+        // capacity between solves.
+        Ok(results)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared pull-kernel machinery (also used by `crate::parallel`)
+// ---------------------------------------------------------------------------
+
+/// Immutable topology handed to the pull kernel.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PullTopo<'a> {
+    /// CSC offsets (`n + 1` entries).
+    pub in_offsets: &'a [usize],
+    /// CSC sources, parallel to the CSC probability array.
+    pub in_sources: &'a [u32],
+    /// `dangling_mask[v]` ⇔ `v` has no out-arcs.
+    pub dangling_mask: &'a [bool],
+    /// Dangling node list (ascending).
+    pub dangling_nodes: &'a [u32],
+}
+
+pub(crate) fn mass_at(nodes: &[u32], values: &[f64]) -> f64 {
+    nodes.iter().map(|&v| values[v as usize]).sum()
+}
+
+/// Whether `model` can use the factored operator representation: pure
+/// degree de-coupling (`β = 0`) with `|p|·max(ln Θ)` far inside `exp`'s
+/// safe range, so every per-node numerator — and every neighborhood sum of
+/// them — stays finite and non-zero.
+fn factored_eligible(max_log_theta: f64, model: &TransitionModel) -> bool {
+    model.beta() == 0.0 && model.p().abs() * max_log_theta < 600.0
+}
+
+/// Write the factored operator for de-coupling weight `p` into pre-sized
+/// per-node buffers: `numer[j] = Θ_j^(−p)`, `inv_denom[i] = 1/Σ_{t∈N(i)}
+/// numer[t]` (0 for dangling `i`). Allocation-free.
+fn update_factored_into(
+    graph: &CsrGraph,
+    log_theta: &[f64],
+    p: f64,
+    numer: &mut [f64],
+    inv_denom: &mut [f64],
+) {
+    let (offsets, targets, _) = graph.parts();
+    for (o, &l) in numer.iter_mut().zip(log_theta) {
+        *o = (-p * l).exp();
+    }
+    for (v, slot) in inv_denom.iter_mut().enumerate() {
+        let (s, e) = (offsets[v], offsets[v + 1]);
+        if s == e {
+            // Dangling sources never appear in any in-arc list.
+            *slot = 0.0;
+            continue;
+        }
+        let mut denom = 0.0;
+        for &t in &targets[s..e] {
+            denom += numer[t as usize];
+        }
+        *slot = 1.0 / denom;
+    }
+}
+
+/// The operator representation a solve runs against.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum EngineOp<'a> {
+    /// Per-arc probabilities in CSC order.
+    Arc(&'a [f64]),
+    /// Rank-one factored operator `T[j,i] = numer[j] · inv_denom[i]`
+    /// (pure degree de-coupling). The kernel gathers from a pre-scaled
+    /// `rank·inv_denom` buffer, so no per-arc values exist at all.
+    Factored {
+        numer: &'a [f64],
+        inv_denom: &'a [f64],
+    },
+}
+
+/// Per-iteration parameters broadcast to workers.
+#[derive(Debug, Clone, Copy)]
+struct PullParams {
+    alpha: f64,
+    uniform: f64,
+    policy: DanglingPolicy,
+    dangling_mass: f64,
+    /// Whether the current point runs the factored kernel.
+    factored: bool,
+}
+
+/// Partial aggregates a worker reports for its destination range.
+#[derive(Debug, Clone, Copy, Default)]
+struct RangeOut {
+    residual: f64,
+    dangling_next: f64,
+    sum_next: f64,
+    /// `⟨x_{k+1}−x_k, x_k−x_{k−1}⟩` — numerator of the signed step ratio.
+    dot_dd: f64,
+    /// `‖x_k−x_{k−1}‖²` — denominator of the signed step ratio.
+    dot_oo: f64,
+}
+
+/// Gather `Σ_k values[srcs[k]]·weights[k]` (arc form) with four independent
+/// accumulators: the add-latency chain otherwise serializes this — the
+/// hottest loop in the whole engine — and the compiler cannot break it
+/// because FP addition is not associative.
+#[inline]
+fn gather_weighted(srcs: &[u32], weights: &[f64], values: &[f64]) -> f64 {
+    let (mut a0, mut a1, mut a2, mut a3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    let head = srcs.len() - srcs.len() % 4;
+    let mut k = 0;
+    while k < head {
+        // SAFETY: `k + 3 < srcs.len() == weights.len()`, and source entries
+        // index nodes of the graph `values` was sized for — both come from
+        // a validated CSC build. Bounds checks defeat the pipelining here.
+        unsafe {
+            a0 += weights.get_unchecked(k) * values.get_unchecked(*srcs.get_unchecked(k) as usize);
+            a1 += weights.get_unchecked(k + 1)
+                * values.get_unchecked(*srcs.get_unchecked(k + 1) as usize);
+            a2 += weights.get_unchecked(k + 2)
+                * values.get_unchecked(*srcs.get_unchecked(k + 2) as usize);
+            a3 += weights.get_unchecked(k + 3)
+                * values.get_unchecked(*srcs.get_unchecked(k + 3) as usize);
+        }
+        k += 4;
+    }
+    for i in head..srcs.len() {
+        a0 += weights[i] * values[srcs[i] as usize];
+    }
+    (a0 + a1) + (a2 + a3)
+}
+
+/// Gather `Σ_k values[srcs[k]]` (factored form: the per-arc weight has been
+/// folded into `values`). Same unrolling rationale as [`gather_weighted`].
+#[inline]
+fn gather_plain(srcs: &[u32], values: &[f64]) -> f64 {
+    let (mut a0, mut a1, mut a2, mut a3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    let head = srcs.len() - srcs.len() % 4;
+    let mut k = 0;
+    while k < head {
+        // SAFETY: as in `gather_weighted`.
+        unsafe {
+            a0 += values.get_unchecked(*srcs.get_unchecked(k) as usize);
+            a1 += values.get_unchecked(*srcs.get_unchecked(k + 1) as usize);
+            a2 += values.get_unchecked(*srcs.get_unchecked(k + 2) as usize);
+            a3 += values.get_unchecked(*srcs.get_unchecked(k + 3) as usize);
+        }
+        k += 4;
+    }
+    for i in head..srcs.len() {
+        a0 += values[srcs[i] as usize];
+    }
+    (a0 + a1) + (a2 + a3)
+}
+
+/// The pull kernel over one destination range: `next[j] = (1−α)·t_j +
+/// policy-term + α·Σ_{i→j} T[j,i]·rank[i]`. `next` (and, in factored mode,
+/// `scaled_next`) are the sub-slices for `range` only — disjoint between
+/// workers; all other inputs are shared reads. In factored mode the sum
+/// gathers from `scaled_rank = rank·inv_denom` and multiplies by the
+/// destination factor once per node. For `Renormalize`, the residual is
+/// computed later by [`scale_range`].
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn pull_range(
+    range: Range<usize>,
+    topo: &PullTopo<'_>,
+    op: EngineOp<'_>,
+    teleport: Option<&[f64]>,
+    rank: &[f64],
+    scaled_rank: &[f64],
+    next: &mut [f64],
+    scaled_next: &mut [f64],
+    params: &PullParams,
+) -> RangeOut {
+    let alpha = params.alpha;
+    // The teleport coefficient is constant across the range: `(1−α)` plus,
+    // under RedistributeTeleport, the dangling mass folded in.
+    let tele_coef = match params.policy {
+        DanglingPolicy::RedistributeTeleport => (1.0 - alpha) + alpha * params.dangling_mass,
+        DanglingPolicy::SelfLoop | DanglingPolicy::Renormalize => 1.0 - alpha,
+    };
+    // Fast path for the overwhelmingly common configuration: no dangling
+    // nodes (every policy degenerates to the plain update) and uniform
+    // teleportation, so the base term is one constant for the whole
+    // iteration and all per-destination policy bookkeeping disappears.
+    if topo.dangling_nodes.is_empty()
+        && teleport.is_none()
+        && params.policy != DanglingPolicy::Renormalize
+    {
+        return pull_range_plain(
+            range,
+            topo,
+            op,
+            tele_coef * params.uniform,
+            alpha,
+            rank,
+            scaled_rank,
+            next,
+            scaled_next,
+        );
+    }
+    let self_loop = params.policy == DanglingPolicy::SelfLoop;
+    let mut out = RangeOut::default();
+    let base_start = range.start;
+    for j in range {
+        let tj = teleport.map_or(params.uniform, |t| t[j]);
+        let is_dangling = topo.dangling_mask[j];
+        let mut base = tele_coef * tj;
+        if self_loop && is_dangling {
+            base += alpha * rank[j];
+        }
+        let (s, e) = (topo.in_offsets[j], topo.in_offsets[j + 1]);
+        let srcs = &topo.in_sources[s..e];
+        let val = match op {
+            EngineOp::Arc(in_probs) => base + alpha * gather_weighted(srcs, &in_probs[s..e], rank),
+            EngineOp::Factored { numer, inv_denom } => {
+                let val = base + alpha * numer[j] * gather_plain(srcs, scaled_rank);
+                scaled_next[j - base_start] = val * inv_denom[j];
+                val
+            }
+        };
+        // The write buffer still holds x_{k−1}: accumulate the step dot
+        // products the extrapolation uses to estimate the *signed*
+        // contraction ratio (the residual alone cannot see oscillation).
+        let d_old = rank[j] - next[j - base_start];
+        let d_new = val - rank[j];
+        out.dot_dd += d_new * d_old;
+        out.dot_oo += d_old * d_old;
+        out.residual += d_new.abs();
+        out.sum_next += val;
+        if is_dangling {
+            out.dangling_next += val;
+        }
+        next[j - base_start] = val;
+    }
+    out
+}
+
+/// The tight variant of [`pull_range`] for graphs without dangling nodes
+/// under uniform teleportation: `next[j] = base + α·Σ` with one constant
+/// `base`, no policy or teleport work per destination.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn pull_range_plain(
+    range: Range<usize>,
+    topo: &PullTopo<'_>,
+    op: EngineOp<'_>,
+    base: f64,
+    alpha: f64,
+    rank: &[f64],
+    scaled_rank: &[f64],
+    next: &mut [f64],
+    scaled_next: &mut [f64],
+) -> RangeOut {
+    let mut out = RangeOut::default();
+    let base_start = range.start;
+    for j in range {
+        let (s, e) = (topo.in_offsets[j], topo.in_offsets[j + 1]);
+        let srcs = &topo.in_sources[s..e];
+        let val = match op {
+            EngineOp::Arc(in_probs) => base + alpha * gather_weighted(srcs, &in_probs[s..e], rank),
+            EngineOp::Factored { numer, inv_denom } => {
+                let val = base + alpha * numer[j] * gather_plain(srcs, scaled_rank);
+                scaled_next[j - base_start] = val * inv_denom[j];
+                val
+            }
+        };
+        let d_old = rank[j] - next[j - base_start];
+        let d_new = val - rank[j];
+        out.dot_dd += d_new * d_old;
+        out.dot_oo += d_old * d_old;
+        out.residual += d_new.abs();
+        next[j - base_start] = val;
+    }
+    out
+}
+
+/// Renormalize phase for [`DanglingPolicy::Renormalize`]: scale the new
+/// iterate by `inv_total` and compute the residual against the (already
+/// normalized) previous iterate. `scaled_next` (empty unless the factored
+/// kernel is active) is kept proportional.
+#[inline]
+fn scale_range(
+    range: Range<usize>,
+    rank: &[f64],
+    next: &mut [f64],
+    scaled_next: &mut [f64],
+    inv_total: f64,
+) -> RangeOut {
+    let mut out = RangeOut::default();
+    let base_start = range.start;
+    for x in scaled_next.iter_mut() {
+        *x *= inv_total;
+    }
+    for j in range {
+        let val = next[j - base_start] * inv_total;
+        next[j - base_start] = val;
+        out.residual += (val - rank[j]).abs();
+        out.sum_next += val;
+    }
+    out
+}
+
+/// Aitken-style acceleration: when two successive *signed* step ratios
+/// `q = ⟨d_{k+1}, d_k⟩/‖d_k‖²` agree (stable geometric decay along one
+/// dominant mode, possibly with negative eigenvalue), the remaining error
+/// is approximately `d·(q + q² + …) = d·q/(1−q)` along the last step `d` —
+/// jump there at once. The power iteration is an affine contraction, so it
+/// converges from *any* iterate; a jump can only change how fast the
+/// residual-based stop criterion is reached, never where the fixed point
+/// is. `Renormalize` makes the iteration non-affine, so callers skip
+/// extrapolation for it.
+fn extrapolation_factor(prev_q: f64, q: f64) -> Option<f64> {
+    let magnitude_ok = q.abs() > 0.05 && q.abs() < 0.95;
+    let stable = prev_q.is_finite()
+        && prev_q != 0.0
+        && q.signum() == prev_q.signum()
+        && (q / prev_q - 1.0).abs() < 0.1;
+    if magnitude_ok && stable {
+        Some(q / (1.0 - q))
+    } else {
+        None
+    }
+}
+
+/// Iterations to wait after an extrapolation jump before trusting the
+/// residual ratio again.
+const EXTRAPOLATION_COOLDOWN: usize = 3;
+
+/// Serial iteration loop over plain buffers. `rank` must hold the initial
+/// iterate; on return it holds the final scores. `scaled_bufs` provides the
+/// reusable `rank·inv_denom` ping-pong pair required by factored operators
+/// (pass `None` for arc operators). Returns `(iterations, residual)`.
+pub(crate) fn drive_serial(
+    topo: &PullTopo<'_>,
+    op: EngineOp<'_>,
+    config: &PageRankConfig,
+    rank: &mut Vec<f64>,
+    next: &mut Vec<f64>,
+    scaled_bufs: Option<(&mut Vec<f64>, &mut Vec<f64>)>,
+    teleport: &[f64],
+) -> (usize, f64) {
+    let n = rank.len();
+    let uniform = 1.0 / n.max(1) as f64;
+    let teleport: Option<&[f64]> = if teleport.is_empty() {
+        None
+    } else {
+        Some(teleport)
+    };
+    let factored = matches!(op, EngineOp::Factored { .. });
+    let mut fallback_a = Vec::new();
+    let mut fallback_b = Vec::new();
+    let (scaled_rank, scaled_next) = scaled_bufs.unwrap_or((&mut fallback_a, &mut fallback_b));
+    if let EngineOp::Factored { inv_denom, .. } = op {
+        scaled_rank.clear();
+        scaled_rank.extend(rank.iter().zip(inv_denom).map(|(r, d)| r * d));
+        scaled_next.clear();
+        scaled_next.resize(n, 0.0);
+    } else {
+        scaled_rank.clear();
+        scaled_next.clear();
+    }
+    let mut params = PullParams {
+        alpha: config.alpha,
+        uniform,
+        policy: config.dangling,
+        dangling_mass: mass_at(topo.dangling_nodes, rank),
+        factored,
+    };
+    let mut iterations = 0;
+    let mut residual = f64::INFINITY;
+    let mut prev_q = f64::NAN;
+    let mut cooldown = 0usize;
+    while iterations < config.max_iterations {
+        iterations += 1;
+        let out = pull_range(
+            0..n,
+            topo,
+            op,
+            teleport,
+            rank,
+            scaled_rank,
+            next,
+            scaled_next,
+            &params,
+        );
+        if params.policy == DanglingPolicy::Renormalize {
+            let inv_total = if out.sum_next > 0.0 {
+                1.0 / out.sum_next
+            } else {
+                1.0
+            };
+            let scaled = scale_range(0..n, rank, next, scaled_next, inv_total);
+            residual = scaled.residual;
+            // Scaling is linear, so the dangling partial scales with it.
+            params.dangling_mass = out.dangling_next * inv_total;
+        } else {
+            residual = out.residual;
+            params.dangling_mass = out.dangling_next;
+        }
+        std::mem::swap(rank, next);
+        std::mem::swap(scaled_rank, scaled_next);
+        if residual < config.tolerance {
+            break;
+        }
+        let q = if out.dot_oo > 0.0 {
+            out.dot_dd / out.dot_oo
+        } else {
+            0.0
+        };
+        if params.policy != DanglingPolicy::Renormalize && cooldown == 0 {
+            if let Some(f) = extrapolation_factor(prev_q, q) {
+                // rank = x_{k+1}, next = x_k: jump along the last step.
+                for (r, &o) in rank.iter_mut().zip(next.iter()) {
+                    *r += (*r - o) * f;
+                }
+                if let EngineOp::Factored { inv_denom, .. } = op {
+                    for ((s, &r), &d) in scaled_rank.iter_mut().zip(rank.iter()).zip(inv_denom) {
+                        *s = r * d;
+                    }
+                }
+                params.dangling_mass = mass_at(topo.dangling_nodes, rank);
+                cooldown = EXTRAPOLATION_COOLDOWN;
+                prev_q = f64::NAN;
+                continue;
+            }
+            prev_q = q;
+        } else {
+            cooldown = cooldown.saturating_sub(1);
+            prev_q = q;
+        }
+    }
+    (iterations, residual)
+}
+
+/// Work item broadcast to parked workers at each start barrier.
+#[repr(u8)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Phase {
+    Compute = 0,
+    Scale = 1,
+    Exit = 2,
+}
+
+/// A `&mut [f64]` smuggled across the thread boundary. Soundness protocol:
+/// between a `start.wait()` and the matching `end.wait()`, workers access
+/// the slice (disjoint ranges for writes, shared reads); at every other
+/// time the main thread is the sole accessor. The barriers establish the
+/// happens-before edges.
+#[derive(Debug)]
+pub(crate) struct SharedSlice {
+    ptr: *mut f64,
+    len: usize,
+}
+
+unsafe impl Send for SharedSlice {}
+unsafe impl Sync for SharedSlice {}
+
+impl SharedSlice {
+    pub(crate) fn new(v: &mut Vec<f64>) -> Self {
+        Self {
+            ptr: v.as_mut_ptr(),
+            len: v.len(),
+        }
+    }
+
+    /// A shared slice that will only ever be read (`slice_mut`/`range_mut`
+    /// must not be called on it). Used for operators that stay immutable
+    /// for the lifetime of the pool.
+    pub(crate) fn read_only(v: &[f64]) -> Self {
+        Self {
+            ptr: v.as_ptr() as *mut f64,
+            len: v.len(),
+        }
+    }
+
+    /// SAFETY: caller must hold exclusive access per the protocol above.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn slice_mut(&self) -> &mut [f64] {
+        std::slice::from_raw_parts_mut(self.ptr, self.len)
+    }
+
+    /// SAFETY: caller must guarantee no concurrent writes to the window.
+    unsafe fn slice(&self) -> &[f64] {
+        std::slice::from_raw_parts(self.ptr, self.len)
+    }
+
+    /// SAFETY: caller must hold exclusive access to `range` specifically.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn range_mut(&self, range: Range<usize>) -> &mut [f64] {
+        debug_assert!(range.end <= self.len);
+        std::slice::from_raw_parts_mut(self.ptr.add(range.start), range.end - range.start)
+    }
+}
+
+/// Cache-line-padded per-worker output cell, written by exactly one worker
+/// during a phase and read by the main thread between phases.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+struct PartialCell(UnsafeCell<RangeOut>);
+
+unsafe impl Sync for PartialCell {}
+
+/// Shared buffers of a factored operator (see [`EngineOp::Factored`]).
+#[derive(Debug)]
+pub(crate) struct FactoredShared {
+    /// Destination factors `Θ_j^(−p)` (rewritten between grid points).
+    pub(crate) numer: SharedSlice,
+    /// Source factors `1/denom_i` (rewritten between grid points).
+    pub(crate) inv_denom: SharedSlice,
+    /// `rank·inv_denom` ping-pong pair, flipped with the rank buffers.
+    pub(crate) scaled: [SharedSlice; 2],
+}
+
+/// Everything the pooled workers share.
+pub(crate) struct PoolShared<'a> {
+    topo: PullTopo<'a>,
+    teleport: Option<&'a [f64]>,
+    in_probs: SharedSlice,
+    bufs: [SharedSlice; 2],
+    factored: Option<FactoredShared>,
+    flip: AtomicUsize,
+    phase: AtomicU8,
+    params: UnsafeCell<PullParams>,
+    inv_total: UnsafeCell<f64>,
+    partials: Vec<PartialCell>,
+    start: Barrier,
+    end: Barrier,
+}
+
+// SAFETY: all interior-mutable fields follow the barrier protocol described
+// on `SharedSlice`; the rest are shared immutable borrows.
+unsafe impl Sync for PoolShared<'_> {}
+
+impl<'a> PoolShared<'a> {
+    pub(crate) fn new(
+        topo: &PullTopo<'a>,
+        in_probs: SharedSlice,
+        bufs: [SharedSlice; 2],
+        factored: Option<FactoredShared>,
+        teleport: Option<&'a [f64]>,
+        config: &PageRankConfig,
+        workers: usize,
+    ) -> Self {
+        let n = bufs[0].len;
+        Self {
+            topo: *topo,
+            teleport,
+            in_probs,
+            bufs,
+            factored,
+            flip: AtomicUsize::new(0),
+            phase: AtomicU8::new(Phase::Compute as u8),
+            params: UnsafeCell::new(PullParams {
+                alpha: config.alpha,
+                uniform: 1.0 / n.max(1) as f64,
+                policy: config.dangling,
+                dangling_mass: 0.0,
+                factored: false,
+            }),
+            inv_total: UnsafeCell::new(1.0),
+            partials: (0..workers).map(|_| PartialCell::default()).collect(),
+            start: Barrier::new(workers + 1),
+            end: Barrier::new(workers + 1),
+        }
+    }
+
+    /// Release parked workers into exit. Must be called exactly once, after
+    /// the last [`drive_pooled_point`].
+    pub(crate) fn shutdown(&self) {
+        self.phase.store(Phase::Exit as u8, Ordering::Release);
+        self.start.wait();
+    }
+
+    /// `true` when the final iterate currently lives in `bufs[1]` (the
+    /// workspace's `next` buffer) rather than `bufs[0]`.
+    pub(crate) fn final_in_second_buf(&self) -> bool {
+        self.flip.load(Ordering::Relaxed) == 1
+    }
+
+    fn sum_partials(&self) -> RangeOut {
+        let mut total = RangeOut::default();
+        for cell in &self.partials {
+            // SAFETY: workers are parked between barriers when this runs.
+            let p = unsafe { *cell.0.get() };
+            total.residual += p.residual;
+            total.dangling_next += p.dangling_next;
+            total.sum_next += p.sum_next;
+            total.dot_dd += p.dot_dd;
+            total.dot_oo += p.dot_oo;
+        }
+        total
+    }
+}
+
+/// Drive the iteration loop for one grid point on an already-running pool.
+/// The rank buffer (`bufs[flip]`) must hold the initial iterate; on return
+/// it holds the final scores. Returns `(iterations, residual)`.
+pub(crate) fn drive_pooled_point(
+    shared: &PoolShared<'_>,
+    config: &PageRankConfig,
+    topo: &PullTopo<'_>,
+) -> (usize, f64) {
+    let flip = shared.flip.load(Ordering::Relaxed);
+    // SAFETY: workers are parked; reading the rank buffer is exclusive here.
+    let rank_now = unsafe { shared.bufs[flip].slice() };
+    let mut dangling_mass = mass_at(topo.dangling_nodes, rank_now);
+
+    let mut iterations = 0;
+    let mut residual = f64::INFINITY;
+    let mut prev_q = f64::NAN;
+    let mut cooldown = 0usize;
+    while iterations < config.max_iterations {
+        iterations += 1;
+        // SAFETY: workers parked; exclusive access to params.
+        unsafe { (*shared.params.get()).dangling_mass = dangling_mass };
+        shared.phase.store(Phase::Compute as u8, Ordering::Release);
+        shared.start.wait();
+        shared.end.wait();
+
+        let mut out = shared.sum_partials();
+        if config.dangling == DanglingPolicy::Renormalize {
+            let inv_total = if out.sum_next > 0.0 {
+                1.0 / out.sum_next
+            } else {
+                1.0
+            };
+            // SAFETY: workers parked between the end/start barriers.
+            unsafe { *shared.inv_total.get() = inv_total };
+            shared.phase.store(Phase::Scale as u8, Ordering::Release);
+            shared.start.wait();
+            shared.end.wait();
+            let scaled = shared.sum_partials();
+            residual = scaled.residual;
+            dangling_mass = scaled.dangling_next;
+            out.dot_oo = 0.0; // extrapolation is disabled for Renormalize
+        } else {
+            residual = out.residual;
+            dangling_mass = out.dangling_next;
+        }
+        let flip = shared.flip.fetch_xor(1, Ordering::AcqRel) ^ 1;
+        if residual < config.tolerance {
+            break;
+        }
+        // See `extrapolation_factor`: same acceleration as the serial
+        // driver, performed by the main thread while workers are parked.
+        let q = if out.dot_oo > 0.0 {
+            out.dot_dd / out.dot_oo
+        } else {
+            0.0
+        };
+        if config.dangling != DanglingPolicy::Renormalize && cooldown == 0 {
+            if let Some(f) = extrapolation_factor(prev_q, q) {
+                let factored = unsafe { (*shared.params.get()).factored };
+                // SAFETY: workers are parked; main thread owns the bufs.
+                unsafe {
+                    let rank = shared.bufs[flip].slice_mut();
+                    let old = shared.bufs[flip ^ 1].slice();
+                    for (r, &o) in rank.iter_mut().zip(old) {
+                        *r += (*r - o) * f;
+                    }
+                    if factored {
+                        let fs = shared.factored.as_ref().expect("factored shares provided");
+                        let scaled = fs.scaled[flip].slice_mut();
+                        let invd = fs.inv_denom.slice();
+                        for ((s, &r), &d) in scaled.iter_mut().zip(rank.iter()).zip(invd) {
+                            *s = r * d;
+                        }
+                    }
+                    dangling_mass = mass_at(topo.dangling_nodes, rank);
+                }
+                cooldown = EXTRAPOLATION_COOLDOWN;
+                prev_q = f64::NAN;
+                continue;
+            }
+            prev_q = q;
+        } else {
+            cooldown = cooldown.saturating_sub(1);
+            prev_q = q;
+        }
+    }
+    (iterations, residual)
+}
+
+/// Body of one pooled worker: park on the start barrier, run the requested
+/// phase over the assigned destination range, report partials, park on the
+/// end barrier. Lives until the main thread broadcasts [`Phase::Exit`].
+pub(crate) fn worker_loop(w: usize, range: Range<usize>, shared: &PoolShared<'_>) {
+    loop {
+        shared.start.wait();
+        match shared.phase.load(Ordering::Acquire) {
+            x if x == Phase::Exit as u8 => return,
+            x if x == Phase::Compute as u8 => {
+                let flip = shared.flip.load(Ordering::Acquire);
+                let params = unsafe { *shared.params.get() };
+                // SAFETY: during the compute phase the read buffers are only
+                // read (by every worker) and each worker writes disjoint
+                // windows of the write buffers.
+                let rank = unsafe { shared.bufs[flip].slice() };
+                let next = unsafe { shared.bufs[flip ^ 1].range_mut(range.clone()) };
+                let mut empty: [f64; 0] = [];
+                let (op, scaled_rank, scaled_next) = if params.factored {
+                    let f = shared.factored.as_ref().expect("factored shares provided");
+                    // SAFETY: same protocol as the rank buffers.
+                    unsafe {
+                        (
+                            EngineOp::Factored {
+                                numer: f.numer.slice(),
+                                inv_denom: f.inv_denom.slice(),
+                            },
+                            f.scaled[flip].slice(),
+                            f.scaled[flip ^ 1].range_mut(range.clone()),
+                        )
+                    }
+                } else {
+                    // SAFETY: operator values are immutable during a phase.
+                    (
+                        EngineOp::Arc(unsafe { shared.in_probs.slice() }),
+                        &[][..],
+                        &mut empty[..],
+                    )
+                };
+                let out = pull_range(
+                    range.clone(),
+                    &shared.topo,
+                    op,
+                    shared.teleport,
+                    rank,
+                    scaled_rank,
+                    next,
+                    scaled_next,
+                    &params,
+                );
+                // SAFETY: cell `w` is written only by worker `w`.
+                unsafe { *shared.partials[w].0.get() = out };
+            }
+            _ => {
+                // Scale phase (Renormalize policy).
+                let flip = shared.flip.load(Ordering::Acquire);
+                let params = unsafe { *shared.params.get() };
+                // SAFETY: same disjoint-window protocol as the compute phase.
+                let rank = unsafe { shared.bufs[flip].slice() };
+                let next = unsafe { shared.bufs[flip ^ 1].range_mut(range.clone()) };
+                let mut empty: [f64; 0] = [];
+                let scaled_next = if params.factored {
+                    let f = shared.factored.as_ref().expect("factored shares provided");
+                    // SAFETY: same protocol as the rank buffers.
+                    unsafe { f.scaled[flip ^ 1].range_mut(range.clone()) }
+                } else {
+                    &mut empty[..]
+                };
+                let inv_total = unsafe { *shared.inv_total.get() };
+                let mut out = scale_range(range.clone(), rank, next, scaled_next, inv_total);
+                // Dangling mass scales linearly; reuse the compute-phase
+                // partial rather than re-testing every node.
+                let prev = unsafe { (*shared.partials[w].0.get()).dangling_next };
+                out.dangling_next = prev * inv_total;
+                unsafe { *shared.partials[w].0.get() = out };
+            }
+        }
+        shared.end.wait();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pagerank::{pagerank, pagerank_with_matrix};
+    use d2pr_graph::builder::GraphBuilder;
+    use d2pr_graph::csr::Direction;
+    use d2pr_graph::generators::{barabasi_albert, erdos_renyi_nm};
+
+    fn assert_close(a: &[f64], b: &[f64], eps: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < eps, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn engine_matches_serial_all_policies() {
+        let mut b = GraphBuilder::new(Direction::Directed, 40);
+        // A graph with dangling nodes: chain plus extra arcs; the tail nodes
+        // have no out-arcs.
+        for v in 0..30u32 {
+            b.add_edge(v, v + 1);
+            b.add_edge(v, (v * 7 + 3) % 40);
+        }
+        let g = b.build().unwrap();
+        for policy in [
+            DanglingPolicy::RedistributeTeleport,
+            DanglingPolicy::SelfLoop,
+            DanglingPolicy::Renormalize,
+        ] {
+            let cfg = PageRankConfig {
+                dangling: policy,
+                ..Default::default()
+            };
+            let serial = pagerank(&g, TransitionModel::Standard, &cfg);
+            for threads in [1, 3, 8] {
+                let mut engine = Engine::with_threads(&g, threads).with_config(cfg).unwrap();
+                let r = engine.solve_model(TransitionModel::Standard).unwrap();
+                assert_close(&serial.scores, &r.scores, 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn engine_matches_serial_decoupled() {
+        let g = barabasi_albert(150, 3, 5).unwrap();
+        let cfg = PageRankConfig::default();
+        let mut engine = Engine::with_threads(&g, 4);
+        for &p in &[-2.0, 0.0, 0.5, 4.0] {
+            let model = TransitionModel::DegreeDecoupled { p };
+            let serial = pagerank(&g, model, &cfg);
+            let r = engine.solve_model(model).unwrap();
+            assert_close(&serial.scores, &r.scores, 1e-8);
+        }
+    }
+
+    #[test]
+    fn engine_personalized_teleport() {
+        let g = erdos_renyi_nm(60, 240, 8).unwrap();
+        let mut t = vec![0.0; 60];
+        t[7] = 2.0;
+        t[9] = 1.0;
+        let matrix = TransitionMatrix::build(&g, TransitionModel::Standard);
+        let serial = pagerank_with_matrix(&g, &matrix, &PageRankConfig::default(), Some(&t));
+        let mut engine = Engine::with_threads(&g, 3);
+        engine.set_model(TransitionModel::Standard).unwrap();
+        let r = engine.solve_with_teleport(Some(&t)).unwrap();
+        assert_close(&serial.scores, &r.scores, 1e-8);
+        assert_eq!(r.ranking()[0], 7);
+    }
+
+    #[test]
+    fn sweep_matches_pointwise_solves_and_warm_start_converges_same() {
+        let g = barabasi_albert(120, 3, 9).unwrap();
+        let models: Vec<TransitionModel> = [-1.0, -0.5, 0.0, 0.5, 1.0]
+            .iter()
+            .map(|&p| TransitionModel::DegreeDecoupled { p })
+            .collect();
+        let mut engine = Engine::with_threads(&g, 4);
+        let cold = engine.sweep(&models, false).unwrap();
+        let warm = engine.sweep(&models, true).unwrap();
+        assert_eq!(cold.len(), 5);
+        let mut warm_iters = 0;
+        let mut cold_iters = 0;
+        for ((c, w), &model) in cold.iter().zip(&warm).zip(&models) {
+            let serial = pagerank(&g, model, &PageRankConfig::default());
+            assert_close(&serial.scores, &c.scores, 1e-8);
+            assert_close(&serial.scores, &w.scores, 1e-7);
+            cold_iters += c.iterations;
+            warm_iters += w.iterations;
+        }
+        assert!(
+            warm_iters < cold_iters,
+            "warm start should save iterations: {warm_iters} vs {cold_iters}"
+        );
+    }
+
+    #[test]
+    fn errors_are_typed_not_panics() {
+        let g = erdos_renyi_nm(10, 30, 1).unwrap();
+        let mut engine = Engine::new(&g);
+        assert!(matches!(engine.solve(), Err(SolverError::InvalidModel(_))));
+        assert!(matches!(
+            engine.set_model(TransitionModel::Blended { p: 0.0, beta: 2.0 }),
+            Err(SolverError::InvalidModel(_))
+        ));
+        engine.set_model(TransitionModel::Standard).unwrap();
+        assert!(matches!(
+            engine.solve_with_teleport(Some(&[1.0])),
+            Err(SolverError::TeleportLength {
+                got: 1,
+                expected: 10
+            })
+        ));
+        assert!(matches!(
+            engine.solve_with_teleport(Some(&[0.0; 10])),
+            Err(SolverError::TeleportMass)
+        ));
+        assert!(matches!(
+            Engine::new(&g).set_config(PageRankConfig {
+                alpha: 1.0,
+                ..Default::default()
+            }),
+            Err(SolverError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn empty_graph_and_empty_sweep() {
+        let g = GraphBuilder::new(Direction::Directed, 0).build().unwrap();
+        let mut engine = Engine::new(&g);
+        let r = engine.solve_model(TransitionModel::Standard).unwrap();
+        assert!(r.scores.is_empty() && r.converged);
+        let g2 = erdos_renyi_nm(5, 10, 2).unwrap();
+        let mut engine2 = Engine::new(&g2);
+        assert!(engine2.sweep(&[], false).unwrap().is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_nodes() {
+        let g = erdos_renyi_nm(5, 12, 2).unwrap();
+        let mut engine = Engine::with_threads(&g, 64);
+        let r = engine.solve_model(TransitionModel::Standard).unwrap();
+        assert!((r.scores.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn operator_update_reuses_buffers() {
+        // Blended beta > 0 exercises the arc-mode (per-arc value) path.
+        let g = barabasi_albert(80, 3, 2).unwrap();
+        let mut engine = Engine::with_threads(&g, 2);
+        engine
+            .set_model(TransitionModel::Blended { p: 1.0, beta: 0.5 })
+            .unwrap();
+        let ptr_before = engine.in_probs().as_ptr();
+        engine
+            .set_model(TransitionModel::Blended { p: -1.0, beta: 0.5 })
+            .unwrap();
+        assert_eq!(
+            ptr_before,
+            engine.in_probs().as_ptr(),
+            "in-place operator update"
+        );
+        // And the operator must equal a from-scratch build scattered the
+        // same way.
+        let model = TransitionModel::Blended { p: -1.0, beta: 0.5 };
+        let matrix = TransitionMatrix::build(&g, model);
+        let mut expect = vec![0.0; g.num_arcs()];
+        engine
+            .csc()
+            .scatter_arc_values(matrix.arc_probs(), &mut expect);
+        assert_close(engine.in_probs(), &expect, 1e-15);
+    }
+
+    #[test]
+    fn factored_and_general_operator_paths_agree() {
+        // The factored path (beta = 0) and the log-sum-exp arc path must
+        // reach the same fixed points.
+        let g = barabasi_albert(120, 4, 6).unwrap();
+        let cfg = PageRankConfig::default();
+        let mut engine = Engine::with_threads(&g, 2);
+        for &p in &[-4.0, -0.5, 0.0, 2.0, 4.0] {
+            let model = TransitionModel::DegreeDecoupled { p };
+            let serial = pagerank(&g, model, &cfg);
+            let r = engine.solve_model(model).unwrap();
+            assert_close(&serial.scores, &r.scores, 1e-8);
+            assert!((r.scores.iter().sum::<f64>() - 1.0).abs() < 1e-9, "p={p}");
+        }
+        // Extreme p falls back to the log-sum-exp arc path and must still
+        // produce a stochastic operator and a valid solve.
+        engine
+            .set_model(TransitionModel::DegreeDecoupled { p: 400.0 })
+            .unwrap();
+        assert!(engine.in_probs().iter().all(|x| x.is_finite() && *x >= 0.0));
+        let r = engine.solve().unwrap();
+        assert!((r.scores.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mixed_factored_and_arc_sweep() {
+        // A sweep whose points alternate between the factored and arc
+        // operator representations (moderate and extreme p) must match
+        // pointwise solves.
+        let g = barabasi_albert(90, 3, 8).unwrap();
+        let models = [
+            TransitionModel::DegreeDecoupled { p: 0.5 },
+            TransitionModel::DegreeDecoupled { p: 400.0 },
+            TransitionModel::DegreeDecoupled { p: -1.0 },
+        ];
+        for threads in [1, 4] {
+            let mut engine = Engine::with_threads(&g, threads);
+            let results = engine.sweep(&models, true).unwrap();
+            for (&model, r) in models.iter().zip(&results) {
+                let serial = pagerank(&g, model, &PageRankConfig::default());
+                assert_close(&serial.scores, &r.scores, 1e-7);
+            }
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Typed solver errors.
+//!
+//! The original solvers panicked on invalid input (`assert!`/`expect`),
+//! which is hostile to long-running sweep services: one bad grid point took
+//! the whole process down. Every validation failure is now a
+//! [`SolverError`], and the panicking entry points are thin wrappers kept
+//! for backwards compatibility.
+
+use std::fmt;
+
+/// Everything that can be wrong with a solver invocation, short of a bug.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolverError {
+    /// The [`crate::pagerank::PageRankConfig`] failed validation.
+    InvalidConfig(String),
+    /// The [`crate::transition::TransitionModel`] failed validation.
+    InvalidModel(String),
+    /// A teleport vector had the wrong length.
+    TeleportLength {
+        /// Provided length.
+        got: usize,
+        /// Required length (`num_nodes`).
+        expected: usize,
+    },
+    /// A teleport vector contained a negative, NaN, or infinite entry.
+    TeleportEntry(f64),
+    /// A teleport vector summed to zero (or below): no mass to jump to.
+    TeleportMass,
+    /// A warm-start vector had the wrong length.
+    WarmStartLength {
+        /// Provided length.
+        got: usize,
+        /// Required length (`num_nodes`).
+        expected: usize,
+    },
+    /// A warm-start vector was not a usable starting point (negative/NaN
+    /// entries or zero total mass).
+    WarmStartMass,
+    /// An operator (matrix/transpose) was built for a different graph.
+    GraphMismatch {
+        /// Nodes the operator covers.
+        operator_nodes: usize,
+        /// Nodes the graph has.
+        graph_nodes: usize,
+    },
+}
+
+impl fmt::Display for SolverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolverError::InvalidConfig(msg) => write!(f, "invalid PageRank configuration: {msg}"),
+            SolverError::InvalidModel(msg) => write!(f, "invalid transition model: {msg}"),
+            SolverError::TeleportLength { got, expected } => {
+                write!(
+                    f,
+                    "teleport vector must cover all nodes: got {got}, expected {expected}"
+                )
+            }
+            SolverError::TeleportEntry(x) => {
+                write!(
+                    f,
+                    "teleport entries must be finite and non-negative, got {x}"
+                )
+            }
+            SolverError::TeleportMass => write!(f, "teleport vector must have positive mass"),
+            SolverError::WarmStartLength { got, expected } => {
+                write!(
+                    f,
+                    "warm-start vector must cover all nodes: got {got}, expected {expected}"
+                )
+            }
+            SolverError::WarmStartMass => {
+                write!(
+                    f,
+                    "warm-start vector must be non-negative with positive mass"
+                )
+            }
+            SolverError::GraphMismatch {
+                operator_nodes,
+                graph_nodes,
+            } => write!(
+                f,
+                "operator covers {operator_nodes} nodes but the graph has {graph_nodes}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SolverError {}
+
+impl From<SolverError> for String {
+    fn from(e: SolverError) -> Self {
+        e.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SolverError::TeleportLength {
+            got: 3,
+            expected: 5,
+        };
+        assert!(e.to_string().contains("got 3"));
+        assert!(e.to_string().contains("expected 5"));
+        let s: String = SolverError::TeleportMass.into();
+        assert!(s.contains("positive mass"));
+    }
+}

@@ -14,9 +14,11 @@
 //! redistribute-to-teleport treatment, lagged by one sweep (it converges to
 //! the same fixed point).
 
+use crate::error::SolverError;
 use crate::pagerank::{PageRankConfig, PageRankResult};
 use crate::parallel::TransposedMatrix;
 use crate::transition::{TransitionMatrix, TransitionModel};
+use crate::workspace::Workspace;
 use d2pr_graph::csr::CsrGraph;
 
 /// Gauss–Seidel solve over a prebuilt transpose (in-neighbor lists).
@@ -40,7 +42,12 @@ pub fn pagerank_gauss_seidel(
     );
     let n = graph.num_nodes();
     if n == 0 {
-        return PageRankResult { scores: vec![], iterations: 0, residual: 0.0, converged: true };
+        return PageRankResult {
+            scores: vec![],
+            iterations: 0,
+            residual: 0.0,
+            converged: true,
+        };
     }
     let transpose = TransposedMatrix::build(graph, matrix);
     gauss_seidel_with_transpose(graph, &transpose, config)
@@ -52,16 +59,49 @@ pub fn gauss_seidel_with_transpose(
     transpose: &TransposedMatrix,
     config: &PageRankConfig,
 ) -> PageRankResult {
+    let mut ws = Workspace::new();
+    gauss_seidel_with_workspace(graph, transpose, config, &mut ws).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`gauss_seidel_with_transpose`] with caller-owned buffers and typed
+/// errors: repeated solves through the same [`Workspace`] perform no
+/// rank-buffer allocations (Gauss–Seidel updates in place, so only the
+/// workspace's `rank` buffer is used).
+///
+/// # Errors
+/// Returns [`SolverError::InvalidConfig`] for invalid configurations and
+/// [`SolverError::GraphMismatch`] when the transpose belongs to a
+/// different graph.
+pub fn gauss_seidel_with_workspace(
+    graph: &CsrGraph,
+    transpose: &TransposedMatrix,
+    config: &PageRankConfig,
+    ws: &mut Workspace,
+) -> Result<PageRankResult, SolverError> {
+    config.validate().map_err(SolverError::InvalidConfig)?;
     let n = graph.num_nodes();
+    if transpose.num_nodes() != n {
+        return Err(SolverError::GraphMismatch {
+            operator_nodes: transpose.num_nodes(),
+            graph_nodes: n,
+        });
+    }
     if n == 0 {
-        return PageRankResult { scores: vec![], iterations: 0, residual: 0.0, converged: true };
+        return Ok(PageRankResult {
+            scores: vec![],
+            iterations: 0,
+            residual: 0.0,
+            converged: true,
+        });
     }
     let alpha = config.alpha;
     let uniform = 1.0 / n as f64;
     let (offsets, _, _) = graph.parts();
     let dangling: Vec<usize> = (0..n).filter(|&v| offsets[v] == offsets[v + 1]).collect();
 
-    let mut rank = vec![uniform; n];
+    ws.set_teleport(n, None)?;
+    ws.init_rank(n, None)?;
+    let rank = &mut ws.rank;
     let mut iterations = 0usize;
     let mut residual = f64::INFINITY;
 
@@ -92,7 +132,12 @@ pub fn gauss_seidel_with_transpose(
             *r /= total;
         }
     }
-    PageRankResult { scores: rank, iterations, residual, converged: residual < config.tolerance }
+    Ok(PageRankResult {
+        scores: rank.clone(),
+        iterations,
+        residual,
+        converged: residual < config.tolerance,
+    })
 }
 
 /// Convenience: build the operator and solve via Gauss–Seidel.
@@ -123,7 +168,10 @@ mod tests {
     #[test]
     fn matches_power_iteration_standard() {
         let g = erdos_renyi_nm(120, 480, 3).unwrap();
-        let cfg = PageRankConfig { tolerance: 1e-12, ..Default::default() };
+        let cfg = PageRankConfig {
+            tolerance: 1e-12,
+            ..Default::default()
+        };
         let power = pagerank(&g, TransitionModel::Standard, &cfg);
         let gs = pagerank_gauss_seidel_from_graph(&g, TransitionModel::Standard, &cfg);
         close(&power.scores, &gs.scores, 1e-8);
@@ -132,7 +180,10 @@ mod tests {
     #[test]
     fn matches_power_iteration_decoupled() {
         let g = barabasi_albert(100, 3, 5).unwrap();
-        let cfg = PageRankConfig { tolerance: 1e-12, ..Default::default() };
+        let cfg = PageRankConfig {
+            tolerance: 1e-12,
+            ..Default::default()
+        };
         for p in [-2.0, 0.5, 3.0] {
             let model = TransitionModel::DegreeDecoupled { p };
             let power = pagerank(&g, model, &cfg);
@@ -148,7 +199,10 @@ mod tests {
         // converge and stay within a small factor of each other; the speed
         // question is measured by the ablation bench, not asserted here.
         let g = barabasi_albert(400, 4, 7).unwrap();
-        let cfg = PageRankConfig { tolerance: 1e-10, ..Default::default() };
+        let cfg = PageRankConfig {
+            tolerance: 1e-10,
+            ..Default::default()
+        };
         let power = pagerank(&g, TransitionModel::Standard, &cfg);
         let gs = pagerank_gauss_seidel_from_graph(&g, TransitionModel::Standard, &cfg);
         assert!(power.converged && gs.converged);
@@ -166,7 +220,10 @@ mod tests {
         b.add_edge(0, 1);
         b.add_edge(2, 1);
         let g = b.build().unwrap();
-        let cfg = PageRankConfig { tolerance: 1e-12, ..Default::default() };
+        let cfg = PageRankConfig {
+            tolerance: 1e-12,
+            ..Default::default()
+        };
         let power = pagerank(&g, TransitionModel::Standard, &cfg);
         let gs = pagerank_gauss_seidel_from_graph(&g, TransitionModel::Standard, &cfg);
         close(&power.scores, &gs.scores, 1e-7);
@@ -176,7 +233,11 @@ mod tests {
     #[test]
     fn empty_graph() {
         let g = GraphBuilder::new(Direction::Directed, 0).build().unwrap();
-        let r = pagerank_gauss_seidel_from_graph(&g, TransitionModel::Standard, &PageRankConfig::default());
+        let r = pagerank_gauss_seidel_from_graph(
+            &g,
+            TransitionModel::Standard,
+            &PageRankConfig::default(),
+        );
         assert!(r.converged);
         assert!(r.scores.is_empty());
     }

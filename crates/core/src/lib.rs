@@ -13,7 +13,11 @@
 //! * [`robust`] — seed-noise-insensitive (robust) personalized PageRank;
 //! * [`approx`] — locality-sensitive PPR (forward push, Monte Carlo);
 //! * [`trace`] — convergence diagnostics for the power iteration;
-//! * [`parallel`] — pull-based parallel solver (crossbeam scoped threads);
+//! * [`parallel`] — pull-based parallel solver over a prebuilt transpose;
+//! * [`engine`] — the fused sweep engine: cached CSC operator, persistent
+//!   arc-balanced worker pool, in-place operator updates;
+//! * [`workspace`] — reusable rank/next/teleport buffers shared by solvers;
+//! * [`error`] — typed [`error::SolverError`] returned by the solvers;
 //! * [`centrality`] — baseline measures (degree, HITS, sampled closeness);
 //! * [`d2pr`] — the high-level façade with the paper's parameter defaults.
 //!
@@ -38,6 +42,8 @@
 pub mod approx;
 pub mod centrality;
 pub mod d2pr;
+pub mod engine;
+pub mod error;
 pub mod gauss_seidel;
 pub mod kernel;
 pub mod pagerank;
@@ -46,21 +52,26 @@ pub mod personalized;
 pub mod robust;
 pub mod trace;
 pub mod transition;
+pub mod workspace;
 
 /// Re-exports of the most used types.
 pub mod prelude {
     pub use crate::approx::{forward_push, monte_carlo_ppr, ApproxResult};
     pub use crate::d2pr::D2pr;
+    pub use crate::engine::Engine;
+    pub use crate::error::SolverError;
     pub use crate::kernel::DegreeKernel;
-    pub use crate::pagerank::{
-        pagerank, DanglingPolicy, PageRankConfig, PageRankResult,
-    };
+    pub use crate::pagerank::{pagerank, DanglingPolicy, PageRankConfig, PageRankResult};
     pub use crate::personalized::{personalized_pagerank, seed_teleport};
     pub use crate::robust::{robust_personalized_pagerank, SeedAggregation};
     pub use crate::trace::{trace_convergence, ConvergenceTrace};
     pub use crate::transition::{TransitionMatrix, TransitionModel};
+    pub use crate::workspace::Workspace;
 }
 
 pub use crate::d2pr::D2pr;
+pub use crate::engine::Engine;
+pub use crate::error::SolverError;
 pub use crate::pagerank::{pagerank, PageRankConfig, PageRankResult};
 pub use crate::transition::{TransitionMatrix, TransitionModel};
+pub use crate::workspace::Workspace;

@@ -7,7 +7,9 @@
 //! an `L1` convergence criterion. For the graph sizes of the paper (≤ 4.5M
 //! arcs) this converges in well under a second per parameter setting.
 
+use crate::error::SolverError;
 use crate::transition::{TransitionMatrix, TransitionModel};
+use crate::workspace::Workspace;
 use d2pr_graph::csr::CsrGraph;
 
 /// What to do with the rank mass sitting on dangling nodes (no out-arcs).
@@ -57,7 +59,10 @@ impl PageRankConfig {
             return Err(format!("alpha must lie in [0,1), got {}", self.alpha));
         }
         if self.tolerance <= 0.0 {
-            return Err(format!("tolerance must be positive, got {}", self.tolerance));
+            return Err(format!(
+                "tolerance must be positive, got {}",
+                self.tolerance
+            ));
         }
         if self.max_iterations == 0 {
             return Err("max_iterations must be at least 1".into());
@@ -122,6 +127,10 @@ pub fn pagerank_with_matrix(
 /// the previous grid point's solution, which typically saves a large share
 /// of the iterations when consecutive operators are close (see the
 /// `ablation_warm_sweep` bench). The fixed point is independent of `init`.
+///
+/// # Panics
+/// Panics on invalid input (kept for backwards compatibility); use
+/// [`pagerank_with_workspace`] for the `Result`-returning variant.
 pub fn pagerank_with_matrix_init(
     graph: &CsrGraph,
     matrix: &TransitionMatrix,
@@ -129,48 +138,61 @@ pub fn pagerank_with_matrix_init(
     teleport: Option<&[f64]>,
     init: Option<&[f64]>,
 ) -> PageRankResult {
-    config.validate().expect("invalid PageRank configuration");
+    let mut ws = Workspace::new();
+    pagerank_with_workspace(graph, matrix, config, teleport, init, &mut ws)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// The `Result`-returning serial solver, with caller-owned buffers: repeated
+/// solves through the same [`Workspace`] perform no rank-buffer
+/// allocations. This is the primitive every panicking wrapper delegates to.
+///
+/// # Errors
+/// Returns a [`SolverError`] describing the invalid input.
+pub fn pagerank_with_workspace(
+    graph: &CsrGraph,
+    matrix: &TransitionMatrix,
+    config: &PageRankConfig,
+    teleport: Option<&[f64]>,
+    init: Option<&[f64]>,
+    ws: &mut Workspace,
+) -> Result<PageRankResult, SolverError> {
+    config.validate().map_err(SolverError::InvalidConfig)?;
     let n = graph.num_nodes();
+    if matrix.num_nodes() != n {
+        return Err(SolverError::GraphMismatch {
+            operator_nodes: matrix.num_nodes(),
+            graph_nodes: n,
+        });
+    }
     if n == 0 {
-        return PageRankResult { scores: vec![], iterations: 0, residual: 0.0, converged: true };
+        return Ok(PageRankResult {
+            scores: vec![],
+            iterations: 0,
+            residual: 0.0,
+            converged: true,
+        });
     }
     // Normalize the teleport vector once so the operator stays stochastic
     // even when the caller passes unnormalized seed weights.
-    let t_norm: Option<Vec<f64>> = teleport.map(|t| {
-        assert_eq!(t.len(), n, "teleport vector must cover all nodes");
-        assert!(t.iter().all(|&x| x >= 0.0 && x.is_finite()), "teleport entries must be finite and non-negative");
-        let s: f64 = t.iter().sum();
-        assert!(s > 0.0, "teleport vector must have positive mass");
-        t.iter().map(|&x| x / s).collect()
-    });
+    ws.set_teleport(n, teleport)?;
+    ws.init_rank(n, init)?;
     let uniform = 1.0 / n as f64;
-    let tele = |i: usize| t_norm.as_ref().map_or(uniform, |t| t[i]);
 
     let alpha = config.alpha;
     let probs = matrix.arc_probs();
     let (offsets, targets, _) = graph.parts();
 
-    let mut rank: Vec<f64> = match init {
-        Some(r0) => {
-            assert_eq!(r0.len(), n, "warm-start vector must cover all nodes");
-            let s: f64 = r0.iter().sum();
-            assert!(
-                s > 0.0 && r0.iter().all(|&x| x >= 0.0 && x.is_finite()),
-                "warm-start vector must be non-negative with positive mass"
-            );
-            r0.iter().map(|&x| x / s).collect()
-        }
-        None => (0..n).map(tele).collect(),
-    };
-    let mut next = vec![0.0f64; n];
-
-    let dangling: Vec<usize> =
-        (0..n).filter(|&v| offsets[v] == offsets[v + 1]).collect();
+    let dangling: Vec<usize> = (0..n).filter(|&v| offsets[v] == offsets[v + 1]).collect();
 
     let mut iterations = 0;
     let mut residual = f64::INFINITY;
     while iterations < config.max_iterations {
         iterations += 1;
+        let t = &ws.teleport;
+        let tele = |i: usize| if t.is_empty() { uniform } else { t[i] };
+        let rank = &ws.rank;
+        let next = &mut ws.next;
         // Base: teleportation.
         for (i, slot) in next.iter_mut().enumerate() {
             *slot = (1.0 - alpha) * tele(i);
@@ -210,13 +232,22 @@ pub fn pagerank_with_matrix_init(
                 }
             }
         }
-        residual = rank.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
-        std::mem::swap(&mut rank, &mut next);
+        residual = rank
+            .iter()
+            .zip(next.iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        std::mem::swap(&mut ws.rank, &mut ws.next);
         if residual < config.tolerance {
             break;
         }
     }
-    PageRankResult { scores: rank, iterations, residual, converged: residual < config.tolerance }
+    Ok(PageRankResult {
+        scores: ws.rank.clone(),
+        iterations,
+        residual,
+        converged: residual < config.tolerance,
+    })
 }
 
 #[cfg(test)]
@@ -290,7 +321,10 @@ mod tests {
         let mut b = GraphBuilder::new(Direction::Directed, 2);
         b.add_edge(0, 1);
         let g = b.build().unwrap();
-        let cfg = PageRankConfig { dangling: DanglingPolicy::SelfLoop, ..Default::default() };
+        let cfg = PageRankConfig {
+            dangling: DanglingPolicy::SelfLoop,
+            ..Default::default()
+        };
         let r = pagerank(&g, TransitionModel::Standard, &cfg);
         assert!((sum(&r.scores) - 1.0).abs() < 1e-9);
         // Self-loop on the sink hoards mass: sink score approaches 1 - ...
@@ -303,7 +337,10 @@ mod tests {
         b.add_edge(0, 1);
         b.add_edge(0, 2);
         let g = b.build().unwrap();
-        let cfg = PageRankConfig { dangling: DanglingPolicy::Renormalize, ..Default::default() };
+        let cfg = PageRankConfig {
+            dangling: DanglingPolicy::Renormalize,
+            ..Default::default()
+        };
         let r = pagerank(&g, TransitionModel::Standard, &cfg);
         assert!((sum(&r.scores) - 1.0).abs() < 1e-9);
     }
@@ -311,7 +348,10 @@ mod tests {
     #[test]
     fn alpha_zero_gives_teleport_vector() {
         let g = erdos_renyi_nm(20, 50, 3).unwrap();
-        let cfg = PageRankConfig { alpha: 0.0, ..Default::default() };
+        let cfg = PageRankConfig {
+            alpha: 0.0,
+            ..Default::default()
+        };
         let r = pagerank(&g, TransitionModel::Standard, &cfg);
         for &s in &r.scores {
             assert!((s - 0.05).abs() < 1e-12);
@@ -326,12 +366,24 @@ mod tests {
         b.add_edge(1, 2);
         b.add_edge(2, 3);
         let g = b.build().unwrap();
-        let lo = pagerank(&g, TransitionModel::Standard, &PageRankConfig { alpha: 0.5, ..Default::default() });
-        let hi = pagerank(&g, TransitionModel::Standard, &PageRankConfig { alpha: 0.9, ..Default::default() });
+        let lo = pagerank(
+            &g,
+            TransitionModel::Standard,
+            &PageRankConfig {
+                alpha: 0.5,
+                ..Default::default()
+            },
+        );
+        let hi = pagerank(
+            &g,
+            TransitionModel::Standard,
+            &PageRankConfig {
+                alpha: 0.9,
+                ..Default::default()
+            },
+        );
         // Deviation from uniform grows with alpha.
-        let dev = |r: &PageRankResult| -> f64 {
-            r.scores.iter().map(|s| (s - 0.25).abs()).sum()
-        };
+        let dev = |r: &PageRankResult| -> f64 { r.scores.iter().map(|s| (s - 0.25).abs()).sum() };
         assert!(dev(&hi) > dev(&lo));
     }
 
@@ -380,7 +432,11 @@ mod tests {
     #[test]
     fn max_iterations_respected() {
         let g = erdos_renyi_nm(50, 150, 5).unwrap();
-        let cfg = PageRankConfig { max_iterations: 2, tolerance: 1e-300, ..Default::default() };
+        let cfg = PageRankConfig {
+            max_iterations: 2,
+            tolerance: 1e-300,
+            ..Default::default()
+        };
         let r = pagerank(&g, TransitionModel::Standard, &cfg);
         assert_eq!(r.iterations, 2);
         assert!(!r.converged);
@@ -390,7 +446,10 @@ mod tests {
     #[should_panic(expected = "invalid PageRank configuration")]
     fn invalid_alpha_panics() {
         let g = erdos_renyi_nm(5, 5, 1).unwrap();
-        let cfg = PageRankConfig { alpha: 1.0, ..Default::default() };
+        let cfg = PageRankConfig {
+            alpha: 1.0,
+            ..Default::default()
+        };
         pagerank(&g, TransitionModel::Standard, &cfg);
     }
 
@@ -418,8 +477,14 @@ mod tests {
             TransitionModel::DegreeDecoupled { p: -2.0 },
             &PageRankConfig::default(),
         );
-        assert!(pen.scores[0] < std.scores[0], "penalization must reduce hub score");
-        assert!(boost.scores[0] > std.scores[0], "boosting must raise hub score");
+        assert!(
+            pen.scores[0] < std.scores[0],
+            "penalization must reduce hub score"
+        );
+        assert!(
+            boost.scores[0] > std.scores[0],
+            "boosting must raise hub score"
+        );
     }
 
     #[test]

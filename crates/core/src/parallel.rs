@@ -1,58 +1,78 @@
-//! Pull-based parallel PageRank using crossbeam scoped threads.
+//! Pull-based parallel PageRank over a prebuilt transposed operator.
 //!
 //! The serial solver in [`mod@crate::pagerank`] pushes rank along out-arcs,
 //! which races under parallelism (two sources updating one destination).
 //! The parallel solver instead *pulls*: it materializes the transposed
-//! operator once (in-arcs with probabilities) and then each iteration
-//! assigns disjoint destination ranges to worker threads — every output
-//! cell is written by exactly one thread, so no synchronization is needed
-//! beyond the scope join. The ablation bench (`bench ablations`) measures
+//! operator once (in-arcs with probabilities) and then assigns disjoint
+//! destination ranges to worker threads — every output cell is written by
+//! exactly one thread, so no synchronization is needed beyond the
+//! per-iteration barriers. The ablation bench (`bench ablations`) measures
 //! when the transpose cost pays off.
+//!
+//! This module is the transpose-level entry point: callers that already
+//! hold a [`TransposedMatrix`] (e.g. [`crate::gauss_seidel`]) solve through
+//! it directly. Workers are spawned **once per solve** (not per iteration,
+//! as this solver originally did) and destination ranges are balanced by
+//! **incoming-arc count**, not node count — on power-law graphs a node-count
+//! split hands one thread all the hubs. For whole-graph parameter sweeps,
+//! prefer [`crate::engine::Engine`], which additionally caches the CSR→CSC
+//! arc permutation and reuses one worker pool across *all* sweep points.
+//!
+//! All three [`DanglingPolicy`] variants and personalized teleport vectors
+//! are supported; invalid inputs surface as [`SolverError`] values instead
+//! of panics.
 
-use crate::pagerank::{DanglingPolicy, PageRankConfig, PageRankResult};
+use crate::engine::{
+    drive_pooled_point, drive_serial, worker_loop, EngineOp, PoolShared, PullTopo, SharedSlice,
+};
+use crate::error::SolverError;
+use crate::pagerank::{PageRankConfig, PageRankResult};
 use crate::transition::{TransitionMatrix, TransitionModel};
+use crate::workspace::Workspace;
 use d2pr_graph::csr::CsrGraph;
+use d2pr_graph::transpose::CscStructure;
 
-/// Transposed stochastic operator: for every destination node, the list of
-/// (source, probability) incoming transitions.
+// Re-exported so existing `use crate::parallel::...` call sites keep working.
+pub use crate::pagerank::DanglingPolicy;
+
+/// Transposed stochastic operator: the graph's cached [`CscStructure`]
+/// plus per-arc probabilities scattered into CSC order through its arc
+/// permutation.
 #[derive(Debug, Clone)]
 pub struct TransposedMatrix {
-    in_offsets: Vec<usize>,
-    in_sources: Vec<u32>,
+    csc: CscStructure,
     in_probs: Vec<f64>,
-    dangling: Vec<u32>,
+    dangling_mask: Vec<bool>,
     num_nodes: usize,
 }
 
 impl TransposedMatrix {
-    /// Build the transpose of `matrix` over `graph`.
+    /// Build the transpose of `matrix` over `graph` — one structural
+    /// [`CscStructure::build`] plus one value scatter.
+    ///
+    /// # Panics
+    /// Panics when `matrix` was built for a different graph (arc count
+    /// mismatch).
     pub fn build(graph: &CsrGraph, matrix: &TransitionMatrix) -> Self {
         let n = graph.num_nodes();
-        let (offsets, targets, _) = graph.parts();
-        let probs = matrix.arc_probs();
-        let mut counts = vec![0usize; n + 1];
-        for &t in targets {
-            counts[t as usize + 1] += 1;
+        assert_eq!(
+            matrix.arc_probs().len(),
+            graph.num_arcs(),
+            "operator must cover all arcs"
+        );
+        let csc = CscStructure::build(graph);
+        let mut in_probs = vec![0.0f64; graph.num_arcs()];
+        csc.scatter_arc_values(matrix.arc_probs(), &mut in_probs);
+        let mut dangling_mask = vec![false; n];
+        for &v in csc.dangling() {
+            dangling_mask[v as usize] = true;
         }
-        for i in 0..n {
-            counts[i + 1] += counts[i];
+        Self {
+            csc,
+            in_probs,
+            dangling_mask,
+            num_nodes: n,
         }
-        let in_offsets = counts.clone();
-        let mut cursor = counts;
-        let mut in_sources = vec![0u32; targets.len()];
-        let mut in_probs = vec![0.0f64; targets.len()];
-        for v in 0..n {
-            for k in offsets[v]..offsets[v + 1] {
-                let t = targets[k] as usize;
-                let slot = cursor[t];
-                cursor[t] += 1;
-                in_sources[slot] = v as u32;
-                in_probs[slot] = probs[k];
-            }
-        }
-        let dangling =
-            (0..n as u32).filter(|&v| offsets[v as usize] == offsets[v as usize + 1]).collect();
-        Self { in_offsets, in_sources, in_probs, dangling, num_nodes: n }
     }
 
     /// Number of nodes covered.
@@ -62,105 +82,148 @@ impl TransposedMatrix {
 
     /// Incoming transitions of node `v` as `(source, probability)` pairs.
     pub fn in_arcs(&self, v: u32) -> impl Iterator<Item = (u32, f64)> + '_ {
-        let s = self.in_offsets[v as usize];
-        let e = self.in_offsets[v as usize + 1];
-        self.in_sources[s..e].iter().copied().zip(self.in_probs[s..e].iter().copied())
+        let s = self.csc.in_offsets()[v as usize];
+        let e = self.csc.in_offsets()[v as usize + 1];
+        self.csc.in_sources()[s..e]
+            .iter()
+            .copied()
+            .zip(self.in_probs[s..e].iter().copied())
     }
 
     /// Nodes with no out-arcs (dangling), as discovered at build time.
     pub fn dangling(&self) -> &[u32] {
-        &self.dangling
+        self.csc.dangling()
+    }
+
+    fn topo(&self) -> PullTopo<'_> {
+        PullTopo {
+            in_offsets: self.csc.in_offsets(),
+            in_sources: self.csc.in_sources(),
+            dangling_mask: &self.dangling_mask,
+            dangling_nodes: self.csc.dangling(),
+        }
     }
 }
 
-/// Parallel PageRank over a prebuilt transpose. Supports the
-/// [`DanglingPolicy::RedistributeTeleport`] policy only (the default); other
-/// policies fall back to behaviour-equivalent handling is *not* provided —
-/// callers needing them should use the serial solver.
+/// Parallel PageRank over a prebuilt transpose. Supports every
+/// [`DanglingPolicy`] and optional personalized teleportation (`teleport`
+/// is normalized internally; `None` = uniform).
 ///
-/// # Panics
-/// Panics when `config.dangling` is not `RedistributeTeleport`, or when the
-/// config fails validation.
+/// # Errors
+/// Returns a [`SolverError`] when the configuration or teleport vector is
+/// invalid. Never panics on user input.
 pub fn pagerank_parallel(
     transpose: &TransposedMatrix,
     config: &PageRankConfig,
     teleport: Option<&[f64]>,
     num_threads: usize,
-) -> PageRankResult {
-    config.validate().expect("invalid PageRank configuration");
-    assert_eq!(
-        config.dangling,
-        DanglingPolicy::RedistributeTeleport,
-        "parallel solver supports only the RedistributeTeleport dangling policy"
-    );
+) -> Result<PageRankResult, SolverError> {
+    let mut ws = Workspace::with_capacity(transpose.num_nodes);
+    pagerank_parallel_with_workspace(transpose, config, teleport, num_threads, &mut ws)
+}
+
+/// [`pagerank_parallel`] with caller-owned buffers: repeated solves through
+/// the same [`Workspace`] perform no rank-buffer allocations.
+///
+/// # Errors
+/// Returns a [`SolverError`] when the configuration or teleport vector is
+/// invalid.
+pub fn pagerank_parallel_with_workspace(
+    transpose: &TransposedMatrix,
+    config: &PageRankConfig,
+    teleport: Option<&[f64]>,
+    num_threads: usize,
+    ws: &mut Workspace,
+) -> Result<PageRankResult, SolverError> {
+    config.validate().map_err(SolverError::InvalidConfig)?;
     let n = transpose.num_nodes;
     if n == 0 {
-        return PageRankResult { scores: vec![], iterations: 0, residual: 0.0, converged: true };
+        return Ok(PageRankResult {
+            scores: vec![],
+            iterations: 0,
+            residual: 0.0,
+            converged: true,
+        });
     }
-    let threads = num_threads.max(1).min(n);
-    let t_norm: Option<Vec<f64>> = teleport.map(|t| {
-        assert_eq!(t.len(), n, "teleport vector must cover all nodes");
-        let s: f64 = t.iter().sum();
-        assert!(s > 0.0, "teleport vector must have positive mass");
-        t.iter().map(|&x| x / s).collect()
-    });
-    let uniform = 1.0 / n as f64;
-    let tele = |i: usize| t_norm.as_ref().map_or(uniform, |t| t[i]);
-    let alpha = config.alpha;
+    ws.set_teleport(n, teleport)?;
+    ws.init_rank(n, None)?;
+    let topo = transpose.topo();
+    let partitions = transpose.csc.arc_balanced_partition(num_threads.max(1));
 
-    let mut rank: Vec<f64> = (0..n).map(tele).collect();
-    let mut next = vec![0.0f64; n];
-    let chunk = n.div_ceil(threads);
-
-    let mut iterations = 0;
-    let mut residual = f64::INFINITY;
-    while iterations < config.max_iterations {
-        iterations += 1;
-        let dangling_mass: f64 = transpose.dangling.iter().map(|&v| rank[v as usize]).sum();
-        let rank_ref = &rank;
-        let t_ref = &t_norm;
-        let residuals: Vec<f64> = crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(threads);
-            for (ci, slice) in next.chunks_mut(chunk).enumerate() {
-                let start = ci * chunk;
-                let in_offsets = &transpose.in_offsets;
-                let in_sources = &transpose.in_sources;
-                let in_probs = &transpose.in_probs;
-                handles.push(scope.spawn(move |_| {
-                    let mut local_residual = 0.0;
-                    for (off, slot) in slice.iter_mut().enumerate() {
-                        let j = start + off;
-                        let tj = t_ref.as_ref().map_or(uniform, |t| t[j]);
-                        let mut acc = (1.0 - alpha) * tj + alpha * dangling_mass * tj;
-                        for k in in_offsets[j]..in_offsets[j + 1] {
-                            acc += alpha * in_probs[k] * rank_ref[in_sources[k] as usize];
-                        }
-                        local_residual += (acc - rank_ref[j]).abs();
-                        *slot = acc;
-                    }
-                    local_residual
-                }));
+    let (iterations, residual, scores);
+    if partitions.len() <= 1 {
+        let (it, res) = drive_serial(
+            &topo,
+            EngineOp::Arc(&transpose.in_probs),
+            config,
+            &mut ws.rank,
+            &mut ws.next,
+            None,
+            &ws.teleport,
+        );
+        iterations = it;
+        residual = res;
+        scores = ws.rank.clone();
+    } else {
+        let Workspace {
+            rank,
+            next,
+            teleport,
+        } = ws;
+        let teleport: Option<&[f64]> = if teleport.is_empty() {
+            None
+        } else {
+            Some(&teleport[..])
+        };
+        let shared = PoolShared::new(
+            &topo,
+            SharedSlice::read_only(&transpose.in_probs),
+            [SharedSlice::new(rank), SharedSlice::new(next)],
+            None,
+            teleport,
+            config,
+            partitions.len(),
+        );
+        let mut outcome = (0, f64::INFINITY);
+        let mut final_in_next = false;
+        std::thread::scope(|scope| {
+            for (w, range) in partitions.iter().cloned().enumerate() {
+                let shared = &shared;
+                scope.spawn(move || worker_loop(w, range, shared));
             }
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-        })
-        .expect("thread scope failed");
-        residual = residuals.iter().sum();
-        std::mem::swap(&mut rank, &mut next);
-        if residual < config.tolerance {
-            break;
+            outcome = drive_pooled_point(&shared, config, &topo);
+            final_in_next = shared.final_in_second_buf();
+            shared.shutdown();
+        });
+        drop(shared);
+        // The ping-pong may have ended on the `next` buffer; keep the
+        // workspace invariant that `rank` holds the final iterate.
+        if final_in_next {
+            std::mem::swap(rank, next);
         }
+        (iterations, residual) = outcome;
+        scores = rank.clone();
     }
-    PageRankResult { scores: rank, iterations, residual, converged: residual < config.tolerance }
+    Ok(PageRankResult {
+        scores,
+        iterations,
+        residual,
+        converged: residual < config.tolerance,
+    })
 }
 
 /// Convenience wrapper: build the operator and transpose, then solve in
 /// parallel with uniform teleportation.
+///
+/// # Errors
+/// Returns a [`SolverError`] when the configuration is invalid.
 pub fn pagerank_parallel_from_graph(
     graph: &CsrGraph,
     model: TransitionModel,
     config: &PageRankConfig,
     num_threads: usize,
-) -> PageRankResult {
+) -> Result<PageRankResult, SolverError> {
+    model.validate().map_err(SolverError::InvalidModel)?;
     let matrix = TransitionMatrix::build(graph, model);
     let transpose = TransposedMatrix::build(graph, &matrix);
     pagerank_parallel(&transpose, config, None, num_threads)
@@ -186,7 +249,7 @@ mod tests {
         let g = erdos_renyi_nm(200, 800, 17).unwrap();
         let cfg = PageRankConfig::default();
         let serial = pagerank(&g, TransitionModel::Standard, &cfg);
-        let par = pagerank_parallel_from_graph(&g, TransitionModel::Standard, &cfg, 4);
+        let par = pagerank_parallel_from_graph(&g, TransitionModel::Standard, &cfg, 4).unwrap();
         assert_close(&serial.scores, &par.scores, 1e-8);
     }
 
@@ -197,23 +260,35 @@ mod tests {
         for &p in &[-2.0, 0.5, 4.0] {
             let model = TransitionModel::DegreeDecoupled { p };
             let serial = pagerank(&g, model, &cfg);
-            let par = pagerank_parallel_from_graph(&g, model, &cfg, 3);
+            let par = pagerank_parallel_from_graph(&g, model, &cfg, 3).unwrap();
             assert_close(&serial.scores, &par.scores, 1e-8);
         }
     }
 
     #[test]
-    fn parallel_handles_dangling_nodes() {
+    fn parallel_handles_dangling_nodes_under_every_policy() {
         let mut b = GraphBuilder::new(Direction::Directed, 4);
         b.add_edge(0, 1);
         b.add_edge(2, 1);
         // 1 and 3 dangling
         let g = b.build().unwrap();
-        let cfg = PageRankConfig::default();
-        let serial = pagerank(&g, TransitionModel::Standard, &cfg);
-        let par = pagerank_parallel_from_graph(&g, TransitionModel::Standard, &cfg, 2);
-        assert_close(&serial.scores, &par.scores, 1e-8);
-        assert!((par.scores.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        for policy in [
+            DanglingPolicy::RedistributeTeleport,
+            DanglingPolicy::SelfLoop,
+            DanglingPolicy::Renormalize,
+        ] {
+            let cfg = PageRankConfig {
+                dangling: policy,
+                ..Default::default()
+            };
+            let serial = pagerank(&g, TransitionModel::Standard, &cfg);
+            let par = pagerank_parallel_from_graph(&g, TransitionModel::Standard, &cfg, 2).unwrap();
+            assert_close(&serial.scores, &par.scores, 1e-8);
+            assert!(
+                (par.scores.iter().sum::<f64>() - 1.0).abs() < 1e-9,
+                "{policy:?}"
+            );
+        }
     }
 
     #[test]
@@ -221,7 +296,7 @@ mod tests {
         let g = erdos_renyi_nm(50, 150, 2).unwrap();
         let cfg = PageRankConfig::default();
         let serial = pagerank(&g, TransitionModel::Standard, &cfg);
-        let par = pagerank_parallel_from_graph(&g, TransitionModel::Standard, &cfg, 1);
+        let par = pagerank_parallel_from_graph(&g, TransitionModel::Standard, &cfg, 1).unwrap();
         assert_close(&serial.scores, &par.scores, 1e-8);
     }
 
@@ -229,7 +304,7 @@ mod tests {
     fn more_threads_than_nodes_is_fine() {
         let g = erdos_renyi_nm(5, 8, 2).unwrap();
         let cfg = PageRankConfig::default();
-        let par = pagerank_parallel_from_graph(&g, TransitionModel::Standard, &cfg, 64);
+        let par = pagerank_parallel_from_graph(&g, TransitionModel::Standard, &cfg, 64).unwrap();
         assert!((par.scores.iter().sum::<f64>() - 1.0).abs() < 1e-9);
     }
 
@@ -240,24 +315,58 @@ mod tests {
         let transpose = TransposedMatrix::build(&g, &matrix);
         let mut t = vec![0.0; 40];
         t[7] = 1.0;
-        let r = pagerank_parallel(&transpose, &PageRankConfig::default(), Some(&t), 4);
+        let r = pagerank_parallel(&transpose, &PageRankConfig::default(), Some(&t), 4).unwrap();
         assert_eq!(r.ranking()[0], 7);
     }
 
     #[test]
-    #[should_panic(expected = "RedistributeTeleport")]
-    fn non_default_dangling_policy_rejected() {
+    fn invalid_inputs_are_errors_not_panics() {
         let g = erdos_renyi_nm(10, 20, 1).unwrap();
         let matrix = TransitionMatrix::build(&g, TransitionModel::Standard);
         let transpose = TransposedMatrix::build(&g, &matrix);
-        let cfg = PageRankConfig { dangling: DanglingPolicy::SelfLoop, ..Default::default() };
-        pagerank_parallel(&transpose, &cfg, None, 2);
+        let bad_cfg = PageRankConfig {
+            alpha: 1.5,
+            ..Default::default()
+        };
+        assert!(matches!(
+            pagerank_parallel(&transpose, &bad_cfg, None, 2),
+            Err(SolverError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            pagerank_parallel(&transpose, &PageRankConfig::default(), Some(&[1.0, 2.0]), 2),
+            Err(SolverError::TeleportLength {
+                got: 2,
+                expected: 10
+            })
+        ));
+        assert!(matches!(
+            pagerank_parallel(&transpose, &PageRankConfig::default(), Some(&[-1.0; 10]), 2),
+            Err(SolverError::TeleportEntry(_))
+        ));
+    }
+
+    #[test]
+    fn workspace_reuse_across_solves() {
+        let g = barabasi_albert(80, 3, 4).unwrap();
+        let matrix = TransitionMatrix::build(&g, TransitionModel::Standard);
+        let transpose = TransposedMatrix::build(&g, &matrix);
+        let mut ws = Workspace::new();
+        let cfg = PageRankConfig::default();
+        let a = pagerank_parallel_with_workspace(&transpose, &cfg, None, 4, &mut ws).unwrap();
+        let b = pagerank_parallel_with_workspace(&transpose, &cfg, None, 4, &mut ws).unwrap();
+        assert_close(&a.scores, &b.scores, 1e-12);
     }
 
     #[test]
     fn empty_graph_parallel() {
         let g = GraphBuilder::new(Direction::Directed, 0).build().unwrap();
-        let r = pagerank_parallel_from_graph(&g, TransitionModel::Standard, &PageRankConfig::default(), 4);
+        let r = pagerank_parallel_from_graph(
+            &g,
+            TransitionModel::Standard,
+            &PageRankConfig::default(),
+            4,
+        )
+        .unwrap();
         assert!(r.scores.is_empty());
     }
 }

@@ -38,7 +38,10 @@ pub fn weighted_seed_teleport(num_nodes: usize, seeds: &[(NodeId, f64)]) -> Vec<
     let mut total = 0.0;
     for &(s, w) in seeds {
         assert!((s as usize) < num_nodes, "seed {s} out of range");
-        assert!(w >= 0.0 && w.is_finite(), "seed weight must be finite and non-negative");
+        assert!(
+            w >= 0.0 && w.is_finite(),
+            "seed weight must be finite and non-negative"
+        );
         t[s as usize] += w;
         total += w;
     }
@@ -51,7 +54,10 @@ pub fn weighted_seed_teleport(num_nodes: usize, seeds: &[(NodeId, f64)]) -> Vec<
 /// every node keeps a positive teleport probability, which keeps PPR scores
 /// strictly positive and rankable.
 pub fn smoothed_seed_teleport(num_nodes: usize, seeds: &[NodeId], smoothing: f64) -> Vec<f64> {
-    assert!((0.0..=1.0).contains(&smoothing), "smoothing must lie in [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&smoothing),
+        "smoothing must lie in [0,1]"
+    );
     let mut t = seed_teleport(num_nodes, seeds);
     let u = 1.0 / num_nodes as f64;
     for x in t.iter_mut() {

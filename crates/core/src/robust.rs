@@ -124,7 +124,11 @@ pub fn robust_personalized_pagerank(
             *s /= total;
         }
     }
-    RobustResult { scores, per_seed, aggregation }
+    RobustResult {
+        scores,
+        per_seed,
+        aggregation,
+    }
 }
 
 #[cfg(test)]
@@ -220,8 +224,11 @@ mod tests {
     #[test]
     fn aggregated_scores_are_distribution() {
         let g = erdos_renyi_nm(25, 60, 8).unwrap();
-        for agg in [SeedAggregation::Mean, SeedAggregation::Median, SeedAggregation::TrimmedMean]
-        {
+        for agg in [
+            SeedAggregation::Mean,
+            SeedAggregation::Median,
+            SeedAggregation::TrimmedMean,
+        ] {
             let r = robust_personalized_pagerank(
                 &g,
                 TransitionModel::DegreeDecoupled { p: 0.5 },
@@ -281,6 +288,9 @@ mod tests {
             SeedAggregation::Median,
         );
         let ranking = r.ranking();
-        assert!(ranking[0] == 0 || ranking[0] == 1, "a seed should rank first");
+        assert!(
+            ranking[0] == 0 || ranking[0] == 1,
+            "a seed should rank first"
+        );
     }
 }

@@ -79,7 +79,11 @@ pub fn trace_convergence(
     config.validate().expect("invalid PageRank configuration");
     let n = graph.num_nodes();
     if n == 0 {
-        return ConvergenceTrace { residuals: vec![], converged: true, scores: vec![] };
+        return ConvergenceTrace {
+            residuals: vec![],
+            converged: true,
+            scores: vec![],
+        };
     }
     let alpha = config.alpha;
     let uniform = 1.0 / n as f64;
@@ -113,7 +117,11 @@ pub fn trace_convergence(
             break;
         }
     }
-    ConvergenceTrace { residuals, converged, scores: rank }
+    ConvergenceTrace {
+        residuals,
+        converged,
+        scores: rank,
+    }
 }
 
 #[cfg(test)]
@@ -129,26 +137,37 @@ mod tests {
         // converge faster (alpha times the second eigenvalue magnitude).
         let g = erdos_renyi_nm(150, 600, 7).unwrap();
         let m = TransitionMatrix::build(&g, TransitionModel::Standard);
-        let cfg = PageRankConfig { alpha: 0.85, tolerance: 1e-12, max_iterations: 64, ..Default::default() };
+        let cfg = PageRankConfig {
+            alpha: 0.85,
+            tolerance: 1e-12,
+            max_iterations: 64,
+            ..Default::default()
+        };
         let trace = trace_convergence(&g, &m, &cfg);
         let rate = trace.contraction_rate().expect("enough iterations");
-        assert!(rate > 0.0 && rate <= 0.85 + 0.02, "rate {rate} must not exceed alpha");
+        assert!(
+            rate > 0.0 && rate <= 0.85 + 0.02,
+            "rate {rate} must not exceed alpha"
+        );
     }
 
     #[test]
     fn slow_mixing_graph_contracts_near_alpha() {
         // A long cycle mixes slowly: second eigenvalue near 1, so the
         // contraction rate approaches alpha itself.
-        let mut b = d2pr_graph::builder::GraphBuilder::new(
-            d2pr_graph::csr::Direction::Undirected,
-            400,
-        );
+        let mut b =
+            d2pr_graph::builder::GraphBuilder::new(d2pr_graph::csr::Direction::Undirected, 400);
         for v in 0..400u32 {
             b.add_edge(v, (v + 1) % 400);
         }
         let g = b.build().unwrap();
         let m = TransitionMatrix::build(&g, TransitionModel::Standard);
-        let cfg = PageRankConfig { alpha: 0.85, tolerance: 1e-14, max_iterations: 64, ..Default::default() };
+        let cfg = PageRankConfig {
+            alpha: 0.85,
+            tolerance: 1e-14,
+            max_iterations: 64,
+            ..Default::default()
+        };
         let trace = trace_convergence(&g, &m, &cfg);
         // The cycle is symmetric, so the uniform start IS the fixed point;
         // perturb via a path graph instead if residuals vanish immediately.
@@ -165,12 +184,20 @@ mod tests {
         let fast = trace_convergence(
             &g,
             &m,
-            &PageRankConfig { alpha: 0.5, tolerance: 1e-10, ..Default::default() },
+            &PageRankConfig {
+                alpha: 0.5,
+                tolerance: 1e-10,
+                ..Default::default()
+            },
         );
         let slow = trace_convergence(
             &g,
             &m,
-            &PageRankConfig { alpha: 0.9, tolerance: 1e-10, ..Default::default() },
+            &PageRankConfig {
+                alpha: 0.9,
+                tolerance: 1e-10,
+                ..Default::default()
+            },
         );
         assert!(fast.converged);
         assert!(fast.iterations() < slow.iterations());
@@ -180,7 +207,10 @@ mod tests {
     fn residuals_are_monotone_nonincreasing() {
         let g = erdos_renyi_nm(80, 240, 3).unwrap();
         let m = TransitionMatrix::build(&g, TransitionModel::Standard);
-        let cfg = PageRankConfig { tolerance: 1e-11, ..Default::default() };
+        let cfg = PageRankConfig {
+            tolerance: 1e-11,
+            ..Default::default()
+        };
         let trace = trace_convergence(&g, &m, &cfg);
         for w in trace.residuals.windows(2) {
             assert!(w[1] <= w[0] * 1.001, "{} then {}", w[0], w[1]);
@@ -192,18 +222,29 @@ mod tests {
         let g = erdos_renyi_nm(100, 400, 9).unwrap();
         let m = TransitionMatrix::build(&g, TransitionModel::Standard);
         // Short trace, then compare prediction against an actual long solve.
-        let cfg = PageRankConfig { tolerance: 1e-30, max_iterations: 20, ..Default::default() };
+        let cfg = PageRankConfig {
+            tolerance: 1e-30,
+            max_iterations: 20,
+            ..Default::default()
+        };
         let trace = trace_convergence(&g, &m, &cfg);
         let predicted = trace.predicted_iterations(1e-10).expect("rate available");
         let actual = pagerank_with_matrix(
             &g,
             &m,
-            &PageRankConfig { tolerance: 1e-10, max_iterations: 500, ..Default::default() },
+            &PageRankConfig {
+                tolerance: 1e-10,
+                max_iterations: 500,
+                ..Default::default()
+            },
             None,
         )
         .iterations;
         let diff = predicted.abs_diff(actual);
-        assert!(diff <= actual / 3 + 5, "predicted {predicted}, actual {actual}");
+        assert!(
+            diff <= actual / 3 + 5,
+            "predicted {predicted}, actual {actual}"
+        );
     }
 
     #[test]

@@ -101,7 +101,10 @@ impl TransitionMatrix {
         let theta: Vec<f64> = if graph.is_weighted() {
             graph.nodes().map(|v| graph.out_weight(v)).collect()
         } else {
-            graph.nodes().map(|v| f64::from(graph.kernel_degree(v))).collect()
+            graph
+                .nodes()
+                .map(|v| f64::from(graph.kernel_degree(v)))
+                .collect()
         };
         Self::build_with_theta(graph, model, &theta)
     }
@@ -110,61 +113,13 @@ impl TransitionMatrix {
     /// a parameter sweep).
     pub fn build_with_theta(graph: &CsrGraph, model: TransitionModel, theta: &[f64]) -> Self {
         model.validate().expect("invalid transition model");
-        assert_eq!(theta.len(), graph.num_nodes(), "theta table must cover all nodes");
         let mut probs = vec![0.0f64; graph.num_arcs()];
-        let mut cursor = 0usize;
-        let mut degs_scratch: Vec<f64> = Vec::new();
-        let mut kern_scratch: Vec<f64> = Vec::new();
-        let (p, beta) = (model.p(), model.beta());
-        let kernel = DegreeKernel::new(p);
-
-        for v in graph.nodes() {
-            let ns = graph.neighbors(v);
-            let k = ns.len();
-            if k == 0 {
-                continue;
-            }
-            let slot = &mut probs[cursor..cursor + k];
-            cursor += k;
-
-            // T_conn: connection strength component.
-            if beta > 0.0 {
-                match graph.neighbor_weights(v) {
-                    Some(ws) => {
-                        let total: f64 = ws.iter().sum();
-                        if total > 0.0 {
-                            for (s, &w) in slot.iter_mut().zip(ws) {
-                                *s = beta * (w / total);
-                            }
-                        } else {
-                            // All-zero weights degenerate to uniform.
-                            let u = beta / k as f64;
-                            for s in slot.iter_mut() {
-                                *s = u;
-                            }
-                        }
-                    }
-                    None => {
-                        let u = beta / k as f64;
-                        for s in slot.iter_mut() {
-                            *s = u;
-                        }
-                    }
-                }
-            }
-
-            // T_D: degree de-coupled component.
-            if beta < 1.0 {
-                degs_scratch.clear();
-                degs_scratch.extend(ns.iter().map(|&t| theta[t as usize]));
-                kernel.normalize_into(&degs_scratch, &mut kern_scratch);
-                for (s, &kw) in slot.iter_mut().zip(&kern_scratch) {
-                    *s += (1.0 - beta) * kw;
-                }
-            }
+        let mut scratch = ProbScratch::default();
+        fill_arc_probs(graph, model, theta, &mut probs, &mut scratch);
+        Self {
+            probs,
+            num_nodes: graph.num_nodes(),
         }
-        debug_assert_eq!(cursor, graph.num_arcs());
-        Self { probs, num_nodes: graph.num_nodes() }
     }
 
     /// Per-arc probabilities, aligned with the graph's CSR arc order.
@@ -201,6 +156,97 @@ impl TransitionMatrix {
         }
         true
     }
+}
+
+/// Reusable neighborhood scratch buffers for [`fill_arc_probs`]. The two
+/// vectors grow to the largest out-degree seen and are then reused, so a
+/// parameter sweep performs zero per-point allocations once warmed up.
+#[derive(Debug, Clone, Default)]
+pub struct ProbScratch {
+    degs: Vec<f64>,
+    kern: Vec<f64>,
+}
+
+/// Write the per-arc transition probabilities for `model` into `out`
+/// (CSR arc order), allocation-free: the single pass over the graph reuses
+/// `scratch` for neighborhood-local work.
+///
+/// This is the kernel both [`TransitionMatrix::build_with_theta`] and the
+/// fused sweep engine (`crate::engine`) share; the engine additionally
+/// scatters `out` through the cached CSR→CSC arc permutation.
+///
+/// # Panics
+/// Panics when `theta` or `out` do not cover the graph (callers validate
+/// the model first; see [`TransitionModel::validate`]).
+pub fn fill_arc_probs(
+    graph: &CsrGraph,
+    model: TransitionModel,
+    theta: &[f64],
+    out: &mut [f64],
+    scratch: &mut ProbScratch,
+) {
+    assert_eq!(
+        theta.len(),
+        graph.num_nodes(),
+        "theta table must cover all nodes"
+    );
+    assert_eq!(
+        out.len(),
+        graph.num_arcs(),
+        "probability array must cover all arcs"
+    );
+    let mut cursor = 0usize;
+    let (p, beta) = (model.p(), model.beta());
+    let kernel = DegreeKernel::new(p);
+
+    for v in graph.nodes() {
+        let ns = graph.neighbors(v);
+        let k = ns.len();
+        if k == 0 {
+            continue;
+        }
+        let slot = &mut out[cursor..cursor + k];
+        cursor += k;
+
+        // T_conn: connection strength component.
+        if beta > 0.0 {
+            match graph.neighbor_weights(v) {
+                Some(ws) => {
+                    let total: f64 = ws.iter().sum();
+                    if total > 0.0 {
+                        for (s, &w) in slot.iter_mut().zip(ws) {
+                            *s = beta * (w / total);
+                        }
+                    } else {
+                        // All-zero weights degenerate to uniform.
+                        let u = beta / k as f64;
+                        for s in slot.iter_mut() {
+                            *s = u;
+                        }
+                    }
+                }
+                None => {
+                    let u = beta / k as f64;
+                    for s in slot.iter_mut() {
+                        *s = u;
+                    }
+                }
+            }
+        } else {
+            slot.fill(0.0);
+        }
+
+        // T_D: degree de-coupled component.
+        if beta < 1.0 {
+            scratch.degs.clear();
+            scratch.degs.extend(ns.iter().map(|&t| theta[t as usize]));
+            kernel.normalize_into(&scratch.degs, &mut scratch.kern);
+            for (s, &kw) in slot.iter_mut().zip(&scratch.kern) {
+                *s += (1.0 - beta) * kw;
+            }
+        }
+    }
+    debug_assert_eq!(cursor, graph.num_arcs());
 }
 
 #[cfg(test)]

@@ -9,7 +9,11 @@ use d2pr_graph::csr::{CsrGraph, Direction};
 use proptest::prelude::*;
 
 fn arb_graph(n: u32, max_edges: usize, directed: bool) -> impl Strategy<Value = CsrGraph> {
-    let dir = if directed { Direction::Directed } else { Direction::Undirected };
+    let dir = if directed {
+        Direction::Directed
+    } else {
+        Direction::Undirected
+    };
     proptest::collection::vec((0..n, 0..n), 1..=max_edges).prop_map(move |edges| {
         let mut b = GraphBuilder::new(dir, n as usize);
         for (u, v) in edges {
@@ -20,15 +24,13 @@ fn arb_graph(n: u32, max_edges: usize, directed: bool) -> impl Strategy<Value = 
 }
 
 fn arb_weighted_graph(n: u32, max_edges: usize) -> impl Strategy<Value = CsrGraph> {
-    proptest::collection::vec((0..n, 0..n, 0.01f64..50.0), 1..=max_edges).prop_map(
-        move |edges| {
-            let mut b = GraphBuilder::new(Direction::Directed, n as usize);
-            for (u, v, w) in edges {
-                b.add_weighted_edge(u, v, w);
-            }
-            b.build().expect("in-range edges")
-        },
-    )
+    proptest::collection::vec((0..n, 0..n, 0.01f64..50.0), 1..=max_edges).prop_map(move |edges| {
+        let mut b = GraphBuilder::new(Direction::Directed, n as usize);
+        for (u, v, w) in edges {
+            b.add_weighted_edge(u, v, w);
+        }
+        b.build().expect("in-range edges")
+    })
 }
 
 proptest! {

@@ -111,15 +111,28 @@ impl AffiliationConfig {
             (0.0..=1.0).contains(&self.ambition_strength),
             "ambition_strength must lie in [0,1]"
         );
-        assert!((0.0..=1.0).contains(&self.popularity_bias), "popularity_bias must lie in [0,1]");
-        assert!(self.quality_cost_coupling >= 0.0, "quality_cost_coupling must be >= 0");
+        assert!(
+            (0.0..=1.0).contains(&self.popularity_bias),
+            "popularity_bias must lie in [0,1]"
+        );
+        assert!(
+            self.quality_cost_coupling >= 0.0,
+            "quality_cost_coupling must be >= 0"
+        );
         let mut rng = StdRng::seed_from_u64(self.seed);
 
         let container_quality: Vec<f64> = (0..self.num_containers)
-            .map(|_| dist::clamp_unit(dist::kumaraswamy(&mut rng, self.quality_shape_a, self.quality_shape_b)))
+            .map(|_| {
+                dist::clamp_unit(dist::kumaraswamy(
+                    &mut rng,
+                    self.quality_shape_a,
+                    self.quality_shape_b,
+                ))
+            })
             .collect();
-        let entity_ambition: Vec<f64> =
-            (0..self.num_entities).map(|_| dist::clamp_unit(rng.gen())).collect();
+        let entity_ambition: Vec<f64> = (0..self.num_entities)
+            .map(|_| dist::clamp_unit(rng.gen()))
+            .collect();
 
         // Lognormal budgets scaled so the median budget is mean_budget
         // (heavy tails would inflate the mean wildly otherwise).
@@ -136,7 +149,9 @@ impl AffiliationConfig {
             let ambition = entity_ambition[e];
             let mut budget = budgets[e];
             // Hard cap to bound worst-case work on extreme budget draws.
-            let max_joins = (budgets[e] as usize + 1).min(self.num_containers).min(4_096);
+            let max_joins = (budgets[e] as usize + 1)
+                .min(self.num_containers)
+                .min(4_096);
             let mut joined = 0usize;
             let mut guard = 0usize;
             while budget > 0.0 && joined < max_joins && guard < 64 * max_joins {
@@ -153,11 +168,8 @@ impl AffiliationConfig {
             }
         }
 
-        let bipartite = BipartiteGraph::from_memberships(
-            self.num_entities,
-            self.num_containers,
-            &memberships,
-        )?;
+        let bipartite =
+            BipartiteGraph::from_memberships(self.num_entities, self.num_containers, &memberships)?;
 
         let entity_quality: Vec<f64> = (0..self.num_entities as u32)
             .map(|e| {
@@ -165,13 +177,20 @@ impl AffiliationConfig {
                 if cs.is_empty() {
                     entity_ambition[e as usize]
                 } else {
-                    cs.iter().map(|&c| container_quality[c as usize]).sum::<f64>()
+                    cs.iter()
+                        .map(|&c| container_quality[c as usize])
+                        .sum::<f64>()
                         / cs.len() as f64
                 }
             })
             .collect();
 
-        Ok(Affiliation { bipartite, container_quality, entity_ambition, entity_quality })
+        Ok(Affiliation {
+            bipartite,
+            container_quality,
+            entity_ambition,
+            entity_quality,
+        })
     }
 
     /// Draw one candidate container for an entity with the given ambition.
@@ -226,8 +245,14 @@ mod tests {
         let a = base().generate().unwrap();
         assert_eq!(a.bipartite.num_left(), 600);
         assert_eq!(a.bipartite.num_right(), 900);
-        assert!(a.bipartite.num_memberships() > 600, "entities should join multiple containers");
-        assert!(a.container_quality.iter().all(|&q| (0.0..=1.0).contains(&q)));
+        assert!(
+            a.bipartite.num_memberships() > 600,
+            "entities should join multiple containers"
+        );
+        assert!(a
+            .container_quality
+            .iter()
+            .all(|&q| (0.0..=1.0).contains(&q)));
         assert!(a.entity_quality.iter().all(|&q| (0.0..=1.0).contains(&q)));
     }
 
@@ -245,20 +270,28 @@ mod tests {
     fn cost_coupling_creates_negative_degree_quality_link() {
         // Group-A lever: with strong quality-cost coupling, entities with
         // many memberships should have *lower* average quality.
-        let cfg = AffiliationConfig { quality_cost_coupling: 3.0, ..base() };
+        let cfg = AffiliationConfig {
+            quality_cost_coupling: 3.0,
+            ..base()
+        };
         let a = cfg.generate().unwrap();
-        let degrees: Vec<f64> =
-            (0..600u32).map(|e| f64::from(a.bipartite.left_degree(e))).collect();
+        let degrees: Vec<f64> = (0..600u32)
+            .map(|e| f64::from(a.bipartite.left_degree(e)))
+            .collect();
         let rho = spearman(&degrees, &a.entity_quality).unwrap();
         assert!(rho < -0.15, "expected negative coupling, got rho={rho}");
     }
 
     #[test]
     fn no_cost_coupling_is_weakly_coupled() {
-        let cfg = AffiliationConfig { quality_cost_coupling: 0.0, ..base() };
+        let cfg = AffiliationConfig {
+            quality_cost_coupling: 0.0,
+            ..base()
+        };
         let a = cfg.generate().unwrap();
-        let degrees: Vec<f64> =
-            (0..600u32).map(|e| f64::from(a.bipartite.left_degree(e))).collect();
+        let degrees: Vec<f64> = (0..600u32)
+            .map(|e| f64::from(a.bipartite.left_degree(e)))
+            .collect();
         let rho = spearman(&degrees, &a.entity_quality).unwrap();
         assert!(rho.abs() < 0.35, "expected weak coupling, got rho={rho}");
     }
@@ -267,20 +300,35 @@ mod tests {
     fn ambition_matching_creates_assortativity() {
         // Entities' derived quality should track their ambition when the
         // generator is strongly quality-targeted.
-        let cfg = AffiliationConfig { ambition_strength: 0.95, popularity_bias: 0.0, ..base() };
+        let cfg = AffiliationConfig {
+            ambition_strength: 0.95,
+            popularity_bias: 0.0,
+            ..base()
+        };
         let a = cfg.generate().unwrap();
         let rho = spearman(&a.entity_ambition, &a.entity_quality).unwrap();
-        assert!(rho > 0.5, "ambition should predict joined quality, got rho={rho}");
+        assert!(
+            rho > 0.5,
+            "ambition should predict joined quality, got rho={rho}"
+        );
     }
 
     #[test]
     fn popularity_bias_creates_container_size_skew() {
-        let flat = AffiliationConfig { ambition_strength: 0.0, popularity_bias: 0.0, ..base() }
-            .generate()
-            .unwrap();
-        let skewed = AffiliationConfig { ambition_strength: 0.0, popularity_bias: 0.9, ..base() }
-            .generate()
-            .unwrap();
+        let flat = AffiliationConfig {
+            ambition_strength: 0.0,
+            popularity_bias: 0.0,
+            ..base()
+        }
+        .generate()
+        .unwrap();
+        let skewed = AffiliationConfig {
+            ambition_strength: 0.0,
+            popularity_bias: 0.9,
+            ..base()
+        }
+        .generate()
+        .unwrap();
         let max_size = |a: &Affiliation| {
             (0..a.bipartite.num_right() as u32)
                 .map(|c| a.bipartite.right_degree(c))
@@ -297,15 +345,29 @@ mod tests {
 
     #[test]
     fn heavier_budgets_mean_more_memberships() {
-        let small = AffiliationConfig { mean_budget: 3.0, ..base() }.generate().unwrap();
-        let large = AffiliationConfig { mean_budget: 12.0, ..base() }.generate().unwrap();
+        let small = AffiliationConfig {
+            mean_budget: 3.0,
+            ..base()
+        }
+        .generate()
+        .unwrap();
+        let large = AffiliationConfig {
+            mean_budget: 12.0,
+            ..base()
+        }
+        .generate()
+        .unwrap();
         assert!(large.bipartite.num_memberships() > 2 * small.bipartite.num_memberships());
     }
 
     #[test]
     #[should_panic(expected = "at least one entity")]
     fn zero_entities_panics() {
-        let _ = AffiliationConfig { num_entities: 0, ..base() }.generate();
+        let _ = AffiliationConfig {
+            num_entities: 0,
+            ..base()
+        }
+        .generate();
     }
 
     #[test]

@@ -55,7 +55,12 @@ fn parse_args() -> Result<Options, String> {
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
     }
-    Ok(Options { scale, seed, out, dataset: dataset.ok_or_else(|| USAGE.to_string())? })
+    Ok(Options {
+        scale,
+        seed,
+        out,
+        dataset: dataset.ok_or_else(|| USAGE.to_string())?,
+    })
 }
 
 fn export_world(world: &World, dir: &Path) -> std::io::Result<()> {
@@ -63,8 +68,16 @@ fn export_world(world: &World, dir: &Path) -> std::io::Result<()> {
     let (entity_label, container_label) = world.dataset.labels();
 
     for (graph, significance, label) in [
-        (&world.entity_graph, &world.entity_significance, entity_label),
-        (&world.container_graph, &world.container_significance, container_label),
+        (
+            &world.entity_graph,
+            &world.entity_significance,
+            entity_label,
+        ),
+        (
+            &world.container_graph,
+            &world.container_significance,
+            container_label,
+        ),
     ] {
         let edges = File::create(dir.join(format!("{name}_{label}.edges")))?;
         write_edge_list(graph, BufWriter::new(edges))
@@ -79,8 +92,7 @@ fn export_world(world: &World, dir: &Path) -> std::io::Result<()> {
         }
     }
 
-    let mut members =
-        BufWriter::new(File::create(dir.join(format!("{name}.memberships")))?);
+    let mut members = BufWriter::new(File::create(dir.join(format!("{name}.memberships")))?);
     writeln!(members, "# {entity_label}\t{container_label}")?;
     for (e, c) in world.affiliation.bipartite.memberships() {
         writeln!(members, "{e}\t{c}")?;
@@ -98,9 +110,13 @@ fn run(opts: &Options) -> Result<(), String> {
     };
     std::fs::create_dir_all(&opts.out).map_err(|e| e.to_string())?;
     for dataset in datasets {
-        eprintln!("generating {} (scale {}, seed {}) ...", dataset.name(), opts.scale, opts.seed);
-        let world =
-            World::generate(dataset, opts.scale, opts.seed).map_err(|e| e.to_string())?;
+        eprintln!(
+            "generating {} (scale {}, seed {}) ...",
+            dataset.name(),
+            opts.scale,
+            opts.seed
+        );
+        let world = World::generate(dataset, opts.scale, opts.seed).map_err(|e| e.to_string())?;
         export_world(&world, &opts.out).map_err(|e| e.to_string())?;
         eprintln!(
             "  wrote {}_{{{},{}}}.edges/.significance and {}.memberships to {}",

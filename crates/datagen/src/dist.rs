@@ -100,7 +100,10 @@ mod tests {
         let mut sorted = xs.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = sorted[xs.len() / 2];
-        assert!(mean > median, "lognormal mean {mean} should exceed median {median}");
+        assert!(
+            mean > median,
+            "lognormal mean {mean} should exceed median {median}"
+        );
     }
 
     #[test]
@@ -115,10 +118,14 @@ mod tests {
     #[test]
     fn kumaraswamy_shapes_move_mass() {
         let mut r = rng();
-        let lo: f64 =
-            (0..20_000).map(|_| kumaraswamy(&mut r, 1.0, 5.0)).sum::<f64>() / 20_000.0;
-        let hi: f64 =
-            (0..20_000).map(|_| kumaraswamy(&mut r, 5.0, 1.0)).sum::<f64>() / 20_000.0;
+        let lo: f64 = (0..20_000)
+            .map(|_| kumaraswamy(&mut r, 1.0, 5.0))
+            .sum::<f64>()
+            / 20_000.0;
+        let hi: f64 = (0..20_000)
+            .map(|_| kumaraswamy(&mut r, 5.0, 1.0))
+            .sum::<f64>()
+            / 20_000.0;
         assert!(lo < 0.3, "b-heavy should sit low, got {lo}");
         assert!(hi > 0.7, "a-heavy should sit high, got {hi}");
     }

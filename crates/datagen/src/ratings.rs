@@ -35,7 +35,11 @@ pub fn generate_ratings(affiliation: &Affiliation, noise: f64, seed: u64) -> Vec
         let critic = affiliation.entity_ambition[e as usize] - 0.5; // ±0.5
         let raw = 1.0 + 4.0 * q - critic + noise * dist::standard_normal(&mut rng);
         let stars = (raw * 2.0).round() / 2.0;
-        out.push(Rating { entity: e, container: c, stars: stars.clamp(1.0, 5.0) });
+        out.push(Rating {
+            entity: e,
+            container: c,
+            stars: stars.clamp(1.0, 5.0),
+        });
     }
     out
 }
@@ -60,7 +64,10 @@ pub fn train_test_split(
     test_fraction: f64,
     seed: u64,
 ) -> (Vec<Rating>, Vec<Rating>) {
-    assert!((0.0..=1.0).contains(&test_fraction), "test_fraction must lie in [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&test_fraction),
+        "test_fraction must lie in [0,1]"
+    );
     let mut rng = StdRng::seed_from_u64(seed ^ 0x7E57);
     let mut train = Vec::new();
     let mut test = Vec::new();
@@ -99,7 +106,11 @@ mod tests {
         assert_eq!(rs.len(), a.bipartite.num_memberships());
         for r in &rs {
             assert!((1.0..=5.0).contains(&r.stars));
-            assert_eq!(r.stars * 2.0, (r.stars * 2.0).round(), "half-star granularity");
+            assert_eq!(
+                r.stars * 2.0,
+                (r.stars * 2.0).round(),
+                "half-star granularity"
+            );
         }
     }
 

@@ -101,10 +101,14 @@ impl SignificanceModel {
         let b = &affiliation.bipartite;
         match side {
             Side::Entity => {
-                let degree: Vec<u32> =
-                    (0..b.num_left() as u32).map(|e| b.left_degree(e)).collect();
+                let degree: Vec<u32> = (0..b.num_left() as u32).map(|e| b.left_degree(e)).collect();
                 let neighbor_degrees: Vec<Vec<u32>> = (0..b.num_left() as u32)
-                    .map(|e| b.containers_of(e).iter().map(|&c| b.right_degree(c)).collect())
+                    .map(|e| {
+                        b.containers_of(e)
+                            .iter()
+                            .map(|&c| b.right_degree(c))
+                            .collect()
+                    })
                     .collect();
                 self.synthesize_with_neighbors(
                     &affiliation.entity_quality,
@@ -114,8 +118,9 @@ impl SignificanceModel {
                 )
             }
             Side::Container => {
-                let degree: Vec<u32> =
-                    (0..b.num_right() as u32).map(|c| b.right_degree(c)).collect();
+                let degree: Vec<u32> = (0..b.num_right() as u32)
+                    .map(|c| b.right_degree(c))
+                    .collect();
                 let neighbor_degrees: Vec<Vec<u32>> = (0..b.num_right() as u32)
                     .map(|c| b.members_of(c).iter().map(|&e| b.left_degree(e)).collect())
                     .collect();
@@ -141,8 +146,14 @@ impl SignificanceModel {
         seed: u64,
     ) -> Vec<f64> {
         match *self {
-            SignificanceModel::QualityWithGraphDegree { degree_coupling, noise } => {
-                let proxy = SignificanceModel::QualityBased { degree_coupling, noise };
+            SignificanceModel::QualityWithGraphDegree {
+                degree_coupling,
+                noise,
+            } => {
+                let proxy = SignificanceModel::QualityBased {
+                    degree_coupling,
+                    noise,
+                };
                 proxy.synthesize_with_neighbors(quality, graph_degrees, None, seed)
             }
             _ => self.synthesize_with_neighbors(quality, bipartite_degree, None, seed),
@@ -156,23 +167,36 @@ impl SignificanceModel {
         neighbor_degrees: Option<&[Vec<u32>]>,
         seed: u64,
     ) -> Vec<f64> {
-        assert_eq!(quality.len(), degree.len(), "quality/degree length mismatch");
+        assert_eq!(
+            quality.len(),
+            degree.len(),
+            "quality/degree length mismatch"
+        );
         let mut rng = StdRng::seed_from_u64(seed ^ 0x5160_0000_u64);
         match *self {
-            SignificanceModel::QualityWithGraphDegree { degree_coupling, noise } => {
+            SignificanceModel::QualityWithGraphDegree {
+                degree_coupling,
+                noise,
+            } => {
                 // Without projection context, fall back to the bipartite
                 // degree (tests and standalone callers).
-                let proxy = SignificanceModel::QualityBased { degree_coupling, noise };
+                let proxy = SignificanceModel::QualityBased {
+                    degree_coupling,
+                    noise,
+                };
                 proxy.synthesize_with_neighbors(quality, degree, None, seed)
             }
-            SignificanceModel::QualityBased { degree_coupling, noise } => {
+            SignificanceModel::QualityBased {
+                degree_coupling,
+                noise,
+            } => {
                 let zq = standardized(quality);
-                let logdeg: Vec<f64> =
-                    degree.iter().map(|&d| (1.0 + f64::from(d)).ln()).collect();
+                let logdeg: Vec<f64> = degree.iter().map(|&d| (1.0 + f64::from(d)).ln()).collect();
                 let zd = standardized(&logdeg);
                 (0..quality.len())
                     .map(|i| {
-                        zq[i] + degree_coupling * zd[i]
+                        zq[i]
+                            + degree_coupling * zd[i]
                             + noise * crate::dist::standard_normal(&mut rng)
                     })
                     .collect()
@@ -185,13 +209,11 @@ impl SignificanceModel {
                 })
                 .collect(),
             SignificanceModel::NeighborVolume { gamma, noise } => {
-                let nd = neighbor_degrees.expect(
-                    "NeighborVolume needs affiliation structure; use synthesize_side",
-                );
+                let nd = neighbor_degrees
+                    .expect("NeighborVolume needs affiliation structure; use synthesize_side");
                 (0..quality.len())
                     .map(|i| {
-                        let volume: f64 =
-                            nd[i].iter().map(|&d| f64::from(d).powf(gamma)).sum();
+                        let volume: f64 = nd[i].iter().map(|&d| f64::from(d).powf(gamma)).sum();
                         let base = (0.5 + quality[i]) * volume;
                         let jitter = 1.0 + noise * crate::dist::standard_normal(&mut rng);
                         (base * jitter.max(0.05)).max(0.0)
@@ -217,7 +239,10 @@ mod tests {
     fn quality_based_tracks_quality() {
         let quality: Vec<f64> = (0..500).map(|i| f64::from(i) / 500.0).collect();
         let degree = vec![5u32; 500];
-        let m = SignificanceModel::QualityBased { degree_coupling: 0.0, noise: 0.1 };
+        let m = SignificanceModel::QualityBased {
+            degree_coupling: 0.0,
+            noise: 0.1,
+        };
         let s = m.synthesize(&quality, &degree, 1);
         let rho = spearman(&quality, &s).unwrap();
         assert!(rho > 0.9, "rho={rho}");
@@ -227,7 +252,10 @@ mod tests {
     fn negative_degree_coupling_penalizes_popular_nodes() {
         let quality = vec![0.5; 400];
         let degree: Vec<u32> = (0..400).map(|i| 1 + (i % 50) as u32).collect();
-        let m = SignificanceModel::QualityBased { degree_coupling: -0.8, noise: 0.05 };
+        let m = SignificanceModel::QualityBased {
+            degree_coupling: -0.8,
+            noise: 0.05,
+        };
         let s = m.synthesize(&quality, &degree, 2);
         let degs: Vec<f64> = degree.iter().map(|&d| f64::from(d)).collect();
         let rho = spearman(&degs, &s).unwrap();
@@ -238,7 +266,10 @@ mod tests {
     fn positive_degree_coupling_boosts_popular_nodes() {
         let quality = vec![0.5; 400];
         let degree: Vec<u32> = (0..400).map(|i| 1 + (i % 50) as u32).collect();
-        let m = SignificanceModel::QualityBased { degree_coupling: 0.8, noise: 0.05 };
+        let m = SignificanceModel::QualityBased {
+            degree_coupling: 0.8,
+            noise: 0.05,
+        };
         let s = m.synthesize(&quality, &degree, 2);
         let degs: Vec<f64> = degree.iter().map(|&d| f64::from(d)).collect();
         let rho = spearman(&degs, &s).unwrap();
@@ -248,8 +279,11 @@ mod tests {
     #[test]
     fn volume_based_scales_with_degree() {
         let quality = vec![0.5; 300];
-        let degree: Vec<u32> = (0..300).map(|i| 1 + i as u32) .collect();
-        let m = SignificanceModel::VolumeBased { eta: 1.0, noise: 0.1 };
+        let degree: Vec<u32> = (0..300).map(|i| 1 + i as u32).collect();
+        let m = SignificanceModel::VolumeBased {
+            eta: 1.0,
+            noise: 0.1,
+        };
         let s = m.synthesize(&quality, &degree, 3);
         let degs: Vec<f64> = degree.iter().map(|&d| f64::from(d)).collect();
         let rho = spearman(&degs, &s).unwrap();
@@ -261,7 +295,10 @@ mod tests {
     fn volume_based_quality_breaks_degree_ties() {
         let quality: Vec<f64> = (0..200).map(|i| f64::from(i) / 200.0).collect();
         let degree = vec![10u32; 200];
-        let m = SignificanceModel::VolumeBased { eta: 1.0, noise: 0.0 };
+        let m = SignificanceModel::VolumeBased {
+            eta: 1.0,
+            noise: 0.0,
+        };
         let s = m.synthesize(&quality, &degree, 4);
         let rho = spearman(&quality, &s).unwrap();
         assert!(rho > 0.99, "rho={rho}");
@@ -271,9 +308,18 @@ mod tests {
     fn synthesis_is_deterministic() {
         let quality = vec![0.3, 0.6, 0.9];
         let degree = vec![1, 2, 3];
-        let m = SignificanceModel::QualityBased { degree_coupling: 0.2, noise: 0.5 };
-        assert_eq!(m.synthesize(&quality, &degree, 7), m.synthesize(&quality, &degree, 7));
-        assert_ne!(m.synthesize(&quality, &degree, 7), m.synthesize(&quality, &degree, 8));
+        let m = SignificanceModel::QualityBased {
+            degree_coupling: 0.2,
+            noise: 0.5,
+        };
+        assert_eq!(
+            m.synthesize(&quality, &degree, 7),
+            m.synthesize(&quality, &degree, 7)
+        );
+        assert_ne!(
+            m.synthesize(&quality, &degree, 7),
+            m.synthesize(&quality, &degree, 8)
+        );
     }
 
     #[test]
@@ -288,7 +334,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "length mismatch")]
     fn mismatched_lengths_panic() {
-        let m = SignificanceModel::QualityBased { degree_coupling: 0.0, noise: 0.0 };
+        let m = SignificanceModel::QualityBased {
+            degree_coupling: 0.0,
+            noise: 0.0,
+        };
         m.synthesize(&[0.5], &[1, 2], 0);
     }
 }

@@ -60,7 +60,12 @@ pub enum Dataset {
 impl Dataset {
     /// All four datasets.
     pub fn all() -> [Dataset; 4] {
-        [Dataset::Imdb, Dataset::Dblp, Dataset::Lastfm, Dataset::Epinions]
+        [
+            Dataset::Imdb,
+            Dataset::Dblp,
+            Dataset::Lastfm,
+            Dataset::Epinions,
+        ]
     }
 
     /// Short lowercase name.
@@ -210,36 +215,60 @@ impl Dataset {
             Dataset::Imdb => (
                 // actor: average user rating of movies played in (Group A —
                 // negative degree link comes from the cost mechanism)
-                SignificanceModel::QualityBased { degree_coupling: 0.0, noise: 0.2 },
+                SignificanceModel::QualityBased {
+                    degree_coupling: 0.0,
+                    noise: 0.2,
+                },
                 // movie: average user rating with a mild big-budget effect
                 // ("movies with a lot of actors tend to be big-budget
                 // products", §4.3.2) (Group B)
-                SignificanceModel::QualityWithGraphDegree { degree_coupling: 0.3, noise: 0.15 },
+                SignificanceModel::QualityWithGraphDegree {
+                    degree_coupling: 0.3,
+                    noise: 0.15,
+                },
             ),
             Dataset::Dblp => (
                 // author: average citations per paper, experts attract
                 // collaborators (mild positive degree link) (Group B)
-                SignificanceModel::QualityWithGraphDegree { degree_coupling: 0.3, noise: 0.15 },
+                SignificanceModel::QualityWithGraphDegree {
+                    degree_coupling: 0.3,
+                    noise: 0.15,
+                },
                 // article: total citations accrue through the authors'
                 // visibility — neighbor-volume (Group C)
-                SignificanceModel::NeighborVolume { gamma: 1.1, noise: 0.3 },
+                SignificanceModel::NeighborVolume {
+                    gamma: 1.1,
+                    noise: 0.3,
+                },
             ),
             Dataset::Lastfm => (
                 // listener: total listening activity — plays scale with the
                 // popularity of the artists they follow (Group C)
-                SignificanceModel::NeighborVolume { gamma: 0.6, noise: 0.3 },
+                SignificanceModel::NeighborVolume {
+                    gamma: 0.6,
+                    noise: 0.3,
+                },
                 // artist: number of times listened = the summed intensity of
                 // its listeners (Group C)
-                SignificanceModel::NeighborVolume { gamma: 1.2, noise: 0.3 },
+                SignificanceModel::NeighborVolume {
+                    gamma: 1.2,
+                    noise: 0.3,
+                },
             ),
             Dataset::Epinions => (
                 // commenter: trusts received track comment quality (Group A
                 // via the cost mechanism)
-                SignificanceModel::QualityBased { degree_coupling: 0.0, noise: 0.2 },
+                SignificanceModel::QualityBased {
+                    degree_coupling: 0.0,
+                    noise: 0.2,
+                },
                 // product: average rating; "the larger the number of
                 // comments a product has, the more likely it is that the
                 // comments are negative" (§4.3.1) (Group A, extreme)
-                SignificanceModel::QualityBased { degree_coupling: -0.45, noise: 0.2 },
+                SignificanceModel::QualityBased {
+                    degree_coupling: -0.45,
+                    noise: 0.2,
+                },
             ),
         }
     }
@@ -311,8 +340,10 @@ impl World {
             let bip: Vec<u32> = (0..affiliation.bipartite.num_left() as u32)
                 .map(|e| affiliation.bipartite.left_degree(e))
                 .collect();
-            let proj: Vec<u32> =
-                entity_graph.nodes().map(|v| entity_graph.out_degree(v)).collect();
+            let proj: Vec<u32> = entity_graph
+                .nodes()
+                .map(|v| entity_graph.out_degree(v))
+                .collect();
             entity_model.synthesize_with_graph_degrees(
                 &affiliation.entity_quality,
                 &bip,
@@ -329,8 +360,10 @@ impl World {
             let bip: Vec<u32> = (0..container_affiliation.bipartite.num_right() as u32)
                 .map(|c| container_affiliation.bipartite.right_degree(c))
                 .collect();
-            let proj: Vec<u32> =
-                container_graph.nodes().map(|v| container_graph.out_degree(v)).collect();
+            let proj: Vec<u32> = container_graph
+                .nodes()
+                .map(|v| container_graph.out_degree(v))
+                .collect();
             container_model.synthesize_with_graph_degrees(
                 &container_affiliation.container_quality,
                 &bip,
@@ -459,9 +492,7 @@ impl PaperGraph {
         match self {
             PaperGraph::ImdbActorActor | PaperGraph::ImdbMovieMovie => Dataset::Imdb,
             PaperGraph::DblpAuthorAuthor | PaperGraph::DblpArticleArticle => Dataset::Dblp,
-            PaperGraph::LastfmListenerListener | PaperGraph::LastfmArtistArtist => {
-                Dataset::Lastfm
-            }
+            PaperGraph::LastfmListenerListener | PaperGraph::LastfmArtistArtist => Dataset::Lastfm,
             PaperGraph::EpinionsCommenterCommenter | PaperGraph::EpinionsProductProduct => {
                 Dataset::Epinions
             }
@@ -535,10 +566,21 @@ mod tests {
     fn all_datasets_generate() {
         for d in Dataset::all() {
             let w = small_world(d);
-            assert!(w.entity_graph.num_edges() > 0, "{}: entity graph empty", d.name());
-            assert!(w.container_graph.num_edges() > 0, "{}: container graph empty", d.name());
+            assert!(
+                w.entity_graph.num_edges() > 0,
+                "{}: entity graph empty",
+                d.name()
+            );
+            assert!(
+                w.container_graph.num_edges() > 0,
+                "{}: container graph empty",
+                d.name()
+            );
             assert_eq!(w.entity_significance.len(), w.entity_graph.num_nodes());
-            assert_eq!(w.container_significance.len(), w.container_graph.num_nodes());
+            assert_eq!(
+                w.container_significance.len(),
+                w.container_graph.num_nodes()
+            );
             assert!(w.entity_graph.is_weighted());
             assert!(w.container_graph.is_weighted());
         }
@@ -587,7 +629,10 @@ mod tests {
         let (g, s) = PaperGraph::ImdbActorActor.view(&w);
         let degs = d2pr_graph::stats::degrees_f64(g);
         let rho = spearman(&degs, s).unwrap();
-        assert!(rho < 0.1, "Group A should not be positively coupled, rho={rho}");
+        assert!(
+            rho < 0.1,
+            "Group A should not be positively coupled, rho={rho}"
+        );
     }
 
     #[test]

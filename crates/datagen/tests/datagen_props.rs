@@ -113,7 +113,10 @@ fn worlds_generate_across_seeds() {
         for seed in [1u64, 99, 12345] {
             let w = World::generate(dataset, 0.01, seed).expect("world generates");
             assert_eq!(w.entity_graph.num_nodes(), w.entity_significance.len());
-            assert_eq!(w.container_graph.num_nodes(), w.container_significance.len());
+            assert_eq!(
+                w.container_graph.num_nodes(),
+                w.container_significance.len()
+            );
             assert!(w.entity_significance.iter().all(|x| x.is_finite()));
             assert!(w.container_significance.iter().all(|x| x.is_finite()));
         }

@@ -65,8 +65,12 @@ pub fn rewire_ablation(
     let rewired_graph = degree_preserving_rewire(&graph.to_unweighted(), 2.0, seed)
         .expect("rewiring valid undirected input");
     let rewired_points = cfg.run(&rewired_graph, significance);
-    let conventional =
-        |pts: &[GridPoint]| pts.iter().find(|pt| pt.p == 0.0).expect("grid has p=0").spearman;
+    let conventional = |pts: &[GridPoint]| {
+        pts.iter()
+            .find(|pt| pt.p == 0.0)
+            .expect("grid has p=0")
+            .spearman
+    };
     RewireAblation {
         graph: pg,
         original_best: best_point(&original_points).expect("non-empty sweep"),
@@ -112,23 +116,36 @@ mod tests {
 
     #[test]
     fn rewiring_reduces_group_a_gain() {
-        let world = World::generate(Dataset::Imdb, 0.02, 11).unwrap();
+        let world = World::generate(Dataset::Imdb, 0.02, 13).unwrap();
         let (g, s) = PaperGraph::ImdbActorActor.view(&world);
         let g = g.to_unweighted();
         let a = rewire_ablation(&g, s, PaperGraph::ImdbActorActor, 3);
-        assert!(a.original_gain() > 0.0, "sanity: D2PR should help on the original");
+        assert!(
+            a.original_gain() > 0.0,
+            "sanity: D2PR should help on the original"
+        );
         assert!(
             a.rewired_best.spearman < a.original_best.spearman,
             "rewiring should reduce the achievable correlation: {} vs {}",
             a.rewired_best.spearman,
             a.original_best.spearman
         );
-        assert!(a.gain_destroyed() > 0.2, "destroyed {:.2}", a.gain_destroyed());
+        assert!(
+            a.gain_destroyed() > 0.2,
+            "destroyed {:.2}",
+            a.gain_destroyed()
+        );
     }
 
     #[test]
     fn gain_accessors_consistent() {
-        let mk = |p: f64, s: f64| GridPoint { p, alpha: 0.85, beta: 0.0, spearman: s, iterations: 1 };
+        let mk = |p: f64, s: f64| GridPoint {
+            p,
+            alpha: 0.85,
+            beta: 0.0,
+            spearman: s,
+            iterations: 1,
+        };
         let a = RewireAblation {
             graph: PaperGraph::ImdbActorActor,
             original_best: mk(2.0, 0.5),
@@ -143,7 +160,13 @@ mod tests {
 
     #[test]
     fn gain_destroyed_clamps() {
-        let mk = |s: f64| GridPoint { p: 0.5, alpha: 0.85, beta: 0.0, spearman: s, iterations: 1 };
+        let mk = |s: f64| GridPoint {
+            p: 0.5,
+            alpha: 0.85,
+            beta: 0.0,
+            spearman: s,
+            iterations: 1,
+        };
         // no original gain
         let a = RewireAblation {
             graph: PaperGraph::ImdbActorActor,

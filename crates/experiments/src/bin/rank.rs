@@ -73,7 +73,11 @@ fn parse_args() -> Result<Options, String> {
                 let list = args.next().ok_or("--seeds needs a value")?;
                 o.seeds = list
                     .split(',')
-                    .map(|s| s.trim().parse::<u32>().map_err(|e| format!("bad seed '{s}': {e}")))
+                    .map(|s| {
+                        s.trim()
+                            .parse::<u32>()
+                            .map_err(|e| format!("bad seed '{s}': {e}"))
+                    })
                     .collect::<Result<_, _>>()?;
             }
             "--help" | "-h" => return Err(USAGE.to_string()),
@@ -86,7 +90,11 @@ fn parse_args() -> Result<Options, String> {
 }
 
 fn run(opts: &Options) -> Result<(), String> {
-    let direction = if opts.directed { Direction::Directed } else { Direction::Undirected };
+    let direction = if opts.directed {
+        Direction::Directed
+    } else {
+        Direction::Undirected
+    };
     let graph = if opts.input == "-" {
         let stdin = std::io::stdin();
         read_edge_list(stdin.lock(), direction)
@@ -100,8 +108,16 @@ fn run(opts: &Options) -> Result<(), String> {
         "{} nodes, {} edges ({}, {}); p = {}, alpha = {}{}",
         graph.num_nodes(),
         graph.num_edges(),
-        if graph.is_directed() { "directed" } else { "undirected" },
-        if graph.is_weighted() { "weighted" } else { "unweighted" },
+        if graph.is_directed() {
+            "directed"
+        } else {
+            "undirected"
+        },
+        if graph.is_weighted() {
+            "weighted"
+        } else {
+            "unweighted"
+        },
         opts.p,
         opts.alpha,
         opts.beta.map_or(String::new(), |b| format!(", beta = {b}")),

@@ -58,7 +58,12 @@ fn parse_args() -> Result<Options, String> {
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
     }
-    Ok(Options { scale, seed, csv, experiment: experiment.ok_or_else(|| USAGE.to_string())? })
+    Ok(Options {
+        scale,
+        seed,
+        csv,
+        experiment: experiment.ok_or_else(|| USAGE.to_string())?,
+    })
 }
 
 fn print_table(title: &str, t: &d2pr_experiments::report::TextTable, csv: bool) {
@@ -78,7 +83,11 @@ fn print_sweeps(title: &str, sweeps: &[GraphSweep], csv: bool) {
 
 fn print_series(title: &str, sweeps: &[GraphSweep], beta: bool, csv: bool) {
     for s in sweeps {
-        print_table(&format!("{title}: {}", s.graph.name()), &series_report(s, beta), csv);
+        print_table(
+            &format!("{title}: {}", s.graph.name()),
+            &series_report(s, beta),
+            csv,
+        );
     }
     print_table(&format!("{title}: optima"), &optimum_summary(sweeps), csv);
 }
@@ -87,8 +96,23 @@ fn run(opts: &Options) -> Result<(), String> {
     let all = opts.experiment == "all";
     let want = |name: &str| all || opts.experiment == name;
     let known = [
-        "table1", "table2", "table3", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
-        "fig8", "fig9", "fig10", "fig11", "recs", "rewire", "stability",
+        "table1",
+        "table2",
+        "table3",
+        "fig1",
+        "fig2",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "recs",
+        "rewire",
+        "stability",
     ];
     if !all && !known.contains(&opts.experiment.as_str()) {
         return Err(format!("unknown experiment '{}'\n{USAGE}", opts.experiment));
@@ -96,7 +120,10 @@ fn run(opts: &Options) -> Result<(), String> {
 
     let needs_ctx = all || opts.experiment != "fig1";
     let ctx = if needs_ctx {
-        eprintln!("generating worlds (scale {}, seed {}) ...", opts.scale, opts.seed);
+        eprintln!(
+            "generating worlds (scale {}, seed {}) ...",
+            opts.scale, opts.seed
+        );
         Some(ExperimentContext::new(opts.scale, opts.seed).map_err(|e| e.to_string())?)
     } else {
         None
@@ -126,7 +153,11 @@ fn run(opts: &Options) -> Result<(), String> {
         );
     }
     if want("fig1") {
-        print_table("Figure 1: transition probabilities from A", &fig1_report(), csv);
+        print_table(
+            "Figure 1: transition probabilities from A",
+            &fig1_report(),
+            csv,
+        );
     }
     let groups = [
         ("fig2", "fig6", "fig9", ApplicationGroup::A),
@@ -136,7 +167,11 @@ fn run(opts: &Options) -> Result<(), String> {
     for (fig_p, fig_alpha, fig_beta, group) in groups {
         if want(fig_p) {
             let sweeps = group_p_sweep(ctx.expect("ctx present"), group);
-            print_sweeps(&format!("{fig_p}: group {group:?} p sweep (unweighted)"), &sweeps, csv);
+            print_sweeps(
+                &format!("{fig_p}: group {group:?} p sweep (unweighted)"),
+                &sweeps,
+                csv,
+            );
         }
         if want(fig_alpha) {
             let sweeps = group_alpha_sweep(ctx.expect("ctx present"), group);

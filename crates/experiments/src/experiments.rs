@@ -6,8 +6,9 @@
 
 use crate::report::{fmt_corr, fmt_f, TextTable};
 use crate::sweep::{best_point, correlation_with_significance, curve, GridPoint, SweepConfig};
-use d2pr_core::d2pr::D2pr;
+use d2pr_core::engine::Engine;
 use d2pr_core::kernel::DegreeKernel;
+use d2pr_core::transition::TransitionModel;
 use d2pr_datagen::worlds::{ApplicationGroup, Dataset, PaperGraph, World};
 use d2pr_graph::csr::CsrGraph;
 use d2pr_graph::error::Result;
@@ -35,7 +36,11 @@ impl ExperimentContext {
         for d in Dataset::all() {
             worlds.insert(d, World::generate(d, scale, seed)?);
         }
-        Ok(Self { scale, seed, worlds })
+        Ok(Self {
+            scale,
+            seed,
+            worlds,
+        })
     }
 
     /// Access a generated world.
@@ -83,8 +88,11 @@ impl ExperimentContext {
 /// Spearman correlation between node degree and conventional PageRank
 /// (p = 0, α = 0.85) on one graph — one cell of the paper's Table 1.
 pub fn degree_pagerank_coupling(graph: &CsrGraph) -> f64 {
-    let engine = D2pr::new(graph);
-    let scores = engine.scores(0.0).expect("default parameters are valid").scores;
+    let mut engine = Engine::new(graph);
+    let scores = engine
+        .solve_model(TransitionModel::DegreeDecoupled { p: 0.0 })
+        .expect("default parameters are valid")
+        .scores;
     let degs = degrees_f64(graph);
     correlation_with_significance(&scores, &degs)
 }
@@ -110,7 +118,11 @@ pub fn table1_report(ctx: &ExperimentContext) -> TextTable {
     let paper = [0.988, 0.997, 0.848];
     let mut t = TextTable::new(vec!["data graph", "paper rho", "measured rho"]);
     for ((pg, rho), paper_rho) in table1(ctx).into_iter().zip(paper) {
-        t.push_row(vec![pg.name().to_string(), fmt_f(paper_rho, 3), fmt_corr(rho)]);
+        t.push_row(vec![
+            pg.name().to_string(),
+            fmt_f(paper_rho, 3),
+            fmt_corr(rho),
+        ]);
     }
     t
 }
@@ -135,12 +147,19 @@ pub struct Table2Row {
 pub fn table2(ctx: &ExperimentContext) -> (Vec<f64>, Vec<Table2Row>) {
     let ps = vec![-4.0, -2.0, 0.0, 2.0, 4.0];
     let (g, _) = ctx.unweighted(PaperGraph::ImdbActorActor);
-    let engine = D2pr::new(&g);
-    let mut per_p_ranks: Vec<Vec<usize>> = Vec::new();
-    for &p in &ps {
-        let scores = engine.scores(p).expect("valid parameters").scores;
-        per_p_ranks.push(ordinal_ranks(&scores, RankOrder::Descending));
-    }
+    // One fused engine run for the whole grid: the operator is rewritten in
+    // place per point instead of being rebuilt.
+    let mut engine = Engine::new(&g);
+    let models: Vec<TransitionModel> = ps
+        .iter()
+        .map(|&p| TransitionModel::DegreeDecoupled { p })
+        .collect();
+    let per_p_ranks: Vec<Vec<usize>> = engine
+        .sweep(&models, false)
+        .expect("valid parameters")
+        .into_iter()
+        .map(|r| ordinal_ranks(&r.scores, RankOrder::Descending))
+        .collect();
     // Two highest-degree and two lowest-degree (non-isolated) nodes.
     let mut by_degree: Vec<u32> = g.nodes().filter(|&v| g.out_degree(v) > 0).collect();
     by_degree.sort_by_key(|&v| std::cmp::Reverse(g.out_degree(v)));
@@ -212,8 +231,10 @@ pub fn fig1_report() -> TextTable {
     let degs = [2.0, 3.0, 1.0];
     let labels = ["B (deg 2)", "C (deg 3)", "D (deg 1)"];
     let mut t = TextTable::new(vec!["dest", "p=0", "p=2", "p=-2"]);
-    let rows: Vec<Vec<f64>> =
-        [0.0, 2.0, -2.0].iter().map(|&p| DegreeKernel::new(p).normalize(&degs)).collect();
+    let rows: Vec<Vec<f64>> = [0.0, 2.0, -2.0]
+        .iter()
+        .map(|&p| DegreeKernel::new(p).normalize(&degs))
+        .collect();
     for (i, label) in labels.iter().enumerate() {
         t.push_row(vec![
             label.to_string(),
@@ -263,7 +284,10 @@ pub fn group_p_sweep(ctx: &ExperimentContext, group: ApplicationGroup) -> Vec<Gr
         .into_iter()
         .map(|pg| {
             let (g, s) = ctx.unweighted(pg);
-            GraphSweep { graph: pg, points: cfg.run(&g, &s) }
+            GraphSweep {
+                graph: pg,
+                points: cfg.run(&g, &s),
+            }
         })
         .collect()
 }
@@ -277,7 +301,10 @@ pub fn group_p_sweep_report(sweeps: &[GraphSweep]) -> TextTable {
     if sweeps.is_empty() {
         return t;
     }
-    let ps: Vec<f64> = curve(&sweeps[0].points, 0.85, 0.0).iter().map(|pt| pt.p).collect();
+    let ps: Vec<f64> = curve(&sweeps[0].points, 0.85, 0.0)
+        .iter()
+        .map(|pt| pt.p)
+        .collect();
     for &p in &ps {
         let mut row = vec![format!("{p:+.1}")];
         for s in sweeps {
@@ -329,12 +356,18 @@ pub fn fig5_report(ctx: &ExperimentContext) -> TextTable {
 
 /// Run the α × p grid on the group's unweighted graphs (Figures 6–8).
 pub fn group_alpha_sweep(ctx: &ExperimentContext, group: ApplicationGroup) -> Vec<GraphSweep> {
-    let cfg = SweepConfig { alphas: SweepConfig::paper_alphas(), ..Default::default() };
+    let cfg = SweepConfig {
+        alphas: SweepConfig::paper_alphas(),
+        ..Default::default()
+    };
     ExperimentContext::group_members(group)
         .into_iter()
         .map(|pg| {
             let (g, s) = ctx.unweighted(pg);
-            GraphSweep { graph: pg, points: cfg.run(&g, &s) }
+            GraphSweep {
+                graph: pg,
+                points: cfg.run(&g, &s),
+            }
         })
         .collect()
 }
@@ -342,12 +375,18 @@ pub fn group_alpha_sweep(ctx: &ExperimentContext, group: ApplicationGroup) -> Ve
 /// Run the β × p grid on the group's weighted graphs at α = 0.85
 /// (Figures 9–11).
 pub fn group_beta_sweep(ctx: &ExperimentContext, group: ApplicationGroup) -> Vec<GraphSweep> {
-    let cfg = SweepConfig { betas: SweepConfig::paper_betas(), ..Default::default() };
+    let cfg = SweepConfig {
+        betas: SweepConfig::paper_betas(),
+        ..Default::default()
+    };
     ExperimentContext::group_members(group)
         .into_iter()
         .map(|pg| {
             let (g, s) = ctx.weighted(pg);
-            GraphSweep { graph: pg, points: cfg.run(&g, &s) }
+            GraphSweep {
+                graph: pg,
+                points: cfg.run(&g, &s),
+            }
         })
         .collect()
 }
@@ -484,7 +523,11 @@ mod tests {
     #[test]
     fn group_members_cover_all_graphs() {
         let mut n = 0;
-        for g in [ApplicationGroup::A, ApplicationGroup::B, ApplicationGroup::C] {
+        for g in [
+            ApplicationGroup::A,
+            ApplicationGroup::B,
+            ApplicationGroup::C,
+        ] {
             n += ExperimentContext::group_members(g).len();
         }
         assert_eq!(n, 8);

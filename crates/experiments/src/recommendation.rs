@@ -38,14 +38,23 @@ pub fn retrieval_quality(scores: &[f64], significance: &[f64]) -> Option<Retriev
     }
     let k = (n / 10).max(1);
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| significance[b].partial_cmp(&significance[a]).expect("finite"));
+    order.sort_by(|&a, &b| {
+        significance[b]
+            .partial_cmp(&significance[a])
+            .expect("finite")
+    });
     let relevant: HashSet<usize> = order[..n / 4].iter().copied().collect();
 
     let min = significance.iter().cloned().fold(f64::INFINITY, f64::min);
     let gains: Vec<f64> = significance.iter().map(|s| s - min).collect();
 
     let mut ranked: Vec<usize> = (0..n).collect();
-    ranked.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("finite").then(a.cmp(&b)));
+    ranked.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .expect("finite")
+            .then(a.cmp(&b))
+    });
 
     Some(RetrievalQuality {
         precision_at_k: precision_at_k(&ranked, &relevant, k)?,
@@ -157,8 +166,7 @@ mod tests {
         // Significance = degree: boosting-friendly; the comparison must run
         // and D2PR-at-best-p must match or beat conventional on P@k.
         let sig = degrees_f64(&g);
-        let row =
-            compare_recommenders(&g, &sig, PaperGraph::LastfmArtistArtist).expect("defined");
+        let row = compare_recommenders(&g, &sig, PaperGraph::LastfmArtistArtist).expect("defined");
         assert!(row.decoupled.precision_at_k >= row.conventional.precision_at_k - 1e-9);
     }
 }

@@ -43,7 +43,11 @@ impl GraphStability {
         if self.best_ps.is_empty() {
             return 0.0;
         }
-        let hits = self.best_ps.iter().filter(|&&p| self.in_group_region(p)).count();
+        let hits = self
+            .best_ps
+            .iter()
+            .filter(|&&p| self.in_group_region(p))
+            .count();
         hits as f64 / self.best_ps.len() as f64
     }
 }

@@ -3,12 +3,15 @@
 //! Every figure in the paper is a sweep of the de-coupling weight `p`
 //! (optionally crossed with `α` or `β`) plotting the Spearman correlation
 //! between D2PR ranks and application significance. This module runs those
-//! sweeps efficiently: the degree/Θ tables are cached per graph by
-//! [`d2pr_core::d2pr::D2pr`], so each grid point costs one transition build
-//! plus one power iteration.
+//! sweeps efficiently through the fused [`Engine`]: the transpose structure
+//! and degree/Θ tables are built once per graph, the operator is rewritten
+//! in place per grid point, and one arc-balanced worker pool serves every
+//! iteration of every `(β, α, p)` grid point.
 
 use d2pr_core::d2pr::D2pr;
+use d2pr_core::engine::Engine;
 use d2pr_core::pagerank::PageRankConfig;
+use d2pr_core::transition::TransitionModel;
 use d2pr_graph::csr::CsrGraph;
 use d2pr_stats::correlation::{kendall_tau_b, spearman};
 
@@ -47,6 +50,8 @@ pub struct SweepConfig {
     pub tolerance: f64,
     /// Solver iteration cap.
     pub max_iterations: usize,
+    /// Worker threads for the engine (`0` = machine parallelism).
+    pub threads: usize,
 }
 
 impl Default for SweepConfig {
@@ -57,6 +62,7 @@ impl Default for SweepConfig {
             betas: vec![0.0],
             tolerance: 1e-9,
             max_iterations: 200,
+            threads: 0,
         }
     }
 }
@@ -75,15 +81,41 @@ impl SweepConfig {
     /// Run the sweep on one graph + significance pair. For unweighted
     /// graphs the β grid is ignored (a single β=0 pass runs instead, since
     /// β only exists for weighted transitions).
+    ///
+    /// One [`Engine`] serves the whole grid: the transposed operator
+    /// structure is built once, each `(β, α, p)` point only rewrites the
+    /// probability array in place, and the worker pool is reused across
+    /// every `p` curve.
     pub fn run(&self, graph: &CsrGraph, significance: &[f64]) -> Vec<GridPoint> {
         assert_eq!(
             graph.num_nodes(),
             significance.len(),
             "significance must cover every node"
         );
-        let betas: &[f64] = if graph.is_weighted() { &self.betas } else { &[0.0] };
+        let betas: &[f64] = if graph.is_weighted() {
+            &self.betas
+        } else {
+            &[0.0]
+        };
+        let threads = if self.threads == 0 {
+            d2pr_core::engine::default_threads()
+        } else {
+            self.threads
+        };
+        let mut engine = Engine::with_threads(graph, threads);
         let mut out = Vec::with_capacity(self.ps.len() * self.alphas.len() * betas.len());
         for &beta in betas {
+            let models: Vec<TransitionModel> = self
+                .ps
+                .iter()
+                .map(|&p| {
+                    if graph.is_weighted() {
+                        TransitionModel::Blended { p, beta }
+                    } else {
+                        TransitionModel::DegreeDecoupled { p }
+                    }
+                })
+                .collect();
             for &alpha in &self.alphas {
                 let config = PageRankConfig {
                     alpha,
@@ -91,12 +123,13 @@ impl SweepConfig {
                     max_iterations: self.max_iterations,
                     ..Default::default()
                 };
-                let mut engine = D2pr::new(graph).with_config(config);
-                if graph.is_weighted() {
-                    engine = engine.with_beta(beta);
-                }
-                for &p in &self.ps {
-                    let result = engine.scores(p).expect("validated sweep parameters");
+                engine
+                    .set_config(config)
+                    .expect("validated sweep parameters");
+                let results = engine
+                    .sweep(&models, false)
+                    .expect("validated sweep parameters");
+                for (&p, result) in self.ps.iter().zip(results) {
                     let rho = correlation_with_significance(&result.scores, significance);
                     out.push(GridPoint {
                         p,
@@ -114,10 +147,11 @@ impl SweepConfig {
 
 /// The grid point with the highest Spearman correlation (ties: first).
 pub fn best_point(points: &[GridPoint]) -> Option<GridPoint> {
-    points
-        .iter()
-        .copied()
-        .max_by(|a, b| a.spearman.partial_cmp(&b.spearman).expect("finite correlations"))
+    points.iter().copied().max_by(|a, b| {
+        a.spearman
+            .partial_cmp(&b.spearman)
+            .expect("finite correlations")
+    })
 }
 
 /// Restrict points to one `(α, β)` curve, ordered by `p`.
@@ -133,11 +167,7 @@ pub fn curve(points: &[GridPoint], alpha: f64, beta: f64) -> Vec<GridPoint> {
 
 /// Kendall τ-b variant of the correlation, on a subsample when the graph is
 /// large (τ is O(n²)). Robustness check for the Spearman-based figures.
-pub fn kendall_with_significance(
-    scores: &[f64],
-    significance: &[f64],
-    max_nodes: usize,
-) -> f64 {
+pub fn kendall_with_significance(scores: &[f64], significance: &[f64], max_nodes: usize) -> f64 {
     if scores.len() <= max_nodes {
         return kendall_tau_b(scores, significance).unwrap_or(0.0);
     }
@@ -174,19 +204,49 @@ mod tests {
         // correlate at least as well as penalizing them (p > 0).
         let g = barabasi_albert(200, 3, 9).unwrap();
         let sig = degrees_f64(&g);
-        let cfg = SweepConfig { ps: vec![-2.0, 0.0, 2.0], ..Default::default() };
+        let cfg = SweepConfig {
+            ps: vec![-2.0, 0.0, 2.0],
+            ..Default::default()
+        };
         let pts = cfg.run(&g, &sig);
         let at = |p: f64| pts.iter().find(|pt| pt.p == p).unwrap().spearman;
-        assert!(at(-2.0) > at(2.0), "boost {} vs penalize {}", at(-2.0), at(2.0));
-        assert!(at(0.0) > 0.8, "conventional PR tracks degree, got {}", at(0.0));
+        assert!(
+            at(-2.0) > at(2.0),
+            "boost {} vs penalize {}",
+            at(-2.0),
+            at(2.0)
+        );
+        assert!(
+            at(0.0) > 0.8,
+            "conventional PR tracks degree, got {}",
+            at(0.0)
+        );
     }
 
     #[test]
     fn best_point_and_curve_helpers() {
         let pts = vec![
-            GridPoint { p: 0.0, alpha: 0.85, beta: 0.0, spearman: 0.1, iterations: 5 },
-            GridPoint { p: 0.5, alpha: 0.85, beta: 0.0, spearman: 0.7, iterations: 5 },
-            GridPoint { p: 0.5, alpha: 0.5, beta: 0.0, spearman: 0.3, iterations: 5 },
+            GridPoint {
+                p: 0.0,
+                alpha: 0.85,
+                beta: 0.0,
+                spearman: 0.1,
+                iterations: 5,
+            },
+            GridPoint {
+                p: 0.5,
+                alpha: 0.85,
+                beta: 0.0,
+                spearman: 0.7,
+                iterations: 5,
+            },
+            GridPoint {
+                p: 0.5,
+                alpha: 0.5,
+                beta: 0.0,
+                spearman: 0.3,
+                iterations: 5,
+            },
         ];
         let best = best_point(&pts).unwrap();
         assert_eq!(best.p, 0.5);

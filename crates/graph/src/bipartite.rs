@@ -41,10 +41,16 @@ impl BipartiteGraph {
         }
         for &(l, r) in memberships {
             if (l as usize) >= num_left {
-                return Err(GraphError::NodeOutOfRange { node: l, num_nodes: num_left as u32 });
+                return Err(GraphError::NodeOutOfRange {
+                    node: l,
+                    num_nodes: num_left as u32,
+                });
             }
             if (r as usize) >= num_right {
-                return Err(GraphError::NodeOutOfRange { node: r, num_nodes: num_right as u32 });
+                return Err(GraphError::NodeOutOfRange {
+                    node: r,
+                    num_nodes: num_right as u32,
+                });
             }
         }
         let mut pairs: Vec<(NodeId, NodeId)> = memberships.to_vec();
@@ -56,7 +62,14 @@ impl BipartiteGraph {
         flipped.sort_unstable();
         let (right_offsets, right_targets) = Self::to_csr(num_right, flipped.iter().copied());
 
-        Ok(Self { num_left, num_right, left_offsets, left_targets, right_offsets, right_targets })
+        Ok(Self {
+            num_left,
+            num_right,
+            left_offsets,
+            left_targets,
+            right_offsets,
+            right_targets,
+        })
     }
 
     fn to_csr(

@@ -124,8 +124,10 @@ impl GraphBuilder {
         }
         if (u as usize) >= self.num_nodes || (v as usize) >= self.num_nodes {
             let node = if (u as usize) >= self.num_nodes { u } else { v };
-            self.deferred_error =
-                Some(GraphError::NodeOutOfRange { node, num_nodes: self.num_nodes as u32 });
+            self.deferred_error = Some(GraphError::NodeOutOfRange {
+                node,
+                num_nodes: self.num_nodes as u32,
+            });
             return;
         }
         if weighted && (!w.is_finite() || w < 0.0) {
@@ -288,7 +290,8 @@ mod tests {
 
     #[test]
     fn duplicates_merge_max() {
-        let mut b = GraphBuilder::new(Direction::Directed, 2).duplicate_policy(DuplicatePolicy::MergeMax);
+        let mut b =
+            GraphBuilder::new(Direction::Directed, 2).duplicate_policy(DuplicatePolicy::MergeMax);
         b.add_weighted_edge(0, 1, 1.5);
         b.add_weighted_edge(0, 1, 2.5);
         let g = b.build().unwrap();
@@ -297,7 +300,8 @@ mod tests {
 
     #[test]
     fn duplicates_kept_when_asked() {
-        let mut b = GraphBuilder::new(Direction::Directed, 2).duplicate_policy(DuplicatePolicy::Keep);
+        let mut b =
+            GraphBuilder::new(Direction::Directed, 2).duplicate_policy(DuplicatePolicy::Keep);
         b.add_edge(0, 1);
         b.add_edge(0, 1);
         let g = b.build().unwrap();
@@ -316,11 +320,13 @@ mod tests {
 
     #[test]
     fn self_loops_kept_or_rejected_by_policy() {
-        let mut keep = GraphBuilder::new(Direction::Directed, 1).self_loop_policy(SelfLoopPolicy::Keep);
+        let mut keep =
+            GraphBuilder::new(Direction::Directed, 1).self_loop_policy(SelfLoopPolicy::Keep);
         keep.add_edge(0, 0);
         assert_eq!(keep.build().unwrap().neighbors(0), &[0]);
 
-        let mut err = GraphBuilder::new(Direction::Directed, 1).self_loop_policy(SelfLoopPolicy::Error);
+        let mut err =
+            GraphBuilder::new(Direction::Directed, 1).self_loop_policy(SelfLoopPolicy::Error);
         err.add_edge(0, 0);
         assert!(err.build().is_err());
     }
@@ -331,14 +337,23 @@ mod tests {
         b.add_edge(0, 5);
         b.add_edge(0, 1); // ignored after the error
         let err = b.build().unwrap_err();
-        assert_eq!(err, GraphError::NodeOutOfRange { node: 5, num_nodes: 2 });
+        assert_eq!(
+            err,
+            GraphError::NodeOutOfRange {
+                node: 5,
+                num_nodes: 2
+            }
+        );
     }
 
     #[test]
     fn invalid_weight_is_deferred_error() {
         let mut b = GraphBuilder::new(Direction::Directed, 2);
         b.add_weighted_edge(0, 1, f64::INFINITY);
-        assert!(matches!(b.build().unwrap_err(), GraphError::InvalidWeight(_)));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            GraphError::InvalidWeight(_)
+        ));
     }
 
     #[test]
@@ -373,7 +388,8 @@ mod tests {
 
     #[test]
     fn undirected_self_loop_kept_only_once() {
-        let mut b = GraphBuilder::new(Direction::Undirected, 2).self_loop_policy(SelfLoopPolicy::Keep);
+        let mut b =
+            GraphBuilder::new(Direction::Undirected, 2).self_loop_policy(SelfLoopPolicy::Keep);
         b.add_edge(0, 0);
         let g = b.build().unwrap();
         assert_eq!(g.neighbors(0), &[0]);

@@ -99,7 +99,11 @@ pub fn connected_components(g: &CsrGraph) -> Components {
         sizes.push(size);
         next_label += 1;
     }
-    Components { labels, count: next_label as usize, sizes }
+    Components {
+        labels,
+        count: next_label as usize,
+        sizes,
+    }
 }
 
 #[cfg(test)]

@@ -56,20 +56,29 @@ impl CsrGraph {
         weights: Option<Vec<f64>>,
     ) -> Result<Self> {
         if offsets.is_empty() {
-            return Err(GraphError::Snapshot("offsets array must have length n+1 >= 1".into()));
+            return Err(GraphError::Snapshot(
+                "offsets array must have length n+1 >= 1".into(),
+            ));
         }
         let n = offsets.len() - 1;
         if n > u32::MAX as usize {
             return Err(GraphError::TooManyNodes(n));
         }
         if offsets[0] != 0 || *offsets.last().expect("non-empty") != targets.len() {
-            return Err(GraphError::Snapshot("offsets must start at 0 and end at targets.len()".into()));
+            return Err(GraphError::Snapshot(
+                "offsets must start at 0 and end at targets.len()".into(),
+            ));
         }
         if offsets.windows(2).any(|w| w[0] > w[1]) {
-            return Err(GraphError::Snapshot("offsets must be non-decreasing".into()));
+            return Err(GraphError::Snapshot(
+                "offsets must be non-decreasing".into(),
+            ));
         }
         if let Some(&bad) = targets.iter().find(|&&t| (t as usize) >= n) {
-            return Err(GraphError::NodeOutOfRange { node: bad, num_nodes: n as u32 });
+            return Err(GraphError::NodeOutOfRange {
+                node: bad,
+                num_nodes: n as u32,
+            });
         }
         if let Some(w) = &weights {
             if w.len() != targets.len() {
@@ -83,7 +92,13 @@ impl CsrGraph {
         for &t in &targets {
             in_degrees[t as usize] += 1;
         }
-        Ok(Self { direction, offsets, targets, weights, in_degrees })
+        Ok(Self {
+            direction,
+            offsets,
+            targets,
+            weights,
+            in_degrees,
+        })
     }
 
     /// Whether this graph is directed or undirected.
@@ -182,7 +197,8 @@ impl CsrGraph {
 
     /// Iterate all arcs as `(source, target)` pairs.
     pub fn arcs(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        self.nodes().flat_map(move |v| self.neighbors(v).iter().map(move |&t| (v, t)))
+        self.nodes()
+            .flat_map(move |v| self.neighbors(v).iter().map(move |&t| (v, t)))
     }
 
     /// Iterate all arcs with weights (weight = 1.0 for unweighted graphs).
@@ -338,22 +354,38 @@ mod tests {
     fn rejects_bad_offsets() {
         assert!(CsrGraph::from_csr(Direction::Directed, vec![], vec![], None).is_err());
         assert!(CsrGraph::from_csr(Direction::Directed, vec![0, 2], vec![0], None).is_err());
-        assert!(CsrGraph::from_csr(Direction::Directed, vec![0, 2, 1, 3], vec![0, 0, 0], None).is_err());
+        assert!(
+            CsrGraph::from_csr(Direction::Directed, vec![0, 2, 1, 3], vec![0, 0, 0], None).is_err()
+        );
     }
 
     #[test]
     fn rejects_out_of_range_target() {
         let err = CsrGraph::from_csr(Direction::Directed, vec![0, 1], vec![5], None).unwrap_err();
-        assert_eq!(err, GraphError::NodeOutOfRange { node: 5, num_nodes: 1 });
+        assert_eq!(
+            err,
+            GraphError::NodeOutOfRange {
+                node: 5,
+                num_nodes: 1
+            }
+        );
     }
 
     #[test]
     fn rejects_bad_weights() {
-        assert!(CsrGraph::from_csr(Direction::Directed, vec![0, 1], vec![0], Some(vec![])).is_err());
-        assert!(CsrGraph::from_csr(Direction::Directed, vec![0, 1], vec![0], Some(vec![f64::NAN]))
-            .is_err());
-        assert!(CsrGraph::from_csr(Direction::Directed, vec![0, 1], vec![0], Some(vec![-1.0]))
-            .is_err());
+        assert!(
+            CsrGraph::from_csr(Direction::Directed, vec![0, 1], vec![0], Some(vec![])).is_err()
+        );
+        assert!(CsrGraph::from_csr(
+            Direction::Directed,
+            vec![0, 1],
+            vec![0],
+            Some(vec![f64::NAN])
+        )
+        .is_err());
+        assert!(
+            CsrGraph::from_csr(Direction::Directed, vec![0, 1], vec![0], Some(vec![-1.0])).is_err()
+        );
     }
 
     #[test]

@@ -38,16 +38,25 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::NodeOutOfRange { node, num_nodes } => {
-                write!(f, "node id {node} out of range (graph has {num_nodes} nodes)")
+                write!(
+                    f,
+                    "node id {node} out of range (graph has {num_nodes} nodes)"
+                )
             }
             GraphError::TooManyNodes(n) => {
                 write!(f, "{n} nodes exceed the u32 node id space")
             }
             GraphError::WeightMismatch { graph_weighted } => {
                 if *graph_weighted {
-                    write!(f, "graph is weighted but an unweighted operation was requested")
+                    write!(
+                        f,
+                        "graph is weighted but an unweighted operation was requested"
+                    )
                 } else {
-                    write!(f, "graph is unweighted but a weighted operation was requested")
+                    write!(
+                        f,
+                        "graph is unweighted but a weighted operation was requested"
+                    )
                 }
             }
             GraphError::InvalidWeight(w) => {
@@ -79,21 +88,31 @@ mod tests {
 
     #[test]
     fn display_node_out_of_range() {
-        let e = GraphError::NodeOutOfRange { node: 7, num_nodes: 3 };
+        let e = GraphError::NodeOutOfRange {
+            node: 7,
+            num_nodes: 3,
+        };
         assert_eq!(e.to_string(), "node id 7 out of range (graph has 3 nodes)");
     }
 
     #[test]
     fn display_weight_mismatch_both_directions() {
-        let w = GraphError::WeightMismatch { graph_weighted: true };
+        let w = GraphError::WeightMismatch {
+            graph_weighted: true,
+        };
         assert!(w.to_string().contains("graph is weighted"));
-        let u = GraphError::WeightMismatch { graph_weighted: false };
+        let u = GraphError::WeightMismatch {
+            graph_weighted: false,
+        };
         assert!(u.to_string().contains("graph is unweighted"));
     }
 
     #[test]
     fn display_parse_error_mentions_line() {
-        let e = GraphError::Parse { line: 12, message: "bad token".into() };
+        let e = GraphError::Parse {
+            line: 12,
+            message: "bad token".into(),
+        };
         assert!(e.to_string().contains("line 12"));
         assert!(e.to_string().contains("bad token"));
     }

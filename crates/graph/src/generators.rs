@@ -191,8 +191,8 @@ pub fn configuration_model(degrees: &[u32], seed: u64) -> Result<CsrGraph> {
         let j = rng.gen_range(0..=i);
         stubs.swap(i, j);
     }
-    let mut b = GraphBuilder::new(Direction::Undirected, n)
-        .duplicate_policy(DuplicatePolicy::MergeMax);
+    let mut b =
+        GraphBuilder::new(Direction::Undirected, n).duplicate_policy(DuplicatePolicy::MergeMax);
     let mut it = stubs.chunks_exact(2);
     for pair in &mut it {
         if pair[0] != pair[1] {
@@ -278,7 +278,10 @@ mod tests {
         let g = erdos_renyi_np(n, p, 42).unwrap();
         let expected = p * (n * (n - 1) / 2) as f64;
         let got = g.num_edges() as f64;
-        assert!((got - expected).abs() < 0.25 * expected, "got {got}, expected ~{expected}");
+        assert!(
+            (got - expected).abs() < 0.25 * expected,
+            "got {got}, expected ~{expected}"
+        );
     }
 
     #[test]
@@ -309,7 +312,10 @@ mod tests {
         let c = crate::components::connected_components(&g);
         assert_eq!(c.count, 1, "BA graphs are connected by construction");
         let s = degree_stats(&g);
-        assert!(s.max_degree >= 3 * s.avg_degree as u32, "hub should greatly exceed the mean");
+        assert!(
+            s.max_degree >= 3 * s.avg_degree as u32,
+            "hub should greatly exceed the mean"
+        );
     }
 
     #[test]
@@ -351,7 +357,10 @@ mod tests {
         assert!(xs.iter().all(|&x| (1..=100).contains(&x)));
         let ones = xs.iter().filter(|&&x| x == 1).count();
         let hundreds = xs.iter().filter(|&&x| x == 100).count();
-        assert!(ones > 10 * (hundreds + 1), "Zipf should heavily favour small values");
+        assert!(
+            ones > 10 * (hundreds + 1),
+            "Zipf should heavily favour small values"
+        );
     }
 
     #[test]

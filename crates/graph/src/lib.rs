@@ -40,8 +40,9 @@ pub mod io;
 pub mod metrics;
 pub mod projection;
 pub mod rewire;
-pub mod subgraph;
 pub mod stats;
+pub mod subgraph;
+pub mod transpose;
 pub mod traversal;
 
 /// Convenient re-exports of the types most callers need.
@@ -55,6 +56,7 @@ pub mod prelude {
     pub use crate::rewire::{degree_preserving_rewire, k_core};
     pub use crate::stats::{degree_stats, degrees, degrees_f64, DegreeStats};
     pub use crate::subgraph::{giant_component, induced_subgraph, Subgraph};
+    pub use crate::transpose::CscStructure;
 }
 
 pub use crate::csr::{CsrGraph, Direction, NodeId};

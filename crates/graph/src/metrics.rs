@@ -87,7 +87,12 @@ pub fn mean_neighbor_degree(g: &CsrGraph, v: NodeId) -> Option<f64> {
     if ns.is_empty() {
         return None;
     }
-    Some(ns.iter().map(|&t| f64::from(g.kernel_degree(t))).sum::<f64>() / ns.len() as f64)
+    Some(
+        ns.iter()
+            .map(|&t| f64::from(g.kernel_degree(t)))
+            .sum::<f64>()
+            / ns.len() as f64,
+    )
 }
 
 #[cfg(test)]
@@ -150,7 +155,10 @@ mod tests {
         }
         let g = b.build().unwrap();
         let r = degree_assortativity(&g).unwrap();
-        assert!((r + 1.0).abs() < 1e-12, "star assortativity must be -1, got {r}");
+        assert!(
+            (r + 1.0).abs() < 1e-12,
+            "star assortativity must be -1, got {r}"
+        );
     }
 
     #[test]

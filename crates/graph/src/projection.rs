@@ -26,7 +26,10 @@ pub struct ProjectionConfig {
 
 impl Default for ProjectionConfig {
     fn default() -> Self {
-        Self { min_shared: 1, max_container_size: None }
+        Self {
+            min_shared: 1,
+            max_container_size: None,
+        }
     }
 }
 
@@ -54,7 +57,8 @@ pub fn project_left(b: &BipartiteGraph, config: ProjectionConfig) -> Result<CsrG
     }
     pairs.sort_unstable();
 
-    let mut offsets_builder = crate::builder::GraphBuilder::new(Direction::Undirected, b.num_left());
+    let mut offsets_builder =
+        crate::builder::GraphBuilder::new(Direction::Undirected, b.num_left());
     let mut idx = 0;
     while idx < pairs.len() {
         let (u, v) = pairs[idx];
@@ -83,12 +87,8 @@ mod tests {
     /// actors {0,1,2,3} x movies {0,1,2}:
     ///   movie 0: {0,1}, movie 1: {0,1,2}, movie 2: {3}
     fn affiliation() -> BipartiteGraph {
-        BipartiteGraph::from_memberships(
-            4,
-            3,
-            &[(0, 0), (1, 0), (0, 1), (1, 1), (2, 1), (3, 2)],
-        )
-        .unwrap()
+        BipartiteGraph::from_memberships(4, 3, &[(0, 0), (1, 0), (0, 1), (1, 1), (2, 1), (3, 2)])
+            .unwrap()
     }
 
     #[test]
@@ -116,7 +116,10 @@ mod tests {
 
     #[test]
     fn min_shared_threshold_prunes() {
-        let cfg = ProjectionConfig { min_shared: 2, ..Default::default() };
+        let cfg = ProjectionConfig {
+            min_shared: 2,
+            ..Default::default()
+        };
         let g = project_left(&affiliation(), cfg).unwrap();
         // only the 0-1 pair shares >= 2 movies
         assert_eq!(g.num_edges(), 1);
@@ -126,7 +129,10 @@ mod tests {
 
     #[test]
     fn container_cap_skips_big_containers() {
-        let cfg = ProjectionConfig { min_shared: 1, max_container_size: Some(2) };
+        let cfg = ProjectionConfig {
+            min_shared: 1,
+            max_container_size: Some(2),
+        };
         let g = project_left(&affiliation(), cfg).unwrap();
         // movie 1 (3 members) is skipped; only movie 0 contributes the 0-1 edge
         assert_eq!(g.num_edges(), 1);

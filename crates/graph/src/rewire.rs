@@ -23,26 +23,21 @@ use rand::{Rng, SeedableRng};
 ///
 /// # Panics
 /// Panics when called on a directed graph (swap semantics differ).
-pub fn degree_preserving_rewire(
-    g: &CsrGraph,
-    swaps_per_edge: f64,
-    seed: u64,
-) -> Result<CsrGraph> {
-    assert!(!g.is_directed(), "degree-preserving rewiring expects an undirected graph");
+pub fn degree_preserving_rewire(g: &CsrGraph, swaps_per_edge: f64, seed: u64) -> Result<CsrGraph> {
+    assert!(
+        !g.is_directed(),
+        "degree-preserving rewiring expects an undirected graph"
+    );
     assert!(swaps_per_edge >= 0.0, "swaps_per_edge must be non-negative");
     // Unique edge list (u < v).
-    let mut edges: Vec<(NodeId, NodeId)> = g
-        .arcs()
-        .filter(|&(u, v)| u < v)
-        .collect();
+    let mut edges: Vec<(NodeId, NodeId)> = g.arcs().filter(|&(u, v)| u < v).collect();
     let m = edges.len();
     if m < 2 {
         return Ok(g.clone());
     }
     let mut rng = StdRng::seed_from_u64(seed ^ 0x5AAB);
     // Membership set for O(1) duplicate checks.
-    let mut present: std::collections::HashSet<(NodeId, NodeId)> =
-        edges.iter().copied().collect();
+    let mut present: std::collections::HashSet<(NodeId, NodeId)> = edges.iter().copied().collect();
     let key = |a: NodeId, b: NodeId| if a < b { (a, b) } else { (b, a) };
 
     let target_swaps = (swaps_per_edge * m as f64).round() as usize;
@@ -174,7 +169,10 @@ mod tests {
         let r = degree_preserving_rewire(&g, 3.0, 2).unwrap();
         let after = average_clustering(&r);
         assert!(before > 0.5, "lattice clustering {before}");
-        assert!(after < before / 2.0, "rewired clustering {after} vs {before}");
+        assert!(
+            after < before / 2.0,
+            "rewired clustering {after} vs {before}"
+        );
     }
 
     #[test]
@@ -230,7 +228,10 @@ mod tests {
         let g = barabasi_albert(150, 3, 8).unwrap();
         let core = k_core(&g);
         for v in g.nodes() {
-            assert!(core[v as usize] <= g.out_degree(v), "core can never exceed degree");
+            assert!(
+                core[v as usize] <= g.out_degree(v),
+                "core can never exceed degree"
+            );
         }
         // BA with m=3 has a 3-core containing the early clique.
         assert!(core.iter().any(|&c| c >= 3));

@@ -33,7 +33,10 @@ impl Subgraph {
             self.original_to_new.len(),
             "value vector must cover the original graph"
         );
-        self.kept.iter().map(|&orig| values[orig as usize]).collect()
+        self.kept
+            .iter()
+            .map(|&orig| values[orig as usize])
+            .collect()
     }
 
     /// Map subgraph scores back to the original numbering (missing nodes
@@ -55,7 +58,10 @@ pub fn induced_subgraph(g: &CsrGraph, nodes: &[NodeId]) -> Result<Subgraph> {
     let mut kept: Vec<NodeId> = Vec::with_capacity(nodes.len());
     for &v in nodes {
         if (v as usize) >= n {
-            return Err(GraphError::NodeOutOfRange { node: v, num_nodes: n as u32 });
+            return Err(GraphError::NodeOutOfRange {
+                node: v,
+                num_nodes: n as u32,
+            });
         }
         if original_to_new[v as usize].is_none() {
             original_to_new[v as usize] = Some(kept.len() as NodeId);
@@ -82,7 +88,11 @@ pub fn induced_subgraph(g: &CsrGraph, nodes: &[NodeId]) -> Result<Subgraph> {
             }
         }
     }
-    Ok(Subgraph { graph: b.build()?, kept, original_to_new })
+    Ok(Subgraph {
+        graph: b.build()?,
+        kept,
+        original_to_new,
+    })
 }
 
 /// Extract the largest (weakly) connected component.

@@ -1,0 +1,306 @@
+//! Cached structural transpose (CSC view) of a [`CsrGraph`].
+//!
+//! The pull-based PageRank engine iterates over *incoming* arcs of every
+//! destination node, while [`CsrGraph`] stores *outgoing* adjacency (CSR).
+//! [`CscStructure`] materializes the transpose once per graph:
+//!
+//! * `in_offsets` / `in_sources` — the classic CSC arrays: the sources of
+//!   the arcs pointing at node `v` live at `in_sources[in_offsets[v]..in_offsets[v+1]]`;
+//! * the **arc permutation** `csc_slot_of_arc`, mapping every CSR arc index
+//!   to its CSC slot. Per-arc values computed in CSR order (transition
+//!   probabilities) can then be scattered into CSC order in one pass —
+//!   a parameter sweep rewrites a probability array in place without ever
+//!   rebuilding the structure;
+//! * the dangling-node list (no out-arcs), needed by every dangling policy.
+//!
+//! The structure is purely topological: it depends on the graph only, never
+//! on transition probabilities, so one build serves every `(p, α, β)` sweep
+//! point. See `DESIGN.md` for how the engine layers on top.
+
+use crate::csr::{CsrGraph, NodeId};
+
+/// The structural transpose of a [`CsrGraph`], plus the CSR→CSC arc
+/// permutation. Build once per graph with [`CscStructure::build`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CscStructure {
+    /// `in_offsets[v]..in_offsets[v+1]` indexes `in_sources` for node `v`.
+    in_offsets: Vec<usize>,
+    /// Source endpoint of every incoming arc, grouped by destination.
+    in_sources: Vec<NodeId>,
+    /// `csc_slot_of_arc[k]` is the CSC slot of the `k`-th CSR arc.
+    csc_slot_of_arc: Vec<usize>,
+    /// Nodes with no out-arcs.
+    dangling: Vec<NodeId>,
+    num_nodes: usize,
+}
+
+impl CscStructure {
+    /// Build the transpose in a single pass over the CSR arc array.
+    ///
+    /// Cost: `O(V + E)` time, using the in-degrees the graph already caches
+    /// for the counting sort — no per-arc re-counting pass.
+    pub fn build(graph: &CsrGraph) -> Self {
+        let n = graph.num_nodes();
+        let m = graph.num_arcs();
+        let (offsets, targets, _) = graph.parts();
+
+        let mut in_offsets = Vec::with_capacity(n + 1);
+        in_offsets.push(0usize);
+        let mut acc = 0usize;
+        for v in 0..n {
+            acc += graph.in_degree(v as NodeId) as usize;
+            in_offsets.push(acc);
+        }
+        debug_assert_eq!(acc, m);
+
+        let mut cursor: Vec<usize> = in_offsets[..n].to_vec();
+        let mut in_sources = vec![0 as NodeId; m];
+        let mut csc_slot_of_arc = vec![0usize; m];
+        let mut dangling = Vec::new();
+        for v in 0..n {
+            let (s, e) = (offsets[v], offsets[v + 1]);
+            if s == e {
+                dangling.push(v as NodeId);
+                continue;
+            }
+            for k in s..e {
+                let t = targets[k] as usize;
+                let slot = cursor[t];
+                cursor[t] += 1;
+                in_sources[slot] = v as NodeId;
+                csc_slot_of_arc[k] = slot;
+            }
+        }
+        Self {
+            in_offsets,
+            in_sources,
+            csc_slot_of_arc,
+            dangling,
+            num_nodes: n,
+        }
+    }
+
+    /// Number of nodes covered.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of arcs covered.
+    pub fn num_arcs(&self) -> usize {
+        self.in_sources.len()
+    }
+
+    /// CSC offsets array (`num_nodes + 1` entries).
+    pub fn in_offsets(&self) -> &[usize] {
+        &self.in_offsets
+    }
+
+    /// CSC source array, parallel to any CSC-ordered per-arc value array.
+    pub fn in_sources(&self) -> &[NodeId] {
+        &self.in_sources
+    }
+
+    /// The CSR→CSC arc permutation: element `k` is the CSC slot of CSR arc `k`.
+    pub fn csc_slot_of_arc(&self) -> &[usize] {
+        &self.csc_slot_of_arc
+    }
+
+    /// Nodes with no out-arcs, ascending.
+    pub fn dangling(&self) -> &[NodeId] {
+        &self.dangling
+    }
+
+    /// Sources of the arcs pointing at `v`.
+    ///
+    /// # Panics
+    /// Panics when `v` is out of range.
+    pub fn in_neighbors(&self, v: NodeId) -> &[NodeId] {
+        let v = v as usize;
+        &self.in_sources[self.in_offsets[v]..self.in_offsets[v + 1]]
+    }
+
+    /// Scatter CSR-ordered per-arc values into CSC order.
+    ///
+    /// # Panics
+    /// Panics when either slice's length differs from the arc count.
+    pub fn scatter_arc_values(&self, csr_values: &[f64], csc_out: &mut [f64]) {
+        assert_eq!(
+            csr_values.len(),
+            self.num_arcs(),
+            "CSR value array must cover all arcs"
+        );
+        assert_eq!(
+            csc_out.len(),
+            self.num_arcs(),
+            "CSC output array must cover all arcs"
+        );
+        for (k, &val) in csr_values.iter().enumerate() {
+            csc_out[self.csc_slot_of_arc[k]] = val;
+        }
+    }
+
+    /// Partition destination nodes `0..num_nodes` into `parts` contiguous
+    /// ranges of approximately equal **incoming-arc count** (each range also
+    /// counts one unit per node, so empty nodes cannot pile into one range).
+    ///
+    /// Node-count partitions are pathological on power-law graphs: a range
+    /// holding the few high in-degree hubs does almost all the work. Using
+    /// the prefix sums already stored in `in_offsets` makes this `O(V)` with
+    /// no extra memory beyond the output.
+    ///
+    /// Guarantees: ranges are disjoint, consecutive, cover `0..num_nodes`
+    /// exactly, and at most `parts` ranges are returned (fewer when the
+    /// graph has fewer nodes than `parts`).
+    pub fn arc_balanced_partition(&self, parts: usize) -> Vec<std::ops::Range<usize>> {
+        arc_balanced_partition(&self.in_offsets, parts)
+    }
+}
+
+/// See [`CscStructure::arc_balanced_partition`]; `offsets` is any CSR/CSC
+/// offsets array (length `n + 1`, non-decreasing, starting at 0).
+pub fn arc_balanced_partition(offsets: &[usize], parts: usize) -> Vec<std::ops::Range<usize>> {
+    assert!(!offsets.is_empty(), "offsets array must have length n + 1");
+    let n = offsets.len() - 1;
+    if n == 0 {
+        return Vec::new();
+    }
+    let parts = parts.clamp(1, n);
+    // Weight of node v = in_degree(v) + 1; total = m + n. The +1 keeps
+    // ranges bounded even when arcs concentrate on a few destinations.
+    let total = offsets[n] + n;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0usize;
+    for i in 0..parts {
+        let target = total * (i + 1) / parts;
+        let mut end = start;
+        // Advance until this range's cumulative weight reaches the target.
+        while end < n && offsets[end + 1] + (end + 1) <= target {
+            end += 1;
+        }
+        // Leave at least one node for each remaining range.
+        let remaining_parts = parts - i - 1;
+        end = end.min(n - remaining_parts).max(start + 1);
+        out.push(start..end);
+        start = end;
+    }
+    debug_assert_eq!(start, n, "partition must cover all nodes");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::csr::Direction;
+    use crate::generators::barabasi_albert;
+
+    fn sample() -> CsrGraph {
+        // 0 -> 1, 0 -> 2, 1 -> 2, 3 dangling; node 2 is the in-degree hub.
+        let mut b = GraphBuilder::new(Direction::Directed, 4);
+        b.add_edge(0, 1);
+        b.add_edge(0, 2);
+        b.add_edge(1, 2);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn transpose_matches_in_arcs() {
+        let g = sample();
+        let t = CscStructure::build(&g);
+        assert_eq!(t.num_nodes(), 4);
+        assert_eq!(t.num_arcs(), 3);
+        assert_eq!(t.in_neighbors(0), &[] as &[NodeId]);
+        assert_eq!(t.in_neighbors(1), &[0]);
+        assert_eq!(t.in_neighbors(2), &[0, 1]);
+        assert_eq!(t.dangling(), &[2, 3]);
+    }
+
+    #[test]
+    fn permutation_is_a_bijection() {
+        let g = barabasi_albert(300, 3, 11).unwrap();
+        let t = CscStructure::build(&g);
+        let mut seen = vec![false; g.num_arcs()];
+        for &slot in t.csc_slot_of_arc() {
+            assert!(!seen[slot], "slot {slot} hit twice");
+            seen[slot] = true;
+        }
+        assert!(seen.into_iter().all(|x| x));
+    }
+
+    #[test]
+    fn scatter_reorders_arc_values() {
+        let g = sample();
+        let t = CscStructure::build(&g);
+        // CSR arc order: (0->1), (0->2), (1->2). Tag each with its target.
+        let csr_vals = [1.0, 2.0, 2.5];
+        let mut csc_vals = vec![0.0; 3];
+        t.scatter_arc_values(&csr_vals, &mut csc_vals);
+        // CSC order groups by destination: [arc into 1, arcs into 2].
+        assert_eq!(csc_vals, vec![1.0, 2.0, 2.5]);
+        // The value at each CSC slot must describe the same arc: check via
+        // in_sources alignment on a reversed tagging.
+        let csr_tag_source = [0.0, 0.0, 1.0];
+        let mut csc_tag = vec![-1.0; 3];
+        t.scatter_arc_values(&csr_tag_source, &mut csc_tag);
+        for v in g.nodes() {
+            let s = t.in_offsets()[v as usize];
+            for (i, &src) in t.in_neighbors(v).iter().enumerate() {
+                assert_eq!(csc_tag[s + i], f64::from(src));
+            }
+        }
+    }
+
+    #[test]
+    fn partition_covers_every_node_exactly_once() {
+        let g = barabasi_albert(500, 4, 3).unwrap();
+        let t = CscStructure::build(&g);
+        for parts in [1, 2, 3, 7, 16, 499, 500, 5000] {
+            let ranges = t.arc_balanced_partition(parts);
+            assert!(ranges.len() <= parts);
+            let mut next = 0usize;
+            for r in &ranges {
+                assert_eq!(r.start, next, "ranges must be consecutive");
+                assert!(r.start < r.end, "ranges must be non-empty");
+                next = r.end;
+            }
+            assert_eq!(next, 500, "partition must cover all nodes");
+        }
+    }
+
+    #[test]
+    fn partition_balances_arcs_on_skewed_graphs() {
+        // Star pointing at node 0: all arcs land in one destination.
+        let mut b = GraphBuilder::new(Direction::Directed, 1000);
+        for v in 1..1000u32 {
+            b.add_edge(v, 0);
+        }
+        let g = b.build().unwrap();
+        let t = CscStructure::build(&g);
+        let ranges = t.arc_balanced_partition(4);
+        // The hub's range must be small (it alone carries ~half the weight),
+        // rather than the n/4 a node-count split would produce.
+        assert!(
+            ranges[0].len() < 250,
+            "hub range got {} nodes",
+            ranges[0].len()
+        );
+        let arcs_in = |r: &std::ops::Range<usize>| t.in_offsets()[r.end] - t.in_offsets()[r.start];
+        assert!(
+            arcs_in(&ranges[0]) >= 999 / 2,
+            "hub range must carry the hub's arcs"
+        );
+    }
+
+    #[test]
+    fn empty_and_tiny_graphs() {
+        let g = GraphBuilder::new(Direction::Directed, 0).build().unwrap();
+        let t = CscStructure::build(&g);
+        assert_eq!(t.num_nodes(), 0);
+        assert!(t.arc_balanced_partition(4).is_empty());
+
+        let g1 = GraphBuilder::new(Direction::Directed, 1).build().unwrap();
+        let t1 = CscStructure::build(&g1);
+        assert_eq!(t1.dangling(), &[0]);
+        assert_eq!(t1.arc_balanced_partition(8), vec![0..1]);
+    }
+}

@@ -119,7 +119,14 @@ pub fn spearman_ci(
     confidence: f64,
     seed: u64,
 ) -> Option<ConfidenceInterval> {
-    bootstrap_ci(xs, ys, crate::correlation::spearman, resamples, confidence, seed)
+    bootstrap_ci(
+        xs,
+        ys,
+        crate::correlation::spearman,
+        resamples,
+        confidence,
+        seed,
+    )
 }
 
 #[cfg(test)]
@@ -130,8 +137,10 @@ mod tests {
         // deterministic pseudo-noise via the same SplitMix
         let mut rng = SplitMix64::new(7);
         let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
-        let ys: Vec<f64> =
-            xs.iter().map(|x| x + (rng.next_u64() % 1000) as f64 / 100.0).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| x + (rng.next_u64() % 1000) as f64 / 100.0)
+            .collect();
         (xs, ys)
     }
 
@@ -151,7 +160,12 @@ mod tests {
         let mut rng = SplitMix64::new(3);
         let ys: Vec<f64> = (0..60).map(|_| (rng.next_u64() % 10_000) as f64).collect();
         let ci = spearman_ci(&xs, &ys, 300, 0.95, 2).expect("defined");
-        assert!(!ci.excludes(0.0), "CI [{}, {}] should include 0", ci.low, ci.high);
+        assert!(
+            !ci.excludes(0.0),
+            "CI [{}, {}] should include 0",
+            ci.low,
+            ci.high
+        );
     }
 
     #[test]
@@ -185,9 +199,24 @@ mod tests {
 
     #[test]
     fn overlap_logic() {
-        let a = ConfidenceInterval { estimate: 0.5, low: 0.4, high: 0.6, effective_resamples: 100 };
-        let b = ConfidenceInterval { estimate: 0.55, low: 0.5, high: 0.7, effective_resamples: 100 };
-        let c = ConfidenceInterval { estimate: 0.9, low: 0.8, high: 0.95, effective_resamples: 100 };
+        let a = ConfidenceInterval {
+            estimate: 0.5,
+            low: 0.4,
+            high: 0.6,
+            effective_resamples: 100,
+        };
+        let b = ConfidenceInterval {
+            estimate: 0.55,
+            low: 0.5,
+            high: 0.7,
+            effective_resamples: 100,
+        };
+        let c = ConfidenceInterval {
+            estimate: 0.9,
+            low: 0.8,
+            high: 0.95,
+            effective_resamples: 100,
+        };
         assert!(a.overlaps(&b));
         assert!(b.overlaps(&a));
         assert!(!a.overlaps(&c));

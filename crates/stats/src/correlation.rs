@@ -193,9 +193,7 @@ mod tests {
         let ys = [4.0, 1.0, 2.0, 8.0];
         assert!((spearman(&xs, &ys).unwrap() - spearman(&ys, &xs).unwrap()).abs() < EPS);
         assert!((pearson(&xs, &ys).unwrap() - pearson(&ys, &xs).unwrap()).abs() < EPS);
-        assert!(
-            (kendall_tau_b(&xs, &ys).unwrap() - kendall_tau_b(&ys, &xs).unwrap()).abs() < EPS
-        );
+        assert!((kendall_tau_b(&xs, &ys).unwrap() - kendall_tau_b(&ys, &xs).unwrap()).abs() < EPS);
     }
 
     #[test]

@@ -19,7 +19,10 @@ pub fn precision_at_k(recommended: &[usize], relevant: &HashSet<usize>, k: usize
     if k_eff == 0 {
         return Some(0.0);
     }
-    let hits = recommended[..k_eff].iter().filter(|i| relevant.contains(i)).count();
+    let hits = recommended[..k_eff]
+        .iter()
+        .filter(|i| relevant.contains(i))
+        .count();
     Some(hits as f64 / k as f64)
 }
 
@@ -30,7 +33,10 @@ pub fn recall_at_k(recommended: &[usize], relevant: &HashSet<usize>, k: usize) -
         return None;
     }
     let k_eff = k.min(recommended.len());
-    let hits = recommended[..k_eff].iter().filter(|i| relevant.contains(i)).count();
+    let hits = recommended[..k_eff]
+        .iter()
+        .filter(|i| relevant.contains(i))
+        .count();
     Some(hits as f64 / relevant.len() as f64)
 }
 

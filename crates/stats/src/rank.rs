@@ -60,15 +60,24 @@ pub fn fractional_ranks(values: &[f64], order: RankOrder) -> Vec<f64> {
 /// are broken by original index, giving each item a distinct integer rank.
 /// Used by Table 2, which reports a single integer rank per node.
 pub fn ordinal_ranks(values: &[f64], order: RankOrder) -> Vec<usize> {
-    assert!(values.iter().all(|v| !v.is_nan()), "ordinal_ranks: NaN values cannot be ranked");
+    assert!(
+        values.iter().all(|v| !v.is_nan()),
+        "ordinal_ranks: NaN values cannot be ranked"
+    );
     let n = values.len();
     let mut idx: Vec<usize> = (0..n).collect();
     match order {
         RankOrder::Ascending => idx.sort_by(|&a, &b| {
-            values[a].partial_cmp(&values[b]).expect("no NaN").then(a.cmp(&b))
+            values[a]
+                .partial_cmp(&values[b])
+                .expect("no NaN")
+                .then(a.cmp(&b))
         }),
         RankOrder::Descending => idx.sort_by(|&a, &b| {
-            values[b].partial_cmp(&values[a]).expect("no NaN").then(a.cmp(&b))
+            values[b]
+                .partial_cmp(&values[a])
+                .expect("no NaN")
+                .then(a.cmp(&b))
         }),
     }
     let mut ranks = vec![0usize; n];
@@ -82,7 +91,12 @@ pub fn ordinal_ranks(values: &[f64], order: RankOrder) -> Vec<usize> {
 /// by lower index). The building block for top-k recommendation lists.
 pub fn top_k_indices(values: &[f64], k: usize) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..values.len()).collect();
-    idx.sort_by(|&a, &b| values[b].partial_cmp(&values[a]).expect("no NaN").then(a.cmp(&b)));
+    idx.sort_by(|&a, &b| {
+        values[b]
+            .partial_cmp(&values[a])
+            .expect("no NaN")
+            .then(a.cmp(&b))
+    });
     idx.truncate(k);
     idx
 }

@@ -24,7 +24,14 @@ pub struct Summary {
 pub fn summarize(xs: &[f64]) -> Summary {
     assert!(xs.iter().all(|x| !x.is_nan()), "summarize: NaN in sample");
     if xs.is_empty() {
-        return Summary { count: 0, mean: 0.0, std: 0.0, min: 0.0, max: 0.0, median: 0.0 };
+        return Summary {
+            count: 0,
+            mean: 0.0,
+            std: 0.0,
+            min: 0.0,
+            max: 0.0,
+            median: 0.0,
+        };
     }
     let n = xs.len() as f64;
     let mean = xs.iter().sum::<f64>() / n;

@@ -22,7 +22,11 @@ use std::time::Instant;
 fn main() {
     let n = 50_000;
     let graph = d2pr::graph::generators::barabasi_albert(n, 4, 2_024).expect("generator");
-    println!("graph: {} nodes, {} edges", graph.num_nodes(), graph.num_edges());
+    println!(
+        "graph: {} nodes, {} edges",
+        graph.num_nodes(),
+        graph.num_edges()
+    );
 
     // Degree-penalized transitions: a Group-A style setting where we do not
     // want the personalized walk swallowed by global hubs.
@@ -33,7 +37,10 @@ fn main() {
     let t0 = Instant::now();
     let mut teleport = vec![0.0; graph.num_nodes()];
     teleport[seed as usize] = 1.0;
-    let cfg = PageRankConfig { tolerance: 1e-10, ..Default::default() };
+    let cfg = PageRankConfig {
+        tolerance: 1e-10,
+        ..Default::default()
+    };
     let exact = pagerank_with_matrix(&graph, &matrix, &cfg, Some(&teleport));
     let exact_time = t0.elapsed();
     let exact_top: Vec<u32> = exact.ranking().into_iter().take(10).collect();

@@ -39,7 +39,11 @@ fn main() {
     // "Good actors" ground truth: top quartile by significance.
     let k = graph.num_nodes() / 10;
     let mut order: Vec<usize> = (0..significance.len()).collect();
-    order.sort_by(|&a, &b| significance[b].partial_cmp(&significance[a]).expect("finite"));
+    order.sort_by(|&a, &b| {
+        significance[b]
+            .partial_cmp(&significance[a])
+            .expect("finite")
+    });
     let relevant: HashSet<usize> = order[..graph.num_nodes() / 4].iter().copied().collect();
     let gains: Vec<f64> = {
         // shift significances to non-negative gains for NDCG
@@ -55,8 +59,7 @@ fn main() {
     for p in [-1.0, 0.0, 0.5, 1.0, 1.5, 2.0, 3.0] {
         let result = engine.scores(p).expect("valid parameters");
         let rho = correlation_with_significance(&result.scores, significance);
-        let recommended: Vec<usize> =
-            result.ranking().iter().map(|&v| v as usize).collect();
+        let recommended: Vec<usize> = result.ranking().iter().map(|&v| v as usize).collect();
         let prec = precision_at_k(&recommended, &relevant, k).expect("k > 0");
         let ndcg = ndcg_at_k(&recommended, &gains, k).expect("gains non-trivial");
         println!("{p:>+6.1}  {rho:>+9.3}  {prec:>12.3}  {ndcg:>9.3}");

@@ -28,22 +28,30 @@ fn main() {
     builder.add_edge(7, 9); // small tail community
     let graph = builder.build().expect("valid edge list");
 
-    println!("graph: {} nodes, {} edges", graph.num_nodes(), graph.num_edges());
-    println!("hub degree = {}, tail degree = {}", graph.out_degree(0), graph.out_degree(9));
+    println!(
+        "graph: {} nodes, {} edges",
+        graph.num_nodes(),
+        graph.num_edges()
+    );
+    println!(
+        "hub degree = {}, tail degree = {}",
+        graph.out_degree(0),
+        graph.out_degree(9)
+    );
     println!();
 
     let engine = D2pr::new(&graph);
-    println!("{:>6}  {:>10}  {:>10}  {:>14}", "p", "hub score", "hub rank", "top node");
+    println!(
+        "{:>6}  {:>10}  {:>10}  {:>14}",
+        "p", "hub score", "hub rank", "top node"
+    );
     for p in [-2.0, -1.0, 0.0, 0.5, 1.0, 2.0] {
         let result = engine.scores(p).expect("valid parameters");
         let ranking = result.ranking();
         let hub_rank = ranking.iter().position(|&v| v == 0).expect("hub exists") + 1;
         println!(
             "{:>+6.1}  {:>10.4}  {:>10}  {:>14}",
-            p,
-            result.scores[0],
-            hub_rank,
-            ranking[0],
+            p, result.scores[0], hub_rank, ranking[0],
         );
     }
     println!();

@@ -18,7 +18,11 @@ use d2pr::experiments::sweep::correlation_with_significance;
 use d2pr::prelude::*;
 
 fn evaluate(graph: &CsrGraph, significance: &[f64], title: &str) {
-    println!("--- {title} ({} nodes, {} edges) ---", graph.num_nodes(), graph.num_edges());
+    println!(
+        "--- {title} ({} nodes, {} edges) ---",
+        graph.num_nodes(),
+        graph.num_edges()
+    );
     let engine = D2pr::new(graph);
     let mut best = (f64::NEG_INFINITY, 0.0);
     print!("  D2PR:       ");
@@ -31,7 +35,10 @@ fn evaluate(graph: &CsrGraph, significance: &[f64], title: &str) {
         print!("p={p:+.1}:{rho:+.3}  ");
     }
     println!();
-    println!("  best de-coupling weight: p = {:+.1} (rho {:+.3})", best.1, best.0);
+    println!(
+        "  best de-coupling weight: p = {:+.1} (rho {:+.3})",
+        best.1, best.0
+    );
 
     // Baselines.
     let deg = degree_centrality(graph);
@@ -50,7 +57,11 @@ fn main() {
     let world = World::generate(Dataset::Dblp, 0.08, 11).expect("generation succeeds");
 
     let (authors, author_sig) = PaperGraph::DblpAuthorAuthor.view(&world);
-    evaluate(&authors.to_unweighted(), author_sig, "author search (avg citations, Group B)");
+    evaluate(
+        &authors.to_unweighted(),
+        author_sig,
+        "author search (avg citations, Group B)",
+    );
 
     let (articles, article_sig) = PaperGraph::DblpArticleArticle.view(&world);
     evaluate(

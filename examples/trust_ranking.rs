@@ -56,14 +56,20 @@ fn main() {
     // products they commented on, with degree penalization so mass-market
     // items do not drown out niche quality products.
     let commenter: NodeId = 3;
-    let seeds: Vec<NodeId> = world.affiliation.bipartite.containers_of(commenter).to_vec();
+    let seeds: Vec<NodeId> = world
+        .affiliation
+        .bipartite
+        .containers_of(commenter)
+        .to_vec();
     if seeds.is_empty() {
         println!("commenter {commenter} has no comments; skipping personalization demo");
         return;
     }
     // The product graph comes from its own affiliation sample; clamp seeds.
-    let seeds: Vec<NodeId> =
-        seeds.iter().map(|&s| s % products_uw.num_nodes() as u32).collect();
+    let seeds: Vec<NodeId> = seeds
+        .iter()
+        .map(|&s| s % products_uw.num_nodes() as u32)
+        .collect();
     let engine = D2pr::new(&products_uw);
     let personalized = engine
         .personalized_scores(1.0, &seeds)

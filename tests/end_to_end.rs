@@ -35,7 +35,10 @@ fn world_round_trips_through_snapshot_and_scores_agree() {
 
     let a = D2pr::new(&g).scores(0.5).expect("valid parameters");
     let b = D2pr::new(&restored).scores(0.5).expect("valid parameters");
-    assert_eq!(a.scores, b.scores, "identical graphs must produce identical scores");
+    assert_eq!(
+        a.scores, b.scores,
+        "identical graphs must produce identical scores"
+    );
 }
 
 #[test]
@@ -46,7 +49,7 @@ fn serial_and_parallel_agree_on_generated_worlds() {
     for p in [-1.0, 0.0, 1.5] {
         let model = TransitionModel::DegreeDecoupled { p };
         let serial = pagerank(&g, model, &cfg);
-        let parallel = pagerank_parallel_from_graph(&g, model, &cfg, 4);
+        let parallel = pagerank_parallel_from_graph(&g, model, &cfg, 4).expect("valid inputs");
         for (x, y) in serial.scores.iter().zip(&parallel.scores) {
             assert!((x - y).abs() < 1e-8, "p={p}: {x} vs {y}");
         }
@@ -90,10 +93,20 @@ fn personalized_d2pr_stays_local_on_worlds() {
     let g = world.entity_graph.to_unweighted();
     let engine = D2pr::new(&g);
     let seed_node: NodeId = 0;
-    let result = engine.personalized_scores(0.0, &[seed_node]).expect("valid seed");
-    assert_eq!(result.ranking()[0], seed_node, "seed must rank first in its own PPR");
+    let result = engine
+        .personalized_scores(0.0, &[seed_node])
+        .expect("valid seed");
+    assert_eq!(
+        result.ranking()[0],
+        seed_node,
+        "seed must rank first in its own PPR"
+    );
     let uniform = engine.scores(0.0).expect("valid parameters");
-    assert_ne!(result.ranking(), uniform.ranking(), "personalization must change the ranking");
+    assert_ne!(
+        result.ranking(),
+        uniform.ranking(),
+        "personalization must change the ranking"
+    );
 }
 
 #[test]
@@ -102,8 +115,14 @@ fn centralities_and_d2pr_cover_same_node_set() {
     let g = world.entity_graph.to_unweighted();
     let n = g.num_nodes();
     assert_eq!(d2pr::core::centrality::degree_centrality(&g).len(), n);
-    assert_eq!(d2pr::core::centrality::hits(&g, 50, 1e-9).authorities.len(), n);
-    assert_eq!(d2pr::core::centrality::sampled_closeness(&g, 16, 3).len(), n);
+    assert_eq!(
+        d2pr::core::centrality::hits(&g, 50, 1e-9).authorities.len(),
+        n
+    );
+    assert_eq!(
+        d2pr::core::centrality::sampled_closeness(&g, 16, 3).len(),
+        n
+    );
     assert_eq!(D2pr::new(&g).scores(0.0).expect("valid").scores.len(), n);
 }
 

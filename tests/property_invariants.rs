@@ -10,7 +10,11 @@ use proptest::prelude::*;
 
 /// Strategy: a random edge list over up to `n` nodes.
 fn arb_graph(max_nodes: u32, max_edges: usize, directed: bool) -> impl Strategy<Value = CsrGraph> {
-    let dir = if directed { Direction::Directed } else { Direction::Undirected };
+    let dir = if directed {
+        Direction::Directed
+    } else {
+        Direction::Undirected
+    };
     (2..=max_nodes)
         .prop_flat_map(move |n| {
             let edges = proptest::collection::vec((0..n, 0..n), 1..=max_edges);
@@ -65,7 +69,7 @@ proptest! {
         let cfg = PageRankConfig::default();
         let model = TransitionModel::DegreeDecoupled { p };
         let serial = pagerank(&g, model, &cfg);
-        let par = pagerank_parallel_from_graph(&g, model, &cfg, threads);
+        let par = pagerank_parallel_from_graph(&g, model, &cfg, threads).expect("valid inputs");
         for (a, b) in serial.scores.iter().zip(&par.scores) {
             prop_assert!((a - b).abs() < 1e-7, "{a} vs {b}");
         }

@@ -16,15 +16,18 @@ fn world_graph() -> CsrGraph {
     static GRAPH: OnceLock<CsrGraph> = OnceLock::new();
     GRAPH
         .get_or_init(|| {
-            let world =
-                World::generate(Dataset::Epinions, 0.02, 77).expect("generation succeeds");
+            let world = World::generate(Dataset::Epinions, 0.02, 77).expect("generation succeeds");
             world.entity_graph.to_unweighted()
         })
         .clone()
 }
 
 fn tight() -> PageRankConfig {
-    PageRankConfig { tolerance: 1e-12, max_iterations: 500, ..Default::default() }
+    PageRankConfig {
+        tolerance: 1e-12,
+        max_iterations: 500,
+        ..Default::default()
+    }
 }
 
 #[test]
@@ -36,10 +39,16 @@ fn all_exact_solvers_agree_on_a_world() {
         let power = pagerank_with_matrix(&g, &matrix, &tight(), None);
         let gs = pagerank_gauss_seidel(&g, &matrix, &tight());
         let transpose = TransposedMatrix::build(&g, &matrix);
-        let par = pagerank_parallel(&transpose, &tight(), None, 4);
+        let par = pagerank_parallel(&transpose, &tight(), None, 4).expect("valid inputs");
         for i in 0..g.num_nodes() {
-            assert!((power.scores[i] - gs.scores[i]).abs() < 1e-8, "p={p} node {i}");
-            assert!((power.scores[i] - par.scores[i]).abs() < 1e-8, "p={p} node {i}");
+            assert!(
+                (power.scores[i] - gs.scores[i]).abs() < 1e-8,
+                "p={p} node {i}"
+            );
+            assert!(
+                (power.scores[i] - par.scores[i]).abs() < 1e-8,
+                "p={p} node {i}"
+            );
         }
     }
 }
