@@ -26,7 +26,7 @@
 //! The barrier/worker machinery in this module is also reused by the
 //! transpose-level solver in [`crate::parallel`].
 
-use crate::error::SolverError;
+use crate::error::{SolverError, UpdateError};
 use crate::pagerank::{DanglingPolicy, PageRankConfig, PageRankResult};
 use crate::transition::{fill_arc_probs, ProbScratch, TransitionMatrix, TransitionModel};
 use crate::workspace::Workspace;
@@ -103,7 +103,60 @@ impl<'g> Engine<'g> {
 
     /// Engine with an explicit worker count (clamped to at least 1).
     pub fn with_threads(graph: &'g CsrGraph, threads: usize) -> Self {
-        let csc = CscStructure::build(graph);
+        Self::from_parts(graph, CscStructure::build(graph), threads)
+    }
+
+    /// Engine over a prebuilt [`CscStructure`] — the incremental-update
+    /// entry point. After a delta batch, patch the previous engine's
+    /// structure ([`CscStructure::patched`]) instead of paying a full
+    /// transpose rebuild, then hand it to the new engine:
+    ///
+    /// ```
+    /// use d2pr_core::engine::Engine;
+    /// use d2pr_core::transition::TransitionModel;
+    /// use d2pr_graph::delta::{DeltaGraph, EdgeBatch};
+    /// use d2pr_graph::generators::barabasi_albert;
+    ///
+    /// let g = barabasi_albert(300, 3, 11).unwrap();
+    /// let mut engine = Engine::with_threads(&g, 1);
+    /// engine.set_model(TransitionModel::DegreeDecoupled { p: 0.5 }).unwrap();
+    /// let before = engine.solve().unwrap();
+    ///
+    /// // Apply a small edge-churn batch ...
+    /// let mut dg = DeltaGraph::new(g.clone()).unwrap();
+    /// let mut batch = EdgeBatch::new();
+    /// batch.insert(0, 299).delete(0, g.neighbors(0)[0]);
+    /// let outcome = dg.apply_batch(&batch).unwrap();
+    /// let g2 = dg.snapshot();
+    ///
+    /// // ... patch the transpose and warm-start from the previous ranks.
+    /// let csc2 = engine.csc().patched(&g2, &outcome.delta).unwrap();
+    /// let mut engine2 = Engine::with_structure(&g2, csc2, 1).unwrap();
+    /// engine2.set_model(TransitionModel::DegreeDecoupled { p: 0.5 }).unwrap();
+    /// let after = engine2.resolve_incremental(&before.scores).unwrap();
+    /// assert!(after.converged);
+    /// ```
+    ///
+    /// # Errors
+    /// Returns [`SolverError::StructureMismatch`] when `csc` does not
+    /// describe `graph` (node or arc count differs).
+    pub fn with_structure(
+        graph: &'g CsrGraph,
+        csc: CscStructure,
+        threads: usize,
+    ) -> Result<Self, SolverError> {
+        if csc.num_nodes() != graph.num_nodes() || csc.num_arcs() != graph.num_arcs() {
+            return Err(SolverError::StructureMismatch {
+                structure: (csc.num_nodes(), csc.num_arcs()),
+                graph: (graph.num_nodes(), graph.num_arcs()),
+            });
+        }
+        Ok(Self::from_parts(graph, csc, threads))
+    }
+
+    /// Shared constructor body: derive every per-graph table from an
+    /// already-built (or patched) transpose.
+    fn from_parts(graph: &'g CsrGraph, csc: CscStructure, threads: usize) -> Self {
         let threads = threads.max(1);
         let partitions = csc.arc_balanced_partition(threads);
         let mut dangling_mask = vec![false; graph.num_nodes()];
@@ -186,6 +239,15 @@ impl<'g> Engine<'g> {
     /// The cached transpose structure (shared with diagnostics/tests).
     pub fn csc(&self) -> &CscStructure {
         &self.csc
+    }
+
+    /// Consume the engine, recovering its transpose structure. Serving
+    /// loops use this between delta batches: the engine (which borrows the
+    /// old snapshot) is dropped, the structure survives to be patched
+    /// against the next snapshot ([`CscStructure::patched`]) without a
+    /// clone or a rebuild.
+    pub fn into_structure(self) -> CscStructure {
+        self.csc
     }
 
     /// Load a transition model: the **fused operator update**. Probabilities
@@ -320,6 +382,81 @@ impl<'g> Engine<'g> {
         teleport: Option<&[f64]>,
         warm_start: bool,
     ) -> Result<Vec<PageRankResult>, SolverError> {
+        self.sweep_inner(models, teleport, warm_start, None)
+    }
+
+    /// Re-solve after an incremental graph update, warm-starting from the
+    /// previous rank vector instead of the teleport distribution.
+    ///
+    /// This is the serving path for evolving graphs: apply a delta batch
+    /// ([`d2pr_graph::delta::DeltaGraph::apply_batch`]), patch the
+    /// transpose ([`CscStructure::patched`]), build the engine over the new
+    /// snapshot ([`Engine::with_structure`]), and seed the power iteration
+    /// with the pre-update solution. The fixed point is independent of the
+    /// seed (the iteration is a contraction), so the result matches a cold
+    /// solve to solver tolerance — only the iteration count changes, in
+    /// proportion to how little the batch perturbed the ranks. `previous`
+    /// is normalized internally; it must cover every node and carry
+    /// positive mass.
+    ///
+    /// See [`Engine::with_structure`] for a complete worked example, and
+    /// `crates/experiments` (`evolving`) for the cold-vs-warm iteration
+    /// accounting.
+    ///
+    /// This entry point serves **uniform-teleport** ranks (it resets any
+    /// previously set teleport); use
+    /// [`Engine::resolve_incremental_with_teleport`] when serving
+    /// personalized PageRank.
+    ///
+    /// # Errors
+    /// Returns [`UpdateError::Solver`] when no model is loaded, the config
+    /// is invalid, or `previous` has the wrong length
+    /// ([`SolverError::WarmStartLength`]) or no usable mass
+    /// ([`SolverError::WarmStartMass`]).
+    pub fn resolve_incremental(&mut self, previous: &[f64]) -> Result<PageRankResult, UpdateError> {
+        self.resolve_incremental_with_teleport(previous, None)
+    }
+
+    /// [`Engine::resolve_incremental`] with an explicit teleport
+    /// distribution (normalized internally; `None` = uniform) — the
+    /// incremental serving path for personalized PageRank. Pass the same
+    /// teleport the previous solve used; otherwise the re-solve converges
+    /// to a different fixed point than the one being served.
+    ///
+    /// # Errors
+    /// As [`Engine::resolve_incremental`], plus the teleport validation
+    /// errors of [`Engine::solve_with_teleport`].
+    pub fn resolve_incremental_with_teleport(
+        &mut self,
+        previous: &[f64],
+        teleport: Option<&[f64]>,
+    ) -> Result<PageRankResult, UpdateError> {
+        let model = self
+            .model
+            .ok_or_else(|| SolverError::InvalidModel("no transition model loaded".into()))
+            .map_err(UpdateError::Solver)?;
+        let n = self.graph.num_nodes();
+        if previous.len() != n {
+            return Err(UpdateError::Solver(SolverError::WarmStartLength {
+                got: previous.len(),
+                expected: n,
+            }));
+        }
+        let mut out = self
+            .sweep_inner(&[model], teleport, false, Some(previous))
+            .map_err(UpdateError::Solver)?;
+        Ok(out.pop().expect("one model yields one result"))
+    }
+
+    /// Common sweep driver; `init` seeds the *first* grid point's iterate
+    /// (the warm-start path of [`Engine::resolve_incremental`]).
+    fn sweep_inner(
+        &mut self,
+        models: &[TransitionModel],
+        teleport: Option<&[f64]>,
+        warm_start: bool,
+        init: Option<&[f64]>,
+    ) -> Result<Vec<PageRankResult>, SolverError> {
         self.config.validate().map_err(SolverError::InvalidConfig)?;
         for model in models {
             model.validate().map_err(SolverError::InvalidModel)?;
@@ -341,9 +478,9 @@ impl<'g> Engine<'g> {
         }
         self.ws.set_teleport(n, teleport)?;
         if self.partitions.len() <= 1 {
-            self.sweep_serial(models, warm_start)
+            self.sweep_serial(models, warm_start, init)
         } else {
-            self.sweep_pooled(models, warm_start)
+            self.sweep_pooled(models, warm_start, init)
         }
     }
 
@@ -352,6 +489,7 @@ impl<'g> Engine<'g> {
         &mut self,
         models: &[TransitionModel],
         warm_start: bool,
+        init: Option<&[f64]>,
     ) -> Result<Vec<PageRankResult>, SolverError> {
         let n = self.graph.num_nodes();
         let mut results = Vec::with_capacity(models.len());
@@ -361,7 +499,9 @@ impl<'g> Engine<'g> {
             if self.model != Some(model) {
                 self.set_model(model)?;
             }
-            if pi == 0 || !warm_start {
+            if pi == 0 {
+                self.ws.init_rank(n, init)?;
+            } else if !warm_start {
                 self.ws.init_rank(n, None)?;
             }
             let topo = PullTopo {
@@ -403,6 +543,7 @@ impl<'g> Engine<'g> {
         &mut self,
         models: &[TransitionModel],
         warm_start: bool,
+        init: Option<&[f64]>,
     ) -> Result<Vec<PageRankResult>, SolverError> {
         let n = self.graph.num_nodes();
         let uniform = 1.0 / n as f64;
@@ -437,7 +578,7 @@ impl<'g> Engine<'g> {
             factored: current_factored,
             ..
         } = self;
-        ws.init_rank(n, None)?;
+        ws.init_rank(n, init)?;
         let Workspace {
             rank,
             next,
@@ -1510,6 +1651,112 @@ mod tests {
         assert!(engine.in_probs().iter().all(|x| x.is_finite() && *x >= 0.0));
         let r = engine.solve().unwrap();
         assert!((r.scores.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn with_structure_validates_and_matches_build() {
+        use d2pr_graph::transpose::CscStructure;
+        let g = barabasi_albert(80, 3, 4).unwrap();
+        let g2 = barabasi_albert(81, 3, 4).unwrap();
+        let csc = CscStructure::build(&g);
+        assert!(matches!(
+            Engine::with_structure(&g2, csc.clone(), 2),
+            Err(SolverError::StructureMismatch { .. })
+        ));
+        let mut a = Engine::with_structure(&g, csc, 2).unwrap();
+        let mut b = Engine::with_threads(&g, 2);
+        let model = TransitionModel::DegreeDecoupled { p: 1.0 };
+        let ra = a.solve_model(model).unwrap();
+        let rb = b.solve_model(model).unwrap();
+        assert_close(&ra.scores, &rb.scores, 1e-15);
+    }
+
+    #[test]
+    fn resolve_incremental_with_teleport_serves_personalized_fixed_point() {
+        let g = barabasi_albert(200, 3, 21).unwrap();
+        let mut t = vec![0.0; 200];
+        t[5] = 3.0;
+        t[9] = 1.0;
+        let model = TransitionModel::DegreeDecoupled { p: 0.5 };
+        let mut engine = Engine::with_threads(&g, 3);
+        engine.set_model(model).unwrap();
+        let served = engine.solve_with_teleport(Some(&t)).unwrap();
+        // Warm re-solve with the same teleport reproduces the personalized
+        // fixed point; the uniform entry point would converge elsewhere.
+        let warm = engine
+            .resolve_incremental_with_teleport(&served.scores, Some(&t))
+            .unwrap();
+        assert_close(&served.scores, &warm.scores, 1e-8);
+        assert!(warm.iterations <= served.iterations);
+        let uniform = engine.resolve_incremental(&served.scores).unwrap();
+        let l1: f64 = uniform
+            .scores
+            .iter()
+            .zip(&warm.scores)
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(l1 > 1e-3, "uniform and personalized fixed points differ");
+    }
+
+    #[test]
+    fn resolve_incremental_matches_cold_and_saves_iterations() {
+        use d2pr_graph::delta::{DeltaGraph, EdgeBatch};
+        let g = barabasi_albert(400, 4, 13).unwrap();
+        let model = TransitionModel::DegreeDecoupled { p: 0.5 };
+        for threads in [1, 4] {
+            let mut engine = Engine::with_threads(&g, threads);
+            engine.set_model(model).unwrap();
+            let before = engine.solve().unwrap();
+
+            // A small churn batch: delete two edges, insert two.
+            let mut dg = DeltaGraph::new(g.clone()).unwrap();
+            let mut batch = EdgeBatch::new();
+            batch.delete(0, g.neighbors(0)[0]);
+            batch.delete(1, g.neighbors(1)[0]);
+            batch.insert(2, 399);
+            batch.insert(3, 398);
+            let out = dg.apply_batch(&batch).unwrap();
+            let g2 = dg.snapshot();
+            let csc2 = engine.csc().patched(&g2, &out.delta).unwrap();
+
+            let mut engine2 = Engine::with_structure(&g2, csc2, threads).unwrap();
+            engine2.set_model(model).unwrap();
+            let warm = engine2.resolve_incremental(&before.scores).unwrap();
+            let cold = engine2.solve().unwrap();
+            assert_close(&cold.scores, &warm.scores, 1e-8);
+            assert!(
+                warm.iterations <= cold.iterations,
+                "warm {} vs cold {}",
+                warm.iterations,
+                cold.iterations
+            );
+        }
+    }
+
+    #[test]
+    fn resolve_incremental_errors_are_typed() {
+        use crate::error::UpdateError;
+        let g = erdos_renyi_nm(20, 60, 4).unwrap();
+        let mut engine = Engine::new(&g);
+        // No model loaded.
+        assert!(matches!(
+            engine.resolve_incremental(&[0.05; 20]),
+            Err(UpdateError::Solver(SolverError::InvalidModel(_)))
+        ));
+        engine.set_model(TransitionModel::Standard).unwrap();
+        // Stale warm-start vector (wrong length).
+        assert!(matches!(
+            engine.resolve_incremental(&[1.0; 3]),
+            Err(UpdateError::Solver(SolverError::WarmStartLength {
+                got: 3,
+                expected: 20
+            }))
+        ));
+        // No mass.
+        assert!(matches!(
+            engine.resolve_incremental(&[0.0; 20]),
+            Err(UpdateError::Solver(SolverError::WarmStartMass))
+        ));
     }
 
     #[test]

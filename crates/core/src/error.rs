@@ -43,6 +43,15 @@ pub enum SolverError {
         /// Nodes the graph has.
         graph_nodes: usize,
     },
+    /// A prebuilt [`CscStructure`](d2pr_graph::transpose::CscStructure)
+    /// does not describe the given graph (stale or patched against the
+    /// wrong delta).
+    StructureMismatch {
+        /// `(nodes, arcs)` the structure covers.
+        structure: (usize, usize),
+        /// `(nodes, arcs)` the graph has.
+        graph: (usize, usize),
+    },
 }
 
 impl fmt::Display for SolverError {
@@ -82,6 +91,11 @@ impl fmt::Display for SolverError {
                 f,
                 "operator covers {operator_nodes} nodes but the graph has {graph_nodes}"
             ),
+            SolverError::StructureMismatch { structure, graph } => write!(
+                f,
+                "CSC structure covers {} nodes / {} arcs but the graph has {} nodes / {} arcs",
+                structure.0, structure.1, graph.0, graph.1
+            ),
         }
     }
 }
@@ -91,6 +105,50 @@ impl std::error::Error for SolverError {}
 impl From<SolverError> for String {
     fn from(e: SolverError) -> Self {
         e.to_string()
+    }
+}
+
+/// Everything that can go wrong on the incremental-update path: applying
+/// an edge batch to a [`DeltaGraph`](d2pr_graph::delta::DeltaGraph),
+/// patching its transpose, or warm-started re-solving through
+/// [`Engine::resolve_incremental`](crate::engine::Engine::resolve_incremental).
+#[derive(Debug, Clone, PartialEq)]
+pub enum UpdateError {
+    /// The graph-side step failed: invalid batch, inconsistent delta, or
+    /// transpose patch mismatch.
+    Graph(d2pr_graph::error::GraphError),
+    /// The solver-side step failed: invalid model/config, or a stale
+    /// warm-start vector (wrong length / no mass).
+    Solver(SolverError),
+}
+
+impl fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UpdateError::Graph(e) => write!(f, "incremental update failed (graph): {e}"),
+            UpdateError::Solver(e) => write!(f, "incremental update failed (solver): {e}"),
+        }
+    }
+}
+
+impl std::error::Error for UpdateError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            UpdateError::Graph(e) => Some(e),
+            UpdateError::Solver(e) => Some(e),
+        }
+    }
+}
+
+impl From<d2pr_graph::error::GraphError> for UpdateError {
+    fn from(e: d2pr_graph::error::GraphError) -> Self {
+        UpdateError::Graph(e)
+    }
+}
+
+impl From<SolverError> for UpdateError {
+    fn from(e: SolverError) -> Self {
+        UpdateError::Solver(e)
     }
 }
 
@@ -108,5 +166,24 @@ mod tests {
         assert!(e.to_string().contains("expected 5"));
         let s: String = SolverError::TeleportMass.into();
         assert!(s.contains("positive mass"));
+    }
+
+    #[test]
+    fn update_error_wraps_both_sides() {
+        let g: UpdateError = d2pr_graph::error::GraphError::TooManyNodes(7).into();
+        assert!(g.to_string().contains("graph"));
+        let s: UpdateError = SolverError::WarmStartMass.into();
+        assert!(s.to_string().contains("solver"));
+        assert!(std::error::Error::source(&s).is_some());
+    }
+
+    #[test]
+    fn structure_mismatch_displays_counts() {
+        let e = SolverError::StructureMismatch {
+            structure: (3, 9),
+            graph: (3, 10),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("9 arcs") && msg.contains("10 arcs"));
     }
 }

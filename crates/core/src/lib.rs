@@ -59,7 +59,7 @@ pub mod prelude {
     pub use crate::approx::{forward_push, monte_carlo_ppr, ApproxResult};
     pub use crate::d2pr::D2pr;
     pub use crate::engine::Engine;
-    pub use crate::error::SolverError;
+    pub use crate::error::{SolverError, UpdateError};
     pub use crate::kernel::DegreeKernel;
     pub use crate::pagerank::{pagerank, DanglingPolicy, PageRankConfig, PageRankResult};
     pub use crate::personalized::{personalized_pagerank, seed_teleport};
@@ -71,7 +71,7 @@ pub mod prelude {
 
 pub use crate::d2pr::D2pr;
 pub use crate::engine::Engine;
-pub use crate::error::SolverError;
+pub use crate::error::{SolverError, UpdateError};
 pub use crate::pagerank::{pagerank, PageRankConfig, PageRankResult};
 pub use crate::transition::{TransitionMatrix, TransitionModel};
 pub use crate::workspace::Workspace;

@@ -13,6 +13,39 @@ use crate::workspace::Workspace;
 use d2pr_graph::csr::CsrGraph;
 
 /// What to do with the rank mass sitting on dangling nodes (no out-arcs).
+///
+/// All three policies yield a score vector summing to 1; they differ in
+/// *where* the dangling mass reappears, which visibly shifts the ranking
+/// near sinks (see the example).
+///
+/// # Examples
+/// ```
+/// use d2pr_core::pagerank::{pagerank, DanglingPolicy, PageRankConfig};
+/// use d2pr_core::transition::TransitionModel;
+/// use d2pr_graph::builder::GraphBuilder;
+/// use d2pr_graph::csr::Direction;
+///
+/// // 0 -> 1: node 1 is a dangling sink.
+/// let mut b = GraphBuilder::new(Direction::Directed, 2);
+/// b.add_edge(0, 1);
+/// let g = b.build().unwrap();
+///
+/// let solve = |policy| {
+///     let cfg = PageRankConfig { dangling: policy, ..Default::default() };
+///     pagerank(&g, TransitionModel::Standard, &cfg).scores
+/// };
+/// let redistribute = solve(DanglingPolicy::RedistributeTeleport);
+/// let self_loop = solve(DanglingPolicy::SelfLoop);
+/// let renormalize = solve(DanglingPolicy::Renormalize);
+///
+/// // Every policy conserves total mass ...
+/// for scores in [&redistribute, &self_loop, &renormalize] {
+///     assert!((scores.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+/// }
+/// // ... but a self-loop hoards it on the sink.
+/// assert!(self_loop[1] > redistribute[1]);
+/// assert!(self_loop[1] > 0.8);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum DanglingPolicy {
     /// Redistribute dangling mass according to the teleport vector each

@@ -5,7 +5,7 @@
 //! distribution. Allocating those per call is wasteful in exactly the place
 //! the paper's experiments hammer hardest — parameter sweeps running
 //! hundreds of solves on one graph. A [`Workspace`] owns the buffers and is
-//! threaded through [`crate::pagerank`], [`crate::parallel`],
+//! threaded through [`mod@crate::pagerank`], [`crate::parallel`],
 //! [`crate::gauss_seidel`], [`crate::engine`], and [`crate::d2pr::D2pr`];
 //! warmed up, repeated solves perform no buffer allocations at all.
 
@@ -15,6 +15,27 @@ use crate::error::SolverError;
 ///
 /// A workspace may be moved freely between graphs and solvers; buffers are
 /// (re)sized on use and retain their capacity across calls.
+///
+/// # Examples
+/// ```
+/// use d2pr_core::pagerank::{pagerank_with_workspace, PageRankConfig};
+/// use d2pr_core::transition::{TransitionMatrix, TransitionModel};
+/// use d2pr_core::workspace::Workspace;
+/// use d2pr_graph::generators::erdos_renyi_nm;
+///
+/// let g = erdos_renyi_nm(100, 400, 7).unwrap();
+/// let matrix = TransitionMatrix::build(&g, TransitionModel::Standard);
+/// let cfg = PageRankConfig::default();
+///
+/// // One workspace serves many solves; after the first call the rank
+/// // buffers are only rewritten, never reallocated.
+/// let mut ws = Workspace::with_capacity(g.num_nodes());
+/// let first = pagerank_with_workspace(&g, &matrix, &cfg, None, None, &mut ws).unwrap();
+/// // Warm-start the next solve from the previous solution via `init`.
+/// let again =
+///     pagerank_with_workspace(&g, &matrix, &cfg, None, Some(&first.scores), &mut ws).unwrap();
+/// assert!(again.iterations <= first.iterations);
+/// ```
 #[derive(Debug, Clone, Default)]
 pub struct Workspace {
     /// Current iterate.

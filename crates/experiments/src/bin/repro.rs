@@ -24,16 +24,22 @@ struct Options {
     scale: f64,
     seed: u64,
     csv: bool,
+    tolerance: Option<f64>,
+    churn: Option<f64>,
+    batches: Option<usize>,
     experiment: String,
 }
 
 const USAGE: &str = "usage: repro [--scale S] [--seed N] [--csv] \
-<table1|table2|table3|fig1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|recs|rewire|stability|all>";
+<table1|table2|table3|fig1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|recs|rewire|stability|evolving|all>";
 
 fn parse_args() -> Result<Options, String> {
     let mut scale = 0.05;
     let mut seed = 42;
     let mut csv = false;
+    let mut tolerance = None;
+    let mut churn = None;
+    let mut batches = None;
     let mut experiment = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -52,6 +58,30 @@ fn parse_args() -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("bad --seed: {e}"))?;
             }
+            "--tolerance" => {
+                tolerance = Some(
+                    args.next()
+                        .ok_or("--tolerance needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad --tolerance: {e}"))?,
+                );
+            }
+            "--churn" => {
+                churn = Some(
+                    args.next()
+                        .ok_or("--churn needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad --churn: {e}"))?,
+                );
+            }
+            "--batches" => {
+                batches = Some(
+                    args.next()
+                        .ok_or("--batches needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad --batches: {e}"))?,
+                );
+            }
             "--csv" => csv = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other if !other.starts_with('-') => experiment = Some(other.to_string()),
@@ -62,6 +92,9 @@ fn parse_args() -> Result<Options, String> {
         scale,
         seed,
         csv,
+        tolerance,
+        churn,
+        batches,
         experiment: experiment.ok_or_else(|| USAGE.to_string())?,
     })
 }
@@ -113,12 +146,13 @@ fn run(opts: &Options) -> Result<(), String> {
         "recs",
         "rewire",
         "stability",
+        "evolving",
     ];
     if !all && !known.contains(&opts.experiment.as_str()) {
         return Err(format!("unknown experiment '{}'\n{USAGE}", opts.experiment));
     }
 
-    let needs_ctx = all || opts.experiment != "fig1";
+    let needs_ctx = all || !matches!(opts.experiment.as_str(), "fig1" | "evolving");
     let ctx = if needs_ctx {
         eprintln!(
             "generating worlds (scale {}, seed {}) ...",
@@ -221,6 +255,31 @@ fn run(opts: &Options) -> Result<(), String> {
         print_table(
             "Recommendation accuracy: conventional PageRank vs D2PR (extension)",
             &d2pr_experiments::recommendation::recommendation_report(ctx.expect("ctx present")),
+            csv,
+        );
+    }
+    if want("evolving") {
+        // `--scale` scales the node count relative to the default graph.
+        let base = d2pr_experiments::evolving::EvolvingConfig::default();
+        let cfg = d2pr_experiments::evolving::EvolvingConfig {
+            nodes: ((base.nodes as f64 * (opts.scale / 0.05)).round() as usize).max(1_000),
+            seed: opts.seed,
+            tolerance: opts.tolerance.unwrap_or(base.tolerance),
+            churn: opts.churn.unwrap_or(base.churn),
+            batches: opts.batches.unwrap_or(base.batches),
+            ..base
+        };
+        eprintln!(
+            "evolving: BA({}, {}), {} batches of {:.1}% edge churn ...",
+            cfg.nodes,
+            cfg.attachments,
+            cfg.batches,
+            cfg.churn * 100.0
+        );
+        let report = d2pr_experiments::run_evolving(&cfg).map_err(|e| e.to_string())?;
+        print_table(
+            "Evolving graph: cold vs warm-started re-solves per churn batch",
+            &d2pr_experiments::evolving::evolving_report(&report),
             csv,
         );
     }

@@ -1,0 +1,313 @@
+//! Evolving-graph scenario: warm-started D2PR re-solves under edge churn.
+//!
+//! The serving workload this models: a graph receives a continuous stream
+//! of edge insertions and deletions, batched; after every batch the ranks
+//! must be refreshed. Two strategies are compared on identical batches:
+//!
+//! * **cold** — re-solve the updated snapshot from the teleport
+//!   distribution, as a from-scratch pipeline would;
+//! * **warm** — the incremental path: apply the batch through
+//!   [`DeltaGraph`], patch the engine's transpose with the batch's
+//!   [`ArcDelta`](d2pr_graph::delta::ArcDelta)
+//!   ([`CscStructure::patched`]), and seed the re-solve with the
+//!   pre-batch rank vector ([`Engine::resolve_incremental`]).
+//!
+//! Both strategies run the same engine, operator, and tolerance, so the
+//! scores agree to solver tolerance (asserted by `tests/incremental.rs` at
+//! 1e-8); the interesting output is the iteration count per batch, which
+//! for small churn fractions is several times lower warm than cold. The
+//! `repro evolving` subcommand prints the per-batch table;
+//! `benches/incremental_updates.rs` records the same quantities at bench
+//! scale in `BENCH_incremental.json`.
+
+use crate::report::TextTable;
+use d2pr_core::engine::{default_threads, Engine};
+use d2pr_core::error::UpdateError;
+use d2pr_core::pagerank::PageRankConfig;
+use d2pr_core::transition::TransitionModel;
+use d2pr_graph::delta::{DeltaGraph, EdgeBatch};
+use d2pr_graph::generators::barabasi_albert;
+use d2pr_graph::transpose::CscStructure;
+use d2pr_graph::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of one evolving-graph run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvolvingConfig {
+    /// Nodes of the initial Barabási–Albert graph.
+    pub nodes: usize,
+    /// BA attachments per node (≈ arcs/nodes/2 for undirected storage).
+    pub attachments: usize,
+    /// Number of churn batches to stream.
+    pub batches: usize,
+    /// Fraction of current edges mutated per batch (half deletions of
+    /// existing edges, half insertions of fresh ones).
+    pub churn: f64,
+    /// De-coupling weight `p` of the served D2PR model.
+    pub p: f64,
+    /// Solver residual probability `α`.
+    pub alpha: f64,
+    /// Solver L1 tolerance. The serving default (1e-6) is deliberately
+    /// looser than the reproduction experiments' 1e-9: re-solving far
+    /// below the perturbation the *next* batch will cause is wasted work
+    /// (see DESIGN.md, "warm-start convergence contract").
+    pub tolerance: f64,
+    /// Solver iteration cap.
+    pub max_iterations: usize,
+    /// Engine worker threads (`0` = machine parallelism).
+    pub threads: usize,
+    /// RNG seed for the graph and the churn stream.
+    pub seed: u64,
+}
+
+impl Default for EvolvingConfig {
+    fn default() -> Self {
+        Self {
+            nodes: 20_000,
+            attachments: 5,
+            batches: 8,
+            churn: 0.01,
+            p: 0.5,
+            alpha: 0.85,
+            tolerance: 1e-6,
+            max_iterations: 500,
+            threads: 0,
+            seed: 0xE401,
+        }
+    }
+}
+
+/// Outcome of one churn batch: the same re-solve done cold and warm.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchStep {
+    /// 1-based batch index.
+    pub batch: usize,
+    /// Arcs that became present (mirrored arcs counted individually).
+    pub inserted_arcs: usize,
+    /// Arcs that became absent.
+    pub deleted_arcs: usize,
+    /// Whether the overlay was compacted at the end of this batch.
+    pub compacted: bool,
+    /// Iterations of the cold re-solve (teleport start).
+    pub cold_iterations: usize,
+    /// Iterations of the warm re-solve (previous-rank start).
+    pub warm_iterations: usize,
+    /// L1 distance between the cold and warm solutions (parity check).
+    pub rank_l1_divergence: f64,
+    /// L1 distance between the pre-batch and post-batch ranks — how hard
+    /// the batch actually shook the solution.
+    pub rank_l1_shift: f64,
+}
+
+/// Full run record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvolvingReport {
+    /// Node count (fixed across the run).
+    pub nodes: usize,
+    /// Arc count of the initial snapshot.
+    pub initial_arcs: usize,
+    /// Iterations of the initial (necessarily cold) solve.
+    pub initial_iterations: usize,
+    /// One entry per churn batch.
+    pub steps: Vec<BatchStep>,
+}
+
+impl EvolvingReport {
+    /// Total cold iterations across all batches.
+    pub fn total_cold(&self) -> usize {
+        self.steps.iter().map(|s| s.cold_iterations).sum()
+    }
+
+    /// Total warm iterations across all batches.
+    pub fn total_warm(&self) -> usize {
+        self.steps.iter().map(|s| s.warm_iterations).sum()
+    }
+
+    /// Cold-to-warm iteration ratio (the headline number; > 1 means the
+    /// warm start saves work).
+    pub fn iteration_ratio(&self) -> f64 {
+        self.total_cold() as f64 / self.total_warm().max(1) as f64
+    }
+
+    /// Largest cold-vs-warm L1 divergence over the run.
+    pub fn max_divergence(&self) -> f64 {
+        self.steps
+            .iter()
+            .map(|s| s.rank_l1_divergence)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Stream `cfg.batches` churn batches over a BA graph, re-solving cold and
+/// warm after each, and record the iteration accounting.
+///
+/// # Errors
+/// Propagates generator, delta-application, transpose-patch, and solver
+/// failures as [`UpdateError`].
+pub fn run_evolving(cfg: &EvolvingConfig) -> Result<EvolvingReport, UpdateError> {
+    let threads = if cfg.threads == 0 {
+        default_threads()
+    } else {
+        cfg.threads
+    };
+    let solver = PageRankConfig {
+        alpha: cfg.alpha,
+        tolerance: cfg.tolerance,
+        max_iterations: cfg.max_iterations,
+        ..Default::default()
+    };
+    let model = TransitionModel::DegreeDecoupled { p: cfg.p };
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    let g0 = barabasi_albert(cfg.nodes, cfg.attachments, rng.gen())?;
+    let initial_arcs = g0.num_arcs();
+    // Current edge list (u < v), kept in sync with the delta graph so
+    // deletions can be sampled uniformly.
+    let mut edges: Vec<(NodeId, NodeId)> = g0.arcs().filter(|&(u, v)| u < v).collect();
+
+    let mut snapshot = g0.clone();
+    let mut dg = DeltaGraph::new(g0)?;
+    let mut csc = CscStructure::build(&snapshot);
+    let (initial_iterations, mut prev_scores);
+    {
+        let mut engine = Engine::with_structure(&snapshot, csc, threads)?.with_config(solver)?;
+        let r = engine.solve_model(model)?;
+        initial_iterations = r.iterations;
+        prev_scores = r.scores;
+        csc = engine.into_structure();
+    }
+
+    let n = cfg.nodes as u32;
+    let mut steps = Vec::with_capacity(cfg.batches);
+    for b in 1..=cfg.batches {
+        // Assemble the batch: churn·E mutations, half deletes, half inserts.
+        let mutations = ((cfg.churn * edges.len() as f64).ceil() as usize).max(2);
+        let deletes = mutations / 2;
+        let inserts = mutations - deletes;
+        let mut batch = EdgeBatch::new();
+        for _ in 0..deletes {
+            let i = rng.gen_range(0..edges.len());
+            let (u, v) = edges.swap_remove(i);
+            batch.delete(u, v);
+        }
+        for _ in 0..inserts {
+            loop {
+                let u = rng.gen_range(0..n);
+                let v = rng.gen_range(0..n);
+                // Normalize before the dedup checks: inserts are stored as
+                // (min, max), so the membership test must use that form.
+                let e = (u.min(v), u.max(v));
+                if u != v && !dg.has_arc(e.0, e.1) && !batch.inserts.contains(&e) {
+                    batch.insert(e.0, e.1);
+                    edges.push(e);
+                    break;
+                }
+            }
+        }
+
+        // The incremental pipeline: batch -> snapshot -> patched transpose.
+        let outcome = dg.apply_batch(&batch)?;
+        let new_snapshot = dg.snapshot();
+        let new_csc = csc.patched(&new_snapshot, &outcome.delta)?;
+        let mut engine =
+            Engine::with_structure(&new_snapshot, new_csc, threads)?.with_config(solver)?;
+        engine.set_model(model)?;
+        let warm = engine.resolve_incremental(&prev_scores)?;
+        let cold = engine.solve()?;
+
+        let l1 =
+            |a: &[f64], b: &[f64]| -> f64 { a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum() };
+        steps.push(BatchStep {
+            batch: b,
+            inserted_arcs: outcome.delta.inserted.len(),
+            deleted_arcs: outcome.delta.deleted.len(),
+            compacted: outcome.compacted,
+            cold_iterations: cold.iterations,
+            warm_iterations: warm.iterations,
+            rank_l1_divergence: l1(&cold.scores, &warm.scores),
+            rank_l1_shift: l1(&warm.scores, &prev_scores),
+        });
+        prev_scores = warm.scores;
+        csc = engine.into_structure();
+        snapshot = new_snapshot;
+    }
+    let _ = &snapshot; // last snapshot kept alive until the engine is gone
+
+    Ok(EvolvingReport {
+        nodes: cfg.nodes,
+        initial_arcs,
+        initial_iterations,
+        steps,
+    })
+}
+
+/// Per-batch table for the `repro evolving` subcommand.
+pub fn evolving_report(r: &EvolvingReport) -> TextTable {
+    let mut t = TextTable::new(vec![
+        "batch",
+        "+arcs",
+        "-arcs",
+        "compact",
+        "cold_iters",
+        "warm_iters",
+        "rank_shift",
+        "divergence",
+    ]);
+    for s in &r.steps {
+        t.push_row(vec![
+            s.batch.to_string(),
+            s.inserted_arcs.to_string(),
+            s.deleted_arcs.to_string(),
+            if s.compacted { "yes" } else { "" }.to_string(),
+            s.cold_iterations.to_string(),
+            s.warm_iterations.to_string(),
+            format!("{:.2e}", s.rank_l1_shift),
+            format!("{:.2e}", s.rank_l1_divergence),
+        ]);
+    }
+    t.push_row(vec![
+        "total".to_string(),
+        String::new(),
+        String::new(),
+        String::new(),
+        r.total_cold().to_string(),
+        r.total_warm().to_string(),
+        format!("{:.2}x fewer", r.iteration_ratio()),
+        format!("{:.2e} max", r.max_divergence()),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evolving_run_is_consistent() {
+        let cfg = EvolvingConfig {
+            nodes: 1_500,
+            attachments: 4,
+            batches: 3,
+            churn: 0.01,
+            threads: 2,
+            tolerance: 1e-9,
+            ..Default::default()
+        };
+        let r = run_evolving(&cfg).unwrap();
+        assert_eq!(r.steps.len(), 3);
+        assert!(r.initial_iterations > 0);
+        for s in &r.steps {
+            assert!(s.inserted_arcs > 0 && s.deleted_arcs > 0);
+            assert!(
+                s.rank_l1_divergence < 1e-7,
+                "cold and warm must agree: {}",
+                s.rank_l1_divergence
+            );
+            assert!(s.warm_iterations <= s.cold_iterations);
+        }
+        assert!(r.iteration_ratio() >= 1.0);
+        let table = evolving_report(&r);
+        assert_eq!(table.num_rows(), 4);
+    }
+}

@@ -8,10 +8,12 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod evolving;
 pub mod experiments;
 pub mod recommendation;
 pub mod report;
 pub mod stability;
 pub mod sweep;
 
+pub use evolving::{run_evolving, EvolvingConfig, EvolvingReport};
 pub use sweep::{correlation_with_significance, GridPoint, SweepConfig};

@@ -1,0 +1,606 @@
+//! Incremental graph updates: a delta overlay over an immutable [`CsrGraph`].
+//!
+//! [`CsrGraph`] is deliberately immutable — every solver in the workspace
+//! leans on its frozen layout. A serving system, however, receives edge
+//! insertions and deletions continuously and cannot afford a full
+//! builder-path rebuild (edge soup, counting sort, per-node sort, dedup)
+//! on every change. [`DeltaGraph`] closes the gap with the classic
+//! append/tombstone design:
+//!
+//! * a **base** CSR snapshot (immutable, shared with every reader);
+//! * an **overlay** of pending arc insertions and deletions (tombstones),
+//!   kept as ordered sets so membership tests and per-source merges stay
+//!   logarithmic/linear;
+//! * [`DeltaGraph::apply_batch`] — apply a batch of edge edits, reporting
+//!   the *effective* arc-level delta (no-ops removed, undirected edges
+//!   mirrored) so downstream caches ([`CscStructure`]) can be patched
+//!   instead of rebuilt;
+//! * **compaction** — once the overlay exceeds a configurable fraction of
+//!   the base arc count, the overlay is folded into a fresh base CSR by a
+//!   per-source merge (no builder round-trip), keeping amortized cost per
+//!   mutated arc constant. See `DESIGN.md` for the threshold rationale.
+//!
+//! The logical graph is always `(base ∖ deletes) ∪ inserts`;
+//! [`DeltaGraph::snapshot`] materializes it as a plain [`CsrGraph`] for the
+//! solver stack.
+//!
+//! [`CscStructure`]: crate::transpose::CscStructure
+
+use crate::csr::{CsrGraph, Direction, NodeId};
+use crate::error::{GraphError, Result};
+use std::collections::BTreeSet;
+
+/// A batch of logical edge edits to apply in one [`DeltaGraph::apply_batch`]
+/// call. For undirected graphs each edge stands for its two mirrored arcs.
+///
+/// Within one batch, all insertions apply before all deletions (so a batch
+/// that inserts and deletes the same edge nets to "absent"). Self-loops are
+/// dropped, mirroring [`crate::builder::SelfLoopPolicy::Drop`], the policy
+/// every graph in this workspace is built under.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EdgeBatch {
+    /// Edges to insert (ignored when already present).
+    pub inserts: Vec<(NodeId, NodeId)>,
+    /// Edges to delete (ignored when already absent).
+    pub deletes: Vec<(NodeId, NodeId)>,
+}
+
+impl EdgeBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queue an edge insertion.
+    pub fn insert(&mut self, u: NodeId, v: NodeId) -> &mut Self {
+        self.inserts.push((u, v));
+        self
+    }
+
+    /// Queue an edge deletion.
+    pub fn delete(&mut self, u: NodeId, v: NodeId) -> &mut Self {
+        self.deletes.push((u, v));
+        self
+    }
+
+    /// Number of queued edit records.
+    pub fn len(&self) -> usize {
+        self.inserts.len() + self.deletes.len()
+    }
+
+    /// `true` when no edits are queued.
+    pub fn is_empty(&self) -> bool {
+        self.inserts.is_empty() && self.deletes.is_empty()
+    }
+}
+
+/// The *effective* arc-level change produced by one batch: exactly the arcs
+/// whose presence flipped, with undirected edges expanded to both mirrored
+/// arcs and all no-ops (re-inserting a present arc, deleting an absent one,
+/// insert-then-delete within the batch) removed.
+///
+/// Both lists are sorted by `(source, target)` and disjoint. This is the
+/// currency of the incremental maintenance path:
+/// [`CscStructure::patched`](crate::transpose::CscStructure::patched)
+/// consumes it to update a transpose without a full rebuild.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ArcDelta {
+    /// Arcs that became present.
+    pub inserted: Vec<(NodeId, NodeId)>,
+    /// Arcs that became absent.
+    pub deleted: Vec<(NodeId, NodeId)>,
+}
+
+impl ArcDelta {
+    /// Total number of flipped arcs.
+    pub fn len(&self) -> usize {
+        self.inserted.len() + self.deleted.len()
+    }
+
+    /// `true` when the batch changed nothing.
+    pub fn is_empty(&self) -> bool {
+        self.inserted.is_empty() && self.deleted.is_empty()
+    }
+}
+
+/// What one [`DeltaGraph::apply_batch`] call did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// Effective arc-level change relative to the pre-batch logical graph.
+    pub delta: ArcDelta,
+    /// Whether the overlay crossed the threshold and was compacted into a
+    /// fresh base CSR at the end of the batch.
+    pub compacted: bool,
+}
+
+/// Default overlay-size fraction of the base arc count that triggers
+/// compaction (see `DESIGN.md` for the amortization argument).
+pub const DEFAULT_COMPACTION_FRACTION: f64 = 1.0 / 16.0;
+
+/// Default floor on the compaction threshold, so tiny graphs don't compact
+/// on every batch.
+pub const DEFAULT_COMPACTION_MIN_ARCS: usize = 256;
+
+/// An evolving graph: an immutable CSR base plus an append/tombstone
+/// overlay of arc edits, with automatic compaction.
+///
+/// Only unweighted graphs are supported (every solver workload this serves
+/// is structural; weighted deltas would need per-arc weight reconciliation
+/// rules that nothing downstream consumes yet).
+///
+/// # Examples
+/// ```
+/// use d2pr_graph::builder::GraphBuilder;
+/// use d2pr_graph::csr::Direction;
+/// use d2pr_graph::delta::{DeltaGraph, EdgeBatch};
+///
+/// let mut b = GraphBuilder::new(Direction::Undirected, 4);
+/// b.add_edge(0, 1);
+/// b.add_edge(1, 2);
+/// let mut dg = DeltaGraph::new(b.build().unwrap()).unwrap();
+///
+/// let mut batch = EdgeBatch::new();
+/// batch.insert(2, 3).delete(0, 1);
+/// let outcome = dg.apply_batch(&batch).unwrap();
+/// assert_eq!(outcome.delta.inserted, vec![(2, 3), (3, 2)]);
+/// assert_eq!(outcome.delta.deleted, vec![(0, 1), (1, 0)]);
+///
+/// let g = dg.snapshot();
+/// assert!(g.has_arc(2, 3) && g.has_arc(3, 2));
+/// assert!(!g.has_arc(0, 1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DeltaGraph {
+    base: CsrGraph,
+    /// Arcs present in the logical graph but not in `base`. Disjoint from
+    /// `deletes`; never contains an arc of `base`.
+    inserts: BTreeSet<(NodeId, NodeId)>,
+    /// Tombstoned arcs of `base` (absent from the logical graph).
+    deletes: BTreeSet<(NodeId, NodeId)>,
+    compaction_fraction: f64,
+    compaction_min_arcs: usize,
+}
+
+impl DeltaGraph {
+    /// Wrap a base snapshot.
+    ///
+    /// # Errors
+    /// Returns [`GraphError::WeightMismatch`] for weighted graphs.
+    pub fn new(base: CsrGraph) -> Result<Self> {
+        if base.is_weighted() {
+            return Err(GraphError::WeightMismatch {
+                graph_weighted: true,
+            });
+        }
+        Ok(Self {
+            base,
+            inserts: BTreeSet::new(),
+            deletes: BTreeSet::new(),
+            compaction_fraction: DEFAULT_COMPACTION_FRACTION,
+            compaction_min_arcs: DEFAULT_COMPACTION_MIN_ARCS,
+        })
+    }
+
+    /// Override the compaction threshold: the overlay is folded into the
+    /// base once it holds more than `max(min_arcs, fraction · base_arcs)`
+    /// entries. A `fraction` of 0 compacts after every non-empty batch
+    /// (with `min_arcs` 0); `f64::INFINITY` disables auto-compaction.
+    pub fn with_compaction_threshold(mut self, fraction: f64, min_arcs: usize) -> Self {
+        assert!(
+            fraction >= 0.0 && !fraction.is_nan(),
+            "compaction fraction must be non-negative"
+        );
+        self.compaction_fraction = fraction;
+        self.compaction_min_arcs = min_arcs;
+        self
+    }
+
+    /// The current base snapshot (excludes the overlay).
+    pub fn base(&self) -> &CsrGraph {
+        &self.base
+    }
+
+    /// Whether arcs are directed (inherited from the base).
+    pub fn direction(&self) -> Direction {
+        self.base.direction()
+    }
+
+    /// Number of nodes (fixed at construction: deltas edit edges only).
+    pub fn num_nodes(&self) -> usize {
+        self.base.num_nodes()
+    }
+
+    /// Number of arcs in the logical graph (base − tombstones + inserts).
+    pub fn num_arcs(&self) -> usize {
+        self.base.num_arcs() + self.inserts.len() - self.deletes.len()
+    }
+
+    /// Number of logical edges (arcs, halved for undirected graphs).
+    pub fn num_edges(&self) -> usize {
+        match self.base.direction() {
+            Direction::Directed => self.num_arcs(),
+            Direction::Undirected => self.num_arcs() / 2,
+        }
+    }
+
+    /// Pending overlay entries (inserts + tombstones).
+    pub fn overlay_len(&self) -> usize {
+        self.inserts.len() + self.deletes.len()
+    }
+
+    /// `true` when the overlay is empty (base == logical graph).
+    pub fn is_compacted(&self) -> bool {
+        self.inserts.is_empty() && self.deletes.is_empty()
+    }
+
+    /// Overlay size above which [`DeltaGraph::apply_batch`] compacts.
+    pub fn compaction_threshold(&self) -> usize {
+        let frac = self.compaction_fraction * self.base.num_arcs() as f64;
+        // Saturate: an infinite/huge fraction means "never".
+        let frac = if frac >= usize::MAX as f64 {
+            usize::MAX
+        } else {
+            frac as usize
+        };
+        frac.max(self.compaction_min_arcs)
+    }
+
+    /// `true` when arc `u -> v` exists in the logical graph.
+    pub fn has_arc(&self, u: NodeId, v: NodeId) -> bool {
+        if self.inserts.contains(&(u, v)) {
+            return true;
+        }
+        self.base.has_arc(u, v) && !self.deletes.contains(&(u, v))
+    }
+
+    /// Iterate the logical graph's arcs as `(source, target)`, sorted.
+    pub fn arcs(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        let n = self.num_nodes() as u32;
+        (0..n).flat_map(move |v| self.merged_neighbors(v).map(move |t| (v, t)))
+    }
+
+    /// Sorted out-neighbors of `v` in the logical graph (base merged with
+    /// the overlay).
+    fn merged_neighbors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        let base = self
+            .base
+            .neighbors(v)
+            .iter()
+            .copied()
+            .filter(move |&t| !self.deletes.contains(&(v, t)));
+        let ins = self
+            .inserts
+            .range((v, 0)..=(v, NodeId::MAX))
+            .map(|&(_, t)| t);
+        MergeSorted::new(base, ins)
+    }
+
+    /// Apply a batch of edge edits. Insertions apply before deletions;
+    /// undirected edges edit both mirrored arcs; self-loops and no-ops
+    /// (inserting a present edge, deleting an absent one) are skipped.
+    /// When the overlay crosses [`DeltaGraph::compaction_threshold`] after
+    /// the batch, it is folded into a fresh base CSR.
+    ///
+    /// The batch is validated before any state changes: on error the graph
+    /// is untouched.
+    ///
+    /// # Errors
+    /// Returns [`GraphError::NodeOutOfRange`] when an edit references a
+    /// node outside `0..num_nodes()` (the node set is fixed; deltas edit
+    /// edges only).
+    pub fn apply_batch(&mut self, batch: &EdgeBatch) -> Result<BatchOutcome> {
+        let n = self.num_nodes() as u32;
+        for &(u, v) in batch.inserts.iter().chain(&batch.deletes) {
+            if u >= n || v >= n {
+                return Err(GraphError::NodeOutOfRange {
+                    node: if u >= n { u } else { v },
+                    num_nodes: n,
+                });
+            }
+        }
+        let mirrored = self.base.direction() == Direction::Undirected;
+        let mut eff_ins: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
+        let mut eff_del: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
+
+        for &(u, v) in &batch.inserts {
+            if u == v {
+                continue;
+            }
+            self.insert_arc(u, v, &mut eff_ins, &mut eff_del);
+            if mirrored {
+                self.insert_arc(v, u, &mut eff_ins, &mut eff_del);
+            }
+        }
+        for &(u, v) in &batch.deletes {
+            if u == v {
+                continue;
+            }
+            self.delete_arc(u, v, &mut eff_ins, &mut eff_del);
+            if mirrored {
+                self.delete_arc(v, u, &mut eff_ins, &mut eff_del);
+            }
+        }
+
+        let compacted = self.overlay_len() > self.compaction_threshold();
+        if compacted {
+            self.compact();
+        }
+        Ok(BatchOutcome {
+            delta: ArcDelta {
+                inserted: eff_ins.into_iter().collect(),
+                deleted: eff_del.into_iter().collect(),
+            },
+            compacted,
+        })
+    }
+
+    /// Make arc `(u, v)` present; record the flip (with batch-internal
+    /// delete/insert cancellation) in the effective-delta sets.
+    fn insert_arc(
+        &mut self,
+        u: NodeId,
+        v: NodeId,
+        eff_ins: &mut BTreeSet<(NodeId, NodeId)>,
+        eff_del: &mut BTreeSet<(NodeId, NodeId)>,
+    ) {
+        let arc = (u, v);
+        let flipped = if self.deletes.remove(&arc) {
+            true // un-tombstone a base arc
+        } else if self.base.has_arc(u, v) {
+            false // already present in base
+        } else {
+            self.inserts.insert(arc) // newly present unless already inserted
+        };
+        if flipped && !eff_del.remove(&arc) {
+            eff_ins.insert(arc);
+        }
+    }
+
+    /// Make arc `(u, v)` absent; record the flip as in
+    /// [`DeltaGraph::insert_arc`].
+    fn delete_arc(
+        &mut self,
+        u: NodeId,
+        v: NodeId,
+        eff_ins: &mut BTreeSet<(NodeId, NodeId)>,
+        eff_del: &mut BTreeSet<(NodeId, NodeId)>,
+    ) {
+        let arc = (u, v);
+        let flipped = if self.inserts.remove(&arc) {
+            true // drop a pending insert
+        } else if self.base.has_arc(u, v) {
+            self.deletes.insert(arc) // tombstone unless already tombstoned
+        } else {
+            false // never present
+        };
+        if flipped && !eff_ins.remove(&arc) {
+            eff_del.insert(arc);
+        }
+    }
+
+    /// Materialize the logical graph as a plain [`CsrGraph`].
+    ///
+    /// One per-source merge of the (sorted) base adjacency with the
+    /// (sorted) overlay — `O(V + E + Δ)`, with sequential copies for every
+    /// untouched neighborhood. No builder round-trip: no edge soup, no
+    /// counting sort, no per-node re-sort.
+    pub fn snapshot(&self) -> CsrGraph {
+        if self.is_compacted() {
+            return self.base.clone();
+        }
+        let n = self.num_nodes();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        let mut targets: Vec<NodeId> = Vec::with_capacity(self.num_arcs());
+        for v in 0..n as u32 {
+            targets.extend(self.merged_neighbors(v));
+            offsets.push(targets.len());
+        }
+        CsrGraph::from_csr(self.base.direction(), offsets, targets, None)
+            .expect("delta merge preserves CSR invariants")
+    }
+
+    /// Fold the overlay into a fresh base snapshot.
+    pub fn compact(&mut self) {
+        if self.is_compacted() {
+            return;
+        }
+        self.base = self.snapshot();
+        self.inserts.clear();
+        self.deletes.clear();
+    }
+
+    /// Consume the delta graph, returning the compacted CSR.
+    pub fn into_snapshot(mut self) -> CsrGraph {
+        self.compact();
+        self.base
+    }
+}
+
+/// Merge two ascending iterators into one ascending iterator. The two
+/// streams are disjoint by the overlay invariant (an insert never shadows a
+/// live base arc), so equality needs no special casing — but it is handled
+/// anyway (both sides advance) to stay robust.
+struct MergeSorted<A: Iterator, B: Iterator> {
+    a: std::iter::Peekable<A>,
+    b: std::iter::Peekable<B>,
+}
+
+impl<A: Iterator, B: Iterator> MergeSorted<A, B> {
+    fn new(a: A, b: B) -> Self {
+        Self {
+            a: a.peekable(),
+            b: b.peekable(),
+        }
+    }
+}
+
+impl<T: Ord + Copy, A: Iterator<Item = T>, B: Iterator<Item = T>> Iterator for MergeSorted<A, B> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        match (self.a.peek().copied(), self.b.peek().copied()) {
+            (Some(x), Some(y)) => {
+                if x <= y {
+                    if x == y {
+                        self.b.next();
+                    }
+                    self.a.next()
+                } else {
+                    self.b.next()
+                }
+            }
+            (Some(_), None) => self.a.next(),
+            (None, _) => self.b.next(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn path4() -> CsrGraph {
+        let mut b = GraphBuilder::new(Direction::Undirected, 4);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(2, 3);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn rejects_weighted_base() {
+        let mut b = GraphBuilder::new(Direction::Directed, 2);
+        b.add_weighted_edge(0, 1, 2.0);
+        let g = b.build().unwrap();
+        assert!(matches!(
+            DeltaGraph::new(g),
+            Err(GraphError::WeightMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn insert_and_delete_roundtrip() {
+        let mut dg = DeltaGraph::new(path4()).unwrap();
+        let mut batch = EdgeBatch::new();
+        batch.insert(0, 3).delete(1, 2);
+        let out = dg.apply_batch(&batch).unwrap();
+        assert_eq!(out.delta.inserted, vec![(0, 3), (3, 0)]);
+        assert_eq!(out.delta.deleted, vec![(1, 2), (2, 1)]);
+        assert!(!out.compacted);
+        assert!(dg.has_arc(0, 3) && dg.has_arc(3, 0));
+        assert!(!dg.has_arc(1, 2) && !dg.has_arc(2, 1));
+        assert_eq!(dg.num_arcs(), 6);
+        assert_eq!(dg.num_edges(), 3);
+
+        // Undo: the logical graph returns to the base.
+        let mut undo = EdgeBatch::new();
+        undo.insert(1, 2).delete(0, 3);
+        let out = dg.apply_batch(&undo).unwrap();
+        assert_eq!(out.delta.len(), 4);
+        assert!(dg.is_compacted() || dg.overlay_len() == 0);
+        assert_eq!(dg.snapshot(), path4());
+    }
+
+    #[test]
+    fn noop_edits_report_empty_delta() {
+        let mut dg = DeltaGraph::new(path4()).unwrap();
+        let mut batch = EdgeBatch::new();
+        batch.insert(0, 1); // already present
+        batch.delete(0, 2); // never present
+        batch.insert(2, 2); // self-loop: dropped
+        let out = dg.apply_batch(&batch).unwrap();
+        assert!(out.delta.is_empty());
+        assert!(dg.is_compacted());
+        assert_eq!(dg.snapshot(), path4());
+    }
+
+    #[test]
+    fn insert_then_delete_in_one_batch_cancels() {
+        let mut dg = DeltaGraph::new(path4()).unwrap();
+        let mut batch = EdgeBatch::new();
+        batch.insert(0, 3).delete(0, 3);
+        let out = dg.apply_batch(&batch).unwrap();
+        assert!(out.delta.is_empty());
+        assert!(!dg.has_arc(0, 3));
+        // ... and deleting then re-inserting a base edge also cancels.
+        let mut batch = EdgeBatch::new();
+        batch.insert(0, 1).delete(0, 1);
+        // inserts run first: insert is a no-op, delete tombstones.
+        let out = dg.apply_batch(&batch).unwrap();
+        assert_eq!(out.delta.deleted, vec![(0, 1), (1, 0)]);
+        assert!(!dg.has_arc(0, 1));
+    }
+
+    #[test]
+    fn out_of_range_is_rejected_atomically() {
+        let mut dg = DeltaGraph::new(path4()).unwrap();
+        let mut batch = EdgeBatch::new();
+        batch.insert(0, 3).insert(0, 9);
+        let err = dg.apply_batch(&batch).unwrap_err();
+        assert_eq!(
+            err,
+            GraphError::NodeOutOfRange {
+                node: 9,
+                num_nodes: 4
+            }
+        );
+        // Nothing from the batch applied.
+        assert!(!dg.has_arc(0, 3));
+        assert!(dg.is_compacted());
+    }
+
+    #[test]
+    fn compaction_triggers_on_threshold() {
+        let g = GraphBuilder::new(Direction::Directed, 50).build().unwrap();
+        let mut dg = DeltaGraph::new(g)
+            .unwrap()
+            .with_compaction_threshold(0.0, 4);
+        let mut batch = EdgeBatch::new();
+        batch.insert(0, 1).insert(1, 2).insert(2, 3);
+        let out = dg.apply_batch(&batch).unwrap();
+        assert!(!out.compacted, "3 <= threshold 4");
+        assert_eq!(dg.overlay_len(), 3);
+        let mut batch = EdgeBatch::new();
+        batch.insert(3, 4).insert(4, 5);
+        let out = dg.apply_batch(&batch).unwrap();
+        assert!(out.compacted, "5 > threshold 4");
+        assert!(dg.is_compacted());
+        assert_eq!(dg.base().num_arcs(), 5);
+        assert_eq!(dg.num_arcs(), 5);
+    }
+
+    #[test]
+    fn snapshot_matches_direct_build() {
+        let mut b = GraphBuilder::new(Direction::Directed, 6);
+        b.add_edge(0, 1);
+        b.add_edge(0, 4);
+        b.add_edge(2, 3);
+        b.add_edge(5, 0);
+        let mut dg = DeltaGraph::new(b.build().unwrap()).unwrap();
+        let mut batch = EdgeBatch::new();
+        batch.insert(0, 2).insert(4, 5).delete(0, 4).delete(2, 3);
+        dg.apply_batch(&batch).unwrap();
+
+        let mut direct = GraphBuilder::new(Direction::Directed, 6);
+        for (u, v) in [(0, 1), (5, 0), (0, 2), (4, 5)] {
+            direct.add_edge(u, v);
+        }
+        assert_eq!(dg.snapshot(), direct.build().unwrap());
+
+        let arcs: Vec<_> = dg.arcs().collect();
+        assert_eq!(arcs, vec![(0, 1), (0, 2), (4, 5), (5, 0)]);
+    }
+
+    #[test]
+    fn into_snapshot_compacts() {
+        let mut dg = DeltaGraph::new(path4()).unwrap();
+        let mut batch = EdgeBatch::new();
+        batch.insert(0, 2);
+        dg.apply_batch(&batch).unwrap();
+        let g = dg.into_snapshot();
+        assert!(g.has_arc(0, 2) && g.has_arc(2, 0));
+        assert_eq!(g.num_edges(), 4);
+    }
+}

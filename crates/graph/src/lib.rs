@@ -34,6 +34,7 @@ pub mod bipartite;
 pub mod builder;
 pub mod components;
 pub mod csr;
+pub mod delta;
 pub mod error;
 pub mod generators;
 pub mod io;
@@ -50,6 +51,7 @@ pub mod prelude {
     pub use crate::bipartite::BipartiteGraph;
     pub use crate::builder::{DuplicatePolicy, GraphBuilder, SelfLoopPolicy};
     pub use crate::csr::{CsrGraph, Direction, NodeId};
+    pub use crate::delta::{ArcDelta, BatchOutcome, DeltaGraph, EdgeBatch};
     pub use crate::error::{GraphError, Result};
     pub use crate::metrics::{average_clustering, degree_assortativity, local_clustering};
     pub use crate::projection::{project_left, project_right, ProjectionConfig};

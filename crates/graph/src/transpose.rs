@@ -18,9 +18,36 @@
 //! point. See `DESIGN.md` for how the engine layers on top.
 
 use crate::csr::{CsrGraph, NodeId};
+use crate::delta::ArcDelta;
+use crate::error::{GraphError, Result};
 
 /// The structural transpose of a [`CsrGraph`], plus the CSR→CSC arc
-/// permutation. Build once per graph with [`CscStructure::build`].
+/// permutation. Build once per graph with [`CscStructure::build`]; after an
+/// incremental edit, update it with [`CscStructure::patched`] instead of
+/// rebuilding.
+///
+/// # Examples
+/// ```
+/// use d2pr_graph::builder::GraphBuilder;
+/// use d2pr_graph::csr::Direction;
+/// use d2pr_graph::transpose::CscStructure;
+///
+/// // 0 -> 1, 0 -> 2, 1 -> 2; node 2 is the in-degree hub.
+/// let mut b = GraphBuilder::new(Direction::Directed, 3);
+/// b.add_edge(0, 1);
+/// b.add_edge(0, 2);
+/// b.add_edge(1, 2);
+/// let g = b.build().unwrap();
+///
+/// let csc = CscStructure::build(&g);
+/// assert_eq!(csc.in_neighbors(2), &[0, 1]);
+/// assert_eq!(csc.dangling(), &[2]);
+///
+/// // Scatter per-arc values (computed in CSR order) into CSC order.
+/// let mut csc_vals = vec![0.0; g.num_arcs()];
+/// csc.scatter_arc_values(&[0.1, 0.2, 0.3], &mut csc_vals);
+/// assert_eq!(csc_vals, vec![0.1, 0.2, 0.3]);
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct CscStructure {
     /// `in_offsets[v]..in_offsets[v+1]` indexes `in_sources` for node `v`.
@@ -78,6 +105,164 @@ impl CscStructure {
             dangling,
             num_nodes: n,
         }
+    }
+
+    /// Incremental maintenance: derive the transpose of `new_graph` from
+    /// this structure plus the [`ArcDelta`] separating the two graphs,
+    /// instead of rebuilding from scratch.
+    ///
+    /// What is reused and what is recomputed:
+    ///
+    /// * `in_offsets` — patched from the old prefix sums with the per-node
+    ///   in-degree changes of the delta: `O(V + Δ)`;
+    /// * `in_sources` — untouched destinations copy their old span
+    ///   wholesale (sequential `memcpy`, no per-arc scatter); edited
+    ///   destinations merge their old span with the delta;
+    /// * the dangling list — patched: only sources appearing in the delta
+    ///   are re-examined;
+    /// * `csc_slot_of_arc` — rewritten in one linear pass over the new CSR
+    ///   (every CSR arc index after the first edit shifts, so per-entry
+    ///   work is unavoidable; the pass is sequential-write).
+    ///
+    /// The result is bit-identical to `CscStructure::build(new_graph)`
+    /// (property-tested in `tests/delta_props.rs`).
+    ///
+    /// # Errors
+    /// Returns [`GraphError::Snapshot`] when the delta does not actually
+    /// connect this structure's graph to `new_graph`: node/arc count
+    /// mismatch, an edit referencing a node out of range, a deleted arc
+    /// that does not exist in the old structure (or is still present in
+    /// the new graph), or an inserted arc missing from the new graph. The
+    /// per-arc presence checks assume simple-graph semantics (no parallel
+    /// arcs among edited pairs), which [`DeltaGraph`](crate::delta::DeltaGraph)
+    /// guarantees.
+    pub fn patched(&self, new_graph: &CsrGraph, delta: &ArcDelta) -> Result<CscStructure> {
+        let n = self.num_nodes;
+        if new_graph.num_nodes() != n {
+            return Err(GraphError::Snapshot(format!(
+                "patched: node count changed ({} -> {}); deltas edit edges only",
+                n,
+                new_graph.num_nodes()
+            )));
+        }
+        let expected_arcs = (self.num_arcs() + delta.inserted.len())
+            .checked_sub(delta.deleted.len())
+            .ok_or_else(|| GraphError::Snapshot("patched: delta deletes too many arcs".into()))?;
+        if new_graph.num_arcs() != expected_arcs {
+            return Err(GraphError::Snapshot(format!(
+                "patched: delta implies {} arcs but the new graph has {}",
+                expected_arcs,
+                new_graph.num_arcs()
+            )));
+        }
+        // Per-arc validation: the aggregate count check cannot catch a
+        // delta that names the wrong arcs (the merge below would then
+        // silently build a corrupt permutation in release builds).
+        for &(s, t) in delta.inserted.iter().chain(&delta.deleted) {
+            if (s as usize) >= n || (t as usize) >= n {
+                return Err(GraphError::Snapshot(format!(
+                    "patched: delta arc {s} -> {t} is out of range for {n} nodes"
+                )));
+            }
+        }
+        for &(s, t) in &delta.inserted {
+            if !new_graph.has_arc(s, t) {
+                return Err(GraphError::Snapshot(format!(
+                    "patched: inserted arc {s} -> {t} is missing from the new graph"
+                )));
+            }
+        }
+        for &(s, t) in &delta.deleted {
+            if new_graph.has_arc(s, t) {
+                return Err(GraphError::Snapshot(format!(
+                    "patched: deleted arc {s} -> {t} is still present in the new graph"
+                )));
+            }
+        }
+
+        // Per-destination edit lists, sorted by (target, source). The delta
+        // arrives sorted by (source, target), so a re-sort is needed.
+        let mut ins: Vec<(NodeId, NodeId)> = delta.inserted.iter().map(|&(s, t)| (t, s)).collect();
+        let mut del: Vec<(NodeId, NodeId)> = delta.deleted.iter().map(|&(s, t)| (t, s)).collect();
+        ins.sort_unstable();
+        del.sort_unstable();
+
+        // in_offsets: patch the prefix sums; in_sources: span-copy or merge.
+        let m = new_graph.num_arcs();
+        let mut in_offsets = Vec::with_capacity(n + 1);
+        in_offsets.push(0usize);
+        let mut in_sources: Vec<NodeId> = Vec::with_capacity(m);
+        let (mut ii, mut di) = (0usize, 0usize);
+        for v in 0..n {
+            let old_span = &self.in_sources[self.in_offsets[v]..self.in_offsets[v + 1]];
+            let ins_here = run_len(&ins, ii, v as NodeId);
+            let del_here = run_len(&del, di, v as NodeId);
+            if ins_here == 0 && del_here == 0 {
+                in_sources.extend_from_slice(old_span);
+            } else {
+                merge_span(
+                    old_span,
+                    &ins[ii..ii + ins_here],
+                    &del[di..di + del_here],
+                    &mut in_sources,
+                )
+                .map_err(|src| {
+                    GraphError::Snapshot(format!(
+                        "patched: deleted arc {src} -> {v} is not in the old structure"
+                    ))
+                })?;
+                ii += ins_here;
+                di += del_here;
+            }
+            in_offsets.push(in_sources.len());
+        }
+        debug_assert_eq!(in_sources.len(), m);
+
+        // Dangling list: only sources named by the delta can change state.
+        let mut changed: Vec<NodeId> = delta
+            .inserted
+            .iter()
+            .chain(&delta.deleted)
+            .map(|&(s, _)| s)
+            .collect();
+        changed.sort_unstable();
+        changed.dedup();
+        let mut dangling: Vec<NodeId> = self
+            .dangling
+            .iter()
+            .copied()
+            .filter(|v| changed.binary_search(v).is_err())
+            .chain(
+                changed
+                    .iter()
+                    .copied()
+                    .filter(|&v| new_graph.out_degree(v) == 0),
+            )
+            .collect();
+        dangling.sort_unstable();
+
+        // Arc permutation: one pass over the new CSR against the patched
+        // offsets (identical slot assignment to a fresh build).
+        let (offsets, targets, _) = new_graph.parts();
+        let mut cursor: Vec<usize> = in_offsets[..n].to_vec();
+        let mut csc_slot_of_arc = vec![0usize; m];
+        for v in 0..n {
+            for k in offsets[v]..offsets[v + 1] {
+                let t = targets[k] as usize;
+                let slot = cursor[t];
+                cursor[t] += 1;
+                debug_assert_eq!(in_sources[slot], v as NodeId, "patched span order");
+                csc_slot_of_arc[k] = slot;
+            }
+        }
+
+        Ok(CscStructure {
+            in_offsets,
+            in_sources,
+            csc_slot_of_arc,
+            dangling,
+            num_nodes: n,
+        })
     }
 
     /// Number of nodes covered.
@@ -154,6 +339,54 @@ impl CscStructure {
     pub fn arc_balanced_partition(&self, parts: usize) -> Vec<std::ops::Range<usize>> {
         arc_balanced_partition(&self.in_offsets, parts)
     }
+}
+
+/// Length of the run of edits targeting `t`, starting at `start`. `edits`
+/// is sorted by `(target, source)` and runs are consumed in ascending
+/// target order, so the run (possibly empty) always begins at `start`.
+fn run_len(edits: &[(NodeId, NodeId)], start: usize, t: NodeId) -> usize {
+    edits[start..]
+        .iter()
+        .take_while(|&&(tt, _)| tt == t)
+        .count()
+}
+
+/// Merge one destination's old source span (ascending) with its inserted
+/// sources minus its deleted sources (both `(target, source)` pairs of one
+/// fixed target, ascending by source), appending to `out`. Each deletion
+/// consumes exactly one matching occurrence. Returns the source of an
+/// unmatched deletion as the error.
+fn merge_span(
+    old: &[NodeId],
+    ins: &[(NodeId, NodeId)],
+    del: &[(NodeId, NodeId)],
+    out: &mut Vec<NodeId>,
+) -> std::result::Result<(), NodeId> {
+    let mut ip = 0usize;
+    let mut dp = 0usize;
+    for &src in old {
+        while ip < ins.len() && ins[ip].1 < src {
+            out.push(ins[ip].1);
+            ip += 1;
+        }
+        if dp < del.len() {
+            if del[dp].1 < src {
+                return Err(del[dp].1);
+            }
+            if del[dp].1 == src {
+                dp += 1;
+                continue;
+            }
+        }
+        out.push(src);
+    }
+    for &(_, s) in &ins[ip..] {
+        out.push(s);
+    }
+    if dp < del.len() {
+        return Err(del[dp].1);
+    }
+    Ok(())
 }
 
 /// See [`CscStructure::arc_balanced_partition`]; `offsets` is any CSR/CSC
@@ -289,6 +522,125 @@ mod tests {
             arcs_in(&ranges[0]) >= 999 / 2,
             "hub range must carry the hub's arcs"
         );
+    }
+
+    #[test]
+    fn patched_matches_fresh_build() {
+        use crate::delta::{DeltaGraph, EdgeBatch};
+        let g = barabasi_albert(200, 3, 17).unwrap();
+        let csc = CscStructure::build(&g);
+        let mut dg = DeltaGraph::new(g.clone()).unwrap();
+        let mut batch = EdgeBatch::new();
+        // Delete a few existing edges and insert a few new ones.
+        batch.delete(0, g.neighbors(0)[0]);
+        batch.delete(5, g.neighbors(5)[0]);
+        for (u, v) in [(1u32, 150u32), (7, 199), (42, 43)] {
+            if !g.has_arc(u, v) {
+                batch.insert(u, v);
+            }
+        }
+        let out = dg.apply_batch(&batch).unwrap();
+        let g2 = dg.snapshot();
+        let patched = csc.patched(&g2, &out.delta).unwrap();
+        assert_eq!(patched, CscStructure::build(&g2));
+    }
+
+    #[test]
+    fn patched_creates_and_heals_dangling() {
+        // 0 -> 1 only; deleting it makes 0 dangling, inserting 1 -> 0
+        // heals 1.
+        let mut b = GraphBuilder::new(Direction::Directed, 2);
+        b.add_edge(0, 1);
+        let g = b.build().unwrap();
+        let csc = CscStructure::build(&g);
+        assert_eq!(csc.dangling(), &[1]);
+
+        let g2 = GraphBuilder::new(Direction::Directed, 2).build().unwrap();
+        let delta = crate::delta::ArcDelta {
+            inserted: vec![],
+            deleted: vec![(0, 1)],
+        };
+        let patched = csc.patched(&g2, &delta).unwrap();
+        assert_eq!(patched, CscStructure::build(&g2));
+        assert_eq!(patched.dangling(), &[0, 1]);
+    }
+
+    #[test]
+    fn patched_rejects_inconsistent_deltas() {
+        let g = sample();
+        let csc = CscStructure::build(&g);
+        // Arc-count mismatch.
+        let err = csc
+            .patched(
+                &g,
+                &crate::delta::ArcDelta {
+                    inserted: vec![(3, 0)],
+                    deleted: vec![],
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, crate::error::GraphError::Snapshot(_)));
+        // Deleting an arc that does not exist.
+        let mut b = GraphBuilder::new(Direction::Directed, 4);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        let g2 = b.build().unwrap();
+        let err = csc
+            .patched(
+                &g2,
+                &crate::delta::ArcDelta {
+                    inserted: vec![],
+                    deleted: vec![(3, 2)],
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, crate::error::GraphError::Snapshot(_)));
+    }
+
+    #[test]
+    fn patched_rejects_count_matching_but_wrong_delta() {
+        // sample(): arcs 0->1, 0->2, 1->2. Swap 1->2 for 1->3: the new
+        // graph gained (1, 3), but the delta claims (1, 0) was inserted —
+        // counts match, content does not.
+        let g = sample();
+        let csc = CscStructure::build(&g);
+        let mut b = GraphBuilder::new(Direction::Directed, 4);
+        b.add_edge(0, 1);
+        b.add_edge(0, 2);
+        b.add_edge(1, 3);
+        let g2 = b.build().unwrap();
+        let err = csc
+            .patched(
+                &g2,
+                &crate::delta::ArcDelta {
+                    inserted: vec![(1, 0)],
+                    deleted: vec![(1, 2)],
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, crate::error::GraphError::Snapshot(_)));
+        // The honest delta succeeds.
+        let ok = csc
+            .patched(
+                &g2,
+                &crate::delta::ArcDelta {
+                    inserted: vec![(1, 3)],
+                    deleted: vec![(1, 2)],
+                },
+            )
+            .unwrap();
+        assert_eq!(ok, CscStructure::build(&g2));
+        // Out-of-range edits are rejected, not panicked on.
+        let err = csc
+            .patched(
+                &g2,
+                &crate::delta::ArcDelta {
+                    inserted: vec![(1, 9)],
+                    deleted: vec![(1, 2)],
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, crate::error::GraphError::Snapshot(_)));
     }
 
     #[test]

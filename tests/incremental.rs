@@ -1,0 +1,190 @@
+//! End-to-end property tests for the incremental-update pipeline:
+//! `DeltaGraph::apply_batch` → `CscStructure::patched` →
+//! `Engine::resolve_incremental` must match a cold solve of the updated
+//! snapshot to 1e-8, across random graphs, churn batches, and thread
+//! counts.
+
+use d2pr_core::engine::Engine;
+use d2pr_core::pagerank::PageRankConfig;
+use d2pr_core::transition::TransitionModel;
+use d2pr_graph::builder::GraphBuilder;
+use d2pr_graph::csr::{CsrGraph, Direction};
+use d2pr_graph::delta::{DeltaGraph, EdgeBatch};
+use d2pr_graph::generators::barabasi_albert;
+use d2pr_graph::transpose::CscStructure;
+use proptest::prelude::*;
+
+/// Tight enough that two converged solves sit within ~1e-9 of the unique
+/// fixed point each, guaranteeing 1e-8 agreement.
+fn tight_config() -> PageRankConfig {
+    PageRankConfig {
+        tolerance: 1e-11,
+        max_iterations: 2_000,
+        ..Default::default()
+    }
+}
+
+fn assert_close(a: &[f64], b: &[f64], eps: f64) {
+    assert_eq!(a.len(), b.len());
+    let l1: f64 = a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum();
+    assert!(l1 < eps, "L1 divergence {l1:.3e} exceeds {eps:.0e}");
+}
+
+/// Run one churn batch through the full incremental pipeline and return
+/// `(cold, warm)` results on the updated snapshot.
+fn churn_roundtrip(
+    base: CsrGraph,
+    batch: &EdgeBatch,
+    model: TransitionModel,
+    threads: usize,
+) -> (Vec<f64>, Vec<f64>, usize, usize) {
+    let config = tight_config();
+    let csc0 = CscStructure::build(&base);
+    let mut engine0 = Engine::with_structure(&base, csc0, threads)
+        .expect("fresh structure")
+        .with_config(config)
+        .expect("valid config");
+    let before = engine0.solve_model(model).expect("initial solve");
+    let csc0 = engine0.into_structure();
+
+    let mut dg = DeltaGraph::new(base).expect("unweighted");
+    let outcome = dg.apply_batch(batch).expect("in-range batch");
+    let snapshot = dg.snapshot();
+    let patched = csc0.patched(&snapshot, &outcome.delta).expect("consistent");
+    let mut engine = Engine::with_structure(&snapshot, patched, threads)
+        .expect("patched structure matches snapshot")
+        .with_config(config)
+        .expect("valid config");
+    engine.set_model(model).expect("valid model");
+    let warm = engine
+        .resolve_incremental(&before.scores)
+        .expect("valid warm start");
+    let cold = engine.solve().expect("cold solve");
+    assert!(warm.converged && cold.converged);
+    (cold.scores, warm.scores, cold.iterations, warm.iterations)
+}
+
+/// ~1% churn batch for a BA graph: delete `k` early-attachment edges,
+/// insert `k` fresh ones, `k` chosen from the edge count.
+fn churn_batch(g: &CsrGraph, k: usize, salt: u32) -> EdgeBatch {
+    let n = g.num_nodes() as u32;
+    let mut batch = EdgeBatch::new();
+    let mut deleted = 0;
+    for (u, v) in g.arcs().filter(|&(u, v)| u < v) {
+        // Deterministic pseudo-random selection without an RNG dependency.
+        if (u.wrapping_mul(2654435761).wrapping_add(v) ^ salt) % 97 < 2 {
+            batch.delete(u, v);
+            deleted += 1;
+            if deleted == k {
+                break;
+            }
+        }
+    }
+    for i in 0..k as u32 {
+        let u = (i.wrapping_mul(48271).wrapping_add(salt)) % n;
+        let v = (i.wrapping_mul(69621).wrapping_add(salt / 2)) % n;
+        if u != v && !g.has_arc(u, v) {
+            batch.insert(u, v);
+        }
+    }
+    batch
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Acceptance criterion: after a ~1% edge-churn batch,
+    /// `resolve_incremental` matches a cold solve to 1e-8, for random BA
+    /// graphs, de-coupling weights, and thread counts.
+    #[test]
+    fn warm_resolve_matches_cold_to_1e8(
+        seed in 0u64..1_000,
+        p in -2.0f64..2.0,
+        threads in 1usize..5,
+        salt in 0u32..10_000,
+    ) {
+        let g = barabasi_albert(600, 4, seed).expect("generator");
+        let churn = (g.num_edges() / 100).max(1);
+        let batch = churn_batch(&g, churn, salt);
+        prop_assume!(!batch.is_empty());
+        let model = TransitionModel::DegreeDecoupled { p };
+        let (cold, warm, _, _) = churn_roundtrip(g, &batch, model, threads);
+        let l1: f64 = cold.iter().zip(&warm).map(|(x, y)| (x - y).abs()).sum();
+        prop_assert!(l1 < 1e-8, "L1 divergence {l1:.3e} >= 1e-8 (p={p}, threads={threads})");
+        // Both are probability distributions.
+        prop_assert!((warm.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    /// Repeated batches through one evolving pipeline keep parity batch
+    /// after batch (state carried forward: scores, structure, overlay).
+    #[test]
+    fn multi_batch_pipeline_keeps_parity(seed in 0u64..500, salt in 0u32..10_000) {
+        let g = barabasi_albert(300, 3, seed).expect("generator");
+        let config = tight_config();
+        let model = TransitionModel::DegreeDecoupled { p: 0.5 };
+        let mut csc = CscStructure::build(&g);
+        let mut prev = {
+            let mut e = Engine::with_structure(&g, csc, 2).unwrap()
+                .with_config(config).unwrap();
+            let r = e.solve_model(model).unwrap();
+            csc = e.into_structure();
+            r.scores
+        };
+        let mut dg = DeltaGraph::new(g).unwrap().with_compaction_threshold(0.01, 8);
+        for round in 0..3u32 {
+            let snapshot_before = dg.snapshot();
+            let batch = churn_batch(&snapshot_before, 4, salt.wrapping_add(round));
+            prop_assume!(!batch.is_empty());
+            let outcome = dg.apply_batch(&batch).expect("in-range");
+            let snapshot = dg.snapshot();
+            csc = csc.patched(&snapshot, &outcome.delta).expect("consistent");
+            let mut engine = Engine::with_structure(&snapshot, csc, 2).unwrap()
+                .with_config(config).unwrap();
+            engine.set_model(model).unwrap();
+            let warm = engine.resolve_incremental(&prev).unwrap();
+            let cold = engine.solve().unwrap();
+            let l1: f64 = cold.scores.iter().zip(&warm.scores)
+                .map(|(x, y)| (x - y).abs()).sum();
+            prop_assert!(l1 < 1e-8, "round {round}: divergence {l1:.3e}");
+            prev = warm.scores;
+            csc = engine.into_structure();
+        }
+    }
+}
+
+#[test]
+fn directed_churn_with_dangling_nodes() {
+    // Directed chain + extra arcs; deletions create fresh dangling nodes,
+    // exercising the patched dangling list end-to-end.
+    let mut b = GraphBuilder::new(Direction::Directed, 60);
+    for v in 0..50u32 {
+        b.add_edge(v, v + 1);
+        b.add_edge(v, (v * 13 + 7) % 60);
+    }
+    let g = b.build().unwrap();
+    let mut batch = EdgeBatch::new();
+    batch.delete(49, 50); // 49 may lose its last out-arc
+    batch.delete(49, (49 * 13 + 7) % 60);
+    batch.insert(55, 0);
+    let (cold, warm, _, _) =
+        churn_roundtrip(g, &batch, TransitionModel::DegreeDecoupled { p: 1.0 }, 3);
+    assert_close(&cold, &warm, 1e-8);
+}
+
+#[test]
+fn warm_start_from_stale_vector_still_converges_to_fixed_point() {
+    // Even a badly stale previous vector (from a very different graph
+    // state) must not change the fixed point — only the iteration count.
+    let g = barabasi_albert(400, 4, 99).unwrap();
+    let config = tight_config();
+    let mut engine = Engine::with_threads(&g, 2).with_config(config).unwrap();
+    engine
+        .set_model(TransitionModel::DegreeDecoupled { p: -1.0 })
+        .unwrap();
+    let cold = engine.solve().unwrap();
+    // A deliberately terrible warm start: all mass on one node.
+    let mut stale = vec![0.0; 400];
+    stale[17] = 1.0;
+    let warm = engine.resolve_incremental(&stale).unwrap();
+    assert_close(&cold.scores, &warm.scores, 1e-8);
+}
