@@ -15,10 +15,36 @@
 //! * [`monte_carlo_ppr`] — terminating random walks with restart; the
 //!   empirical visit distribution converges to PPR at `O(1/√walks)`.
 
+use crate::error::SolverError;
 use crate::transition::TransitionMatrix;
 use d2pr_graph::csr::{CsrGraph, NodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Shared validation for the approximate-PPR entry points.
+fn validate_inputs(
+    graph: &CsrGraph,
+    matrix: &TransitionMatrix,
+    seed: NodeId,
+    alpha: f64,
+) -> Result<(), SolverError> {
+    let n = graph.num_nodes();
+    if matrix.num_nodes() != n {
+        return Err(SolverError::GraphMismatch {
+            operator_nodes: matrix.num_nodes(),
+            graph_nodes: n,
+        });
+    }
+    if (seed as usize) >= n {
+        return Err(SolverError::SeedOutOfRange { seed, num_nodes: n });
+    }
+    if !(0.0..1.0).contains(&alpha) {
+        return Err(SolverError::InvalidConfig(format!(
+            "alpha must lie in [0,1), got {alpha}"
+        )));
+    }
+    Ok(())
+}
 
 /// Result of an approximate PPR computation.
 #[derive(Debug, Clone)]
@@ -55,19 +81,25 @@ impl ApproxResult {
 /// in the exact solver; `epsilon` bounds the per-node residual left
 /// un-pushed. Smaller `epsilon` means more work and better accuracy.
 ///
-/// # Panics
-/// Panics when the seed is out of range or parameters are invalid.
+/// # Errors
+/// Returns [`SolverError::SeedOutOfRange`] for an out-of-range seed,
+/// [`SolverError::GraphMismatch`] when the operator was built for a
+/// different graph, and [`SolverError::InvalidConfig`] for an `alpha`
+/// outside `[0,1)` or a non-positive `epsilon`.
 pub fn forward_push(
     graph: &CsrGraph,
     matrix: &TransitionMatrix,
     seed: NodeId,
     alpha: f64,
     epsilon: f64,
-) -> ApproxResult {
+) -> Result<ApproxResult, SolverError> {
     let n = graph.num_nodes();
-    assert!((seed as usize) < n, "seed {seed} out of range");
-    assert!((0.0..1.0).contains(&alpha), "alpha must lie in [0,1)");
-    assert!(epsilon > 0.0, "epsilon must be positive");
+    validate_inputs(graph, matrix, seed, alpha)?;
+    if epsilon <= 0.0 || epsilon.is_nan() {
+        return Err(SolverError::InvalidConfig(format!(
+            "epsilon must be positive, got {epsilon}"
+        )));
+    }
 
     let (offsets, targets, _) = graph.parts();
     let probs = matrix.arc_probs();
@@ -113,16 +145,20 @@ pub fn forward_push(
     }
 
     let touched = estimate.iter().filter(|&&x| x > 0.0).count();
-    ApproxResult {
+    Ok(ApproxResult {
         scores: estimate,
         work,
         touched,
-    }
+    })
 }
 
 /// Monte-Carlo PPR: run `walks` random walks from the seed; each step
 /// terminates with probability `1 − alpha`, and the termination node is
 /// tallied. The normalized tally estimates the PPR vector.
+///
+/// # Errors
+/// As [`forward_push`], with `walks == 0` rejected as
+/// [`SolverError::InvalidConfig`].
 pub fn monte_carlo_ppr(
     graph: &CsrGraph,
     matrix: &TransitionMatrix,
@@ -130,11 +166,12 @@ pub fn monte_carlo_ppr(
     alpha: f64,
     walks: usize,
     rng_seed: u64,
-) -> ApproxResult {
+) -> Result<ApproxResult, SolverError> {
     let n = graph.num_nodes();
-    assert!((seed as usize) < n, "seed {seed} out of range");
-    assert!((0.0..1.0).contains(&alpha), "alpha must lie in [0,1)");
-    assert!(walks > 0, "need at least one walk");
+    validate_inputs(graph, matrix, seed, alpha)?;
+    if walks == 0 {
+        return Err(SolverError::InvalidConfig("need at least one walk".into()));
+    }
 
     let (offsets, targets, _) = graph.parts();
     let probs = matrix.arc_probs();
@@ -174,11 +211,11 @@ pub fn monte_carlo_ppr(
         .map(|&c| f64::from(c) / walks as f64)
         .collect();
     let touched = counts.iter().filter(|&&c| c > 0).count();
-    ApproxResult {
+    Ok(ApproxResult {
         scores,
         work,
         touched,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -207,7 +244,7 @@ mod tests {
         let g = erdos_renyi_nm(80, 320, 11).unwrap();
         let m = TransitionMatrix::build(&g, TransitionModel::Standard);
         let exact = exact_ppr(&g, &m, 5, 0.85);
-        let approx = forward_push(&g, &m, 5, 0.85, 1e-8);
+        let approx = forward_push(&g, &m, 5, 0.85, 1e-8).unwrap();
         let l1: f64 = exact
             .iter()
             .zip(&approx.scores)
@@ -221,7 +258,7 @@ mod tests {
         let g = barabasi_albert(100, 3, 3).unwrap();
         let m = TransitionMatrix::build(&g, TransitionModel::DegreeDecoupled { p: 1.0 });
         let exact = exact_ppr(&g, &m, 0, 0.85);
-        let approx = forward_push(&g, &m, 0, 0.85, 1e-9);
+        let approx = forward_push(&g, &m, 0, 0.85, 1e-9).unwrap();
         let l1: f64 = exact
             .iter()
             .zip(&approx.scores)
@@ -234,8 +271,8 @@ mod tests {
     fn forward_push_coarse_epsilon_is_local() {
         let g = barabasi_albert(2_000, 3, 7).unwrap();
         let m = TransitionMatrix::build(&g, TransitionModel::Standard);
-        let coarse = forward_push(&g, &m, 42, 0.85, 1e-3);
-        let fine = forward_push(&g, &m, 42, 0.85, 1e-7);
+        let coarse = forward_push(&g, &m, 42, 0.85, 1e-3).unwrap();
+        let fine = forward_push(&g, &m, 42, 0.85, 1e-7).unwrap();
         assert!(
             coarse.touched < fine.touched,
             "coarser epsilon must touch fewer nodes"
@@ -264,7 +301,7 @@ mod tests {
         b.add_edge(0, 1); // 1 dangling, 2 isolated
         let g = b.build().unwrap();
         let m = TransitionMatrix::build(&g, TransitionModel::Standard);
-        let r = forward_push(&g, &m, 0, 0.85, 1e-10);
+        let r = forward_push(&g, &m, 0, 0.85, 1e-10).unwrap();
         assert!(r.scores[0] > 0.0);
         assert!(r.scores[1] > 0.0);
         assert_eq!(r.scores[2], 0.0);
@@ -277,8 +314,8 @@ mod tests {
         let g = erdos_renyi_nm(60, 240, 5).unwrap();
         let m = TransitionMatrix::build(&g, TransitionModel::Standard);
         let exact = exact_ppr(&g, &m, 3, 0.85);
-        let few = monte_carlo_ppr(&g, &m, 3, 0.85, 200, 1);
-        let many = monte_carlo_ppr(&g, &m, 3, 0.85, 20_000, 1);
+        let few = monte_carlo_ppr(&g, &m, 3, 0.85, 200, 1).unwrap();
+        let many = monte_carlo_ppr(&g, &m, 3, 0.85, 20_000, 1).unwrap();
         let l1 =
             |approx: &[f64]| -> f64 { exact.iter().zip(approx).map(|(a, b)| (a - b).abs()).sum() };
         assert!(
@@ -296,8 +333,8 @@ mod tests {
     fn monte_carlo_is_deterministic_per_seed() {
         let g = erdos_renyi_nm(30, 90, 2).unwrap();
         let m = TransitionMatrix::build(&g, TransitionModel::Standard);
-        let a = monte_carlo_ppr(&g, &m, 1, 0.85, 500, 9);
-        let b = monte_carlo_ppr(&g, &m, 1, 0.85, 500, 9);
+        let a = monte_carlo_ppr(&g, &m, 1, 0.85, 500, 9).unwrap();
+        let b = monte_carlo_ppr(&g, &m, 1, 0.85, 500, 9).unwrap();
         assert_eq!(a.scores, b.scores);
     }
 
@@ -305,7 +342,7 @@ mod tests {
     fn approx_ranking_excludes_untouched() {
         let g = barabasi_albert(500, 2, 4).unwrap();
         let m = TransitionMatrix::build(&g, TransitionModel::Standard);
-        let r = forward_push(&g, &m, 10, 0.85, 1e-3);
+        let r = forward_push(&g, &m, 10, 0.85, 1e-3).unwrap();
         let ranking = r.ranking();
         assert_eq!(ranking.len(), r.touched);
         assert!(ranking.contains(&10));
@@ -316,10 +353,37 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "out of range")]
-    fn forward_push_rejects_bad_seed() {
+    fn bad_inputs_return_typed_errors() {
         let g = erdos_renyi_nm(5, 8, 1).unwrap();
         let m = TransitionMatrix::build(&g, TransitionModel::Standard);
-        forward_push(&g, &m, 99, 0.85, 1e-4);
+        assert_eq!(
+            forward_push(&g, &m, 99, 0.85, 1e-4).unwrap_err(),
+            SolverError::SeedOutOfRange {
+                seed: 99,
+                num_nodes: 5
+            }
+        );
+        assert!(matches!(
+            forward_push(&g, &m, 0, 1.5, 1e-4),
+            Err(SolverError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            forward_push(&g, &m, 0, 0.85, 0.0),
+            Err(SolverError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            monte_carlo_ppr(&g, &m, 0, 0.85, 0, 1),
+            Err(SolverError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            monte_carlo_ppr(&g, &m, 2, -0.1, 10, 1),
+            Err(SolverError::InvalidConfig(_))
+        ));
+        let other = erdos_renyi_nm(9, 20, 2).unwrap();
+        let m_other = TransitionMatrix::build(&other, TransitionModel::Standard);
+        assert!(matches!(
+            forward_push(&g, &m_other, 0, 0.85, 1e-4),
+            Err(SolverError::GraphMismatch { .. })
+        ));
     }
 }

@@ -28,9 +28,12 @@
 
 use crate::error::{SolverError, UpdateError};
 use crate::pagerank::{DanglingPolicy, PageRankConfig, PageRankResult};
+use crate::residual::{LocalOp, LocalizedParams};
 use crate::transition::{fill_arc_probs, ProbScratch, TransitionMatrix, TransitionModel};
 use crate::workspace::Workspace;
 use d2pr_graph::csr::CsrGraph;
+use d2pr_graph::delta::ArcDelta;
+use d2pr_graph::error::GraphError;
 use d2pr_graph::transpose::CscStructure;
 use std::cell::UnsafeCell;
 use std::ops::Range;
@@ -41,6 +44,201 @@ use std::sync::Barrier;
 /// available parallelism.
 pub fn default_threads() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Which strategy an incremental re-solve actually ran (the auto-selecting
+/// [`Engine::resolve_incremental`] chooses; the explicit entry points can
+/// still fall back — see [`Engine::resolve_localized`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResolveMode {
+    /// Warm-started full power-iteration sweep ([`Engine::resolve_warm`]).
+    WarmSweep,
+    /// Residual-localized Gauss–Southwell push ([`crate::residual`]).
+    LocalizedPush,
+    /// Push phase followed by a sweep finisher: the push drained the
+    /// concentrated residual (where it is several times more
+    /// work-efficient than sweeping), then handed the fragmented
+    /// low-amplitude tail to the extrapolated sweep, seeded from the
+    /// pushed iterate — typically several error decades ahead of the
+    /// plain warm start.
+    HybridPushSweep,
+    /// Dense Gauss–Seidel, warm-started — the tiny-graph fallback.
+    DenseGaussSeidel,
+}
+
+/// Result of an incremental re-solve, with strategy diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IncrementalOutcome {
+    /// The refreshed solve. For [`ResolveMode::LocalizedPush`],
+    /// `iterations` counts residual *pushes* (node-local updates, each
+    /// `O(out-degree)`) rather than full sweeps, and `residual` is the
+    /// final tracked L1 residual mass.
+    pub result: PageRankResult,
+    /// The strategy that produced the result.
+    pub mode: ResolveMode,
+    /// Rows on which the initial residual was evaluated (0 for sweeps).
+    pub frontier: usize,
+    /// Residual pushes performed (0 for sweeps).
+    pub pushes: usize,
+}
+
+/// The graph-independent state of an [`Engine`], recovered with
+/// [`Engine::into_state`] and revived with [`Engine::from_state`] — the
+/// serving-loop handoff for evolving graphs.
+///
+/// An engine borrows its graph, so each delta batch (which produces a new
+/// snapshot) requires a new engine. Rebuilding one from scratch pays
+/// `O(V + E)` for the Θ/ln Θ tables and — worse — `O(E)` in `set_model`
+/// for the factored operator's denominators, even when a single edge
+/// changed. `EngineState` instead carries every table across the
+/// generation change and [`EngineState::patched`] repairs exactly the
+/// entries the [`ArcDelta`] invalidated: Θ/ln Θ and the dangling mask at
+/// changed sources, the factored operator's destination factor at
+/// Θ-changed nodes and its source denominators at changed columns — all
+/// `O(frontier)`, with the transpose patched structurally
+/// ([`CscStructure::patched_structural`], no `O(E)` permutation rebuild).
+/// The [`Workspace`] rides along, so the residual-localized scratch keeps
+/// its sizing and steady-state serving performs no solver allocations.
+///
+/// ```
+/// use d2pr_core::engine::Engine;
+/// use d2pr_core::transition::TransitionModel;
+/// use d2pr_graph::delta::{DeltaGraph, EdgeBatch};
+/// use d2pr_graph::generators::barabasi_albert;
+///
+/// let g = barabasi_albert(300, 3, 11).unwrap();
+/// let mut engine = Engine::with_threads(&g, 1);
+/// engine.set_model(TransitionModel::DegreeDecoupled { p: 0.5 }).unwrap();
+/// let mut served = engine.solve().unwrap().scores;
+/// let mut state = engine.into_state();
+/// let mut dg = DeltaGraph::new(g).unwrap();
+///
+/// // The serving loop: per batch, patch the state, revive the engine,
+/// // refresh incrementally.
+/// for round in 0..3u32 {
+///     let mut batch = EdgeBatch::new();
+///     batch.insert(round, 299 - round);
+///     let outcome = dg.apply_batch(&batch).unwrap();
+///     let snapshot = dg.snapshot();
+///     state = state.patched(&snapshot, &outcome.delta).unwrap();
+///     let mut engine = Engine::from_state(&snapshot, state).unwrap();
+///     let refreshed = engine.resolve_incremental(&served, &outcome.delta).unwrap();
+///     assert!(refreshed.result.converged);
+///     served = refreshed.result.scores;
+///     state = engine.into_state();
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct EngineState {
+    csc: CscStructure,
+    theta: Vec<f64>,
+    log_theta: Vec<f64>,
+    max_log_theta: f64,
+    dangling_mask: Vec<bool>,
+    node_numer: Vec<f64>,
+    inv_denom: Vec<f64>,
+    scaled_a: Vec<f64>,
+    scaled_b: Vec<f64>,
+    factored: bool,
+    model: Option<TransitionModel>,
+    config: PageRankConfig,
+    threads: usize,
+    csr_probs: Vec<f64>,
+    in_probs: Vec<f64>,
+    scratch: ProbScratch,
+    ws: Workspace,
+    /// The carried operator no longer matches the graph (arc-mode model,
+    /// or factored eligibility flipped): `from_state` re-runs `set_model`.
+    needs_remodel: bool,
+}
+
+impl EngineState {
+    /// The transpose structure carried by this state.
+    pub fn csc(&self) -> &CscStructure {
+        &self.csc
+    }
+
+    /// Advance the state across one delta batch: patch the transpose
+    /// structurally and repair the Θ/operator tables at exactly the
+    /// entries the delta touched (see the type docs). `new_graph` must be
+    /// the post-batch snapshot and `delta` the batch's effective arc
+    /// delta.
+    ///
+    /// Arc-mode operators (`β > 0`, extreme `p`) cannot be patched
+    /// per-entry — their per-arc buffers shift with every arc index — so
+    /// they are marked stale and rebuilt by [`Engine::from_state`] (the
+    /// same `O(E)` cost as before this type existed; no regression).
+    ///
+    /// # Errors
+    /// Returns [`UpdateError::Graph`] when the delta does not connect the
+    /// carried structure to `new_graph` (see [`CscStructure::patched`]) or
+    /// `new_graph` is weighted.
+    pub fn patched(
+        mut self,
+        new_graph: &CsrGraph,
+        delta: &ArcDelta,
+    ) -> Result<EngineState, UpdateError> {
+        if new_graph.is_weighted() {
+            return Err(UpdateError::Graph(GraphError::Snapshot(
+                "engine state patch supports unweighted snapshots only".into(),
+            )));
+        }
+        let csc = self.csc.patched_structural(new_graph, delta)?;
+        self.csc = csc;
+
+        // Θ / ln Θ / dangling at changed sources.
+        let source_changes = delta.source_degree_changes();
+        let mut theta_changed: Vec<u32> = Vec::new();
+        for &(v, net) in &source_changes {
+            let vu = v as usize;
+            self.dangling_mask[vu] = new_graph.out_degree(v) == 0;
+            if net != 0 {
+                let deg = f64::from(new_graph.kernel_degree(v));
+                self.theta[vu] = deg;
+                self.log_theta[vu] = deg.max(1.0).ln();
+                theta_changed.push(v);
+            }
+        }
+        self.max_log_theta = self.log_theta.iter().copied().fold(0.0f64, f64::max);
+
+        if let Some(model) = self.model {
+            let still_factored = factored_eligible(self.max_log_theta, &model);
+            if self.factored && still_factored {
+                // Patch the factored operator in place: destination
+                // factors at Θ-changed nodes, source denominators at
+                // changed columns (delta sources plus the in-neighbors of
+                // every Θ-changed node).
+                let p = model.p();
+                for &w in &theta_changed {
+                    self.node_numer[w as usize] = (-p * self.log_theta[w as usize]).exp();
+                }
+                let mut cols: Vec<u32> = source_changes.iter().map(|&(v, _)| v).collect();
+                for &w in &theta_changed {
+                    cols.extend_from_slice(self.csc.in_neighbors(w));
+                }
+                cols.sort_unstable();
+                cols.dedup();
+                let (offsets, targets, _) = new_graph.parts();
+                for &i in &cols {
+                    let iu = i as usize;
+                    let (s, e) = (offsets[iu], offsets[iu + 1]);
+                    self.inv_denom[iu] = if s == e {
+                        0.0
+                    } else {
+                        let mut denom = 0.0;
+                        for &t in &targets[s..e] {
+                            denom += self.node_numer[t as usize];
+                        }
+                        1.0 / denom
+                    };
+                }
+                self.needs_remodel = false;
+            } else {
+                self.needs_remodel = true;
+            }
+        }
+        Ok(self)
+    }
 }
 
 /// Fused pull-based PageRank engine over a borrowed graph.
@@ -129,12 +327,13 @@ impl<'g> Engine<'g> {
     /// let outcome = dg.apply_batch(&batch).unwrap();
     /// let g2 = dg.snapshot();
     ///
-    /// // ... patch the transpose and warm-start from the previous ranks.
+    /// // ... patch the transpose and refresh incrementally: the auto mode
+    /// // picks a residual-localized push for a batch this small.
     /// let csc2 = engine.csc().patched(&g2, &outcome.delta).unwrap();
     /// let mut engine2 = Engine::with_structure(&g2, csc2, 1).unwrap();
     /// engine2.set_model(TransitionModel::DegreeDecoupled { p: 0.5 }).unwrap();
-    /// let after = engine2.resolve_incremental(&before.scores).unwrap();
-    /// assert!(after.converged);
+    /// let after = engine2.resolve_incremental(&before.scores, &outcome.delta).unwrap();
+    /// assert!(after.result.converged);
     /// ```
     ///
     /// # Errors
@@ -173,7 +372,6 @@ impl<'g> Engine<'g> {
         };
         let log_theta: Vec<f64> = theta.iter().map(|&t| t.max(1.0).ln()).collect();
         let max_log_theta = log_theta.iter().copied().fold(0.0f64, f64::max);
-        let m = graph.num_arcs();
         Self {
             graph,
             csc,
@@ -190,8 +388,11 @@ impl<'g> Engine<'g> {
             partitions,
             config: PageRankConfig::default(),
             model: None,
-            csr_probs: vec![0.0; m],
-            in_probs: vec![0.0; m],
+            // Sized lazily on the first arc-mode model: factored-only
+            // serving (the common case) never pays the two per-arc buffers,
+            // which dominate engine (re)construction cost on big graphs.
+            csr_probs: Vec::new(),
+            in_probs: Vec::new(),
             scratch: ProbScratch::default(),
             ws: Workspace::with_capacity(graph.num_nodes()),
         }
@@ -250,6 +451,86 @@ impl<'g> Engine<'g> {
         self.csc
     }
 
+    /// Consume the engine, recovering **all** graph-independent state —
+    /// transpose, Θ/ln Θ tables, factored operator, workspace (including
+    /// the residual-localized scratch) — for the serving-loop handoff:
+    /// patch it against the next snapshot ([`EngineState::patched`]) and
+    /// revive with [`Engine::from_state`], skipping every `O(E)` rebuild a
+    /// fresh construction would pay. See [`EngineState`] for the loop.
+    pub fn into_state(self) -> EngineState {
+        EngineState {
+            csc: self.csc,
+            theta: self.theta,
+            log_theta: self.log_theta,
+            max_log_theta: self.max_log_theta,
+            dangling_mask: self.dangling_mask,
+            node_numer: self.node_numer,
+            inv_denom: self.inv_denom,
+            scaled_a: self.scaled_a,
+            scaled_b: self.scaled_b,
+            factored: self.factored,
+            model: self.model,
+            config: self.config,
+            threads: self.threads,
+            csr_probs: self.csr_probs,
+            in_probs: self.in_probs,
+            scratch: self.scratch,
+            ws: self.ws,
+            needs_remodel: false,
+        }
+    }
+
+    /// Revive an engine over `graph` from a (patched) [`EngineState`]:
+    /// validates the carried structure against the graph, rebuilds only
+    /// the arc-balanced partitions (`O(V)`), and — when the carried
+    /// operator was marked stale — re-runs [`Engine::set_model`]. For the
+    /// factored serving path this makes engine succession `O(V)` instead
+    /// of `O(V + E)` with no per-arc buffer allocation at all.
+    ///
+    /// # Errors
+    /// Returns [`SolverError::StructureMismatch`] when the carried state
+    /// does not describe `graph`.
+    pub fn from_state(graph: &'g CsrGraph, state: EngineState) -> Result<Self, SolverError> {
+        let n = graph.num_nodes();
+        if state.csc.num_nodes() != n
+            || state.csc.num_arcs() != graph.num_arcs()
+            || state.theta.len() != n
+        {
+            return Err(SolverError::StructureMismatch {
+                structure: (state.csc.num_nodes(), state.csc.num_arcs()),
+                graph: (n, graph.num_arcs()),
+            });
+        }
+        let partitions = state.csc.arc_balanced_partition(state.threads);
+        let mut engine = Self {
+            graph,
+            csc: state.csc,
+            dangling_mask: state.dangling_mask,
+            theta: state.theta,
+            log_theta: state.log_theta,
+            max_log_theta: state.max_log_theta,
+            node_numer: state.node_numer,
+            inv_denom: state.inv_denom,
+            scaled_a: state.scaled_a,
+            scaled_b: state.scaled_b,
+            factored: state.factored,
+            threads: state.threads,
+            partitions,
+            config: state.config,
+            model: state.model,
+            csr_probs: state.csr_probs,
+            in_probs: state.in_probs,
+            scratch: state.scratch,
+            ws: state.ws,
+        };
+        if state.needs_remodel {
+            if let Some(model) = engine.model {
+                engine.set_model(model)?;
+            }
+        }
+        Ok(engine)
+    }
+
     /// Load a transition model: the **fused operator update**. Probabilities
     /// are computed in one pass over the graph (reusing the cached Θ table)
     /// and scattered through the cached CSR→CSC arc permutation, entirely
@@ -274,6 +555,14 @@ impl<'g> Engine<'g> {
         if self.factored {
             self.set_model_factored(model.p());
         } else {
+            let m = self.graph.num_arcs();
+            self.csr_probs.resize(m, 0.0);
+            self.in_probs.resize(m, 0.0);
+            // Structures patched on the serving path skip the CSR→CSC arc
+            // permutation; arc-mode operators are the only consumer.
+            if !self.csc.has_arc_permutation() {
+                self.csc.rebuild_arc_permutation(self.graph);
+            }
             fill_arc_probs(
                 self.graph,
                 model,
@@ -385,48 +674,44 @@ impl<'g> Engine<'g> {
         self.sweep_inner(models, teleport, warm_start, None)
     }
 
-    /// Re-solve after an incremental graph update, warm-starting from the
-    /// previous rank vector instead of the teleport distribution.
+    /// Re-solve after an incremental graph update with a warm-started
+    /// **full sweep**: seed the power iteration with the previous rank
+    /// vector instead of the teleport distribution.
     ///
-    /// This is the serving path for evolving graphs: apply a delta batch
-    /// ([`d2pr_graph::delta::DeltaGraph::apply_batch`]), patch the
-    /// transpose ([`CscStructure::patched`]), build the engine over the new
-    /// snapshot ([`Engine::with_structure`]), and seed the power iteration
-    /// with the pre-update solution. The fixed point is independent of the
-    /// seed (the iteration is a contraction), so the result matches a cold
-    /// solve to solver tolerance — only the iteration count changes, in
-    /// proportion to how little the batch perturbed the ranks. `previous`
-    /// is normalized internally; it must cover every node and carry
-    /// positive mass.
-    ///
-    /// See [`Engine::with_structure`] for a complete worked example, and
-    /// `crates/experiments` (`evolving`) for the cold-vs-warm iteration
-    /// accounting.
+    /// The fixed point is independent of the seed (the iteration is a
+    /// contraction), so the result matches a cold solve to solver
+    /// tolerance — only the iteration count changes, in proportion to how
+    /// little the batch perturbed the ranks. The iteration saving is
+    /// information-bounded (DESIGN.md, "Warm-start convergence contract");
+    /// for small batches prefer [`Engine::resolve_incremental`], which
+    /// escapes the bound by pushing the residual locally. `previous` is
+    /// normalized internally; it must cover every node and carry positive
+    /// mass.
     ///
     /// This entry point serves **uniform-teleport** ranks (it resets any
     /// previously set teleport); use
-    /// [`Engine::resolve_incremental_with_teleport`] when serving
-    /// personalized PageRank.
+    /// [`Engine::resolve_warm_with_teleport`] when serving personalized
+    /// PageRank.
     ///
     /// # Errors
     /// Returns [`UpdateError::Solver`] when no model is loaded, the config
     /// is invalid, or `previous` has the wrong length
     /// ([`SolverError::WarmStartLength`]) or no usable mass
     /// ([`SolverError::WarmStartMass`]).
-    pub fn resolve_incremental(&mut self, previous: &[f64]) -> Result<PageRankResult, UpdateError> {
-        self.resolve_incremental_with_teleport(previous, None)
+    pub fn resolve_warm(&mut self, previous: &[f64]) -> Result<PageRankResult, UpdateError> {
+        self.resolve_warm_with_teleport(previous, None)
     }
 
-    /// [`Engine::resolve_incremental`] with an explicit teleport
-    /// distribution (normalized internally; `None` = uniform) — the
-    /// incremental serving path for personalized PageRank. Pass the same
-    /// teleport the previous solve used; otherwise the re-solve converges
-    /// to a different fixed point than the one being served.
+    /// [`Engine::resolve_warm`] with an explicit teleport distribution
+    /// (normalized internally; `None` = uniform) — the warm-sweep serving
+    /// path for personalized PageRank. Pass the same teleport the previous
+    /// solve used; otherwise the re-solve converges to a different fixed
+    /// point than the one being served.
     ///
     /// # Errors
-    /// As [`Engine::resolve_incremental`], plus the teleport validation
-    /// errors of [`Engine::solve_with_teleport`].
-    pub fn resolve_incremental_with_teleport(
+    /// As [`Engine::resolve_warm`], plus the teleport validation errors of
+    /// [`Engine::solve_with_teleport`].
+    pub fn resolve_warm_with_teleport(
         &mut self,
         previous: &[f64],
         teleport: Option<&[f64]>,
@@ -446,6 +731,333 @@ impl<'g> Engine<'g> {
             .sweep_inner(&[model], teleport, false, Some(previous))
             .map_err(UpdateError::Solver)?;
         Ok(out.pop().expect("one model yields one result"))
+    }
+
+    /// Re-solve after an incremental graph update, **auto-selecting** the
+    /// refresh strategy from the batch: a residual-localized push
+    /// ([`Engine::resolve_localized`]) when the delta's footprint is small
+    /// relative to the graph, a warm full sweep ([`Engine::resolve_warm`])
+    /// when bulk churn would make localization pointless. This is the
+    /// recommended serving entry point for evolving graphs.
+    ///
+    /// The heuristic: localized solving costs work proportional to the
+    /// frontier (the in/out arcs of the delta's endpoints and their
+    /// neighborhoods), a sweep costs `O(E)` per iteration — so the push
+    /// path is chosen when the summed endpoint degree stays below
+    /// `num_nodes / 8`, which keeps its setup well under one sweep
+    /// iteration even after the one-hop expansion. Regardless of the
+    /// estimate, the localized attempt carries a hard work budget and
+    /// falls back to the warm sweep if locality is lost mid-push.
+    ///
+    /// `delta` must be the effective [`ArcDelta`] separating the graph
+    /// `previous` was solved on from this engine's graph (the value
+    /// [`DeltaGraph::apply_batch`](d2pr_graph::delta::DeltaGraph::apply_batch)
+    /// reports and [`CscStructure::patched`] consumes); it is validated
+    /// against the graph before any state changes.
+    ///
+    /// See [`Engine::with_structure`] for a complete worked example.
+    ///
+    /// # Errors
+    /// As [`Engine::resolve_warm`], plus [`UpdateError::Graph`] when the
+    /// delta does not describe this engine's graph.
+    pub fn resolve_incremental(
+        &mut self,
+        previous: &[f64],
+        delta: &ArcDelta,
+    ) -> Result<IncrementalOutcome, UpdateError> {
+        self.resolve_incremental_with_teleport(previous, None, delta)
+    }
+
+    /// [`Engine::resolve_incremental`] with an explicit teleport
+    /// distribution (normalized internally; `None` = uniform).
+    ///
+    /// # Errors
+    /// As [`Engine::resolve_incremental`].
+    pub fn resolve_incremental_with_teleport(
+        &mut self,
+        previous: &[f64],
+        teleport: Option<&[f64]>,
+        delta: &ArcDelta,
+    ) -> Result<IncrementalOutcome, UpdateError> {
+        self.resolve_inner(previous, teleport, delta, false)
+    }
+
+    /// Re-solve after an incremental graph update with the
+    /// **residual-localized** solver: compute the exact warm-start residual
+    /// on the frontier the delta touched and push it through the loaded
+    /// operator until the global L1 residual bound implies the configured
+    /// tolerance — work proportional to the perturbation's footprint, not
+    /// the graph (see [`crate::residual`] for the math and `DESIGN.md`,
+    /// "Residual-localized refresh", for the work bound).
+    ///
+    /// The result matches a cold solve of the same engine to solver
+    /// tolerance. Three situations route to a fallback (reported in the
+    /// returned [`IncrementalOutcome::mode`]):
+    ///
+    /// * tiny graphs run the dense, policy-complete Gauss–Seidel solver
+    ///   warm-started from `previous` — push bookkeeping would dominate;
+    /// * [`DanglingPolicy::Renormalize`] with dangling nodes present (a
+    ///   non-affine update) and weighted graphs run the warm sweep;
+    /// * a localized attempt that exceeds its work budget (locality lost)
+    ///   restarts as a warm sweep from `previous`.
+    ///
+    /// # Errors
+    /// As [`Engine::resolve_incremental`].
+    pub fn resolve_localized(
+        &mut self,
+        previous: &[f64],
+        delta: &ArcDelta,
+    ) -> Result<IncrementalOutcome, UpdateError> {
+        self.resolve_localized_with_teleport(previous, None, delta)
+    }
+
+    /// [`Engine::resolve_localized`] with an explicit teleport distribution
+    /// (normalized internally; `None` = uniform).
+    ///
+    /// # Errors
+    /// As [`Engine::resolve_incremental`].
+    pub fn resolve_localized_with_teleport(
+        &mut self,
+        previous: &[f64],
+        teleport: Option<&[f64]>,
+        delta: &ArcDelta,
+    ) -> Result<IncrementalOutcome, UpdateError> {
+        self.resolve_inner(previous, teleport, delta, true)
+    }
+
+    /// Whether the localized solver can serve the current configuration:
+    /// `Renormalize` is non-affine once dangling nodes exist — in the
+    /// post-batch graph *or* the pre-batch one (a batch that heals the
+    /// last dangling node leaves `previous` at a projective fixed point,
+    /// `σ ≠ 1`, whose residual `(σ−1)·x̂` is global and unseedable) — and
+    /// weighted graphs cannot arise from `DeltaGraph` batches (their Θ
+    /// table would need weight-aware delta reconciliation).
+    fn localized_supported(&self, delta: &ArcDelta) -> bool {
+        if self.graph.is_weighted() {
+            return false;
+        }
+        if self.config.dangling != crate::pagerank::DanglingPolicy::Renormalize {
+            return true;
+        }
+        self.csc.dangling().is_empty()
+            && delta
+                .source_degree_changes()
+                .iter()
+                .all(|&(v, net)| i64::from(self.graph.out_degree(v)) - net > 0)
+    }
+
+    /// `O(Δ)` proxy for the localized solve's footprint: summed in+out
+    /// degree over the delta's endpoints.
+    fn frontier_estimate(&self, delta: &ArcDelta) -> usize {
+        let in_offsets = self.csc.in_offsets();
+        delta
+            .touched_nodes()
+            .iter()
+            .map(|&v| {
+                let v = v as usize;
+                self.graph.out_degree(v as u32) as usize + (in_offsets[v + 1] - in_offsets[v])
+            })
+            .sum()
+    }
+
+    /// Validate that `delta` actually separates some predecessor graph
+    /// from this engine's graph: inserted arcs must be present, deleted
+    /// arcs absent, all endpoints in range.
+    fn validate_delta(&self, delta: &ArcDelta) -> Result<(), UpdateError> {
+        let n = self.graph.num_nodes() as u32;
+        for &(s, t) in delta.inserted.iter().chain(&delta.deleted) {
+            if s >= n || t >= n {
+                return Err(UpdateError::Graph(GraphError::Snapshot(format!(
+                    "resolve: delta arc {s} -> {t} is out of range for {n} nodes"
+                ))));
+            }
+        }
+        for &(s, t) in &delta.inserted {
+            if !self.graph.has_arc(s, t) {
+                return Err(UpdateError::Graph(GraphError::Snapshot(format!(
+                    "resolve: inserted arc {s} -> {t} is missing from the engine's graph"
+                ))));
+            }
+        }
+        for &(s, t) in &delta.deleted {
+            if self.graph.has_arc(s, t) {
+                return Err(UpdateError::Graph(GraphError::Snapshot(format!(
+                    "resolve: deleted arc {s} -> {t} is still present in the engine's graph"
+                ))));
+            }
+        }
+        Ok(())
+    }
+
+    /// Shared driver of the incremental entry points; `force_localized`
+    /// skips the frontier-size heuristic (explicit
+    /// [`Engine::resolve_localized`] calls).
+    fn resolve_inner(
+        &mut self,
+        previous: &[f64],
+        teleport: Option<&[f64]>,
+        delta: &ArcDelta,
+        force_localized: bool,
+    ) -> Result<IncrementalOutcome, UpdateError> {
+        self.model
+            .ok_or_else(|| SolverError::InvalidModel("no transition model loaded".into()))
+            .map_err(UpdateError::Solver)?;
+        self.config
+            .validate()
+            .map_err(|e| UpdateError::Solver(SolverError::InvalidConfig(e)))?;
+        let n = self.graph.num_nodes();
+        if previous.len() != n {
+            return Err(UpdateError::Solver(SolverError::WarmStartLength {
+                got: previous.len(),
+                expected: n,
+            }));
+        }
+        self.validate_delta(delta)?;
+        if n == 0 {
+            return Ok(IncrementalOutcome {
+                result: PageRankResult {
+                    scores: vec![],
+                    iterations: 0,
+                    residual: 0.0,
+                    converged: true,
+                },
+                mode: ResolveMode::LocalizedPush,
+                frontier: 0,
+                pushes: 0,
+            });
+        }
+        let choose_localized = self.localized_supported(delta)
+            && (force_localized || self.frontier_estimate(delta) <= n / 8);
+        if !choose_localized {
+            return self.warm_outcome(previous, teleport);
+        }
+
+        self.ws
+            .set_teleport(n, teleport)
+            .map_err(UpdateError::Solver)?;
+        self.ws
+            .init_rank(n, Some(previous))
+            .map_err(UpdateError::Solver)?;
+
+        // Tiny graphs: the (policy-complete) dense Gauss–Seidel solver is
+        // cheaper than push bookkeeping and halves sweep counts.
+        const DENSE_GS_NODES: usize = 128;
+        if n <= DENSE_GS_NODES {
+            let matrix = self.to_matrix().expect("model loaded");
+            let transpose = crate::parallel::TransposedMatrix::build(self.graph, &matrix);
+            let r = crate::gauss_seidel::gauss_seidel_with_workspace(
+                self.graph,
+                &transpose,
+                &self.config,
+                teleport,
+                Some(previous),
+                &mut self.ws,
+            )
+            .map_err(UpdateError::Solver)?;
+            if r.converged {
+                return Ok(IncrementalOutcome {
+                    result: r,
+                    mode: ResolveMode::DenseGaussSeidel,
+                    frontier: n,
+                    pushes: 0,
+                });
+            }
+            return self.warm_outcome(previous, teleport);
+        }
+
+        let op = if self.factored {
+            LocalOp::Factored {
+                numer: &self.node_numer,
+                inv_denom: &self.inv_denom,
+            }
+        } else {
+            LocalOp::Arc {
+                csr_probs: &self.csr_probs,
+                in_probs: &self.in_probs,
+            }
+        };
+        let params = LocalizedParams {
+            alpha: self.config.alpha,
+            p: self.model.expect("checked above").p(),
+            policy: self.config.dangling,
+            tolerance: self.config.tolerance,
+            // Pushing beats sweeping while the residual is concentrated;
+            // past ~half a sweep's worth of arc traversals the remaining
+            // mass is a graph-wide tail that the extrapolated sweep
+            // finisher handles in fewer wall-clock milliseconds per decade
+            // (sequential access, no queue bookkeeping).
+            work_budget: (self.graph.num_arcs() / 2).max(1 << 16),
+        };
+        let Workspace {
+            rank,
+            residual,
+            teleport: tele_buf,
+            ..
+        } = &mut self.ws;
+        let stats = crate::residual::solve_localized(
+            self.graph,
+            &self.csc,
+            &self.dangling_mask,
+            &op,
+            tele_buf,
+            &params,
+            delta,
+            rank,
+            residual,
+        );
+        if stats.converged {
+            // Final normalization to the simplex: realizes the closed-form
+            // dangling rescale and pins the sum exactly.
+            let total: f64 = rank.iter().sum();
+            if total > 0.0 {
+                for r in rank.iter_mut() {
+                    *r /= total;
+                }
+            }
+            return Ok(IncrementalOutcome {
+                result: PageRankResult {
+                    scores: rank.clone(),
+                    iterations: stats.pushes,
+                    residual: stats.residual_mass,
+                    converged: true,
+                },
+                mode: ResolveMode::LocalizedPush,
+                frontier: stats.frontier_nodes,
+                pushes: stats.pushes,
+            });
+        }
+        // Hybrid finisher: the push kept all its progress in `rank`
+        // (usually several decades below the warm start's residual);
+        // polish with the extrapolated sweep from there. Signed pushes can
+        // leave tolerance-scale negative dips on near-zero ranks; clamp —
+        // the sweep converges to the fixed point from any seed.
+        let seed: Vec<f64> = rank.iter().map(|&x| x.max(0.0)).collect();
+        let model = self.model.expect("checked above");
+        let mut out = self
+            .sweep_inner(&[model], teleport, false, Some(&seed))
+            .map_err(UpdateError::Solver)?;
+        let result = out.pop().expect("one model yields one result");
+        Ok(IncrementalOutcome {
+            result,
+            mode: ResolveMode::HybridPushSweep,
+            frontier: stats.frontier_nodes,
+            pushes: stats.pushes,
+        })
+    }
+
+    /// Warm-sweep fallback shared by the incremental entry points.
+    fn warm_outcome(
+        &mut self,
+        previous: &[f64],
+        teleport: Option<&[f64]>,
+    ) -> Result<IncrementalOutcome, UpdateError> {
+        let result = self.resolve_warm_with_teleport(previous, teleport)?;
+        Ok(IncrementalOutcome {
+            result,
+            mode: ResolveMode::WarmSweep,
+            frontier: 0,
+            pushes: 0,
+        })
     }
 
     /// Common sweep driver; `init` seeds the *first* grid point's iterate
@@ -551,6 +1163,19 @@ impl<'g> Engine<'g> {
 
         // Pre-size every buffer the pool will share (their pointers are
         // captured once, so no reallocation may happen inside the scope).
+        // The per-arc buffers are lazy: only size them when some grid point
+        // actually runs in arc mode.
+        if models
+            .iter()
+            .any(|mo| !factored_eligible(self.max_log_theta, mo))
+        {
+            let m = self.graph.num_arcs();
+            self.csr_probs.resize(m, 0.0);
+            self.in_probs.resize(m, 0.0);
+            if !self.csc.has_arc_permutation() {
+                self.csc.rebuild_arc_permutation(self.graph);
+            }
+        }
         self.node_numer.resize(n, 0.0);
         self.inv_denom.resize(n, 0.0);
         self.scaled_a.resize(n, 0.0);
@@ -583,6 +1208,7 @@ impl<'g> Engine<'g> {
             rank,
             next,
             teleport,
+            ..
         } = ws;
         let teleport: Option<&[f64]> = if teleport.is_empty() {
             None
@@ -1672,7 +2298,7 @@ mod tests {
     }
 
     #[test]
-    fn resolve_incremental_with_teleport_serves_personalized_fixed_point() {
+    fn resolve_warm_with_teleport_serves_personalized_fixed_point() {
         let g = barabasi_albert(200, 3, 21).unwrap();
         let mut t = vec![0.0; 200];
         t[5] = 3.0;
@@ -1684,11 +2310,11 @@ mod tests {
         // Warm re-solve with the same teleport reproduces the personalized
         // fixed point; the uniform entry point would converge elsewhere.
         let warm = engine
-            .resolve_incremental_with_teleport(&served.scores, Some(&t))
+            .resolve_warm_with_teleport(&served.scores, Some(&t))
             .unwrap();
         assert_close(&served.scores, &warm.scores, 1e-8);
         assert!(warm.iterations <= served.iterations);
-        let uniform = engine.resolve_incremental(&served.scores).unwrap();
+        let uniform = engine.resolve_warm(&served.scores).unwrap();
         let l1: f64 = uniform
             .scores
             .iter()
@@ -1699,7 +2325,7 @@ mod tests {
     }
 
     #[test]
-    fn resolve_incremental_matches_cold_and_saves_iterations() {
+    fn resolve_warm_matches_cold_and_saves_iterations() {
         use d2pr_graph::delta::{DeltaGraph, EdgeBatch};
         let g = barabasi_albert(400, 4, 13).unwrap();
         let model = TransitionModel::DegreeDecoupled { p: 0.5 };
@@ -1721,7 +2347,7 @@ mod tests {
 
             let mut engine2 = Engine::with_structure(&g2, csc2, threads).unwrap();
             engine2.set_model(model).unwrap();
-            let warm = engine2.resolve_incremental(&before.scores).unwrap();
+            let warm = engine2.resolve_warm(&before.scores).unwrap();
             let cold = engine2.solve().unwrap();
             assert_close(&cold.scores, &warm.scores, 1e-8);
             assert!(
@@ -1730,23 +2356,55 @@ mod tests {
                 warm.iterations,
                 cold.iterations
             );
+            // The localized entry point must land on the same fixed point
+            // whichever strategy it ends up running (on a graph this small
+            // at the default 1e-10 tolerance the push hands its tail to
+            // the sweep finisher — the hybrid mode).
+            let local = engine2
+                .resolve_localized(&before.scores, &out.delta)
+                .unwrap();
+            assert!(matches!(
+                local.mode,
+                ResolveMode::LocalizedPush | ResolveMode::HybridPushSweep
+            ));
+            assert!(local.result.converged);
+            assert!(local.frontier > 0 && local.pushes > 0);
+            assert_close(&cold.scores, &local.result.scores, 1e-7);
+            // The auto mode also matches, whatever it selects.
+            let auto = engine2
+                .resolve_incremental(&before.scores, &out.delta)
+                .unwrap();
+            assert_close(&cold.scores, &auto.result.scores, 1e-7);
         }
     }
 
     #[test]
-    fn resolve_incremental_errors_are_typed() {
+    fn resolve_errors_are_typed() {
         use crate::error::UpdateError;
+        use d2pr_graph::delta::ArcDelta;
         let g = erdos_renyi_nm(20, 60, 4).unwrap();
         let mut engine = Engine::new(&g);
+        let empty = ArcDelta::default();
         // No model loaded.
         assert!(matches!(
-            engine.resolve_incremental(&[0.05; 20]),
+            engine.resolve_warm(&[0.05; 20]),
+            Err(UpdateError::Solver(SolverError::InvalidModel(_)))
+        ));
+        assert!(matches!(
+            engine.resolve_incremental(&[0.05; 20], &empty),
             Err(UpdateError::Solver(SolverError::InvalidModel(_)))
         ));
         engine.set_model(TransitionModel::Standard).unwrap();
         // Stale warm-start vector (wrong length).
         assert!(matches!(
-            engine.resolve_incremental(&[1.0; 3]),
+            engine.resolve_warm(&[1.0; 3]),
+            Err(UpdateError::Solver(SolverError::WarmStartLength {
+                got: 3,
+                expected: 20
+            }))
+        ));
+        assert!(matches!(
+            engine.resolve_localized(&[1.0; 3], &empty),
             Err(UpdateError::Solver(SolverError::WarmStartLength {
                 got: 3,
                 expected: 20
@@ -1754,8 +2412,27 @@ mod tests {
         ));
         // No mass.
         assert!(matches!(
-            engine.resolve_incremental(&[0.0; 20]),
+            engine.resolve_warm(&[0.0; 20]),
             Err(UpdateError::Solver(SolverError::WarmStartMass))
+        ));
+        // A delta that does not describe this graph is rejected up front.
+        let bogus = ArcDelta {
+            inserted: vec![(0, 19)],
+            deleted: vec![],
+        };
+        if !g.has_arc(0, 19) {
+            assert!(matches!(
+                engine.resolve_incremental(&[0.05; 20], &bogus),
+                Err(UpdateError::Graph(_))
+            ));
+        }
+        let out_of_range = ArcDelta {
+            inserted: vec![(0, 99)],
+            deleted: vec![],
+        };
+        assert!(matches!(
+            engine.resolve_incremental(&[0.05; 20], &out_of_range),
+            Err(UpdateError::Graph(_))
         ));
     }
 

@@ -36,6 +36,13 @@ pub enum SolverError {
     /// A warm-start vector was not a usable starting point (negative/NaN
     /// entries or zero total mass).
     WarmStartMass,
+    /// A seed node id referenced a node outside the graph.
+    SeedOutOfRange {
+        /// The offending seed.
+        seed: u32,
+        /// Number of nodes in the graph.
+        num_nodes: usize,
+    },
     /// An operator (matrix/transpose) was built for a different graph.
     GraphMismatch {
         /// Nodes the operator covers.
@@ -83,6 +90,9 @@ impl fmt::Display for SolverError {
                     f,
                     "warm-start vector must be non-negative with positive mass"
                 )
+            }
+            SolverError::SeedOutOfRange { seed, num_nodes } => {
+                write!(f, "seed {seed} out of range for {num_nodes} nodes")
             }
             SolverError::GraphMismatch {
                 operator_nodes,

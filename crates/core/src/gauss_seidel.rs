@@ -10,36 +10,51 @@
 //!
 //! Implementation: solve `(I − α·T)·r = (1−α)·t` by sweeping nodes in id
 //! order, updating `r[j] ← (1−α)·t[j] + α·Σ_i T(j,i)·r[i]` with the newest
-//! available `r[i]`. Dangling mass is folded in via the standard
-//! redistribute-to-teleport treatment, lagged by one sweep (it converges to
-//! the same fixed point).
+//! available `r[i]`. All three [`DanglingPolicy`] variants are supported:
+//!
+//! * [`DanglingPolicy::RedistributeTeleport`] — dangling mass is folded
+//!   into the teleport term, lagged by one sweep (same fixed point);
+//! * [`DanglingPolicy::SelfLoop`] — the dangling diagonal `α·r[j]` is
+//!   solved exactly in place (`r[j] = acc / (1 − α)`), which is the
+//!   Gauss–Seidel-natural treatment of a diagonal entry;
+//! * [`DanglingPolicy::Renormalize`] — the fixed point is *projective*
+//!   (`x = (α·T·x + (1−α)·t) / σ(x)` with `σ = 1 − α·dᵀx`), which no
+//!   in-place linear sweep reaches directly. The solver runs an outer
+//!   secant-free iteration on the scalar `σ`: for a fixed `σ` the system
+//!   `x = (α/σ)·T·x + ((1−α)/σ)·t` is linear and Gauss–Seidel solves it;
+//!   `σ` is then re-estimated from the normalized iterate. At the joint
+//!   fixed point the iterate is exactly the power method's `Renormalize`
+//!   solution (and automatically normalized). With no dangling nodes
+//!   `σ = 1` and the outer loop degenerates to one inner solve.
+//!
+//! Personalized teleport vectors and warm starts are supported through the
+//! workspace entry point, which also serves as the dense fallback of the
+//! residual-localized solver ([`crate::residual`]) on tiny graphs.
 
 use crate::error::SolverError;
-use crate::pagerank::{PageRankConfig, PageRankResult};
+use crate::pagerank::{DanglingPolicy, PageRankConfig, PageRankResult};
 use crate::parallel::TransposedMatrix;
 use crate::transition::{TransitionMatrix, TransitionModel};
 use crate::workspace::Workspace;
 use d2pr_graph::csr::CsrGraph;
 
-/// Gauss–Seidel solve over a prebuilt transpose (in-neighbor lists).
-///
-/// Supports uniform teleportation and the `RedistributeTeleport` dangling
-/// policy (the paper's configuration). Returns the same result type as the
-/// power iteration.
+/// Upper bound on `σ` re-estimations for [`DanglingPolicy::Renormalize`].
+/// `σ` converges geometrically at rate ~`α·dᵀx`, so a handful of rounds
+/// suffices; the bound only guards pathological graphs.
+const MAX_SIGMA_ROUNDS: usize = 32;
+
+/// Gauss–Seidel solve over a prebuilt transpose (in-neighbor lists), with
+/// uniform teleportation. Returns the same result type as the power
+/// iteration; all three dangling policies are supported.
 ///
 /// # Panics
-/// Panics when the config is invalid or uses another dangling policy.
+/// Panics when the config is invalid.
 pub fn pagerank_gauss_seidel(
     graph: &CsrGraph,
     matrix: &TransitionMatrix,
     config: &PageRankConfig,
 ) -> PageRankResult {
     config.validate().expect("invalid PageRank configuration");
-    assert_eq!(
-        config.dangling,
-        crate::pagerank::DanglingPolicy::RedistributeTeleport,
-        "gauss-seidel solver supports only the RedistributeTeleport dangling policy"
-    );
     let n = graph.num_nodes();
     if n == 0 {
         return PageRankResult {
@@ -60,22 +75,28 @@ pub fn gauss_seidel_with_transpose(
     config: &PageRankConfig,
 ) -> PageRankResult {
     let mut ws = Workspace::new();
-    gauss_seidel_with_workspace(graph, transpose, config, &mut ws).unwrap_or_else(|e| panic!("{e}"))
+    gauss_seidel_with_workspace(graph, transpose, config, None, None, &mut ws)
+        .unwrap_or_else(|e| panic!("{e}"))
 }
 
-/// [`gauss_seidel_with_transpose`] with caller-owned buffers and typed
-/// errors: repeated solves through the same [`Workspace`] perform no
-/// rank-buffer allocations (Gauss–Seidel updates in place, so only the
-/// workspace's `rank` buffer is used).
+/// [`gauss_seidel_with_transpose`] with caller-owned buffers, typed errors,
+/// an optional teleport distribution (`None` = uniform; normalized
+/// internally), and an optional warm-start iterate `init` (`None` = start
+/// from the teleport distribution). Repeated solves through the same
+/// [`Workspace`] perform no rank-buffer allocations (Gauss–Seidel updates
+/// in place, so only the workspace's `rank` buffer is used).
 ///
 /// # Errors
-/// Returns [`SolverError::InvalidConfig`] for invalid configurations and
+/// Returns [`SolverError::InvalidConfig`] for invalid configurations,
 /// [`SolverError::GraphMismatch`] when the transpose belongs to a
-/// different graph.
+/// different graph, and the teleport/warm-start validation errors of the
+/// engine entry points.
 pub fn gauss_seidel_with_workspace(
     graph: &CsrGraph,
     transpose: &TransposedMatrix,
     config: &PageRankConfig,
+    teleport: Option<&[f64]>,
+    init: Option<&[f64]>,
     ws: &mut Workspace,
 ) -> Result<PageRankResult, SolverError> {
     config.validate().map_err(SolverError::InvalidConfig)?;
@@ -94,27 +115,74 @@ pub fn gauss_seidel_with_workspace(
             converged: true,
         });
     }
-    let alpha = config.alpha;
-    let uniform = 1.0 / n as f64;
+    ws.set_teleport(n, teleport)?;
+    ws.init_rank(n, init)?;
     let (offsets, _, _) = graph.parts();
     let dangling: Vec<usize> = (0..n).filter(|&v| offsets[v] == offsets[v + 1]).collect();
 
-    ws.set_teleport(n, None)?;
-    ws.init_rank(n, None)?;
+    match config.dangling {
+        DanglingPolicy::RedistributeTeleport | DanglingPolicy::SelfLoop => {
+            Ok(gs_linear(transpose, config, &dangling, ws))
+        }
+        DanglingPolicy::Renormalize => Ok(gs_renormalize(transpose, config, &dangling, ws)),
+    }
+}
+
+/// Teleport probability of node `j` (`t` empty = uniform).
+#[inline]
+fn tele(t: &[f64], uniform: f64, j: usize) -> f64 {
+    if t.is_empty() {
+        uniform
+    } else {
+        t[j]
+    }
+}
+
+/// In-place sweeps for the two linear policies.
+fn gs_linear(
+    transpose: &TransposedMatrix,
+    config: &PageRankConfig,
+    dangling: &[usize],
+    ws: &mut Workspace,
+) -> PageRankResult {
+    let n = transpose.num_nodes();
+    let alpha = config.alpha;
+    let uniform = 1.0 / n as f64;
+    let self_loop = config.dangling == DanglingPolicy::SelfLoop;
+    let inv_diag = 1.0 / (1.0 - alpha);
     let rank = &mut ws.rank;
+    let t = &ws.teleport;
     let mut iterations = 0usize;
     let mut residual = f64::INFINITY;
 
     while iterations < config.max_iterations {
         iterations += 1;
-        // Dangling mass lags one sweep: computed from the current iterate.
-        let dangling_mass: f64 = dangling.iter().map(|&v| rank[v]).sum();
-        let base = (1.0 - alpha) * uniform + alpha * dangling_mass * uniform;
+        // RedistributeTeleport: dangling mass lags one sweep.
+        let coef = if self_loop {
+            1.0 - alpha
+        } else {
+            let dangling_mass: f64 = dangling.iter().map(|&v| rank[v]).sum();
+            (1.0 - alpha) + alpha * dangling_mass
+        };
         let mut delta = 0.0;
+        let mut dangle_cursor = 0usize;
         for j in 0..n {
-            let mut acc = base;
+            let mut acc = coef * tele(t, uniform, j);
             for (src, prob) in transpose.in_arcs(j as u32) {
                 acc += alpha * prob * rank[src as usize];
+            }
+            // `dangling` is ascending and `j` sweeps ascending: one cursor
+            // tells whether `j` is dangling without per-node searches.
+            let is_dangling = match dangling.get(dangle_cursor) {
+                Some(&d) if d == j => {
+                    dangle_cursor += 1;
+                    true
+                }
+                _ => false,
+            };
+            if self_loop && is_dangling {
+                // Dangling diagonal `α·r[j]` solved exactly in place.
+                acc *= inv_diag;
             }
             delta += (acc - rank[j]).abs();
             rank[j] = acc;
@@ -124,20 +192,95 @@ pub fn gauss_seidel_with_workspace(
             break;
         }
     }
-    // Gauss–Seidel with lagged dangling mass can drift off unit mass by a
-    // tolerance-scale amount; renormalize to the simplex.
+    // Lagged dangling mass (and floating error) can drift off unit mass by
+    // a tolerance-scale amount; renormalize to the simplex.
     let total: f64 = rank.iter().sum();
     if total > 0.0 {
         for r in rank.iter_mut() {
             *r /= total;
         }
     }
-    Ok(PageRankResult {
+    PageRankResult {
         scores: rank.clone(),
         iterations,
         residual,
         converged: residual < config.tolerance,
-    })
+    }
+}
+
+/// Outer `σ` iteration for [`DanglingPolicy::Renormalize`] (see module
+/// docs). Each round Gauss–Seidel-solves the linear system implied by the
+/// current `σ`, normalizes, and re-estimates `σ` from the dangling mass.
+fn gs_renormalize(
+    transpose: &TransposedMatrix,
+    config: &PageRankConfig,
+    dangling: &[usize],
+    ws: &mut Workspace,
+) -> PageRankResult {
+    let n = transpose.num_nodes();
+    let alpha = config.alpha;
+    let uniform = 1.0 / n as f64;
+    let rank = &mut ws.rank;
+    let t = &ws.teleport;
+    let mut sigma = 1.0f64;
+    let mut iterations = 0usize;
+    let mut residual = f64::INFINITY;
+    let mut converged = false;
+
+    'outer: for _round in 0..MAX_SIGMA_ROUNDS {
+        let a_eff = alpha / sigma;
+        let b_eff = (1.0 - alpha) / sigma;
+        let mut inner_converged = false;
+        let mut prev_delta = f64::INFINITY;
+        while iterations < config.max_iterations {
+            iterations += 1;
+            let mut delta = 0.0;
+            for j in 0..n {
+                let mut acc = b_eff * tele(t, uniform, j);
+                for (src, prob) in transpose.in_arcs(j as u32) {
+                    acc += a_eff * prob * rank[src as usize];
+                }
+                delta += (acc - rank[j]).abs();
+                rank[j] = acc;
+            }
+            residual = delta;
+            if residual < config.tolerance {
+                inner_converged = true;
+                break;
+            }
+            // `α/σ` can exceed 1 when dangling nodes hold a large rank
+            // share; the sweep still contracts when mass leaks to dangling
+            // sinks fast enough, but guard against genuine divergence.
+            if !delta.is_finite() || (delta > prev_delta * 4.0 && delta > 1e3) {
+                break 'outer;
+            }
+            prev_delta = delta;
+        }
+        let total: f64 = rank.iter().sum();
+        if total <= 0.0 || !total.is_finite() {
+            break;
+        }
+        for r in rank.iter_mut() {
+            *r /= total;
+        }
+        let dangling_mass: f64 = dangling.iter().map(|&v| rank[v]).sum();
+        let new_sigma = 1.0 - alpha * dangling_mass;
+        let shift = (new_sigma - sigma).abs();
+        sigma = new_sigma;
+        if inner_converged && shift < config.tolerance {
+            converged = true;
+            break;
+        }
+        if iterations >= config.max_iterations {
+            break;
+        }
+    }
+    PageRankResult {
+        scores: rank.clone(),
+        iterations,
+        residual,
+        converged,
+    }
 }
 
 /// Convenience: build the operator and solve via Gauss–Seidel.
@@ -193,6 +336,76 @@ mod tests {
     }
 
     #[test]
+    fn matches_power_iteration_all_policies_with_dangling() {
+        // Directed graph with dangling tails exercises every policy's
+        // dangling treatment.
+        let mut b = GraphBuilder::new(Direction::Directed, 40);
+        for v in 0..30u32 {
+            b.add_edge(v, v + 1);
+            b.add_edge(v, (v * 7 + 3) % 40);
+        }
+        let g = b.build().unwrap();
+        for policy in [
+            DanglingPolicy::RedistributeTeleport,
+            DanglingPolicy::SelfLoop,
+            DanglingPolicy::Renormalize,
+        ] {
+            let cfg = PageRankConfig {
+                dangling: policy,
+                tolerance: 1e-12,
+                max_iterations: 2_000,
+                ..Default::default()
+            };
+            let power = pagerank(&g, TransitionModel::DegreeDecoupled { p: 0.5 }, &cfg);
+            let gs = pagerank_gauss_seidel_from_graph(
+                &g,
+                TransitionModel::DegreeDecoupled { p: 0.5 },
+                &cfg,
+            );
+            assert!(gs.converged, "policy {policy:?} must converge");
+            close(&power.scores, &gs.scores, 1e-7);
+        }
+    }
+
+    #[test]
+    fn personalized_teleport_matches_power() {
+        let g = erdos_renyi_nm(80, 320, 9).unwrap();
+        let mut t = vec![0.0; 80];
+        t[3] = 2.0;
+        t[11] = 1.0;
+        let cfg = PageRankConfig {
+            tolerance: 1e-12,
+            ..Default::default()
+        };
+        let matrix = TransitionMatrix::build(&g, TransitionModel::Standard);
+        let power = crate::pagerank::pagerank_with_matrix(&g, &matrix, &cfg, Some(&t));
+        let transpose = TransposedMatrix::build(&g, &matrix);
+        let mut ws = Workspace::new();
+        let gs = gauss_seidel_with_workspace(&g, &transpose, &cfg, Some(&t), None, &mut ws)
+            .expect("valid inputs");
+        close(&power.scores, &gs.scores, 1e-8);
+    }
+
+    #[test]
+    fn warm_start_saves_sweeps_and_keeps_fixed_point() {
+        let g = barabasi_albert(200, 3, 8).unwrap();
+        let cfg = PageRankConfig {
+            tolerance: 1e-12,
+            ..Default::default()
+        };
+        let matrix = TransitionMatrix::build(&g, TransitionModel::DegreeDecoupled { p: 1.0 });
+        let transpose = TransposedMatrix::build(&g, &matrix);
+        let mut ws = Workspace::new();
+        let cold = gauss_seidel_with_workspace(&g, &transpose, &cfg, None, None, &mut ws)
+            .expect("valid inputs");
+        let warm =
+            gauss_seidel_with_workspace(&g, &transpose, &cfg, None, Some(&cold.scores), &mut ws)
+                .expect("valid inputs");
+        close(&cold.scores, &warm.scores, 1e-9);
+        assert!(warm.iterations <= cold.iterations);
+    }
+
+    #[test]
     fn iteration_counts_comparable_to_power() {
         // Gauss–Seidel's advantage is ordering-dependent (classic web-graph
         // orderings give ~2x; random orderings can lose it). Assert both
@@ -220,14 +433,25 @@ mod tests {
         b.add_edge(0, 1);
         b.add_edge(2, 1);
         let g = b.build().unwrap();
-        let cfg = PageRankConfig {
-            tolerance: 1e-12,
-            ..Default::default()
-        };
-        let power = pagerank(&g, TransitionModel::Standard, &cfg);
-        let gs = pagerank_gauss_seidel_from_graph(&g, TransitionModel::Standard, &cfg);
-        close(&power.scores, &gs.scores, 1e-7);
-        assert!((gs.scores.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        for policy in [
+            DanglingPolicy::RedistributeTeleport,
+            DanglingPolicy::SelfLoop,
+            DanglingPolicy::Renormalize,
+        ] {
+            let cfg = PageRankConfig {
+                dangling: policy,
+                tolerance: 1e-12,
+                max_iterations: 2_000,
+                ..Default::default()
+            };
+            let power = pagerank(&g, TransitionModel::Standard, &cfg);
+            let gs = pagerank_gauss_seidel_from_graph(&g, TransitionModel::Standard, &cfg);
+            close(&power.scores, &gs.scores, 1e-7);
+            assert!(
+                (gs.scores.iter().sum::<f64>() - 1.0).abs() < 1e-9,
+                "policy {policy:?}"
+            );
+        }
     }
 
     #[test]
@@ -243,14 +467,22 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "RedistributeTeleport")]
-    fn rejects_other_dangling_policies() {
+    fn rejects_mismatched_transpose() {
         let g = erdos_renyi_nm(10, 20, 1).unwrap();
+        let g2 = erdos_renyi_nm(12, 24, 1).unwrap();
         let m = TransitionMatrix::build(&g, TransitionModel::Standard);
-        let cfg = PageRankConfig {
-            dangling: crate::pagerank::DanglingPolicy::SelfLoop,
-            ..Default::default()
-        };
-        pagerank_gauss_seidel(&g, &m, &cfg);
+        let transpose = TransposedMatrix::build(&g, &m);
+        let mut ws = Workspace::new();
+        assert!(matches!(
+            gauss_seidel_with_workspace(
+                &g2,
+                &transpose,
+                &PageRankConfig::default(),
+                None,
+                None,
+                &mut ws
+            ),
+            Err(SolverError::GraphMismatch { .. })
+        ));
     }
 }

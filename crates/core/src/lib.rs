@@ -15,7 +15,8 @@
 //! * [`trace`] — convergence diagnostics for the power iteration;
 //! * [`parallel`] — pull-based parallel solver over a prebuilt transpose;
 //! * [`engine`] — the fused sweep engine: cached CSC operator, persistent
-//!   arc-balanced worker pool, in-place operator updates;
+//!   arc-balanced worker pool, in-place operator updates, incremental
+//!   re-solves (warm sweep / residual-localized push, auto-selected);
 //! * [`workspace`] — reusable rank/next/teleport buffers shared by solvers;
 //! * [`error`] — typed [`error::SolverError`] returned by the solvers;
 //! * [`centrality`] — baseline measures (degree, HITS, sampled closeness);
@@ -49,6 +50,7 @@ pub mod kernel;
 pub mod pagerank;
 pub mod parallel;
 pub mod personalized;
+pub mod residual;
 pub mod robust;
 pub mod trace;
 pub mod transition;
@@ -58,7 +60,7 @@ pub mod workspace;
 pub mod prelude {
     pub use crate::approx::{forward_push, monte_carlo_ppr, ApproxResult};
     pub use crate::d2pr::D2pr;
-    pub use crate::engine::Engine;
+    pub use crate::engine::{Engine, IncrementalOutcome, ResolveMode};
     pub use crate::error::{SolverError, UpdateError};
     pub use crate::kernel::DegreeKernel;
     pub use crate::pagerank::{pagerank, DanglingPolicy, PageRankConfig, PageRankResult};
@@ -70,7 +72,7 @@ pub mod prelude {
 }
 
 pub use crate::d2pr::D2pr;
-pub use crate::engine::Engine;
+pub use crate::engine::{Engine, IncrementalOutcome, ResolveMode};
 pub use crate::error::{SolverError, UpdateError};
 pub use crate::pagerank::{pagerank, PageRankConfig, PageRankResult};
 pub use crate::transition::{TransitionMatrix, TransitionModel};

@@ -169,6 +169,7 @@ pub fn pagerank_parallel_with_workspace(
             rank,
             next,
             teleport,
+            ..
         } = ws;
         let teleport: Option<&[f64]> = if teleport.is_empty() {
             None

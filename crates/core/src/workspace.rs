@@ -10,6 +10,48 @@
 //! warmed up, repeated solves perform no buffer allocations at all.
 
 use crate::error::SolverError;
+use std::collections::VecDeque;
+
+/// Scratch state of the residual-localized solver ([`crate::residual`]):
+/// the dense signed-residual array, the epochless touched set (a mark array
+/// plus the list of marked nodes), the FIFO push queue with its in-queue
+/// flags, and the changed-column marks used during frontier construction.
+///
+/// Invariant between solves: `residual` is all-zero and every mark/flag
+/// array is all-false — maintained by resetting exactly the entries named
+/// in `touched`/`cols` at the end of each solve, so steady-state serving
+/// performs no `O(n)` clears and, once the arrays are sized for the graph,
+/// no allocations at all.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ResidualScratch {
+    /// Dense signed residual `r = b + α·M·x − x` (sparse in practice).
+    pub(crate) residual: Vec<f64>,
+    /// `touched_mark[v]` ⇔ `v` appears in `touched`.
+    pub(crate) touched_mark: Vec<bool>,
+    /// Every node whose residual was set this solve.
+    pub(crate) touched: Vec<u32>,
+    /// FIFO queue of push candidates.
+    pub(crate) queue: VecDeque<u32>,
+    /// `in_queue[v]` ⇔ `v` is currently enqueued.
+    pub(crate) in_queue: Vec<bool>,
+    /// `col_mark[v]` ⇔ `v` appears in `cols` (changed-column set).
+    pub(crate) col_mark: Vec<bool>,
+    /// Columns of the operator the delta changed.
+    pub(crate) cols: Vec<u32>,
+}
+
+impl ResidualScratch {
+    /// Size the dense arrays for an `n`-node graph (no-op once sized; the
+    /// per-solve lists only ever shrink back to empty).
+    pub(crate) fn ensure(&mut self, n: usize) {
+        if self.residual.len() < n {
+            self.residual.resize(n, 0.0);
+            self.touched_mark.resize(n, false);
+            self.in_queue.resize(n, false);
+            self.col_mark.resize(n, false);
+        }
+    }
+}
 
 /// Reusable rank/next/teleport buffers shared by all solvers.
 ///
@@ -44,6 +86,8 @@ pub struct Workspace {
     pub(crate) next: Vec<f64>,
     /// Normalized teleport distribution; empty means "uniform".
     pub(crate) teleport: Vec<f64>,
+    /// Residual-localized solver scratch (`Engine::resolve_localized`).
+    pub(crate) residual: ResidualScratch,
 }
 
 impl Workspace {
@@ -58,6 +102,7 @@ impl Workspace {
             rank: Vec::with_capacity(n),
             next: Vec::with_capacity(n),
             teleport: Vec::with_capacity(n),
+            residual: ResidualScratch::default(),
         }
     }
 

@@ -27,10 +27,12 @@ struct Options {
     tolerance: Option<f64>,
     churn: Option<f64>,
     batches: Option<usize>,
+    mode: Option<d2pr_experiments::evolving::RefreshMode>,
     experiment: String,
 }
 
 const USAGE: &str = "usage: repro [--scale S] [--seed N] [--csv] \
+[--mode sweep|localized|auto] \
 <table1|table2|table3|fig1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|recs|rewire|stability|evolving|all>";
 
 fn parse_args() -> Result<Options, String> {
@@ -40,6 +42,7 @@ fn parse_args() -> Result<Options, String> {
     let mut tolerance = None;
     let mut churn = None;
     let mut batches = None;
+    let mut mode = None;
     let mut experiment = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -82,6 +85,14 @@ fn parse_args() -> Result<Options, String> {
                         .map_err(|e| format!("bad --batches: {e}"))?,
                 );
             }
+            "--mode" => {
+                let value = args.next().ok_or("--mode needs a value")?;
+                mode = Some(
+                    d2pr_experiments::evolving::RefreshMode::parse(&value).ok_or_else(|| {
+                        format!("bad --mode {value}: expected sweep|localized|auto")
+                    })?,
+                );
+            }
             "--csv" => csv = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other if !other.starts_with('-') => experiment = Some(other.to_string()),
@@ -95,6 +106,7 @@ fn parse_args() -> Result<Options, String> {
         tolerance,
         churn,
         batches,
+        mode,
         experiment: experiment.ok_or_else(|| USAGE.to_string())?,
     })
 }
@@ -267,14 +279,16 @@ fn run(opts: &Options) -> Result<(), String> {
             tolerance: opts.tolerance.unwrap_or(base.tolerance),
             churn: opts.churn.unwrap_or(base.churn),
             batches: opts.batches.unwrap_or(base.batches),
+            mode: opts.mode.unwrap_or(base.mode),
             ..base
         };
         eprintln!(
-            "evolving: BA({}, {}), {} batches of {:.1}% edge churn ...",
+            "evolving: BA({}, {}), {} batches of {:.1}% edge churn, {:?} refresh ...",
             cfg.nodes,
             cfg.attachments,
             cfg.batches,
-            cfg.churn * 100.0
+            cfg.churn * 100.0,
+            cfg.mode
         );
         let report = d2pr_experiments::run_evolving(&cfg).map_err(|e| e.to_string())?;
         print_table(

@@ -21,7 +21,7 @@
 //! scale in `BENCH_incremental.json`.
 
 use crate::report::TextTable;
-use d2pr_core::engine::{default_threads, Engine};
+use d2pr_core::engine::{default_threads, Engine, ResolveMode};
 use d2pr_core::error::UpdateError;
 use d2pr_core::pagerank::PageRankConfig;
 use d2pr_core::transition::TransitionModel;
@@ -31,6 +31,32 @@ use d2pr_graph::transpose::CscStructure;
 use d2pr_graph::NodeId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Which incremental re-solve strategy the evolving run serves with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RefreshMode {
+    /// Warm-started full sweep (`Engine::resolve_warm`) — the PR-2 path.
+    Sweep,
+    /// Residual-localized push (`Engine::resolve_localized`), with its
+    /// built-in hybrid/dense fallbacks.
+    Localized,
+    /// Auto-selection from the batch footprint
+    /// (`Engine::resolve_incremental`).
+    #[default]
+    Auto,
+}
+
+impl RefreshMode {
+    /// Parse a CLI token (`sweep` / `localized` / `auto`).
+    pub fn parse(s: &str) -> Option<RefreshMode> {
+        match s {
+            "sweep" => Some(RefreshMode::Sweep),
+            "localized" => Some(RefreshMode::Localized),
+            "auto" => Some(RefreshMode::Auto),
+            _ => None,
+        }
+    }
+}
 
 /// Configuration of one evolving-graph run.
 #[derive(Debug, Clone, PartialEq)]
@@ -59,6 +85,9 @@ pub struct EvolvingConfig {
     pub threads: usize,
     /// RNG seed for the graph and the churn stream.
     pub seed: u64,
+    /// Incremental re-solve strategy for the "warm" side of the
+    /// comparison.
+    pub mode: RefreshMode,
 }
 
 impl Default for EvolvingConfig {
@@ -74,6 +103,7 @@ impl Default for EvolvingConfig {
             max_iterations: 500,
             threads: 0,
             seed: 0xE401,
+            mode: RefreshMode::Auto,
         }
     }
 }
@@ -91,8 +121,13 @@ pub struct BatchStep {
     pub compacted: bool,
     /// Iterations of the cold re-solve (teleport start).
     pub cold_iterations: usize,
-    /// Iterations of the warm re-solve (previous-rank start).
+    /// Iterations of the warm re-solve (previous-rank start); counts
+    /// residual *pushes* when the localized path served the batch.
     pub warm_iterations: usize,
+    /// Strategy that actually served the batch (fallbacks included).
+    pub mode_used: ResolveMode,
+    /// Frontier rows of the localized path (0 for sweeps).
+    pub frontier: usize,
     /// L1 distance between the cold and warm solutions (parity check).
     pub rank_l1_divergence: f64,
     /// L1 distance between the pre-batch and post-batch ranks — how hard
@@ -168,14 +203,15 @@ pub fn run_evolving(cfg: &EvolvingConfig) -> Result<EvolvingReport, UpdateError>
 
     let mut snapshot = g0.clone();
     let mut dg = DeltaGraph::new(g0)?;
-    let mut csc = CscStructure::build(&snapshot);
-    let (initial_iterations, mut prev_scores);
+    let (initial_iterations, mut prev_scores, mut state);
     {
+        let csc = CscStructure::build(&snapshot);
         let mut engine = Engine::with_structure(&snapshot, csc, threads)?.with_config(solver)?;
-        let r = engine.solve_model(model)?;
+        engine.set_model(model)?;
+        let r = engine.solve()?;
         initial_iterations = r.iterations;
         prev_scores = r.scores;
-        csc = engine.into_structure();
+        state = engine.into_state();
     }
 
     let n = cfg.nodes as u32;
@@ -206,14 +242,25 @@ pub fn run_evolving(cfg: &EvolvingConfig) -> Result<EvolvingReport, UpdateError>
             }
         }
 
-        // The incremental pipeline: batch -> snapshot -> patched transpose.
+        // The incremental serving pipeline: batch -> snapshot -> patched
+        // engine state (no O(E) rebuild) -> strategy-selected re-solve.
         let outcome = dg.apply_batch(&batch)?;
         let new_snapshot = dg.snapshot();
-        let new_csc = csc.patched(&new_snapshot, &outcome.delta)?;
-        let mut engine =
-            Engine::with_structure(&new_snapshot, new_csc, threads)?.with_config(solver)?;
-        engine.set_model(model)?;
-        let warm = engine.resolve_incremental(&prev_scores)?;
+        state = state.patched(&new_snapshot, &outcome.delta)?;
+        let mut engine = Engine::from_state(&new_snapshot, state)?;
+        let warm = match cfg.mode {
+            RefreshMode::Sweep => {
+                let result = engine.resolve_warm(&prev_scores)?;
+                d2pr_core::engine::IncrementalOutcome {
+                    result,
+                    mode: ResolveMode::WarmSweep,
+                    frontier: 0,
+                    pushes: 0,
+                }
+            }
+            RefreshMode::Localized => engine.resolve_localized(&prev_scores, &outcome.delta)?,
+            RefreshMode::Auto => engine.resolve_incremental(&prev_scores, &outcome.delta)?,
+        };
         let cold = engine.solve()?;
 
         let l1 =
@@ -224,12 +271,14 @@ pub fn run_evolving(cfg: &EvolvingConfig) -> Result<EvolvingReport, UpdateError>
             deleted_arcs: outcome.delta.deleted.len(),
             compacted: outcome.compacted,
             cold_iterations: cold.iterations,
-            warm_iterations: warm.iterations,
-            rank_l1_divergence: l1(&cold.scores, &warm.scores),
-            rank_l1_shift: l1(&warm.scores, &prev_scores),
+            warm_iterations: warm.result.iterations,
+            mode_used: warm.mode,
+            frontier: warm.frontier,
+            rank_l1_divergence: l1(&cold.scores, &warm.result.scores),
+            rank_l1_shift: l1(&warm.result.scores, &prev_scores),
         });
-        prev_scores = warm.scores;
-        csc = engine.into_structure();
+        prev_scores = warm.result.scores;
+        state = engine.into_state();
         snapshot = new_snapshot;
     }
     let _ = &snapshot; // last snapshot kept alive until the engine is gone
@@ -249,17 +298,27 @@ pub fn evolving_report(r: &EvolvingReport) -> TextTable {
         "+arcs",
         "-arcs",
         "compact",
+        "mode",
+        "frontier",
         "cold_iters",
         "warm_iters",
         "rank_shift",
         "divergence",
     ]);
     for s in &r.steps {
+        let mode = match s.mode_used {
+            ResolveMode::WarmSweep => "sweep",
+            ResolveMode::LocalizedPush => "push",
+            ResolveMode::HybridPushSweep => "hybrid",
+            ResolveMode::DenseGaussSeidel => "gs",
+        };
         t.push_row(vec![
             s.batch.to_string(),
             s.inserted_arcs.to_string(),
             s.deleted_arcs.to_string(),
             if s.compacted { "yes" } else { "" }.to_string(),
+            mode.to_string(),
+            s.frontier.to_string(),
             s.cold_iterations.to_string(),
             s.warm_iterations.to_string(),
             format!("{:.2e}", s.rank_l1_shift),
@@ -268,6 +327,8 @@ pub fn evolving_report(r: &EvolvingReport) -> TextTable {
     }
     t.push_row(vec![
         "total".to_string(),
+        String::new(),
+        String::new(),
         String::new(),
         String::new(),
         String::new(),
@@ -292,6 +353,7 @@ mod tests {
             churn: 0.01,
             threads: 2,
             tolerance: 1e-9,
+            mode: RefreshMode::Sweep,
             ..Default::default()
         };
         let r = run_evolving(&cfg).unwrap();
@@ -305,9 +367,37 @@ mod tests {
                 s.rank_l1_divergence
             );
             assert!(s.warm_iterations <= s.cold_iterations);
+            assert_eq!(s.mode_used, ResolveMode::WarmSweep);
         }
         assert!(r.iteration_ratio() >= 1.0);
         let table = evolving_report(&r);
         assert_eq!(table.num_rows(), 4);
+    }
+
+    #[test]
+    fn evolving_localized_and_auto_modes_agree_with_cold() {
+        for mode in [RefreshMode::Localized, RefreshMode::Auto] {
+            let cfg = EvolvingConfig {
+                nodes: 1_200,
+                attachments: 4,
+                batches: 2,
+                // Trickle-scale churn so the localized path is exercised.
+                churn: 0.0005,
+                threads: 1,
+                tolerance: 1e-9,
+                mode,
+                ..Default::default()
+            };
+            let r = run_evolving(&cfg).unwrap();
+            for s in &r.steps {
+                assert!(
+                    s.rank_l1_divergence < 1e-7,
+                    "mode {mode:?}: divergence {}",
+                    s.rank_l1_divergence
+                );
+            }
+            let table = evolving_report(&r);
+            assert_eq!(table.num_rows(), 3);
+        }
     }
 }

@@ -101,6 +101,47 @@ impl ArcDelta {
     pub fn is_empty(&self) -> bool {
         self.inserted.is_empty() && self.deleted.is_empty()
     }
+
+    /// The **touched-node frontier**: every node whose in- or out-arc set
+    /// the batch changed (sources and targets of flipped arcs), sorted and
+    /// deduplicated. This is the seed set of residual-localized re-solvers:
+    /// the warm-start residual of a rank vector is exactly zero (up to the
+    /// previous solve's tolerance) outside the neighborhood of these nodes.
+    pub fn touched_nodes(&self) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = self
+            .inserted
+            .iter()
+            .chain(&self.deleted)
+            .flat_map(|&(s, t)| [s, t])
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Net out-degree change per source of a flipped arc, sorted by node id
+    /// (zero-net sources are retained: their neighbor *set* still changed).
+    /// Downstream consumers use this to find nodes whose degree table (`Θ`)
+    /// entries — and therefore every transition probability pointing at
+    /// them — changed, and to reconstruct pre-batch dangling status.
+    pub fn source_degree_changes(&self) -> Vec<(NodeId, i64)> {
+        let mut net: Vec<(NodeId, i64)> = Vec::with_capacity(self.len());
+        for &(s, _) in &self.inserted {
+            net.push((s, 1));
+        }
+        for &(s, _) in &self.deleted {
+            net.push((s, -1));
+        }
+        net.sort_unstable_by_key(|&(s, _)| s);
+        let mut out: Vec<(NodeId, i64)> = Vec::new();
+        for (s, d) in net {
+            match out.last_mut() {
+                Some((last, acc)) if *last == s => *acc += d,
+                _ => out.push((s, d)),
+            }
+        }
+        out
+    }
 }
 
 /// What one [`DeltaGraph::apply_batch`] call did.
@@ -591,6 +632,33 @@ mod tests {
 
         let arcs: Vec<_> = dg.arcs().collect();
         assert_eq!(arcs, vec![(0, 1), (0, 2), (4, 5), (5, 0)]);
+    }
+
+    #[test]
+    fn touched_nodes_and_degree_changes() {
+        let mut dg = DeltaGraph::new(path4()).unwrap();
+        let mut batch = EdgeBatch::new();
+        batch.insert(0, 3).delete(1, 2);
+        let out = dg.apply_batch(&batch).unwrap();
+        // Undirected: arcs (0,3),(3,0) inserted, (1,2),(2,1) deleted.
+        assert_eq!(out.delta.touched_nodes(), vec![0, 1, 2, 3]);
+        // Every endpoint is a source of one mirrored arc: 0 and 3 gained an
+        // out-arc, 1 and 2 lost one.
+        assert_eq!(
+            out.delta.source_degree_changes(),
+            vec![(0, 1), (1, -1), (2, -1), (3, 1)]
+        );
+        // A swap at one source nets to zero but stays reported.
+        let mut dg = DeltaGraph::new(path4()).unwrap();
+        let mut batch = EdgeBatch::new();
+        batch.insert(0, 2).delete(0, 1);
+        let out = dg.apply_batch(&batch).unwrap();
+        let changes = out.delta.source_degree_changes();
+        assert!(changes.contains(&(0, 0)));
+        assert!(out.delta.touched_nodes().contains(&0));
+        // Empty delta: empty frontier.
+        assert!(ArcDelta::default().touched_nodes().is_empty());
+        assert!(ArcDelta::default().source_degree_changes().is_empty());
     }
 
     #[test]

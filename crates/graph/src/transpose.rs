@@ -137,6 +137,37 @@ impl CscStructure {
     /// arcs among edited pairs), which [`DeltaGraph`](crate::delta::DeltaGraph)
     /// guarantees.
     pub fn patched(&self, new_graph: &CsrGraph, delta: &ArcDelta) -> Result<CscStructure> {
+        self.patched_inner(new_graph, delta, true)
+    }
+
+    /// [`CscStructure::patched`] without the CSR→CSC arc permutation — the
+    /// permutation is the only `O(E)`-rewrite part of a patch (every CSR
+    /// arc index after the first edit shifts), and only consumers of
+    /// [`CscStructure::scatter_arc_values`] need it. Pull kernels over
+    /// factored operators (the degree-decoupled serving path) read just
+    /// `in_offsets`/`in_sources`/`dangling`, so a trickle update patches in
+    /// `O(V + Δ + copy)` and skips the permutation entirely.
+    ///
+    /// The result reports [`CscStructure::has_arc_permutation`] `== false`;
+    /// rebuild on demand with [`CscStructure::rebuild_arc_permutation`]
+    /// (which restores bit-identity with a fresh build).
+    ///
+    /// # Errors
+    /// As [`CscStructure::patched`].
+    pub fn patched_structural(
+        &self,
+        new_graph: &CsrGraph,
+        delta: &ArcDelta,
+    ) -> Result<CscStructure> {
+        self.patched_inner(new_graph, delta, false)
+    }
+
+    fn patched_inner(
+        &self,
+        new_graph: &CsrGraph,
+        delta: &ArcDelta,
+        with_permutation: bool,
+    ) -> Result<CscStructure> {
         let n = self.num_nodes;
         if new_graph.num_nodes() != n {
             return Err(GraphError::Snapshot(format!(
@@ -241,28 +272,49 @@ impl CscStructure {
             .collect();
         dangling.sort_unstable();
 
-        // Arc permutation: one pass over the new CSR against the patched
-        // offsets (identical slot assignment to a fresh build).
-        let (offsets, targets, _) = new_graph.parts();
-        let mut cursor: Vec<usize> = in_offsets[..n].to_vec();
-        let mut csc_slot_of_arc = vec![0usize; m];
-        for v in 0..n {
-            for k in offsets[v]..offsets[v + 1] {
-                let t = targets[k] as usize;
-                let slot = cursor[t];
-                cursor[t] += 1;
-                debug_assert_eq!(in_sources[slot], v as NodeId, "patched span order");
-                csc_slot_of_arc[k] = slot;
-            }
-        }
-
-        Ok(CscStructure {
+        let mut out = CscStructure {
             in_offsets,
             in_sources,
-            csc_slot_of_arc,
+            csc_slot_of_arc: Vec::new(),
             dangling,
             num_nodes: n,
-        })
+        };
+        if with_permutation {
+            out.rebuild_arc_permutation(new_graph);
+        }
+        Ok(out)
+    }
+
+    /// `true` when the CSR→CSC arc permutation is materialized (always the
+    /// case after [`CscStructure::build`] / [`CscStructure::patched`];
+    /// `false` after [`CscStructure::patched_structural`] until
+    /// [`CscStructure::rebuild_arc_permutation`] runs).
+    pub fn has_arc_permutation(&self) -> bool {
+        self.csc_slot_of_arc.len() == self.num_arcs()
+    }
+
+    /// (Re)build the CSR→CSC arc permutation in one linear pass over
+    /// `graph`'s CSR arcs against this structure's offsets — identical slot
+    /// assignment to a fresh build. `graph` must be the graph this
+    /// structure describes.
+    pub fn rebuild_arc_permutation(&mut self, graph: &CsrGraph) {
+        let n = self.num_nodes;
+        let m = self.num_arcs();
+        assert_eq!(graph.num_nodes(), n, "permutation rebuild: node count");
+        assert_eq!(graph.num_arcs(), m, "permutation rebuild: arc count");
+        let (offsets, targets, _) = graph.parts();
+        let mut cursor: Vec<usize> = self.in_offsets[..n].to_vec();
+        self.csc_slot_of_arc.clear();
+        self.csc_slot_of_arc.resize(m, 0);
+        for v in 0..n {
+            let (s, e) = (offsets[v], offsets[v + 1]);
+            for (slot_out, &t) in self.csc_slot_of_arc[s..e].iter_mut().zip(&targets[s..e]) {
+                let slot = cursor[t as usize];
+                cursor[t as usize] += 1;
+                debug_assert_eq!(self.in_sources[slot], v as NodeId, "patched span order");
+                *slot_out = slot;
+            }
+        }
     }
 
     /// Number of nodes covered.
@@ -318,6 +370,11 @@ impl CscStructure {
             csc_out.len(),
             self.num_arcs(),
             "CSC output array must cover all arcs"
+        );
+        assert!(
+            self.has_arc_permutation(),
+            "arc permutation not materialized (structure came from \
+             `patched_structural`); call `rebuild_arc_permutation` first"
         );
         for (k, &val) in csr_values.iter().enumerate() {
             csc_out[self.csc_slot_of_arc[k]] = val;
@@ -543,6 +600,29 @@ mod tests {
         let g2 = dg.snapshot();
         let patched = csc.patched(&g2, &out.delta).unwrap();
         assert_eq!(patched, CscStructure::build(&g2));
+    }
+
+    #[test]
+    fn patched_structural_skips_then_rebuilds_permutation() {
+        use crate::delta::{DeltaGraph, EdgeBatch};
+        let g = barabasi_albert(150, 3, 29).unwrap();
+        let csc = CscStructure::build(&g);
+        assert!(csc.has_arc_permutation());
+        let mut dg = DeltaGraph::new(g.clone()).unwrap();
+        let mut batch = EdgeBatch::new();
+        batch.delete(2, g.neighbors(2)[0]).insert(4, 140);
+        let out = dg.apply_batch(&batch).unwrap();
+        let g2 = dg.snapshot();
+        let mut structural = csc.patched_structural(&g2, &out.delta).unwrap();
+        assert!(!structural.has_arc_permutation());
+        let full = csc.patched(&g2, &out.delta).unwrap();
+        // Topology agrees without the permutation ...
+        assert_eq!(structural.in_offsets(), full.in_offsets());
+        assert_eq!(structural.in_sources(), full.in_sources());
+        assert_eq!(structural.dangling(), full.dangling());
+        // ... and rebuilding restores bit-identity with a fresh build.
+        structural.rebuild_arc_permutation(&g2);
+        assert_eq!(structural, CscStructure::build(&g2));
     }
 
     #[test]

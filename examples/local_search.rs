@@ -47,13 +47,13 @@ fn main() {
 
     // Forward push: only the seed's neighborhood is touched.
     let t1 = Instant::now();
-    let push = forward_push(&graph, &matrix, seed, 0.85, 1e-6);
+    let push = forward_push(&graph, &matrix, seed, 0.85, 1e-6).expect("valid inputs");
     let push_time = t1.elapsed();
     let push_top: Vec<u32> = push.ranking().into_iter().take(10).collect();
 
     // Monte Carlo: a few thousand short walks.
     let t2 = Instant::now();
-    let mc = monte_carlo_ppr(&graph, &matrix, seed, 0.85, 20_000, 7);
+    let mc = monte_carlo_ppr(&graph, &matrix, seed, 0.85, 20_000, 7).expect("valid inputs");
     let mc_time = t2.elapsed();
     let mc_top: Vec<u32> = mc.ranking().into_iter().take(10).collect();
 

@@ -1,11 +1,12 @@
 //! End-to-end property tests for the incremental-update pipeline:
 //! `DeltaGraph::apply_batch` → `CscStructure::patched` →
+//! `Engine::resolve_warm` / `Engine::resolve_localized` /
 //! `Engine::resolve_incremental` must match a cold solve of the updated
-//! snapshot to 1e-8, across random graphs, churn batches, and thread
-//! counts.
+//! snapshot to 1e-8, across random graphs, churn batches, dangling
+//! policies, transition models, and thread counts.
 
-use d2pr_core::engine::Engine;
-use d2pr_core::pagerank::PageRankConfig;
+use d2pr_core::engine::{Engine, EngineState, ResolveMode};
+use d2pr_core::pagerank::{DanglingPolicy, PageRankConfig};
 use d2pr_core::transition::TransitionModel;
 use d2pr_graph::builder::GraphBuilder;
 use d2pr_graph::csr::{CsrGraph, Direction};
@@ -31,41 +32,43 @@ fn assert_close(a: &[f64], b: &[f64], eps: f64) {
 }
 
 /// Run one churn batch through the full incremental pipeline and return
-/// `(cold, warm)` results on the updated snapshot.
+/// `(cold, warm, localized)` scores on the updated snapshot plus the
+/// localized outcome's mode.
 fn churn_roundtrip(
     base: CsrGraph,
     batch: &EdgeBatch,
     model: TransitionModel,
+    config: PageRankConfig,
     threads: usize,
-) -> (Vec<f64>, Vec<f64>, usize, usize) {
-    let config = tight_config();
+) -> (Vec<f64>, Vec<f64>, Vec<f64>, ResolveMode) {
     let csc0 = CscStructure::build(&base);
     let mut engine0 = Engine::with_structure(&base, csc0, threads)
         .expect("fresh structure")
         .with_config(config)
         .expect("valid config");
     let before = engine0.solve_model(model).expect("initial solve");
-    let csc0 = engine0.into_structure();
+    let state = engine0.into_state();
 
     let mut dg = DeltaGraph::new(base).expect("unweighted");
     let outcome = dg.apply_batch(batch).expect("in-range batch");
     let snapshot = dg.snapshot();
-    let patched = csc0.patched(&snapshot, &outcome.delta).expect("consistent");
-    let mut engine = Engine::with_structure(&snapshot, patched, threads)
-        .expect("patched structure matches snapshot")
-        .with_config(config)
-        .expect("valid config");
-    engine.set_model(model).expect("valid model");
+    let state = state
+        .patched(&snapshot, &outcome.delta)
+        .expect("consistent delta");
+    let mut engine = Engine::from_state(&snapshot, state).expect("state matches snapshot");
+    let local = engine
+        .resolve_localized(&before.scores, &outcome.delta)
+        .expect("valid localized resolve");
     let warm = engine
-        .resolve_incremental(&before.scores)
+        .resolve_warm(&before.scores)
         .expect("valid warm start");
     let cold = engine.solve().expect("cold solve");
-    assert!(warm.converged && cold.converged);
-    (cold.scores, warm.scores, cold.iterations, warm.iterations)
+    assert!(warm.converged && cold.converged && local.result.converged);
+    (cold.scores, warm.scores, local.result.scores, local.mode)
 }
 
-/// ~1% churn batch for a BA graph: delete `k` early-attachment edges,
-/// insert `k` fresh ones, `k` chosen from the edge count.
+/// Churn batch for a graph: delete `k` pseudo-randomly selected edges,
+/// insert `k` fresh ones.
 fn churn_batch(g: &CsrGraph, k: usize, salt: u32) -> EdgeBatch {
     let n = g.num_nodes() as u32;
     let mut batch = EdgeBatch::new();
@@ -93,11 +96,11 @@ fn churn_batch(g: &CsrGraph, k: usize, salt: u32) -> EdgeBatch {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
-    /// Acceptance criterion: after a ~1% edge-churn batch,
-    /// `resolve_incremental` matches a cold solve to 1e-8, for random BA
-    /// graphs, de-coupling weights, and thread counts.
+    /// Acceptance criterion: after a ~1% edge-churn batch, both the warm
+    /// sweep and the localized push match a cold solve to 1e-8, for random
+    /// BA graphs, de-coupling weights, and thread counts.
     #[test]
-    fn warm_resolve_matches_cold_to_1e8(
+    fn warm_and_localized_match_cold_to_1e8(
         seed in 0u64..1_000,
         p in -2.0f64..2.0,
         threads in 1usize..5,
@@ -108,26 +111,72 @@ proptest! {
         let batch = churn_batch(&g, churn, salt);
         prop_assume!(!batch.is_empty());
         let model = TransitionModel::DegreeDecoupled { p };
-        let (cold, warm, _, _) = churn_roundtrip(g, &batch, model, threads);
-        let l1: f64 = cold.iter().zip(&warm).map(|(x, y)| (x - y).abs()).sum();
-        prop_assert!(l1 < 1e-8, "L1 divergence {l1:.3e} >= 1e-8 (p={p}, threads={threads})");
-        // Both are probability distributions.
+        let (cold, warm, local, _) =
+            churn_roundtrip(g, &batch, model, tight_config(), threads);
+        let l1w: f64 = cold.iter().zip(&warm).map(|(x, y)| (x - y).abs()).sum();
+        prop_assert!(l1w < 1e-8, "warm divergence {l1w:.3e} >= 1e-8 (p={p}, threads={threads})");
+        let l1l: f64 = cold.iter().zip(&local).map(|(x, y)| (x - y).abs()).sum();
+        prop_assert!(l1l < 1e-8, "localized divergence {l1l:.3e} >= 1e-8 (p={p})");
+        // All are probability distributions.
         prop_assert!((warm.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!((local.iter().sum::<f64>() - 1.0).abs() < 1e-9);
     }
 
-    /// Repeated batches through one evolving pipeline keep parity batch
-    /// after batch (state carried forward: scores, structure, overlay).
+    /// The localized path must agree with the cold solve under every
+    /// dangling policy and trickle-scale churn — including the directed
+    /// case where deletions create fresh dangling nodes mid-stream.
     #[test]
-    fn multi_batch_pipeline_keeps_parity(seed in 0u64..500, salt in 0u32..10_000) {
+    fn localized_matches_cold_across_policies(
+        seed in 0u64..500,
+        salt in 0u32..10_000,
+        policy_idx in 0usize..3,
+        standard in any::<bool>(),
+    ) {
+        let policy = [
+            DanglingPolicy::RedistributeTeleport,
+            DanglingPolicy::SelfLoop,
+            DanglingPolicy::Renormalize,
+        ][policy_idx];
+        let mut b = GraphBuilder::new(Direction::Directed, 400);
+        let mut x = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        for _ in 0..1200 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let u = ((x >> 33) % 400) as u32;
+            let v = ((x >> 13) % 400) as u32;
+            if u != v {
+                b.add_edge(u, v);
+            }
+        }
+        let g = b.build().expect("builder");
+        let batch = churn_batch(&g, 3, salt);
+        prop_assume!(!batch.is_empty());
+        let model = if standard {
+            TransitionModel::Standard
+        } else {
+            TransitionModel::DegreeDecoupled { p: 1.0 }
+        };
+        let config = PageRankConfig { dangling: policy, ..tight_config() };
+        let (cold, warm, local, _) = churn_roundtrip(g, &batch, model, config, 2);
+        let l1w: f64 = cold.iter().zip(&warm).map(|(x, y)| (x - y).abs()).sum();
+        prop_assert!(l1w < 1e-8, "warm divergence {l1w:.3e} (policy {policy:?})");
+        let l1l: f64 = cold.iter().zip(&local).map(|(x, y)| (x - y).abs()).sum();
+        prop_assert!(l1l < 1e-8, "localized divergence {l1l:.3e} (policy {policy:?})");
+    }
+
+    /// Repeated batches through one evolving pipeline (serving-state
+    /// handoff: `into_state` → `EngineState::patched` → `from_state`) keep
+    /// localized-vs-cold parity batch after batch.
+    #[test]
+    fn multi_batch_state_handoff_keeps_parity(seed in 0u64..500, salt in 0u32..10_000) {
         let g = barabasi_albert(300, 3, seed).expect("generator");
         let config = tight_config();
         let model = TransitionModel::DegreeDecoupled { p: 0.5 };
-        let mut csc = CscStructure::build(&g);
+        let mut state: EngineState;
         let mut prev = {
-            let mut e = Engine::with_structure(&g, csc, 2).unwrap()
+            let mut e = Engine::with_structure(&g, CscStructure::build(&g), 2).unwrap()
                 .with_config(config).unwrap();
             let r = e.solve_model(model).unwrap();
-            csc = e.into_structure();
+            state = e.into_state();
             r.scores
         };
         let mut dg = DeltaGraph::new(g).unwrap().with_compaction_threshold(0.01, 8);
@@ -137,17 +186,15 @@ proptest! {
             prop_assume!(!batch.is_empty());
             let outcome = dg.apply_batch(&batch).expect("in-range");
             let snapshot = dg.snapshot();
-            csc = csc.patched(&snapshot, &outcome.delta).expect("consistent");
-            let mut engine = Engine::with_structure(&snapshot, csc, 2).unwrap()
-                .with_config(config).unwrap();
-            engine.set_model(model).unwrap();
-            let warm = engine.resolve_incremental(&prev).unwrap();
+            state = state.patched(&snapshot, &outcome.delta).expect("consistent");
+            let mut engine = Engine::from_state(&snapshot, state).unwrap();
+            let local = engine.resolve_incremental(&prev, &outcome.delta).unwrap();
             let cold = engine.solve().unwrap();
-            let l1: f64 = cold.scores.iter().zip(&warm.scores)
+            let l1: f64 = cold.scores.iter().zip(&local.result.scores)
                 .map(|(x, y)| (x - y).abs()).sum();
             prop_assert!(l1 < 1e-8, "round {round}: divergence {l1:.3e}");
-            prev = warm.scores;
-            csc = engine.into_structure();
+            prev = local.result.scores;
+            state = engine.into_state();
         }
     }
 }
@@ -166,9 +213,121 @@ fn directed_churn_with_dangling_nodes() {
     batch.delete(49, 50); // 49 may lose its last out-arc
     batch.delete(49, (49 * 13 + 7) % 60);
     batch.insert(55, 0);
-    let (cold, warm, _, _) =
-        churn_roundtrip(g, &batch, TransitionModel::DegreeDecoupled { p: 1.0 }, 3);
+    let (cold, warm, local, _) = churn_roundtrip(
+        g,
+        &batch,
+        TransitionModel::DegreeDecoupled { p: 1.0 },
+        tight_config(),
+        3,
+    );
     assert_close(&cold, &warm, 1e-8);
+    assert_close(&cold, &local, 1e-8);
+}
+
+#[test]
+fn auto_mode_picks_sweep_under_bulk_churn_and_push_under_trickle() {
+    let g = barabasi_albert(4_000, 4, 7).unwrap();
+    let model = TransitionModel::DegreeDecoupled { p: 0.5 };
+    let config = PageRankConfig {
+        tolerance: 1e-9,
+        max_iterations: 2_000,
+        ..Default::default()
+    };
+    let mut engine0 = Engine::with_threads(&g, 1).with_config(config).unwrap();
+    let before = engine0.solve_model(model).unwrap();
+    let state = engine0.into_state();
+
+    // Bulk: ~1% of edges churned — auto must take the sweep path.
+    let bulk_batch = churn_batch(&g, g.num_edges() / 100, 3);
+    let mut dg = DeltaGraph::new(g.clone()).unwrap();
+    let outcome = dg.apply_batch(&bulk_batch).unwrap();
+    let snapshot = dg.snapshot();
+    let state = state.patched(&snapshot, &outcome.delta).unwrap();
+    let mut engine = Engine::from_state(&snapshot, state).unwrap();
+    let bulk = engine
+        .resolve_incremental(&before.scores, &outcome.delta)
+        .unwrap();
+    assert_eq!(
+        bulk.mode,
+        ResolveMode::WarmSweep,
+        "bulk churn must fall back to the warm full sweep"
+    );
+
+    // Trickle: one edge swapped — auto must choose the localized solver
+    // (push, or its hybrid/dense refinements; never the plain sweep).
+    let mut trickle_batch = EdgeBatch::new();
+    trickle_batch.delete(2_000, g.neighbors(2_000)[0]);
+    trickle_batch.insert(1_000, 3_999);
+    let mut dg = DeltaGraph::new(g.clone()).unwrap();
+    let outcome = dg.apply_batch(&trickle_batch).unwrap();
+    let snapshot = dg.snapshot();
+    let state = Engine::with_threads(&g, 1)
+        .with_config(config)
+        .unwrap()
+        .into_state()
+        .patched(&snapshot, &outcome.delta)
+        .unwrap();
+    let mut engine = Engine::from_state(&snapshot, state).unwrap();
+    engine.set_model(model).unwrap();
+    let trickle = engine
+        .resolve_incremental(&before.scores, &outcome.delta)
+        .unwrap();
+    assert_ne!(
+        trickle.mode,
+        ResolveMode::WarmSweep,
+        "single-edge trickle must take the localized path"
+    );
+    assert!(trickle.frontier > 0);
+    let cold = engine.solve().unwrap();
+    assert_close(&cold.scores, &trickle.result.scores, 1e-7);
+}
+
+#[test]
+fn renormalize_batch_healing_last_dangling_node_stays_correct() {
+    // Regression: under `Renormalize`, a pre-batch dangling node makes the
+    // served fixed point projective (σ ≠ 1). If the batch heals the
+    // graph's *last* dangling node, the post-batch graph looks
+    // localized-eligible — but the warm start's residual is global, so
+    // the localized gate must also inspect the pre-batch dangling state
+    // and route to the warm sweep.
+    let mut b = GraphBuilder::new(Direction::Directed, 200);
+    for v in 0..200u32 {
+        if v == 150 {
+            continue; // 150 is the sole dangling node
+        }
+        b.add_edge(v, (v + 1) % 200);
+        b.add_edge(v, (v * 17 + 5) % 200);
+    }
+    let g = b.build().unwrap();
+    assert_eq!(g.out_degree(150), 0);
+
+    let config = PageRankConfig {
+        dangling: DanglingPolicy::Renormalize,
+        ..tight_config()
+    };
+    let model = TransitionModel::DegreeDecoupled { p: 0.5 };
+    let mut engine0 = Engine::with_threads(&g, 2).with_config(config).unwrap();
+    let before = engine0.solve_model(model).unwrap();
+    let state = engine0.into_state();
+
+    // Heal the last dangling node: the post-batch graph has none.
+    let mut dg = DeltaGraph::new(g).unwrap();
+    let mut batch = EdgeBatch::new();
+    batch.insert(150, 7);
+    let outcome = dg.apply_batch(&batch).unwrap();
+    let snapshot = dg.snapshot();
+    let state = state.patched(&snapshot, &outcome.delta).unwrap();
+    let mut engine = Engine::from_state(&snapshot, state).unwrap();
+    let local = engine
+        .resolve_localized(&before.scores, &outcome.delta)
+        .unwrap();
+    assert_eq!(
+        local.mode,
+        ResolveMode::WarmSweep,
+        "healing the last dangling node must fall back to the sweep"
+    );
+    let cold = engine.solve().unwrap();
+    assert_close(&cold.scores, &local.result.scores, 1e-8);
 }
 
 #[test]
@@ -185,6 +344,6 @@ fn warm_start_from_stale_vector_still_converges_to_fixed_point() {
     // A deliberately terrible warm start: all mass on one node.
     let mut stale = vec![0.0; 400];
     stale[17] = 1.0;
-    let warm = engine.resolve_incremental(&stale).unwrap();
+    let warm = engine.resolve_warm(&stale).unwrap();
     assert_close(&cold.scores, &warm.scores, 1e-8);
 }

@@ -77,7 +77,7 @@ fn forward_push_top_ranks_match_exact_ppr() {
     let exact = pagerank_with_matrix(&g, &matrix, &tight(), Some(&t));
     // Push count scales as 1/((1-alpha)*epsilon); 1e-7 keeps this test
     // sub-second while still pinning the top of the ranking.
-    let approx = forward_push(&g, &matrix, seed, 0.85, 1e-7);
+    let approx = forward_push(&g, &matrix, seed, 0.85, 1e-7).expect("valid inputs");
     let exact_top: Vec<u32> = exact.ranking().into_iter().take(10).collect();
     let approx_top: Vec<u32> = approx.ranking().into_iter().take(10).collect();
     assert_eq!(exact_top, approx_top, "top-10 must agree at tight epsilon");
@@ -88,7 +88,7 @@ fn monte_carlo_identifies_the_seed_region() {
     let g = world_graph();
     let matrix = TransitionMatrix::build(&g, TransitionModel::Standard);
     let seed: NodeId = 7;
-    let mc = monte_carlo_ppr(&g, &matrix, seed, 0.85, 2_000, 99);
+    let mc = monte_carlo_ppr(&g, &matrix, seed, 0.85, 2_000, 99).expect("valid inputs");
     // The seed itself should be the most-visited termination point.
     assert_eq!(mc.ranking()[0], seed);
     let total: f64 = mc.scores.iter().sum();
