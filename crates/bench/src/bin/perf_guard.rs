@@ -1,0 +1,78 @@
+//! CI perf gate: compare a freshly-measured bench JSON against a committed
+//! baseline and exit non-zero on a regression beyond the allowance.
+//!
+//! ```text
+//! perf_guard <baseline.json> <candidate.json> [--max-regression 0.20] [--absolute]
+//! ```
+//!
+//! The default mode guards the dimensionless `speedup_*` / `*ratio*` keys
+//! (host-normalized — see `d2pr_bench::perf_guard`); `--absolute` guards
+//! the raw `*_ms` keys instead, for baselines produced on identical
+//! hardware. Missing/new keys are tolerated so bench schemas can grow.
+
+use d2pr_bench::perf_guard::{guarded, numeric_keys, regressions, Mode};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut max_regression = 0.20f64;
+    let mut mode = Mode::Ratios;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--max-regression" => {
+                i += 1;
+                max_regression = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--max-regression needs a number"));
+            }
+            "--absolute" => mode = Mode::AbsoluteMs,
+            flag if flag.starts_with("--") => die(&format!("unknown flag {flag}")),
+            path => paths.push(path.to_string()),
+        }
+        i += 1;
+    }
+    if paths.len() != 2 {
+        die("usage: perf_guard <baseline.json> <candidate.json> [--max-regression R] [--absolute]");
+    }
+
+    let read = |p: &str| -> d2pr_bench::perf_guard::NumericKeys {
+        let text = std::fs::read_to_string(p).unwrap_or_else(|e| die(&format!("read {p}: {e}")));
+        numeric_keys(&text).unwrap_or_else(|e| die(&format!("parse {p}: {e}")))
+    };
+    let baseline = read(&paths[0]);
+    let candidate = read(&paths[1]);
+    let guarded_count: usize = baseline
+        .iter()
+        .filter(|(k, &v)| v > 0.0 && guarded(mode, k, v))
+        .count();
+    let bad = regressions(&baseline, &candidate, mode, max_regression);
+    println!(
+        "perf_guard: {} guarded keys in {} ({:?} mode, allowance {:.0}%)",
+        guarded_count,
+        paths[0],
+        mode,
+        max_regression * 100.0
+    );
+    if bad.is_empty() {
+        println!("perf_guard: OK — no key regressed beyond the allowance");
+        return ExitCode::SUCCESS;
+    }
+    for r in &bad {
+        eprintln!(
+            "perf_guard: REGRESSION {}: baseline {:.3} -> candidate {:.3} ({:+.1}% worse)",
+            r.key,
+            r.baseline,
+            r.candidate,
+            r.regression * 100.0
+        );
+    }
+    ExitCode::FAILURE
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("perf_guard: {msg}");
+    std::process::exit(2);
+}

@@ -5,6 +5,8 @@
 //! large enough that the measured kernels dominate setup noise). Generation
 //! is deterministic, so every Criterion sample measures identical work.
 
+pub mod perf_guard;
+
 use d2pr_datagen::worlds::{Dataset, World};
 use d2pr_graph::csr::CsrGraph;
 
@@ -32,6 +34,46 @@ pub fn bench_graph_weighted(graph: d2pr_datagen::worlds::PaperGraph) -> (CsrGrap
     let world = bench_world(graph.dataset());
     let (g, s) = graph.view(&world);
     (g.clone(), s.to_vec())
+}
+
+/// Worker counts recorded on the bench JSONs' thread axis: powers of two
+/// up to the host's parallelism (always including 1 and the default), so
+/// trajectories from hosts with different core counts stay comparable.
+/// Shared by `engine_p_sweep` and `incremental_updates`.
+pub fn thread_axis(default: usize) -> Vec<usize> {
+    let mut axis: Vec<usize> = [1usize, 2, 4, 8, 16]
+        .into_iter()
+        .filter(|&t| t <= default.max(1))
+        .collect();
+    if !axis.contains(&default) {
+        axis.push(default);
+    }
+    axis.sort_unstable();
+    axis
+}
+
+/// Milliseconds for one recorded benchmark, using the statistic the
+/// current build mode reports: **minimum**-of-samples under the `smoke`
+/// feature (the CI perf-guard input — robust against scheduler stalls on
+/// shared runners) and the historical **mean** for the committed
+/// full-scale trajectory. The one place the policy lives; both bench
+/// targets and their axis recorders go through it.
+pub fn report_ms(c: &criterion::Criterion, name: &str) -> f64 {
+    let d = if cfg!(feature = "smoke") {
+        c.min_of(name)
+    } else {
+        c.mean_of(name)
+    };
+    d.expect("benchmark was measured").as_secs_f64() * 1e3
+}
+
+/// `{"1": 12.3, "4": 5.6}`-style JSON object over the thread axis.
+pub fn axis_json(axis: &[usize], ms_of: impl Fn(usize) -> f64) -> String {
+    let entries: Vec<String> = axis
+        .iter()
+        .map(|&t| format!("\"{t}\": {:.2}", ms_of(t)))
+        .collect();
+    format!("{{{}}}", entries.join(", "))
 }
 
 #[cfg(test)]

@@ -1,0 +1,385 @@
+//! Perf-guard support: parse bench JSONs and flag regressions.
+//!
+//! CI runs the smoke-feature benches (which write
+//! `target/bench-smoke/BENCH_*.json`) and compares them against the
+//! committed baselines under `ci/`, failing the build on a >20%
+//! regression (`src/bin/perf_guard.rs`). The comparison runs on
+//! **dimensionless keys** (`speedup_*`, `*ratio*`) by default — those are
+//! host-normalized (each bench measures its own seed baseline on the same
+//! machine in the same run), so the gate stays meaningful when the CI
+//! runner's hardware differs from the machine that produced the committed
+//! baseline. Absolute `*_ms` keys can be guarded too ([`Mode::AbsoluteMs`])
+//! for like-for-like hosts.
+//!
+//! No external crates: the JSON subset the benches emit (objects, arrays,
+//! strings, numbers, booleans) is parsed by the ~100-line recursive
+//! descent below, flattened to `path.to.key → number` pairs.
+
+use std::collections::BTreeMap;
+
+/// Flattened numeric view of a bench JSON: `"a.b.c" → value`.
+pub type NumericKeys = BTreeMap<String, f64>;
+
+/// Parse `text` (the JSON subset our benches emit) and flatten every
+/// numeric leaf to a dotted key path.
+///
+/// # Errors
+/// Returns a message naming the byte offset of the first syntax error.
+pub fn numeric_keys(text: &str) -> Result<NumericKeys, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let mut out = NumericKeys::new();
+    p.skip_ws();
+    p.value(&mut String::new(), &mut out)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(out)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self, path: &mut String, out: &mut NumericKeys) -> Result<(), String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(path, out),
+            Some(b'[') => self.array(path, out),
+            Some(b'"') => {
+                self.string()?;
+                Ok(())
+            }
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(_) => {
+                let v = self.number()?;
+                out.insert(path.clone(), v);
+                Ok(())
+            }
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn object(&mut self, path: &mut String, out: &mut NumericKeys) -> Result<(), String> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let depth = path.len();
+            if !path.is_empty() {
+                path.push('.');
+            }
+            path.push_str(&key);
+            self.value(path, out)?;
+            path.truncate(depth);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self, path: &mut String, out: &mut NumericKeys) -> Result<(), String> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(());
+        }
+        let mut idx = 0usize;
+        loop {
+            let depth = path.len();
+            path.push_str(&format!(".{idx}"));
+            self.value(path, out)?;
+            path.truncate(depth);
+            idx += 1;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            match b {
+                b'"' => {
+                    let s = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                b'\\' => self.pos += 2, // benches never escape quotes mid-key
+                _ => self.pos += 1,
+            }
+        }
+        Err("unterminated string".into())
+    }
+
+    fn number(&mut self) -> Result<f64, String> {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .ok_or_else(|| format!("invalid number at byte {start}"))
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+}
+
+/// What the guard compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Dimensionless `speedup_*` / `*ratio*` keys — higher is better.
+    /// Host-normalized, the CI default.
+    Ratios,
+    /// Absolute `*_ms` keys — lower is better. Only meaningful when the
+    /// baseline came from identical hardware.
+    AbsoluteMs,
+}
+
+/// One guarded key that regressed beyond the allowance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    pub key: String,
+    pub baseline: f64,
+    pub candidate: f64,
+    /// Relative change in the "worse" direction (e.g. `0.31` = 31% worse).
+    pub regression: f64,
+}
+
+/// Timing-derived `speedup_*` keys below this baseline value are skipped
+/// in [`Mode::Ratios`]: a near-parity speedup means both sides of the
+/// division are within a small factor of each other, where smoke-scale
+/// sub-millisecond timing noise dominates the signal and any allowance
+/// tight enough to be useful false-positives. Order-of-magnitude speedups
+/// (engine vs seed rebuild, localized vs seed) are stable and stay
+/// guarded; `*ratio*` keys are iteration-count ratios — deterministic
+/// given the benches' fixed seeds — and are always guarded.
+pub const SPEEDUP_NOISE_FLOOR: f64 = 2.0;
+
+/// Whether a key with the given baseline value belongs to the family
+/// `mode` guards (exposed so the `perf_guard` bin's summary counts
+/// exactly what [`regressions`] checks).
+pub fn guarded(mode: Mode, key: &str, baseline: f64) -> bool {
+    match mode {
+        Mode::Ratios => {
+            key.contains("ratio") || (key.contains("speedup") && baseline >= SPEEDUP_NOISE_FLOOR)
+        }
+        Mode::AbsoluteMs => key.ends_with("_ms") || key.contains("_ms_by_threads"),
+    }
+}
+
+/// Minimum allowance applied to timing-derived `speedup_*` keys in
+/// [`Mode::Ratios`], regardless of the caller's `max_regression`: even
+/// minimum-of-samples timing ratios at smoke scale swing ±15–25% run to
+/// run on a shared host (both sides are milliseconds), so the gate for
+/// them watches for order-of-magnitude collapses (engine speedup 6× → 2×)
+/// rather than noise-level drift. Deterministic `*ratio*` keys
+/// (iteration counts, fixed seeds) are held to the caller's tight
+/// allowance.
+pub const SPEEDUP_MIN_ALLOWANCE: f64 = 0.5;
+
+/// Compare `candidate` against `baseline`, returning every guarded key
+/// that regressed by more than the allowance — `max_regression` (e.g.
+/// `0.20` = 20%) for deterministic ratio keys and absolute times,
+/// `max(max_regression, SPEEDUP_MIN_ALLOWANCE)` for timing-derived
+/// speedups. Keys present in only one file are ignored (schemas may grow
+/// across PRs); keys with a non-positive baseline are skipped (no stable
+/// reference direction).
+pub fn regressions(
+    baseline: &NumericKeys,
+    candidate: &NumericKeys,
+    mode: Mode,
+    max_regression: f64,
+) -> Vec<Regression> {
+    let mut out = Vec::new();
+    for (key, &base) in baseline {
+        if base <= 0.0 || !guarded(mode, key, base) {
+            continue;
+        }
+        let Some(&cand) = candidate.get(key) else {
+            continue;
+        };
+        let regression = match mode {
+            Mode::Ratios => (base - cand) / base,
+            Mode::AbsoluteMs => (cand - base) / base,
+        };
+        let allowance = if mode == Mode::Ratios && key.contains("speedup") {
+            max_regression.max(SPEEDUP_MIN_ALLOWANCE)
+        } else {
+            max_regression
+        };
+        if regression > allowance {
+            out.push(Regression {
+                key: key.clone(),
+                baseline: base,
+                candidate: cand,
+                regression,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+      "bench": "demo",
+      "tolerance": 1e-8,
+      "nested": {"speedup_warm": 2.5, "warm_ms": 100.0, "modes": ["push", "sweep"]},
+      "axis_ms_by_threads": {"1": 10.0, "4": 3.5},
+      "flag": true,
+      "iteration_ratio_warm_vs_cold": 1.33
+    }"#;
+
+    #[test]
+    fn parses_and_flattens_numeric_leaves() {
+        let keys = numeric_keys(SAMPLE).unwrap();
+        assert_eq!(keys["nested.speedup_warm"], 2.5);
+        assert_eq!(keys["nested.warm_ms"], 100.0);
+        assert_eq!(keys["axis_ms_by_threads.4"], 3.5);
+        assert_eq!(keys["tolerance"], 1e-8);
+        assert_eq!(keys["iteration_ratio_warm_vs_cold"], 1.33);
+        assert!(!keys.contains_key("bench"), "strings are not numeric");
+    }
+
+    #[test]
+    fn rejects_malformed_json() {
+        assert!(numeric_keys("{\"a\": }").is_err());
+        assert!(numeric_keys("{\"a\": 1} trailing").is_err());
+    }
+
+    #[test]
+    fn ratio_guard_flags_only_real_regressions() {
+        let base = numeric_keys(SAMPLE).unwrap();
+        let mut cand = base.clone();
+        // 10% drop: within the 20% allowance.
+        cand.insert("nested.speedup_warm".into(), 2.25);
+        assert!(regressions(&base, &cand, Mode::Ratios, 0.20).is_empty());
+        // 40% drop: within the speedup floor allowance (timing noise).
+        cand.insert("nested.speedup_warm".into(), 1.5);
+        assert!(regressions(&base, &cand, Mode::Ratios, 0.20).is_empty());
+        // 60% drop: an order-of-magnitude collapse, flagged.
+        cand.insert("nested.speedup_warm".into(), 1.0);
+        let r = regressions(&base, &cand, Mode::Ratios, 0.20);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].key, "nested.speedup_warm");
+        assert!((r[0].regression - 0.6).abs() < 1e-12);
+        // Improvements never flag.
+        cand.insert("nested.speedup_warm".into(), 9.0);
+        assert!(regressions(&base, &cand, Mode::Ratios, 0.20).is_empty());
+    }
+
+    #[test]
+    fn absolute_guard_watches_ms_keys() {
+        let base = numeric_keys(SAMPLE).unwrap();
+        let mut cand = base.clone();
+        cand.insert("nested.warm_ms".into(), 130.0);
+        let r = regressions(&base, &cand, Mode::AbsoluteMs, 0.20);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].key, "nested.warm_ms");
+        // Getting faster is fine.
+        cand.insert("nested.warm_ms".into(), 10.0);
+        assert!(regressions(&base, &cand, Mode::AbsoluteMs, 0.20).is_empty());
+    }
+
+    #[test]
+    fn near_parity_speedups_are_not_guarded() {
+        // A speedup of ~1.3 means both sides are sub-millisecond-close at
+        // smoke scale: timing noise, not signal. Iteration ratios of the
+        // same magnitude stay guarded (they are deterministic).
+        let base =
+            numeric_keys(r#"{"speedup_warm_vs_cold": 1.3, "iteration_ratio_warm": 1.3}"#).unwrap();
+        let mut cand = base.clone();
+        cand.insert("speedup_warm_vs_cold".into(), 0.6); // 54% "worse": noise
+        cand.insert("iteration_ratio_warm".into(), 0.6); // 54% worse: real
+        let r = regressions(&base, &cand, Mode::Ratios, 0.20);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].key, "iteration_ratio_warm");
+    }
+
+    #[test]
+    fn new_and_missing_keys_are_tolerated() {
+        let base = numeric_keys(r#"{"speedup_a": 2.0, "speedup_gone": 3.0}"#).unwrap();
+        let cand = numeric_keys(r#"{"speedup_a": 2.0, "speedup_new": 1.0}"#).unwrap();
+        assert!(regressions(&base, &cand, Mode::Ratios, 0.20).is_empty());
+    }
+
+    #[test]
+    fn committed_bench_baselines_parse() {
+        // The real committed artifacts must stay parseable by this guard.
+        for name in ["../../BENCH_pagerank.json", "../../BENCH_incremental.json"] {
+            let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(name);
+            let text = std::fs::read_to_string(&path).expect("committed bench JSON exists");
+            let keys = numeric_keys(&text).expect("committed bench JSON parses");
+            assert!(
+                keys.keys().any(|k| k.contains("speedup")),
+                "{name}: guarded ratio keys present"
+            );
+        }
+    }
+}

@@ -129,7 +129,7 @@ impl BenchmarkGroup<'_> {
 /// The benchmark harness entry point.
 #[derive(Default)]
 pub struct Criterion {
-    results: Vec<(String, Duration)>,
+    results: Vec<(String, Duration, Duration)>,
 }
 
 impl Criterion {
@@ -180,7 +180,7 @@ impl Criterion {
             fmt_duration(*max),
             samples.len()
         );
-        self.results.push((full, mean));
+        self.results.push((full, mean, *min));
     }
 
     /// Print the closing summary (called by [`criterion_main!`]).
@@ -194,8 +194,19 @@ impl Criterion {
     pub fn mean_of(&self, substring: &str) -> Option<Duration> {
         self.results
             .iter()
-            .find(|(id, _)| id.contains(substring))
-            .map(|&(_, d)| d)
+            .find(|(id, _, _)| id.contains(substring))
+            .map(|&(_, mean, _)| mean)
+    }
+
+    /// Minimum sample time of the first recorded benchmark whose full id
+    /// contains `substring` (shim extension). More robust than the mean
+    /// against scheduler stalls — the smoke benches report it so the CI
+    /// perf gate is not at the mercy of one noisy sample.
+    pub fn min_of(&self, substring: &str) -> Option<Duration> {
+        self.results
+            .iter()
+            .find(|(id, _, _)| id.contains(substring))
+            .map(|&(_, _, min)| min)
     }
 }
 

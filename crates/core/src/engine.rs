@@ -28,7 +28,8 @@
 
 use crate::error::{SolverError, UpdateError};
 use crate::pagerank::{DanglingPolicy, PageRankConfig, PageRankResult};
-use crate::residual::{LocalOp, LocalizedParams};
+use crate::pool::{PadCell, SharedMut, WorkerPool};
+use crate::residual::{LocalOp, LocalizedParams, ParallelPushCtx};
 use crate::transition::{fill_arc_probs, ProbScratch, TransitionMatrix, TransitionModel};
 use crate::workspace::Workspace;
 use d2pr_graph::csr::CsrGraph;
@@ -38,13 +39,40 @@ use d2pr_graph::transpose::CscStructure;
 use std::cell::UnsafeCell;
 use std::ops::Range;
 use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
-use std::sync::Barrier;
+use std::sync::{Arc, Barrier};
 
 /// Number of worker threads the engine uses by default: the machine's
 /// available parallelism.
 pub fn default_threads() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
+
+/// Which kernel the engine's **single-partition** sweep path runs.
+///
+/// The pooled (multi-partition) path always runs the Jacobi-style pull
+/// kernel — Gauss–Seidel consumes updates in place, which is inherently
+/// sequential — so this flag takes effect exactly on the single-partition
+/// path (1 worker, or graphs too small to split). Both kernels converge to
+/// the same fixed points (parity-tested to 1e-8 in `tests/incremental.rs`);
+/// Gauss–Seidel typically halves iteration counts on well-ordered graphs
+/// at the cost of an `O(E)` per-point operator materialization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SweepKernel {
+    /// Ping-pong pull kernel with Aitken extrapolation (the default).
+    #[default]
+    Pull,
+    /// In-place Gauss–Seidel sweeps (`crate::gauss_seidel`), policy- and
+    /// teleport-complete, warm-start chained across grid points.
+    GaussSeidel,
+}
+
+/// Default minimum frontier estimate (summed in+out degree of the delta's
+/// endpoints) before [`Engine::resolve_localized`] drains the residual
+/// with the frontier-parallel push instead of the serial queue. Below it,
+/// barrier latency (~3 rendezvous per sub-round) outweighs the per-arc
+/// work the workers would split. Tune per deployment with
+/// [`Engine::set_parallel_push_threshold`].
+pub const DEFAULT_PARALLEL_PUSH_THRESHOLD: usize = 1 << 15;
 
 /// Which strategy an incremental re-solve actually ran (the auto-selecting
 /// [`Engine::resolve_incremental`] chooses; the explicit entry points can
@@ -80,6 +108,12 @@ pub struct IncrementalOutcome {
     pub frontier: usize,
     /// Residual pushes performed (0 for sweeps).
     pub pushes: usize,
+    /// OS threads this engine lineage has spawned since construction
+    /// (carried across [`EngineState`] handoffs). The pool-reuse
+    /// observability hook: steady-state serving must report a constant —
+    /// the worker count paid once at construction — because solve calls
+    /// never spawn.
+    pub pool_spawns: usize,
 }
 
 /// The graph-independent state of an [`Engine`], recovered with
@@ -130,7 +164,7 @@ pub struct IncrementalOutcome {
 /// ```
 #[derive(Debug, Clone)]
 pub struct EngineState {
-    csc: CscStructure,
+    csc: Arc<CscStructure>,
     theta: Vec<f64>,
     log_theta: Vec<f64>,
     max_log_theta: f64,
@@ -150,12 +184,41 @@ pub struct EngineState {
     /// The carried operator no longer matches the graph (arc-mode model,
     /// or factored eligibility flipped): `from_state` re-runs `set_model`.
     needs_remodel: bool,
+    /// The engine's persistent worker pool, riding along so revival spawns
+    /// nothing (see [`PoolCarrier`]).
+    pool: PoolCarrier,
+    threads_spawned: usize,
+    kernel: SweepKernel,
+    push_parallel_threshold: usize,
+}
+
+/// Carries a [`WorkerPool`] through the cloneable [`EngineState`].
+///
+/// A pool's threads cannot be duplicated, so `Clone` yields an *empty*
+/// carrier: a state clone revives into an engine that spawns a fresh pool
+/// at [`Engine::from_state`] (construction-time, never per solve). The
+/// primary serving chain — move the state, don't clone it — keeps the one
+/// pool alive across every snapshot generation.
+#[derive(Debug, Default)]
+struct PoolCarrier(Option<WorkerPool>);
+
+impl Clone for PoolCarrier {
+    fn clone(&self) -> Self {
+        PoolCarrier(None)
+    }
 }
 
 impl EngineState {
     /// The transpose structure carried by this state.
     pub fn csc(&self) -> &CscStructure {
         &self.csc
+    }
+
+    /// The shared transpose structure (cheap `Arc` clone) — hand it to
+    /// [`Engine::with_structure`] to build additional engines over the
+    /// same graph with zero `O(E)` structure work.
+    pub fn shared_structure(&self) -> Arc<CscStructure> {
+        Arc::clone(&self.csc)
     }
 
     /// Advance the state across one delta batch: patch the transpose
@@ -183,8 +246,22 @@ impl EngineState {
                 "engine state patch supports unweighted snapshots only".into(),
             )));
         }
+        if delta.inserted.is_empty() && delta.deleted.is_empty() {
+            // No arcs changed: the carried structure (and its `Arc`
+            // identity — no silent deep copies) is still exact.
+            if new_graph.num_nodes() != self.csc.num_nodes()
+                || new_graph.num_arcs() != self.csc.num_arcs()
+            {
+                return Err(UpdateError::Graph(GraphError::Snapshot(
+                    "patched: empty delta but the graph shape changed".into(),
+                )));
+            }
+            return Ok(self);
+        }
+        // A real delta rekeys the share: the patched structure is a new
+        // `Arc` generation, other holders of the old one are unaffected.
         let csc = self.csc.patched_structural(new_graph, delta)?;
-        self.csc = csc;
+        self.csc = Arc::new(csc);
 
         // Θ / ln Θ / dangling at changed sources.
         let source_changes = delta.source_degree_changes();
@@ -258,7 +335,11 @@ impl EngineState {
 #[derive(Debug)]
 pub struct Engine<'g> {
     graph: &'g CsrGraph,
-    csc: CscStructure,
+    /// The shared structural transpose. Many engines (and [`EngineState`]
+    /// snapshots) may hold the same `Arc`: construction from a shared
+    /// structure performs no `O(E)` work, and the arc permutation (the
+    /// only lazily-built part) is materialized once for every sharer.
+    csc: Arc<CscStructure>,
     /// `dangling_mask[v]` ⇔ node `v` has no out-arcs.
     dangling_mask: Vec<bool>,
     /// Destination degree table (`deg`/`outdeg`, or Θ on weighted graphs).
@@ -280,6 +361,21 @@ pub struct Engine<'g> {
     threads: usize,
     /// Arc-balanced destination ranges, one per worker.
     partitions: Vec<Range<usize>>,
+    /// `owner[v]` = index of the partition (worker) owning destination `v`
+    /// — the frontier-parallel push routes residual contributions through
+    /// it. Empty for single-partition engines.
+    owner: Vec<u32>,
+    /// Persistent parked worker threads; `None` for single-partition
+    /// engines (which solve serially). Spawned at construction — never
+    /// inside a solve call — and carried across [`EngineState`] handoffs.
+    pool: Option<WorkerPool>,
+    /// OS threads spawned by this engine lineage (see
+    /// [`IncrementalOutcome::pool_spawns`]).
+    threads_spawned: usize,
+    /// Kernel of the single-partition sweep path.
+    kernel: SweepKernel,
+    /// Frontier estimate above which localized drains go parallel.
+    push_parallel_threshold: usize,
     config: PageRankConfig,
     model: Option<TransitionModel>,
     /// Per-arc probabilities in CSR order (scratch for the fused build).
@@ -301,13 +397,17 @@ impl<'g> Engine<'g> {
 
     /// Engine with an explicit worker count (clamped to at least 1).
     pub fn with_threads(graph: &'g CsrGraph, threads: usize) -> Self {
-        Self::from_parts(graph, CscStructure::build(graph), threads)
+        Self::from_parts(graph, Arc::new(CscStructure::build(graph)), threads)
     }
 
-    /// Engine over a prebuilt [`CscStructure`] — the incremental-update
-    /// entry point. After a delta batch, patch the previous engine's
-    /// structure ([`CscStructure::patched`]) instead of paying a full
-    /// transpose rebuild, then hand it to the new engine:
+    /// Engine over a prebuilt, possibly **shared** transpose structure.
+    /// Many engines (multi-tenant serving, per-teleport engines over one
+    /// graph) can hold the same `Arc<CscStructure>`: construction from it
+    /// does no `O(E)` structure work — only the `O(V)` per-engine tables
+    /// are derived. It is also the incremental-update entry point: after a
+    /// delta batch, patch the previous engine's structure
+    /// ([`CscStructure::patched`]) instead of paying a full transpose
+    /// rebuild, then hand it to the new engine:
     ///
     /// ```
     /// use d2pr_core::engine::Engine;
@@ -329,7 +429,7 @@ impl<'g> Engine<'g> {
     ///
     /// // ... patch the transpose and refresh incrementally: the auto mode
     /// // picks a residual-localized push for a batch this small.
-    /// let csc2 = engine.csc().patched(&g2, &outcome.delta).unwrap();
+    /// let csc2 = std::sync::Arc::new(engine.csc().patched(&g2, &outcome.delta).unwrap());
     /// let mut engine2 = Engine::with_structure(&g2, csc2, 1).unwrap();
     /// engine2.set_model(TransitionModel::DegreeDecoupled { p: 0.5 }).unwrap();
     /// let after = engine2.resolve_incremental(&before.scores, &outcome.delta).unwrap();
@@ -341,7 +441,7 @@ impl<'g> Engine<'g> {
     /// describe `graph` (node or arc count differs).
     pub fn with_structure(
         graph: &'g CsrGraph,
-        csc: CscStructure,
+        csc: Arc<CscStructure>,
         threads: usize,
     ) -> Result<Self, SolverError> {
         if csc.num_nodes() != graph.num_nodes() || csc.num_arcs() != graph.num_arcs() {
@@ -355,9 +455,15 @@ impl<'g> Engine<'g> {
 
     /// Shared constructor body: derive every per-graph table from an
     /// already-built (or patched) transpose.
-    fn from_parts(graph: &'g CsrGraph, csc: CscStructure, threads: usize) -> Self {
+    fn from_parts(graph: &'g CsrGraph, csc: Arc<CscStructure>, threads: usize) -> Self {
         let threads = threads.max(1);
         let partitions = csc.arc_balanced_partition(threads);
+        let owner = owner_map(&partitions, graph.num_nodes());
+        // The one and only thread spawn of this engine's lifetime: solve
+        // calls (and `EngineState` revivals carrying this pool) reuse the
+        // parked workers.
+        let pool = (partitions.len() > 1).then(|| WorkerPool::spawn(partitions.len()));
+        let threads_spawned = pool.as_ref().map_or(0, WorkerPool::workers);
         let mut dangling_mask = vec![false; graph.num_nodes()];
         for &v in csc.dangling() {
             dangling_mask[v as usize] = true;
@@ -386,6 +492,11 @@ impl<'g> Engine<'g> {
             factored: false,
             threads,
             partitions,
+            owner,
+            pool,
+            threads_spawned,
+            kernel: SweepKernel::default(),
+            push_parallel_threshold: DEFAULT_PARALLEL_PUSH_THRESHOLD,
             config: PageRankConfig::default(),
             model: None,
             // Sized lazily on the first arc-mode model: factored-only
@@ -442,12 +553,53 @@ impl<'g> Engine<'g> {
         &self.csc
     }
 
-    /// Consume the engine, recovering its transpose structure. Serving
-    /// loops use this between delta batches: the engine (which borrows the
-    /// old snapshot) is dropped, the structure survives to be patched
-    /// against the next snapshot ([`CscStructure::patched`]) without a
-    /// clone or a rebuild.
-    pub fn into_structure(self) -> CscStructure {
+    /// The shared transpose structure (cheap `Arc` clone). Hand it to
+    /// [`Engine::with_structure`] to build further engines over the same
+    /// graph with zero `O(E)` structure work — they all read the one
+    /// transpose (and the one arc permutation, built at most once).
+    pub fn shared_structure(&self) -> Arc<CscStructure> {
+        Arc::clone(&self.csc)
+    }
+
+    /// Select the kernel of the single-partition sweep path (see
+    /// [`SweepKernel`]). No effect on pooled (multi-partition) sweeps.
+    pub fn set_kernel(&mut self, kernel: SweepKernel) {
+        self.kernel = kernel;
+    }
+
+    /// Builder-style [`Engine::set_kernel`].
+    #[must_use]
+    pub fn with_kernel(mut self, kernel: SweepKernel) -> Self {
+        self.set_kernel(kernel);
+        self
+    }
+
+    /// The kernel the single-partition sweep path runs.
+    pub fn kernel(&self) -> SweepKernel {
+        self.kernel
+    }
+
+    /// Set the frontier estimate above which [`Engine::resolve_localized`]
+    /// drains the residual with the frontier-parallel push (default
+    /// [`DEFAULT_PARALLEL_PUSH_THRESHOLD`]). `0` forces the parallel drain
+    /// whenever the engine has a pool; `usize::MAX` pins the serial drain.
+    pub fn set_parallel_push_threshold(&mut self, frontier_arcs: usize) {
+        self.push_parallel_threshold = frontier_arcs;
+    }
+
+    /// OS threads spawned by this engine lineage since construction (also
+    /// reported per call as [`IncrementalOutcome::pool_spawns`]).
+    pub fn pool_spawns(&self) -> usize {
+        self.threads_spawned
+    }
+
+    /// Consume the engine, recovering its (shared) transpose structure.
+    /// Serving loops use this between delta batches: the engine (which
+    /// borrows the old snapshot) is dropped, the structure survives to be
+    /// patched against the next snapshot ([`CscStructure::patched`])
+    /// without a clone or a rebuild.
+    pub fn into_structure(self) -> Arc<CscStructure> {
+        // Field moves out before `self`'s other fields (pool included) drop.
         self.csc
     }
 
@@ -477,6 +629,12 @@ impl<'g> Engine<'g> {
             scratch: self.scratch,
             ws: self.ws,
             needs_remodel: false,
+            // The worker pool parks inside the state: revival reattaches
+            // the same OS threads, so the serving loop never respawns.
+            pool: PoolCarrier(self.pool),
+            threads_spawned: self.threads_spawned,
+            kernel: self.kernel,
+            push_parallel_threshold: self.push_parallel_threshold,
         }
     }
 
@@ -502,6 +660,22 @@ impl<'g> Engine<'g> {
             });
         }
         let partitions = state.csc.arc_balanced_partition(state.threads);
+        let owner = owner_map(&partitions, n);
+        // Reattach the carried pool when its worker count still matches
+        // the partition layout (the common case: node count is fixed
+        // across deltas, so the partition count is too). A cloned state
+        // (empty carrier) or a layout change respawns — at revival, never
+        // inside a solve.
+        let mut threads_spawned = state.threads_spawned;
+        let pool = match state.pool.0 {
+            Some(p) if p.workers() == partitions.len() && partitions.len() > 1 => Some(p),
+            _ if partitions.len() > 1 => {
+                let p = WorkerPool::spawn(partitions.len());
+                threads_spawned += p.workers();
+                Some(p)
+            }
+            _ => None,
+        };
         let mut engine = Self {
             graph,
             csc: state.csc,
@@ -516,6 +690,11 @@ impl<'g> Engine<'g> {
             factored: state.factored,
             threads: state.threads,
             partitions,
+            owner,
+            pool,
+            threads_spawned,
+            kernel: state.kernel,
+            push_parallel_threshold: state.push_parallel_threshold,
             config: state.config,
             model: state.model,
             csr_probs: state.csr_probs,
@@ -559,10 +738,10 @@ impl<'g> Engine<'g> {
             self.csr_probs.resize(m, 0.0);
             self.in_probs.resize(m, 0.0);
             // Structures patched on the serving path skip the CSR→CSC arc
-            // permutation; arc-mode operators are the only consumer.
-            if !self.csc.has_arc_permutation() {
-                self.csc.rebuild_arc_permutation(self.graph);
-            }
+            // permutation; arc-mode operators are the only consumer. The
+            // `&self` materialization makes this safe on a shared `Arc` —
+            // every sharer gets the one build.
+            self.csc.ensure_arc_permutation(self.graph);
             fill_arc_probs(
                 self.graph,
                 model,
@@ -924,10 +1103,12 @@ impl<'g> Engine<'g> {
                 mode: ResolveMode::LocalizedPush,
                 frontier: 0,
                 pushes: 0,
+                pool_spawns: self.threads_spawned,
             });
         }
-        let choose_localized = self.localized_supported(delta)
-            && (force_localized || self.frontier_estimate(delta) <= n / 8);
+        let frontier_estimate = self.frontier_estimate(delta);
+        let choose_localized =
+            self.localized_supported(delta) && (force_localized || frontier_estimate <= n / 8);
         if !choose_localized {
             return self.warm_outcome(previous, teleport);
         }
@@ -940,11 +1121,17 @@ impl<'g> Engine<'g> {
             .map_err(UpdateError::Solver)?;
 
         // Tiny graphs: the (policy-complete) dense Gauss–Seidel solver is
-        // cheaper than push bookkeeping and halves sweep counts.
+        // cheaper than push bookkeeping and halves sweep counts. The
+        // transpose it sweeps is the engine's **shared** structure (`Arc`
+        // clone) — not re-derived per call.
         const DENSE_GS_NODES: usize = 128;
         if n <= DENSE_GS_NODES {
             let matrix = self.to_matrix().expect("model loaded");
-            let transpose = crate::parallel::TransposedMatrix::build(self.graph, &matrix);
+            let transpose = crate::parallel::TransposedMatrix::from_structure(
+                self.shared_structure(),
+                self.graph,
+                &matrix,
+            );
             let r = crate::gauss_seidel::gauss_seidel_with_workspace(
                 self.graph,
                 &transpose,
@@ -960,6 +1147,7 @@ impl<'g> Engine<'g> {
                     mode: ResolveMode::DenseGaussSeidel,
                     frontier: n,
                     pushes: 0,
+                    pool_spawns: self.threads_spawned,
                 });
             }
             return self.warm_outcome(previous, teleport);
@@ -988,6 +1176,19 @@ impl<'g> Engine<'g> {
             // (sequential access, no queue bookkeeping).
             work_budget: (self.graph.num_arcs() / 2).max(1 << 16),
         };
+        // Frontier-parallel drain: worth the barrier latency only when the
+        // frontier is large; below the threshold the serial queue wins.
+        let par = match &self.pool {
+            Some(pool)
+                if pool.workers() > 1 && frontier_estimate >= self.push_parallel_threshold =>
+            {
+                Some(ParallelPushCtx {
+                    pool,
+                    owner: &self.owner,
+                })
+            }
+            _ => None,
+        };
         let Workspace {
             rank,
             residual,
@@ -1004,6 +1205,7 @@ impl<'g> Engine<'g> {
             delta,
             rank,
             residual,
+            par,
         );
         if stats.converged {
             // Final normalization to the simplex: realizes the closed-form
@@ -1024,6 +1226,7 @@ impl<'g> Engine<'g> {
                 mode: ResolveMode::LocalizedPush,
                 frontier: stats.frontier_nodes,
                 pushes: stats.pushes,
+                pool_spawns: self.threads_spawned,
             });
         }
         // Hybrid finisher: the push kept all its progress in `rank`
@@ -1042,6 +1245,7 @@ impl<'g> Engine<'g> {
             mode: ResolveMode::HybridPushSweep,
             frontier: stats.frontier_nodes,
             pushes: stats.pushes,
+            pool_spawns: self.threads_spawned,
         })
     }
 
@@ -1057,6 +1261,7 @@ impl<'g> Engine<'g> {
             mode: ResolveMode::WarmSweep,
             frontier: 0,
             pushes: 0,
+            pool_spawns: self.threads_spawned,
         })
     }
 
@@ -1090,10 +1295,67 @@ impl<'g> Engine<'g> {
         }
         self.ws.set_teleport(n, teleport)?;
         if self.partitions.len() <= 1 {
-            self.sweep_serial(models, warm_start, init)
+            if self.kernel == SweepKernel::GaussSeidel {
+                self.sweep_serial_gs(models, teleport, warm_start, init)
+            } else {
+                self.sweep_serial(models, warm_start, init)
+            }
         } else {
             self.sweep_pooled(models, warm_start, init)
         }
+    }
+
+    /// The alternative single-partition kernel ([`SweepKernel::GaussSeidel`]):
+    /// in-place Gauss–Seidel sweeps through the policy-complete solver in
+    /// [`crate::gauss_seidel`], the operator materialized per grid point
+    /// over the engine's **shared** transpose (no `CscStructure` rebuild).
+    /// Warm starts chain across grid points exactly like the pull sweep.
+    fn sweep_serial_gs(
+        &mut self,
+        models: &[TransitionModel],
+        teleport: Option<&[f64]>,
+        warm_start: bool,
+        init: Option<&[f64]>,
+    ) -> Result<Vec<PageRankResult>, SolverError> {
+        let mut results = Vec::with_capacity(models.len());
+        let mut carry: Option<Vec<f64>> = None;
+        for (pi, &model) in models.iter().enumerate() {
+            // Gauss–Seidel consumes the matrix built below, never the
+            // engine's pull operator — loading that too would double the
+            // per-point `O(E)` cost (and force the arc permutation the
+            // serving path skips). Only the *last* point runs `set_model`,
+            // so the engine's operator state stays consistent with
+            // `self.model` for whatever runs next.
+            if pi + 1 == models.len() && self.model != Some(model) {
+                self.set_model(model)?;
+            }
+            let matrix = TransitionMatrix::build_with_theta(self.graph, model, &self.theta);
+            let transpose = crate::parallel::TransposedMatrix::from_structure(
+                self.shared_structure(),
+                self.graph,
+                &matrix,
+            );
+            let seed = if pi == 0 {
+                init
+            } else if warm_start {
+                carry.as_deref()
+            } else {
+                None
+            };
+            let r = crate::gauss_seidel::gauss_seidel_with_workspace(
+                self.graph,
+                &transpose,
+                &self.config,
+                teleport,
+                seed,
+                &mut self.ws,
+            )?;
+            if warm_start {
+                carry = Some(r.scores.clone());
+            }
+            results.push(r);
+        }
+        Ok(results)
     }
 
     /// Single-threaded sweep (no pool, same math, same buffers).
@@ -1172,9 +1434,7 @@ impl<'g> Engine<'g> {
             let m = self.graph.num_arcs();
             self.csr_probs.resize(m, 0.0);
             self.in_probs.resize(m, 0.0);
-            if !self.csc.has_arc_permutation() {
-                self.csc.rebuild_arc_permutation(self.graph);
-            }
+            self.csc.ensure_arc_permutation(self.graph);
         }
         self.node_numer.resize(n, 0.0);
         self.inv_denom.resize(n, 0.0);
@@ -1182,8 +1442,9 @@ impl<'g> Engine<'g> {
         self.scaled_b.resize(n, 0.0);
         let max_log_theta = self.max_log_theta;
 
-        // Split the engine into disjoint borrows so worker threads can hold
-        // shared state while the main thread keeps updating the operator.
+        // Split the engine into disjoint borrows so the parked worker pool
+        // can hold shared state while the main thread keeps updating the
+        // operator.
         let Engine {
             graph,
             csc,
@@ -1191,6 +1452,7 @@ impl<'g> Engine<'g> {
             theta,
             log_theta,
             partitions,
+            pool,
             csr_probs,
             in_probs,
             node_numer,
@@ -1224,25 +1486,28 @@ impl<'g> Engine<'g> {
         };
         let shared = PoolShared::new(
             &topo,
-            SharedSlice::new(in_probs),
-            [SharedSlice::new(rank), SharedSlice::new(next)],
+            SharedMut::new(in_probs),
+            [SharedMut::new(rank), SharedMut::new(next)],
             Some(FactoredShared {
-                numer: SharedSlice::new(node_numer),
-                inv_denom: SharedSlice::new(inv_denom),
-                scaled: [SharedSlice::new(scaled_a), SharedSlice::new(scaled_b)],
+                numer: SharedMut::new(node_numer),
+                inv_denom: SharedMut::new(inv_denom),
+                scaled: [SharedMut::new(scaled_a), SharedMut::new(scaled_b)],
             }),
             teleport,
             &config,
             partitions.len(),
         );
 
+        let pool = pool
+            .as_ref()
+            .expect("multi-partition engines own a worker pool");
+        debug_assert_eq!(pool.workers(), partitions.len());
         let mut results = Vec::with_capacity(models.len());
-        std::thread::scope(|scope| {
-            for (w, range) in partitions.iter().cloned().enumerate() {
-                let shared = &shared;
-                scope.spawn(move || worker_loop(w, range, shared));
-            }
-
+        // No threads are spawned here: the engine's persistent pool is
+        // released into `worker_loop` for this sweep and parks again when
+        // the driver broadcasts shutdown.
+        let job = |w: usize| worker_loop(w, partitions[w].clone(), &shared);
+        pool.run(&job, || {
             // Main thread: drive the sweep. Workers are parked on the start
             // barrier between phases, so mutating shared buffers here is
             // sound.
@@ -1342,6 +1607,20 @@ pub(crate) struct PullTopo<'a> {
 
 pub(crate) fn mass_at(nodes: &[u32], values: &[f64]) -> f64 {
     nodes.iter().map(|&v| values[v as usize]).sum()
+}
+
+/// Owner map of the arc-balanced partition: `owner[v]` = index of the
+/// range containing destination `v`. Empty when there is at most one
+/// partition (nothing to route).
+fn owner_map(partitions: &[Range<usize>], n: usize) -> Vec<u32> {
+    if partitions.len() <= 1 {
+        return Vec::new();
+    }
+    let mut owner = vec![0u32; n];
+    for (w, range) in partitions.iter().enumerate() {
+        owner[range.clone()].fill(w as u32);
+    }
+    owner
 }
 
 /// Whether `model` can use the factored operator representation: pure
@@ -1761,107 +2040,49 @@ enum Phase {
     Exit = 2,
 }
 
-/// A `&mut [f64]` smuggled across the thread boundary. Soundness protocol:
-/// between a `start.wait()` and the matching `end.wait()`, workers access
-/// the slice (disjoint ranges for writes, shared reads); at every other
-/// time the main thread is the sole accessor. The barriers establish the
-/// happens-before edges.
-#[derive(Debug)]
-pub(crate) struct SharedSlice {
-    ptr: *mut f64,
-    len: usize,
-}
-
-unsafe impl Send for SharedSlice {}
-unsafe impl Sync for SharedSlice {}
-
-impl SharedSlice {
-    pub(crate) fn new(v: &mut Vec<f64>) -> Self {
-        Self {
-            ptr: v.as_mut_ptr(),
-            len: v.len(),
-        }
-    }
-
-    /// A shared slice that will only ever be read (`slice_mut`/`range_mut`
-    /// must not be called on it). Used for operators that stay immutable
-    /// for the lifetime of the pool.
-    pub(crate) fn read_only(v: &[f64]) -> Self {
-        Self {
-            ptr: v.as_ptr() as *mut f64,
-            len: v.len(),
-        }
-    }
-
-    /// SAFETY: caller must hold exclusive access per the protocol above.
-    #[allow(clippy::mut_from_ref)]
-    unsafe fn slice_mut(&self) -> &mut [f64] {
-        std::slice::from_raw_parts_mut(self.ptr, self.len)
-    }
-
-    /// SAFETY: caller must guarantee no concurrent writes to the window.
-    unsafe fn slice(&self) -> &[f64] {
-        std::slice::from_raw_parts(self.ptr, self.len)
-    }
-
-    /// SAFETY: caller must hold exclusive access to `range` specifically.
-    #[allow(clippy::mut_from_ref)]
-    unsafe fn range_mut(&self, range: Range<usize>) -> &mut [f64] {
-        debug_assert!(range.end <= self.len);
-        std::slice::from_raw_parts_mut(self.ptr.add(range.start), range.end - range.start)
-    }
-}
-
-/// Cache-line-padded per-worker output cell, written by exactly one worker
-/// during a phase and read by the main thread between phases.
-#[derive(Debug, Default)]
-#[repr(align(64))]
-struct PartialCell(UnsafeCell<RangeOut>);
-
-unsafe impl Sync for PartialCell {}
-
 /// Shared buffers of a factored operator (see [`EngineOp::Factored`]).
 #[derive(Debug)]
 pub(crate) struct FactoredShared {
     /// Destination factors `Θ_j^(−p)` (rewritten between grid points).
-    pub(crate) numer: SharedSlice,
+    pub(crate) numer: SharedMut<f64>,
     /// Source factors `1/denom_i` (rewritten between grid points).
-    pub(crate) inv_denom: SharedSlice,
+    pub(crate) inv_denom: SharedMut<f64>,
     /// `rank·inv_denom` ping-pong pair, flipped with the rank buffers.
-    pub(crate) scaled: [SharedSlice; 2],
+    pub(crate) scaled: [SharedMut<f64>; 2],
 }
 
 /// Everything the pooled workers share.
 pub(crate) struct PoolShared<'a> {
     topo: PullTopo<'a>,
     teleport: Option<&'a [f64]>,
-    in_probs: SharedSlice,
-    bufs: [SharedSlice; 2],
+    in_probs: SharedMut<f64>,
+    bufs: [SharedMut<f64>; 2],
     factored: Option<FactoredShared>,
     flip: AtomicUsize,
     phase: AtomicU8,
     params: UnsafeCell<PullParams>,
     inv_total: UnsafeCell<f64>,
-    partials: Vec<PartialCell>,
+    partials: Vec<PadCell<RangeOut>>,
     start: Barrier,
     end: Barrier,
 }
 
-// SAFETY: all interior-mutable fields follow the barrier protocol described
-// on `SharedSlice`; the rest are shared immutable borrows.
+// SAFETY: all interior-mutable fields follow the barrier-phase protocol
+// described on `crate::pool::SharedMut`/`PadCell`; the rest are shared
+// immutable borrows.
 unsafe impl Sync for PoolShared<'_> {}
 
 impl<'a> PoolShared<'a> {
     pub(crate) fn new(
         topo: &PullTopo<'a>,
-        in_probs: SharedSlice,
-        bufs: [SharedSlice; 2],
+        in_probs: SharedMut<f64>,
+        bufs: [SharedMut<f64>; 2],
         factored: Option<FactoredShared>,
         teleport: Option<&'a [f64]>,
         config: &PageRankConfig,
         workers: usize,
     ) -> Self {
-        let n = bufs[0].len;
+        let n = bufs[0].len();
         Self {
             topo: *topo,
             teleport,
@@ -1878,7 +2099,7 @@ impl<'a> PoolShared<'a> {
                 factored: false,
             }),
             inv_total: UnsafeCell::new(1.0),
-            partials: (0..workers).map(|_| PartialCell::default()).collect(),
+            partials: (0..workers).map(|_| PadCell::default()).collect(),
             start: Barrier::new(workers + 1),
             end: Barrier::new(workers + 1),
         }
@@ -2284,17 +2505,25 @@ mod tests {
         use d2pr_graph::transpose::CscStructure;
         let g = barabasi_albert(80, 3, 4).unwrap();
         let g2 = barabasi_albert(81, 3, 4).unwrap();
-        let csc = CscStructure::build(&g);
+        let csc = Arc::new(CscStructure::build(&g));
         assert!(matches!(
-            Engine::with_structure(&g2, csc.clone(), 2),
+            Engine::with_structure(&g2, Arc::clone(&csc), 2),
             Err(SolverError::StructureMismatch { .. })
         ));
-        let mut a = Engine::with_structure(&g, csc, 2).unwrap();
+        let mut a = Engine::with_structure(&g, Arc::clone(&csc), 2).unwrap();
+        // Sharing is by reference: the engine holds the same allocation.
+        assert!(Arc::ptr_eq(&a.shared_structure(), &csc));
         let mut b = Engine::with_threads(&g, 2);
         let model = TransitionModel::DegreeDecoupled { p: 1.0 };
         let ra = a.solve_model(model).unwrap();
         let rb = b.solve_model(model).unwrap();
         assert_close(&ra.scores, &rb.scores, 1e-15);
+        // A second engine over the same shared structure agrees bit-for-bit
+        // and still points at the one transpose.
+        let mut c = Engine::with_structure(&g, a.shared_structure(), 3).unwrap();
+        let rc = c.solve_model(model).unwrap();
+        assert_close(&ra.scores, &rc.scores, 1e-15);
+        assert!(Arc::ptr_eq(&c.shared_structure(), &csc));
     }
 
     #[test]
@@ -2343,7 +2572,7 @@ mod tests {
             batch.insert(3, 398);
             let out = dg.apply_batch(&batch).unwrap();
             let g2 = dg.snapshot();
-            let csc2 = engine.csc().patched(&g2, &out.delta).unwrap();
+            let csc2 = Arc::new(engine.csc().patched(&g2, &out.delta).unwrap());
 
             let mut engine2 = Engine::with_structure(&g2, csc2, threads).unwrap();
             engine2.set_model(model).unwrap();

@@ -50,6 +50,7 @@ pub mod kernel;
 pub mod pagerank;
 pub mod parallel;
 pub mod personalized;
+pub mod pool;
 pub mod residual;
 pub mod robust;
 pub mod trace;

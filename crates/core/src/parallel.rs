@@ -23,24 +23,27 @@
 //! of panics.
 
 use crate::engine::{
-    drive_pooled_point, drive_serial, worker_loop, EngineOp, PoolShared, PullTopo, SharedSlice,
+    drive_pooled_point, drive_serial, worker_loop, EngineOp, PoolShared, PullTopo,
 };
 use crate::error::SolverError;
 use crate::pagerank::{PageRankConfig, PageRankResult};
+use crate::pool::SharedMut;
 use crate::transition::{TransitionMatrix, TransitionModel};
 use crate::workspace::Workspace;
 use d2pr_graph::csr::CsrGraph;
 use d2pr_graph::transpose::CscStructure;
+use std::sync::Arc;
 
 // Re-exported so existing `use crate::parallel::...` call sites keep working.
 pub use crate::pagerank::DanglingPolicy;
 
 /// Transposed stochastic operator: the graph's cached [`CscStructure`]
-/// plus per-arc probabilities scattered into CSC order through its arc
-/// permutation.
+/// (held behind an `Arc`, so it can be shared with an
+/// [`Engine`](crate::engine::Engine) instead of re-derived) plus per-arc
+/// probabilities scattered into CSC order through its arc permutation.
 #[derive(Debug, Clone)]
 pub struct TransposedMatrix {
-    csc: CscStructure,
+    csc: Arc<CscStructure>,
     in_probs: Vec<f64>,
     dangling_mask: Vec<bool>,
     num_nodes: usize,
@@ -48,19 +51,42 @@ pub struct TransposedMatrix {
 
 impl TransposedMatrix {
     /// Build the transpose of `matrix` over `graph` — one structural
-    /// [`CscStructure::build`] plus one value scatter.
+    /// [`CscStructure::build`] plus one value scatter. When a structure
+    /// already exists (an engine's), prefer
+    /// [`TransposedMatrix::from_structure`], which skips the build.
     ///
     /// # Panics
     /// Panics when `matrix` was built for a different graph (arc count
     /// mismatch).
     pub fn build(graph: &CsrGraph, matrix: &TransitionMatrix) -> Self {
+        Self::from_structure(Arc::new(CscStructure::build(graph)), graph, matrix)
+    }
+
+    /// Transposed operator over an already-built, possibly shared
+    /// structure: one value scatter, zero structural work (the arc
+    /// permutation is materialized on the shared structure if a
+    /// structural patch had skipped it).
+    ///
+    /// # Panics
+    /// Panics when `csc`/`matrix` do not describe `graph`.
+    pub fn from_structure(
+        csc: Arc<CscStructure>,
+        graph: &CsrGraph,
+        matrix: &TransitionMatrix,
+    ) -> Self {
         let n = graph.num_nodes();
         assert_eq!(
             matrix.arc_probs().len(),
             graph.num_arcs(),
             "operator must cover all arcs"
         );
-        let csc = CscStructure::build(graph);
+        assert_eq!(csc.num_nodes(), n, "structure must describe the graph");
+        assert_eq!(
+            csc.num_arcs(),
+            graph.num_arcs(),
+            "structure must describe the graph"
+        );
+        csc.ensure_arc_permutation(graph);
         let mut in_probs = vec![0.0f64; graph.num_arcs()];
         csc.scatter_arc_values(matrix.arc_probs(), &mut in_probs);
         let mut dangling_mask = vec![false; n];
@@ -178,8 +204,8 @@ pub fn pagerank_parallel_with_workspace(
         };
         let shared = PoolShared::new(
             &topo,
-            SharedSlice::read_only(&transpose.in_probs),
-            [SharedSlice::new(rank), SharedSlice::new(next)],
+            SharedMut::read_only(&transpose.in_probs),
+            [SharedMut::new(rank), SharedMut::new(next)],
             None,
             teleport,
             config,

@@ -205,7 +205,7 @@ pub fn run_evolving(cfg: &EvolvingConfig) -> Result<EvolvingReport, UpdateError>
     let mut dg = DeltaGraph::new(g0)?;
     let (initial_iterations, mut prev_scores, mut state);
     {
-        let csc = CscStructure::build(&snapshot);
+        let csc = std::sync::Arc::new(CscStructure::build(&snapshot));
         let mut engine = Engine::with_structure(&snapshot, csc, threads)?.with_config(solver)?;
         engine.set_model(model)?;
         let r = engine.solve()?;
@@ -250,12 +250,14 @@ pub fn run_evolving(cfg: &EvolvingConfig) -> Result<EvolvingReport, UpdateError>
         let mut engine = Engine::from_state(&new_snapshot, state)?;
         let warm = match cfg.mode {
             RefreshMode::Sweep => {
+                let pool_spawns = engine.pool_spawns();
                 let result = engine.resolve_warm(&prev_scores)?;
                 d2pr_core::engine::IncrementalOutcome {
                     result,
                     mode: ResolveMode::WarmSweep,
                     frontier: 0,
                     pushes: 0,
+                    pool_spawns,
                 }
             }
             RefreshMode::Localized => engine.resolve_localized(&prev_scores, &outcome.delta)?,

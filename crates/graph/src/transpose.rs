@@ -20,6 +20,7 @@
 use crate::csr::{CsrGraph, NodeId};
 use crate::delta::ArcDelta;
 use crate::error::{GraphError, Result};
+use std::sync::OnceLock;
 
 /// The structural transpose of a [`CsrGraph`], plus the CSR→CSC arc
 /// permutation. Build once per graph with [`CscStructure::build`]; after an
@@ -55,7 +56,13 @@ pub struct CscStructure {
     /// Source endpoint of every incoming arc, grouped by destination.
     in_sources: Vec<NodeId>,
     /// `csc_slot_of_arc[k]` is the CSC slot of the `k`-th CSR arc.
-    csc_slot_of_arc: Vec<usize>,
+    ///
+    /// Kept behind a [`OnceLock`] so a structure shared between engines
+    /// (`Arc<CscStructure>`) can materialize the permutation lazily —
+    /// [`CscStructure::ensure_arc_permutation`] takes `&self`, every
+    /// sharer sees the one build, and structures that only ever serve
+    /// factored operators never pay the `O(E)` rewrite at all.
+    csc_slot_of_arc: OnceLock<Vec<usize>>,
     /// Nodes with no out-arcs.
     dangling: Vec<NodeId>,
     num_nodes: usize,
@@ -101,7 +108,7 @@ impl CscStructure {
         Self {
             in_offsets,
             in_sources,
-            csc_slot_of_arc,
+            csc_slot_of_arc: OnceLock::from(csc_slot_of_arc),
             dangling,
             num_nodes: n,
         }
@@ -149,7 +156,7 @@ impl CscStructure {
     /// `O(V + Δ + copy)` and skips the permutation entirely.
     ///
     /// The result reports [`CscStructure::has_arc_permutation`] `== false`;
-    /// rebuild on demand with [`CscStructure::rebuild_arc_permutation`]
+    /// rebuild on demand with [`CscStructure::ensure_arc_permutation`]
     /// (which restores bit-identity with a fresh build).
     ///
     /// # Errors
@@ -272,15 +279,15 @@ impl CscStructure {
             .collect();
         dangling.sort_unstable();
 
-        let mut out = CscStructure {
+        let out = CscStructure {
             in_offsets,
             in_sources,
-            csc_slot_of_arc: Vec::new(),
+            csc_slot_of_arc: OnceLock::new(),
             dangling,
             num_nodes: n,
         };
         if with_permutation {
-            out.rebuild_arc_permutation(new_graph);
+            out.ensure_arc_permutation(new_graph);
         }
         Ok(out)
     }
@@ -288,33 +295,38 @@ impl CscStructure {
     /// `true` when the CSR→CSC arc permutation is materialized (always the
     /// case after [`CscStructure::build`] / [`CscStructure::patched`];
     /// `false` after [`CscStructure::patched_structural`] until
-    /// [`CscStructure::rebuild_arc_permutation`] runs).
+    /// [`CscStructure::ensure_arc_permutation`] runs).
     pub fn has_arc_permutation(&self) -> bool {
-        self.csc_slot_of_arc.len() == self.num_arcs()
+        self.csc_slot_of_arc.get().is_some()
     }
 
-    /// (Re)build the CSR→CSC arc permutation in one linear pass over
-    /// `graph`'s CSR arcs against this structure's offsets — identical slot
-    /// assignment to a fresh build. `graph` must be the graph this
-    /// structure describes.
-    pub fn rebuild_arc_permutation(&mut self, graph: &CsrGraph) {
+    /// Materialize the CSR→CSC arc permutation (no-op when already built)
+    /// in one linear pass over `graph`'s CSR arcs against this structure's
+    /// offsets — identical slot assignment to a fresh build. `graph` must
+    /// be the graph this structure describes.
+    ///
+    /// Takes `&self`: a structure shared between engines behind an `Arc`
+    /// builds the permutation exactly once, and every sharer observes it.
+    pub fn ensure_arc_permutation(&self, graph: &CsrGraph) {
         let n = self.num_nodes;
         let m = self.num_arcs();
         assert_eq!(graph.num_nodes(), n, "permutation rebuild: node count");
         assert_eq!(graph.num_arcs(), m, "permutation rebuild: arc count");
-        let (offsets, targets, _) = graph.parts();
-        let mut cursor: Vec<usize> = self.in_offsets[..n].to_vec();
-        self.csc_slot_of_arc.clear();
-        self.csc_slot_of_arc.resize(m, 0);
-        for v in 0..n {
-            let (s, e) = (offsets[v], offsets[v + 1]);
-            for (slot_out, &t) in self.csc_slot_of_arc[s..e].iter_mut().zip(&targets[s..e]) {
-                let slot = cursor[t as usize];
-                cursor[t as usize] += 1;
-                debug_assert_eq!(self.in_sources[slot], v as NodeId, "patched span order");
-                *slot_out = slot;
+        self.csc_slot_of_arc.get_or_init(|| {
+            let (offsets, targets, _) = graph.parts();
+            let mut cursor: Vec<usize> = self.in_offsets[..n].to_vec();
+            let mut slots = vec![0usize; m];
+            for v in 0..n {
+                let (s, e) = (offsets[v], offsets[v + 1]);
+                for (slot_out, &t) in slots[s..e].iter_mut().zip(&targets[s..e]) {
+                    let slot = cursor[t as usize];
+                    cursor[t as usize] += 1;
+                    debug_assert_eq!(self.in_sources[slot], v as NodeId, "patched span order");
+                    *slot_out = slot;
+                }
             }
-        }
+            slots
+        });
     }
 
     /// Number of nodes covered.
@@ -337,9 +349,11 @@ impl CscStructure {
         &self.in_sources
     }
 
-    /// The CSR→CSC arc permutation: element `k` is the CSC slot of CSR arc `k`.
+    /// The CSR→CSC arc permutation: element `k` is the CSC slot of CSR arc
+    /// `k`. Empty until materialized (see
+    /// [`CscStructure::has_arc_permutation`]).
     pub fn csc_slot_of_arc(&self) -> &[usize] {
-        &self.csc_slot_of_arc
+        self.csc_slot_of_arc.get().map_or(&[], Vec::as_slice)
     }
 
     /// Nodes with no out-arcs, ascending.
@@ -371,13 +385,16 @@ impl CscStructure {
             self.num_arcs(),
             "CSC output array must cover all arcs"
         );
-        assert!(
-            self.has_arc_permutation(),
-            "arc permutation not materialized (structure came from \
-             `patched_structural`); call `rebuild_arc_permutation` first"
-        );
+        let slots = self
+            .csc_slot_of_arc
+            .get()
+            .expect(
+                "arc permutation not materialized (structure came from \
+                 `patched_structural`); call `ensure_arc_permutation` first",
+            )
+            .as_slice();
         for (k, &val) in csr_values.iter().enumerate() {
-            csc_out[self.csc_slot_of_arc[k]] = val;
+            csc_out[slots[k]] = val;
         }
     }
 
@@ -613,15 +630,17 @@ mod tests {
         batch.delete(2, g.neighbors(2)[0]).insert(4, 140);
         let out = dg.apply_batch(&batch).unwrap();
         let g2 = dg.snapshot();
-        let mut structural = csc.patched_structural(&g2, &out.delta).unwrap();
+        let structural = csc.patched_structural(&g2, &out.delta).unwrap();
         assert!(!structural.has_arc_permutation());
         let full = csc.patched(&g2, &out.delta).unwrap();
         // Topology agrees without the permutation ...
         assert_eq!(structural.in_offsets(), full.in_offsets());
         assert_eq!(structural.in_sources(), full.in_sources());
         assert_eq!(structural.dangling(), full.dangling());
-        // ... and rebuilding restores bit-identity with a fresh build.
-        structural.rebuild_arc_permutation(&g2);
+        // ... and materializing it (through a shared reference, as
+        // `Arc`-sharing engines do) restores bit-identity with a fresh
+        // build.
+        structural.ensure_arc_permutation(&g2);
         assert_eq!(structural, CscStructure::build(&g2));
     }
 

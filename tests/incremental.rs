@@ -5,15 +5,16 @@
 //! snapshot to 1e-8, across random graphs, churn batches, dangling
 //! policies, transition models, and thread counts.
 
-use d2pr_core::engine::{Engine, EngineState, ResolveMode};
+use d2pr_core::engine::{Engine, EngineState, ResolveMode, SweepKernel};
 use d2pr_core::pagerank::{DanglingPolicy, PageRankConfig};
 use d2pr_core::transition::TransitionModel;
 use d2pr_graph::builder::GraphBuilder;
 use d2pr_graph::csr::{CsrGraph, Direction};
-use d2pr_graph::delta::{DeltaGraph, EdgeBatch};
+use d2pr_graph::delta::{ArcDelta, DeltaGraph, EdgeBatch};
 use d2pr_graph::generators::barabasi_albert;
 use d2pr_graph::transpose::CscStructure;
 use proptest::prelude::*;
+use std::sync::Arc;
 
 /// Tight enough that two converged solves sit within ~1e-9 of the unique
 /// fixed point each, guaranteeing 1e-8 agreement.
@@ -41,7 +42,7 @@ fn churn_roundtrip(
     config: PageRankConfig,
     threads: usize,
 ) -> (Vec<f64>, Vec<f64>, Vec<f64>, ResolveMode) {
-    let csc0 = CscStructure::build(&base);
+    let csc0 = std::sync::Arc::new(CscStructure::build(&base));
     let mut engine0 = Engine::with_structure(&base, csc0, threads)
         .expect("fresh structure")
         .with_config(config)
@@ -173,7 +174,7 @@ proptest! {
         let model = TransitionModel::DegreeDecoupled { p: 0.5 };
         let mut state: EngineState;
         let mut prev = {
-            let mut e = Engine::with_structure(&g, CscStructure::build(&g), 2).unwrap()
+            let mut e = Engine::with_structure(&g, std::sync::Arc::new(CscStructure::build(&g)), 2).unwrap()
                 .with_config(config).unwrap();
             let r = e.solve_model(model).unwrap();
             state = e.into_state();
@@ -346,4 +347,225 @@ fn warm_start_from_stale_vector_still_converges_to_fixed_point() {
     stale[17] = 1.0;
     let warm = engine.resolve_warm(&stale).unwrap();
     assert_close(&cold.scores, &warm.scores, 1e-8);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Tentpole acceptance: the frontier-parallel residual drain must land
+    /// on the same fixed point as the serial Gauss–Southwell queue, to
+    /// 1e-8, across thread counts, dangling policies, models, and churn
+    /// patterns. The parallel threshold is forced to 0 so every localized
+    /// solve actually exercises the round-synchronous path.
+    #[test]
+    fn parallel_push_matches_serial_drain(
+        seed in 0u64..500,
+        salt in 0u32..10_000,
+        threads in 2usize..=8,
+        policy_ix in 0usize..3,
+        churn in 1usize..6,
+        p in -1.5f64..1.5,
+    ) {
+        let policy = [
+            DanglingPolicy::RedistributeTeleport,
+            DanglingPolicy::SelfLoop,
+            DanglingPolicy::Renormalize,
+        ][policy_ix];
+        let g = barabasi_albert(500, 4, seed).expect("generator");
+        let batch = churn_batch(&g, churn, salt);
+        prop_assume!(!batch.is_empty());
+        let model = TransitionModel::DegreeDecoupled { p };
+        let config = PageRankConfig { dangling: policy, ..tight_config() };
+
+        let solve = |force_parallel: bool| {
+            let mut engine = Engine::with_threads(&g, threads)
+                .with_config(config)
+                .expect("valid config");
+            engine.set_parallel_push_threshold(if force_parallel { 0 } else { usize::MAX });
+            let before = engine.solve_model(model).expect("initial solve");
+            let state = engine.into_state();
+            let mut dg = DeltaGraph::new(g.clone()).expect("unweighted");
+            let outcome = dg.apply_batch(&batch).expect("in-range");
+            let snapshot = dg.snapshot();
+            let state = state.patched(&snapshot, &outcome.delta).expect("consistent");
+            let mut engine = Engine::from_state(&snapshot, state).expect("matches");
+            let local = engine
+                .resolve_localized(&before.scores, &outcome.delta)
+                .expect("valid localized resolve");
+            let cold = engine.solve().expect("cold");
+            (local, cold.scores)
+        };
+        let (par, cold) = solve(true);
+        let (ser, _) = solve(false);
+        prop_assert!(par.result.converged && ser.result.converged);
+        prop_assert_eq!(par.mode, ser.mode, "drain strategy routing must agree");
+        let l1_cold: f64 = cold.iter().zip(&par.result.scores)
+            .map(|(x, y)| (x - y).abs()).sum();
+        prop_assert!(l1_cold < 1e-8,
+            "parallel-vs-cold divergence {l1_cold:.3e} (threads={threads}, {policy:?})");
+        let l1_ser: f64 = ser.result.scores.iter().zip(&par.result.scores)
+            .map(|(x, y)| (x - y).abs()).sum();
+        prop_assert!(l1_ser < 1e-8,
+            "parallel-vs-serial divergence {l1_ser:.3e} (threads={threads}, {policy:?})");
+    }
+}
+
+/// Satellite acceptance: N consecutive `into_state → patched → from_state`
+/// hops under churn stay within 1e-8 of cold solves, and the shared
+/// structure's `Arc` identity is preserved across every hop that does not
+/// change topology (no silent deep copies) — a real delta rekeys it, an
+/// empty delta and every state↔engine handoff must not.
+#[test]
+fn chained_serving_preserves_parity_and_structure_identity() {
+    let g = barabasi_albert(400, 3, 23).unwrap();
+    let model = TransitionModel::DegreeDecoupled { p: 0.5 };
+    let mut engine = Engine::with_threads(&g, 2)
+        .with_config(tight_config())
+        .unwrap();
+    let mut prev = engine.solve_model(model).unwrap().scores;
+    let mut state = engine.into_state();
+    let mut dg = DeltaGraph::new(g).unwrap();
+    for round in 0..5u32 {
+        let snapshot_before = dg.snapshot();
+        let churn = if round % 2 == 0 { 4 } else { 0 };
+        let batch = churn_batch(&snapshot_before, churn, 991 + round);
+        let outcome = dg.apply_batch(&batch).unwrap();
+        let snapshot = dg.snapshot();
+        let arc_before = state.shared_structure();
+        state = state.patched(&snapshot, &outcome.delta).unwrap();
+        let topology_changed =
+            !outcome.delta.inserted.is_empty() || !outcome.delta.deleted.is_empty();
+        assert_eq!(
+            !Arc::ptr_eq(&arc_before, &state.shared_structure()),
+            topology_changed,
+            "round {round}: patch must rekey the Arc iff arcs changed"
+        );
+        let arc_patched = state.shared_structure();
+        let mut engine = Engine::from_state(&snapshot, state).unwrap();
+        assert!(
+            Arc::ptr_eq(&arc_patched, &engine.shared_structure()),
+            "round {round}: from_state must reattach the same structure, not copy it"
+        );
+        let out = engine.resolve_incremental(&prev, &outcome.delta).unwrap();
+        let cold = engine.solve().unwrap();
+        let l1: f64 = cold
+            .scores
+            .iter()
+            .zip(&out.result.scores)
+            .map(|(x, y)| (x - y).abs())
+            .sum();
+        assert!(l1 < 1e-8, "round {round}: chained divergence {l1:.3e}");
+        assert!(
+            Arc::ptr_eq(&arc_patched, &engine.shared_structure()),
+            "round {round}: solving must not clone the structure"
+        );
+        prev = out.result.scores;
+        state = engine.into_state();
+        assert!(
+            Arc::ptr_eq(&arc_patched, &state.shared_structure()),
+            "round {round}: into_state must carry the same Arc back out"
+        );
+    }
+}
+
+/// Empty deltas keep both the fixed point and the structure untouched.
+#[test]
+fn empty_delta_patch_is_identity() {
+    let g = barabasi_albert(200, 3, 5).unwrap();
+    let mut engine = Engine::with_threads(&g, 2)
+        .with_config(tight_config())
+        .unwrap();
+    let before = engine.solve_model(TransitionModel::Standard).unwrap();
+    let state = engine.into_state();
+    let arc0 = state.shared_structure();
+    let state = state.patched(&g, &ArcDelta::default()).unwrap();
+    assert!(Arc::ptr_eq(&arc0, &state.shared_structure()));
+    let mut engine = Engine::from_state(&g, state).unwrap();
+    let out = engine
+        .resolve_incremental(&before.scores, &ArcDelta::default())
+        .unwrap();
+    assert!(out.result.converged);
+    let l1: f64 = before
+        .scores
+        .iter()
+        .zip(&out.result.scores)
+        .map(|(x, y)| (x - y).abs())
+        .sum();
+    assert!(l1 < 1e-8, "empty delta moved the solution by {l1:.3e}");
+}
+
+/// Satellite acceptance: the Gauss–Seidel kernel wired into the engine's
+/// single-partition sweep path matches the pull kernel to 1e-8 — across
+/// dangling policies, personalized teleports, warm-start chaining, and a
+/// dangling-heavy directed graph.
+#[test]
+fn gauss_seidel_kernel_matches_pull_kernel() {
+    let models: Vec<TransitionModel> = [-1.0, 0.0, 0.5, 1.0]
+        .iter()
+        .map(|&p| TransitionModel::DegreeDecoupled { p })
+        .collect();
+    // A graph with dangling tails plus a BA graph without.
+    let mut b = GraphBuilder::new(Direction::Directed, 120);
+    for v in 0..100u32 {
+        b.add_edge(v, v + 1);
+        b.add_edge(v, (v * 7 + 3) % 120);
+    }
+    let dangling_graph = b.build().unwrap();
+    let ba = barabasi_albert(300, 3, 17).unwrap();
+    for g in [&dangling_graph, &ba] {
+        for policy in [
+            DanglingPolicy::RedistributeTeleport,
+            DanglingPolicy::SelfLoop,
+            DanglingPolicy::Renormalize,
+        ] {
+            let config = PageRankConfig {
+                dangling: policy,
+                ..tight_config()
+            };
+            let mut pull = Engine::with_threads(g, 1).with_config(config).unwrap();
+            let mut gs = Engine::with_threads(g, 1)
+                .with_config(config)
+                .unwrap()
+                .with_kernel(SweepKernel::GaussSeidel);
+            assert_eq!(gs.kernel(), SweepKernel::GaussSeidel);
+            let rp = pull.sweep(&models, true).unwrap();
+            let rg = gs.sweep(&models, true).unwrap();
+            for ((a, b), model) in rp.iter().zip(&rg).zip(&models) {
+                assert!(a.converged && b.converged, "{policy:?} {model:?}");
+                let l1: f64 = a
+                    .scores
+                    .iter()
+                    .zip(&b.scores)
+                    .map(|(x, y)| (x - y).abs())
+                    .sum();
+                assert!(
+                    l1 < 1e-8,
+                    "{policy:?} {model:?}: kernel divergence {l1:.3e}"
+                );
+            }
+        }
+    }
+    // Personalized teleport parity.
+    let mut t = vec![0.0; 300];
+    t[7] = 2.0;
+    t[11] = 1.0;
+    let model = TransitionModel::DegreeDecoupled { p: 0.5 };
+    let mut pull = Engine::with_threads(&ba, 1)
+        .with_config(tight_config())
+        .unwrap();
+    pull.set_model(model).unwrap();
+    let rp = pull.solve_with_teleport(Some(&t)).unwrap();
+    let mut gs = Engine::with_threads(&ba, 1)
+        .with_config(tight_config())
+        .unwrap()
+        .with_kernel(SweepKernel::GaussSeidel);
+    gs.set_model(model).unwrap();
+    let rg = gs.solve_with_teleport(Some(&t)).unwrap();
+    let l1: f64 = rp
+        .scores
+        .iter()
+        .zip(&rg.scores)
+        .map(|(x, y)| (x - y).abs())
+        .sum();
+    assert!(l1 < 1e-8, "personalized kernel divergence {l1:.3e}");
 }

@@ -1,0 +1,121 @@
+//! The persistent-pool contract, verified against the **process-wide**
+//! spawn counter: after engine construction, solve calls spawn zero OS
+//! threads — sweeps, warm re-solves, and localized pushes (serial and
+//! frontier-parallel) all run on the parked pool, and the serving-state
+//! handoff carries that pool across snapshot generations.
+//!
+//! This lives in its own integration-test binary on purpose: the counter
+//! is global to the process, so any test that constructs a pooled engine
+//! concurrently would race the equality assertions below. Cargo gives
+//! each `tests/*.rs` file its own process, making this binary the one
+//! place where the global counter is quiescent.
+
+use d2pr_core::engine::Engine;
+use d2pr_core::pagerank::PageRankConfig;
+use d2pr_core::pool::pool_threads_spawned;
+use d2pr_core::transition::TransitionModel;
+use d2pr_graph::csr::CsrGraph;
+use d2pr_graph::delta::{DeltaGraph, EdgeBatch};
+use d2pr_graph::generators::barabasi_albert;
+
+fn tight_config() -> PageRankConfig {
+    PageRankConfig {
+        tolerance: 1e-11,
+        max_iterations: 2_000,
+        ..Default::default()
+    }
+}
+
+/// Churn batch for a graph: delete `k` pseudo-randomly selected edges,
+/// insert `k` fresh ones (mirror of the helper in `tests/incremental.rs`).
+fn churn_batch(g: &CsrGraph, k: usize, salt: u32) -> EdgeBatch {
+    let n = g.num_nodes() as u32;
+    let mut batch = EdgeBatch::new();
+    let mut deleted = 0;
+    for (u, v) in g.arcs().filter(|&(u, v)| u < v) {
+        if (u.wrapping_mul(2654435761).wrapping_add(v) ^ salt) % 97 < 2 {
+            batch.delete(u, v);
+            deleted += 1;
+            if deleted == k {
+                break;
+            }
+        }
+    }
+    for i in 0..k as u32 {
+        let u = (i.wrapping_mul(48271).wrapping_add(salt)) % n;
+        let v = (i.wrapping_mul(69621).wrapping_add(salt / 2)) % n;
+        if u != v && !g.has_arc(u, v) {
+            batch.insert(u, v);
+        }
+    }
+    batch
+}
+
+#[test]
+fn solve_calls_spawn_zero_threads_after_construction() {
+    let g = barabasi_albert(600, 4, 41).unwrap();
+    let model = TransitionModel::DegreeDecoupled { p: 0.5 };
+    let mut engine = Engine::with_threads(&g, 4)
+        .with_config(tight_config())
+        .unwrap();
+    engine.set_parallel_push_threshold(0); // parallel drains included
+    let constructed = pool_threads_spawned();
+    let spawned_at_build = engine.pool_spawns();
+    assert_eq!(spawned_at_build, 4, "construction spawns the pool once");
+
+    let before = engine.solve_model(model).unwrap();
+    engine
+        .sweep(
+            &[-1.0, 0.0, 1.0].map(|p| TransitionModel::DegreeDecoupled { p }),
+            true,
+        )
+        .unwrap();
+    engine.set_model(model).unwrap();
+    engine.resolve_warm(&before.scores).unwrap();
+    assert_eq!(
+        pool_threads_spawned(),
+        constructed,
+        "sweeps and warm re-solves must not spawn"
+    );
+
+    // Serving chain: three churn batches through the state handoff, with
+    // both serial and parallel localized drains.
+    let mut prev = engine.solve().unwrap().scores;
+    let mut state = engine.into_state();
+    let mut dg = DeltaGraph::new(g).unwrap();
+    for round in 0..3u32 {
+        let snapshot_before = dg.snapshot();
+        let batch = churn_batch(&snapshot_before, 3, 77 + round);
+        let outcome = dg.apply_batch(&batch).unwrap();
+        let snapshot = dg.snapshot();
+        state = state.patched(&snapshot, &outcome.delta).unwrap();
+        let mut engine = Engine::from_state(&snapshot, state).unwrap();
+        let out = engine.resolve_incremental(&prev, &outcome.delta).unwrap();
+        assert!(out.result.converged);
+        assert_eq!(
+            out.pool_spawns, spawned_at_build,
+            "round {round}: the outcome must report the construction-time spawn count only"
+        );
+        prev = out.result.scores;
+        state = engine.into_state();
+    }
+    assert_eq!(
+        pool_threads_spawned(),
+        constructed,
+        "the serving chain must never respawn the pool"
+    );
+
+    // A cloned state cannot carry the threads: its revival respawns —
+    // at construction time, still never inside a solve.
+    let cloned = state.clone();
+    let snapshot = dg.snapshot();
+    let mut revived = Engine::from_state(&snapshot, cloned).unwrap();
+    assert_eq!(
+        pool_threads_spawned(),
+        constructed + 4,
+        "reviving a cloned state spawns a fresh pool once"
+    );
+    let mark = pool_threads_spawned();
+    revived.solve().unwrap();
+    assert_eq!(pool_threads_spawned(), mark, "the revived pool is reused");
+}
