@@ -8,9 +8,16 @@
 //! The default mode guards the dimensionless `speedup_*` / `*ratio*` keys
 //! (host-normalized — see `d2pr_bench::perf_guard`); `--absolute` guards
 //! the raw `*_ms` keys instead, for baselines produced on identical
-//! hardware. Missing/new keys are tolerated so bench schemas can grow.
+//! hardware. *New* candidate keys are tolerated so bench schemas can
+//! grow; a **guarded baseline key the candidate no longer reports** fails
+//! (a bench that stops emitting a metric must not un-guard itself), and a
+//! baseline whose guarded keys are missing, non-numeric, or NaN/infinite
+//! fails up front with a diagnostic naming the file and key instead of
+//! silently passing every comparison.
 
-use d2pr_bench::perf_guard::{guarded, numeric_keys, regressions, Mode};
+use d2pr_bench::perf_guard::{
+    baseline_defects, guarded, missing_keys, numeric_keys, regressions, Mode,
+};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -44,11 +51,32 @@ fn main() -> ExitCode {
     };
     let baseline = read(&paths[0]);
     let candidate = read(&paths[1]);
+    // A corrupted committed baseline must fail loudly, not pass silently:
+    // non-finite / non-positive guarded keys defeat every comparison.
+    let defects = baseline_defects(&paths[0], &baseline, mode);
+    if !defects.is_empty() {
+        for d in &defects {
+            eprintln!("perf_guard: BAD BASELINE {d}");
+        }
+        die(&format!(
+            "{} defective guarded key(s) in {} — fix or regenerate the committed baseline",
+            defects.len(),
+            paths[0]
+        ));
+    }
     let guarded_count: usize = baseline
         .iter()
         .filter(|(k, &v)| v > 0.0 && guarded(mode, k, v))
         .count();
+    if guarded_count == 0 {
+        die(&format!(
+            "{}: no guarded keys in {mode:?} mode — the gate would be vacuous \
+             (wrong file, or the bench stopped emitting its ratio keys?)",
+            paths[0]
+        ));
+    }
     let bad = regressions(&baseline, &candidate, mode, max_regression);
+    let gone = missing_keys(&baseline, &candidate, mode);
     println!(
         "perf_guard: {} guarded keys in {} ({:?} mode, allowance {:.0}%)",
         guarded_count,
@@ -56,7 +84,7 @@ fn main() -> ExitCode {
         mode,
         max_regression * 100.0
     );
-    if bad.is_empty() {
+    if bad.is_empty() && gone.is_empty() {
         println!("perf_guard: OK — no key regressed beyond the allowance");
         return ExitCode::SUCCESS;
     }
@@ -67,6 +95,13 @@ fn main() -> ExitCode {
             r.baseline,
             r.candidate,
             r.regression * 100.0
+        );
+    }
+    for key in &gone {
+        eprintln!(
+            "perf_guard: MISSING {}: guarded baseline key '{key}' is absent from {} \
+             — the bench stopped reporting it (regenerate the baseline if intentional)",
+            paths[0], paths[1]
         );
     }
     ExitCode::FAILURE

@@ -219,16 +219,68 @@ pub struct Regression {
 /// given the benches' fixed seeds — and are always guarded.
 pub const SPEEDUP_NOISE_FLOOR: f64 = 2.0;
 
+/// Whether a key's *name* belongs to the family `mode` watches,
+/// independent of its value. [`guarded`] adds the value test; this is the
+/// membership check [`baseline_defects`] needs, because a key whose value
+/// is NaN fails every numeric comparison and would otherwise silently
+/// fall out of the guard entirely.
+pub fn guarded_family(mode: Mode, key: &str) -> bool {
+    match mode {
+        Mode::Ratios => key.contains("ratio") || key.contains("speedup"),
+        Mode::AbsoluteMs => key.ends_with("_ms") || key.contains("_ms_by_threads"),
+    }
+}
+
 /// Whether a key with the given baseline value belongs to the family
 /// `mode` guards (exposed so the `perf_guard` bin's summary counts
 /// exactly what [`regressions`] checks).
 pub fn guarded(mode: Mode, key: &str, baseline: f64) -> bool {
-    match mode {
-        Mode::Ratios => {
-            key.contains("ratio") || (key.contains("speedup") && baseline >= SPEEDUP_NOISE_FLOOR)
+    guarded_family(mode, key)
+        && match mode {
+            Mode::Ratios => key.contains("ratio") || baseline >= SPEEDUP_NOISE_FLOOR,
+            Mode::AbsoluteMs => true,
         }
-        Mode::AbsoluteMs => key.ends_with("_ms") || key.contains("_ms_by_threads"),
+}
+
+/// Defects in a committed baseline the guard must refuse to run with,
+/// each naming the offending file and key: a guarded-family key whose
+/// value is non-finite (NaN, or ±inf — the `1e999` overflow spelling
+/// parses to `inf`) or non-positive (a `0.00` ms entry is a metric the
+/// bench's rounding destroyed, not a reference point). Such values fail
+/// every numeric comparison in [`regressions`] *and* fall out of
+/// [`guarded`]'s value test, so a corrupted baseline would otherwise
+/// *pass* the gate silently — the failure mode this function turns into
+/// a loud, diagnosable error.
+pub fn baseline_defects(file: &str, keys: &NumericKeys, mode: Mode) -> Vec<String> {
+    let mut out = Vec::new();
+    for (key, &value) in keys {
+        if !guarded_family(mode, key) {
+            continue;
+        }
+        if !value.is_finite() {
+            out.push(format!(
+                "{file}: guarded key '{key}' is not a finite number (got {value})"
+            ));
+        } else if value <= 0.0 {
+            out.push(format!(
+                "{file}: guarded key '{key}' must be positive (got {value})"
+            ));
+        }
     }
+    out
+}
+
+/// Guarded baseline keys the candidate no longer reports. [`regressions`]
+/// skips them (so *comparisons* stay meaningful while schemas grow), but
+/// the CI gate treats a guarded key that vanished from the candidate as a
+/// failure in its own right: a bench that silently stopped emitting a
+/// metric would otherwise un-guard itself.
+pub fn missing_keys(baseline: &NumericKeys, candidate: &NumericKeys, mode: Mode) -> Vec<String> {
+    baseline
+        .iter()
+        .filter(|&(key, &value)| guarded(mode, key, value) && !candidate.contains_key(key))
+        .map(|(key, _)| key.clone())
+        .collect()
 }
 
 /// Minimum allowance applied to timing-derived `speedup_*` keys in
@@ -363,10 +415,66 @@ mod tests {
     }
 
     #[test]
-    fn new_and_missing_keys_are_tolerated() {
+    fn new_and_missing_keys_are_tolerated_by_the_comparison() {
+        // `regressions` itself skips one-sided keys (schemas may grow);
+        // the vanished-key failure is `missing_keys`' job, tested below.
         let base = numeric_keys(r#"{"speedup_a": 2.0, "speedup_gone": 3.0}"#).unwrap();
         let cand = numeric_keys(r#"{"speedup_a": 2.0, "speedup_new": 1.0}"#).unwrap();
         assert!(regressions(&base, &cand, Mode::Ratios, 0.20).is_empty());
+    }
+
+    #[test]
+    fn baseline_defects_name_file_and_key() {
+        // `1e999` overflows to +inf in the parser — the committed-baseline
+        // corruption the guard previously let through silently (a
+        // non-finite value fails every comparison in `regressions`).
+        let keys = numeric_keys(
+            r#"{"speedup_inf": 1e999, "speedup_neg": -2.0,
+                "iteration_ratio_zero": 0.0, "speedup_ok": 3.0, "plain": 1.0}"#,
+        )
+        .unwrap();
+        let defects = baseline_defects("ci/BENCH_x.smoke.json", &keys, Mode::Ratios);
+        assert_eq!(defects.len(), 3, "{defects:?}");
+        assert!(defects.iter().all(|d| d.contains("ci/BENCH_x.smoke.json")));
+        assert!(defects.iter().any(|d| d.contains("'speedup_inf'")));
+        assert!(defects.iter().any(|d| d.contains("'speedup_neg'")));
+        assert!(defects.iter().any(|d| d.contains("'iteration_ratio_zero'")));
+        // NaN injected directly (the parser itself cannot produce one, but
+        // NumericKeys is a public type) is caught with the same shape.
+        let mut keys = keys;
+        keys.insert("refresh_ratio_nan".into(), f64::NAN);
+        assert!(baseline_defects("f.json", &keys, Mode::Ratios)
+            .iter()
+            .any(|d| d.contains("'refresh_ratio_nan'") && d.contains("NaN")));
+        // AbsoluteMs watches the `_ms` family instead — including the
+        // `0.00` a sub-0.005 ms timing rounds to, which would otherwise
+        // un-guard itself (both `guarded` and `regressions` skip
+        // non-positive baselines).
+        let ms =
+            numeric_keys(r#"{"warm_ms": 1e999, "cold_ms": 0.00, "speedup_x": 1e999}"#).unwrap();
+        let defects = baseline_defects("f.json", &ms, Mode::AbsoluteMs);
+        assert_eq!(defects.len(), 2, "{defects:?}");
+        assert!(defects.iter().any(|d| d.contains("'warm_ms'")));
+        assert!(defects.iter().any(|d| d.contains("'cold_ms'")));
+        // A healthy committed baseline reports no defects.
+        let healthy = numeric_keys(SAMPLE).unwrap();
+        assert!(baseline_defects("f.json", &healthy, Mode::Ratios).is_empty());
+    }
+
+    #[test]
+    fn missing_guarded_keys_are_reported() {
+        let base = numeric_keys(
+            r#"{"speedup_a": 2.5, "iteration_ratio_b": 1.3,
+                "speedup_noisy": 1.3, "note_count": 7.0}"#,
+        )
+        .unwrap();
+        let cand = numeric_keys(r#"{"speedup_a": 2.5, "speedup_new": 9.0}"#).unwrap();
+        let missing = missing_keys(&base, &cand, Mode::Ratios);
+        // The deterministic ratio key vanished: reported. The near-parity
+        // speedup (below the noise floor) and the unguarded count are not.
+        assert_eq!(missing, vec!["iteration_ratio_b".to_string()]);
+        // Nothing missing when the candidate carries every guarded key.
+        assert!(missing_keys(&base, &base, Mode::Ratios).is_empty());
     }
 
     #[test]

@@ -234,17 +234,60 @@ impl EngineState {
     ///
     /// # Errors
     /// Returns [`UpdateError::Graph`] when the delta does not connect the
-    /// carried structure to `new_graph` (see [`CscStructure::patched`]) or
-    /// `new_graph` is weighted.
+    /// carried structure to `new_graph` (see [`CscStructure::patched`]),
+    /// or [`UpdateError::WeightMismatch`] when `new_graph` is weighted.
     pub fn patched(
-        mut self,
+        self,
         new_graph: &CsrGraph,
         delta: &ArcDelta,
     ) -> Result<EngineState, UpdateError> {
+        self.patched_inner(new_graph, delta, None)
+    }
+
+    /// [`EngineState::patched`] against a transpose that has **already**
+    /// been patched for this delta — the multi-view serving path. When N
+    /// engine states serve personalization views over one shared
+    /// `Arc<CscStructure>`, only the first state pays the structural patch
+    /// ([`CscStructure::patched_structural`]); the rest receive its result
+    /// here, so the whole shard group keeps pointing at a single transpose
+    /// allocation across every delta generation
+    /// ([`crate::serving::ShardManager`] relies on this).
+    ///
+    /// # Errors
+    /// As [`EngineState::patched`], plus
+    /// [`SolverError::StructureMismatch`] (wrapped in
+    /// [`UpdateError::Solver`]) when `structure` does not describe
+    /// `new_graph`.
+    pub fn patched_with(
+        self,
+        new_graph: &CsrGraph,
+        delta: &ArcDelta,
+        structure: Arc<CscStructure>,
+    ) -> Result<EngineState, UpdateError> {
+        if structure.num_nodes() != new_graph.num_nodes()
+            || structure.num_arcs() != new_graph.num_arcs()
+        {
+            return Err(UpdateError::Solver(SolverError::StructureMismatch {
+                structure: (structure.num_nodes(), structure.num_arcs()),
+                graph: (new_graph.num_nodes(), new_graph.num_arcs()),
+            }));
+        }
+        self.patched_inner(new_graph, delta, Some(structure))
+    }
+
+    /// Shared body of [`EngineState::patched`] / [`EngineState::patched_with`]:
+    /// `prepatched` carries a transpose already patched for `delta` (shared
+    /// across a shard group), `None` patches the carried one structurally.
+    fn patched_inner(
+        mut self,
+        new_graph: &CsrGraph,
+        delta: &ArcDelta,
+        prepatched: Option<Arc<CscStructure>>,
+    ) -> Result<EngineState, UpdateError> {
         if new_graph.is_weighted() {
-            return Err(UpdateError::Graph(GraphError::Snapshot(
-                "engine state patch supports unweighted snapshots only".into(),
-            )));
+            return Err(UpdateError::WeightMismatch {
+                operation: "EngineState::patched",
+            });
         }
         if delta.inserted.is_empty() && delta.deleted.is_empty() {
             // No arcs changed: the carried structure (and its `Arc`
@@ -260,8 +303,10 @@ impl EngineState {
         }
         // A real delta rekeys the share: the patched structure is a new
         // `Arc` generation, other holders of the old one are unaffected.
-        let csc = self.csc.patched_structural(new_graph, delta)?;
-        self.csc = Arc::new(csc);
+        self.csc = match prepatched {
+            Some(csc) => csc,
+            None => Arc::new(self.csc.patched_structural(new_graph, delta)?),
+        };
 
         // Θ / ln Θ / dangling at changed sources.
         let source_changes = delta.source_degree_changes();
@@ -361,10 +406,14 @@ pub struct Engine<'g> {
     threads: usize,
     /// Arc-balanced destination ranges, one per worker.
     partitions: Vec<Range<usize>>,
-    /// `owner[v]` = index of the partition (worker) owning destination `v`
-    /// — the frontier-parallel push routes residual contributions through
-    /// it. Empty for single-partition engines.
-    owner: Vec<u32>,
+    /// Owner map of the frontier-parallel residual drain, balanced by
+    /// **out**-degree spans: settling a node costs its out-arcs, not its
+    /// in-arcs, so routing the drain through the sweep's in-arc partition
+    /// left whichever worker owned the out-degree hubs settling long after
+    /// the rest had reached the barrier (ROADMAP follow-up, fixed here;
+    /// imbalance measured by `push_owner_map_balances_settle_work`). Empty
+    /// for single-partition engines.
+    push_owner: Vec<u32>,
     /// Persistent parked worker threads; `None` for single-partition
     /// engines (which solve serially). Spawned at construction — never
     /// inside a solve call — and carried across [`EngineState`] handoffs.
@@ -458,7 +507,7 @@ impl<'g> Engine<'g> {
     fn from_parts(graph: &'g CsrGraph, csc: Arc<CscStructure>, threads: usize) -> Self {
         let threads = threads.max(1);
         let partitions = csc.arc_balanced_partition(threads);
-        let owner = owner_map(&partitions, graph.num_nodes());
+        let push_owner = push_owner_map(graph, partitions.len());
         // The one and only thread spawn of this engine's lifetime: solve
         // calls (and `EngineState` revivals carrying this pool) reuse the
         // parked workers.
@@ -492,7 +541,7 @@ impl<'g> Engine<'g> {
             factored: false,
             threads,
             partitions,
-            owner,
+            push_owner,
             pool,
             threads_spawned,
             kernel: SweepKernel::default(),
@@ -660,7 +709,7 @@ impl<'g> Engine<'g> {
             });
         }
         let partitions = state.csc.arc_balanced_partition(state.threads);
-        let owner = owner_map(&partitions, n);
+        let push_owner = push_owner_map(graph, partitions.len());
         // Reattach the carried pool when its worker count still matches
         // the partition layout (the common case: node count is fixed
         // across deltas, so the partition count is too). A cloned state
@@ -690,7 +739,7 @@ impl<'g> Engine<'g> {
             factored: state.factored,
             threads: state.threads,
             partitions,
-            owner,
+            push_owner,
             pool,
             threads_spawned,
             kernel: state.kernel,
@@ -958,7 +1007,30 @@ impl<'g> Engine<'g> {
         teleport: Option<&[f64]>,
         delta: &ArcDelta,
     ) -> Result<IncrementalOutcome, UpdateError> {
-        self.resolve_inner(previous, teleport, delta, false)
+        self.resolve_inner(previous, teleport, delta, false, None)
+    }
+
+    /// [`Engine::resolve_incremental_with_teleport`], delivering the
+    /// refreshed scores into `out` instead of an owned allocation — the
+    /// zero-copy publication path of
+    /// [`ServingEngine`](crate::serving::ServingEngine). On the localized
+    /// serving path the push writes the workspace's rank buffer and this
+    /// entry point *swaps* that buffer with `out` (`out`'s previous
+    /// allocation becomes the next solve's scratch); the sweep paths move
+    /// their already-owned result vector. Either way the returned
+    /// [`IncrementalOutcome`]'s `result.scores` is left **empty** — the
+    /// scores live in `out`, whose previous contents are discarded.
+    ///
+    /// # Errors
+    /// As [`Engine::resolve_incremental`].
+    pub fn resolve_incremental_into(
+        &mut self,
+        previous: &[f64],
+        teleport: Option<&[f64]>,
+        delta: &ArcDelta,
+        out: &mut Vec<f64>,
+    ) -> Result<IncrementalOutcome, UpdateError> {
+        self.resolve_inner(previous, teleport, delta, false, Some(out))
     }
 
     /// Re-solve after an incremental graph update with the
@@ -1001,7 +1073,7 @@ impl<'g> Engine<'g> {
         teleport: Option<&[f64]>,
         delta: &ArcDelta,
     ) -> Result<IncrementalOutcome, UpdateError> {
-        self.resolve_inner(previous, teleport, delta, true)
+        self.resolve_inner(previous, teleport, delta, true, None)
     }
 
     /// Whether the localized solver can serve the current configuration:
@@ -1070,13 +1142,16 @@ impl<'g> Engine<'g> {
 
     /// Shared driver of the incremental entry points; `force_localized`
     /// skips the frontier-size heuristic (explicit
-    /// [`Engine::resolve_localized`] calls).
+    /// [`Engine::resolve_localized`] calls); `out`, when given, receives
+    /// the refreshed scores by swap/move and `result.scores` stays empty
+    /// (see [`Engine::resolve_incremental_into`]).
     fn resolve_inner(
         &mut self,
         previous: &[f64],
         teleport: Option<&[f64]>,
         delta: &ArcDelta,
         force_localized: bool,
+        mut out: Option<&mut Vec<f64>>,
     ) -> Result<IncrementalOutcome, UpdateError> {
         self.model
             .ok_or_else(|| SolverError::InvalidModel("no transition model loaded".into()))
@@ -1084,6 +1159,21 @@ impl<'g> Engine<'g> {
         self.config
             .validate()
             .map_err(|e| UpdateError::Solver(SolverError::InvalidConfig(e)))?;
+        // A non-empty delta cannot legally describe a weighted base:
+        // `DeltaGraph` serves unweighted graphs only, so whatever produced
+        // it skipped the weight-reconciliation question entirely. Fail
+        // typed instead of silently warm-sweeping against a Θ table the
+        // delta does not know how to repair. (An empty delta is a
+        // legitimate "nothing changed, re-polish" call and stays served.)
+        if self.graph.is_weighted() && !(delta.inserted.is_empty() && delta.deleted.is_empty()) {
+            return Err(UpdateError::WeightMismatch {
+                operation: if force_localized {
+                    "Engine::resolve_localized"
+                } else {
+                    "Engine::resolve_incremental"
+                },
+            });
+        }
         let n = self.graph.num_nodes();
         if previous.len() != n {
             return Err(UpdateError::Solver(SolverError::WarmStartLength {
@@ -1093,6 +1183,9 @@ impl<'g> Engine<'g> {
         }
         self.validate_delta(delta)?;
         if n == 0 {
+            if let Some(o) = out {
+                o.clear();
+            }
             return Ok(IncrementalOutcome {
                 result: PageRankResult {
                     scores: vec![],
@@ -1110,7 +1203,7 @@ impl<'g> Engine<'g> {
         let choose_localized =
             self.localized_supported(delta) && (force_localized || frontier_estimate <= n / 8);
         if !choose_localized {
-            return self.warm_outcome(previous, teleport);
+            return self.warm_outcome(previous, teleport, out);
         }
 
         self.ws
@@ -1142,6 +1235,8 @@ impl<'g> Engine<'g> {
             )
             .map_err(UpdateError::Solver)?;
             if r.converged {
+                let mut r = r;
+                deliver_scores(&mut r, out);
                 return Ok(IncrementalOutcome {
                     result: r,
                     mode: ResolveMode::DenseGaussSeidel,
@@ -1150,7 +1245,7 @@ impl<'g> Engine<'g> {
                     pool_spawns: self.threads_spawned,
                 });
             }
-            return self.warm_outcome(previous, teleport);
+            return self.warm_outcome(previous, teleport, out);
         }
 
         let op = if self.factored {
@@ -1184,7 +1279,7 @@ impl<'g> Engine<'g> {
             {
                 Some(ParallelPushCtx {
                     pool,
-                    owner: &self.owner,
+                    owner: &self.push_owner,
                 })
             }
             _ => None,
@@ -1216,9 +1311,19 @@ impl<'g> Engine<'g> {
                     *r /= total;
                 }
             }
+            // Publication path: swap the refreshed iterate straight into
+            // the caller's buffer — the workspace inherits the retired
+            // allocation as next solve's scratch, no element is copied.
+            let scores = match out.take() {
+                Some(o) => {
+                    std::mem::swap(o, rank);
+                    Vec::new()
+                }
+                None => rank.clone(),
+            };
             return Ok(IncrementalOutcome {
                 result: PageRankResult {
-                    scores: rank.clone(),
+                    scores,
                     iterations: stats.pushes,
                     residual: stats.residual_mass,
                     converged: true,
@@ -1236,10 +1341,11 @@ impl<'g> Engine<'g> {
         // the sweep converges to the fixed point from any seed.
         let seed: Vec<f64> = rank.iter().map(|&x| x.max(0.0)).collect();
         let model = self.model.expect("checked above");
-        let mut out = self
+        let mut sweep_out = self
             .sweep_inner(&[model], teleport, false, Some(&seed))
             .map_err(UpdateError::Solver)?;
-        let result = out.pop().expect("one model yields one result");
+        let mut result = sweep_out.pop().expect("one model yields one result");
+        deliver_scores(&mut result, out);
         Ok(IncrementalOutcome {
             result,
             mode: ResolveMode::HybridPushSweep,
@@ -1254,8 +1360,10 @@ impl<'g> Engine<'g> {
         &mut self,
         previous: &[f64],
         teleport: Option<&[f64]>,
+        out: Option<&mut Vec<f64>>,
     ) -> Result<IncrementalOutcome, UpdateError> {
-        let result = self.resolve_warm_with_teleport(previous, teleport)?;
+        let mut result = self.resolve_warm_with_teleport(previous, teleport)?;
+        deliver_scores(&mut result, out);
         Ok(IncrementalOutcome {
             result,
             mode: ResolveMode::WarmSweep,
@@ -1609,6 +1717,15 @@ pub(crate) fn mass_at(nodes: &[u32], values: &[f64]) -> f64 {
     nodes.iter().map(|&v| values[v as usize]).sum()
 }
 
+/// Deliver a solve's scores into the caller's buffer (a move of the
+/// already-owned vector — no elements are copied), leaving
+/// `result.scores` empty. No-op without a buffer.
+fn deliver_scores(result: &mut PageRankResult, out: Option<&mut Vec<f64>>) {
+    if let Some(o) = out {
+        *o = std::mem::take(&mut result.scores);
+    }
+}
+
 /// Owner map of the arc-balanced partition: `owner[v]` = index of the
 /// range containing destination `v`. Empty when there is at most one
 /// partition (nothing to route).
@@ -1621,6 +1738,23 @@ fn owner_map(partitions: &[Range<usize>], n: usize) -> Vec<u32> {
         owner[range.clone()].fill(w as u32);
     }
     owner
+}
+
+/// Owner map of the frontier-parallel residual drain: contiguous node
+/// spans balanced by **out**-degree (the CSR offsets *are* the out-degree
+/// prefix sums, so the same splitter the sweep uses on the CSC side
+/// applies directly). Settling a frontier node costs `O(out-degree)`, so
+/// this is the partition that equalizes per-sub-round settle work; the
+/// sweep's in-arc partition ([`owner_map`]) systematically misassigns it
+/// on graphs whose in- and out-degree distributions differ. Empty when
+/// there is at most one worker.
+fn push_owner_map(graph: &CsrGraph, workers: usize) -> Vec<u32> {
+    if workers <= 1 {
+        return Vec::new();
+    }
+    let (offsets, _, _) = graph.parts();
+    let spans = d2pr_graph::transpose::arc_balanced_partition(offsets, workers);
+    owner_map(&spans, graph.num_nodes())
 }
 
 /// Whether `model` can use the factored operator representation: pure
@@ -2663,6 +2797,136 @@ mod tests {
             engine.resolve_incremental(&[0.05; 20], &out_of_range),
             Err(UpdateError::Graph(_))
         ));
+    }
+
+    #[test]
+    fn push_owner_map_balances_settle_work() {
+        // Out-degree lives in the last tenth of the node ids while
+        // in-degree spreads nearly uniformly: the sweep's in-arc-balanced
+        // partition then degenerates to near node-count ranges and parks
+        // almost all push (settle) work — which is out-degree-proportional
+        // — on the single worker owning the hub ids. The out-degree-span
+        // owner map the drain now uses equalizes the per-round settle
+        // work (the ROADMAP follow-up this fixes).
+        let n: u32 = 4_000;
+        let mut b = GraphBuilder::new(Direction::Directed, n as usize);
+        for v in 0..n {
+            if v >= n - n / 10 {
+                for j in 0..40u32 {
+                    let mut t = v.wrapping_mul(31).wrapping_add(j * 97) % n;
+                    if t == v {
+                        t = (t + 1) % n;
+                    }
+                    b.add_edge(v, t);
+                }
+            } else if v % 4 == 0 {
+                b.add_edge(v, (v + 1) % n);
+            }
+        }
+        let g = b.build().unwrap();
+        let workers = 4;
+        let csc = CscStructure::build(&g);
+        let sweep_owner = owner_map(&csc.arc_balanced_partition(workers), g.num_nodes());
+        let push_owner = push_owner_map(&g, workers);
+        assert_eq!(push_owner.len(), g.num_nodes());
+        let settle_work = |owner: &[u32]| -> Vec<usize> {
+            let mut w = vec![0usize; workers];
+            for v in 0..g.num_nodes() as u32 {
+                w[owner[v as usize] as usize] += g.out_degree(v) as usize;
+            }
+            w
+        };
+        // Per-round imbalance proxy: a round's wall time is the slowest
+        // worker's settle work, so max/mean is the overhead factor the
+        // barrier pays.
+        let imbalance = |w: &[usize]| -> f64 {
+            let max = w.iter().copied().max().unwrap() as f64;
+            let mean = w.iter().sum::<usize>() as f64 / w.len() as f64;
+            max / mean.max(1.0)
+        };
+        let old = imbalance(&settle_work(&sweep_owner));
+        let new = imbalance(&settle_work(&push_owner));
+        assert!(
+            old > 2.0,
+            "the in-arc partition must exhibit the imbalance on this graph (got {old:.2})"
+        );
+        assert!(
+            new < 1.3,
+            "out-degree spans must level the settle work (got {new:.2})"
+        );
+        assert!(new < old, "imbalance must shrink: {new:.2} vs {old:.2}");
+    }
+
+    #[test]
+    fn weighted_base_yields_typed_weight_mismatch() {
+        use crate::error::UpdateError;
+        use d2pr_graph::delta::ArcDelta;
+        let mut b = GraphBuilder::new(Direction::Directed, 4);
+        b.add_weighted_edge(0, 1, 2.0);
+        b.add_weighted_edge(1, 2, 1.0);
+        b.add_weighted_edge(2, 0, 1.0);
+        b.add_weighted_edge(0, 3, 0.5);
+        let g = b.build().unwrap();
+        assert!(g.is_weighted());
+        let mut engine = Engine::with_threads(&g, 1);
+        engine.set_model(TransitionModel::Standard).unwrap();
+        let served = engine.solve().unwrap().scores;
+        // A non-empty delta on a weighted base is a typed error — not the
+        // silent warm-sweep fallback it used to be (the delta cannot say
+        // what the new Θ entries are).
+        let delta = ArcDelta {
+            inserted: vec![(0, 1)],
+            deleted: vec![],
+        };
+        assert!(matches!(
+            engine.resolve_incremental(&served, &delta),
+            Err(UpdateError::WeightMismatch { .. })
+        ));
+        assert!(matches!(
+            engine.resolve_localized(&served, &delta),
+            Err(UpdateError::WeightMismatch { .. })
+        ));
+        // An empty delta means "nothing changed, re-polish": still served.
+        let ok = engine
+            .resolve_incremental(&served, &ArcDelta::default())
+            .unwrap();
+        assert_eq!(ok.mode, ResolveMode::WarmSweep);
+        // The engine-state patch reports the same typed error (it used to
+        // hide the restriction in a stringly GraphError).
+        let state = engine.into_state();
+        let err = state.patched(&g, &delta).unwrap_err();
+        assert!(matches!(err, UpdateError::WeightMismatch { .. }));
+        assert!(err.to_string().contains("unweighted base graph"));
+    }
+
+    #[test]
+    fn resolve_incremental_into_delivers_scores_in_caller_buffer() {
+        use d2pr_graph::delta::{DeltaGraph, EdgeBatch};
+        let g = barabasi_albert(400, 4, 13).unwrap();
+        let model = TransitionModel::DegreeDecoupled { p: 0.5 };
+        let mut engine = Engine::with_threads(&g, 1);
+        engine.set_model(model).unwrap();
+        let before = engine.solve().unwrap();
+        let mut dg = DeltaGraph::new(g.clone()).unwrap();
+        let mut batch = EdgeBatch::new();
+        batch.insert(2, 399);
+        let outcome = dg.apply_batch(&batch).unwrap();
+        let g2 = dg.snapshot();
+        let csc2 = Arc::new(engine.csc().patched(&g2, &outcome.delta).unwrap());
+        let mut engine2 = Engine::with_structure(&g2, csc2, 1).unwrap();
+        engine2.set_model(model).unwrap();
+        let mut buf = vec![0.0; 3]; // any previous contents are discarded
+        let inc = engine2
+            .resolve_incremental_into(&before.scores, None, &outcome.delta, &mut buf)
+            .unwrap();
+        assert!(
+            inc.result.scores.is_empty(),
+            "scores live in the caller's buffer"
+        );
+        assert!(inc.result.converged);
+        assert_eq!(buf.len(), 400);
+        let cold = engine2.solve().unwrap();
+        assert_close(&cold.scores, &buf, 1e-7);
     }
 
     #[test]

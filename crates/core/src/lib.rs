@@ -17,6 +17,9 @@
 //! * [`engine`] — the fused sweep engine: cached CSC operator, persistent
 //!   arc-balanced worker pool, in-place operator updates, incremental
 //!   re-solves (warm sweep / residual-localized push, auto-selected);
+//! * [`serving`] — lock-free double-buffered score publication
+//!   ([`serving::ServingEngine`] / [`serving::ScoreReader`]) and the
+//!   sharded multi-graph manager ([`serving::ShardManager`]);
 //! * [`workspace`] — reusable rank/next/teleport buffers shared by solvers;
 //! * [`error`] — typed [`error::SolverError`] returned by the solvers;
 //! * [`centrality`] — baseline measures (degree, HITS, sampled closeness);
@@ -53,6 +56,7 @@ pub mod personalized;
 pub mod pool;
 pub mod residual;
 pub mod robust;
+pub mod serving;
 pub mod trace;
 pub mod transition;
 pub mod workspace;
@@ -67,6 +71,7 @@ pub mod prelude {
     pub use crate::pagerank::{pagerank, DanglingPolicy, PageRankConfig, PageRankResult};
     pub use crate::personalized::{personalized_pagerank, seed_teleport};
     pub use crate::robust::{robust_personalized_pagerank, SeedAggregation};
+    pub use crate::serving::{RefreshOutcome, ScoreReader, ServingEngine, ShardManager};
     pub use crate::trace::{trace_convergence, ConvergenceTrace};
     pub use crate::transition::{TransitionMatrix, TransitionModel};
     pub use crate::workspace::Workspace;
@@ -76,5 +81,6 @@ pub use crate::d2pr::D2pr;
 pub use crate::engine::{Engine, IncrementalOutcome, ResolveMode};
 pub use crate::error::{SolverError, UpdateError};
 pub use crate::pagerank::{pagerank, PageRankConfig, PageRankResult};
+pub use crate::serving::{ScoreReader, ServingEngine, ShardManager};
 pub use crate::transition::{TransitionMatrix, TransitionModel};
 pub use crate::workspace::Workspace;

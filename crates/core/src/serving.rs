@@ -1,0 +1,1127 @@
+//! Lock-free double-buffered score serving: readers keep reading while
+//! `resolve_incremental` runs.
+//!
+//! The incremental solver made refreshes cheap (single-edge trickle in
+//! ~2.5 ms at serving tolerance), but scores were still only readable
+//! *between* solves: the engine mutates its rank buffers in place, so any
+//! reader had to be locked out for the whole refresh. This module closes
+//! that gap with an **epoch-based double buffer**:
+//!
+//! * a [`ServingEngine`] owns two rank buffers (*front* and *back*) behind
+//!   an atomically-published slot index plus a monotonically increasing
+//!   **generation** counter;
+//! * readers hold a cheap cloneable [`ScoreReader`] whose
+//!   [`get`](ScoreReader::get) / [`top_k`](ScoreReader::top_k) /
+//!   [`snapshot_into`](ScoreReader::snapshot_into) never block on a
+//!   refresh and never observe a partially written sweep — every read
+//!   comes from a fully published generation;
+//! * [`ServingEngine::ingest`] applies an edge batch, runs
+//!   [`Engine::resolve_incremental`] **into the back buffer**
+//!   ([`Engine::resolve_incremental_into`] swaps the solver's iterate with
+//!   the buffer — no copy), then publishes it by storing the slot index:
+//!   refresh latency no longer gates read availability at all.
+//!
+//! # Publication protocol and memory-ordering argument
+//!
+//! Each slot carries a reader **pin count**. A reader pins the front slot
+//! (`load front` → `fetch_add readers[f]` → re-validate `front == f`,
+//! retrying on mismatch), reads, then unpins. The writer targets the slot
+//! that is *not* front, first draining its pin count to zero, then writes
+//! and publishes by storing `front = back` and bumping the generation.
+//! All of these operations are `SeqCst`, which makes the safety argument a
+//! statement about the single total order `S` of them:
+//!
+//! 1. A reader that re-validated `front == f` ordered its pin *before*
+//!    any later flip of `front` in `S` (a `SeqCst` load reads the most
+//!    recent `SeqCst` store preceding it in `S`). Any writer that
+//!    subsequently targets slot `f` loads `readers[f]` *after* that flip
+//!    in `S`, hence after the pin — so its drain loop observes the pin
+//!    and waits.
+//! 2. The drain loop exits only after it observes the reader's unpin,
+//!    which the reader performs after its last access — so a writer's
+//!    writes to a slot never overlap any reader's reads of it.
+//! 3. Publication (`front = back`) follows every write to the back slot
+//!    in program order; a reader that pins the new front therefore
+//!    observes all of them (its validating load reads the flip, ordering
+//!    it after the writes in `S`).
+//!
+//! Readers are wait-free in the absence of a concurrent flip and retry at
+//! most once per refresh that lands mid-pin; the writer may briefly spin
+//! waiting for stragglers pinned to the retiring slot (reads are
+//! microseconds; refreshes are milliseconds). There is exactly one writer
+//! by construction — publication methods require `&mut ServingEngine`.
+//!
+//! # Sharding
+//!
+//! [`ShardManager`] hosts many serving engines — independent graphs, or N
+//! personalization views over **one shared** [`Arc<CscStructure>`] — and
+//! routes keyed refresh/query traffic to them: `key → key % shards`.
+//! Batch queries ([`ShardManager::batch_get`]) and batch delta ingestion
+//! ([`ShardManager::ingest_all`]) keep the per-shard engines (and their
+//! persistent worker pools, which ride inside each shard's
+//! [`EngineState`]) warm across generations; in the shared-structure
+//! layout only the first shard pays each delta's structural transpose
+//! patch, the rest receive the patched `Arc` via
+//! [`EngineState::patched_with`].
+
+use crate::engine::{Engine, EngineState, ResolveMode};
+use crate::error::UpdateError;
+use crate::pagerank::PageRankConfig;
+use crate::transition::TransitionModel;
+use d2pr_graph::csr::CsrGraph;
+use d2pr_graph::delta::{DeltaGraph, EdgeBatch};
+use d2pr_graph::error::GraphError;
+use d2pr_graph::transpose::CscStructure;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering::SeqCst};
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Publication core: two slots, pin counts, a published slot index
+// ---------------------------------------------------------------------------
+
+/// One rank buffer plus its pin count and the generation it holds.
+struct Slot {
+    /// The scores of one published generation. Written only by the single
+    /// writer after draining `readers` to zero; read only by pinned
+    /// readers (see the module-level protocol).
+    scores: UnsafeCell<Vec<f64>>,
+    /// Readers currently pinned to this slot.
+    readers: AtomicUsize,
+    /// Generation whose scores this slot holds.
+    generation: AtomicU64,
+}
+
+impl Slot {
+    fn new(scores: Vec<f64>, generation: u64) -> Self {
+        Self {
+            scores: UnsafeCell::new(scores),
+            readers: AtomicUsize::new(0),
+            generation: AtomicU64::new(generation),
+        }
+    }
+}
+
+/// Shared state behind a [`ServingEngine`] and its [`ScoreReader`]s.
+struct PublishCore {
+    slots: [Slot; 2],
+    /// Index of the published (front) slot.
+    front: AtomicUsize,
+    /// Latest published generation (equals the front slot's).
+    generation: AtomicU64,
+    /// Node count (fixed: `DeltaGraph` serves fixed node sets).
+    nodes: usize,
+}
+
+// SAFETY: the `UnsafeCell` buffers follow the pin/drain protocol in the
+// module docs — the single writer only touches a slot after draining its
+// pin count, readers only read while pinned — so shared access from many
+// threads is sound.
+unsafe impl Send for PublishCore {}
+unsafe impl Sync for PublishCore {}
+
+impl PublishCore {
+    fn new(initial: Vec<f64>) -> Self {
+        let nodes = initial.len();
+        // Both slots start as valid copies of generation 0, so a reader can
+        // never observe an unpublished buffer even before the first
+        // refresh.
+        let copy = initial.clone();
+        Self {
+            slots: [Slot::new(initial, 0), Slot::new(copy, 0)],
+            front: AtomicUsize::new(0),
+            generation: AtomicU64::new(0),
+            nodes,
+        }
+    }
+
+    /// Pin the current front slot (module-docs protocol) and return its
+    /// index. Must be paired with [`PublishCore::unpin`].
+    fn pin(&self) -> usize {
+        loop {
+            let f = self.front.load(SeqCst);
+            self.slots[f].readers.fetch_add(1, SeqCst);
+            if self.front.load(SeqCst) == f {
+                return f;
+            }
+            // A publish landed between the load and the pin: this slot is
+            // now the writer's target. Back off and retry on the new front.
+            self.slots[f].readers.fetch_sub(1, SeqCst);
+        }
+    }
+
+    fn unpin(&self, slot: usize) {
+        self.slots[slot].readers.fetch_sub(1, SeqCst);
+    }
+
+    /// Writer side: claim the back slot, draining straggler readers that
+    /// pinned it before the previous flip.
+    fn begin_write(&self) -> usize {
+        let back = self.front.load(SeqCst) ^ 1;
+        let mut spins = 0u32;
+        while self.slots[back].readers.load(SeqCst) != 0 {
+            spins = spins.wrapping_add(1);
+            if spins.is_multiple_of(64) {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        back
+    }
+
+    /// The back slot's buffer, exclusively the writer's between
+    /// [`PublishCore::begin_write`] and [`PublishCore::publish`].
+    ///
+    /// SAFETY: caller must be the single writer, `back` must come from
+    /// `begin_write` of the current write, and the slot must not yet be
+    /// published.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn back_vec(&self, back: usize) -> &mut Vec<f64> {
+        unsafe { &mut *self.slots[back].scores.get() }
+    }
+
+    /// The front slot's scores. SAFETY: caller must be the single writer
+    /// (nobody writes the front slot while it stays front, and only the
+    /// writer can flip it).
+    unsafe fn front_scores(&self) -> &[f64] {
+        let f = self.front.load(SeqCst);
+        unsafe { (*self.slots[f].scores.get()).as_slice() }
+    }
+
+    /// Publish the freshly written back slot as the next generation and
+    /// return that generation.
+    fn publish(&self, back: usize) -> u64 {
+        let generation = self.generation.load(SeqCst) + 1;
+        self.slots[back].generation.store(generation, SeqCst);
+        self.front.store(back, SeqCst);
+        self.generation.store(generation, SeqCst);
+        generation
+    }
+}
+
+/// RAII pin on the front slot: dereferences to the published scores and
+/// unpins on drop (panic-safe).
+struct Pinned<'a> {
+    core: &'a PublishCore,
+    slot: usize,
+}
+
+impl<'a> Pinned<'a> {
+    fn new(core: &'a PublishCore) -> Self {
+        let slot = core.pin();
+        Self { core, slot }
+    }
+
+    fn scores(&self) -> &[f64] {
+        // SAFETY: the slot is pinned — the writer drains pins before
+        // touching it — and it was front at pin-validation time, so it
+        // holds a fully published generation.
+        unsafe { (*self.core.slots[self.slot].scores.get()).as_slice() }
+    }
+
+    fn generation(&self) -> u64 {
+        // Frozen while pinned: the slot's generation is rewritten only by
+        // a writer that has drained the pin count first.
+        self.core.slots[self.slot].generation.load(SeqCst)
+    }
+}
+
+impl Drop for Pinned<'_> {
+    fn drop(&mut self) {
+        self.core.unpin(self.slot);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ScoreReader
+// ---------------------------------------------------------------------------
+
+/// A cheap cloneable read handle on a [`ServingEngine`]'s published
+/// scores. Send it to any number of threads; every method reads a fully
+/// published generation and never blocks on an in-flight refresh.
+#[derive(Clone)]
+pub struct ScoreReader {
+    core: Arc<PublishCore>,
+}
+
+impl std::fmt::Debug for ScoreReader {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScoreReader")
+            .field("nodes", &self.core.nodes)
+            .field("generation", &self.generation())
+            .finish()
+    }
+}
+
+impl ScoreReader {
+    /// Number of nodes served (fixed for the engine's lifetime).
+    pub fn len(&self) -> usize {
+        self.core.nodes
+    }
+
+    /// Whether the served graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.core.nodes == 0
+    }
+
+    /// The latest published generation (starts at 0, +1 per refresh).
+    pub fn generation(&self) -> u64 {
+        self.core.generation.load(SeqCst)
+    }
+
+    /// The published score of `node`, or `None` when out of range.
+    pub fn get(&self, node: u32) -> Option<f64> {
+        let pin = Pinned::new(&self.core);
+        pin.scores().get(node as usize).copied()
+    }
+
+    /// The published score of `node` together with the generation it
+    /// belongs to (the pair is consistent — both come from one pin).
+    pub fn get_with_generation(&self, node: u32) -> Option<(f64, u64)> {
+        let pin = Pinned::new(&self.core);
+        pin.scores()
+            .get(node as usize)
+            .map(|&s| (s, pin.generation()))
+    }
+
+    /// Copy one fully published generation into `out` (resized to fit) and
+    /// return its generation. The whole vector comes from a single pin, so
+    /// it can never mix two generations.
+    pub fn snapshot_into(&self, out: &mut Vec<f64>) -> u64 {
+        let pin = Pinned::new(&self.core);
+        out.clear();
+        out.extend_from_slice(pin.scores());
+        pin.generation()
+    }
+
+    /// The `k` highest-scoring nodes of one published generation,
+    /// descending (ties broken by ascending node id). `O(n log k)` via a
+    /// min-heap of the current best `k`.
+    pub fn top_k(&self, k: usize) -> Vec<(u32, f64)> {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let pin = Pinned::new(&self.core);
+        let scores = pin.scores();
+        let k = k.min(scores.len());
+        if k == 0 {
+            return Vec::new();
+        }
+        // Min-heap on "goodness" (higher score, then smaller id): the
+        // root is the weakest of the current best k, evicted whenever a
+        // better candidate arrives.
+        let mut heap: BinaryHeap<Reverse<TopEntry>> = BinaryHeap::with_capacity(k + 1);
+        for (v, &s) in scores.iter().enumerate() {
+            let cand = TopEntry {
+                score: s,
+                node: v as u32,
+            };
+            if heap.len() < k {
+                heap.push(Reverse(cand));
+            } else if cand > heap.peek().expect("non-empty at capacity").0 {
+                heap.pop();
+                heap.push(Reverse(cand));
+            }
+        }
+        let mut best: Vec<TopEntry> = heap.into_iter().map(|Reverse(e)| e).collect();
+        best.sort_unstable_by(|a, b| b.cmp(a));
+        best.into_iter().map(|e| (e.node, e.score)).collect()
+    }
+}
+
+/// `top_k` heap entry, ordered by goodness: higher score first, smaller
+/// node id on score ties.
+#[derive(PartialEq)]
+struct TopEntry {
+    score: f64,
+    node: u32,
+}
+
+impl Eq for TopEntry {}
+
+impl Ord for TopEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.score
+            .total_cmp(&other.score)
+            .then(other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for TopEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ServingEngine
+// ---------------------------------------------------------------------------
+
+/// Diagnostics of one [`ServingEngine::ingest`] refresh.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefreshOutcome {
+    /// The generation this refresh published.
+    pub generation: u64,
+    /// The strategy [`Engine::resolve_incremental`] selected.
+    pub mode: ResolveMode,
+    /// Sweep iterations (or residual pushes on the localized path).
+    pub iterations: usize,
+    /// Frontier rows of the localized path (0 for sweeps).
+    pub frontier: usize,
+    /// Residual pushes performed (0 for sweeps).
+    pub pushes: usize,
+    /// Whether the refresh converged below the configured tolerance.
+    pub converged: bool,
+    /// Arcs the batch inserted (effective, mirrored arcs counted).
+    pub inserted_arcs: usize,
+    /// Arcs the batch deleted.
+    pub deleted_arcs: usize,
+    /// OS threads this engine lineage has spawned since construction —
+    /// constant in steady state (the pool rides the state handoffs).
+    pub pool_spawns: usize,
+}
+
+/// An evolving graph served with double-buffered score publication: apply
+/// edge batches with [`ServingEngine::ingest`] while any number of
+/// [`ScoreReader`]s keep reading published generations.
+///
+/// Owns the [`DeltaGraph`], the engine's [`EngineState`] (whose persistent
+/// worker pool rides across every refresh), and the two publication
+/// buffers. The refreshed iterate is *swapped* into the back buffer
+/// ([`Engine::resolve_incremental_into`]) and published with one atomic
+/// store — steady-state serving copies no score vector at all.
+///
+/// ```
+/// use d2pr_core::pagerank::PageRankConfig;
+/// use d2pr_core::serving::ServingEngine;
+/// use d2pr_core::transition::TransitionModel;
+/// use d2pr_graph::delta::EdgeBatch;
+/// use d2pr_graph::generators::barabasi_albert;
+///
+/// let g = barabasi_albert(300, 3, 7).unwrap();
+/// let mut serving = ServingEngine::new(
+///     g,
+///     TransitionModel::DegreeDecoupled { p: 0.5 },
+///     PageRankConfig::default(),
+///     1,
+/// )
+/// .unwrap();
+/// let reader = serving.reader(); // clone freely, send to reader threads
+/// assert_eq!(reader.generation(), 0);
+///
+/// let mut batch = EdgeBatch::new();
+/// batch.insert(0, 299);
+/// let refresh = serving.ingest(&batch).unwrap(); // readers keep reading
+/// assert_eq!(refresh.generation, 1);
+/// assert_eq!(reader.generation(), 1);
+/// let top = reader.top_k(3);
+/// assert_eq!(top.len(), 3);
+/// assert!(top[0].1 >= top[1].1);
+/// ```
+pub struct ServingEngine {
+    dg: DeltaGraph,
+    /// `None` only after an internal refresh step failed mid-handoff (the
+    /// state was consumed); every entry point reports this as poisoned.
+    state: Option<EngineState>,
+    core: Arc<PublishCore>,
+    model: TransitionModel,
+    teleport: Option<Vec<f64>>,
+}
+
+impl std::fmt::Debug for ServingEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServingEngine")
+            .field("nodes", &self.core.nodes)
+            .field("arcs", &self.dg.num_arcs())
+            .field("generation", &self.generation())
+            .field("model", &self.model)
+            .finish()
+    }
+}
+
+impl ServingEngine {
+    /// Serve `graph` with uniform teleportation: cold-solve once, publish
+    /// generation 0. `threads` sizes the engine's persistent worker pool
+    /// (spawned here, reused by every refresh).
+    ///
+    /// # Errors
+    /// [`UpdateError::WeightMismatch`] for weighted graphs (deltas carry
+    /// no weight rules), otherwise any constructor/solver failure.
+    pub fn new(
+        graph: CsrGraph,
+        model: TransitionModel,
+        config: PageRankConfig,
+        threads: usize,
+    ) -> Result<Self, UpdateError> {
+        Self::with_parts(graph, None, None, model, config, threads)
+    }
+
+    /// Full constructor: an optional prebuilt **shared** transpose
+    /// structure (many serving engines over one graph pay a single
+    /// `O(E)` build — see [`ShardManager::personalized`]) and an optional
+    /// teleport distribution (normalized internally; `None` = uniform).
+    ///
+    /// # Errors
+    /// As [`ServingEngine::new`], plus
+    /// [`SolverError::StructureMismatch`](crate::error::SolverError::StructureMismatch)
+    /// when `structure` does not describe `graph` and teleport validation
+    /// errors.
+    pub fn with_parts(
+        graph: CsrGraph,
+        structure: Option<Arc<CscStructure>>,
+        teleport: Option<&[f64]>,
+        model: TransitionModel,
+        config: PageRankConfig,
+        threads: usize,
+    ) -> Result<Self, UpdateError> {
+        if graph.is_weighted() {
+            return Err(UpdateError::WeightMismatch {
+                operation: "ServingEngine::new",
+            });
+        }
+        let dg = DeltaGraph::new(graph)?;
+        let snapshot = dg.snapshot();
+        let csc = match structure {
+            Some(csc) => csc,
+            None => Arc::new(CscStructure::build(&snapshot)),
+        };
+        let mut engine = Engine::with_structure(&snapshot, csc, threads)
+            .map_err(UpdateError::Solver)?
+            .with_config(config)
+            .map_err(UpdateError::Solver)?;
+        engine.set_model(model).map_err(UpdateError::Solver)?;
+        let initial = engine
+            .solve_with_teleport(teleport)
+            .map_err(UpdateError::Solver)?;
+        let state = engine.into_state();
+        Ok(Self {
+            dg,
+            state: Some(state),
+            core: Arc::new(PublishCore::new(initial.scores)),
+            model,
+            teleport: teleport.map(<[f64]>::to_vec),
+        })
+    }
+
+    /// A read handle on the published scores — clone it freely and hand
+    /// clones to reader threads.
+    pub fn reader(&self) -> ScoreReader {
+        ScoreReader {
+            core: Arc::clone(&self.core),
+        }
+    }
+
+    /// The latest published generation.
+    pub fn generation(&self) -> u64 {
+        self.core.generation.load(SeqCst)
+    }
+
+    /// The published score of `node` — the same pinned read a
+    /// [`ScoreReader`] performs, without constructing one (no `Arc`
+    /// refcount traffic; the in-process query path
+    /// [`ShardManager::batch_get`] runs on).
+    pub fn get(&self, node: u32) -> Option<f64> {
+        let pin = Pinned::new(&self.core);
+        pin.scores().get(node as usize).copied()
+    }
+
+    /// Number of nodes served.
+    pub fn num_nodes(&self) -> usize {
+        self.core.nodes
+    }
+
+    /// The evolving graph behind this engine (inspect arcs, sample churn).
+    pub fn delta_graph(&self) -> &DeltaGraph {
+        &self.dg
+    }
+
+    /// The served transition model.
+    pub fn model(&self) -> TransitionModel {
+        self.model
+    }
+
+    /// The shared transpose structure the engine currently serves from
+    /// (cheap `Arc` clone — hand it to further engines over this graph).
+    ///
+    /// # Errors
+    /// Reports a poisoned engine (an earlier refresh failed mid-handoff).
+    pub fn shared_structure(&self) -> Result<Arc<CscStructure>, UpdateError> {
+        self.state
+            .as_ref()
+            .map(EngineState::shared_structure)
+            .ok_or_else(poisoned)
+    }
+
+    /// Apply one edge batch and publish the refreshed generation: delta
+    /// application, engine-state patch, auto-selected incremental
+    /// re-solve **into the back buffer**, one-store publication. Readers
+    /// keep reading the front generation throughout.
+    ///
+    /// **Freshness over perfection:** the refreshed iterate is published
+    /// even when the solver hit its iteration cap before reaching
+    /// tolerance ([`RefreshOutcome::converged`] reports it). Once the
+    /// batch is applied the *previous* generation describes a graph that
+    /// no longer exists, so the warm-started partial refresh is the best
+    /// available answer; a caller that wants to polish can follow up
+    /// with an empty-batch ingest (which re-solves from the published
+    /// iterate) or raise `max_iterations`.
+    ///
+    /// # Errors
+    /// Batch validation failures ([`UpdateError::Graph`]) leave the engine
+    /// (and the published scores) untouched.
+    pub fn ingest(&mut self, batch: &EdgeBatch) -> Result<RefreshOutcome, UpdateError> {
+        self.ingest_with(batch, None).map(|(outcome, _)| outcome)
+    }
+
+    /// [`ServingEngine::ingest`] with an optional transpose that has
+    /// already been structurally patched for this exact batch — the
+    /// shared-structure shard path ([`ShardManager::ingest_all`] patches
+    /// once, every other shard receives the `Arc` here). Returns the
+    /// refresh outcome plus the structure now served (to chain to the
+    /// next shard).
+    ///
+    /// # Errors
+    /// As [`ServingEngine::ingest`], plus a structure-mismatch error when
+    /// `prepatched` does not describe the post-batch graph.
+    pub fn ingest_with(
+        &mut self,
+        batch: &EdgeBatch,
+        prepatched: Option<Arc<CscStructure>>,
+    ) -> Result<(RefreshOutcome, Arc<CscStructure>), UpdateError> {
+        if self.state.is_none() {
+            return Err(poisoned());
+        }
+        // Validated atomically before any state changes: a bad batch
+        // cannot poison the engine.
+        let applied = self.dg.apply_batch(batch)?;
+        let snapshot = self.dg.snapshot();
+        // From here on a failure loses the consumed state; `state` stays
+        // `None` and later calls report the poisoning. Every error below
+        // is an internal-consistency breach (the delta came from our own
+        // `apply_batch`), not a user input.
+        let state = self.state.take().expect("checked above");
+        let state = match prepatched {
+            Some(csc) => state.patched_with(&snapshot, &applied.delta, csc)?,
+            None => state.patched(&snapshot, &applied.delta)?,
+        };
+        let mut engine = Engine::from_state(&snapshot, state).map_err(UpdateError::Solver)?;
+
+        let back = self.core.begin_write();
+        // SAFETY: `&mut self` makes this the single writer; `begin_write`
+        // drained the back slot, and the front slot is immutable while it
+        // stays front — reading it as the warm start while writing the
+        // back slot touches disjoint buffers.
+        let (previous, out) = unsafe { (self.core.front_scores(), self.core.back_vec(back)) };
+        let inc = engine.resolve_incremental_into(
+            previous,
+            self.teleport.as_deref(),
+            &applied.delta,
+            out,
+        )?;
+        let generation = self.core.publish(back);
+        let state = engine.into_state();
+        let structure = state.shared_structure();
+        self.state = Some(state);
+        Ok((
+            RefreshOutcome {
+                generation,
+                mode: inc.mode,
+                iterations: inc.result.iterations,
+                frontier: inc.frontier,
+                pushes: inc.pushes,
+                converged: inc.result.converged,
+                inserted_arcs: applied.delta.inserted.len(),
+                deleted_arcs: applied.delta.deleted.len(),
+                pool_spawns: inc.pool_spawns,
+            },
+            structure,
+        ))
+    }
+}
+
+fn poisoned() -> UpdateError {
+    UpdateError::Graph(GraphError::Snapshot(
+        "serving engine poisoned: an earlier refresh failed mid-handoff".into(),
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// ShardManager
+// ---------------------------------------------------------------------------
+
+/// Hosts N serving engines — independent graphs, or N personalization
+/// views over one shared transpose — and routes keyed traffic to them.
+///
+/// Routing is `key → key % num_shards`; every shard keeps its own
+/// persistent engine pool and double-buffered publication path, so
+/// refreshes on one shard never disturb readers of another.
+///
+/// ```
+/// use d2pr_core::pagerank::PageRankConfig;
+/// use d2pr_core::serving::ShardManager;
+/// use d2pr_core::transition::TransitionModel;
+/// use d2pr_graph::delta::EdgeBatch;
+/// use d2pr_graph::generators::barabasi_albert;
+///
+/// let g = barabasi_albert(200, 3, 5).unwrap();
+/// // Two personalization views over ONE shared transpose build.
+/// let mut t0 = vec![0.0; 200];
+/// t0[7] = 1.0;
+/// let mut t1 = vec![0.0; 200];
+/// t1[9] = 1.0;
+/// let mut shards = ShardManager::personalized(
+///     &g,
+///     &[t0, t1],
+///     TransitionModel::DegreeDecoupled { p: 0.5 },
+///     PageRankConfig::default(),
+///     1,
+/// )
+/// .unwrap();
+/// // Keyed batch queries fan out to the owning shards.
+/// let scores = shards.batch_get(&[(0, 7), (1, 9)]);
+/// assert!(scores.iter().all(|s| s.is_some()));
+/// // One churn batch refreshes every view; the transpose patch is paid once.
+/// let mut batch = EdgeBatch::new();
+/// batch.insert(0, 199);
+/// let outcomes = shards.ingest_all(&batch).unwrap();
+/// assert_eq!(outcomes.len(), 2);
+/// ```
+pub struct ShardManager {
+    shards: Vec<ServingEngine>,
+}
+
+impl std::fmt::Debug for ShardManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardManager")
+            .field("shards", &self.shards.len())
+            .finish()
+    }
+}
+
+impl ShardManager {
+    /// One shard per graph, uniform teleportation — the multi-tenant
+    /// layout (each shard owns an independent evolving graph).
+    ///
+    /// # Errors
+    /// Fails on the first shard whose construction fails; `graphs` must
+    /// be non-empty.
+    pub fn from_graphs(
+        graphs: Vec<CsrGraph>,
+        model: TransitionModel,
+        config: PageRankConfig,
+        threads_per_shard: usize,
+    ) -> Result<Self, UpdateError> {
+        if graphs.is_empty() {
+            return Err(UpdateError::Graph(GraphError::Snapshot(
+                "ShardManager needs at least one shard".into(),
+            )));
+        }
+        let shards = graphs
+            .into_iter()
+            .map(|g| ServingEngine::new(g, model, config, threads_per_shard))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { shards })
+    }
+
+    /// One shard per personalization view over a single graph. What is
+    /// shared is the solver-side transpose: one `O(E)` `CscStructure`
+    /// build (plus, later, one structural patch per delta batch) serves
+    /// every view's engine by `Arc`. Each view still owns its *own* copy
+    /// of the forward graph — a `CsrGraph` clone inside its `DeltaGraph`
+    /// — so per-view memory is `O(E)` and a group ingest runs N
+    /// independent batch applications and snapshot merges; the saving is
+    /// on the transpose build/patch and the engine's `O(V)` solver
+    /// tables, not the graph storage itself. (A copy-on-write forward
+    /// graph is a possible follow-up.) Keep the views in lockstep with
+    /// [`ShardManager::ingest_all`], which preserves the transpose
+    /// sharing across delta generations.
+    ///
+    /// # Errors
+    /// As [`ServingEngine::with_parts`]; `teleports` must be non-empty.
+    pub fn personalized(
+        graph: &CsrGraph,
+        teleports: &[Vec<f64>],
+        model: TransitionModel,
+        config: PageRankConfig,
+        threads_per_shard: usize,
+    ) -> Result<Self, UpdateError> {
+        if teleports.is_empty() {
+            return Err(UpdateError::Graph(GraphError::Snapshot(
+                "ShardManager needs at least one personalization view".into(),
+            )));
+        }
+        let csc = Arc::new(CscStructure::build(graph));
+        let shards = teleports
+            .iter()
+            .map(|t| {
+                ServingEngine::with_parts(
+                    graph.clone(),
+                    Some(Arc::clone(&csc)),
+                    Some(t),
+                    model,
+                    config,
+                    threads_per_shard,
+                )
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { shards })
+    }
+
+    /// Number of shards hosted.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a key routes to.
+    pub fn shard_of(&self, key: u64) -> usize {
+        (key % self.shards.len() as u64) as usize
+    }
+
+    /// The serving engine owning `key`.
+    pub fn shard(&self, key: u64) -> &ServingEngine {
+        &self.shards[self.shard_of(key)]
+    }
+
+    /// Mutable access to the serving engine owning `key` (for per-shard
+    /// ingestion in the multi-graph layout).
+    pub fn shard_mut(&mut self, key: u64) -> &mut ServingEngine {
+        let s = self.shard_of(key);
+        &mut self.shards[s]
+    }
+
+    /// A read handle on the shard owning `key`.
+    pub fn reader(&self, key: u64) -> ScoreReader {
+        self.shard(key).reader()
+    }
+
+    /// Read handles on every shard, in shard order.
+    pub fn readers(&self) -> Vec<ScoreReader> {
+        self.shards.iter().map(ServingEngine::reader).collect()
+    }
+
+    /// The published score of `node` on the shard owning `key`.
+    pub fn get(&self, key: u64, node: u32) -> Option<f64> {
+        self.shard(key).get(node)
+    }
+
+    /// Batch query: each `(key, node)` is answered by the owning shard's
+    /// published generation (`None` for out-of-range nodes).
+    pub fn batch_get(&self, queries: &[(u64, u32)]) -> Vec<Option<f64>> {
+        queries
+            .iter()
+            .map(|&(key, node)| self.get(key, node))
+            .collect()
+    }
+
+    /// Route one edge batch to the shard owning `key` and refresh it.
+    ///
+    /// # Errors
+    /// As [`ServingEngine::ingest`].
+    pub fn ingest(&mut self, key: u64, batch: &EdgeBatch) -> Result<RefreshOutcome, UpdateError> {
+        self.shard_mut(key).ingest(batch)
+    }
+
+    /// Apply one edge batch to **every** shard (the personalization-view
+    /// layout, where all shards serve the same evolving graph). Shards
+    /// are grouped by *mutual* `Arc` identity of their current transpose:
+    /// the first shard of each group pays the structural patch, the rest
+    /// of its group receive the patched structure by `Arc` — one patch
+    /// per share group per batch, whichever shards have diverged (e.g.
+    /// via keyed [`ShardManager::ingest`], which splits a shard into its
+    /// own group without breaking the sharing among the others).
+    ///
+    /// # Errors
+    /// Fails on the first shard whose refresh fails (earlier shards stay
+    /// refreshed — generations across shards are independent).
+    pub fn ingest_all(&mut self, batch: &EdgeBatch) -> Result<Vec<RefreshOutcome>, UpdateError> {
+        let pre: Vec<Option<Arc<CscStructure>>> = self
+            .shards
+            .iter()
+            .map(|s| s.shared_structure().ok())
+            .collect();
+        // One entry per share group encountered: (pre-batch structure,
+        // its freshly patched successor).
+        let mut groups: Vec<(Arc<CscStructure>, Arc<CscStructure>)> = Vec::new();
+        let mut outcomes = Vec::with_capacity(self.shards.len());
+        for (shard, pre) in self.shards.iter_mut().zip(&pre) {
+            let prepatched = pre.as_ref().and_then(|p| {
+                groups
+                    .iter()
+                    .find(|(group_pre, _)| Arc::ptr_eq(group_pre, p))
+                    .map(|(_, post)| Arc::clone(post))
+            });
+            let lead = prepatched.is_none();
+            let (outcome, structure) = shard.ingest_with(batch, prepatched)?;
+            if lead {
+                if let Some(p) = pre {
+                    groups.push((Arc::clone(p), structure));
+                }
+            }
+            outcomes.push(outcome);
+        }
+        Ok(outcomes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pagerank::pagerank;
+    use d2pr_graph::builder::GraphBuilder;
+    use d2pr_graph::csr::Direction;
+    use d2pr_graph::generators::barabasi_albert;
+
+    const MODEL: TransitionModel = TransitionModel::DegreeDecoupled { p: 0.5 };
+
+    fn tight() -> PageRankConfig {
+        PageRankConfig {
+            tolerance: 1e-11,
+            max_iterations: 2_000,
+            ..Default::default()
+        }
+    }
+
+    fn assert_close(a: &[f64], b: &[f64], eps: f64) {
+        assert_eq!(a.len(), b.len());
+        let l1: f64 = a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum();
+        assert!(l1 < eps, "L1 divergence {l1:.3e} exceeds {eps:.0e}");
+    }
+
+    #[test]
+    fn initial_publication_matches_cold_solve() {
+        let g = barabasi_albert(400, 3, 11).unwrap();
+        let cold = pagerank(&g, MODEL, &tight());
+        let serving = ServingEngine::new(g, MODEL, tight(), 2).unwrap();
+        let reader = serving.reader();
+        assert_eq!(reader.generation(), 0);
+        assert_eq!(reader.len(), 400);
+        let mut snap = Vec::new();
+        assert_eq!(reader.snapshot_into(&mut snap), 0);
+        assert_close(&cold.scores, &snap, 1e-8);
+        for v in [0u32, 7, 399] {
+            let (s, generation) = reader.get_with_generation(v).unwrap();
+            assert_eq!(generation, 0);
+            assert!((s - cold.scores[v as usize]).abs() < 1e-9);
+        }
+        assert_eq!(reader.get(400), None);
+    }
+
+    #[test]
+    fn ingest_publishes_generations_matching_cold_solves() {
+        let g = barabasi_albert(500, 3, 13).unwrap();
+        let mut serving = ServingEngine::new(g.clone(), MODEL, tight(), 2).unwrap();
+        let reader = serving.reader();
+        let mut dg = DeltaGraph::new(g).unwrap();
+        let mut snap = Vec::new();
+        let mut spawns = None;
+        for round in 0..4u32 {
+            let mut batch = EdgeBatch::new();
+            let before = dg.snapshot();
+            batch.delete(round, before.neighbors(round)[0]);
+            let mut target = 499 - round;
+            while dg.has_arc(round, target) || target == round {
+                target -= 1;
+            }
+            batch.insert(round, target);
+            let refresh = serving.ingest(&batch).unwrap();
+            assert_eq!(refresh.generation, u64::from(round) + 1);
+            assert!(refresh.converged);
+            // The persistent pool rides the state handoffs: the spawn
+            // counter is a constant paid at construction.
+            match spawns {
+                None => spawns = Some(refresh.pool_spawns),
+                Some(s) => assert_eq!(refresh.pool_spawns, s, "no spawns per refresh"),
+            }
+            dg.apply_batch(&batch).unwrap();
+            let snapshot = dg.snapshot();
+            let cold = pagerank(&snapshot, MODEL, &tight());
+            assert_eq!(reader.snapshot_into(&mut snap), refresh.generation);
+            assert_close(&cold.scores, &snap, 1e-8);
+        }
+    }
+
+    #[test]
+    fn top_k_is_sorted_and_consistent_with_get() {
+        let g = barabasi_albert(300, 4, 3).unwrap();
+        let serving = ServingEngine::new(g, MODEL, tight(), 1).unwrap();
+        let reader = serving.reader();
+        let top = reader.top_k(10);
+        assert_eq!(top.len(), 10);
+        for w in top.windows(2) {
+            assert!(
+                w[0].1 > w[1].1 || (w[0].1 == w[1].1 && w[0].0 < w[1].0),
+                "descending with id tie-break"
+            );
+        }
+        for &(v, s) in &top {
+            assert_eq!(reader.get(v), Some(s));
+        }
+        // k larger than n clamps.
+        assert_eq!(reader.top_k(10_000).len(), 300);
+        assert!(reader.top_k(0).is_empty());
+        // The global maximum is the first entry.
+        let mut snap = Vec::new();
+        reader.snapshot_into(&mut snap);
+        let max = snap
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap();
+        assert_eq!(top[0].0, max.0 as u32);
+    }
+
+    #[test]
+    fn weighted_graphs_are_rejected_typed() {
+        let mut b = GraphBuilder::new(Direction::Directed, 3);
+        b.add_weighted_edge(0, 1, 2.0);
+        b.add_weighted_edge(1, 2, 1.0);
+        let g = b.build().unwrap();
+        let err = ServingEngine::new(g, MODEL, tight(), 1).unwrap_err();
+        assert!(matches!(err, UpdateError::WeightMismatch { .. }));
+        assert!(err.to_string().contains("unweighted"));
+    }
+
+    #[test]
+    fn personalized_shards_share_one_structure_across_generations() {
+        let g = barabasi_albert(250, 3, 17).unwrap();
+        let mut teleports = Vec::new();
+        for seed in [3u32, 9, 200] {
+            let mut t = vec![0.0; 250];
+            t[seed as usize] = 1.0;
+            teleports.push(t);
+        }
+        let mut shards = ShardManager::personalized(&g, &teleports, MODEL, tight(), 1).unwrap();
+        assert_eq!(shards.num_shards(), 3);
+        // Construction: one Arc for all shards.
+        let s0 = shards.shard(0).shared_structure().unwrap();
+        for key in 1..3u64 {
+            assert!(Arc::ptr_eq(
+                &s0,
+                &shards.shard(key).shared_structure().unwrap()
+            ));
+        }
+        // Per-shard scores match direct personalized solves.
+        let mut engine = Engine::with_threads(&g, 1).with_config(tight()).unwrap();
+        engine.set_model(MODEL).unwrap();
+        let mut snap = Vec::new();
+        for (key, t) in teleports.iter().enumerate() {
+            let direct = engine.solve_with_teleport(Some(t)).unwrap();
+            shards.reader(key as u64).snapshot_into(&mut snap);
+            assert_close(&direct.scores, &snap, 1e-8);
+        }
+        // A group ingest patches the structure once and re-shares it.
+        let mut batch = EdgeBatch::new();
+        batch.insert(0, 249);
+        let outcomes = shards.ingest_all(&batch).unwrap();
+        assert_eq!(outcomes.len(), 3);
+        let s1 = shards.shard(0).shared_structure().unwrap();
+        assert!(!Arc::ptr_eq(&s0, &s1), "a real delta rekeys the share");
+        for key in 1..3u64 {
+            assert!(
+                Arc::ptr_eq(&s1, &shards.shard(key).shared_structure().unwrap()),
+                "every shard serves the one patched transpose"
+            );
+        }
+        // And the refreshed views still match direct solves on the new graph.
+        let mut dg = DeltaGraph::new(g).unwrap();
+        dg.apply_batch(&batch).unwrap();
+        let g2 = dg.snapshot();
+        let mut engine2 = Engine::with_threads(&g2, 1).with_config(tight()).unwrap();
+        engine2.set_model(MODEL).unwrap();
+        for (key, t) in teleports.iter().enumerate() {
+            let direct = engine2.solve_with_teleport(Some(t)).unwrap();
+            shards.reader(key as u64).snapshot_into(&mut snap);
+            assert_close(&direct.scores, &snap, 1e-7);
+            assert_eq!(shards.shard(key as u64).generation(), 1);
+        }
+    }
+
+    #[test]
+    fn ingest_all_groups_by_mutual_sharing_after_divergence() {
+        let g = barabasi_albert(200, 3, 23).unwrap();
+        let mut teleports = Vec::new();
+        for seed in [1u32, 50, 150] {
+            let mut t = vec![0.0; 200];
+            t[seed as usize] = 1.0;
+            teleports.push(t);
+        }
+        let mut shards = ShardManager::personalized(&g, &teleports, MODEL, tight(), 1).unwrap();
+        // Two non-edges of the base graph (the second stays absent from
+        // both variants after the first is inserted on shard 0 only).
+        let mut non_edges = Vec::new();
+        'outer: for u in 0..200u32 {
+            for v in (u + 1)..200 {
+                if !g.has_arc(u, v) {
+                    non_edges.push((u, v));
+                    if non_edges.len() == 2 {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        // Diverge shard 0 with a keyed ingest: its graph (and structure)
+        // leave the group, shards 1 and 2 keep sharing.
+        let mut batch_a = EdgeBatch::new();
+        batch_a.insert(non_edges[0].0, non_edges[0].1);
+        shards.ingest(0, &batch_a).unwrap();
+        let s1 = shards.shard(1).shared_structure().unwrap();
+        assert!(!Arc::ptr_eq(
+            &shards.shard(0).shared_structure().unwrap(),
+            &s1
+        ));
+        assert!(Arc::ptr_eq(
+            &s1,
+            &shards.shard(2).shared_structure().unwrap()
+        ));
+        // A group ingest must keep the coherent subgroup on ONE patched
+        // structure (the old shard-0-anchored logic would have split
+        // shards 1 and 2 into independent patches forever).
+        let mut batch_b = EdgeBatch::new();
+        batch_b.insert(non_edges[1].0, non_edges[1].1);
+        shards.ingest_all(&batch_b).unwrap();
+        let t1 = shards.shard(1).shared_structure().unwrap();
+        assert!(
+            Arc::ptr_eq(&t1, &shards.shard(2).shared_structure().unwrap()),
+            "the still-coherent subgroup keeps sharing one transpose"
+        );
+        assert!(!Arc::ptr_eq(
+            &shards.shard(0).shared_structure().unwrap(),
+            &t1
+        ));
+        assert_eq!(shards.shard(0).generation(), 2);
+        assert_eq!(shards.shard(1).generation(), 1);
+        assert_eq!(shards.shard(2).generation(), 1);
+    }
+
+    #[test]
+    fn multi_graph_shards_route_keys_and_refresh_independently() {
+        let graphs: Vec<CsrGraph> = (0..3u64)
+            .map(|i| barabasi_albert(120 + 10 * i as usize, 3, i).unwrap())
+            .collect();
+        let sizes: Vec<usize> = graphs.iter().map(CsrGraph::num_nodes).collect();
+        let mut shards = ShardManager::from_graphs(graphs, MODEL, tight(), 1).unwrap();
+        assert_eq!(shards.shard_of(5), 2);
+        for (key, &n) in sizes.iter().enumerate() {
+            assert_eq!(shards.reader(key as u64).len(), n);
+        }
+        // Refresh one shard only; the others' generations stay put.
+        let mut batch = EdgeBatch::new();
+        batch.insert(0, 100);
+        let outcome = shards.ingest(1, &batch).unwrap();
+        assert_eq!(outcome.generation, 1);
+        assert_eq!(shards.shard(0).generation(), 0);
+        assert_eq!(shards.shard(1).generation(), 1);
+        assert_eq!(shards.shard(2).generation(), 0);
+        // Batch queries hit the owning shards.
+        let answers = shards.batch_get(&[(0, 0), (1, 0), (2, 10_000)]);
+        assert!(answers[0].is_some() && answers[1].is_some());
+        assert_eq!(answers[2], None);
+    }
+
+    #[test]
+    fn empty_shard_sets_are_rejected() {
+        assert!(ShardManager::from_graphs(vec![], MODEL, tight(), 1).is_err());
+        let g = barabasi_albert(50, 2, 1).unwrap();
+        assert!(ShardManager::personalized(&g, &[], MODEL, tight(), 1).is_err());
+    }
+}

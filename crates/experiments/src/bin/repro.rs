@@ -27,13 +27,15 @@ struct Options {
     tolerance: Option<f64>,
     churn: Option<f64>,
     batches: Option<usize>,
+    readers: Option<usize>,
+    shards: Option<usize>,
     mode: Option<d2pr_experiments::evolving::RefreshMode>,
     experiment: String,
 }
 
 const USAGE: &str = "usage: repro [--scale S] [--seed N] [--csv] \
-[--mode sweep|localized|auto] \
-<table1|table2|table3|fig1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|recs|rewire|stability|evolving|all>";
+[--mode sweep|localized|auto] [--readers R] [--shards K] \
+<table1|table2|table3|fig1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|recs|rewire|stability|evolving|serve|all>";
 
 fn parse_args() -> Result<Options, String> {
     let mut scale = 0.05;
@@ -42,6 +44,8 @@ fn parse_args() -> Result<Options, String> {
     let mut tolerance = None;
     let mut churn = None;
     let mut batches = None;
+    let mut readers = None;
+    let mut shards = None;
     let mut mode = None;
     let mut experiment = None;
     let mut args = std::env::args().skip(1);
@@ -85,6 +89,22 @@ fn parse_args() -> Result<Options, String> {
                         .map_err(|e| format!("bad --batches: {e}"))?,
                 );
             }
+            "--readers" => {
+                readers = Some(
+                    args.next()
+                        .ok_or("--readers needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad --readers: {e}"))?,
+                );
+            }
+            "--shards" => {
+                shards = Some(
+                    args.next()
+                        .ok_or("--shards needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad --shards: {e}"))?,
+                );
+            }
             "--mode" => {
                 let value = args.next().ok_or("--mode needs a value")?;
                 mode = Some(
@@ -106,6 +126,8 @@ fn parse_args() -> Result<Options, String> {
         tolerance,
         churn,
         batches,
+        readers,
+        shards,
         mode,
         experiment: experiment.ok_or_else(|| USAGE.to_string())?,
     })
@@ -159,12 +181,13 @@ fn run(opts: &Options) -> Result<(), String> {
         "rewire",
         "stability",
         "evolving",
+        "serve",
     ];
     if !all && !known.contains(&opts.experiment.as_str()) {
         return Err(format!("unknown experiment '{}'\n{USAGE}", opts.experiment));
     }
 
-    let needs_ctx = all || !matches!(opts.experiment.as_str(), "fig1" | "evolving");
+    let needs_ctx = all || !matches!(opts.experiment.as_str(), "fig1" | "evolving" | "serve");
     let ctx = if needs_ctx {
         eprintln!(
             "generating worlds (scale {}, seed {}) ...",
@@ -294,6 +317,34 @@ fn run(opts: &Options) -> Result<(), String> {
         print_table(
             "Evolving graph: cold vs warm-started re-solves per churn batch",
             &d2pr_experiments::evolving::evolving_report(&report),
+            csv,
+        );
+    }
+    if want("serve") {
+        let base = d2pr_experiments::serving::ServeConfig::default();
+        let cfg = d2pr_experiments::serving::ServeConfig {
+            nodes: ((base.nodes as f64 * (opts.scale / 0.05)).round() as usize).max(1_000),
+            seed: opts.seed,
+            tolerance: opts.tolerance.unwrap_or(base.tolerance),
+            churn: opts.churn.unwrap_or(base.churn),
+            batches: opts.batches.unwrap_or(base.batches),
+            readers: opts.readers.unwrap_or(base.readers),
+            shards: opts.shards.unwrap_or(base.shards),
+            ..base
+        };
+        eprintln!(
+            "serve: BA({}, {}), {} batches of {:.2}% churn, {} reader thread(s), {} shard(s) ...",
+            cfg.nodes,
+            cfg.attachments,
+            cfg.batches,
+            cfg.churn * 100.0,
+            cfg.readers,
+            cfg.shards
+        );
+        let report = d2pr_experiments::run_serve(&cfg).map_err(|e| e.to_string())?;
+        print_table(
+            "Serving: double-buffered refreshes under concurrent reader load",
+            &d2pr_experiments::serving::serve_report(&report),
             csv,
         );
     }

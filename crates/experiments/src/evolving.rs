@@ -25,12 +25,69 @@ use d2pr_core::engine::{default_threads, Engine, ResolveMode};
 use d2pr_core::error::UpdateError;
 use d2pr_core::pagerank::PageRankConfig;
 use d2pr_core::transition::TransitionModel;
+use d2pr_graph::csr::CsrGraph;
 use d2pr_graph::delta::{DeltaGraph, EdgeBatch};
+use d2pr_graph::error::GraphError;
 use d2pr_graph::generators::barabasi_albert;
 use d2pr_graph::transpose::CscStructure;
 use d2pr_graph::NodeId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Sample a deterministic churn stream over `graph`: per batch,
+/// `max(2, ceil(churn · |E|))` mutations — half deletions of existing
+/// edges (uniform over the current edge set), half insertions of fresh
+/// ones (rejection-sampled; edges are normalized to `u < v`, so mirrored
+/// storage churns both arcs). The stream depends only on `graph`, the
+/// parameters, and `rng` — never on solver state — so callers replay it
+/// against their own [`DeltaGraph`]. The one sampler shared by the
+/// evolving and serving experiments, the `serving_concurrent` bench, and
+/// the serving stress test.
+///
+/// # Errors
+/// Propagates delta-application failures (e.g. a weighted base) as
+/// [`GraphError`].
+pub fn churn_stream(
+    graph: &CsrGraph,
+    batches: usize,
+    churn: f64,
+    rng: &mut StdRng,
+) -> Result<Vec<EdgeBatch>, GraphError> {
+    let mut dg = DeltaGraph::new(graph.clone())?;
+    // Current edge list (u < v), kept in sync with the delta graph so
+    // deletions can be sampled uniformly.
+    let mut edges: Vec<(NodeId, NodeId)> = graph.arcs().filter(|&(u, v)| u < v).collect();
+    let n = graph.num_nodes() as NodeId;
+    let mut stream = Vec::with_capacity(batches);
+    for _ in 0..batches {
+        let mutations = ((churn * edges.len() as f64).ceil() as usize).max(2);
+        let deletes = mutations / 2;
+        let inserts = mutations - deletes;
+        let mut batch = EdgeBatch::new();
+        for _ in 0..deletes {
+            let i = rng.gen_range(0..edges.len());
+            let (u, v) = edges.swap_remove(i);
+            batch.delete(u, v);
+        }
+        for _ in 0..inserts {
+            loop {
+                let u = rng.gen_range(0..n);
+                let v = rng.gen_range(0..n);
+                // Normalize before the dedup checks: inserts are stored as
+                // (min, max), so the membership test must use that form.
+                let e = (u.min(v), u.max(v));
+                if u != v && !dg.has_arc(e.0, e.1) && !batch.inserts.contains(&e) {
+                    batch.insert(e.0, e.1);
+                    edges.push(e);
+                    break;
+                }
+            }
+        }
+        dg.apply_batch(&batch)?;
+        stream.push(batch);
+    }
+    Ok(stream)
+}
 
 /// Which incremental re-solve strategy the evolving run serves with.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -197,9 +254,7 @@ pub fn run_evolving(cfg: &EvolvingConfig) -> Result<EvolvingReport, UpdateError>
 
     let g0 = barabasi_albert(cfg.nodes, cfg.attachments, rng.gen())?;
     let initial_arcs = g0.num_arcs();
-    // Current edge list (u < v), kept in sync with the delta graph so
-    // deletions can be sampled uniformly.
-    let mut edges: Vec<(NodeId, NodeId)> = g0.arcs().filter(|&(u, v)| u < v).collect();
+    let stream = churn_stream(&g0, cfg.batches, cfg.churn, &mut rng)?;
 
     let mut snapshot = g0.clone();
     let mut dg = DeltaGraph::new(g0)?;
@@ -214,37 +269,12 @@ pub fn run_evolving(cfg: &EvolvingConfig) -> Result<EvolvingReport, UpdateError>
         state = engine.into_state();
     }
 
-    let n = cfg.nodes as u32;
     let mut steps = Vec::with_capacity(cfg.batches);
-    for b in 1..=cfg.batches {
-        // Assemble the batch: churn·E mutations, half deletes, half inserts.
-        let mutations = ((cfg.churn * edges.len() as f64).ceil() as usize).max(2);
-        let deletes = mutations / 2;
-        let inserts = mutations - deletes;
-        let mut batch = EdgeBatch::new();
-        for _ in 0..deletes {
-            let i = rng.gen_range(0..edges.len());
-            let (u, v) = edges.swap_remove(i);
-            batch.delete(u, v);
-        }
-        for _ in 0..inserts {
-            loop {
-                let u = rng.gen_range(0..n);
-                let v = rng.gen_range(0..n);
-                // Normalize before the dedup checks: inserts are stored as
-                // (min, max), so the membership test must use that form.
-                let e = (u.min(v), u.max(v));
-                if u != v && !dg.has_arc(e.0, e.1) && !batch.inserts.contains(&e) {
-                    batch.insert(e.0, e.1);
-                    edges.push(e);
-                    break;
-                }
-            }
-        }
-
+    for (i, batch) in stream.iter().enumerate() {
+        let b = i + 1;
         // The incremental serving pipeline: batch -> snapshot -> patched
         // engine state (no O(E) rebuild) -> strategy-selected re-solve.
-        let outcome = dg.apply_batch(&batch)?;
+        let outcome = dg.apply_batch(batch)?;
         let new_snapshot = dg.snapshot();
         state = state.patched(&new_snapshot, &outcome.delta)?;
         let mut engine = Engine::from_state(&new_snapshot, state)?;

@@ -12,8 +12,10 @@ pub mod evolving;
 pub mod experiments;
 pub mod recommendation;
 pub mod report;
+pub mod serving;
 pub mod stability;
 pub mod sweep;
 
 pub use evolving::{run_evolving, EvolvingConfig, EvolvingReport};
+pub use serving::{run_serve, ServeConfig, ServeReport};
 pub use sweep::{correlation_with_significance, GridPoint, SweepConfig};

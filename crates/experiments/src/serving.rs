@@ -1,0 +1,343 @@
+//! Mixed reader/writer serving scenario: concurrent point queries against
+//! a continuously refreshed (and optionally sharded) D2PR ranking.
+//!
+//! The `repro serve` subcommand drives the PR-5 serving stack end to end:
+//! a [`ShardManager`] hosts one uniform view (`--shards 1`, the default)
+//! or N personalization views over one shared transpose, reader threads
+//! hammer [`ScoreReader::get`] round-robin across the shards, and the
+//! writer streams churn batches through
+//! [`ShardManager::ingest_all`](d2pr_core::serving::ShardManager::ingest_all).
+//! The per-batch table shows the refresh strategy, its wall time, and how
+//! many reads were served **during** each refresh — the number that was
+//! zero, by construction, before the double-buffered publication path.
+
+use crate::evolving::churn_stream;
+use crate::report::TextTable;
+use d2pr_core::engine::{default_threads, ResolveMode};
+use d2pr_core::error::UpdateError;
+use d2pr_core::pagerank::PageRankConfig;
+use d2pr_core::serving::{ScoreReader, ShardManager};
+use d2pr_core::transition::TransitionModel;
+use d2pr_graph::generators::barabasi_albert;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Configuration of one serving run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Nodes of the initial Barabási–Albert graph.
+    pub nodes: usize,
+    /// BA attachments per node.
+    pub attachments: usize,
+    /// Churn batches to stream.
+    pub batches: usize,
+    /// Fraction of current edges mutated per batch.
+    pub churn: f64,
+    /// Concurrent reader threads.
+    pub readers: usize,
+    /// Shards: 1 = a single uniform view; N > 1 = N personalization views
+    /// over one shared transpose structure.
+    pub shards: usize,
+    /// De-coupling weight `p` of the served model.
+    pub p: f64,
+    /// Residual probability `α`.
+    pub alpha: f64,
+    /// Solver L1 tolerance (serving default 1e-6).
+    pub tolerance: f64,
+    /// Solver iteration cap.
+    pub max_iterations: usize,
+    /// Engine worker threads per shard (`0` = machine parallelism).
+    pub threads: usize,
+    /// RNG seed for the graph, the teleports, and the churn stream.
+    pub seed: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            nodes: 20_000,
+            attachments: 5,
+            batches: 6,
+            churn: 0.002,
+            readers: 2,
+            shards: 1,
+            p: 0.5,
+            alpha: 0.85,
+            tolerance: 1e-6,
+            max_iterations: 500,
+            threads: 0,
+            seed: 0x5EB7,
+        }
+    }
+}
+
+/// One streamed batch, as served.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeStep {
+    /// 1-based batch index.
+    pub batch: usize,
+    /// Arcs inserted / deleted (effective, mirrored arcs counted).
+    pub inserted_arcs: usize,
+    /// Arcs deleted.
+    pub deleted_arcs: usize,
+    /// Strategy that served shard 0's refresh.
+    pub mode_used: ResolveMode,
+    /// Localized frontier of shard 0's refresh (0 for sweeps).
+    pub frontier: usize,
+    /// Wall time of the whole group refresh (all shards), milliseconds.
+    pub refresh_ms: f64,
+    /// Generation every shard publishes after this batch.
+    pub generation: u64,
+    /// Point reads the reader threads completed during this refresh.
+    pub reads_during_refresh: u64,
+}
+
+/// Full run record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Node count (fixed across the run).
+    pub nodes: usize,
+    /// Arc count of the initial snapshot.
+    pub initial_arcs: usize,
+    /// Shards hosted.
+    pub shards: usize,
+    /// Reader threads driven.
+    pub readers: usize,
+    /// One entry per streamed batch.
+    pub steps: Vec<ServeStep>,
+    /// Total point reads over the whole stream.
+    pub total_reads: u64,
+    /// Wall time of the whole stream, milliseconds.
+    pub stream_ms: f64,
+}
+
+impl ServeReport {
+    /// Total refresh wall time, milliseconds.
+    pub fn total_refresh_ms(&self) -> f64 {
+        self.steps.iter().map(|s| s.refresh_ms).sum()
+    }
+
+    /// Reads served per millisecond over the whole stream.
+    pub fn reads_per_ms(&self) -> f64 {
+        self.total_reads as f64 / self.stream_ms.max(1e-9)
+    }
+
+    /// Reads served during refresh windows (zero under a stop-the-world
+    /// discipline — the availability this stack adds).
+    pub fn reads_during_refreshes(&self) -> u64 {
+        self.steps.iter().map(|s| s.reads_during_refresh).sum()
+    }
+}
+
+/// Stream `cfg.batches` churn batches through a (sharded) serving stack
+/// while `cfg.readers` threads hammer point queries, and record per-batch
+/// serving accounting.
+///
+/// # Errors
+/// Propagates generator, ingestion, and solver failures as
+/// [`UpdateError`].
+pub fn run_serve(cfg: &ServeConfig) -> Result<ServeReport, UpdateError> {
+    let threads = if cfg.threads == 0 {
+        default_threads()
+    } else {
+        cfg.threads
+    };
+    let solver = PageRankConfig {
+        alpha: cfg.alpha,
+        tolerance: cfg.tolerance,
+        max_iterations: cfg.max_iterations,
+        ..Default::default()
+    };
+    let model = TransitionModel::DegreeDecoupled { p: cfg.p };
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    let g0 = barabasi_albert(cfg.nodes, cfg.attachments, rng.gen())?;
+    let initial_arcs = g0.num_arcs();
+    // Personalization views (shards > 1): a few hot seed nodes per shard.
+    let teleports: Option<Vec<Vec<f64>>> = (cfg.shards > 1).then(|| {
+        (0..cfg.shards)
+            .map(|_| {
+                let mut t = vec![0.0; cfg.nodes];
+                for _ in 0..4 {
+                    t[rng.gen_range(0..cfg.nodes)] = 1.0;
+                }
+                t
+            })
+            .collect()
+    });
+    let stream = churn_stream(&g0, cfg.batches, cfg.churn, &mut rng)
+        .map_err(d2pr_core::error::UpdateError::Graph)?;
+
+    let mut shards = match &teleports {
+        None => ShardManager::from_graphs(vec![g0], model, solver, threads)?,
+        Some(t) => ShardManager::personalized(&g0, t, model, solver, threads)?,
+    };
+
+    let readers: Vec<ScoreReader> = shards.readers();
+    let n = cfg.nodes as u32;
+    let stop = AtomicBool::new(false);
+    let reads = AtomicU64::new(0);
+    let mut steps = Vec::with_capacity(cfg.batches);
+    let mut stream_ms = 0.0f64;
+
+    let result: Result<(), UpdateError> = std::thread::scope(|scope| {
+        for r in 0..cfg.readers {
+            let readers = &readers;
+            let stop = &stop;
+            let reads = &reads;
+            scope.spawn(move || {
+                let mut node = r as u32;
+                let mut shard = r;
+                let mut local = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    for _ in 0..32 {
+                        node = node.wrapping_mul(1_664_525).wrapping_add(1_013_904_223) % n;
+                        shard = (shard + 1) % readers.len();
+                        let score = readers[shard].get(node).expect("in-range node");
+                        assert!(score.is_finite());
+                        local += 1;
+                    }
+                    reads.fetch_add(32, Ordering::Relaxed);
+                }
+                let _ = local;
+            });
+        }
+
+        let stream_start = Instant::now();
+        let run = (|| -> Result<(), UpdateError> {
+            for (i, batch) in stream.iter().enumerate() {
+                let b = i + 1;
+                let reads_before = reads.load(Ordering::Relaxed);
+                let t0 = Instant::now();
+                let outcomes = shards.ingest_all(batch)?;
+                let refresh_ms = t0.elapsed().as_secs_f64() * 1e3;
+                let reads_during = reads.load(Ordering::Relaxed) - reads_before;
+                let lead = &outcomes[0];
+                steps.push(ServeStep {
+                    batch: b,
+                    inserted_arcs: lead.inserted_arcs,
+                    deleted_arcs: lead.deleted_arcs,
+                    mode_used: lead.mode,
+                    frontier: lead.frontier,
+                    refresh_ms,
+                    generation: lead.generation,
+                    reads_during_refresh: reads_during,
+                });
+            }
+            Ok(())
+        })();
+        stream_ms = stream_start.elapsed().as_secs_f64() * 1e3;
+        stop.store(true, Ordering::Relaxed);
+        run
+    });
+    result?;
+
+    Ok(ServeReport {
+        nodes: cfg.nodes,
+        initial_arcs,
+        shards: shards.num_shards(),
+        readers: cfg.readers,
+        steps,
+        total_reads: reads.load(Ordering::Relaxed),
+        stream_ms,
+    })
+}
+
+/// Per-batch table for the `repro serve` subcommand.
+pub fn serve_report(r: &ServeReport) -> TextTable {
+    let mut t = TextTable::new(vec![
+        "batch",
+        "+arcs",
+        "-arcs",
+        "mode",
+        "frontier",
+        "refresh_ms",
+        "gen",
+        "reads_during",
+        "reads/ms",
+    ]);
+    for s in &r.steps {
+        let mode = match s.mode_used {
+            ResolveMode::WarmSweep => "sweep",
+            ResolveMode::LocalizedPush => "push",
+            ResolveMode::HybridPushSweep => "hybrid",
+            ResolveMode::DenseGaussSeidel => "gs",
+        };
+        t.push_row(vec![
+            s.batch.to_string(),
+            s.inserted_arcs.to_string(),
+            s.deleted_arcs.to_string(),
+            mode.to_string(),
+            s.frontier.to_string(),
+            format!("{:.2}", s.refresh_ms),
+            s.generation.to_string(),
+            s.reads_during_refresh.to_string(),
+            format!(
+                "{:.0}",
+                s.reads_during_refresh as f64 / s.refresh_ms.max(1e-9)
+            ),
+        ]);
+    }
+    t.push_row(vec![
+        "total".to_string(),
+        String::new(),
+        String::new(),
+        String::new(),
+        String::new(),
+        format!("{:.2}", r.total_refresh_ms()),
+        r.steps.last().map_or(0, |s| s.generation).to_string(),
+        r.reads_during_refreshes().to_string(),
+        format!("{:.0} overall", r.reads_per_ms()),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_run_publishes_and_reads_concurrently() {
+        let cfg = ServeConfig {
+            nodes: 1_500,
+            attachments: 4,
+            batches: 3,
+            churn: 0.002,
+            readers: 2,
+            shards: 1,
+            threads: 1,
+            ..Default::default()
+        };
+        let r = run_serve(&cfg).unwrap();
+        assert_eq!(r.steps.len(), 3);
+        assert_eq!(r.shards, 1);
+        for (i, s) in r.steps.iter().enumerate() {
+            assert_eq!(s.generation, i as u64 + 1);
+            assert!(s.inserted_arcs > 0 && s.deleted_arcs > 0);
+            assert!(s.refresh_ms > 0.0);
+        }
+        assert!(r.total_reads > 0, "readers must have been served");
+        let table = serve_report(&r);
+        assert_eq!(table.num_rows(), 4);
+    }
+
+    #[test]
+    fn serve_run_shards_personalized_views() {
+        let cfg = ServeConfig {
+            nodes: 1_000,
+            attachments: 4,
+            batches: 2,
+            churn: 0.002,
+            readers: 1,
+            shards: 3,
+            threads: 1,
+            ..Default::default()
+        };
+        let r = run_serve(&cfg).unwrap();
+        assert_eq!(r.shards, 3);
+        assert_eq!(r.steps.len(), 2);
+        assert_eq!(r.steps.last().unwrap().generation, 2);
+    }
+}
