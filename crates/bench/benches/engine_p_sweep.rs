@@ -32,10 +32,13 @@ use d2pr_core::pagerank::{PageRankConfig, PageRankResult};
 use d2pr_core::transition::{TransitionMatrix, TransitionModel};
 use d2pr_graph::csr::CsrGraph;
 use d2pr_graph::generators::barabasi_albert;
+use d2pr_graph::permute::Layout as GraphLayout;
+use d2pr_graph::transpose::CscStructure;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
 use std::io::Write;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 // ---------------------------------------------------------------------------
@@ -341,6 +344,43 @@ fn p_sweep_comparison(c: &mut Criterion) {
             b.iter(|| black_box(engine.sweep(&models(), true).expect("valid sweep")))
         });
     }
+    // Layout × index axes: the prebuilt warm sweep under every cache-aware
+    // node ordering (baseline / degree-descending / RCM), each measured
+    // both with the narrow (u32) offsets copy the kernels prefer and with
+    // it dropped (the wide-usize fallback huge graphs take). Every combo
+    // is cross-checked against the seed results before timing — permuted
+    // solves must be observationally identical.
+    let mut layout_combos: Vec<String> = Vec::new();
+    for layout in GraphLayout::ALL {
+        let (internal, csc) =
+            CscStructure::with_layout(&graph, layout).expect("bench graph fits u32");
+        let perm = csc.permutation().cloned();
+        for (index, csc) in [
+            ("narrow", csc.clone()),
+            ("wide", csc.without_narrow_index()),
+        ] {
+            let combo = format!("{}_{index}", layout.name());
+            let mut engine =
+                Engine::with_structure(&internal, Arc::new(csc), threads).expect("same graph");
+            let results = engine.sweep(&models(), true).expect("valid sweep");
+            for (seed, r) in seed_results.iter().zip(&results) {
+                for (v, s) in seed.scores.iter().enumerate() {
+                    let internal_v = perm
+                        .as_ref()
+                        .map_or(v, |p| p.to_internal(v as u32) as usize);
+                    assert!(
+                        (s - r.scores[internal_v]).abs() < 1e-7,
+                        "layout {combo} diverges at node {v}"
+                    );
+                }
+            }
+            group.bench_function(
+                format!("engine_prebuilt_warm_layout_{combo}").as_str(),
+                |b| b.iter(|| black_box(engine.sweep(&models(), true).expect("valid sweep"))),
+            );
+            layout_combos.push(combo);
+        }
+    }
     group.finish();
 
     let ms = |name: &str| report_ms(c, name);
@@ -350,6 +390,38 @@ fn p_sweep_comparison(c: &mut Criterion) {
     let warm_ms = ms("engine_warm");
     let prebuilt_ms = ms("engine_prebuilt_warm");
     let axis_ms = axis_json(&thread_axis, |t| ms(&format!("engine_prebuilt_warm_t{t}")));
+    let layout_ms: Vec<(String, f64)> = layout_combos
+        .iter()
+        .map(|combo| {
+            (
+                combo.clone(),
+                ms(&format!("engine_prebuilt_warm_layout_{combo}")),
+            )
+        })
+        .collect();
+    let layout_json = format!(
+        "{{{}}}",
+        layout_ms
+            .iter()
+            .map(|(combo, v)| format!("\"{combo}\": {v:.2}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let best = layout_ms
+        .iter()
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("layout axes measured");
+    let baseline_wide_ms = layout_ms
+        .iter()
+        .find(|(combo, _)| combo == "baseline_wide")
+        .expect("baseline_wide measured")
+        .1;
+    let best_narrow_ms = layout_ms
+        .iter()
+        .filter(|(combo, _)| combo.ends_with("_narrow"))
+        .map(|&(_, v)| v)
+        .min_by(f64::total_cmp)
+        .expect("narrow combos measured");
     let json = format!(
         concat!(
             "{{\n",
@@ -367,6 +439,10 @@ fn p_sweep_comparison(c: &mut Criterion) {
             "  \"engine_warm_ms\": {:.2},\n",
             "  \"engine_prebuilt_warm_ms\": {:.2},\n",
             "  \"engine_prebuilt_warm_ms_by_threads\": {},\n",
+            "  \"engine_prebuilt_warm_ms_by_layout\": {},\n",
+            "  \"layout_best\": \"{}\",\n",
+            "  \"speedup_layout_best_vs_baseline\": {:.3},\n",
+            "  \"speedup_layout_narrow_vs_seed4\": {:.3},\n",
             "  \"speedup_cold_vs_seed4\": {:.3},\n",
             "  \"speedup_warm_vs_seed4\": {:.3},\n",
             "  \"speedup_warm_vs_seed1\": {:.3},\n",
@@ -389,6 +465,10 @@ fn p_sweep_comparison(c: &mut Criterion) {
         warm_ms,
         prebuilt_ms,
         axis_ms,
+        layout_json,
+        best.0,
+        baseline_wide_ms / best.1,
+        seed4_ms / best_narrow_ms,
         seed4_ms / cold_ms,
         seed4_ms / warm_ms,
         seed1_ms / warm_ms,
@@ -412,6 +492,12 @@ fn p_sweep_comparison(c: &mut Criterion) {
         "warm vs seed@4: {:.2}x, prebuilt vs seed@4: {:.2}x",
         seed4_ms / warm_ms,
         seed4_ms / prebuilt_ms
+    );
+    println!(
+        "layout best: {} at {:.2} ms ({:.2}x vs baseline_wide)",
+        best.0,
+        best.1,
+        baseline_wide_ms / best.1
     );
 }
 

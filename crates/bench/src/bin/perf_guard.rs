@@ -104,6 +104,20 @@ fn main() -> ExitCode {
             paths[0], paths[1]
         );
     }
+    // Name the full guarded set on failure so a reader of the CI log can
+    // see which keys the gate watches (and which newly added ones — e.g.
+    // speedup_layout_narrow_vs_seed4 — participated) without opening the
+    // baseline file.
+    let watched: Vec<&str> = baseline
+        .iter()
+        .filter(|(k, &v)| v > 0.0 && guarded(mode, k, v))
+        .map(|(k, _)| k.as_str())
+        .collect();
+    eprintln!(
+        "perf_guard: guarded keys in {}: {}",
+        paths[0],
+        watched.join(", ")
+    );
     ExitCode::FAILURE
 }
 

@@ -227,7 +227,13 @@ pub const SPEEDUP_NOISE_FLOOR: f64 = 2.0;
 pub fn guarded_family(mode: Mode, key: &str) -> bool {
     match mode {
         Mode::Ratios => key.contains("ratio") || key.contains("speedup"),
-        Mode::AbsoluteMs => key.ends_with("_ms") || key.contains("_ms_by_threads"),
+        // Axis entries (`*_ms_by_threads.N.ms`, `*_ms_by_layout.X`) are
+        // timings; the `host_cpus` provenance marker riding next to them
+        // is not.
+        Mode::AbsoluteMs => {
+            (key.ends_with("_ms") || key.ends_with(".ms") || key.contains("_ms_by_threads"))
+                && !key.ends_with(".host_cpus")
+        }
     }
 }
 

@@ -27,6 +27,9 @@
 //! transpose-level solver in [`crate::parallel`].
 
 use crate::error::{SolverError, UpdateError};
+#[cfg(feature = "prefetch")]
+use crate::kernel::prefetch_gather;
+use crate::kernel::{gather_plain, gather_weighted};
 use crate::pagerank::{DanglingPolicy, PageRankConfig, PageRankResult};
 use crate::pool::{PadCell, SharedMut, WorkerPool};
 use crate::residual::{LocalOp, LocalizedParams, ParallelPushCtx};
@@ -1488,6 +1491,7 @@ impl<'g> Engine<'g> {
             }
             let topo = PullTopo {
                 in_offsets: self.csc.in_offsets(),
+                narrow_in_offsets: self.csc.narrow_in_offsets(),
                 in_sources: self.csc.in_sources(),
                 dangling_mask: &self.dangling_mask,
                 dangling_nodes: self.csc.dangling(),
@@ -1588,6 +1592,7 @@ impl<'g> Engine<'g> {
 
         let topo = PullTopo {
             in_offsets: csc.in_offsets(),
+            narrow_in_offsets: csc.narrow_in_offsets(),
             in_sources: csc.in_sources(),
             dangling_mask,
             dangling_nodes: csc.dangling(),
@@ -1705,12 +1710,41 @@ impl<'g> Engine<'g> {
 pub(crate) struct PullTopo<'a> {
     /// CSC offsets (`n + 1` entries).
     pub in_offsets: &'a [usize],
+    /// Narrowed (`u32`) copy of the offsets when the arc count fits —
+    /// halves the index bytes streamed per row (see
+    /// `d2pr_graph::permute::narrow_offsets`). `None` keeps the wide path.
+    pub narrow_in_offsets: Option<&'a [u32]>,
     /// CSC sources, parallel to the CSC probability array.
     pub in_sources: &'a [u32],
     /// `dangling_mask[v]` ⇔ `v` has no out-arcs.
     pub dangling_mask: &'a [bool],
     /// Dangling node list (ascending).
     pub dangling_nodes: &'a [u32],
+}
+
+impl<'a> PullTopo<'a> {
+    /// In-arc span of destination `j`, read from the narrow offsets when
+    /// available (one well-predicted branch per row).
+    #[inline(always)]
+    pub(crate) fn span(&self, j: usize) -> (usize, usize) {
+        match self.narrow_in_offsets {
+            Some(o) => (o[j] as usize, o[j + 1] as usize),
+            None => (self.in_offsets[j], self.in_offsets[j + 1]),
+        }
+    }
+
+    /// Sources of row `j + 1` when it exists — the one-row prefetch
+    /// lookahead of the pull kernel (`prefetch` feature).
+    #[cfg(feature = "prefetch")]
+    #[inline(always)]
+    fn next_row(&self, j: usize) -> &'a [u32] {
+        if j + 2 < self.in_offsets.len() {
+            let (s, e) = self.span(j + 1);
+            &self.in_sources[s..e]
+        } else {
+            &[]
+        }
+    }
 }
 
 pub(crate) fn mass_at(nodes: &[u32], values: &[f64]) -> f64 {
@@ -1831,59 +1865,6 @@ struct RangeOut {
     dot_oo: f64,
 }
 
-/// Gather `Σ_k values[srcs[k]]·weights[k]` (arc form) with four independent
-/// accumulators: the add-latency chain otherwise serializes this — the
-/// hottest loop in the whole engine — and the compiler cannot break it
-/// because FP addition is not associative.
-#[inline]
-fn gather_weighted(srcs: &[u32], weights: &[f64], values: &[f64]) -> f64 {
-    let (mut a0, mut a1, mut a2, mut a3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
-    let head = srcs.len() - srcs.len() % 4;
-    let mut k = 0;
-    while k < head {
-        // SAFETY: `k + 3 < srcs.len() == weights.len()`, and source entries
-        // index nodes of the graph `values` was sized for — both come from
-        // a validated CSC build. Bounds checks defeat the pipelining here.
-        unsafe {
-            a0 += weights.get_unchecked(k) * values.get_unchecked(*srcs.get_unchecked(k) as usize);
-            a1 += weights.get_unchecked(k + 1)
-                * values.get_unchecked(*srcs.get_unchecked(k + 1) as usize);
-            a2 += weights.get_unchecked(k + 2)
-                * values.get_unchecked(*srcs.get_unchecked(k + 2) as usize);
-            a3 += weights.get_unchecked(k + 3)
-                * values.get_unchecked(*srcs.get_unchecked(k + 3) as usize);
-        }
-        k += 4;
-    }
-    for i in head..srcs.len() {
-        a0 += weights[i] * values[srcs[i] as usize];
-    }
-    (a0 + a1) + (a2 + a3)
-}
-
-/// Gather `Σ_k values[srcs[k]]` (factored form: the per-arc weight has been
-/// folded into `values`). Same unrolling rationale as [`gather_weighted`].
-#[inline]
-fn gather_plain(srcs: &[u32], values: &[f64]) -> f64 {
-    let (mut a0, mut a1, mut a2, mut a3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
-    let head = srcs.len() - srcs.len() % 4;
-    let mut k = 0;
-    while k < head {
-        // SAFETY: as in `gather_weighted`.
-        unsafe {
-            a0 += values.get_unchecked(*srcs.get_unchecked(k) as usize);
-            a1 += values.get_unchecked(*srcs.get_unchecked(k + 1) as usize);
-            a2 += values.get_unchecked(*srcs.get_unchecked(k + 2) as usize);
-            a3 += values.get_unchecked(*srcs.get_unchecked(k + 3) as usize);
-        }
-        k += 4;
-    }
-    for i in head..srcs.len() {
-        a0 += values[srcs[i] as usize];
-    }
-    (a0 + a1) + (a2 + a3)
-}
-
 /// The pull kernel over one destination range: `next[j] = (1−α)·t_j +
 /// policy-term + α·Σ_{i→j} T[j,i]·rank[i]`. `next` (and, in factored mode,
 /// `scaled_next`) are the sub-slices for `range` only — disjoint between
@@ -1934,6 +1915,14 @@ fn pull_range(
     let self_loop = params.policy == DanglingPolicy::SelfLoop;
     let mut out = RangeOut::default();
     let base_start = range.start;
+    // The gather's read target: prefetching the *next* row against it
+    // overlaps DRAM latency with the current row's compute (opt-in — see
+    // the `prefetch` feature).
+    #[cfg(feature = "prefetch")]
+    let gather_vals = match op {
+        EngineOp::Arc(_) => rank,
+        EngineOp::Factored { .. } => scaled_rank,
+    };
     for j in range {
         let tj = teleport.map_or(params.uniform, |t| t[j]);
         let is_dangling = topo.dangling_mask[j];
@@ -1941,8 +1930,10 @@ fn pull_range(
         if self_loop && is_dangling {
             base += alpha * rank[j];
         }
-        let (s, e) = (topo.in_offsets[j], topo.in_offsets[j + 1]);
+        let (s, e) = topo.span(j);
         let srcs = &topo.in_sources[s..e];
+        #[cfg(feature = "prefetch")]
+        prefetch_gather(topo.next_row(j), gather_vals);
         let val = match op {
             EngineOp::Arc(in_probs) => base + alpha * gather_weighted(srcs, &in_probs[s..e], rank),
             EngineOp::Factored { numer, inv_denom } => {
@@ -1986,9 +1977,16 @@ fn pull_range_plain(
 ) -> RangeOut {
     let mut out = RangeOut::default();
     let base_start = range.start;
+    #[cfg(feature = "prefetch")]
+    let gather_vals = match op {
+        EngineOp::Arc(_) => rank,
+        EngineOp::Factored { .. } => scaled_rank,
+    };
     for j in range {
-        let (s, e) = (topo.in_offsets[j], topo.in_offsets[j + 1]);
+        let (s, e) = topo.span(j);
         let srcs = &topo.in_sources[s..e];
+        #[cfg(feature = "prefetch")]
+        prefetch_gather(topo.next_row(j), gather_vals);
         let val = match op {
             EngineOp::Arc(in_probs) => base + alpha * gather_weighted(srcs, &in_probs[s..e], rank),
             EngineOp::Factored { numer, inv_denom } => {

@@ -32,6 +32,7 @@
 //! residual-localized solver ([`crate::residual`]) on tiny graphs.
 
 use crate::error::SolverError;
+use crate::kernel::gather_weighted;
 use crate::pagerank::{DanglingPolicy, PageRankConfig, PageRankResult};
 use crate::parallel::TransposedMatrix;
 use crate::transition::{TransitionMatrix, TransitionModel};
@@ -168,9 +169,11 @@ fn gs_linear(
         let mut dangle_cursor = 0usize;
         for j in 0..n {
             let mut acc = coef * tele(t, uniform, j);
-            for (src, prob) in transpose.in_arcs(j as u32) {
-                acc += alpha * prob * rank[src as usize];
-            }
+            // Blocked gather over the live iterate: each j's pull completes
+            // before rank[j] is overwritten, so reading the in-place buffer
+            // keeps exact Gauss–Seidel semantics.
+            let (srcs, probs) = transpose.in_slices(j as u32);
+            acc += alpha * gather_weighted(srcs, probs, rank);
             // `dangling` is ascending and `j` sweeps ascending: one cursor
             // tells whether `j` is dangling without per-node searches.
             let is_dangling = match dangling.get(dangle_cursor) {
@@ -237,9 +240,8 @@ fn gs_renormalize(
             let mut delta = 0.0;
             for j in 0..n {
                 let mut acc = b_eff * tele(t, uniform, j);
-                for (src, prob) in transpose.in_arcs(j as u32) {
-                    acc += a_eff * prob * rank[src as usize];
-                }
+                let (srcs, probs) = transpose.in_slices(j as u32);
+                acc += a_eff * gather_weighted(srcs, probs, rank);
                 delta += (acc - rank[j]).abs();
                 rank[j] = acc;
             }

@@ -15,6 +15,116 @@
 //! shared factor `e^(−m)` cancels in the normalization) but finite for every
 //! `p ∈ R`.
 
+/// Accumulator lanes of the blocked gather loops below. Four independent
+/// f64 accumulators break the serial dependency chain of a naive `sum +=`
+/// loop so the compiler can keep 4 gather+FMA streams in flight (and, with
+/// the fixed-width `[_; GATHER_LANES]` blocks, auto-vectorize the weight
+/// multiply). See DESIGN.md "Memory layout & kernel" for the inspection
+/// notes.
+pub(crate) const GATHER_LANES: usize = 4;
+
+/// How many of a row's source indices to prefetch ahead of the gather.
+/// Rows average ~10 arcs on the bench graphs; prefetching the head of the
+/// *next* row while the current row computes hides most of the DRAM
+/// latency without flooding the load queue.
+const PREFETCH_ROW_CAP: usize = 24;
+
+/// Smallest gather target (in nodes) for which next-row prefetching is
+/// issued. Below this the rank vector (`8n` bytes — 512 KiB at the
+/// threshold) sits in L1/L2, every prefetch hits cache, and walking each
+/// row's sources twice is pure overhead — measured ~2× slower on a
+/// 3k-node cache-resident graph. The comparison is against a
+/// loop-invariant slice length, so the pull loops hoist it.
+const PREFETCH_MIN_NODES: usize = 1 << 16;
+
+/// Issue software prefetches for `values[src]` of up to
+/// [`PREFETCH_ROW_CAP`] sources — but only when `values` is large enough
+/// ([`PREFETCH_MIN_NODES`]) that gathers plausibly miss L2. Callers pass
+/// the *next* row's sources while gathering the current row. Compiles to
+/// nothing off x86_64.
+///
+/// The pull-kernel call sites are behind the off-by-default `prefetch`
+/// cargo feature: on the bench hosts the rank vector stays cache/L3
+/// resident and the double source-list walk measured strictly slower at
+/// both 3k and 100k nodes (DESIGN.md "Memory layout & kernel").
+///
+/// Every `src` must index into `values` (the CSC construction invariant);
+/// the pointer arithmetic below relies on it.
+#[cfg_attr(not(feature = "prefetch"), allow(dead_code))]
+#[inline(always)]
+pub(crate) fn prefetch_gather(srcs: &[u32], values: &[f64]) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if values.len() < PREFETCH_MIN_NODES {
+            return;
+        }
+        use core::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+        let base = values.as_ptr();
+        for &src in srcs.iter().take(PREFETCH_ROW_CAP) {
+            // SAFETY: src < values.len() (CSC sources index the rank
+            // vector), so the pointer stays in bounds; _mm_prefetch is a
+            // hint with no memory effects.
+            unsafe { _mm_prefetch(base.add(src as usize).cast::<i8>(), _MM_HINT_T0) };
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = (srcs, values);
+    }
+}
+
+/// Blocked gather-sum `Σ values[srcs[k]]` — the inner loop of the factored
+/// pull kernel (per-arc weights pre-folded into `values`).
+///
+/// The loop body works on fixed-width `[u32; GATHER_LANES]` blocks via
+/// `chunks_exact`, so the only bounds checks left are the gather reads
+/// themselves, elided with `get_unchecked` under the CSC invariant
+/// (`src < values.len()`). Four independent accumulator lanes keep the
+/// loads pipelined; the pairwise combine at the end is order-stable.
+#[inline]
+pub(crate) fn gather_plain(srcs: &[u32], values: &[f64]) -> f64 {
+    let mut acc = [0.0f64; GATHER_LANES];
+    let mut blocks = srcs.chunks_exact(GATHER_LANES);
+    for blk in blocks.by_ref() {
+        let b: &[u32; GATHER_LANES] = blk.try_into().expect("chunks_exact width");
+        for (lane, &src) in acc.iter_mut().zip(b) {
+            // SAFETY: every CSC source id is < num_nodes == values.len().
+            *lane += unsafe { *values.get_unchecked(src as usize) };
+        }
+    }
+    let mut tail = 0.0;
+    for &src in blocks.remainder() {
+        tail += values[src as usize];
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+}
+
+/// Blocked weighted gather `Σ weights[k] · values[srcs[k]]` — the inner
+/// loop of the arc-mode pull kernel. Same blocked shape as
+/// [`gather_plain`]; `weights` parallels `srcs` (both are slices of one
+/// CSC span), so the lanes multiply from a bounds-check-free fixed-width
+/// block on each side.
+#[inline]
+pub(crate) fn gather_weighted(srcs: &[u32], weights: &[f64], values: &[f64]) -> f64 {
+    debug_assert_eq!(srcs.len(), weights.len());
+    let mut acc = [0.0f64; GATHER_LANES];
+    let mut sb = srcs.chunks_exact(GATHER_LANES);
+    let mut wb = weights.chunks_exact(GATHER_LANES);
+    for (s, w) in sb.by_ref().zip(wb.by_ref()) {
+        let s: &[u32; GATHER_LANES] = s.try_into().expect("chunks_exact width");
+        let w: &[f64; GATHER_LANES] = w.try_into().expect("chunks_exact width");
+        for lane in 0..GATHER_LANES {
+            // SAFETY: every CSC source id is < num_nodes == values.len().
+            acc[lane] += w[lane] * unsafe { *values.get_unchecked(s[lane] as usize) };
+        }
+    }
+    let mut tail = 0.0;
+    for (&src, &w) in sb.remainder().iter().zip(wb.remainder()) {
+        tail += w * values[src as usize];
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+}
+
 /// Evaluates `x^(−p)` ratios within a neighborhood, in log space.
 ///
 /// Degree-0 destinations (possible in directed graphs: a sink that is some
@@ -200,6 +310,39 @@ mod tests {
     #[should_panic(expected = "finite")]
     fn nan_p_rejected() {
         DegreeKernel::new(f64::NAN);
+    }
+
+    #[test]
+    fn blocked_gathers_match_naive_at_every_block_remainder() {
+        // Cover all chunks_exact remainders (0..GATHER_LANES) and longer rows.
+        let values: Vec<f64> = (0..64).map(|i| (i as f64 * 0.37).sin() + 2.0).collect();
+        for len in 0..=19usize {
+            let srcs: Vec<u32> = (0..len).map(|k| ((k * 13 + 7) % 64) as u32).collect();
+            let weights: Vec<f64> = (0..len).map(|k| 0.25 + (k as f64) * 0.125).collect();
+            let naive_plain: f64 = srcs.iter().map(|&s| values[s as usize]).sum();
+            let naive_weighted: f64 = srcs
+                .iter()
+                .zip(&weights)
+                .map(|(&s, &w)| w * values[s as usize])
+                .sum();
+            let p = gather_plain(&srcs, &values);
+            let w = gather_weighted(&srcs, &weights, &values);
+            assert!(
+                (p - naive_plain).abs() < 1e-12,
+                "len {len}: {p} vs {naive_plain}"
+            );
+            assert!(
+                (w - naive_weighted).abs() < 1e-12,
+                "len {len}: {w} vs {naive_weighted}"
+            );
+            // Prefetch is a pure hint; just exercise the below-threshold
+            // (early-return) arm.
+            prefetch_gather(&srcs, &values);
+        }
+        // And the above-threshold arm: a target big enough to clear
+        // PREFETCH_MIN_NODES so the actual prefetch instructions run.
+        let big = vec![1.0f64; PREFETCH_MIN_NODES];
+        prefetch_gather(&[0, 7, (PREFETCH_MIN_NODES - 1) as u32], &big);
     }
 
     #[test]

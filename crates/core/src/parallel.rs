@@ -108,12 +108,18 @@ impl TransposedMatrix {
 
     /// Incoming transitions of node `v` as `(source, probability)` pairs.
     pub fn in_arcs(&self, v: u32) -> impl Iterator<Item = (u32, f64)> + '_ {
+        let (srcs, probs) = self.in_slices(v);
+        srcs.iter().copied().zip(probs.iter().copied())
+    }
+
+    /// Incoming transitions of node `v` as parallel `(sources,
+    /// probabilities)` slices — the blocked-gather form of
+    /// [`TransposedMatrix::in_arcs`] (see `crate::kernel`).
+    #[inline]
+    pub fn in_slices(&self, v: u32) -> (&[u32], &[f64]) {
         let s = self.csc.in_offsets()[v as usize];
         let e = self.csc.in_offsets()[v as usize + 1];
-        self.csc.in_sources()[s..e]
-            .iter()
-            .copied()
-            .zip(self.in_probs[s..e].iter().copied())
+        (&self.csc.in_sources()[s..e], &self.in_probs[s..e])
     }
 
     /// Nodes with no out-arcs (dangling), as discovered at build time.
@@ -124,6 +130,7 @@ impl TransposedMatrix {
     fn topo(&self) -> PullTopo<'_> {
         PullTopo {
             in_offsets: self.csc.in_offsets(),
+            narrow_in_offsets: self.csc.narrow_in_offsets(),
             in_sources: self.csc.in_sources(),
             dangling_mask: &self.dangling_mask,
             dangling_nodes: self.csc.dangling(),

@@ -63,6 +63,7 @@
 //! [`Workspace`](crate::workspace::Workspace): once sized for a graph,
 //! steady-state serving performs zero allocations here.
 
+use crate::kernel::gather_weighted;
 use crate::pagerank::DanglingPolicy;
 use crate::pool::{PadCell, SharedMut, WorkerPool};
 use crate::workspace::ResidualScratch;
@@ -370,10 +371,7 @@ pub(crate) fn solve_localized(
                 }
                 let (cs, ce) = (in_offsets[ju], in_offsets[ju + 1]);
                 stats.work += ce - cs;
-                let mut pull = 0.0;
-                for (k, &src) in in_sources[cs..ce].iter().enumerate() {
-                    pull += in_probs[cs + k] * rank[src as usize];
-                }
+                let pull = gather_weighted(&in_sources[cs..ce], &in_probs[cs..ce], rank);
                 residual[ju] = base + alpha * pull - rank[ju];
             }
         }

@@ -68,9 +68,11 @@ use crate::engine::{Engine, EngineState, ResolveMode};
 use crate::error::UpdateError;
 use crate::pagerank::PageRankConfig;
 use crate::transition::TransitionModel;
+use crate::workspace::PermuteScratch;
 use d2pr_graph::csr::CsrGraph;
 use d2pr_graph::delta::{DeltaGraph, EdgeBatch};
 use d2pr_graph::error::GraphError;
+use d2pr_graph::permute::{Layout, NodePermutation};
 use d2pr_graph::transpose::CscStructure;
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering::SeqCst};
@@ -425,7 +427,15 @@ pub struct ServingEngine {
     state: Option<EngineState>,
     core: Arc<PublishCore>,
     model: TransitionModel,
+    /// Internal (solver) order when `perm` is set, external otherwise —
+    /// the two coincide for the baseline layout.
     teleport: Option<Vec<f64>>,
+    /// Node permutation of a non-baseline [`Layout`]: the solver stack
+    /// runs on the permuted graph while the published buffers (and every
+    /// reader-visible id) stay in the caller's original order.
+    perm: Option<Arc<NodePermutation>>,
+    /// Internal-order score buffers for the permuted refresh path.
+    scratch: PermuteScratch,
 }
 
 impl std::fmt::Debug for ServingEngine {
@@ -500,6 +510,83 @@ impl ServingEngine {
             core: Arc::new(PublishCore::new(initial.scores)),
             model,
             teleport: teleport.map(<[f64]>::to_vec),
+            perm: None,
+            scratch: PermuteScratch::default(),
+        })
+    }
+
+    /// Serve `graph` under a cache-aware memory [`Layout`]: the graph is
+    /// permuted **once** at construction and the whole solver stack runs
+    /// on the permuted copy, while the published buffers stay in the
+    /// caller's original node order — [`ScoreReader::get`] /
+    /// [`ScoreReader::top_k`], `teleport`, and every [`EdgeBatch`] keep
+    /// using the ids the caller already holds. The translation is `O(1)`
+    /// per queried node and `O(batch)` per ingest; score vectors cross the
+    /// boundary once per refresh.
+    ///
+    /// [`Layout::Baseline`] is byte-for-byte the [`ServingEngine::new`]
+    /// path (no permutation, zero-copy publish swap preserved).
+    ///
+    /// # Errors
+    /// As [`ServingEngine::with_parts`].
+    pub fn with_layout(
+        graph: CsrGraph,
+        layout: Layout,
+        teleport: Option<&[f64]>,
+        model: TransitionModel,
+        config: PageRankConfig,
+        threads: usize,
+    ) -> Result<Self, UpdateError> {
+        if matches!(layout, Layout::Baseline) {
+            return Self::with_parts(graph, None, teleport, model, config, threads);
+        }
+        if graph.is_weighted() {
+            return Err(UpdateError::WeightMismatch {
+                operation: "ServingEngine::new",
+            });
+        }
+        let (internal, csc) =
+            CscStructure::with_layout(&graph, layout).map_err(UpdateError::Graph)?;
+        let perm = csc.permutation().cloned();
+        // Teleport moves to internal order up front (refreshes reuse it
+        // every round). A wrong-length vector passes through untranslated
+        // so the solver reports the usual typed validation error.
+        let teleport = teleport.map(|t| match &perm {
+            Some(p) if t.len() == p.len() => {
+                let mut buf = Vec::new();
+                p.permute_values(t, &mut buf);
+                buf
+            }
+            _ => t.to_vec(),
+        });
+        let dg = DeltaGraph::new(internal)?;
+        let snapshot = dg.snapshot();
+        let mut engine = Engine::with_structure(&snapshot, Arc::new(csc), threads)
+            .map_err(UpdateError::Solver)?
+            .with_config(config)
+            .map_err(UpdateError::Solver)?;
+        engine.set_model(model).map_err(UpdateError::Solver)?;
+        let initial = engine
+            .solve_with_teleport(teleport.as_deref())
+            .map_err(UpdateError::Solver)?;
+        let state = engine.into_state();
+        // Published generation 0 is external order.
+        let scores = match &perm {
+            Some(p) => {
+                let mut ext = Vec::new();
+                p.unpermute_values(&initial.scores, &mut ext);
+                ext
+            }
+            None => initial.scores,
+        };
+        Ok(Self {
+            dg,
+            state: Some(state),
+            core: Arc::new(PublishCore::new(scores)),
+            model,
+            teleport,
+            perm,
+            scratch: PermuteScratch::default(),
         })
     }
 
@@ -531,8 +618,17 @@ impl ServingEngine {
     }
 
     /// The evolving graph behind this engine (inspect arcs, sample churn).
+    /// Under a non-baseline [`Layout`] this is the solver's **permuted**
+    /// copy — translate ids via [`ServingEngine::permutation`].
     pub fn delta_graph(&self) -> &DeltaGraph {
         &self.dg
+    }
+
+    /// The node permutation of a non-baseline [`Layout`] (`None` for
+    /// engines built without one — reader-visible ids then coincide with
+    /// solver ids).
+    pub fn permutation(&self) -> Option<&Arc<NodePermutation>> {
+        self.perm.as_ref()
     }
 
     /// The served transition model.
@@ -591,6 +687,17 @@ impl ServingEngine {
         if self.state.is_none() {
             return Err(poisoned());
         }
+        // A non-baseline layout translates the caller's external-id batch
+        // into the solver's internal order (out-of-range endpoints pass
+        // through so validation errors cite the caller's ids).
+        let translated;
+        let batch = match &self.perm {
+            Some(p) => {
+                translated = batch.permuted(p);
+                &translated
+            }
+            None => batch,
+        };
         // Validated atomically before any state changes: a bad batch
         // cannot poison the engine.
         let applied = self.dg.apply_batch(batch)?;
@@ -612,12 +719,30 @@ impl ServingEngine {
         // stays front — reading it as the warm start while writing the
         // back slot touches disjoint buffers.
         let (previous, out) = unsafe { (self.core.front_scores(), self.core.back_vec(back)) };
-        let inc = engine.resolve_incremental_into(
-            previous,
-            self.teleport.as_deref(),
-            &applied.delta,
-            out,
-        )?;
+        let inc = match &self.perm {
+            // Baseline layout: unchanged zero-copy path — the solver's
+            // iterate is swapped straight into the publish buffer.
+            None => engine.resolve_incremental_into(
+                previous,
+                self.teleport.as_deref(),
+                &applied.delta,
+                out,
+            )?,
+            // Permuted layout: warm-start and solve in internal order,
+            // then scatter back to external order for publication. Two
+            // O(n) passes per refresh; the scratch buffers are reused.
+            Some(p) => {
+                p.permute_values(previous, &mut self.scratch.internal_prev);
+                let inc = engine.resolve_incremental_into(
+                    &self.scratch.internal_prev,
+                    self.teleport.as_deref(),
+                    &applied.delta,
+                    &mut self.scratch.internal_next,
+                )?;
+                p.unpermute_values(&self.scratch.internal_next, out);
+                inc
+            }
+        };
         let generation = self.core.publish(back);
         let state = engine.into_state();
         let structure = state.shared_structure();

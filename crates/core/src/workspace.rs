@@ -77,6 +77,21 @@ impl ResidualScratch {
     }
 }
 
+/// Scratch for translating serving-layer score vectors across a node
+/// permutation ([`crate::serving::ServingEngine`] built with a non-baseline
+/// [`d2pr_graph::permute::Layout`]): the previous published scores permuted
+/// into internal order, and the freshly solved internal-order scores before
+/// they are scattered back into the external-order publish buffer. The
+/// buffers keep their capacity across refreshes, so steady-state serving
+/// allocates nothing here.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct PermuteScratch {
+    /// Previous scores in internal (permuted) order — warm-start input.
+    pub(crate) internal_prev: Vec<f64>,
+    /// New scores in internal order — solver output before unpermute.
+    pub(crate) internal_next: Vec<f64>,
+}
+
 /// Reusable rank/next/teleport buffers shared by all solvers.
 ///
 /// A workspace may be moved freely between graphs and solvers; buffers are

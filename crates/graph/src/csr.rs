@@ -237,6 +237,18 @@ impl CsrGraph {
         }
     }
 
+    /// Relabel the graph under a node permutation (see
+    /// [`crate::permute::NodePermutation::permute_graph`]): node `v`
+    /// becomes `perm.to_internal(v)`, adjacency re-sorted, weights
+    /// following their arcs.
+    ///
+    /// # Errors
+    /// Returns [`GraphError::Snapshot`] when the permutation does not cover
+    /// this graph's node count.
+    pub fn permuted(&self, perm: &crate::permute::NodePermutation) -> Result<CsrGraph> {
+        perm.permute_graph(self)
+    }
+
     /// Strip the weights, yielding the purely structural graph.
     pub fn to_unweighted(&self) -> CsrGraph {
         CsrGraph {

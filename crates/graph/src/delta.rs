@@ -63,6 +63,32 @@ impl EdgeBatch {
         self
     }
 
+    /// Translate every endpoint through a node permutation (external →
+    /// internal ids), preserving edit order. Serving layers that run their
+    /// [`DeltaGraph`] in a cache-aware internal order (see
+    /// [`crate::permute::NodePermutation`]) translate each incoming batch
+    /// once — O(batch) — at the boundary.
+    ///
+    /// Out-of-range endpoints are passed through untranslated so the
+    /// receiving [`DeltaGraph::apply_batch`] reports them with the id the
+    /// caller actually supplied (external ids cover `0..n`, exactly the
+    /// permutation's domain, so any in-range id translates).
+    pub fn permuted(&self, perm: &crate::permute::NodePermutation) -> EdgeBatch {
+        let map = |v: NodeId| perm.forward().get(v as usize).copied().unwrap_or(v);
+        EdgeBatch {
+            inserts: self
+                .inserts
+                .iter()
+                .map(|&(u, v)| (map(u), map(v)))
+                .collect(),
+            deletes: self
+                .deletes
+                .iter()
+                .map(|&(u, v)| (map(u), map(v)))
+                .collect(),
+        }
+    }
+
     /// Number of queued edit records.
     pub fn len(&self) -> usize {
         self.inserts.len() + self.deletes.len()
@@ -659,6 +685,28 @@ mod tests {
         // Empty delta: empty frontier.
         assert!(ArcDelta::default().touched_nodes().is_empty());
         assert!(ArcDelta::default().source_degree_changes().is_empty());
+    }
+
+    #[test]
+    fn edge_batch_translates_through_permutation() {
+        use crate::permute::NodePermutation;
+        let g = path4();
+        let p = NodePermutation::degree_descending(&g);
+        let mut batch = EdgeBatch::new();
+        batch.insert(0, 3).delete(1, 2).insert(0, 9); // 9 is out of range
+        let t = batch.permuted(&p);
+        assert_eq!(t.inserts[0], (p.to_internal(0), p.to_internal(3)));
+        assert_eq!(t.deletes[0], (p.to_internal(1), p.to_internal(2)));
+        // Out-of-range ids pass through so apply_batch names the caller's id.
+        assert_eq!(t.inserts[1], (p.to_internal(0), 9));
+        let mut dg = DeltaGraph::new(p.permute_graph(&g).unwrap()).unwrap();
+        assert_eq!(
+            dg.apply_batch(&t).unwrap_err(),
+            GraphError::NodeOutOfRange {
+                node: 9,
+                num_nodes: 4
+            }
+        );
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub mod error;
 pub mod generators;
 pub mod io;
 pub mod metrics;
+pub mod permute;
 pub mod projection;
 pub mod rewire;
 pub mod stats;
@@ -54,6 +55,7 @@ pub mod prelude {
     pub use crate::delta::{ArcDelta, BatchOutcome, DeltaGraph, EdgeBatch};
     pub use crate::error::{GraphError, Result};
     pub use crate::metrics::{average_clustering, degree_assortativity, local_clustering};
+    pub use crate::permute::{Layout, LayoutError, NodePermutation};
     pub use crate::projection::{project_left, project_right, ProjectionConfig};
     pub use crate::rewire::{degree_preserving_rewire, k_core};
     pub use crate::stats::{degree_stats, degrees, degrees_f64, DegreeStats};

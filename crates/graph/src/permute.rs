@@ -1,0 +1,514 @@
+//! Cache-aware node orderings for the pull kernel.
+//!
+//! The pull-based PageRank kernel is gather-bound: for every destination it
+//! reads `rank[src]` for each in-neighbor `src`, and on a power-law graph in
+//! arbitrary node order those reads scatter across the whole rank vector,
+//! wasting a cache line per touched score. A [`NodePermutation`] relabels the
+//! nodes once, at [`CscStructure`] build time, so that the hot sources land
+//! close together:
+//!
+//! * [`Layout::DegreeDescending`] — nodes sorted by total degree, hubs
+//!   first. The handful of hubs that appear in almost every in-neighbor
+//!   list share a few cache lines at the front of the rank vector, so the
+//!   gather hits L1/L2 for the bulk of its reads.
+//! * [`Layout::ReverseCuthillMcKee`] — the classic bandwidth-reducing
+//!   ordering (BFS from a peripheral low-degree node, neighbors in
+//!   ascending-degree order, sequence reversed). Sources of one
+//!   destination's in-list end up numerically close, so consecutive gather
+//!   reads fall in nearby cache lines.
+//!
+//! The permutation is an internal detail of the engine stack: external node
+//! ids never change. Serving-layer callers translate at the boundary —
+//! O(1) per score lookup, O(batch) per edge delta — via the forward/inverse
+//! maps exposed here (see `ServingEngine` in `d2pr-core`).
+//!
+//! This module also hosts the **index-narrowing** rule
+//! ([`narrow_offsets`]): CSC offsets fit `u32` whenever the arc count does,
+//! roughly halving the index bytes the kernel streams per row. The typed
+//! [`LayoutError::IndexOverflow`] keeps huge graphs on the wide (`usize`)
+//! path instead of truncating.
+//!
+//! [`CscStructure`]: crate::transpose::CscStructure
+
+use crate::csr::{CsrGraph, NodeId};
+use crate::error::{GraphError, Result};
+use std::fmt;
+
+/// Node-ordering strategy applied when building a
+/// [`CscStructure`](crate::transpose::CscStructure) via
+/// [`with_layout`](crate::transpose::CscStructure::with_layout).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Layout {
+    /// Keep the graph's native node order (no permutation).
+    #[default]
+    Baseline,
+    /// Sort nodes by total degree, descending — hot hubs share cache lines
+    /// at the front of the rank vector.
+    DegreeDescending,
+    /// Reverse Cuthill–McKee — bandwidth reduction, so each destination's
+    /// in-neighbor ids cluster numerically.
+    ReverseCuthillMcKee,
+}
+
+impl Layout {
+    /// All layouts, in bench-axis order.
+    pub const ALL: [Layout; 3] = [
+        Layout::Baseline,
+        Layout::DegreeDescending,
+        Layout::ReverseCuthillMcKee,
+    ];
+
+    /// Short stable name used as a bench-axis key.
+    pub fn name(self) -> &'static str {
+        match self {
+            Layout::Baseline => "baseline",
+            Layout::DegreeDescending => "degree",
+            Layout::ReverseCuthillMcKee => "rcm",
+        }
+    }
+}
+
+/// Errors from the layout / index-narrowing subsystem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LayoutError {
+    /// The structure's arc count does not fit the narrow (`u32`) index
+    /// type; callers must stay on the wide (`usize`) path.
+    IndexOverflow {
+        /// Number of arcs that overflowed the narrow index.
+        arcs: usize,
+    },
+}
+
+impl fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayoutError::IndexOverflow { arcs } => {
+                write!(f, "{arcs} arcs exceed the u32 narrow-index space")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LayoutError {}
+
+/// Narrow a CSC/CSR offsets array (`usize`, length `n + 1`, non-decreasing)
+/// to `u32`.
+///
+/// The offsets index the arc array, so they fit exactly when the arc count
+/// (the last offset) does.
+///
+/// # Errors
+/// Returns [`LayoutError::IndexOverflow`] when the arc count exceeds
+/// `u32::MAX` — the caller keeps using the wide offsets instead of
+/// truncating.
+pub fn narrow_offsets(offsets: &[usize]) -> std::result::Result<Vec<u32>, LayoutError> {
+    let arcs = offsets.last().copied().unwrap_or(0);
+    if arcs > u32::MAX as usize {
+        return Err(LayoutError::IndexOverflow { arcs });
+    }
+    Ok(offsets.iter().map(|&o| o as u32).collect())
+}
+
+/// A bijective node relabeling: `forward[external] = internal` and
+/// `inverse[internal] = external`.
+///
+/// "External" ids are the caller-visible ids of the original graph;
+/// "internal" ids are the cache-optimized order the engine computes in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodePermutation {
+    forward: Vec<NodeId>,
+    inverse: Vec<NodeId>,
+}
+
+impl NodePermutation {
+    /// Build from an ordering: `order[i]` is the external node placed at
+    /// internal position `i`. `order` must be a permutation of `0..n`.
+    fn from_order(order: Vec<NodeId>) -> Self {
+        let mut forward = vec![0 as NodeId; order.len()];
+        for (i, &v) in order.iter().enumerate() {
+            forward[v as usize] = i as NodeId;
+        }
+        Self {
+            forward,
+            inverse: order,
+        }
+    }
+
+    /// Compute the permutation for `layout` over `graph`. Returns `None`
+    /// for [`Layout::Baseline`] (identity — callers skip all translation).
+    pub fn for_layout(graph: &CsrGraph, layout: Layout) -> Option<Self> {
+        match layout {
+            Layout::Baseline => None,
+            Layout::DegreeDescending => Some(Self::degree_descending(graph)),
+            Layout::ReverseCuthillMcKee => Some(Self::reverse_cuthill_mckee(graph)),
+        }
+    }
+
+    /// Nodes sorted by total degree (in + out), descending; ties break by
+    /// ascending id so the ordering is deterministic.
+    pub fn degree_descending(graph: &CsrGraph) -> Self {
+        let n = graph.num_nodes();
+        let mut order: Vec<NodeId> = (0..n as u32).collect();
+        order.sort_unstable_by_key(|&v| {
+            let deg = graph.out_degree(v) as u64 + graph.in_degree(v) as u64;
+            (std::cmp::Reverse(deg), v)
+        });
+        Self::from_order(order)
+    }
+
+    /// Reverse Cuthill–McKee over the symmetrized adjacency (arcs taken as
+    /// undirected): BFS from the lowest-degree unvisited node of each
+    /// component, enqueuing neighbors in ascending-degree order, with the
+    /// final sequence reversed.
+    pub fn reverse_cuthill_mckee(graph: &CsrGraph) -> Self {
+        let n = graph.num_nodes();
+        let (adj_off, adj) = symmetrized_adjacency(graph);
+        let deg = |v: usize| adj_off[v + 1] - adj_off[v];
+
+        let mut starts: Vec<NodeId> = (0..n as u32).collect();
+        starts.sort_unstable_by_key(|&v| (deg(v as usize), v));
+
+        let mut visited = vec![false; n];
+        let mut order: Vec<NodeId> = Vec::with_capacity(n);
+        let mut frontier: Vec<NodeId> = Vec::new();
+        for &start in &starts {
+            if visited[start as usize] {
+                continue;
+            }
+            visited[start as usize] = true;
+            let mut head = order.len();
+            order.push(start);
+            while head < order.len() {
+                let v = order[head] as usize;
+                head += 1;
+                frontier.clear();
+                for &w in &adj[adj_off[v]..adj_off[v + 1]] {
+                    if !visited[w as usize] {
+                        visited[w as usize] = true;
+                        frontier.push(w);
+                    }
+                }
+                frontier.sort_unstable_by_key(|&w| (deg(w as usize), w));
+                order.extend_from_slice(&frontier);
+            }
+        }
+        order.reverse();
+        Self::from_order(order)
+    }
+
+    /// Number of nodes covered.
+    pub fn len(&self) -> usize {
+        self.forward.len()
+    }
+
+    /// `true` for the zero-node permutation.
+    pub fn is_empty(&self) -> bool {
+        self.forward.is_empty()
+    }
+
+    /// The external → internal map.
+    pub fn forward(&self) -> &[NodeId] {
+        &self.forward
+    }
+
+    /// The internal → external map.
+    pub fn inverse(&self) -> &[NodeId] {
+        &self.inverse
+    }
+
+    /// Internal id of external node `v`.
+    ///
+    /// # Panics
+    /// Panics when `v` is out of range.
+    #[inline]
+    pub fn to_internal(&self, v: NodeId) -> NodeId {
+        self.forward[v as usize]
+    }
+
+    /// External id of internal node `v`.
+    ///
+    /// # Panics
+    /// Panics when `v` is out of range.
+    #[inline]
+    pub fn to_external(&self, v: NodeId) -> NodeId {
+        self.inverse[v as usize]
+    }
+
+    /// Relabel `graph` into internal order: node `v` becomes
+    /// `to_internal(v)`, with each adjacency re-sorted ascending (weights
+    /// follow their arcs).
+    ///
+    /// # Errors
+    /// Returns [`GraphError::Snapshot`] when the permutation does not cover
+    /// `graph`'s node count.
+    pub fn permute_graph(&self, graph: &CsrGraph) -> Result<CsrGraph> {
+        let n = graph.num_nodes();
+        if self.len() != n {
+            return Err(GraphError::Snapshot(format!(
+                "permutation covers {} nodes but the graph has {n}",
+                self.len()
+            )));
+        }
+        let (offsets, targets, weights) = graph.parts();
+        let mut new_offsets = Vec::with_capacity(n + 1);
+        new_offsets.push(0usize);
+        let mut new_targets: Vec<NodeId> = Vec::with_capacity(graph.num_arcs());
+        let mut new_weights: Option<Vec<f64>> =
+            weights.map(|_| Vec::with_capacity(graph.num_arcs()));
+        let mut row: Vec<(NodeId, f64)> = Vec::new();
+        for i in 0..n {
+            let v = self.inverse[i] as usize;
+            row.clear();
+            for k in offsets[v]..offsets[v + 1] {
+                let w = weights.map_or(1.0, |w| w[k]);
+                row.push((self.forward[targets[k] as usize], w));
+            }
+            row.sort_unstable_by_key(|&(t, _)| t);
+            for &(t, w) in &row {
+                new_targets.push(t);
+                if let Some(nw) = new_weights.as_mut() {
+                    nw.push(w);
+                }
+            }
+            new_offsets.push(new_targets.len());
+        }
+        CsrGraph::from_csr(graph.direction(), new_offsets, new_targets, new_weights)
+    }
+
+    /// Reorder an external-order per-node value array into internal order:
+    /// `out[to_internal(v)] = external[v]`.
+    ///
+    /// # Panics
+    /// Panics when `external`'s length differs from the node count.
+    pub fn permute_values(&self, external: &[f64], out: &mut Vec<f64>) {
+        assert_eq!(
+            external.len(),
+            self.len(),
+            "value array must cover all nodes"
+        );
+        out.clear();
+        out.resize(self.len(), 0.0);
+        for (v, &x) in external.iter().enumerate() {
+            out[self.forward[v] as usize] = x;
+        }
+    }
+
+    /// Reorder an internal-order per-node value array back into external
+    /// order: `out[v] = internal[to_internal(v)]`.
+    ///
+    /// # Panics
+    /// Panics when `internal`'s length differs from the node count.
+    pub fn unpermute_values(&self, internal: &[f64], out: &mut Vec<f64>) {
+        assert_eq!(
+            internal.len(),
+            self.len(),
+            "value array must cover all nodes"
+        );
+        out.clear();
+        out.extend(self.forward.iter().map(|&i| internal[i as usize]));
+    }
+}
+
+/// Symmetrized adjacency of `graph` (every arc contributes both directions),
+/// as `(offsets, neighbors)`. Duplicate entries (an undirected graph already
+/// stores both directions) are harmless to the BFS consumers here.
+fn symmetrized_adjacency(graph: &CsrGraph) -> (Vec<usize>, Vec<NodeId>) {
+    let n = graph.num_nodes();
+    let (offsets, targets, _) = graph.parts();
+    let mut adj_off = Vec::with_capacity(n + 1);
+    adj_off.push(0usize);
+    let mut acc = 0usize;
+    for v in 0..n {
+        acc += (offsets[v + 1] - offsets[v]) + graph.in_degree(v as NodeId) as usize;
+        adj_off.push(acc);
+    }
+    let mut cursor: Vec<usize> = adj_off[..n].to_vec();
+    let mut adj = vec![0 as NodeId; acc];
+    for v in 0..n {
+        for &t in &targets[offsets[v]..offsets[v + 1]] {
+            adj[cursor[v]] = t;
+            cursor[v] += 1;
+            adj[cursor[t as usize]] = v as NodeId;
+            cursor[t as usize] += 1;
+        }
+    }
+    (adj_off, adj)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::csr::Direction;
+    use crate::generators::barabasi_albert;
+
+    fn assert_bijection(p: &NodePermutation) {
+        let n = p.len();
+        let mut seen = vec![false; n];
+        for v in 0..n as u32 {
+            let i = p.to_internal(v);
+            assert!(!seen[i as usize], "internal id {i} hit twice");
+            seen[i as usize] = true;
+            assert_eq!(p.to_external(i), v, "inverse must undo forward");
+        }
+        assert!(seen.into_iter().all(|x| x));
+    }
+
+    #[test]
+    fn degree_descending_orders_hubs_first() {
+        let g = barabasi_albert(300, 3, 7).unwrap();
+        let p = NodePermutation::degree_descending(&g);
+        assert_bijection(&p);
+        let deg = |v: u32| g.out_degree(v) as u64 + g.in_degree(v) as u64;
+        for i in 1..g.num_nodes() as u32 {
+            assert!(
+                deg(p.to_external(i - 1)) >= deg(p.to_external(i)),
+                "degree must be non-increasing in internal order"
+            );
+        }
+    }
+
+    #[test]
+    fn rcm_is_a_bijection_and_reduces_bandwidth() {
+        let g = barabasi_albert(400, 3, 13).unwrap();
+        let p = NodePermutation::reverse_cuthill_mckee(&g);
+        assert_bijection(&p);
+        // RCM must not *increase* the mean arc bandwidth on a graph like
+        // this (BA graphs in insertion order already have some locality, so
+        // assert non-degradation rather than a fixed factor).
+        let bandwidth = |id_of: &dyn Fn(u32) -> u32| -> f64 {
+            let mut total = 0.0f64;
+            for (u, v) in g.arcs() {
+                total += (id_of(u) as f64 - id_of(v) as f64).abs();
+            }
+            total / g.num_arcs() as f64
+        };
+        let before = bandwidth(&|v| v);
+        let after = bandwidth(&|v| p.to_internal(v));
+        assert!(
+            after <= before * 1.05,
+            "rcm bandwidth {after:.1} vs native {before:.1}"
+        );
+    }
+
+    #[test]
+    fn rcm_covers_disconnected_components() {
+        let mut b = GraphBuilder::new(Direction::Undirected, 7);
+        b.add_edge(0, 1);
+        b.add_edge(3, 4);
+        b.add_edge(4, 5);
+        // 2 and 6 are isolated.
+        let g = b.build().unwrap();
+        let p = NodePermutation::reverse_cuthill_mckee(&g);
+        assert_bijection(&p);
+    }
+
+    #[test]
+    fn baseline_layout_has_no_permutation() {
+        let g = barabasi_albert(50, 2, 1).unwrap();
+        assert!(NodePermutation::for_layout(&g, Layout::Baseline).is_none());
+        assert!(NodePermutation::for_layout(&g, Layout::DegreeDescending).is_some());
+        assert!(NodePermutation::for_layout(&g, Layout::ReverseCuthillMcKee).is_some());
+    }
+
+    #[test]
+    fn permute_graph_is_an_isomorphism() {
+        let g = barabasi_albert(200, 4, 5).unwrap();
+        for layout in [Layout::DegreeDescending, Layout::ReverseCuthillMcKee] {
+            let p = NodePermutation::for_layout(&g, layout).unwrap();
+            let pg = p.permute_graph(&g).unwrap();
+            assert_eq!(pg.num_nodes(), g.num_nodes());
+            assert_eq!(pg.num_arcs(), g.num_arcs());
+            // Every original arc exists under the relabeling and degrees map.
+            for (u, v) in g.arcs() {
+                assert!(pg.has_arc(p.to_internal(u), p.to_internal(v)));
+            }
+            for v in g.nodes() {
+                assert_eq!(g.out_degree(v), pg.out_degree(p.to_internal(v)));
+                assert_eq!(g.in_degree(v), pg.in_degree(p.to_internal(v)));
+            }
+        }
+    }
+
+    #[test]
+    fn permute_graph_carries_weights() {
+        let mut b = GraphBuilder::new(Direction::Directed, 3);
+        b.add_weighted_edge(0, 1, 2.5);
+        b.add_weighted_edge(0, 2, 0.5);
+        b.add_weighted_edge(2, 1, 4.0);
+        let g = b.build().unwrap();
+        let p = NodePermutation::degree_descending(&g);
+        let pg = p.permute_graph(&g).unwrap();
+        for (u, v, w) in g.weighted_arcs() {
+            let (pu, pv) = (p.to_internal(u), p.to_internal(v));
+            let ns = pg.neighbors(pu);
+            let ws = pg.neighbor_weights(pu).unwrap();
+            let k = ns.iter().position(|&t| t == pv).unwrap();
+            assert_eq!(ws[k], w, "weight must follow its arc");
+        }
+    }
+
+    #[test]
+    fn permute_graph_rejects_size_mismatch() {
+        let g = barabasi_albert(20, 2, 3).unwrap();
+        let g2 = barabasi_albert(21, 2, 3).unwrap();
+        let p = NodePermutation::degree_descending(&g);
+        assert!(matches!(p.permute_graph(&g2), Err(GraphError::Snapshot(_))));
+    }
+
+    #[test]
+    fn value_round_trip() {
+        let g = barabasi_albert(64, 3, 9).unwrap();
+        let p = NodePermutation::reverse_cuthill_mckee(&g);
+        let external: Vec<f64> = (0..64).map(|v| v as f64 * 0.25).collect();
+        let mut internal = Vec::new();
+        p.permute_values(&external, &mut internal);
+        for v in 0..64u32 {
+            assert_eq!(internal[p.to_internal(v) as usize], external[v as usize]);
+        }
+        let mut back = Vec::new();
+        p.unpermute_values(&internal, &mut back);
+        assert_eq!(back, external);
+    }
+
+    #[test]
+    fn narrow_offsets_accepts_boundary_and_rejects_overflow() {
+        // At the threshold: an arc count of exactly u32::MAX still narrows.
+        let at = vec![0usize, u32::MAX as usize];
+        let narrowed = narrow_offsets(&at).unwrap();
+        assert_eq!(narrowed, vec![0u32, u32::MAX]);
+        // One past it: the typed overflow error, not a silent truncation.
+        let over = vec![0usize, u32::MAX as usize + 1];
+        let err = narrow_offsets(&over).unwrap_err();
+        assert_eq!(
+            err,
+            LayoutError::IndexOverflow {
+                arcs: u32::MAX as usize + 1
+            }
+        );
+        assert!(err.to_string().contains("narrow-index"));
+        // Empty and zero-arc arrays are fine.
+        assert_eq!(narrow_offsets(&[]).unwrap(), Vec::<u32>::new());
+        assert_eq!(narrow_offsets(&[0]).unwrap(), vec![0u32]);
+    }
+
+    #[test]
+    fn layout_names_are_stable_bench_keys() {
+        assert_eq!(Layout::Baseline.name(), "baseline");
+        assert_eq!(Layout::DegreeDescending.name(), "degree");
+        assert_eq!(Layout::ReverseCuthillMcKee.name(), "rcm");
+        assert_eq!(Layout::default(), Layout::Baseline);
+        assert_eq!(Layout::ALL.len(), 3);
+    }
+
+    #[test]
+    fn empty_graph_permutations() {
+        let g = GraphBuilder::new(Direction::Directed, 0).build().unwrap();
+        let p = NodePermutation::degree_descending(&g);
+        assert!(p.is_empty());
+        let pg = p.permute_graph(&g).unwrap();
+        assert_eq!(pg.num_nodes(), 0);
+        let r = NodePermutation::reverse_cuthill_mckee(&g);
+        assert_eq!(r.len(), 0);
+    }
+}

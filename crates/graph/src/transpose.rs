@@ -20,7 +20,8 @@
 use crate::csr::{CsrGraph, NodeId};
 use crate::delta::ArcDelta;
 use crate::error::{GraphError, Result};
-use std::sync::OnceLock;
+use crate::permute::{narrow_offsets, Layout, NodePermutation};
+use std::sync::{Arc, OnceLock};
 
 /// The structural transpose of a [`CsrGraph`], plus the CSR→CSC arc
 /// permutation. Build once per graph with [`CscStructure::build`]; after an
@@ -66,6 +67,16 @@ pub struct CscStructure {
     /// Nodes with no out-arcs.
     dangling: Vec<NodeId>,
     num_nodes: usize,
+    /// `in_offsets` narrowed to `u32`, present whenever the arc count fits
+    /// (see [`narrow_offsets`]). The pull kernels stream these instead of
+    /// the wide offsets, halving the per-row index bytes; structures past
+    /// `u32::MAX` arcs stay on the wide path.
+    narrow_in_offsets: Option<Vec<u32>>,
+    /// The node permutation this structure was built under (see
+    /// [`CscStructure::with_layout`]); `None` for native order. Carried so
+    /// serving layers can translate ids at the boundary, and propagated
+    /// through [`CscStructure::patched`].
+    permutation: Option<Arc<NodePermutation>>,
 }
 
 impl CscStructure {
@@ -105,13 +116,50 @@ impl CscStructure {
                 csc_slot_of_arc[k] = slot;
             }
         }
+        let narrow_in_offsets = narrow_offsets(&in_offsets).ok();
         Self {
             in_offsets,
             in_sources,
             csc_slot_of_arc: OnceLock::from(csc_slot_of_arc),
             dangling,
             num_nodes: n,
+            narrow_in_offsets,
+            permutation: None,
         }
+    }
+
+    /// Build the transpose under a cache-aware node [`Layout`]: permute the
+    /// graph into internal order once, build the CSC over the permuted
+    /// graph, and record the permutation on the structure.
+    ///
+    /// Returns the **internal-order** graph alongside the structure — the
+    /// engine stack must run on that graph (its node `i` is external node
+    /// [`NodePermutation::to_external`]`(i)`). External ids never change:
+    /// callers translate per-node vectors and deltas at the boundary via
+    /// [`CscStructure::permutation`]. [`Layout::Baseline`] returns a plain
+    /// clone + [`CscStructure::build`] with no permutation attached.
+    ///
+    /// # Errors
+    /// Propagates [`NodePermutation::permute_graph`] errors.
+    pub fn with_layout(graph: &CsrGraph, layout: Layout) -> Result<(CsrGraph, CscStructure)> {
+        match NodePermutation::for_layout(graph, layout) {
+            None => Ok((graph.clone(), Self::build(graph))),
+            Some(perm) => {
+                let internal = perm.permute_graph(graph)?;
+                let mut csc = Self::build(&internal);
+                csc.permutation = Some(Arc::new(perm));
+                Ok((internal, csc))
+            }
+        }
+    }
+
+    /// Drop the narrow (`u32`) offsets copy, forcing kernels onto the wide
+    /// (`usize`) path. A benchmarking/testing aid for measuring the
+    /// narrow-index win; a later [`CscStructure::patched`] re-narrows (the
+    /// patched result must stay bit-identical to a fresh build).
+    pub fn without_narrow_index(mut self) -> Self {
+        self.narrow_in_offsets = None;
+        self
     }
 
     /// Incremental maintenance: derive the transpose of `new_graph` from
@@ -279,12 +327,15 @@ impl CscStructure {
             .collect();
         dangling.sort_unstable();
 
+        let narrow_in_offsets = narrow_offsets(&in_offsets).ok();
         let out = CscStructure {
             in_offsets,
             in_sources,
             csc_slot_of_arc: OnceLock::new(),
             dangling,
             num_nodes: n,
+            narrow_in_offsets,
+            permutation: self.permutation.clone(),
         };
         if with_permutation {
             out.ensure_arc_permutation(new_graph);
@@ -347,6 +398,24 @@ impl CscStructure {
     /// CSC source array, parallel to any CSC-ordered per-arc value array.
     pub fn in_sources(&self) -> &[NodeId] {
         &self.in_sources
+    }
+
+    /// The `u32` copy of the offsets, when the arc count fits the narrow
+    /// index (see [`narrow_offsets`]); `None` past `u32::MAX` arcs or after
+    /// [`CscStructure::without_narrow_index`].
+    pub fn narrow_in_offsets(&self) -> Option<&[u32]> {
+        self.narrow_in_offsets.as_deref()
+    }
+
+    /// `true` when the kernels can stream `u32` offsets for this structure.
+    pub fn has_narrow_index(&self) -> bool {
+        self.narrow_in_offsets.is_some()
+    }
+
+    /// The node permutation this structure was built under, or `None` for
+    /// native order (see [`CscStructure::with_layout`]).
+    pub fn permutation(&self) -> Option<&Arc<NodePermutation>> {
+        self.permutation.as_ref()
     }
 
     /// The CSR→CSC arc permutation: element `k` is the CSC slot of CSR arc
@@ -753,5 +822,76 @@ mod tests {
         let t1 = CscStructure::build(&g1);
         assert_eq!(t1.dangling(), &[0]);
         assert_eq!(t1.arc_balanced_partition(8), vec![0..1]);
+    }
+
+    #[test]
+    fn with_layout_matches_build_over_permuted_graph() {
+        use crate::permute::Layout;
+        let g = barabasi_albert(250, 3, 23).unwrap();
+        // Baseline: identity, no permutation attached.
+        let (bg, bcsc) = CscStructure::with_layout(&g, Layout::Baseline).unwrap();
+        assert_eq!(bg, g);
+        assert!(bcsc.permutation().is_none());
+        assert_eq!(bcsc, CscStructure::build(&g));
+        for layout in [Layout::DegreeDescending, Layout::ReverseCuthillMcKee] {
+            let (pg, csc) = CscStructure::with_layout(&g, layout).unwrap();
+            let perm = csc.permutation().expect("layout attaches a permutation");
+            // The CSC topology equals a fresh build over the internal graph.
+            assert_eq!(csc.in_offsets(), CscStructure::build(&pg).in_offsets());
+            assert_eq!(csc.in_sources(), CscStructure::build(&pg).in_sources());
+            // In-neighbor sets map through the permutation.
+            for v in g.nodes() {
+                let mut expect: Vec<u32> = CscStructure::build(&g)
+                    .in_neighbors(v)
+                    .iter()
+                    .map(|&s| perm.to_internal(s))
+                    .collect();
+                expect.sort_unstable();
+                assert_eq!(csc.in_neighbors(perm.to_internal(v)), expect.as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn narrow_index_present_and_droppable() {
+        let g = sample();
+        let t = CscStructure::build(&g);
+        assert!(t.has_narrow_index(), "3 arcs narrow trivially");
+        let narrow = t.narrow_in_offsets().unwrap();
+        assert_eq!(narrow.len(), t.in_offsets().len());
+        for (w, &n) in t.in_offsets().iter().zip(narrow) {
+            assert_eq!(*w, n as usize);
+        }
+        let wide = t.without_narrow_index();
+        assert!(!wide.has_narrow_index());
+        assert!(wide.narrow_in_offsets().is_none());
+    }
+
+    #[test]
+    fn patched_propagates_permutation_and_renarrow() {
+        use crate::delta::{DeltaGraph, EdgeBatch};
+        use crate::permute::Layout;
+        let g = barabasi_albert(120, 3, 31).unwrap();
+        let (pg, csc) = CscStructure::with_layout(&g, Layout::DegreeDescending).unwrap();
+        let perm = csc.permutation().unwrap().clone();
+        // Edit the *internal-order* graph, as the serving layer does.
+        let mut dg = DeltaGraph::new(pg.clone()).unwrap();
+        let mut batch = EdgeBatch::new();
+        batch.delete(0, pg.neighbors(0)[0]).insert(3, 117);
+        let out = dg.apply_batch(&batch).unwrap();
+        let g2 = dg.snapshot();
+        let patched = csc.patched(&g2, &out.delta).unwrap();
+        // The permutation rides along and the narrow index is recomputed.
+        assert!(Arc::ptr_eq(patched.permutation().unwrap(), &perm));
+        assert!(patched.has_narrow_index());
+        assert_eq!(
+            patched.narrow_in_offsets().unwrap().last().copied(),
+            Some(g2.num_arcs() as u32)
+        );
+        // Even a wide-forced structure re-narrows on patch (bit-identity
+        // with fresh builds is what the delta property tests assert).
+        let wide = CscStructure::build(&pg).without_narrow_index();
+        let repatched = wide.patched(&g2, &out.delta).unwrap();
+        assert_eq!(repatched, CscStructure::build(&g2));
     }
 }
