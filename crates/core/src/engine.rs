@@ -27,6 +27,7 @@
 //! transpose-level solver in [`crate::parallel`].
 
 use crate::error::{SolverError, UpdateError};
+use crate::exec::{sim_event, ExecBarrier};
 #[cfg(feature = "prefetch")]
 use crate::kernel::prefetch_gather;
 use crate::kernel::{gather_plain, gather_weighted};
@@ -42,7 +43,7 @@ use d2pr_graph::transpose::CscStructure;
 use std::cell::UnsafeCell;
 use std::ops::Range;
 use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
-use std::sync::{Arc, Barrier};
+use std::sync::Arc;
 
 /// Number of worker threads the engine uses by default: the machine's
 /// available parallelism.
@@ -2103,6 +2104,7 @@ pub(crate) fn drive_serial(
     let mut cooldown = 0usize;
     while iterations < config.max_iterations {
         iterations += 1;
+        sim_event("engine.iter", iterations);
         let out = pull_range(
             0..n,
             topo,
@@ -2195,8 +2197,8 @@ pub(crate) struct PoolShared<'a> {
     params: UnsafeCell<PullParams>,
     inv_total: UnsafeCell<f64>,
     partials: Vec<PadCell<RangeOut>>,
-    start: Barrier,
-    end: Barrier,
+    start: ExecBarrier,
+    end: ExecBarrier,
 }
 
 // SAFETY: all interior-mutable fields follow the barrier-phase protocol
@@ -2232,8 +2234,8 @@ impl<'a> PoolShared<'a> {
             }),
             inv_total: UnsafeCell::new(1.0),
             partials: (0..workers).map(|_| PadCell::default()).collect(),
-            start: Barrier::new(workers + 1),
-            end: Barrier::new(workers + 1),
+            start: ExecBarrier::new(workers + 1),
+            end: ExecBarrier::new(workers + 1),
         }
     }
 
@@ -2284,6 +2286,7 @@ pub(crate) fn drive_pooled_point(
     let mut cooldown = 0usize;
     while iterations < config.max_iterations {
         iterations += 1;
+        sim_event("engine.iter", iterations);
         // SAFETY: workers parked; exclusive access to params.
         unsafe { (*shared.params.get()).dangling_mass = dangling_mass };
         shared.phase.store(Phase::Compute as u8, Ordering::Release);

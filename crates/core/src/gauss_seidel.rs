@@ -158,6 +158,7 @@ fn gs_linear(
 
     while iterations < config.max_iterations {
         iterations += 1;
+        crate::exec::sim_event("gs.iter", iterations);
         // RedistributeTeleport: dangling mass lags one sweep.
         let coef = if self_loop {
             1.0 - alpha
@@ -237,6 +238,7 @@ fn gs_renormalize(
         let mut prev_delta = f64::INFINITY;
         while iterations < config.max_iterations {
             iterations += 1;
+            crate::exec::sim_event("gs.iter", iterations);
             let mut delta = 0.0;
             for j in 0..n {
                 let mut acc = b_eff * tele(t, uniform, j);

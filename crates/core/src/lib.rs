@@ -20,6 +20,9 @@
 //! * [`serving`] — lock-free double-buffered score publication
 //!   ([`serving::ServingEngine`] / [`serving::ScoreReader`]) and the
 //!   sharded multi-graph manager ([`serving::ShardManager`]);
+//! * [`exec`] — the execution shim: `std` concurrency in production,
+//!   scheduler-controlled concurrency under the `sim` feature (the
+//!   deterministic-simulation harness lives in the `d2pr-sim` crate);
 //! * [`workspace`] — reusable rank/next/teleport buffers shared by solvers;
 //! * [`error`] — typed [`error::SolverError`] returned by the solvers;
 //! * [`centrality`] — baseline measures (degree, HITS, sampled closeness);
@@ -48,6 +51,7 @@ pub mod centrality;
 pub mod d2pr;
 pub mod engine;
 pub mod error;
+pub mod exec;
 pub mod gauss_seidel;
 pub mod kernel;
 pub mod pagerank;

@@ -7,7 +7,7 @@
 //! microseconds that dominates exactly the serving path the residual
 //! localization made cheap (single-edge refreshes in low-single-digit
 //! milliseconds). `WorkerPool` moves the spawn to engine construction:
-//! workers park on a reusable [`Barrier`] pair, a solve publishes its
+//! workers park on a reusable `Barrier` pair, a solve publishes its
 //! per-call shared state as a type-erased job, and the same threads serve
 //! every iteration of every solve for the engine's whole lifetime
 //! (including [`EngineState`](crate::engine::EngineState) revivals, which
@@ -24,10 +24,10 @@
 //! finished the job). The barriers establish the happens-before edges in
 //! both directions, exactly like the scoped version did.
 
+use crate::exec::{sim_event, spawn_worker, ExecBarrier, ExecJoin};
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Barrier};
-use std::thread::JoinHandle;
+use std::sync::Arc;
 
 /// Cumulative OS threads spawned by all [`WorkerPool`]s in this process.
 /// Observability hook for the zero-spawns-per-solve contract: steady-state
@@ -47,9 +47,9 @@ type JobPtr = *const (dyn Fn(usize) + Sync + 'static);
 /// State shared between the pool owner and its parked workers.
 struct PoolCore {
     /// Workers + owner rendezvous releasing a job (or the exit signal).
-    start: Barrier,
+    start: ExecBarrier,
     /// Workers + owner rendezvous after every worker finished the job.
-    end: Barrier,
+    end: ExecBarrier,
     /// The published job; `None` between runs.
     job: UnsafeCell<Option<JobPtr>>,
     /// Set (before a final `start` wait) to terminate the workers.
@@ -67,7 +67,7 @@ unsafe impl Send for PoolCore {}
 /// A set of parked OS worker threads that outlives individual solve calls.
 pub(crate) struct WorkerPool {
     core: Arc<PoolCore>,
-    handles: Vec<JoinHandle<()>>,
+    handles: Vec<ExecJoin>,
     workers: usize,
 }
 
@@ -84,18 +84,15 @@ impl WorkerPool {
     /// solver threads).
     pub(crate) fn spawn(workers: usize) -> Self {
         let core = Arc::new(PoolCore {
-            start: Barrier::new(workers + 1),
-            end: Barrier::new(workers + 1),
+            start: ExecBarrier::new(workers + 1),
+            end: ExecBarrier::new(workers + 1),
             job: UnsafeCell::new(None),
             exit: AtomicBool::new(false),
         });
         let handles = (0..workers)
             .map(|w| {
                 let core = Arc::clone(&core);
-                std::thread::Builder::new()
-                    .name(format!("d2pr-pool-{w}"))
-                    .spawn(move || worker_main(w, &core))
-                    .expect("spawn pool worker")
+                spawn_worker(format!("d2pr-pool-{w}"), move || worker_main(w, &core))
             })
             .collect();
         POOL_THREADS_SPAWNED.fetch_add(workers, Ordering::Relaxed);
@@ -147,7 +144,7 @@ impl Drop for WorkerPool {
         self.core.exit.store(true, Ordering::Release);
         self.core.start.wait();
         for h in self.handles.drain(..) {
-            let _ = h.join();
+            h.join();
         }
     }
 }
@@ -185,12 +182,42 @@ fn worker_main(w: usize, core: &PoolCore) {
         // SAFETY: published before the start barrier; see module docs.
         let job = unsafe { (*core.job.get()).expect("job published before start barrier") };
         let guard = AbortOnUnwind("worker");
+        // Inside the abort guard on purpose: a fault the harness injects
+        // at this point must take the real abort path.
+        sim_event("pool.job.run", w);
         // SAFETY: the pointee outlives the run (the owner blocks on the
         // end barrier until this call returns).
         unsafe { (*job)(w) };
         drop(guard);
         core.end.wait();
     }
+}
+
+/// Test support for `tests/pool_contract.rs`: run one pool job that
+/// panics on worker 0. Must never return — [`AbortOnUnwind`] turns the
+/// worker's unwind into a process abort (the subprocess test asserts
+/// exactly that: abort, not a deadlocked barrier pair).
+#[doc(hidden)]
+pub fn run_panicking_job_for_tests(workers: usize) {
+    let pool = WorkerPool::spawn(workers);
+    let job = |w: usize| {
+        if w == 0 {
+            panic!("injected job panic (pool contract test)");
+        }
+    };
+    pool.run(&job, || ());
+    unreachable!("a panicking pool job must abort the process");
+}
+
+/// Test support for the sim harness's chaos layer: spawn a pool, run one
+/// benign job, drop the pool. On its own this returns normally; with a
+/// `pool.job.run` panic injected by the harness it must abort the process
+/// (the injection point sits inside the worker's abort-on-unwind guard).
+#[doc(hidden)]
+pub fn run_benign_job_for_tests(workers: usize) {
+    let pool = WorkerPool::spawn(workers);
+    let job = |_w: usize| {};
+    pool.run(&job, || ());
 }
 
 /// A `&mut [T]` smuggled across the pool boundary — the one shared-slice

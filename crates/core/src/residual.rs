@@ -63,6 +63,7 @@
 //! [`Workspace`](crate::workspace::Workspace): once sized for a graph,
 //! steady-state serving performs zero allocations here.
 
+use crate::exec::{sim_event, ExecBarrier};
 use crate::kernel::gather_weighted;
 use crate::pagerank::DanglingPolicy;
 use crate::pool::{PadCell, SharedMut, WorkerPool};
@@ -72,7 +73,6 @@ use d2pr_graph::delta::ArcDelta;
 use d2pr_graph::transpose::CscStructure;
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicU8, Ordering};
-use std::sync::Barrier;
 
 /// The operator representation a localized solve pushes through — mirrors
 /// the engine's two forms (see `EngineOp`), but needs *both* orientations:
@@ -426,6 +426,7 @@ pub(crate) fn solve_localized(
     let mut exhausted = false;
     while mass >= stop && !exhausted {
         stats.rounds += 1;
+        sim_event("residual.round", stats.rounds);
         for &v in touched.iter() {
             if residual[v as usize].abs() >= theta && !in_queue[v as usize] {
                 in_queue[v as usize] = true;
@@ -597,8 +598,8 @@ struct ParShared<'a> {
     /// Current push threshold θ (driver-written while workers are parked).
     theta: UnsafeCell<f64>,
     phase: AtomicU8,
-    start: Barrier,
-    end: Barrier,
+    start: ExecBarrier,
+    end: ExecBarrier,
     partials: Vec<PadCell<ParOut>>,
 }
 
@@ -662,8 +663,8 @@ fn drain_parallel(
         touched_parts: SharedMut::new(&mut par_touched[..workers]),
         theta: UnsafeCell::new(0.0),
         phase: AtomicU8::new(PHASE_SCAN),
-        start: Barrier::new(workers + 1),
-        end: Barrier::new(workers + 1),
+        start: ExecBarrier::new(workers + 1),
+        end: ExecBarrier::new(workers + 1),
         partials: (0..workers).map(|_| PadCell::default()).collect(),
     };
 
@@ -691,6 +692,7 @@ fn drain_parallel(
         let mut exhausted = false;
         while mass >= stop && !exhausted {
             stats.rounds += 1;
+            sim_event("residual.round", stats.rounds);
             // SAFETY: workers parked; exclusive access to θ.
             unsafe { *shared.theta.get() = theta };
             let mut frontier = cycle(PHASE_SCAN).frontier;

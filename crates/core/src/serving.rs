@@ -113,6 +113,10 @@ struct PublishCore {
     generation: AtomicU64,
     /// Node count (fixed: `DeltaGraph` serves fixed node sets).
     nodes: usize,
+    /// Process-unique id distinguishing this core's events in a sim
+    /// harness hosting several engines (sharded runs).
+    #[cfg(feature = "sim")]
+    sim_id: usize,
 }
 
 // SAFETY: the `UnsafeCell` buffers follow the pin/drain protocol in the
@@ -134,25 +138,46 @@ impl PublishCore {
             front: AtomicUsize::new(0),
             generation: AtomicU64::new(0),
             nodes,
+            #[cfg(feature = "sim")]
+            sim_id: {
+                static NEXT_SIM_ID: AtomicUsize = AtomicUsize::new(0);
+                NEXT_SIM_ID.fetch_add(1, SeqCst)
+            },
         }
+    }
+
+    /// A yield point tagged with this core's identity and a slot index
+    /// (`arg = sim_id * 2 + slot`); compiles to nothing without `sim`.
+    #[inline(always)]
+    fn ev(&self, label: &'static str, slot: usize) {
+        #[cfg(feature = "sim")]
+        crate::exec::sim_event(label, self.sim_id * 2 + slot);
+        #[cfg(not(feature = "sim"))]
+        let _ = (label, slot);
     }
 
     /// Pin the current front slot (module-docs protocol) and return its
     /// index. Must be paired with [`PublishCore::unpin`].
     fn pin(&self) -> usize {
         loop {
+            self.ev("serving.pin.load", 0);
             let f = self.front.load(SeqCst);
+            self.ev("serving.pin.inc", f);
             self.slots[f].readers.fetch_add(1, SeqCst);
+            self.ev("serving.pin.validate", f);
             if self.front.load(SeqCst) == f {
+                self.ev("serving.pin.ok", f);
                 return f;
             }
             // A publish landed between the load and the pin: this slot is
             // now the writer's target. Back off and retry on the new front.
+            self.ev("serving.pin.retry", f);
             self.slots[f].readers.fetch_sub(1, SeqCst);
         }
     }
 
     fn unpin(&self, slot: usize) {
+        self.ev("serving.unpin", slot);
         self.slots[slot].readers.fetch_sub(1, SeqCst);
     }
 
@@ -160,15 +185,25 @@ impl PublishCore {
     /// pinned it before the previous flip.
     fn begin_write(&self) -> usize {
         let back = self.front.load(SeqCst) ^ 1;
-        let mut spins = 0u32;
-        while self.slots[back].readers.load(SeqCst) != 0 {
-            spins = spins.wrapping_add(1);
-            if spins.is_multiple_of(64) {
-                std::thread::yield_now();
-            } else {
-                std::hint::spin_loop();
+        self.ev("serving.write.claim", back);
+        // The planted publish-ordering bug (`sim-bug`): skip the reader
+        // drain entirely, so the writer mutates a slot stragglers are
+        // still pinned to. The sim harness's mutation test asserts this
+        // is caught by the shadow model and shrunk to a printable seed.
+        #[cfg(not(feature = "sim-bug"))]
+        {
+            let mut spins = 0u32;
+            while self.slots[back].readers.load(SeqCst) != 0 {
+                self.ev("serving.write.drain", back);
+                spins = spins.wrapping_add(1);
+                if spins.is_multiple_of(64) {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
             }
         }
+        self.ev("serving.write.begin", back);
         back
     }
 
@@ -194,6 +229,7 @@ impl PublishCore {
     /// Publish the freshly written back slot as the next generation and
     /// return that generation.
     fn publish(&self, back: usize) -> u64 {
+        self.ev("serving.publish", back);
         let generation = self.generation.load(SeqCst) + 1;
         self.slots[back].generation.store(generation, SeqCst);
         self.front.store(back, SeqCst);
@@ -216,6 +252,7 @@ impl<'a> Pinned<'a> {
     }
 
     fn scores(&self) -> &[f64] {
+        self.core.ev("serving.read", self.slot);
         // SAFETY: the slot is pinned — the writer drains pins before
         // touching it — and it was front at pin-validation time, so it
         // holds a fully published generation.
@@ -678,7 +715,13 @@ impl ServingEngine {
     ///
     /// # Errors
     /// As [`ServingEngine::ingest`], plus a structure-mismatch error when
-    /// `prepatched` does not describe the post-batch graph.
+    /// `prepatched` does not describe the post-batch graph. Errors raised
+    /// *before* the engine state is consumed (batch validation, the
+    /// poisoning check) leave the engine fully functional; errors after
+    /// it — structure mismatch, solver failures — **poison the engine**:
+    /// every later ingest reports the poisoning, while readers keep
+    /// serving the last published generation indefinitely (the publish
+    /// buffers are independent of the consumed solver state).
     pub fn ingest_with(
         &mut self,
         batch: &EdgeBatch,
@@ -956,8 +999,20 @@ impl ShardManager {
     /// own group without breaking the sharing among the others).
     ///
     /// # Errors
-    /// Fails on the first shard whose refresh fails (earlier shards stay
-    /// refreshed — generations across shards are independent).
+    ///
+    /// The contract is **partial, not atomic**: shards refresh in shard
+    /// order and the call fails on the first shard `k` whose refresh
+    /// fails. Shards `0..k` keep their *new* published generations,
+    /// shards `k..` keep their old ones — a legal state, since
+    /// generations across shards are independent and every shard keeps
+    /// serving its own latest published generation. The manager stays
+    /// serviceable: a later valid batch advances every shard's own
+    /// counter again. A batch that fails *validation* on shard `k` (the
+    /// common case — e.g. an out-of-range endpoint) leaves shard `k`
+    /// itself untouched too; only a failure after the state handoff
+    /// poisons that one shard's writes (reads continue; see
+    /// [`ServingEngine::ingest_with`]). Pinned in
+    /// `tests/shard_ingest_errors.rs`.
     pub fn ingest_all(&mut self, batch: &EdgeBatch) -> Result<Vec<RefreshOutcome>, UpdateError> {
         let pre: Vec<Option<Arc<CscStructure>>> = self
             .shards

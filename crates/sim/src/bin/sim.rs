@@ -1,0 +1,140 @@
+//! Seed-sweep driver: explore N seeded schedules, print `seed=<s>` plus a
+//! shrunk schedule on the first failure.
+//!
+//! ```text
+//! sim [--seeds N] [--start S] [--jobs J] [--max-steps M]
+//! ```
+//!
+//! Each seed is an independent simulation (own workload, own schedule), so
+//! the sweep parallelizes trivially across `--jobs` OS threads. Exit code
+//! is non-zero on failure; the printed `seed=` line is the complete
+//! reproducer (`run_scenario(&ScenarioConfig::from_seed(s))`).
+
+use d2pr_sim::scenario::{run_scenario, run_scenario_with, ScenarioConfig};
+use d2pr_sim::sched::{SimFailure, SimMetrics};
+use d2pr_sim::shrink::shrink;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+struct Args {
+    seeds: u64,
+    start: u64,
+    jobs: usize,
+    max_steps: u64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        seeds: 100,
+        start: 0,
+        jobs: std::thread::available_parallelism().map_or(4, |p| p.get()),
+        max_steps: 200_000,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| die(&format!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--seeds" => args.seeds = parse(&value("--seeds")),
+            "--start" => args.start = parse(&value("--start")),
+            "--jobs" => args.jobs = parse::<usize>(&value("--jobs")).max(1),
+            "--max-steps" => args.max_steps = parse(&value("--max-steps")),
+            "--help" | "-h" => {
+                println!("usage: sim [--seeds N] [--start S] [--jobs J] [--max-steps M]");
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown flag {other}")),
+        }
+    }
+    args
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> T {
+    s.parse()
+        .unwrap_or_else(|_| die(&format!("bad number {s}")))
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("sim: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args = parse_args();
+    let t0 = Instant::now();
+    let next = AtomicU64::new(args.start);
+    let end = args.start + args.seeds;
+    let stop = AtomicBool::new(false);
+    let first_failure: Mutex<Option<(u64, SimFailure)>> = Mutex::new(None);
+    let totals: Mutex<(u64, SimMetrics)> = Mutex::new((0, SimMetrics::default()));
+
+    std::thread::scope(|scope| {
+        for _ in 0..args.jobs {
+            scope.spawn(|| {
+                loop {
+                    if stop.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    let seed = next.fetch_add(1, Ordering::Relaxed);
+                    if seed >= end {
+                        return;
+                    }
+                    let mut cfg = ScenarioConfig::from_seed(seed);
+                    cfg.max_steps = args.max_steps;
+                    match run_scenario(&cfg) {
+                        Ok(report) => {
+                            let mut t = totals.lock().unwrap();
+                            t.0 += 1;
+                            t.1.steps += report.metrics.steps;
+                            t.1.drain_spins += report.metrics.drain_spins;
+                            t.1.publishes += report.metrics.publishes;
+                            t.1.pin_retries += report.metrics.pin_retries;
+                            t.1.mid_refresh_reads += report.metrics.mid_refresh_reads;
+                            t.1.spawned_tasks += report.metrics.spawned_tasks;
+                        }
+                        Err(failure) => {
+                            stop.store(true, Ordering::Relaxed);
+                            let mut slot = first_failure.lock().unwrap();
+                            // Keep the lowest failing seed for determinism.
+                            if slot.as_ref().is_none_or(|(s, _)| seed < *s) {
+                                *slot = Some((seed, failure));
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    if let Some((seed, failure)) = first_failure.into_inner().unwrap() {
+        eprintln!("FAIL seed={seed} kind={}", failure.kind);
+        eprintln!("{failure}");
+        let mut cfg = ScenarioConfig::from_seed(seed);
+        cfg.max_steps = args.max_steps;
+        eprintln!("shrinking {} recorded choices…", failure.choices.len());
+        let repro = shrink(seed, &failure, |prefix| {
+            run_scenario_with(&cfg, Some(prefix))
+        });
+        eprintln!("{repro}");
+        std::process::exit(1);
+    }
+
+    let (runs, m) = totals.into_inner().unwrap();
+    println!(
+        "ok: {} schedules ({}..{}) in {:.1}s — {} steps, {} publishes, \
+         {} drain spins, {} pin retries, {} mid-refresh reads, {} tasks",
+        runs,
+        args.start,
+        end,
+        t0.elapsed().as_secs_f64(),
+        m.steps,
+        m.publishes,
+        m.drain_spins,
+        m.pin_retries,
+        m.mid_refresh_reads,
+        m.spawned_tasks,
+    );
+}

@@ -1,0 +1,182 @@
+//! Shadow model of the double-buffered publication protocol.
+//!
+//! The scheduler applies one transition per granted yield point (see
+//! [`crate::sched`]); because the real operation executes immediately
+//! after the grant with no other task interleaved, the shadow state is an
+//! exact mirror of the protocol state at scheduling granularity. Each
+//! transition also checks the safety invariants — a violation means the
+//! *about-to-execute* operation would break the protocol, and the
+//! scheduler freezes the run before it does.
+//!
+//! Invariants checked here:
+//! - **published-only reads** — a slot being refreshed is never read
+//!   (`read-during-write`) and never freshly pinned (`pinned-while-writing`);
+//! - **writer drain liveness / exclusivity** — a writer only proceeds past
+//!   the drain once the retiring slot's pin count is zero
+//!   (`write-begin-while-pinned`, the detector for the planted `sim-bug`);
+//! - **pin-count sanity** — counts never go negative
+//!   (`pin-count-negative`), publishes only follow a claimed write
+//!   (`publish-without-write`).
+//!
+//! Generation monotonicity and score parity are checked by the scenario
+//! (they need the observed values, not just the event stream).
+
+use std::collections::{BTreeMap, HashMap};
+
+/// Shadow state of one `PublishCore` (one shard).
+#[derive(Debug, Default)]
+struct CoreShadow {
+    /// Mirror of the two slots' pin counts.
+    phys: [i64; 2],
+    /// Which tasks hold a *validated* pin on each slot (task ids).
+    logical: [Vec<usize>; 2],
+    /// Slot currently claimed for writing, if any.
+    writing: Option<usize>,
+    /// Published generation count (number of publishes observed).
+    pub generation: u64,
+    /// Shadow of the `front` pointer.
+    front: usize,
+    /// Per-task slot of the pin `fetch_add` issued but not yet validated.
+    pending_pin: HashMap<usize, usize>,
+}
+
+/// A detected protocol violation: the next operation of `task` would break
+/// the invariant named by `kind`.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Stable invariant identifier (e.g. `write-begin-while-pinned`).
+    pub kind: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+/// Shadow model over all cores observed in a run, keyed by the `core_id`
+/// encoded in serving event args (`arg = core_id * 2 + slot`).
+#[derive(Debug, Default)]
+pub struct Shadow {
+    // BTreeMap: iteration order must be deterministic (`any_writing` feeds
+    // a metric; a RandomState HashMap would vary it across processes).
+    cores: BTreeMap<usize, CoreShadow>,
+}
+
+impl Shadow {
+    /// Apply the transition for `label`/`arg` about to execute on `task`.
+    /// Returns a violation if the operation would break an invariant; the
+    /// shadow state is *not* advanced past a violating operation.
+    pub fn apply(&mut self, task: usize, label: &'static str, arg: usize) -> Option<Violation> {
+        if !label.starts_with("serving.") {
+            return None;
+        }
+        let (core_id, slot) = (arg / 2, arg % 2);
+        let core = self.cores.entry(core_id).or_default();
+        let fail = |kind: &'static str, message: String| Some(Violation { kind, message });
+        match label {
+            "serving.pin.load" => None,
+            "serving.pin.inc" => {
+                core.phys[slot] += 1;
+                core.pending_pin.insert(task, slot);
+                None
+            }
+            "serving.pin.validate" => None,
+            "serving.pin.retry" => {
+                core.phys[slot] -= 1;
+                core.pending_pin.remove(&task);
+                if core.phys[slot] < 0 {
+                    return fail(
+                        "pin-count-negative",
+                        format!("core {core_id} slot {slot} pin retry below zero"),
+                    );
+                }
+                None
+            }
+            "serving.pin.ok" => {
+                if core.writing == Some(slot) {
+                    return fail(
+                        "pinned-while-writing",
+                        format!(
+                            "task {task} validated a pin on core {core_id} slot {slot} \
+                             while that slot is being refreshed"
+                        ),
+                    );
+                }
+                core.pending_pin.remove(&task);
+                core.logical[slot].push(task);
+                None
+            }
+            "serving.unpin" => {
+                core.phys[slot] -= 1;
+                if core.phys[slot] < 0 {
+                    return fail(
+                        "pin-count-negative",
+                        format!("core {core_id} slot {slot} unpin below zero"),
+                    );
+                }
+                if let Some(pos) = core.logical[slot].iter().position(|&t| t == task) {
+                    core.logical[slot].remove(pos);
+                }
+                None
+            }
+            "serving.read" => {
+                if core.writing == Some(slot) {
+                    return fail(
+                        "read-during-write",
+                        format!(
+                            "task {task} read core {core_id} slot {slot} \
+                             while the writer is refreshing it"
+                        ),
+                    );
+                }
+                None
+            }
+            "serving.write.claim" => None,
+            "serving.write.drain" => None,
+            "serving.write.begin" => {
+                if core.phys[slot] != 0 || !core.logical[slot].is_empty() {
+                    return fail(
+                        "write-begin-while-pinned",
+                        format!(
+                            "writer entered core {core_id} slot {slot} with pin count {} \
+                             (holders: {:?})",
+                            core.phys[slot], core.logical[slot]
+                        ),
+                    );
+                }
+                core.writing = Some(slot);
+                None
+            }
+            "serving.publish" => {
+                if core.writing != Some(slot) {
+                    return fail(
+                        "publish-without-write",
+                        format!("publish of core {core_id} slot {slot} without a claimed write"),
+                    );
+                }
+                core.writing = None;
+                core.generation += 1;
+                core.front = slot;
+                None
+            }
+            other => fail(
+                "unknown-event",
+                format!("unrecognised serving event {other}"),
+            ),
+        }
+    }
+
+    /// Whether `task` currently holds (or is mid-acquiring) a pin on a slot
+    /// another writer may be waiting to drain. Used by the slow-reader
+    /// chaos mode to keep the task parked while the writer spins.
+    pub fn task_holds_pin(&self, task: usize) -> bool {
+        self.cores.values().any(|c| {
+            c.pending_pin.contains_key(&task) || c.logical.iter().any(|l| l.contains(&task))
+        })
+    }
+
+    /// True while any core has a writer mid-refresh (between `write.begin`
+    /// and `publish`). Used for the mid-refresh read-coverage metric.
+    pub fn any_writing(&self) -> Option<usize> {
+        self.cores
+            .iter()
+            .find_map(|(id, c)| c.writing.map(|s| id * 2 + s))
+    }
+}

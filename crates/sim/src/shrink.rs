@@ -1,0 +1,87 @@
+//! Greedy schedule shrinking.
+//!
+//! A failure's choice record replays deterministically, and replaying a
+//! *prefix* of it (the scheduler completes the run with a rotation policy
+//! past the prefix) often still fails: most of the recorded schedule is
+//! irrelevant warm-up. The shrinker binary-searches the shortest failing
+//! prefix with the same failure kind, verifies it, and falls back to the
+//! full record when the failure turns out not to be prefix-monotonic.
+
+use crate::sched::{SimFailure, SimReport};
+use std::fmt;
+
+/// A minimal reproducer: feed `schedule` back through
+/// [`crate::scenario::run_scenario_with`] with the same seed to replay.
+#[derive(Debug, Clone)]
+pub struct Repro {
+    /// The seed the failing run (and its workload) derives from.
+    pub seed: u64,
+    /// Failure class (see [`SimFailure::kind`]).
+    pub kind: String,
+    /// The shrunk choice prefix.
+    pub schedule: Vec<u32>,
+    /// Failure detail from the verified replay.
+    pub message: String,
+}
+
+impl fmt::Display for Repro {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "seed={} kind={} schedule_len={} schedule=[",
+            self.seed,
+            self.kind,
+            self.schedule.len()
+        )?;
+        for (i, c) in self.schedule.iter().take(64).enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        if self.schedule.len() > 64 {
+            write!(f, ",… {} more", self.schedule.len() - 64)?;
+        }
+        writeln!(f, "]")?;
+        write!(f, "  {}", self.message)
+    }
+}
+
+/// Shrink `failure` (observed on `seed`) to a minimal failing choice
+/// prefix. `run` replays the scenario with a given prefix and must be
+/// deterministic — e.g. `|p| run_scenario_with(&cfg, Some(p))` for the
+/// same `cfg` that produced the failure.
+pub fn shrink<F>(seed: u64, failure: &SimFailure, mut run: F) -> Repro
+where
+    F: FnMut(Vec<u32>) -> Result<SimReport, SimFailure>,
+{
+    let full = &failure.choices;
+    let same = |f: &SimFailure| f.kind == failure.kind;
+
+    // Binary-search the shortest failing prefix. Failure is usually (not
+    // provably) monotonic in prefix length; the verification replay below
+    // catches the cases where it is not.
+    let (mut lo, mut hi) = (0usize, full.len());
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        match run(full[..mid].to_vec()) {
+            Err(ref f) if same(f) => hi = mid,
+            _ => lo = mid + 1,
+        }
+    }
+
+    match run(full[..hi].to_vec()) {
+        Err(ref f) if same(f) => Repro {
+            seed,
+            kind: f.kind.clone(),
+            schedule: full[..hi].to_vec(),
+            message: f.message.clone(),
+        },
+        _ => Repro {
+            seed,
+            kind: failure.kind.clone(),
+            schedule: full.clone(),
+            message: failure.message.clone(),
+        },
+    }
+}

@@ -119,3 +119,63 @@ fn solve_calls_spawn_zero_threads_after_construction() {
     revived.solve().unwrap();
     assert_eq!(pool_threads_spawned(), mark, "the revived pool is reused");
 }
+
+/// The pool's panic contract, on real threads: a job that panics cannot
+/// reach the end barrier, so the only safe response is a loud process
+/// abort — **not** a deadlocked owner waiting forever. Runs the panicking
+/// job in a subprocess (the abort takes the process with it) and fails if
+/// the child neither aborts nor exits within the timeout. The parent half
+/// constructs no pools, so the spawn-counter test above stays undisturbed.
+#[test]
+fn panicking_job_aborts_instead_of_deadlocking() {
+    use std::io::Read;
+    use std::process::{Command, Stdio};
+    use std::time::{Duration, Instant};
+
+    if std::env::var_os("D2PR_POOL_CHILD_PANIC").is_some() {
+        // Child: two workers, worker 0's job panics. Never returns.
+        d2pr_core::pool::run_panicking_job_for_tests(2);
+        std::process::exit(42); // unreachable unless the contract broke
+    }
+
+    let exe = std::env::current_exe().expect("test binary path");
+    let mut child = Command::new(exe)
+        .args(["--exact", "panicking_job_aborts_instead_of_deadlocking"])
+        .arg("--nocapture")
+        .env("D2PR_POOL_CHILD_PANIC", "1")
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn child test process");
+
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let status = loop {
+        if let Some(s) = child.try_wait().expect("poll child") {
+            break s;
+        }
+        if Instant::now() > deadline {
+            let _ = child.kill();
+            panic!("pool deadlocked on a panicking job instead of aborting");
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    };
+    let mut stderr = String::new();
+    child
+        .stderr
+        .take()
+        .expect("piped stderr")
+        .read_to_string(&mut stderr)
+        .expect("read child stderr");
+    assert!(
+        !status.success() && status.code() != Some(42),
+        "child must die to the abort, got {status:?}\nstderr:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("aborting (the barrier protocol cannot recover)"),
+        "abort did not come from the pool guard:\nstderr:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("injected job panic (pool contract test)"),
+        "abort did not come from the injected job panic:\nstderr:\n{stderr}"
+    );
+}

@@ -10,10 +10,13 @@
 //!   two generations (or a half-written back buffer) cannot satisfy that.
 //! * **Monotonicity.** Each reader's observed generation sequence never
 //!   decreases, across every `EngineState` handoff the writer performs.
-//! * **No blocking on refresh.** Reads land *during* in-flight
-//!   `resolve_incremental` calls — the readers observe several distinct
-//!   intermediate generations and complete orders of magnitude more reads
-//!   than there are refreshes.
+//! * **No blocking on refresh.** Reads land *during* in-flight refreshes.
+//!   On real threads this is probabilistic, so the threaded test asserts
+//!   only correctness (any schedule is a valid schedule); the *coverage*
+//!   claim — reads observed mid-refresh, writers spinning on pinned
+//!   readers — is asserted deterministically by the `d2pr-sim` variant at
+//!   the bottom of this file, which counts those interleavings per
+//!   scheduler step instead of hoping the OS produces them in time.
 
 use d2pr_core::engine::Engine;
 use d2pr_core::pagerank::PageRankConfig;
@@ -31,6 +34,10 @@ use std::sync::Arc;
 const NODES: usize = 3_000;
 const BATCHES: usize = 12;
 const READERS: usize = 3;
+/// Hard bound on reader rounds: readers stop at the writer's flag like
+/// before, but a wedged writer can no longer spin them forever — the
+/// failure then surfaces as an assertion instead of a hung test.
+const MAX_READER_ROUNDS: usize = 200_000;
 const MODEL: TransitionModel = TransitionModel::DegreeDecoupled { p: 0.5 };
 
 /// Tight enough that any two converged solves of the same generation sit
@@ -92,7 +99,7 @@ fn readers_never_observe_torn_or_stale_state() {
                 };
                 let mut buf = Vec::new();
                 let mut node = r as u32;
-                while !stop.load(Ordering::Relaxed) {
+                for round in 0..MAX_READER_ROUNDS {
                     // Point reads: the wait-free hot path.
                     for _ in 0..16 {
                         node =
@@ -117,6 +124,15 @@ fn readers_never_observe_torn_or_stale_state() {
                     let top = reader.top_k(5);
                     assert_eq!(top.len(), 5);
                     assert!(top[0].1 >= top[4].1);
+                    // Flag checked after a full round: every reader logs at
+                    // least one observation even if the writer wins the race.
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    assert!(
+                        round + 1 < MAX_READER_ROUNDS,
+                        "writer never released the readers"
+                    );
                 }
                 log
             }));
@@ -151,7 +167,6 @@ fn readers_never_observe_torn_or_stale_state() {
     }
 
     let mut total_reads = 0u64;
-    let mut distinct: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
     for (r, log) in logs.iter().enumerate() {
         // Monotonicity across every EngineState handoff.
         for w in log.sequence.windows(2) {
@@ -171,7 +186,6 @@ fn readers_never_observe_torn_or_stale_state() {
                 generation <= BATCHES as u64,
                 "reader {r}: generation {generation} was never published"
             );
-            distinct.insert(generation);
             let cold = &expected[generation as usize];
             let l1: f64 = cold.iter().zip(observed).map(|(a, b)| (a - b).abs()).sum();
             assert!(
@@ -181,16 +195,54 @@ fn readers_never_observe_torn_or_stale_state() {
         }
         total_reads += log.point_reads;
     }
-    // Reads landed throughout the refresh stream, not just at the ends:
-    // several distinct generations were observed and the read count dwarfs
-    // the refresh count (readers were never blocked out).
+    // Coverage heuristics ("≥ 3 distinct generations", "reads dwarf
+    // refreshes") used to live here; they depended on the OS scheduler
+    // winning a wall-clock race. `simulated_schedules_cover_refresh_windows`
+    // below asserts that coverage deterministically instead. Here only the
+    // structural guarantee remains: every reader completed ≥ 1 full round.
     assert!(
-        distinct.len() >= 3,
-        "expected reads during multiple refresh windows, saw generations {distinct:?}"
+        total_reads >= (READERS * 16) as u64,
+        "every reader logs at least one full round, got {total_reads} reads"
+    );
+}
+
+/// The deterministic twin of the threaded stress test above: the same
+/// reader/writer/shard machinery runs as cooperatively-stepped logical
+/// tasks under the `d2pr-sim` scheduler, where "reads land during
+/// refreshes" and "writers wait out pinned readers" are *counted per
+/// scheduler step* across a seed batch instead of hoped for. Every run
+/// also checks the full invariant set (monotonicity, published-only reads,
+/// drain liveness, shared-structure identity, cold-solve parity).
+#[test]
+fn simulated_schedules_cover_refresh_windows() {
+    use d2pr_sim::scenario::{run_scenario, ScenarioConfig};
+
+    let mut mid_refresh_reads = 0;
+    let mut drain_spins = 0;
+    let mut steps = 0;
+    for seed in 100..116 {
+        let cfg = ScenarioConfig::from_seed(seed);
+        let report = run_scenario(&cfg).unwrap_or_else(|f| panic!("seed={seed} failed:\n{f}"));
+        // Writer liveness, counted in scheduler steps: every batch on
+        // every shard published, on a bounded schedule.
+        assert_eq!(
+            report.metrics.publishes,
+            2 * cfg.batches as u64,
+            "seed={seed}: writer did not publish every generation"
+        );
+        assert!(report.metrics.steps > 0);
+        mid_refresh_reads += report.metrics.mid_refresh_reads;
+        drain_spins += report.metrics.drain_spins;
+        steps += report.metrics.steps;
+    }
+    // The deterministic replacements for the old wall-clock heuristics.
+    assert!(
+        mid_refresh_reads > 0,
+        "no schedule in the batch landed a read inside a refresh window ({steps} steps)"
     );
     assert!(
-        total_reads > 10 * BATCHES as u64,
-        "readers must vastly out-pace refreshes, got {total_reads} reads"
+        drain_spins > 0,
+        "no schedule in the batch made a writer wait out a pinned reader ({steps} steps)"
     );
 }
 
