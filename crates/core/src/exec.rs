@@ -50,6 +50,25 @@
 //!
 //! The serving events carry `arg = core_id * 2 + slot` so a harness
 //! hosting several `PublishCore`s (sharded runs) can tell them apart.
+//!
+//! Downstream crates mark their own boundaries through the public
+//! [`yield_point`] — the durability layer (`d2pr-store`) labels every
+//! I/O step of its write-ahead path so a crash harness can kill the
+//! process between any two of them (`arg` = shard index):
+//!
+//! | label | operation it precedes |
+//! |---|---|
+//! | `store.log.append.frame` | writing a log record's frame header |
+//! | `store.log.append.body` | writing the record body after its header |
+//! | `store.log.fsync` | fsync of the log file after an append |
+//! | `store.serve.ingest` | handing the durable batch to `ServingEngine::ingest` |
+//! | `store.ingest.done` | returning the published outcome to the caller |
+//! | `store.snap.write` | writing a snapshot's bytes to its temp file |
+//! | `store.snap.fsync` | fsync of the snapshot temp file |
+//! | `store.snap.rename` | atomic rename of the temp file into place |
+//! | `store.snap.dirsync` | fsync of the data directory after the rename |
+//! | `store.log.rotate` | creating the next log segment after a snapshot |
+//! | `store.log.retire` | deleting a log segment wholly covered by snapshots |
 
 #[cfg(feature = "sim")]
 use std::sync::Arc;
@@ -110,6 +129,18 @@ pub mod hooks {
             CURRENT.with(|c| *c.borrow_mut() = None);
         }
     }
+}
+
+/// A labelled scheduling point for downstream crates: compiles to nothing
+/// unless feature `sim` is on *and* the calling thread has harness hooks
+/// installed, in which case the harness may deschedule the task — or, in
+/// a crash-injection harness, kill it — immediately **before** the
+/// operation the label names executes. See the module docs for the label
+/// placement map (the `store.*` rows are emitted through this entry
+/// point by `d2pr-store`).
+#[inline(always)]
+pub fn yield_point(label: &'static str, arg: usize) {
+    sim_event(label, arg);
 }
 
 /// A scheduling point (no-op unless feature `sim` is on *and* the current

@@ -70,7 +70,7 @@ use crate::pagerank::PageRankConfig;
 use crate::transition::TransitionModel;
 use crate::workspace::PermuteScratch;
 use d2pr_graph::csr::CsrGraph;
-use d2pr_graph::delta::{DeltaGraph, EdgeBatch};
+use d2pr_graph::delta::{ArcDelta, DeltaGraph, EdgeBatch};
 use d2pr_graph::error::GraphError;
 use d2pr_graph::permute::{Layout, NodePermutation};
 use d2pr_graph::transpose::CscStructure;
@@ -128,15 +128,23 @@ unsafe impl Sync for PublishCore {}
 
 impl PublishCore {
     fn new(initial: Vec<f64>) -> Self {
+        Self::new_at(initial, 0)
+    }
+
+    /// A core whose first published generation is `generation` rather
+    /// than 0 — the recovery path resumes the counter exactly where the
+    /// durable log left it, so readers never see generations repeat
+    /// across a restart.
+    fn new_at(initial: Vec<f64>, generation: u64) -> Self {
         let nodes = initial.len();
-        // Both slots start as valid copies of generation 0, so a reader can
-        // never observe an unpublished buffer even before the first
-        // refresh.
+        // Both slots start as valid copies of the initial generation, so a
+        // reader can never observe an unpublished buffer even before the
+        // first refresh.
         let copy = initial.clone();
         Self {
-            slots: [Slot::new(initial, 0), Slot::new(copy, 0)],
+            slots: [Slot::new(initial, generation), Slot::new(copy, generation)],
             front: AtomicUsize::new(0),
-            generation: AtomicU64::new(0),
+            generation: AtomicU64::new(generation),
             nodes,
             #[cfg(feature = "sim")]
             sim_id: {
@@ -420,6 +428,53 @@ pub struct RefreshOutcome {
     pub pool_spawns: usize,
 }
 
+/// The state a durability layer hands back to revive a [`ServingEngine`]
+/// after a restart: the solver-order graph as of the last snapshot, the
+/// published scores of that snapshot's generation, and the log tail of
+/// edge batches (caller/external ids, oldest first) appended after it.
+///
+/// Built by `d2pr-store`'s recovery scan; consumed by
+/// [`ServingEngine::recovered`].
+#[derive(Debug, Clone)]
+pub struct RecoveredParts {
+    /// The graph in **solver order** (exactly
+    /// `serving.delta_graph().snapshot()` at snapshot time — already
+    /// permuted when `perm` is set).
+    pub graph: CsrGraph,
+    /// The layout permutation the snapshot was taken under, if any.
+    pub perm: Option<Arc<NodePermutation>>,
+    /// Published scores of generation [`RecoveredParts::generation`], in
+    /// **external** (caller) node order.
+    pub scores: Vec<f64>,
+    /// The generation `scores` belongs to.
+    pub generation: u64,
+    /// Teleport distribution in **solver order** (as
+    /// [`ServingEngine::teleport`] reports it), `None` = uniform.
+    pub teleport: Option<Vec<f64>>,
+    /// Durable edge batches logged after the snapshot, oldest first, in
+    /// external ids (exactly as the caller passed them to ingest).
+    pub tail: Vec<EdgeBatch>,
+}
+
+/// Diagnostics of one [`ServingEngine::recovered`] revival.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryOutcome {
+    /// The generation serving resumed at (snapshot generation + replayed
+    /// tail length).
+    pub generation: u64,
+    /// Log-tail batches replayed on top of the snapshot.
+    pub replayed_batches: usize,
+    /// Net arcs the replay inserted (after cross-batch cancellation).
+    pub replayed_inserted_arcs: usize,
+    /// Net arcs the replay deleted (after cross-batch cancellation).
+    pub replayed_deleted_arcs: usize,
+    /// The strategy the single warm re-solve selected (`None` when the
+    /// tail was empty — the snapshot scores were published as-is).
+    pub mode: Option<ResolveMode>,
+    /// Whether the warm re-solve converged (`true` for an empty tail).
+    pub converged: bool,
+}
+
 /// An evolving graph served with double-buffered score publication: apply
 /// edge batches with [`ServingEngine::ingest`] while any number of
 /// [`ScoreReader`]s keep reading published generations.
@@ -625,6 +680,191 @@ impl ServingEngine {
             perm,
             scratch: PermuteScratch::default(),
         })
+    }
+
+    /// Revive a serving engine from durable state: rebuild the solver
+    /// stack on the snapshot graph, replay the log tail as **one** merged
+    /// delta (per-batch insert/delete pairs cancel across batches), run a
+    /// single warm incremental re-solve from the snapshot scores, and
+    /// resume publication at exactly `parts.generation + tail.len()` —
+    /// the last durable generation. An empty tail publishes the snapshot
+    /// scores untouched.
+    ///
+    /// The caller (the `d2pr-store` recovery scan) guarantees the tail
+    /// batches were validated before they were logged, so replay failures
+    /// are internal-consistency breaches, not user input.
+    ///
+    /// # Errors
+    /// As [`ServingEngine::with_parts`], plus a typed mismatch when
+    /// `parts.scores` does not cover the graph's node set.
+    pub fn recovered(
+        parts: RecoveredParts,
+        model: TransitionModel,
+        config: PageRankConfig,
+        threads: usize,
+    ) -> Result<(Self, RecoveryOutcome), UpdateError> {
+        use std::collections::BTreeSet;
+        let RecoveredParts {
+            graph,
+            perm,
+            scores,
+            generation,
+            teleport,
+            tail,
+        } = parts;
+        if graph.is_weighted() {
+            return Err(UpdateError::WeightMismatch {
+                operation: "ServingEngine::recovered",
+            });
+        }
+        if scores.len() != graph.num_nodes() {
+            return Err(UpdateError::Graph(GraphError::Snapshot(format!(
+                "recovered scores cover {} nodes but the graph has {}",
+                scores.len(),
+                graph.num_nodes()
+            ))));
+        }
+        let mut dg = DeltaGraph::new(graph)?;
+        // Merge every tail batch into one net delta: an arc inserted by
+        // one batch and deleted by a later one (or vice versa) cancels,
+        // so the single warm re-solve sees only the surviving changes.
+        let mut ins: BTreeSet<(u32, u32)> = BTreeSet::new();
+        let mut del: BTreeSet<(u32, u32)> = BTreeSet::new();
+        let replayed_batches = tail.len();
+        for batch in &tail {
+            let translated;
+            let batch = match &perm {
+                Some(p) => {
+                    translated = batch.permuted(p);
+                    &translated
+                }
+                None => batch,
+            };
+            let applied = dg.apply_batch(batch)?;
+            for &a in &applied.delta.inserted {
+                if !del.remove(&a) {
+                    ins.insert(a);
+                }
+            }
+            for &a in &applied.delta.deleted {
+                if !ins.remove(&a) {
+                    del.insert(a);
+                }
+            }
+        }
+        let delta = ArcDelta {
+            inserted: ins.into_iter().collect(),
+            deleted: del.into_iter().collect(),
+        };
+        let snapshot = dg.snapshot();
+        let mut engine =
+            Engine::with_structure(&snapshot, Arc::new(CscStructure::build(&snapshot)), threads)
+                .map_err(UpdateError::Solver)?
+                .with_config(config)
+                .map_err(UpdateError::Solver)?;
+        engine.set_model(model).map_err(UpdateError::Solver)?;
+
+        let mut scratch = PermuteScratch::default();
+        let (published, outcome) = if replayed_batches == 0 {
+            // Nothing after the snapshot: serve it as-is. The engine still
+            // needs its tables built (above) so later ingests start warm.
+            (
+                scores,
+                RecoveryOutcome {
+                    generation,
+                    replayed_batches: 0,
+                    replayed_inserted_arcs: 0,
+                    replayed_deleted_arcs: 0,
+                    mode: None,
+                    converged: true,
+                },
+            )
+        } else {
+            let replayed_inserted_arcs = delta.inserted.len();
+            let replayed_deleted_arcs = delta.deleted.len();
+            let mut out = Vec::new();
+            let inc = match &perm {
+                None => engine.resolve_incremental_into(
+                    &scores,
+                    teleport.as_deref(),
+                    &delta,
+                    &mut out,
+                )?,
+                Some(p) => {
+                    p.permute_values(&scores, &mut scratch.internal_prev);
+                    let inc = engine.resolve_incremental_into(
+                        &scratch.internal_prev,
+                        teleport.as_deref(),
+                        &delta,
+                        &mut scratch.internal_next,
+                    )?;
+                    p.unpermute_values(&scratch.internal_next, &mut out);
+                    inc
+                }
+            };
+            let generation = generation + replayed_batches as u64;
+            (
+                out,
+                RecoveryOutcome {
+                    generation,
+                    replayed_batches,
+                    replayed_inserted_arcs,
+                    replayed_deleted_arcs,
+                    mode: Some(inc.mode),
+                    converged: inc.result.converged,
+                },
+            )
+        };
+        let state = engine.into_state();
+        Ok((
+            Self {
+                dg,
+                state: Some(state),
+                core: Arc::new(PublishCore::new_at(published, outcome.generation)),
+                model,
+                teleport,
+                perm,
+                scratch,
+            },
+            outcome,
+        ))
+    }
+
+    /// Check an edge batch against everything [`ServingEngine::ingest`]
+    /// validates **before** any state changes — today, that both endpoints
+    /// of every insert and delete lie inside the fixed node set. A batch
+    /// that passes cannot fail ingest validation later; the durability
+    /// layer relies on this to guarantee that a logged record always
+    /// replays cleanly (validate → append → ingest).
+    ///
+    /// # Errors
+    /// [`UpdateError::Graph`] citing the caller's (external) node id.
+    pub fn validate_batch(&self, batch: &EdgeBatch) -> Result<(), UpdateError> {
+        let n = self.core.nodes as u32;
+        for &(u, v) in batch.inserts.iter().chain(batch.deletes.iter()) {
+            let bad = if u >= n {
+                Some(u)
+            } else if v >= n {
+                Some(v)
+            } else {
+                None
+            };
+            if let Some(node) = bad {
+                return Err(UpdateError::Graph(GraphError::NodeOutOfRange {
+                    node,
+                    num_nodes: n,
+                }));
+            }
+        }
+        Ok(())
+    }
+
+    /// The teleport distribution this engine serves under, in **solver
+    /// order** (internal ids when a layout permutation is set — exactly
+    /// the form [`RecoveredParts::teleport`] expects back). `None` =
+    /// uniform.
+    pub fn teleport(&self) -> Option<&[f64]> {
+        self.teleport.as_deref()
     }
 
     /// A read handle on the published scores — clone it freely and hand
@@ -1148,6 +1388,150 @@ mod tests {
             .max_by(|a, b| a.1.total_cmp(b.1))
             .unwrap();
         assert_eq!(top[0].0, max.0 as u32);
+    }
+
+    #[test]
+    fn recovered_resumes_at_last_durable_generation() {
+        let g = barabasi_albert(300, 3, 19).unwrap();
+        let mut serving = ServingEngine::new(g.clone(), MODEL, tight(), 1).unwrap();
+        // Durable state as of generation 0.
+        let snap_graph = serving.delta_graph().snapshot();
+        let mut snap_scores = Vec::new();
+        let snap_gen = serving.reader().snapshot_into(&mut snap_scores);
+        // Three non-edges of the evolving graph become the log tail.
+        let mut tail = Vec::new();
+        for round in 0..3u32 {
+            let mut target = 299 - round;
+            while serving.delta_graph().has_arc(round, target) || target == round {
+                target -= 1;
+            }
+            let mut batch = EdgeBatch::new();
+            batch.insert(round, target);
+            serving.ingest(&batch).unwrap();
+            tail.push(batch);
+        }
+        let mut live = Vec::new();
+        assert_eq!(serving.reader().snapshot_into(&mut live), 3);
+
+        let (rec, outcome) = ServingEngine::recovered(
+            RecoveredParts {
+                graph: snap_graph.clone(),
+                perm: None,
+                scores: snap_scores.clone(),
+                generation: snap_gen,
+                teleport: None,
+                tail: tail.clone(),
+            },
+            MODEL,
+            tight(),
+            1,
+        )
+        .unwrap();
+        assert_eq!(outcome.generation, 3);
+        assert_eq!(outcome.replayed_batches, 3);
+        assert!(outcome.converged);
+        assert_eq!(rec.generation(), 3);
+        let mut recovered_scores = Vec::new();
+        assert_eq!(rec.reader().snapshot_into(&mut recovered_scores), 3);
+        assert_close(&live, &recovered_scores, 1e-8);
+
+        // The revived engine keeps serving: the next ingest publishes 4.
+        let mut rec = rec;
+        let mut batch = EdgeBatch::new();
+        batch.delete(tail[0].inserts[0].0, tail[0].inserts[0].1);
+        assert_eq!(rec.ingest(&batch).unwrap().generation, 4);
+
+        // An empty tail republishes the snapshot untouched.
+        let (rec0, out0) = ServingEngine::recovered(
+            RecoveredParts {
+                graph: snap_graph,
+                perm: None,
+                scores: snap_scores.clone(),
+                generation: snap_gen,
+                teleport: None,
+                tail: Vec::new(),
+            },
+            MODEL,
+            tight(),
+            1,
+        )
+        .unwrap();
+        assert_eq!(out0.generation, 0);
+        assert_eq!(out0.mode, None);
+        let mut s0 = Vec::new();
+        rec0.reader().snapshot_into(&mut s0);
+        assert_eq!(s0, snap_scores);
+    }
+
+    #[test]
+    fn recovered_translates_layout_permutations() {
+        use d2pr_graph::permute::Layout;
+        let g = barabasi_albert(250, 3, 29).unwrap();
+        let mut serving =
+            ServingEngine::with_layout(g, Layout::DegreeDescending, None, MODEL, tight(), 1)
+                .unwrap();
+        let snap_graph = serving.delta_graph().snapshot(); // solver order
+        let perm = serving.permutation().cloned();
+        assert!(perm.is_some());
+        let mut snap_scores = Vec::new();
+        let snap_gen = serving.reader().snapshot_into(&mut snap_scores);
+        // One external-id batch after the snapshot.
+        let mut batch = EdgeBatch::new();
+        let p = perm.as_ref().unwrap();
+        let mut target = 249u32;
+        while serving
+            .delta_graph()
+            .has_arc(p.to_internal(0), p.to_internal(target))
+            || target == 0
+        {
+            target -= 1;
+        }
+        batch.insert(0, target);
+        serving.ingest(&batch).unwrap();
+        let mut live = Vec::new();
+        serving.reader().snapshot_into(&mut live);
+
+        let (rec, outcome) = ServingEngine::recovered(
+            RecoveredParts {
+                graph: snap_graph,
+                perm,
+                scores: snap_scores,
+                generation: snap_gen,
+                teleport: serving.teleport().map(<[f64]>::to_vec),
+                tail: vec![batch],
+            },
+            MODEL,
+            tight(),
+            1,
+        )
+        .unwrap();
+        assert_eq!(outcome.generation, 1);
+        let mut recovered_scores = Vec::new();
+        rec.reader().snapshot_into(&mut recovered_scores);
+        assert_close(&live, &recovered_scores, 1e-8);
+    }
+
+    #[test]
+    fn validate_batch_screens_everything_ingest_validates() {
+        let g = barabasi_albert(100, 3, 5).unwrap();
+        let mut serving = ServingEngine::new(g, MODEL, tight(), 1).unwrap();
+        let mut good = EdgeBatch::new();
+        good.insert(0, 99);
+        good.delete(1, 2);
+        assert!(serving.validate_batch(&good).is_ok());
+        let mut bad = EdgeBatch::new();
+        bad.insert(0, 100);
+        match serving.validate_batch(&bad).unwrap_err() {
+            UpdateError::Graph(GraphError::NodeOutOfRange { node, num_nodes }) => {
+                assert_eq!((node, num_nodes), (100, 100));
+            }
+            other => panic!("expected NodeOutOfRange, got {other:?}"),
+        }
+        // A validated batch never fails ingest validation.
+        assert!(serving.ingest(&good).is_ok());
+        assert!(serving.ingest(&bad).is_err());
+        // The failed ingest left the engine unpoisoned.
+        assert!(serving.ingest(&EdgeBatch::new()).is_ok());
     }
 
     #[test]

@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! repro [--scale S] [--seed N] [--csv] <experiment>
+//! repro serve --data-dir DIR [--snapshot-every K] ...
+//! repro recover DIR
 //!
 //! experiments:
 //!   table1 table2 table3 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8
@@ -10,7 +12,9 @@
 //!
 //! `--scale` scales the generated worlds relative to the paper's Table 3
 //! node counts (default 0.05 ≈ tens of seconds of wall time; 1.0
-//! regenerates paper-sized graphs).
+//! regenerates paper-sized graphs). `serve --data-dir` runs the serving
+//! scenario on the durable (write-ahead logged) stack; `recover DIR`
+//! revives such a store and prints where each shard resumed.
 
 use d2pr_datagen::worlds::ApplicationGroup;
 use d2pr_experiments::experiments::{
@@ -30,12 +34,16 @@ struct Options {
     readers: Option<usize>,
     shards: Option<usize>,
     mode: Option<d2pr_experiments::evolving::RefreshMode>,
+    data_dir: Option<String>,
+    snapshot_every: Option<u64>,
     experiment: String,
 }
 
 const USAGE: &str = "usage: repro [--scale S] [--seed N] [--csv] \
 [--mode sweep|localized|auto] [--readers R] [--shards K] \
-<table1|table2|table3|fig1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|recs|rewire|stability|evolving|serve|all>";
+[--data-dir DIR] [--snapshot-every K] \
+<table1|table2|table3|fig1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|recs|rewire|stability|evolving|serve|all>\n\
+       repro recover <DIR>";
 
 fn parse_args() -> Result<Options, String> {
     let mut scale = 0.05;
@@ -47,7 +55,9 @@ fn parse_args() -> Result<Options, String> {
     let mut readers = None;
     let mut shards = None;
     let mut mode = None;
-    let mut experiment = None;
+    let mut data_dir = None;
+    let mut snapshot_every = None;
+    let mut experiment: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -113,9 +123,29 @@ fn parse_args() -> Result<Options, String> {
                     })?,
                 );
             }
+            "--data-dir" => {
+                data_dir = Some(args.next().ok_or("--data-dir needs a value")?);
+            }
+            "--snapshot-every" => {
+                snapshot_every = Some(
+                    args.next()
+                        .ok_or("--snapshot-every needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad --snapshot-every: {e}"))?,
+                );
+            }
             "--csv" => csv = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
-            other if !other.starts_with('-') => experiment = Some(other.to_string()),
+            other if !other.starts_with('-') => {
+                // `recover` takes the store directory as a positional.
+                if experiment.as_deref() == Some("recover") && data_dir.is_none() {
+                    data_dir = Some(other.to_string());
+                } else if experiment.is_none() {
+                    experiment = Some(other.to_string());
+                } else {
+                    return Err(format!("unexpected argument {other}\n{USAGE}"));
+                }
+            }
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
     }
@@ -129,6 +159,8 @@ fn parse_args() -> Result<Options, String> {
         readers,
         shards,
         mode,
+        data_dir,
+        snapshot_every,
         experiment: experiment.ok_or_else(|| USAGE.to_string())?,
     })
 }
@@ -182,12 +214,17 @@ fn run(opts: &Options) -> Result<(), String> {
         "stability",
         "evolving",
         "serve",
+        "recover",
     ];
     if !all && !known.contains(&opts.experiment.as_str()) {
         return Err(format!("unknown experiment '{}'\n{USAGE}", opts.experiment));
     }
 
-    let needs_ctx = all || !matches!(opts.experiment.as_str(), "fig1" | "evolving" | "serve");
+    let needs_ctx = all
+        || !matches!(
+            opts.experiment.as_str(),
+            "fig1" | "evolving" | "serve" | "recover"
+        );
     let ctx = if needs_ctx {
         eprintln!(
             "generating worlds (scale {}, seed {}) ...",
@@ -330,22 +367,53 @@ fn run(opts: &Options) -> Result<(), String> {
             batches: opts.batches.unwrap_or(base.batches),
             readers: opts.readers.unwrap_or(base.readers),
             shards: opts.shards.unwrap_or(base.shards),
+            data_dir: opts.data_dir.as_ref().map(std::path::PathBuf::from),
+            snapshot_every: opts.snapshot_every.unwrap_or(base.snapshot_every),
             ..base
         };
         eprintln!(
-            "serve: BA({}, {}), {} batches of {:.2}% churn, {} reader thread(s), {} shard(s) ...",
+            "serve: BA({}, {}), {} batches of {:.2}% churn, {} reader thread(s), {} shard(s){} ...",
             cfg.nodes,
             cfg.attachments,
             cfg.batches,
             cfg.churn * 100.0,
             cfg.readers,
-            cfg.shards
+            cfg.shards,
+            match &cfg.data_dir {
+                Some(d) => format!(", durable in {}", d.display()),
+                None => String::new(),
+            }
         );
         let report = d2pr_experiments::run_serve(&cfg).map_err(|e| e.to_string())?;
         print_table(
             "Serving: double-buffered refreshes under concurrent reader load",
             &d2pr_experiments::serving::serve_report(&report),
             csv,
+        );
+    }
+    // Not part of `all`: recovery needs an existing store directory.
+    if opts.experiment == "recover" {
+        let dir = opts
+            .data_dir
+            .as_ref()
+            .ok_or(format!("recover needs a store directory\n{USAGE}"))?;
+        eprintln!("recover: opening durable store {dir} ...");
+        let reports = d2pr_experiments::run_recover(std::path::Path::new(dir), 0)
+            .map_err(|e| e.to_string())?;
+        print_table(
+            "Recovery: per-shard snapshot + log-tail replay",
+            &d2pr_experiments::serving::recover_report(&reports),
+            csv,
+        );
+        let gen = reports
+            .iter()
+            .map(|r| r.recovered_generation)
+            .min()
+            .unwrap_or(0);
+        let replayed: usize = reports.iter().map(|r| r.outcome.replayed_batches).sum();
+        println!(
+            "recovered {} shard(s) to generation {gen}: {replayed} log-tail batch(es) replayed",
+            reports.len()
         );
     }
     Ok(())

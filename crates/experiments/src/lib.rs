@@ -17,5 +17,5 @@ pub mod stability;
 pub mod sweep;
 
 pub use evolving::{run_evolving, EvolvingConfig, EvolvingReport};
-pub use serving::{run_serve, ServeConfig, ServeReport};
+pub use serving::{run_recover, run_serve, ServeConfig, ServeError, ServeReport};
 pub use sweep::{correlation_with_significance, GridPoint, SweepConfig};

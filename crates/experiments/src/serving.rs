@@ -10,19 +10,67 @@
 //! The per-batch table shows the refresh strategy, its wall time, and how
 //! many reads were served **during** each refresh — the number that was
 //! zero, by construction, before the double-buffered publication path.
+//!
+//! With `--data-dir` the same stream runs on the **durable** stack
+//! ([`DurableShardManager`]): every batch is logged and fsynced before it
+//! publishes, snapshots land every `--snapshot-every` ingests, and a later
+//! `repro recover <dir>` revives the store and prints where it resumed.
 
 use crate::evolving::churn_stream;
 use crate::report::TextTable;
 use d2pr_core::engine::{default_threads, ResolveMode};
 use d2pr_core::error::UpdateError;
 use d2pr_core::pagerank::PageRankConfig;
-use d2pr_core::serving::{ScoreReader, ShardManager};
+use d2pr_core::serving::{RefreshOutcome, ScoreReader, ShardManager};
 use d2pr_core::transition::TransitionModel;
+use d2pr_graph::delta::EdgeBatch;
 use d2pr_graph::generators::barabasi_albert;
+use d2pr_store::durable::{RecoveryReport, StoreOptions};
+use d2pr_store::{DurableShardManager, ShardIngest, StoreError};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Instant;
+
+/// Errors of the serving scenario: the in-memory stack's update errors
+/// plus the durable stack's store errors.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The serving/solver layer failed.
+    Update(UpdateError),
+    /// The durability layer failed.
+    Store(StoreError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Update(e) => write!(f, "{e}"),
+            ServeError::Store(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<UpdateError> for ServeError {
+    fn from(e: UpdateError) -> Self {
+        ServeError::Update(e)
+    }
+}
+
+impl From<StoreError> for ServeError {
+    fn from(e: StoreError) -> Self {
+        ServeError::Store(e)
+    }
+}
+
+impl From<d2pr_graph::error::GraphError> for ServeError {
+    fn from(e: d2pr_graph::error::GraphError) -> Self {
+        ServeError::Update(UpdateError::Graph(e))
+    }
+}
 
 /// Configuration of one serving run.
 #[derive(Debug, Clone, PartialEq)]
@@ -52,6 +100,14 @@ pub struct ServeConfig {
     pub threads: usize,
     /// RNG seed for the graph, the teleports, and the churn stream.
     pub seed: u64,
+    /// When set, serve on the durable stack persisting into this
+    /// directory (refused when it already holds state — `recover` it
+    /// instead).
+    pub data_dir: Option<PathBuf>,
+    /// Snapshot cadence of the durable stack (ignored without
+    /// `data_dir`; 0 = only the initial snapshot, the whole stream rides
+    /// the log).
+    pub snapshot_every: u64,
 }
 
 impl Default for ServeConfig {
@@ -69,6 +125,52 @@ impl Default for ServeConfig {
             max_iterations: 500,
             threads: 0,
             seed: 0x5EB7,
+            data_dir: None,
+            snapshot_every: 2,
+        }
+    }
+}
+
+/// The two serving stacks the scenario can drive: in-memory, or durable
+/// (write-ahead logged + snapshotted) when `--data-dir` is given.
+enum Stack {
+    Mem(ShardManager),
+    Durable(DurableShardManager),
+}
+
+impl Stack {
+    fn readers(&self) -> Vec<ScoreReader> {
+        match self {
+            Stack::Mem(m) => m.readers(),
+            Stack::Durable(d) => d.readers(),
+        }
+    }
+
+    fn num_shards(&self) -> usize {
+        match self {
+            Stack::Mem(m) => m.num_shards(),
+            Stack::Durable(d) => d.num_shards(),
+        }
+    }
+
+    /// Group-ingest on either stack. The scenario streams pre-validated
+    /// batches, so a durable partial failure is converted to its
+    /// first-failing shard's error.
+    fn ingest_all(&mut self, batch: &EdgeBatch) -> Result<Vec<RefreshOutcome>, ServeError> {
+        match self {
+            Stack::Mem(m) => Ok(m.ingest_all(batch)?),
+            Stack::Durable(d) => {
+                let report = d.ingest_all(batch);
+                let mut outcomes = Vec::with_capacity(report.outcomes.len());
+                for o in report.outcomes {
+                    match o {
+                        ShardIngest::Applied(outcome) => outcomes.push(outcome),
+                        ShardIngest::Failed(e) => return Err(ServeError::Store(e)),
+                        ShardIngest::Skipped => unreachable!("Skipped only follows Failed"),
+                    }
+                }
+                Ok(outcomes)
+            }
         }
     }
 }
@@ -133,12 +235,13 @@ impl ServeReport {
 
 /// Stream `cfg.batches` churn batches through a (sharded) serving stack
 /// while `cfg.readers` threads hammer point queries, and record per-batch
-/// serving accounting.
+/// serving accounting. With [`ServeConfig::data_dir`] set, the stack is
+/// durable: every batch is fsync-logged before it publishes.
 ///
 /// # Errors
-/// Propagates generator, ingestion, and solver failures as
-/// [`UpdateError`].
-pub fn run_serve(cfg: &ServeConfig) -> Result<ServeReport, UpdateError> {
+/// Propagates generator, ingestion, solver, and durability failures as
+/// [`ServeError`].
+pub fn run_serve(cfg: &ServeConfig) -> Result<ServeReport, ServeError> {
     let threads = if cfg.threads == 0 {
         default_threads()
     } else {
@@ -170,9 +273,23 @@ pub fn run_serve(cfg: &ServeConfig) -> Result<ServeReport, UpdateError> {
     let stream = churn_stream(&g0, cfg.batches, cfg.churn, &mut rng)
         .map_err(d2pr_core::error::UpdateError::Graph)?;
 
-    let mut shards = match &teleports {
-        None => ShardManager::from_graphs(vec![g0], model, solver, threads)?,
-        Some(t) => ShardManager::personalized(&g0, t, model, solver, threads)?,
+    let mut shards = match (&cfg.data_dir, &teleports) {
+        (None, None) => Stack::Mem(ShardManager::from_graphs(vec![g0], model, solver, threads)?),
+        (None, Some(t)) => Stack::Mem(ShardManager::personalized(&g0, t, model, solver, threads)?),
+        (Some(dir), tp) => {
+            let opts = StoreOptions {
+                snapshot_every: cfg.snapshot_every,
+                ..Default::default()
+            };
+            Stack::Durable(match tp {
+                None => {
+                    DurableShardManager::from_graphs(dir, vec![g0], model, solver, threads, opts)?
+                }
+                Some(t) => {
+                    DurableShardManager::personalized(dir, &g0, t, model, solver, threads, opts)?
+                }
+            })
+        }
     };
 
     let readers: Vec<ScoreReader> = shards.readers();
@@ -182,7 +299,7 @@ pub fn run_serve(cfg: &ServeConfig) -> Result<ServeReport, UpdateError> {
     let mut steps = Vec::with_capacity(cfg.batches);
     let mut stream_ms = 0.0f64;
 
-    let result: Result<(), UpdateError> = std::thread::scope(|scope| {
+    let result: Result<(), ServeError> = std::thread::scope(|scope| {
         for r in 0..cfg.readers {
             let readers = &readers;
             let stop = &stop;
@@ -206,7 +323,7 @@ pub fn run_serve(cfg: &ServeConfig) -> Result<ServeReport, UpdateError> {
         }
 
         let stream_start = Instant::now();
-        let run = (|| -> Result<(), UpdateError> {
+        let run = (|| -> Result<(), ServeError> {
             for (i, batch) in stream.iter().enumerate() {
                 let b = i + 1;
                 let reads_before = reads.load(Ordering::Relaxed);
@@ -243,6 +360,68 @@ pub fn run_serve(cfg: &ServeConfig) -> Result<ServeReport, UpdateError> {
         total_reads: reads.load(Ordering::Relaxed),
         stream_ms,
     })
+}
+
+/// Revive a durable store written by `repro serve --data-dir` (or any
+/// [`DurableShardManager`]) and report, per shard, where serving resumed.
+/// The store is opened, recovered, re-snapshotted where a tail was
+/// replayed, and dropped — the caller reads the reports.
+///
+/// # Errors
+/// [`ServeError::Store`] when the directory holds no recoverable state
+/// or the shard layout is malformed.
+pub fn run_recover(dir: &Path, threads: usize) -> Result<Vec<RecoveryReport>, ServeError> {
+    let threads = if threads == 0 {
+        default_threads()
+    } else {
+        threads
+    };
+    let (_stack, reports) = DurableShardManager::open(dir, threads, StoreOptions::default())?;
+    Ok(reports)
+}
+
+/// Per-shard table for the `repro recover` subcommand.
+pub fn recover_report(reports: &[RecoveryReport]) -> TextTable {
+    let mut t = TextTable::new(vec![
+        "shard",
+        "snap_gen",
+        "recovered",
+        "replayed",
+        "+arcs",
+        "-arcs",
+        "mode",
+        "converged",
+        "bad_snaps",
+        "torn",
+        "bad_tails",
+        "stale",
+        "orphaned",
+    ]);
+    for (i, r) in reports.iter().enumerate() {
+        let mode = match r.outcome.mode {
+            None => "-",
+            Some(ResolveMode::WarmSweep) => "sweep",
+            Some(ResolveMode::LocalizedPush) => "push",
+            Some(ResolveMode::HybridPushSweep) => "hybrid",
+            Some(ResolveMode::DenseGaussSeidel) => "gs",
+        };
+        t.push_row(vec![
+            i.to_string(),
+            r.snapshot_generation.to_string(),
+            r.recovered_generation.to_string(),
+            r.outcome.replayed_batches.to_string(),
+            r.outcome.replayed_inserted_arcs.to_string(),
+            r.outcome.replayed_deleted_arcs.to_string(),
+            mode.to_string(),
+            r.outcome.converged.to_string(),
+            r.corrupt_snapshots_skipped.to_string(),
+            r.torn_log_tails.to_string(),
+            r.corrupt_log_tails.to_string(),
+            r.stale_records.to_string(),
+            r.unreachable_records.to_string(),
+        ]);
+    }
+    t
 }
 
 /// Per-batch table for the `repro serve` subcommand.
@@ -321,6 +500,41 @@ mod tests {
         assert!(r.total_reads > 0, "readers must have been served");
         let table = serve_report(&r);
         assert_eq!(table.num_rows(), 4);
+    }
+
+    #[test]
+    fn serve_run_persists_and_recovers_with_data_dir() {
+        let dir = std::env::temp_dir().join(format!("d2pr-serve-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = ServeConfig {
+            nodes: 800,
+            attachments: 4,
+            batches: 4,
+            churn: 0.002,
+            readers: 1,
+            shards: 1,
+            threads: 1,
+            data_dir: Some(dir.clone()),
+            snapshot_every: 3,
+            ..Default::default()
+        };
+        let r = run_serve(&cfg).unwrap();
+        assert_eq!(r.steps.last().unwrap().generation, 4);
+
+        // A second serve into the same directory must refuse, not clobber.
+        match run_serve(&cfg) {
+            Err(ServeError::Store(StoreError::AlreadyInitialized { .. })) => {}
+            other => panic!("expected AlreadyInitialized, got {other:?}"),
+        }
+
+        let reports = run_recover(&dir, 1).unwrap();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].recovered_generation, 4);
+        // Snapshot cadence 3 over 4 batches: one batch rides the log.
+        assert_eq!(reports[0].outcome.replayed_batches, 1);
+        let table = recover_report(&reports);
+        assert_eq!(table.num_rows(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

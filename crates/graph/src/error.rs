@@ -2,6 +2,111 @@
 
 use std::fmt;
 
+/// Location context of a malformed binary file: *which* file went bad,
+/// *where*, and *how*. Carried by [`GraphError::Corrupt`] (and reused by
+/// the `d2pr-store` crate's log/snapshot decoders) so corruption reports
+/// are typed fields a caller can match on, not prose.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorruptFile {
+    /// The file the bytes came from, when known (`None` for in-memory
+    /// buffers).
+    pub path: Option<String>,
+    /// Byte offset at which decoding failed.
+    pub offset: u64,
+    /// What went wrong at that offset.
+    pub kind: CorruptKind,
+}
+
+impl CorruptFile {
+    /// A corruption record with no file context (in-memory decode).
+    pub fn at(offset: u64, kind: CorruptKind) -> Self {
+        Self {
+            path: None,
+            offset,
+            kind,
+        }
+    }
+
+    /// Attach the source file's path (kept if already set).
+    #[must_use]
+    pub fn with_path(mut self, path: impl Into<String>) -> Self {
+        if self.path.is_none() {
+            self.path = Some(path.into());
+        }
+        self
+    }
+}
+
+impl fmt::Display for CorruptFile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.path {
+            Some(p) => write!(f, "{p}: byte {}: {}", self.offset, self.kind),
+            None => write!(f, "byte {}: {}", self.offset, self.kind),
+        }
+    }
+}
+
+/// The specific defect found at [`CorruptFile::offset`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum CorruptKind {
+    /// The data ended before a complete field/section.
+    Truncated {
+        /// Bytes the decoder needed at the offset.
+        needed: u64,
+        /// Bytes actually available there.
+        available: u64,
+    },
+    /// A magic number did not match.
+    BadMagic {
+        /// The value found.
+        found: u32,
+        /// The value required.
+        expected: u32,
+    },
+    /// A format version this build does not speak.
+    UnsupportedVersion {
+        /// The version found.
+        found: u32,
+        /// The newest version this build supports.
+        supported: u32,
+    },
+    /// A checksum over the preceding bytes did not verify.
+    Checksum {
+        /// The checksum stored in the file.
+        stored: u32,
+        /// The checksum computed from the bytes.
+        computed: u32,
+    },
+    /// A structurally impossible value (described field by field).
+    Malformed(String),
+}
+
+impl fmt::Display for CorruptKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CorruptKind::Truncated { needed, available } => {
+                write!(f, "truncated (need {needed} bytes, {available} available)")
+            }
+            CorruptKind::BadMagic { found, expected } => {
+                write!(f, "bad magic 0x{found:08x} (expected 0x{expected:08x})")
+            }
+            CorruptKind::UnsupportedVersion { found, supported } => {
+                write!(
+                    f,
+                    "unsupported version {found} (this build speaks {supported})"
+                )
+            }
+            CorruptKind::Checksum { stored, computed } => {
+                write!(
+                    f,
+                    "checksum mismatch (stored 0x{stored:08x}, computed 0x{computed:08x})"
+                )
+            }
+            CorruptKind::Malformed(what) => write!(f, "malformed: {what}"),
+        }
+    }
+}
+
 /// Errors produced while constructing or loading graphs.
 #[derive(Debug, Clone, PartialEq)]
 pub enum GraphError {
@@ -30,8 +135,22 @@ pub enum GraphError {
     },
     /// A binary snapshot was malformed or truncated.
     Snapshot(String),
+    /// A binary file failed to decode, with file-path and byte-offset
+    /// context (the typed successor of [`GraphError::Snapshot`]; all
+    /// binary decoders in [`crate::io`] report through this).
+    Corrupt(CorruptFile),
     /// An I/O error occurred while reading or writing a graph.
     Io(String),
+    /// An I/O error on a named file (open/read/write/sync), with the path
+    /// that failed.
+    FileIo {
+        /// The file being accessed.
+        path: String,
+        /// The operation that failed (`"open"`, `"read"`, ...).
+        op: &'static str,
+        /// The OS error text.
+        message: String,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -66,7 +185,11 @@ impl fmt::Display for GraphError {
                 write!(f, "parse error on line {line}: {message}")
             }
             GraphError::Snapshot(msg) => write!(f, "snapshot error: {msg}"),
+            GraphError::Corrupt(c) => write!(f, "corrupt file: {c}"),
             GraphError::Io(msg) => write!(f, "i/o error: {msg}"),
+            GraphError::FileIo { path, op, message } => {
+                write!(f, "i/o error: {op} {path}: {message}")
+            }
         }
     }
 }
@@ -76,6 +199,12 @@ impl std::error::Error for GraphError {}
 impl From<std::io::Error> for GraphError {
     fn from(e: std::io::Error) -> Self {
         GraphError::Io(e.to_string())
+    }
+}
+
+impl From<CorruptFile> for GraphError {
+    fn from(c: CorruptFile) -> Self {
+        GraphError::Corrupt(c)
     }
 }
 
@@ -122,6 +251,46 @@ mod tests {
         let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
         let e: GraphError = io.into();
         assert!(matches!(e, GraphError::Io(_)));
+    }
+
+    #[test]
+    fn corrupt_file_display_carries_path_offset_and_kind() {
+        let c = CorruptFile::at(
+            42,
+            CorruptKind::Checksum {
+                stored: 0xDEAD_BEEF,
+                computed: 0x0BAD_F00D,
+            },
+        )
+        .with_path("/tmp/wal-0.log");
+        let e: GraphError = c.clone().into();
+        let text = e.to_string();
+        assert!(text.contains("/tmp/wal-0.log"));
+        assert!(text.contains("byte 42"));
+        assert!(text.contains("0xdeadbeef"));
+        // with_path keeps an already-set path.
+        assert_eq!(
+            c.with_path("/elsewhere").path.as_deref(),
+            Some("/tmp/wal-0.log")
+        );
+        let t = CorruptFile::at(
+            0,
+            CorruptKind::Truncated {
+                needed: 8,
+                available: 3,
+            },
+        );
+        assert!(t.to_string().contains("need 8 bytes"));
+    }
+
+    #[test]
+    fn file_io_display_names_path_and_op() {
+        let e = GraphError::FileIo {
+            path: "/data/snap.bin".into(),
+            op: "fsync",
+            message: "disk on fire".into(),
+        };
+        assert!(e.to_string().contains("fsync /data/snap.bin"));
     }
 
     #[test]

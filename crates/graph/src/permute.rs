@@ -134,6 +134,31 @@ impl NodePermutation {
         }
     }
 
+    /// Rebuild a permutation from its forward map (`forward[external] =
+    /// internal`), validating bijectivity — the deserialization entry
+    /// point for snapshots that persist the layout.
+    ///
+    /// # Errors
+    /// [`GraphError::NodeOutOfRange`] when an entry is `>= n` or a target
+    /// position is hit twice (the map is not a bijection of `0..n`).
+    pub fn from_forward(forward: Vec<NodeId>) -> Result<Self> {
+        let n = forward.len();
+        let mut inverse = vec![0 as NodeId; n];
+        let mut seen = vec![false; n];
+        for (ext, &int) in forward.iter().enumerate() {
+            let slot = int as usize;
+            if slot >= n || seen[slot] {
+                return Err(GraphError::NodeOutOfRange {
+                    node: int,
+                    num_nodes: n as u32,
+                });
+            }
+            seen[slot] = true;
+            inverse[slot] = ext as NodeId;
+        }
+        Ok(Self { forward, inverse })
+    }
+
     /// Compute the permutation for `layout` over `graph`. Returns `None`
     /// for [`Layout::Baseline`] (identity — callers skip all translation).
     pub fn for_layout(graph: &CsrGraph, layout: Layout) -> Option<Self> {
@@ -352,6 +377,20 @@ mod tests {
             assert_eq!(p.to_external(i), v, "inverse must undo forward");
         }
         assert!(seen.into_iter().all(|x| x));
+    }
+
+    #[test]
+    fn from_forward_round_trips_and_rejects_non_bijections() {
+        let g = barabasi_albert(120, 3, 5).unwrap();
+        let p = NodePermutation::degree_descending(&g);
+        let rebuilt = NodePermutation::from_forward(p.forward().to_vec()).unwrap();
+        assert_eq!(p, rebuilt);
+        // Out-of-range entry.
+        assert!(NodePermutation::from_forward(vec![0, 3, 1]).is_err());
+        // Duplicate target.
+        assert!(NodePermutation::from_forward(vec![0, 1, 1]).is_err());
+        // Empty is the trivial bijection.
+        assert!(NodePermutation::from_forward(Vec::new()).is_ok());
     }
 
     #[test]

@@ -1,15 +1,22 @@
-//! Seed-sweep driver: explore N seeded schedules, print `seed=<s>` plus a
-//! shrunk schedule on the first failure.
+//! Seed-sweep driver: explore N seeded runs, print `seed=<s>` plus a
+//! reproducer on the first failure.
 //!
 //! ```text
-//! sim [--seeds N] [--start S] [--jobs J] [--max-steps M]
+//! sim [--scenario serving|store] [--seeds N] [--start S] [--jobs J] [--max-steps M]
 //! ```
 //!
-//! Each seed is an independent simulation (own workload, own schedule), so
-//! the sweep parallelizes trivially across `--jobs` OS threads. Exit code
-//! is non-zero on failure; the printed `seed=` line is the complete
-//! reproducer (`run_scenario(&ScenarioConfig::from_seed(s))`).
+//! Two scenarios share the driver: `serving` (default) sweeps seeded
+//! schedules of the reader/writer concurrency scenario and shrinks the
+//! first failing schedule; `store` sweeps seeded crash-injection runs of
+//! the durability layer (each seed kills the workload at a seed-derived
+//! `store.*` I/O boundary and checks the recovery contract). Each seed is
+//! an independent run, so both sweeps parallelize trivially across
+//! `--jobs` OS threads. Exit code is non-zero on failure; the printed
+//! `seed=` line is the complete reproducer
+//! (`run_scenario(&ScenarioConfig::from_seed(s))` /
+//! `run_store_scenario(&StoreScenarioConfig::from_seed(s))`).
 
+use d2pr_sim::crash::{run_store_scenario, StoreScenarioConfig};
 use d2pr_sim::scenario::{run_scenario, run_scenario_with, ScenarioConfig};
 use d2pr_sim::sched::{SimFailure, SimMetrics};
 use d2pr_sim::shrink::shrink;
@@ -18,14 +25,22 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 struct Args {
+    scenario: Scenario,
     seeds: u64,
     start: u64,
     jobs: usize,
     max_steps: u64,
 }
 
+#[derive(Clone, Copy, PartialEq)]
+enum Scenario {
+    Serving,
+    Store,
+}
+
 fn parse_args() -> Args {
     let mut args = Args {
+        scenario: Scenario::Serving,
         seeds: 100,
         start: 0,
         jobs: std::thread::available_parallelism().map_or(4, |p| p.get()),
@@ -38,12 +53,22 @@ fn parse_args() -> Args {
                 .unwrap_or_else(|| die(&format!("{name} needs a value")))
         };
         match flag.as_str() {
+            "--scenario" => {
+                args.scenario = match value("--scenario").as_str() {
+                    "serving" => Scenario::Serving,
+                    "store" => Scenario::Store,
+                    other => die(&format!("unknown scenario {other} (serving|store)")),
+                }
+            }
             "--seeds" => args.seeds = parse(&value("--seeds")),
             "--start" => args.start = parse(&value("--start")),
             "--jobs" => args.jobs = parse::<usize>(&value("--jobs")).max(1),
             "--max-steps" => args.max_steps = parse(&value("--max-steps")),
             "--help" | "-h" => {
-                println!("usage: sim [--seeds N] [--start S] [--jobs J] [--max-steps M]");
+                println!(
+                    "usage: sim [--scenario serving|store] [--seeds N] [--start S] \
+                     [--jobs J] [--max-steps M]"
+                );
                 std::process::exit(0);
             }
             other => die(&format!("unknown flag {other}")),
@@ -62,8 +87,76 @@ fn die(msg: &str) -> ! {
     std::process::exit(2);
 }
 
+/// Crash-injection sweep over the durability layer: one seeded
+/// [`run_store_scenario`] per seed, parallel across jobs, fail-fast on
+/// the lowest failing seed (deterministically replayable from it alone).
+fn store_sweep(args: &Args) -> ! {
+    let t0 = Instant::now();
+    let next = AtomicU64::new(args.start);
+    let end = args.start + args.seeds;
+    let stop = AtomicBool::new(false);
+    let first_failure: Mutex<Option<(u64, String)>> = Mutex::new(None);
+    // (runs, crashes injected, store events, batches replayed on recovery)
+    let totals: Mutex<(u64, u64, u64, u64)> = Mutex::new((0, 0, 0, 0));
+
+    std::thread::scope(|scope| {
+        for _ in 0..args.jobs {
+            scope.spawn(|| loop {
+                if stop.load(Ordering::Relaxed) {
+                    return;
+                }
+                let seed = next.fetch_add(1, Ordering::Relaxed);
+                if seed >= end {
+                    return;
+                }
+                match run_store_scenario(&StoreScenarioConfig::from_seed(seed)) {
+                    Ok(report) => {
+                        let mut t = totals.lock().unwrap();
+                        t.0 += 1;
+                        t.1 += u64::from(report.crashed.is_some());
+                        t.2 += report.store_events;
+                        t.3 += report
+                            .recovered_generation
+                            .map_or(0, |g| g.saturating_sub(report.acked_before_crash));
+                    }
+                    Err(message) => {
+                        stop.store(true, Ordering::Relaxed);
+                        let mut slot = first_failure.lock().unwrap();
+                        if slot.as_ref().is_none_or(|(s, _)| seed < *s) {
+                            *slot = Some((seed, message));
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    if let Some((seed, message)) = first_failure.into_inner().unwrap() {
+        eprintln!("FAIL seed={seed} scenario=store");
+        eprintln!("{message}");
+        eprintln!("reproduce: run_store_scenario(&StoreScenarioConfig::from_seed({seed}))");
+        std::process::exit(1);
+    }
+    let (runs, crashes, events, in_flight) = totals.into_inner().unwrap();
+    println!(
+        "ok: {} crash-injection runs ({}..{}) in {:.1}s — {} crashes injected, \
+         {} store events, {} in-flight generations recovered beyond the ack point",
+        runs,
+        args.start,
+        end,
+        t0.elapsed().as_secs_f64(),
+        crashes,
+        events,
+        in_flight,
+    );
+    std::process::exit(0);
+}
+
 fn main() {
     let args = parse_args();
+    if args.scenario == Scenario::Store {
+        store_sweep(&args);
+    }
     let t0 = Instant::now();
     let next = AtomicU64::new(args.start);
     let end = args.start + args.seeds;

@@ -23,6 +23,7 @@
 
 #![warn(missing_docs)]
 
+pub mod crash;
 pub mod scenario;
 pub mod sched;
 pub mod shadow;

@@ -1,0 +1,457 @@
+//! Hand-rolled stable binary encoding of log records.
+//!
+//! The build environment has no registry access, so there is no serde:
+//! every field is written little-endian through the `Enc` helper and
+//! read back through the offset-tracking `Dec`, whose errors are typed
+//! [`CorruptFile`] values carrying the *absolute* byte offset inside the
+//! source file (decoders of framed records pass the frame's position as
+//! `base`).
+//!
+//! # Record payload format (version 1)
+//!
+//! ```text
+//! [generation u64]
+//! [flags u8]          bit 0: inserts carry weights
+//! [n_inserts u32] [n_deletes u32]
+//! n_inserts × [src u32][dst u32]
+//! flags&1   × n_inserts × [weight f64]
+//! n_deletes × [src u32][dst u32]      (tombstones)
+//! ```
+//!
+//! The weight channel exists for forward compatibility with weighted
+//! delta rules; today's serving layer is unweighted and
+//! [`LogRecord::to_batch`] rejects weighted records as corrupt rather
+//! than silently dropping the weights.
+//!
+//! # Frame format
+//!
+//! ```text
+//! [len u32][crc u32][payload: len bytes]
+//! ```
+//!
+//! `crc` is CRC-32 (IEEE) over the payload. A frame whose header or
+//! payload extends past the end of the data is *torn*, not corrupt — the
+//! distinction [`crate::log::scan_log`] turns into the crash contract.
+
+use crate::crc::crc32;
+use d2pr_graph::delta::EdgeBatch;
+use d2pr_graph::error::{CorruptFile, CorruptKind};
+
+/// Little-endian byte sink.
+#[derive(Default)]
+pub(crate) struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub(crate) fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    pub(crate) fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Offset-tracking little-endian reader over a byte slice. `base` is the
+/// slice's position inside its source file, so every [`CorruptFile`]
+/// reports an absolute file offset.
+pub(crate) struct Dec<'a> {
+    data: &'a [u8],
+    pos: usize,
+    base: u64,
+    path: Option<&'a str>,
+}
+
+impl<'a> Dec<'a> {
+    pub(crate) fn new(data: &'a [u8], base: u64, path: Option<&'a str>) -> Self {
+        Self {
+            data,
+            pos: 0,
+            base,
+            path,
+        }
+    }
+
+    /// Absolute file offset of the next unread byte.
+    pub(crate) fn offset(&self) -> u64 {
+        self.base + self.pos as u64
+    }
+
+    pub(crate) fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// A corruption record anchored at the current absolute offset.
+    pub(crate) fn corrupt(&self, kind: CorruptKind) -> CorruptFile {
+        let c = CorruptFile::at(self.offset(), kind);
+        match self.path {
+            Some(p) => c.with_path(p),
+            None => c,
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CorruptFile> {
+        if self.remaining() < n {
+            return Err(self.corrupt(CorruptKind::Truncated {
+                needed: n as u64,
+                available: self.remaining() as u64,
+            }));
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, CorruptFile> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, CorruptFile> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, CorruptFile> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    pub(crate) fn f64(&mut self) -> Result<f64, CorruptFile> {
+        Ok(f64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    pub(crate) fn bytes(&mut self, n: usize) -> Result<&'a [u8], CorruptFile> {
+        self.take(n)
+    }
+}
+
+/// One durable log record: the edge batch published as `generation`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogRecord {
+    /// The generation this batch's ingest published.
+    pub generation: u64,
+    /// Inserted arcs, caller (external) ids.
+    pub inserts: Vec<(u32, u32)>,
+    /// Optional weights parallel to `inserts` (forward-compat channel;
+    /// the unweighted serving layer never writes it).
+    pub weights: Option<Vec<f64>>,
+    /// Deleted arcs (tombstones), caller ids.
+    pub deletes: Vec<(u32, u32)>,
+}
+
+impl LogRecord {
+    /// The record ingest logs for `batch` at `generation`.
+    pub fn from_batch(generation: u64, batch: &EdgeBatch) -> Self {
+        Self {
+            generation,
+            inserts: batch.inserts.clone(),
+            weights: None,
+            deletes: batch.deletes.clone(),
+        }
+    }
+
+    /// Rebuild the edge batch for replay.
+    ///
+    /// # Errors
+    /// A weighted record is [`CorruptKind::Malformed`] for the unweighted
+    /// serving layer — dropping the weights silently would replay a
+    /// different batch than the one that was served.
+    pub fn to_batch(&self) -> Result<EdgeBatch, CorruptFile> {
+        if self.weights.is_some() {
+            return Err(CorruptFile::at(
+                0,
+                CorruptKind::Malformed(
+                    "weighted log record replayed into an unweighted serving engine".into(),
+                ),
+            ));
+        }
+        let mut b = EdgeBatch::new();
+        for &(u, v) in &self.inserts {
+            b.insert(u, v);
+        }
+        for &(u, v) in &self.deletes {
+            b.delete(u, v);
+        }
+        Ok(b)
+    }
+
+    /// Encode the payload (unframed).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.u64(self.generation);
+        e.u8(u8::from(self.weights.is_some()));
+        e.u32(self.inserts.len() as u32);
+        e.u32(self.deletes.len() as u32);
+        for &(u, v) in &self.inserts {
+            e.u32(u);
+            e.u32(v);
+        }
+        if let Some(w) = &self.weights {
+            debug_assert_eq!(w.len(), self.inserts.len());
+            for &x in w {
+                e.f64(x);
+            }
+        }
+        for &(u, v) in &self.deletes {
+            e.u32(u);
+            e.u32(v);
+        }
+        e.into_vec()
+    }
+
+    /// Decode a payload produced by [`LogRecord::encode`]. `base`/`path`
+    /// anchor error offsets in the source file.
+    pub(crate) fn decode(data: &[u8], base: u64, path: Option<&str>) -> Result<Self, CorruptFile> {
+        let mut d = Dec::new(data, base, path);
+        let generation = d.u64()?;
+        let flags = d.u8()?;
+        if flags > 1 {
+            return Err(d.corrupt(CorruptKind::Malformed(format!(
+                "unknown record flags 0x{flags:02x}"
+            ))));
+        }
+        let n_ins = d.u32()? as usize;
+        let n_del = d.u32()? as usize;
+        // Bound the declared counts by the bytes actually present before
+        // allocating (a bit-flipped count must not trigger a huge alloc).
+        let per_ins = 8 + if flags & 1 != 0 { 8 } else { 0 };
+        let declared = n_ins
+            .saturating_mul(per_ins)
+            .saturating_add(n_del.saturating_mul(8));
+        if declared > d.remaining() {
+            return Err(d.corrupt(CorruptKind::Truncated {
+                needed: declared as u64,
+                available: d.remaining() as u64,
+            }));
+        }
+        let mut inserts = Vec::with_capacity(n_ins);
+        for _ in 0..n_ins {
+            inserts.push((d.u32()?, d.u32()?));
+        }
+        let weights = if flags & 1 != 0 {
+            let mut w = Vec::with_capacity(n_ins);
+            for _ in 0..n_ins {
+                w.push(d.f64()?);
+            }
+            Some(w)
+        } else {
+            None
+        };
+        let mut deletes = Vec::with_capacity(n_del);
+        for _ in 0..n_del {
+            deletes.push((d.u32()?, d.u32()?));
+        }
+        if d.remaining() != 0 {
+            return Err(d.corrupt(CorruptKind::Malformed(format!(
+                "{} trailing bytes after record",
+                d.remaining()
+            ))));
+        }
+        Ok(Self {
+            generation,
+            inserts,
+            weights,
+            deletes,
+        })
+    }
+}
+
+/// Bytes of a frame header.
+pub(crate) const FRAME_HEADER: usize = 8;
+
+/// Frame a payload: `[len u32][crc u32][payload]`.
+pub(crate) fn frame(payload: &[u8]) -> (Vec<u8>, Vec<u8>) {
+    let mut header = Vec::with_capacity(FRAME_HEADER);
+    header.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    header.extend_from_slice(&crc32(payload).to_le_bytes());
+    (header, payload.to_vec())
+}
+
+/// What [`read_frame`] found at an offset.
+pub(crate) enum Frame<'a> {
+    /// A complete, checksum-verified payload plus the offset just past it.
+    Ok { payload: &'a [u8], next: usize },
+    /// The data ends cleanly at this offset (no more frames).
+    End,
+    /// The frame is incomplete — a torn tail if nothing follows.
+    Torn {
+        /// Bytes the frame needed beyond what is present.
+        missing: usize,
+    },
+    /// A complete frame whose checksum (or impossible length) failed.
+    Corrupt(CorruptFile),
+}
+
+/// Decode the frame starting at `pos` in `data`.
+pub(crate) fn read_frame<'a>(data: &'a [u8], pos: usize, path: Option<&str>) -> Frame<'a> {
+    let rest = &data[pos..];
+    if rest.is_empty() {
+        return Frame::End;
+    }
+    if rest.len() < FRAME_HEADER {
+        return Frame::Torn {
+            missing: FRAME_HEADER - rest.len(),
+        };
+    }
+    let len = u32::from_le_bytes(rest[0..4].try_into().expect("4 bytes")) as usize;
+    let stored = u32::from_le_bytes(rest[4..8].try_into().expect("4 bytes"));
+    let Some(payload) = rest.get(FRAME_HEADER..FRAME_HEADER + len) else {
+        return Frame::Torn {
+            missing: FRAME_HEADER + len - rest.len(),
+        };
+    };
+    let computed = crc32(payload);
+    if computed != stored {
+        let c = CorruptFile::at(pos as u64 + 4, CorruptKind::Checksum { stored, computed });
+        return Frame::Corrupt(match path {
+            Some(p) => c.with_path(p),
+            None => c,
+        });
+    }
+    Frame::Ok {
+        payload,
+        next: pos + FRAME_HEADER + len,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> LogRecord {
+        LogRecord {
+            generation: 42,
+            inserts: vec![(0, 7), (3, 9)],
+            weights: None,
+            deletes: vec![(1, 2)],
+        }
+    }
+
+    #[test]
+    fn record_round_trips() {
+        for rec in [
+            sample(),
+            LogRecord {
+                generation: 0,
+                inserts: vec![],
+                weights: None,
+                deletes: vec![],
+            },
+            LogRecord {
+                generation: u64::MAX,
+                inserts: vec![(u32::MAX, 0)],
+                weights: Some(vec![2.5]),
+                deletes: vec![(5, 5); 3],
+            },
+        ] {
+            let bytes = rec.encode();
+            let back = LogRecord::decode(&bytes, 0, None).unwrap();
+            assert_eq!(rec, back);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_every_truncation_prefix() {
+        let bytes = sample().encode();
+        for cut in 0..bytes.len() {
+            let err = LogRecord::decode(&bytes[..cut], 100, Some("wal")).unwrap_err();
+            assert!(err.offset >= 100, "offsets are absolute");
+            assert_eq!(err.path.as_deref(), Some("wal"));
+        }
+    }
+
+    #[test]
+    fn decode_rejects_trailing_bytes_and_bad_flags() {
+        let mut bytes = sample().encode();
+        bytes.push(0);
+        let err = LogRecord::decode(&bytes, 0, None).unwrap_err();
+        assert!(matches!(err.kind, CorruptKind::Malformed(_)));
+
+        let mut bytes = sample().encode();
+        bytes[8] = 0xFE; // flags
+        let err = LogRecord::decode(&bytes, 0, None).unwrap_err();
+        assert!(matches!(err.kind, CorruptKind::Malformed(_)));
+    }
+
+    #[test]
+    fn inflated_counts_do_not_allocate() {
+        let mut bytes = sample().encode();
+        // Blow up the insert count field (offset 9..13).
+        bytes[12] = 0xFF;
+        let err = LogRecord::decode(&bytes, 0, None).unwrap_err();
+        assert!(matches!(err.kind, CorruptKind::Truncated { .. }));
+    }
+
+    #[test]
+    fn frames_verify_and_classify() {
+        let payload = sample().encode();
+        let (h, p) = frame(&payload);
+        let mut data = h;
+        data.extend_from_slice(&p);
+
+        match read_frame(&data, 0, None) {
+            Frame::Ok { payload: got, next } => {
+                assert_eq!(got, payload.as_slice());
+                assert_eq!(next, data.len());
+            }
+            _ => panic!("complete frame must verify"),
+        }
+        assert!(matches!(read_frame(&data, data.len(), None), Frame::End));
+        for cut in 1..data.len() {
+            assert!(
+                matches!(read_frame(&data[..cut], 0, None), Frame::Torn { .. }),
+                "cut at {cut} is torn"
+            );
+        }
+        // A payload bit flip is Corrupt, not Torn.
+        let mut flipped = data.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 1;
+        assert!(matches!(
+            read_frame(&flipped, 0, Some("w")),
+            Frame::Corrupt(_)
+        ));
+    }
+
+    #[test]
+    fn weighted_records_cannot_replay_unweighted() {
+        let rec = LogRecord {
+            generation: 1,
+            inserts: vec![(0, 1)],
+            weights: Some(vec![1.0]),
+            deletes: vec![],
+        };
+        assert!(rec.to_batch().is_err());
+        let mut b = EdgeBatch::new();
+        b.insert(2, 3);
+        b.delete(4, 5);
+        let rt = LogRecord::from_batch(9, &b).to_batch().unwrap();
+        assert_eq!(rt.inserts, b.inserts);
+        assert_eq!(rt.deletes, b.deletes);
+    }
+}

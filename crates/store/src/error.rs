@@ -1,0 +1,179 @@
+//! Typed error surface of the durability layer.
+//!
+//! The crash contract forbids two behaviors on bad bytes: panicking, and
+//! serving state that a checksum did not verify. Everything a decoder or
+//! the recovery scan can object to is therefore a variant here, with the
+//! file path and byte offset carried as fields (via
+//! [`CorruptFile`]) rather than formatted into prose.
+
+use d2pr_core::error::UpdateError;
+use d2pr_graph::error::{CorruptFile, GraphError};
+use std::fmt;
+use std::path::Path;
+
+/// Errors produced by the log, snapshot, recovery, and durable-serving
+/// layers.
+#[derive(Debug)]
+pub enum StoreError {
+    /// A log segment or snapshot failed to decode; the payload names the
+    /// file and the byte offset of the first defect. Recovery treats
+    /// corruption *inside* chosen state as this hard error only when no
+    /// older checksum-valid state exists to fall back to — a torn log
+    /// tail is not an error at all (see `log::ScanStop`).
+    Corrupt(CorruptFile),
+    /// An OS-level file operation failed.
+    Io {
+        /// The file or directory being accessed.
+        path: String,
+        /// The operation that failed (`"create"`, `"fsync"`, `"rename"`, ...).
+        op: &'static str,
+        /// The OS error text.
+        message: String,
+    },
+    /// The serving/solver layer rejected an operation (batch validation,
+    /// warm re-solve, engine revival).
+    Update(UpdateError),
+    /// The data directory holds no checksum-valid snapshot to recover
+    /// from (empty directory, or every snapshot failed verification).
+    NoDurableState {
+        /// The directory that was scanned.
+        dir: String,
+        /// Snapshot files found but rejected by verification.
+        corrupt_snapshots: usize,
+    },
+    /// `create` was pointed at a directory that already holds durable
+    /// state — opening it instead prevents silently clobbering a log.
+    AlreadyInitialized {
+        /// The directory holding existing state.
+        dir: String,
+    },
+    /// The durable generation chain is broken: the log tail does not
+    /// continue contiguously from the chosen snapshot's generation.
+    GenerationGap {
+        /// The generation recovery resumed from (snapshot).
+        snapshot_generation: u64,
+        /// The first generation missing from the log.
+        missing: u64,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Corrupt(c) => write!(f, "corrupt store file: {c}"),
+            StoreError::Io { path, op, message } => {
+                write!(f, "store i/o error: {op} {path}: {message}")
+            }
+            StoreError::Update(e) => write!(f, "store update failed: {e}"),
+            StoreError::NoDurableState {
+                dir,
+                corrupt_snapshots,
+            } => write!(
+                f,
+                "no durable state under {dir} ({corrupt_snapshots} snapshot(s) failed verification)"
+            ),
+            StoreError::AlreadyInitialized { dir } => write!(
+                f,
+                "{dir} already holds durable state (open it instead of creating over it)"
+            ),
+            StoreError::GenerationGap {
+                snapshot_generation,
+                missing,
+            } => write!(
+                f,
+                "durable generation chain broken: snapshot at {snapshot_generation}, \
+                 generation {missing} missing from the log"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<CorruptFile> for StoreError {
+    fn from(c: CorruptFile) -> Self {
+        StoreError::Corrupt(c)
+    }
+}
+
+impl From<UpdateError> for StoreError {
+    fn from(e: UpdateError) -> Self {
+        StoreError::Update(e)
+    }
+}
+
+impl From<GraphError> for StoreError {
+    fn from(e: GraphError) -> Self {
+        match e {
+            GraphError::Corrupt(c) => StoreError::Corrupt(c),
+            GraphError::FileIo { path, op, message } => StoreError::Io { path, op, message },
+            other => StoreError::Update(UpdateError::Graph(other)),
+        }
+    }
+}
+
+/// Wrap an [`std::io::Error`] with the path and operation that failed.
+pub(crate) fn io_err(path: &Path, op: &'static str, e: &std::io::Error) -> StoreError {
+    StoreError::Io {
+        path: path.display().to_string(),
+        op,
+        message: e.to_string(),
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, StoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use d2pr_graph::error::CorruptKind;
+
+    #[test]
+    fn display_carries_typed_context() {
+        let c: StoreError = CorruptFile::at(
+            17,
+            CorruptKind::Checksum {
+                stored: 1,
+                computed: 2,
+            },
+        )
+        .with_path("/d/wal-0.log")
+        .into();
+        assert!(c.to_string().contains("/d/wal-0.log"));
+        assert!(c.to_string().contains("byte 17"));
+
+        let gap = StoreError::GenerationGap {
+            snapshot_generation: 4,
+            missing: 5,
+        };
+        assert!(gap.to_string().contains("generation 5 missing"));
+
+        let io = io_err(
+            Path::new("/d/snap-0.bin.tmp"),
+            "rename",
+            &std::io::Error::other("boom"),
+        );
+        assert!(io.to_string().contains("rename /d/snap-0.bin.tmp"));
+    }
+
+    #[test]
+    fn graph_errors_map_structurally() {
+        let e: StoreError = GraphError::FileIo {
+            path: "x".into(),
+            op: "read",
+            message: "gone".into(),
+        }
+        .into();
+        assert!(matches!(e, StoreError::Io { .. }));
+        let e: StoreError = GraphError::Corrupt(CorruptFile::at(
+            0,
+            CorruptKind::BadMagic {
+                found: 0,
+                expected: 1,
+            },
+        ))
+        .into();
+        assert!(matches!(e, StoreError::Corrupt(_)));
+    }
+}

@@ -1,0 +1,46 @@
+//! # d2pr-store
+//!
+//! Durability for the D2PR serving layer: a write-ahead delta log,
+//! periodic full-state snapshots, and crash recovery that resumes
+//! serving at exactly the last durable generation.
+//!
+//! * [`codec`] — stable hand-rolled binary encoding of log records
+//!   (little-endian, CRC-framed; no derive machinery, the byte layout
+//!   *is* the compatibility contract);
+//! * [`crc`] — CRC-32 (IEEE) over every frame and snapshot payload;
+//! * [`log`] — append-only generation-stamped segments, fsync'd per
+//!   record, scanned back to their longest checksum-valid prefix;
+//! * [`snapshot`] — whole-state snapshots (CSR arrays, layout
+//!   permutation, rank vector, teleport, solver config) committed by
+//!   temp-file + atomic rename;
+//! * [`recover`] — the read-only scan: newest verifying snapshot plus
+//!   the contiguous log tail, tolerating torn tails, corrupt files, and
+//!   generation gaps without panicking;
+//! * [`durable`] — [`DurableServingEngine`], the serving engine whose
+//!   every ingest is **durable before it is served**;
+//! * [`shard`] — [`DurableShardManager`], per-shard log lineages under
+//!   one root;
+//! * [`error`] — typed [`StoreError`] (never a panic on bad bytes).
+//!
+//! Every I/O boundary is labeled with a
+//! [`d2pr_core::exec::yield_point`], so the `d2pr-sim` harness can
+//! crash the process between any two steps and assert the recovery
+//! contract: the store always revives to a checksum-verified prefix of
+//! what it acknowledged, never serves torn state, and never loses an
+//! acknowledged generation.
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod crc;
+pub mod durable;
+pub mod error;
+pub mod log;
+pub mod recover;
+pub mod shard;
+pub mod snapshot;
+
+pub use crate::durable::{DurableServingEngine, RecoveryReport, StoreOptions};
+pub use crate::error::{Result, StoreError};
+pub use crate::recover::{recover_dir, RecoveredState};
+pub use crate::shard::{DurableShardManager, IngestAllReport, ShardIngest};

@@ -1,0 +1,416 @@
+//! The append-only write-ahead log: one segment file per snapshot epoch.
+//!
+//! A segment `wal-<base>.log` holds the records of generations
+//! `base+1, base+2, …` in order, each framed and CRC-checked
+//! ([`crate::codec`]). Segments are only ever *created* fresh — after a
+//! crash, recovery replays the valid prefix of every segment and then
+//! rotates to a new one at the recovered generation, so an appender
+//! never writes after a torn tail.
+//!
+//! # Crash contract
+//!
+//! [`LogWriter::append`] is the durability point of an ingest: the frame
+//! header, the record body, and the fsync are separate labeled steps
+//! (`store.log.append.frame`, `store.log.append.body`,
+//! `store.log.fsync` — see `d2pr_core::exec`), and a crash between any
+//! two of them leaves either a clean end, a torn frame, or a complete
+//! record that was fsynced but never served. [`scan_log`] maps each of
+//! those to exactly one outcome: the longest checksum-valid record
+//! prefix, plus a typed [`ScanStop`] describing why scanning stopped.
+//! A torn or corrupt tail is **data loss of unacknowledged writes
+//! only** — never an error, never a panic.
+
+use crate::codec::{frame, read_frame, Frame, LogRecord};
+use crate::crc::crc32;
+use crate::error::{io_err, Result, StoreError};
+use d2pr_core::exec::yield_point;
+use d2pr_graph::error::{CorruptFile, CorruptKind};
+use std::fs::File;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// `"D2WL"` little-endian.
+const WAL_MAGIC: u32 = u32::from_le_bytes(*b"D2WL");
+const WAL_VERSION: u32 = 1;
+/// magic + version + base generation + header crc.
+pub(crate) const WAL_HEADER: usize = 4 + 4 + 8 + 4;
+
+/// The segment file holding generations `base+1…` under `dir`.
+pub(crate) fn wal_path(dir: &Path, base: u64) -> PathBuf {
+    dir.join(format!("wal-{base:020}.log"))
+}
+
+/// Parse a segment file name back to its base generation.
+pub(crate) fn parse_wal_name(name: &str) -> Option<u64> {
+    name.strip_prefix("wal-")?
+        .strip_suffix(".log")?
+        .parse()
+        .ok()
+}
+
+fn header_bytes(base: u64) -> [u8; WAL_HEADER] {
+    let mut h = [0u8; WAL_HEADER];
+    h[0..4].copy_from_slice(&WAL_MAGIC.to_le_bytes());
+    h[4..8].copy_from_slice(&WAL_VERSION.to_le_bytes());
+    h[8..16].copy_from_slice(&base.to_le_bytes());
+    let crc = crc32(&h[0..16]);
+    h[16..20].copy_from_slice(&crc.to_le_bytes());
+    h
+}
+
+/// Single-writer appender on one fresh segment.
+pub struct LogWriter {
+    file: File,
+    path: PathBuf,
+    next: u64,
+    /// Shard index carried as the yield points' `arg`.
+    shard: usize,
+}
+
+impl std::fmt::Debug for LogWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogWriter")
+            .field("path", &self.path)
+            .field("next", &self.next)
+            .finish()
+    }
+}
+
+impl LogWriter {
+    /// Create `wal-<base>.log` under `dir` (failing if it exists — a
+    /// segment is never reopened for append) and write its header,
+    /// fsynced. The first [`LogWriter::append`] must carry generation
+    /// `base + 1`.
+    ///
+    /// # Errors
+    /// [`StoreError::Io`] with the path and failing operation.
+    pub fn create(dir: &Path, base: u64, shard: usize) -> Result<Self> {
+        let path = wal_path(dir, base);
+        let mut file = File::options()
+            .write(true)
+            .create_new(true)
+            .open(&path)
+            .map_err(|e| io_err(&path, "create", &e))?;
+        file.write_all(&header_bytes(base))
+            .map_err(|e| io_err(&path, "write", &e))?;
+        file.sync_all().map_err(|e| io_err(&path, "fsync", &e))?;
+        Ok(Self {
+            file,
+            path,
+            next: base + 1,
+            shard,
+        })
+    }
+
+    /// The generation the next append must carry.
+    pub fn next_generation(&self) -> u64 {
+        self.next
+    }
+
+    /// The segment's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Append one record and fsync it — the write is durable when this
+    /// returns. The frame header, the body, and the fsync are separate
+    /// labeled crash points (see the module docs).
+    ///
+    /// # Errors
+    /// [`StoreError::Io`] on any failing step; a record whose generation
+    /// breaks the segment's contiguous chain is rejected as
+    /// [`StoreError::GenerationGap`] before any byte is written.
+    pub fn append(&mut self, record: &LogRecord) -> Result<()> {
+        if record.generation != self.next {
+            return Err(StoreError::GenerationGap {
+                snapshot_generation: self.next.saturating_sub(1),
+                missing: self.next,
+            });
+        }
+        let payload = record.encode();
+        let (header, body) = frame(&payload);
+        yield_point("store.log.append.frame", self.shard);
+        self.file
+            .write_all(&header)
+            .map_err(|e| io_err(&self.path, "write", &e))?;
+        yield_point("store.log.append.body", self.shard);
+        self.file
+            .write_all(&body)
+            .map_err(|e| io_err(&self.path, "write", &e))?;
+        yield_point("store.log.fsync", self.shard);
+        self.file
+            .sync_data()
+            .map_err(|e| io_err(&self.path, "fsync", &e))?;
+        self.next += 1;
+        Ok(())
+    }
+}
+
+/// Why a [`scan_log`] stopped consuming records.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScanStop {
+    /// The segment ended exactly on a record boundary.
+    Clean,
+    /// The final frame (or the header, for a file shorter than one) was
+    /// incomplete — the signature of a crash mid-append.
+    Torn {
+        /// Offset at which the incomplete frame starts.
+        offset: u64,
+        /// Bytes the frame needed beyond the file's end.
+        missing: u64,
+    },
+    /// A complete frame or record failed verification; everything before
+    /// `0.offset` is intact.
+    Corrupt(CorruptFile),
+}
+
+/// The checksum-valid prefix of one segment.
+#[derive(Debug)]
+pub struct LogScan {
+    /// The segment's base generation (records run `base+1…`).
+    pub base: u64,
+    /// Verified records, in append order (contiguous generations).
+    pub records: Vec<LogRecord>,
+    /// Bytes of the verified prefix (header included).
+    pub valid_bytes: u64,
+    /// Why scanning stopped.
+    pub stop: ScanStop,
+}
+
+/// Scan a segment to its longest checksum-valid record prefix. Torn or
+/// corrupt tails are reported in [`LogScan::stop`], never as errors; the
+/// only error is an unreadable file.
+///
+/// # Errors
+/// [`StoreError::Io`] when the file cannot be read at all.
+pub fn scan_log(path: &Path) -> Result<LogScan> {
+    let data = std::fs::read(path).map_err(|e| io_err(path, "read", &e))?;
+    let name = path.display().to_string();
+    let corrupt = |offset: u64, kind: CorruptKind| {
+        ScanStop::Corrupt(CorruptFile::at(offset, kind).with_path(name.clone()))
+    };
+
+    // Header.
+    if data.len() < WAL_HEADER {
+        return Ok(LogScan {
+            base: 0,
+            records: Vec::new(),
+            valid_bytes: 0,
+            stop: ScanStop::Torn {
+                offset: 0,
+                missing: (WAL_HEADER - data.len()) as u64,
+            },
+        });
+    }
+    let magic = u32::from_le_bytes(data[0..4].try_into().expect("4 bytes"));
+    let version = u32::from_le_bytes(data[4..8].try_into().expect("4 bytes"));
+    let base = u64::from_le_bytes(data[8..16].try_into().expect("8 bytes"));
+    let stored = u32::from_le_bytes(data[16..20].try_into().expect("4 bytes"));
+    let computed = crc32(&data[0..16]);
+    let header_stop = if magic != WAL_MAGIC {
+        Some(corrupt(
+            0,
+            CorruptKind::BadMagic {
+                found: magic,
+                expected: WAL_MAGIC,
+            },
+        ))
+    } else if stored != computed {
+        Some(corrupt(16, CorruptKind::Checksum { stored, computed }))
+    } else if version != WAL_VERSION {
+        Some(corrupt(
+            4,
+            CorruptKind::UnsupportedVersion {
+                found: version,
+                supported: WAL_VERSION,
+            },
+        ))
+    } else {
+        None
+    };
+    if let Some(stop) = header_stop {
+        return Ok(LogScan {
+            base: 0,
+            records: Vec::new(),
+            valid_bytes: 0,
+            stop,
+        });
+    }
+
+    // Frames.
+    let mut records = Vec::new();
+    let mut pos = WAL_HEADER;
+    let mut next_gen = base + 1;
+    let stop = loop {
+        match read_frame(&data, pos, Some(&name)) {
+            Frame::End => break ScanStop::Clean,
+            Frame::Torn { missing } => {
+                break ScanStop::Torn {
+                    offset: pos as u64,
+                    missing: missing as u64,
+                }
+            }
+            Frame::Corrupt(c) => break ScanStop::Corrupt(c),
+            Frame::Ok { payload, next } => {
+                let rec = match LogRecord::decode(payload, pos as u64 + 8, Some(&name)) {
+                    Ok(r) => r,
+                    Err(c) => break ScanStop::Corrupt(c),
+                };
+                if rec.generation != next_gen {
+                    break corrupt(
+                        pos as u64 + 8,
+                        CorruptKind::Malformed(format!(
+                            "record generation {} breaks the segment chain (expected {})",
+                            rec.generation, next_gen
+                        )),
+                    );
+                }
+                next_gen += 1;
+                records.push(rec);
+                pos = next;
+            }
+        }
+    };
+    Ok(LogScan {
+        base,
+        records,
+        valid_bytes: pos as u64,
+        stop,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use d2pr_graph::delta::EdgeBatch;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("d2pr-log-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn rec(generation: u64) -> LogRecord {
+        let mut b = EdgeBatch::new();
+        b.insert(generation as u32, generation as u32 + 1);
+        LogRecord::from_batch(generation, &b)
+    }
+
+    #[test]
+    fn append_scan_round_trip() {
+        let dir = tmpdir("rt");
+        let mut w = LogWriter::create(&dir, 10, 0).unwrap();
+        for generation in 11..=14 {
+            w.append(&rec(generation)).unwrap();
+        }
+        let scan = scan_log(&wal_path(&dir, 10)).unwrap();
+        assert_eq!(scan.base, 10);
+        assert_eq!(scan.stop, ScanStop::Clean);
+        assert_eq!(
+            scan.records
+                .iter()
+                .map(|r| r.generation)
+                .collect::<Vec<_>>(),
+            vec![11, 12, 13, 14]
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn out_of_order_appends_are_rejected_before_writing() {
+        let dir = tmpdir("ooo");
+        let mut w = LogWriter::create(&dir, 0, 0).unwrap();
+        w.append(&rec(1)).unwrap();
+        assert!(matches!(
+            w.append(&rec(5)),
+            Err(StoreError::GenerationGap { missing: 2, .. })
+        ));
+        // The rejected append left no bytes behind.
+        let scan = scan_log(&wal_path(&dir, 0)).unwrap();
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.stop, ScanStop::Clean);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_tail_yields_valid_prefix() {
+        let dir = tmpdir("torn");
+        let path = {
+            let mut w = LogWriter::create(&dir, 0, 0).unwrap();
+            for generation in 1..=3 {
+                w.append(&rec(generation)).unwrap();
+            }
+            w.path().to_path_buf()
+        };
+        let full = std::fs::read(&path).unwrap();
+        // Cut anywhere inside the last record: the first two survive.
+        let scan_full = scan_log(&path).unwrap();
+        assert_eq!(scan_full.records.len(), 3);
+        let second_end = {
+            // Recompute: header + two frames.
+            let r = rec(1).encode();
+            WAL_HEADER + 2 * (8 + r.len())
+        };
+        for cut in second_end + 1..full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let scan = scan_log(&path).unwrap();
+            assert_eq!(scan.records.len(), 2, "cut at {cut}");
+            assert!(matches!(scan.stop, ScanStop::Torn { .. }));
+            assert_eq!(scan.valid_bytes as usize, second_end);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_header_or_record_is_typed_not_fatal() {
+        let dir = tmpdir("corrupt");
+        let path = {
+            let mut w = LogWriter::create(&dir, 0, 0).unwrap();
+            w.append(&rec(1)).unwrap();
+            w.append(&rec(2)).unwrap();
+            w.path().to_path_buf()
+        };
+        let full = std::fs::read(&path).unwrap();
+
+        // Magic flip: no records, typed stop.
+        let mut bad = full.clone();
+        bad[0] ^= 0xFF;
+        std::fs::write(&path, &bad).unwrap();
+        let scan = scan_log(&path).unwrap();
+        assert!(scan.records.is_empty());
+        assert!(matches!(scan.stop, ScanStop::Corrupt(_)));
+
+        // Flip one payload byte of record 2: record 1 survives.
+        let r1_end = WAL_HEADER + 8 + rec(1).encode().len();
+        let mut bad = full.clone();
+        bad[r1_end + 8 + 2] ^= 0x40;
+        std::fs::write(&path, &bad).unwrap();
+        let scan = scan_log(&path).unwrap();
+        assert_eq!(scan.records.len(), 1);
+        match &scan.stop {
+            ScanStop::Corrupt(c) => {
+                assert!(c.path.as_deref().unwrap().contains("wal-"));
+                assert!(matches!(c.kind, CorruptKind::Checksum { .. }));
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn segment_names_round_trip() {
+        assert_eq!(
+            parse_wal_name(
+                wal_path(Path::new("/d"), 1234)
+                    .file_name()
+                    .unwrap()
+                    .to_str()
+                    .unwrap()
+            ),
+            Some(1234)
+        );
+        assert_eq!(parse_wal_name("snap-0.bin"), None);
+        assert_eq!(parse_wal_name("wal-x.log"), None);
+    }
+}

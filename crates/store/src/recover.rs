@@ -1,0 +1,316 @@
+//! Read-only recovery scan: latest checksum-valid snapshot + contiguous
+//! log tail.
+//!
+//! The scan never mutates the data directory (the corruption battery
+//! re-runs it against deliberately damaged inputs), never panics on bad
+//! bytes, and fails only when *no* checksum-valid snapshot exists at all.
+//! Its decisions:
+//!
+//! 1. **Snapshot choice** — try `snap-*.bin` newest-first; the first one
+//!    that fully verifies wins, every rejected newer one is counted.
+//!    `.tmp` leftovers of interrupted commits are ignored.
+//! 2. **Tail assembly** — scan *every* `wal-*.log` to its checksum-valid
+//!    prefix ([`crate::log::scan_log`]), pool the records newer than the
+//!    chosen snapshot, and take the **contiguous** generation chain
+//!    starting at `snapshot + 1`. Rotation keeps segment generation
+//!    ranges disjoint, so when the newest snapshot is the one that was
+//!    corrupted, the chain stitches across two segments (the retention
+//!    rule in `durable` retires a segment only once no retained snapshot
+//!    needs it).
+//! 3. **Beyond a gap, nothing replays** — records past a hole in the
+//!    chain describe batches whose predecessors were lost; applying them
+//!    would rebuild a state that never existed. They are counted, not
+//!    used, and never an error: recovery lands on the last reachable
+//!    durable generation.
+
+use crate::error::{Result, StoreError};
+use crate::log::{parse_wal_name, scan_log, ScanStop};
+use crate::snapshot::{load_snapshot, parse_snap_name, StoreSnapshot};
+use d2pr_core::pagerank::PageRankConfig;
+use d2pr_core::serving::RecoveredParts;
+use d2pr_core::transition::TransitionModel;
+use d2pr_graph::delta::EdgeBatch;
+use d2pr_graph::error::{CorruptFile, CorruptKind};
+use d2pr_graph::permute::NodePermutation;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Everything a caller needs to revive serving from a data directory,
+/// plus the scan's forensic counters.
+#[derive(Debug)]
+pub struct RecoveredState {
+    /// Input for [`d2pr_core::serving::ServingEngine::recovered`].
+    pub parts: RecoveredParts,
+    /// The transition model persisted in the chosen snapshot.
+    pub model: TransitionModel,
+    /// The solver configuration persisted in the chosen snapshot.
+    pub config: PageRankConfig,
+    /// Generation of the chosen snapshot.
+    pub snapshot_generation: u64,
+    /// Newer snapshot files rejected by verification.
+    pub corrupt_snapshots_skipped: usize,
+    /// Log segments ending in an incomplete frame (crash mid-append).
+    pub torn_log_tails: usize,
+    /// Log segments ending in a checksum/decode failure.
+    pub corrupt_log_tails: usize,
+    /// Valid records already covered by the chosen snapshot.
+    pub stale_records: usize,
+    /// Valid records beyond a generation gap (not replayable).
+    pub unreachable_records: usize,
+}
+
+impl RecoveredState {
+    /// The generation serving will resume at after replay.
+    pub fn durable_generation(&self) -> u64 {
+        self.snapshot_generation + self.parts.tail.len() as u64
+    }
+}
+
+/// Store files of one kind, as `(generation, path)` pairs sorted by
+/// generation.
+pub(crate) type GenFiles = Vec<(u64, PathBuf)>;
+
+/// Inventory of the store files under `dir` (ignores foreign names and
+/// `.tmp` leftovers).
+pub(crate) fn list_store_files(dir: &Path) -> Result<(GenFiles, GenFiles)> {
+    let entries = std::fs::read_dir(dir).map_err(|e| crate::error::io_err(dir, "read", &e))?;
+    let mut snaps = Vec::new();
+    let mut wals = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| crate::error::io_err(dir, "read", &e))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(generation) = parse_snap_name(name) {
+            snaps.push((generation, entry.path()));
+        } else if let Some(base) = parse_wal_name(name) {
+            wals.push((base, entry.path()));
+        }
+    }
+    snaps.sort_unstable_by_key(|&(generation, _)| generation);
+    wals.sort_unstable_by_key(|&(base, _)| base);
+    Ok((snaps, wals))
+}
+
+/// Scan `dir` and assemble the recoverable state (read-only; see the
+/// module docs for the decision rules).
+///
+/// # Errors
+/// [`StoreError::Io`] when the directory or a file cannot be read,
+/// [`StoreError::NoDurableState`] when no snapshot verifies.
+pub fn recover_dir(dir: &Path) -> Result<RecoveredState> {
+    let (snaps, wals) = list_store_files(dir)?;
+
+    // Newest verifying snapshot.
+    let mut corrupt_snapshots_skipped = 0usize;
+    let mut chosen: Option<StoreSnapshot> = None;
+    for (_, path) in snaps.iter().rev() {
+        match load_snapshot(path) {
+            Ok(snap) => {
+                chosen = Some(snap);
+                break;
+            }
+            Err(StoreError::Corrupt(_)) => corrupt_snapshots_skipped += 1,
+            Err(e) => return Err(e),
+        }
+    }
+    let Some(snap) = chosen else {
+        return Err(StoreError::NoDurableState {
+            dir: dir.display().to_string(),
+            corrupt_snapshots: corrupt_snapshots_skipped,
+        });
+    };
+
+    // Pool every segment's valid records, newest snapshot onward.
+    let mut torn_log_tails = 0usize;
+    let mut corrupt_log_tails = 0usize;
+    let mut stale_records = 0usize;
+    let mut pool: BTreeMap<u64, EdgeBatch> = BTreeMap::new();
+    for (_, path) in &wals {
+        let scan = scan_log(path)?;
+        match scan.stop {
+            ScanStop::Clean => {}
+            ScanStop::Torn { .. } => torn_log_tails += 1,
+            ScanStop::Corrupt(_) => corrupt_log_tails += 1,
+        }
+        for record in scan.records {
+            if record.generation <= snap.generation {
+                stale_records += 1;
+                continue;
+            }
+            let batch = record
+                .to_batch()
+                .map_err(|c| StoreError::Corrupt(c.with_path(path.display().to_string())))?;
+            if pool.insert(record.generation, batch).is_some() {
+                // Disjoint ranges make duplicates impossible in healthy
+                // stores; count the shadowed copy rather than guessing.
+                stale_records += 1;
+            }
+        }
+    }
+
+    // The contiguous chain from snapshot+1; everything past a gap is
+    // unreachable.
+    let mut tail = Vec::new();
+    let mut next = snap.generation + 1;
+    while let Some(batch) = pool.remove(&next) {
+        tail.push(batch);
+        next += 1;
+    }
+    let unreachable_records = pool.len();
+
+    let perm = match snap.perm_forward {
+        Some(fwd) => Some(Arc::new(NodePermutation::from_forward(fwd).map_err(
+            |_| {
+                StoreError::Corrupt(CorruptFile::at(
+                    0,
+                    CorruptKind::Malformed("snapshot permutation is not a bijection".into()),
+                ))
+            },
+        )?)),
+        None => None,
+    };
+
+    Ok(RecoveredState {
+        parts: RecoveredParts {
+            graph: snap.graph,
+            perm,
+            scores: snap.scores,
+            generation: snap.generation,
+            teleport: snap.teleport,
+            tail,
+        },
+        model: snap.model,
+        config: snap.config,
+        snapshot_generation: snap.generation,
+        corrupt_snapshots_skipped,
+        torn_log_tails,
+        corrupt_log_tails,
+        stale_records,
+        unreachable_records,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::LogWriter;
+    use crate::snapshot::write_snapshot;
+    use d2pr_core::pagerank::PageRankConfig;
+    use d2pr_core::transition::TransitionModel;
+    use d2pr_graph::generators::barabasi_albert;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("d2pr-rec-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn seed_snapshot(generation: u64) -> StoreSnapshot {
+        let graph = barabasi_albert(40, 2, 3).unwrap();
+        let n = graph.num_nodes();
+        StoreSnapshot {
+            graph,
+            perm_forward: None,
+            scores: vec![1.0 / n as f64; n],
+            generation,
+            teleport: None,
+            model: TransitionModel::DegreeDecoupled { p: 0.5 },
+            config: PageRankConfig::default(),
+        }
+    }
+
+    fn record(generation: u64) -> crate::codec::LogRecord {
+        let mut b = EdgeBatch::new();
+        b.insert(0, generation as u32 % 39 + 1);
+        crate::codec::LogRecord::from_batch(generation, &b)
+    }
+
+    #[test]
+    fn empty_dir_reports_no_durable_state() {
+        let dir = tmpdir("empty");
+        match recover_dir(&dir).unwrap_err() {
+            StoreError::NoDurableState {
+                corrupt_snapshots, ..
+            } => assert_eq!(corrupt_snapshots, 0),
+            other => panic!("expected NoDurableState, got {other}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn falls_back_across_a_corrupt_latest_snapshot() {
+        let dir = tmpdir("fallback");
+        // snap-0 + wal-0 holding generations 1..=3, then snap-3 + wal-3
+        // holding 4..=5 — the normal rotation layout.
+        write_snapshot(&dir, &seed_snapshot(0), 0).unwrap();
+        let mut w = LogWriter::create(&dir, 0, 0).unwrap();
+        for g in 1..=3 {
+            w.append(&record(g)).unwrap();
+        }
+        write_snapshot(&dir, &seed_snapshot(3), 0).unwrap();
+        let mut w = LogWriter::create(&dir, 3, 0).unwrap();
+        for g in 4..=5 {
+            w.append(&record(g)).unwrap();
+        }
+
+        // Healthy: newest snapshot + its tail.
+        let state = recover_dir(&dir).unwrap();
+        assert_eq!(state.snapshot_generation, 3);
+        assert_eq!(state.durable_generation(), 5);
+        assert_eq!(state.stale_records, 3);
+
+        // Corrupt snap-3: fall back to snap-0, stitch the chain across
+        // BOTH segments to the same durable generation.
+        let snap3 = crate::snapshot::snap_path(&dir, 3);
+        let mut bytes = std::fs::read(&snap3).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x08;
+        std::fs::write(&snap3, &bytes).unwrap();
+        let state = recover_dir(&dir).unwrap();
+        assert_eq!(state.snapshot_generation, 0);
+        assert_eq!(state.corrupt_snapshots_skipped, 1);
+        assert_eq!(state.parts.tail.len(), 5);
+        assert_eq!(state.durable_generation(), 5);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn records_beyond_a_gap_never_replay() {
+        let dir = tmpdir("gap");
+        write_snapshot(&dir, &seed_snapshot(0), 0).unwrap();
+        let mut w = LogWriter::create(&dir, 0, 0).unwrap();
+        for g in 1..=2 {
+            w.append(&record(g)).unwrap();
+        }
+        // A later segment whose predecessor records are missing.
+        let mut w = LogWriter::create(&dir, 5, 0).unwrap();
+        for g in 6..=7 {
+            w.append(&record(g)).unwrap();
+        }
+        let state = recover_dir(&dir).unwrap();
+        assert_eq!(state.durable_generation(), 2);
+        assert_eq!(state.unreachable_records, 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tails_are_counted_not_fatal() {
+        let dir = tmpdir("torn");
+        write_snapshot(&dir, &seed_snapshot(0), 0).unwrap();
+        let path = {
+            let mut w = LogWriter::create(&dir, 0, 0).unwrap();
+            for g in 1..=3 {
+                w.append(&record(g)).unwrap();
+            }
+            w.path().to_path_buf()
+        };
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 5]).unwrap();
+        let state = recover_dir(&dir).unwrap();
+        assert_eq!(state.durable_generation(), 2);
+        assert_eq!(state.torn_log_tails, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

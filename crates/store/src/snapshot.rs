@@ -1,0 +1,447 @@
+//! Checksummed, atomically-committed snapshots of the full serving state.
+//!
+//! A snapshot `snap-<generation>.bin` is self-contained: the solver-order
+//! graph (CSR arrays, embedded in the `d2pr-graph` binary format), the
+//! layout permutation, the published rank vector of that generation, the
+//! teleport distribution, and the transition model + solver config — so
+//! recovery (and `repro recover`) needs nothing but the data directory.
+//!
+//! # Atomicity argument
+//!
+//! The bytes are written to `snap-<generation>.bin.tmp`, fsynced, then
+//! renamed into place, and the directory is fsynced. POSIX `rename(2)` is
+//! atomic with respect to crashes: a reader of the directory sees either
+//! no `snap-<generation>.bin` or the complete one — never a partial file
+//! under the final name. A crash before the rename leaves only a `.tmp`
+//! (ignored and deleted by recovery); a crash after it leaves a complete,
+//! CRC-verified snapshot. The whole-payload CRC additionally rejects any
+//! file the rename story did not protect (media corruption, manual
+//! tampering), falling back to the previous retained snapshot.
+
+use crate::codec::{Dec, Enc};
+use crate::crc::crc32;
+use crate::error::{io_err, Result, StoreError};
+use d2pr_core::exec::yield_point;
+use d2pr_core::pagerank::{DanglingPolicy, PageRankConfig};
+use d2pr_core::transition::TransitionModel;
+use d2pr_graph::csr::CsrGraph;
+use d2pr_graph::error::{CorruptFile, CorruptKind};
+use d2pr_graph::io::{from_snapshot_named, to_snapshot};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// `"D2SN"` little-endian.
+const SNAP_MAGIC: u32 = u32::from_le_bytes(*b"D2SN");
+const SNAP_VERSION: u32 = 1;
+/// magic + version + payload crc + payload length.
+const SNAP_HEADER: usize = 4 + 4 + 4 + 8;
+
+/// The snapshot file of `generation` under `dir`.
+pub(crate) fn snap_path(dir: &Path, generation: u64) -> PathBuf {
+    dir.join(format!("snap-{generation:020}.bin"))
+}
+
+/// Parse a snapshot file name back to its generation.
+pub(crate) fn parse_snap_name(name: &str) -> Option<u64> {
+    name.strip_prefix("snap-")?
+        .strip_suffix(".bin")?
+        .parse()
+        .ok()
+}
+
+/// The complete durable serving state as of one published generation.
+#[derive(Debug, Clone)]
+pub struct StoreSnapshot {
+    /// The graph in **solver order** (already permuted when
+    /// `perm_forward` is set).
+    pub graph: CsrGraph,
+    /// Forward map of the layout permutation (`forward[external] =
+    /// internal`), when one is in effect.
+    pub perm_forward: Option<Vec<u32>>,
+    /// Published scores of `generation`, external node order.
+    pub scores: Vec<f64>,
+    /// The generation this snapshot captures.
+    pub generation: u64,
+    /// Teleport distribution in solver order, `None` = uniform.
+    pub teleport: Option<Vec<f64>>,
+    /// The served transition model.
+    pub model: TransitionModel,
+    /// The solver configuration.
+    pub config: PageRankConfig,
+}
+
+fn encode_model(e: &mut Enc, model: TransitionModel) {
+    let (tag, p, beta) = match model {
+        TransitionModel::Standard => (0u8, 0.0, 0.0),
+        TransitionModel::DegreeDecoupled { p } => (1, p, 0.0),
+        TransitionModel::Blended { p, beta } => (2, p, beta),
+    };
+    e.u8(tag);
+    e.f64(p);
+    e.f64(beta);
+}
+
+fn decode_model(d: &mut Dec<'_>) -> std::result::Result<TransitionModel, CorruptFile> {
+    let at = d.offset();
+    let tag = d.u8()?;
+    let p = d.f64()?;
+    let beta = d.f64()?;
+    match tag {
+        0 => Ok(TransitionModel::Standard),
+        1 => Ok(TransitionModel::DegreeDecoupled { p }),
+        2 => Ok(TransitionModel::Blended { p, beta }),
+        other => Err(CorruptFile::at(
+            at,
+            CorruptKind::Malformed(format!("unknown transition-model tag {other}")),
+        )),
+    }
+}
+
+fn encode_config(e: &mut Enc, config: &PageRankConfig) {
+    e.f64(config.alpha);
+    e.f64(config.tolerance);
+    e.u64(config.max_iterations as u64);
+    e.u8(match config.dangling {
+        DanglingPolicy::RedistributeTeleport => 0,
+        DanglingPolicy::SelfLoop => 1,
+        DanglingPolicy::Renormalize => 2,
+    });
+}
+
+fn decode_config(d: &mut Dec<'_>) -> std::result::Result<PageRankConfig, CorruptFile> {
+    let alpha = d.f64()?;
+    let tolerance = d.f64()?;
+    let max_iterations = d.u64()? as usize;
+    let at = d.offset();
+    let dangling = match d.u8()? {
+        0 => DanglingPolicy::RedistributeTeleport,
+        1 => DanglingPolicy::SelfLoop,
+        2 => DanglingPolicy::Renormalize,
+        other => {
+            return Err(CorruptFile::at(
+                at,
+                CorruptKind::Malformed(format!("unknown dangling-policy tag {other}")),
+            ))
+        }
+    };
+    Ok(PageRankConfig {
+        alpha,
+        tolerance,
+        max_iterations,
+        dangling,
+    })
+}
+
+impl StoreSnapshot {
+    /// Encode the full file image (header + payload).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        let graph_bytes = to_snapshot(&self.graph);
+        let graph_bytes = graph_bytes.as_ref();
+        e.u64(graph_bytes.len() as u64);
+        e.bytes(graph_bytes);
+        match &self.perm_forward {
+            Some(fwd) => {
+                e.u8(1);
+                e.u64(fwd.len() as u64);
+                for &v in fwd {
+                    e.u32(v);
+                }
+            }
+            None => e.u8(0),
+        }
+        e.u64(self.scores.len() as u64);
+        for &s in &self.scores {
+            e.f64(s);
+        }
+        e.u64(self.generation);
+        match &self.teleport {
+            Some(t) => {
+                e.u8(1);
+                e.u64(t.len() as u64);
+                for &x in t {
+                    e.f64(x);
+                }
+            }
+            None => e.u8(0),
+        }
+        encode_model(&mut e, self.model);
+        encode_config(&mut e, &self.config);
+        let payload = e.into_vec();
+
+        let mut file = Vec::with_capacity(SNAP_HEADER + payload.len());
+        file.extend_from_slice(&SNAP_MAGIC.to_le_bytes());
+        file.extend_from_slice(&SNAP_VERSION.to_le_bytes());
+        file.extend_from_slice(&crc32(&payload).to_le_bytes());
+        file.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        file.extend_from_slice(&payload);
+        file
+    }
+
+    /// Decode and fully verify a file image. Every defect — truncation,
+    /// bad magic, checksum mismatch, inconsistent section lengths — is a
+    /// typed [`CorruptFile`] naming `path` and the byte offset.
+    pub fn decode(data: &[u8], path: &str) -> Result<Self> {
+        let corrupt = |offset: u64, kind: CorruptKind| {
+            StoreError::Corrupt(CorruptFile::at(offset, kind).with_path(path))
+        };
+        if data.len() < SNAP_HEADER {
+            return Err(corrupt(
+                0,
+                CorruptKind::Truncated {
+                    needed: SNAP_HEADER as u64,
+                    available: data.len() as u64,
+                },
+            ));
+        }
+        let magic = u32::from_le_bytes(data[0..4].try_into().expect("4 bytes"));
+        if magic != SNAP_MAGIC {
+            return Err(corrupt(
+                0,
+                CorruptKind::BadMagic {
+                    found: magic,
+                    expected: SNAP_MAGIC,
+                },
+            ));
+        }
+        let version = u32::from_le_bytes(data[4..8].try_into().expect("4 bytes"));
+        if version != SNAP_VERSION {
+            return Err(corrupt(
+                4,
+                CorruptKind::UnsupportedVersion {
+                    found: version,
+                    supported: SNAP_VERSION,
+                },
+            ));
+        }
+        let stored = u32::from_le_bytes(data[8..12].try_into().expect("4 bytes"));
+        let len = u64::from_le_bytes(data[12..20].try_into().expect("8 bytes"));
+        let payload = match data[SNAP_HEADER..].get(..len as usize) {
+            Some(p) if data.len() as u64 == SNAP_HEADER as u64 + len => p,
+            _ => {
+                return Err(corrupt(
+                    12,
+                    CorruptKind::Malformed(format!(
+                        "declared payload of {len} bytes, file holds {}",
+                        data.len() - SNAP_HEADER
+                    )),
+                ))
+            }
+        };
+        let computed = crc32(payload);
+        if computed != stored {
+            return Err(corrupt(8, CorruptKind::Checksum { stored, computed }));
+        }
+
+        let mut d = Dec::new(payload, SNAP_HEADER as u64, Some(path));
+        let graph_len = d.u64()? as usize;
+        if graph_len > d.remaining() {
+            return Err(StoreError::Corrupt(d.corrupt(CorruptKind::Truncated {
+                needed: graph_len as u64,
+                available: d.remaining() as u64,
+            })));
+        }
+        let graph = from_snapshot_named(d.bytes(graph_len)?, path)?;
+        let n = graph.num_nodes();
+        let perm_forward = if d.u8()? != 0 {
+            let len = d.u64()? as usize;
+            if len != n {
+                return Err(StoreError::Corrupt(d.corrupt(CorruptKind::Malformed(
+                    format!("permutation covers {len} nodes, graph has {n}"),
+                ))));
+            }
+            let mut fwd = Vec::with_capacity(len);
+            for _ in 0..len {
+                fwd.push(d.u32()?);
+            }
+            Some(fwd)
+        } else {
+            None
+        };
+        let scores_len = d.u64()? as usize;
+        if scores_len != n {
+            return Err(StoreError::Corrupt(d.corrupt(CorruptKind::Malformed(
+                format!("score vector covers {scores_len} nodes, graph has {n}"),
+            ))));
+        }
+        let mut scores = Vec::with_capacity(scores_len);
+        for _ in 0..scores_len {
+            scores.push(d.f64()?);
+        }
+        let generation = d.u64()?;
+        let teleport = if d.u8()? != 0 {
+            let len = d.u64()? as usize;
+            if len != n {
+                return Err(StoreError::Corrupt(d.corrupt(CorruptKind::Malformed(
+                    format!("teleport covers {len} nodes, graph has {n}"),
+                ))));
+            }
+            let mut t = Vec::with_capacity(len);
+            for _ in 0..len {
+                t.push(d.f64()?);
+            }
+            Some(t)
+        } else {
+            None
+        };
+        let model = decode_model(&mut d)?;
+        let config = decode_config(&mut d)?;
+        if d.remaining() != 0 {
+            return Err(StoreError::Corrupt(d.corrupt(CorruptKind::Malformed(
+                format!("{} trailing bytes after snapshot payload", d.remaining()),
+            ))));
+        }
+        Ok(Self {
+            graph,
+            perm_forward,
+            scores,
+            generation,
+            teleport,
+            model,
+            config,
+        })
+    }
+}
+
+/// Commit a snapshot under `dir`: temp write, fsync, atomic rename,
+/// directory fsync (each a labeled crash point). Returns the final path.
+///
+/// # Errors
+/// [`StoreError::Io`] with the path and failing operation.
+pub fn write_snapshot(dir: &Path, snap: &StoreSnapshot, shard: usize) -> Result<PathBuf> {
+    let bytes = snap.encode();
+    let path = snap_path(dir, snap.generation);
+    let tmp = path.with_extension("bin.tmp");
+    yield_point("store.snap.write", shard);
+    let mut f = std::fs::File::create(&tmp).map_err(|e| io_err(&tmp, "create", &e))?;
+    f.write_all(&bytes).map_err(|e| io_err(&tmp, "write", &e))?;
+    yield_point("store.snap.fsync", shard);
+    f.sync_all().map_err(|e| io_err(&tmp, "fsync", &e))?;
+    drop(f);
+    yield_point("store.snap.rename", shard);
+    std::fs::rename(&tmp, &path).map_err(|e| io_err(&path, "rename", &e))?;
+    yield_point("store.snap.dirsync", shard);
+    sync_dir(dir)?;
+    Ok(path)
+}
+
+/// Load and fully verify `path`.
+///
+/// # Errors
+/// [`StoreError::Io`] if unreadable, [`StoreError::Corrupt`] on any
+/// verification failure.
+pub fn load_snapshot(path: &Path) -> Result<StoreSnapshot> {
+    let data = std::fs::read(path).map_err(|e| io_err(path, "read", &e))?;
+    StoreSnapshot::decode(&data, &path.display().to_string())
+}
+
+/// fsync a directory so a just-renamed or just-created name is durable.
+pub(crate) fn sync_dir(dir: &Path) -> Result<()> {
+    let d = std::fs::File::open(dir).map_err(|e| io_err(dir, "open", &e))?;
+    d.sync_all().map_err(|e| io_err(dir, "fsync", &e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use d2pr_graph::generators::barabasi_albert;
+    use d2pr_graph::permute::NodePermutation;
+
+    fn sample(with_perm: bool) -> StoreSnapshot {
+        let graph = barabasi_albert(60, 3, 5).unwrap();
+        let n = graph.num_nodes();
+        let perm_forward = with_perm.then(|| {
+            NodePermutation::degree_descending(&graph)
+                .forward()
+                .to_vec()
+        });
+        StoreSnapshot {
+            graph,
+            perm_forward,
+            scores: (0..n).map(|i| 1.0 / (i + 1) as f64).collect(),
+            generation: 7,
+            teleport: with_perm.then(|| vec![1.0 / n as f64; n]),
+            model: TransitionModel::Blended { p: 0.4, beta: 0.25 },
+            config: PageRankConfig {
+                alpha: 0.9,
+                tolerance: 1e-10,
+                max_iterations: 500,
+                dangling: DanglingPolicy::SelfLoop,
+            },
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_every_field() {
+        for with_perm in [false, true] {
+            let snap = sample(with_perm);
+            let bytes = snap.encode();
+            let back = StoreSnapshot::decode(&bytes, "snap-7.bin").unwrap();
+            assert_eq!(back.graph, snap.graph);
+            assert_eq!(back.perm_forward, snap.perm_forward);
+            assert_eq!(back.scores, snap.scores);
+            assert_eq!(back.generation, 7);
+            assert_eq!(back.teleport, snap.teleport);
+            assert_eq!(back.model, snap.model);
+            assert_eq!(back.config.alpha, snap.config.alpha);
+            assert_eq!(back.config.dangling, snap.config.dangling);
+        }
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_rejected() {
+        let bytes = sample(true).encode();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x01;
+            match StoreSnapshot::decode(&bad, "s") {
+                Err(StoreError::Corrupt(c)) => {
+                    assert_eq!(c.path.as_deref(), Some("s"));
+                }
+                Err(other) => panic!("flip at {i}: non-corrupt error {other}"),
+                Ok(_) => panic!("flip at {i} decoded cleanly"),
+            }
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_rejected() {
+        let bytes = sample(false).encode();
+        for cut in 0..bytes.len() {
+            assert!(
+                StoreSnapshot::decode(&bytes[..cut], "s").is_err(),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn atomic_commit_lands_and_verifies() {
+        let dir = std::env::temp_dir().join(format!("d2pr-snap-commit-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap = sample(true);
+        let path = write_snapshot(&dir, &snap, 0).unwrap();
+        assert_eq!(path, snap_path(&dir, 7));
+        assert!(!path.with_extension("bin.tmp").exists());
+        let back = load_snapshot(&path).unwrap();
+        assert_eq!(back.generation, 7);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_names_round_trip() {
+        assert_eq!(
+            parse_snap_name(
+                snap_path(Path::new("/d"), 99)
+                    .file_name()
+                    .unwrap()
+                    .to_str()
+                    .unwrap()
+            ),
+            Some(99)
+        );
+        assert_eq!(parse_snap_name("snap-1.bin.tmp"), None);
+        assert_eq!(parse_snap_name("wal-1.log"), None);
+    }
+}
