@@ -1214,11 +1214,47 @@ impl ShardManager {
 
     /// Batch query: each `(key, node)` is answered by the owning shard's
     /// published generation (`None` for out-of-range nodes).
+    ///
+    /// Queries are grouped by shard and each shard is pinned **once per
+    /// batch** instead of once per key — the pin/unpin pair (two `SeqCst`
+    /// RMWs plus a validation load) dominates a point read, so grouping
+    /// roughly halves per-query cost on realistic batch sizes. Grouping
+    /// also strengthens the answer: all of a shard's entries in one batch
+    /// come from a *single* published generation (per-key pinning could
+    /// straddle a refresh and mix two generations across keys of the same
+    /// shard).
     pub fn batch_get(&self, queries: &[(u64, u32)]) -> Vec<Option<f64>> {
-        queries
-            .iter()
-            .map(|&(key, node)| self.get(key, node))
-            .collect()
+        let mut results = vec![None; queries.len()];
+        // Counting-sort the query indices by owning shard (O(Q + S), one
+        // `shard_of` per query) so each shard's run is answered under one
+        // pin; answers land back at their original positions.
+        let nshards = self.shards.len();
+        let mut starts = vec![0usize; nshards + 1];
+        for &(key, _) in queries {
+            starts[self.shard_of(key) + 1] += 1;
+        }
+        for s in 0..nshards {
+            starts[s + 1] += starts[s];
+        }
+        let mut order = vec![0u32; queries.len()];
+        let mut cursor = starts.clone();
+        for (qi, &(key, _)) in queries.iter().enumerate() {
+            let s = self.shard_of(key);
+            order[cursor[s]] = qi as u32;
+            cursor[s] += 1;
+        }
+        for (s, shard) in self.shards.iter().enumerate() {
+            if starts[s] == starts[s + 1] {
+                continue;
+            }
+            let pin = Pinned::new(&shard.core);
+            let scores = pin.scores();
+            for &qi in &order[starts[s]..starts[s + 1]] {
+                let node = queries[qi as usize].1;
+                results[qi as usize] = scores.get(node as usize).copied();
+            }
+        }
+        results
     }
 
     /// Route one edge batch to the shard owning `key` and refresh it.
@@ -1680,6 +1716,35 @@ mod tests {
         let answers = shards.batch_get(&[(0, 0), (1, 0), (2, 10_000)]);
         assert!(answers[0].is_some() && answers[1].is_some());
         assert_eq!(answers[2], None);
+    }
+
+    #[test]
+    fn batch_get_groups_by_shard_and_matches_point_reads() {
+        let graphs: Vec<CsrGraph> = (0..3u64)
+            .map(|i| barabasi_albert(100 + 10 * i as usize, 3, i).unwrap())
+            .collect();
+        let shards = ShardManager::from_graphs(graphs, MODEL, tight(), 1).unwrap();
+        // Interleaved keys (shards revisited out of order), duplicates, and
+        // out-of-range nodes all answered at their original positions.
+        let queries: Vec<(u64, u32)> = vec![
+            (2, 5),
+            (0, 99),
+            (1, 3),
+            (5, 109),
+            (0, 100), // out of range on shard 0 (100 nodes)
+            (3, 7),
+            (2, 5),
+            (4, 110),
+        ];
+        let grouped = shards.batch_get(&queries);
+        let pointwise: Vec<Option<f64>> = queries
+            .iter()
+            .map(|&(key, node)| shards.get(key, node))
+            .collect();
+        assert_eq!(grouped, pointwise);
+        assert_eq!(grouped[4], None);
+        assert_eq!(grouped[0], grouped[6]);
+        assert!(shards.batch_get(&[]).is_empty());
     }
 
     #[test]
