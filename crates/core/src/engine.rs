@@ -120,6 +120,46 @@ pub struct IncrementalOutcome {
     pub pool_spawns: usize,
 }
 
+/// The set of nodes whose scores an incremental re-solve may have changed,
+/// reported by [`Engine::resolve_incremental_tracked`] — the repair
+/// frontier for downstream incremental consumers (the serving layer's
+/// maintained top-k index).
+///
+/// Two shapes:
+/// * `all == false`: exactly the nodes in `nodes` were written by the
+///   localized push; **every other node's score changed by at most a
+///   uniform rescale** (the final simplex normalization divides the whole
+///   vector by one positive constant, which preserves the relative order
+///   of untouched nodes).
+/// * `all == true`: a sweep (warm, hybrid finisher, or dense Gauss–Seidel)
+///   rewrote the full vector — there is no usable locality and `nodes` is
+///   left empty.
+///
+/// The buffer is reusable: pass the same `TouchedSet` every refresh and
+/// its `nodes` allocation is recycled (clear + extend).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TouchedSet {
+    /// Touched node ids (engine-internal ids when the engine runs over a
+    /// permuted [`CscStructure`] layout; callers translate).
+    pub nodes: Vec<u32>,
+    /// `true` when the whole score vector must be treated as touched.
+    pub all: bool,
+}
+
+impl TouchedSet {
+    /// Empty set (`all == false`, no nodes).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Mark every node as touched (clears `nodes`; locality is lost).
+    pub fn mark_all(&mut self) {
+        self.nodes.clear();
+        self.all = true;
+    }
+}
+
 /// The graph-independent state of an [`Engine`], recovered with
 /// [`Engine::into_state`] and revived with [`Engine::from_state`] — the
 /// serving-loop handoff for evolving graphs.
@@ -1011,7 +1051,7 @@ impl<'g> Engine<'g> {
         teleport: Option<&[f64]>,
         delta: &ArcDelta,
     ) -> Result<IncrementalOutcome, UpdateError> {
-        self.resolve_inner(previous, teleport, delta, false, None)
+        self.resolve_inner(previous, teleport, delta, false, None, None)
     }
 
     /// [`Engine::resolve_incremental_with_teleport`], delivering the
@@ -1034,7 +1074,27 @@ impl<'g> Engine<'g> {
         delta: &ArcDelta,
         out: &mut Vec<f64>,
     ) -> Result<IncrementalOutcome, UpdateError> {
-        self.resolve_inner(previous, teleport, delta, false, Some(out))
+        self.resolve_inner(previous, teleport, delta, false, Some(out), None)
+    }
+
+    /// [`Engine::resolve_incremental_into`], additionally reporting *which*
+    /// nodes the refresh may have moved (beyond the uniform rescale) in
+    /// `touched` — see [`TouchedSet`] for the exact contract. This is the
+    /// serving layer's entry point for incremental top-k index repair: a
+    /// localized push yields the exact written-node set, every sweep path
+    /// conservatively reports `all`.
+    ///
+    /// # Errors
+    /// As [`Engine::resolve_incremental`].
+    pub fn resolve_incremental_tracked(
+        &mut self,
+        previous: &[f64],
+        teleport: Option<&[f64]>,
+        delta: &ArcDelta,
+        out: &mut Vec<f64>,
+        touched: &mut TouchedSet,
+    ) -> Result<IncrementalOutcome, UpdateError> {
+        self.resolve_inner(previous, teleport, delta, false, Some(out), Some(touched))
     }
 
     /// Re-solve after an incremental graph update with the
@@ -1077,7 +1137,7 @@ impl<'g> Engine<'g> {
         teleport: Option<&[f64]>,
         delta: &ArcDelta,
     ) -> Result<IncrementalOutcome, UpdateError> {
-        self.resolve_inner(previous, teleport, delta, true, None)
+        self.resolve_inner(previous, teleport, delta, true, None, None)
     }
 
     /// Whether the localized solver can serve the current configuration:
@@ -1156,6 +1216,7 @@ impl<'g> Engine<'g> {
         delta: &ArcDelta,
         force_localized: bool,
         mut out: Option<&mut Vec<f64>>,
+        mut touched_out: Option<&mut TouchedSet>,
     ) -> Result<IncrementalOutcome, UpdateError> {
         self.model
             .ok_or_else(|| SolverError::InvalidModel("no transition model loaded".into()))
@@ -1190,6 +1251,10 @@ impl<'g> Engine<'g> {
             if let Some(o) = out {
                 o.clear();
             }
+            if let Some(t) = touched_out {
+                t.nodes.clear();
+                t.all = false;
+            }
             return Ok(IncrementalOutcome {
                 result: PageRankResult {
                     scores: vec![],
@@ -1207,6 +1272,9 @@ impl<'g> Engine<'g> {
         let choose_localized =
             self.localized_supported(delta) && (force_localized || frontier_estimate <= n / 8);
         if !choose_localized {
+            if let Some(t) = touched_out.as_deref_mut() {
+                t.mark_all();
+            }
             return self.warm_outcome(previous, teleport, out);
         }
 
@@ -1223,6 +1291,11 @@ impl<'g> Engine<'g> {
         // clone) — not re-derived per call.
         const DENSE_GS_NODES: usize = 128;
         if n <= DENSE_GS_NODES {
+            // Dense Gauss–Seidel (and its warm-sweep rescue) rewrites the
+            // full vector: no locality to report.
+            if let Some(t) = touched_out.as_deref_mut() {
+                t.mark_all();
+            }
             let matrix = self.to_matrix().expect("model loaded");
             let transpose = crate::parallel::TransposedMatrix::from_structure(
                 self.shared_structure(),
@@ -1294,6 +1367,13 @@ impl<'g> Engine<'g> {
             teleport: tele_buf,
             ..
         } = &mut self.ws;
+        let touched_sink = match touched_out.as_deref_mut() {
+            Some(t) => {
+                t.all = false;
+                Some(&mut t.nodes)
+            }
+            None => None,
+        };
         let stats = crate::residual::solve_localized(
             self.graph,
             &self.csc,
@@ -1305,6 +1385,7 @@ impl<'g> Engine<'g> {
             rank,
             residual,
             par,
+            touched_sink,
         );
         if stats.converged {
             // Final normalization to the simplex: realizes the closed-form
@@ -1342,7 +1423,11 @@ impl<'g> Engine<'g> {
         // (usually several decades below the warm start's residual);
         // polish with the extrapolated sweep from there. Signed pushes can
         // leave tolerance-scale negative dips on near-zero ranks; clamp —
-        // the sweep converges to the fixed point from any seed.
+        // the sweep converges to the fixed point from any seed. The sweep
+        // rewrites every node, so the tracked frontier degrades to "all".
+        if let Some(t) = touched_out {
+            t.mark_all();
+        }
         let seed: Vec<f64> = rank.iter().map(|&x| x.max(0.0)).collect();
         let model = self.model.expect("checked above");
         let mut sweep_out = self

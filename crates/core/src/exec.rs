@@ -42,6 +42,7 @@
 //! | `serving.write.claim` | `PublishCore::begin_write` | claiming the back slot |
 //! | `serving.write.drain` | `PublishCore::begin_write` | one drain-loop re-check |
 //! | `serving.write.begin` | `PublishCore::begin_write` | returning the drained slot |
+//! | `serving.index.write` | `ServingEngine::ingest_with` | repairing/rebuilding the back slot's top-k index |
 //! | `serving.publish` | `PublishCore::publish` | the publication store sequence |
 //! | `pool.job.run` | `pool::worker_main` | one job execution on worker `arg` |
 //! | `engine.iter` | serial + pooled sweep drivers | one power iteration |

@@ -69,7 +69,7 @@ pub mod workspace;
 pub mod prelude {
     pub use crate::approx::{forward_push, monte_carlo_ppr, ApproxResult};
     pub use crate::d2pr::D2pr;
-    pub use crate::engine::{Engine, IncrementalOutcome, ResolveMode};
+    pub use crate::engine::{Engine, IncrementalOutcome, ResolveMode, TouchedSet};
     pub use crate::error::{SolverError, UpdateError};
     pub use crate::kernel::DegreeKernel;
     pub use crate::pagerank::{pagerank, DanglingPolicy, PageRankConfig, PageRankResult};

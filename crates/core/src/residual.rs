@@ -157,6 +157,13 @@ pub(crate) struct LocalizedStats {
 /// to the simplex, which also realizes the closed-form dangling rescale —
 /// see module docs. The caller guarantees: unweighted graph, delta
 /// consistent with `graph`, and no dangling nodes under `Renormalize`.
+///
+/// `touched_out`, when given, receives (clear + extend) the exact set of
+/// nodes whose rank or residual this solve wrote — the frontier the
+/// serving layer's maintained top-k index repairs against. The set is
+/// exported just before the scratch reset, so it is complete even on the
+/// budget-exhausted path (the caller's sweep finisher then rewrites every
+/// node and must treat the set as all-of-graph instead).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn solve_localized(
     graph: &CsrGraph,
@@ -169,6 +176,7 @@ pub(crate) fn solve_localized(
     rank: &mut [f64],
     scratch: &mut ResidualScratch,
     par: Option<ParallelPushCtx<'_>>,
+    touched_out: Option<&mut Vec<u32>>,
 ) -> LocalizedStats {
     let n = graph.num_nodes();
     scratch.ensure(n);
@@ -403,6 +411,7 @@ pub(crate) fn solve_localized(
         );
         stats.residual_mass = mass;
         stats.converged = mass < params.tolerance;
+        export_touched(scratch, touched_out);
         reset(scratch);
         return stats;
     }
@@ -540,8 +549,18 @@ pub(crate) fn solve_localized(
     }
     stats.residual_mass = mass;
     stats.converged = mass < stop;
+    export_touched(scratch, touched_out);
     reset(scratch);
     stats
+}
+
+/// Deliver the touched-node set to the caller's sink (clear + extend, so a
+/// long-lived sink never reallocates past its high-water mark).
+fn export_touched(scratch: &ResidualScratch, out: Option<&mut Vec<u32>>) {
+    if let Some(out) = out {
+        out.clear();
+        out.extend_from_slice(&scratch.touched);
+    }
 }
 
 // ---------------------------------------------------------------------------

@@ -51,6 +51,20 @@
 //! microseconds; refreshes are milliseconds). There is exactly one writer
 //! by construction — publication methods require `&mut ServingEngine`.
 //!
+//! # Maintained top-k index
+//!
+//! Each slot additionally carries a **maintained top-k index** — the
+//! exact ranked head of its score buffer — written by the writer inside
+//! the same exclusivity window as the scores and flipped by the same
+//! publish store, so a pinned generation's index always describes that
+//! generation's scores. On a localized refresh the index is *repaired*
+//! from the solver's touched frontier (an `O(frontier)` admission-barrier
+//! update, independent of `n`) instead of rescanned; every sweep-shaped
+//! refresh rebuilds it. [`ScoreReader::top_k`] with `k ≤ K_max` is then a
+//! wait-free `O(k)` copy, bit-identical to the scan it replaces — see
+//! DESIGN.md, "Maintained query index", for the invariant and the
+//! exactness proof.
+//!
 //! # Sharding
 //!
 //! [`ShardManager`] hosts many serving engines — independent graphs, or N
@@ -64,7 +78,7 @@
 //! patch, the rest receive the patched `Arc` via
 //! [`EngineState::patched_with`].
 
-use crate::engine::{Engine, EngineState, ResolveMode};
+use crate::engine::{Engine, EngineState, ResolveMode, TouchedSet};
 use crate::error::UpdateError;
 use crate::pagerank::PageRankConfig;
 use crate::transition::TransitionModel;
@@ -82,12 +96,29 @@ use std::sync::Arc;
 // Publication core: two slots, pin counts, a published slot index
 // ---------------------------------------------------------------------------
 
+/// Default maintained top-k capacity (`K_max`): [`ScoreReader::top_k`]
+/// answers `k ≤ K_max` in `O(k)` from the per-slot index. Change it per
+/// engine with [`ServingEngine::set_top_k_capacity`].
+pub const DEFAULT_TOP_K_CAPACITY: usize = 128;
+
+/// Entries the index keeps *beyond* `K_max`. Each localized repair drops
+/// every entry at or below its admission barrier (at least the barrier
+/// node itself when nothing re-enters), so the head can shrink refresh
+/// over refresh; the slack absorbs those drops and amortizes the `O(n log
+/// K)` rebuild to at most one per ~`HEAD_SLACK` repairs in the worst case.
+const HEAD_SLACK: usize = 64;
+
 /// One rank buffer plus its pin count and the generation it holds.
 struct Slot {
     /// The scores of one published generation. Written only by the single
     /// writer after draining `readers` to zero; read only by pinned
     /// readers (see the module-level protocol).
     scores: UnsafeCell<Vec<f64>>,
+    /// The maintained top-k index over `scores` — repaired or rebuilt by
+    /// the writer between `begin_write` and `publish`, under exactly the
+    /// score buffer's exclusivity protocol, so it flips atomically with
+    /// the scores it indexes.
+    index: UnsafeCell<TopIndex>,
     /// Readers currently pinned to this slot.
     readers: AtomicUsize,
     /// Generation whose scores this slot holds.
@@ -95,12 +126,42 @@ struct Slot {
 }
 
 impl Slot {
-    fn new(scores: Vec<f64>, generation: u64) -> Self {
+    fn new(scores: Vec<f64>, index: TopIndex, generation: u64) -> Self {
         Self {
             scores: UnsafeCell::new(scores),
+            index: UnsafeCell::new(index),
             readers: AtomicUsize::new(0),
             generation: AtomicU64::new(generation),
         }
+    }
+}
+
+/// Maintained ranked head of one slot: exactly the global best
+/// `head.len()` entries of the slot's score buffer, best-first (score
+/// descending, node id ascending on ties — [`TopEntry`]'s goodness
+/// order). The published invariant is `head.len() ≥ min(cap, nodes)`, so
+/// any `k ≤ cap` is answered by copying a prefix.
+struct TopIndex {
+    head: Vec<TopEntry>,
+    /// Configured `K_max`. The head is kept at up to `cap + HEAD_SLACK`
+    /// entries so incremental repairs can shed entries without
+    /// immediately forcing a rebuild.
+    cap: usize,
+}
+
+impl TopIndex {
+    /// Build the index of `scores` from scratch: one `O(n log K)` scan.
+    fn rebuilt(scores: &[f64], cap: usize) -> Self {
+        let mut idx = Self {
+            head: Vec::new(),
+            cap,
+        };
+        idx.rebuild(scores);
+        idx
+    }
+
+    fn rebuild(&mut self, scores: &[f64]) {
+        self.head = scan_top(scores, (self.cap + HEAD_SLACK).min(scores.len()));
     }
 }
 
@@ -137,12 +198,20 @@ impl PublishCore {
     /// across a restart.
     fn new_at(initial: Vec<f64>, generation: u64) -> Self {
         let nodes = initial.len();
-        // Both slots start as valid copies of the initial generation, so a
-        // reader can never observe an unpublished buffer even before the
-        // first refresh.
+        // Both slots start as valid copies of the initial generation (and
+        // its index), so a reader can never observe an unpublished buffer
+        // even before the first refresh.
         let copy = initial.clone();
+        let index = TopIndex::rebuilt(&initial, DEFAULT_TOP_K_CAPACITY);
+        let index_copy = TopIndex {
+            head: index.head.clone(),
+            cap: index.cap,
+        };
         Self {
-            slots: [Slot::new(initial, generation), Slot::new(copy, generation)],
+            slots: [
+                Slot::new(initial, index, generation),
+                Slot::new(copy, index_copy, generation),
+            ],
             front: AtomicUsize::new(0),
             generation: AtomicU64::new(generation),
             nodes,
@@ -226,12 +295,28 @@ impl PublishCore {
         unsafe { &mut *self.slots[back].scores.get() }
     }
 
+    /// The back slot's maintained index, exclusively the writer's under
+    /// the same window as [`PublishCore::back_vec`].
+    ///
+    /// SAFETY: as [`PublishCore::back_vec`].
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn back_index(&self, back: usize) -> &mut TopIndex {
+        unsafe { &mut *self.slots[back].index.get() }
+    }
+
     /// The front slot's scores. SAFETY: caller must be the single writer
     /// (nobody writes the front slot while it stays front, and only the
     /// writer can flip it).
     unsafe fn front_scores(&self) -> &[f64] {
         let f = self.front.load(SeqCst);
         unsafe { (*self.slots[f].scores.get()).as_slice() }
+    }
+
+    /// The front slot's maintained index. SAFETY: as
+    /// [`PublishCore::front_scores`].
+    unsafe fn front_index(&self) -> &TopIndex {
+        let f = self.front.load(SeqCst);
+        unsafe { &*self.slots[f].index.get() }
     }
 
     /// Publish the freshly written back slot as the next generation and
@@ -271,6 +356,14 @@ impl<'a> Pinned<'a> {
         // Frozen while pinned: the slot's generation is rewritten only by
         // a writer that has drained the pin count first.
         self.core.slots[self.slot].generation.load(SeqCst)
+    }
+
+    fn index(&self) -> &TopIndex {
+        self.core.ev("serving.read", self.slot);
+        // SAFETY: as `scores` — the index is written under exactly the
+        // score buffer's exclusivity window, so a pinned slot's index is
+        // fully published and frozen.
+        unsafe { &*self.core.slots[self.slot].index.get() }
     }
 }
 
@@ -343,42 +436,89 @@ impl ScoreReader {
     }
 
     /// The `k` highest-scoring nodes of one published generation,
-    /// descending (ties broken by ascending node id). `O(n log k)` via a
-    /// min-heap of the current best `k`.
+    /// descending (ties broken by ascending node id).
+    ///
+    /// **Cost contract:** `k ≤ K_max` (the engine's maintained top-k
+    /// capacity — [`DEFAULT_TOP_K_CAPACITY`] unless changed with
+    /// [`ServingEngine::set_top_k_capacity`]) is a wait-free `O(k)` copy
+    /// from the pinned generation's maintained index; larger `k` falls
+    /// back to the `O(n log k)` scan. **Exactness contract:** the answer
+    /// is bit-identical to [`ScoreReader::top_k_scan`] of the same
+    /// generation for *every* `k` — the index is repaired from the
+    /// incremental solver's touched frontier under an admission-barrier
+    /// invariant (DESIGN.md, "Maintained query index") and rebuilt
+    /// whenever that invariant cannot be re-established, never
+    /// approximated.
     pub fn top_k(&self, k: usize) -> Vec<(u32, f64)> {
-        use std::cmp::Reverse;
-        use std::collections::BinaryHeap;
         let pin = Pinned::new(&self.core);
-        let scores = pin.scores();
-        let k = k.min(scores.len());
-        if k == 0 {
-            return Vec::new();
+        let head = &pin.index().head;
+        if k <= head.len() {
+            return head[..k].iter().map(|e| (e.node, e.score)).collect();
         }
-        // Min-heap on "goodness" (higher score, then smaller id): the
-        // root is the weakest of the current best k, evicted whenever a
-        // better candidate arrives.
-        let mut heap: BinaryHeap<Reverse<TopEntry>> = BinaryHeap::with_capacity(k + 1);
-        for (v, &s) in scores.iter().enumerate() {
-            let cand = TopEntry {
-                score: s,
-                node: v as u32,
-            };
-            if heap.len() < k {
-                heap.push(Reverse(cand));
-            } else if cand > heap.peek().expect("non-empty at capacity").0 {
-                heap.pop();
-                heap.push(Reverse(cand));
-            }
-        }
-        let mut best: Vec<TopEntry> = heap.into_iter().map(|Reverse(e)| e).collect();
-        best.sort_unstable_by(|a, b| b.cmp(a));
-        best.into_iter().map(|e| (e.node, e.score)).collect()
+        scan_top(pin.scores(), k)
+            .into_iter()
+            .map(|e| (e.node, e.score))
+            .collect()
+    }
+
+    /// [`ScoreReader::top_k`] without the maintained index: always the
+    /// `O(n log k)` min-heap scan of the pinned generation. This is the
+    /// reference implementation the index is property-tested against;
+    /// exposed for benchmarking and verification.
+    pub fn top_k_scan(&self, k: usize) -> Vec<(u32, f64)> {
+        let pin = Pinned::new(&self.core);
+        scan_top(pin.scores(), k)
+            .into_iter()
+            .map(|e| (e.node, e.score))
+            .collect()
+    }
+
+    /// The maintained index capacity `K_max` of the currently published
+    /// generation: the largest `k` whose [`ScoreReader::top_k`] is
+    /// guaranteed `O(k)`.
+    pub fn top_k_capacity(&self) -> usize {
+        let pin = Pinned::new(&self.core);
+        pin.index().cap
     }
 }
 
+/// Exact top-`k` entries of `scores`, best-first — `O(n log k)` via a
+/// min-heap of the current best `k`. The scan reference every maintained
+/// index must match.
+fn scan_top(scores: &[f64], k: usize) -> Vec<TopEntry> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let k = k.min(scores.len());
+    if k == 0 {
+        return Vec::new();
+    }
+    // Min-heap on "goodness" (higher score, then smaller id): the root is
+    // the weakest of the current best k, evicted whenever a better
+    // candidate arrives.
+    let mut heap: BinaryHeap<Reverse<TopEntry>> = BinaryHeap::with_capacity(k + 1);
+    for (v, &s) in scores.iter().enumerate() {
+        let cand = TopEntry {
+            score: s,
+            node: v as u32,
+        };
+        if heap.len() < k {
+            heap.push(Reverse(cand));
+        } else if cand > heap.peek().expect("non-empty at capacity").0 {
+            heap.pop();
+            heap.push(Reverse(cand));
+        }
+    }
+    let mut best: Vec<TopEntry> = heap.into_iter().map(|Reverse(e)| e).collect();
+    best.sort_unstable_by(|a, b| b.cmp(a));
+    best
+}
+
 /// `top_k` heap entry, ordered by goodness: higher score first, smaller
-/// node id on score ties.
-#[derive(PartialEq)]
+/// node id on score ties. The score comparison is `f64::total_cmp`, so
+/// the order is total even for NaN/±0.0 payloads — a NaN score (e.g. from
+/// a future weighted-path bug) degrades to a wrong ranking instead of
+/// violating `Ord`'s contract inside `BinaryHeap`/`sort`.
+#[derive(Clone, Copy, PartialEq)]
 struct TopEntry {
     score: f64,
     node: u32,
@@ -398,6 +538,122 @@ impl PartialOrd for TopEntry {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
+}
+
+/// [`ShardManager::top_k_global`] merge entry, ordered by global
+/// goodness: higher score first, then smaller shard, then smaller node.
+#[derive(Clone, Copy, PartialEq)]
+struct GlobalTopEntry {
+    score: f64,
+    shard: usize,
+    node: u32,
+}
+
+impl Eq for GlobalTopEntry {}
+
+impl Ord for GlobalTopEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.score
+            .total_cmp(&other.score)
+            .then(other.shard.cmp(&self.shard))
+            .then(other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for GlobalTopEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Bring the back slot's index up to date with its freshly written score
+/// buffer: an incremental repair from the solve's touched frontier when
+/// the localized path ran ([`TouchedSet::all`] false), a full rebuild
+/// otherwise or when the repair's admission barrier cannot be
+/// established. `touched.nodes` is sorted in place (it doubles as the
+/// membership set); `candidates` is writer-owned scratch reused across
+/// refreshes.
+fn maintain_index(
+    front: &TopIndex,
+    back: &mut TopIndex,
+    new_scores: &[f64],
+    touched: &mut TouchedSet,
+    candidates: &mut Vec<TopEntry>,
+) {
+    back.cap = front.cap;
+    if !touched.all {
+        touched.nodes.sort_unstable();
+        if repair_index(front, back, new_scores, &touched.nodes, candidates) {
+            return;
+        }
+    }
+    back.rebuild(new_scores);
+}
+
+/// Incremental index repair. The exactness argument (DESIGN.md,
+/// "Maintained query index"):
+///
+/// * The localized solver wrote exactly the nodes in `touched`; every
+///   other node's new score is its old score divided by one positive
+///   normalization constant — a monotone map (correctly-rounded IEEE
+///   division), so the relative order of unwritten nodes is preserved up
+///   to tie collapse.
+/// * Let `e'` be the weakest old-head entry whose node is *not* touched
+///   (none ⇒ no barrier ⇒ rebuild). Every node outside `head ∪ touched`
+///   had old score ≤ `e'`'s old score (the head was an exact prefix), so
+///   its new score is ≤ `B = new_scores[e']` — `B` is an admission
+///   barrier no outside node can strictly exceed.
+/// * The candidates (old head ∪ touched, re-scored from the new buffer)
+///   with score **strictly** above `B`, sorted by goodness, are therefore
+///   exactly the globally best `|kept|` nodes. Entries at `B` — `e'`
+///   itself included — must be dropped: tie collapse can lift an outside
+///   node to exactly `B`, where a smaller node id would outrank them.
+///
+/// The repaired head is the kept prefix (truncated to `cap +
+/// HEAD_SLACK`); if it cannot cover `min(cap, n)` entries the invariant
+/// is unsatisfiable and the caller rebuilds. Cost: `O((H + T)·log(H +
+/// T))` on head size `H` and frontier size `T` — independent of `n`.
+fn repair_index(
+    front: &TopIndex,
+    back: &mut TopIndex,
+    new_scores: &[f64],
+    touched: &[u32],
+    candidates: &mut Vec<TopEntry>,
+) -> bool {
+    let n = new_scores.len();
+    let need = front.cap.min(n);
+    let Some(barrier) = front
+        .head
+        .iter()
+        .rev()
+        .find(|e| touched.binary_search(&e.node).is_err())
+    else {
+        return false; // every head node was rewritten: no barrier survives
+    };
+    let b = new_scores[barrier.node as usize];
+    candidates.clear();
+    let admit = |node: u32, candidates: &mut Vec<TopEntry>| {
+        let score = new_scores[node as usize];
+        if score.total_cmp(&b).is_gt() {
+            candidates.push(TopEntry { score, node });
+        }
+    };
+    for e in &front.head {
+        admit(e.node, candidates);
+    }
+    for &v in touched {
+        admit(v, candidates);
+    }
+    // Nodes in both the head and the frontier were admitted twice with
+    // identical scores; the goodness sort makes the twins adjacent.
+    candidates.sort_unstable_by(|x, y| y.cmp(x));
+    candidates.dedup_by_key(|e| e.node);
+    if candidates.len() < need {
+        return false;
+    }
+    candidates.truncate((front.cap + HEAD_SLACK).min(n));
+    std::mem::swap(&mut back.head, candidates);
+    true
 }
 
 // ---------------------------------------------------------------------------
@@ -528,6 +784,13 @@ pub struct ServingEngine {
     perm: Option<Arc<NodePermutation>>,
     /// Internal-order score buffers for the permuted refresh path.
     scratch: PermuteScratch,
+    /// Reusable frontier buffer filled by
+    /// [`Engine::resolve_incremental_tracked`] each refresh — the node
+    /// set the maintained top-k index repairs against.
+    touched: TouchedSet,
+    /// Writer-side candidate scratch of the index repair (reused; holds
+    /// the retiring head's allocation between refreshes).
+    candidates: Vec<TopEntry>,
 }
 
 impl std::fmt::Debug for ServingEngine {
@@ -604,6 +867,8 @@ impl ServingEngine {
             teleport: teleport.map(<[f64]>::to_vec),
             perm: None,
             scratch: PermuteScratch::default(),
+            touched: TouchedSet::new(),
+            candidates: Vec::new(),
         })
     }
 
@@ -679,6 +944,8 @@ impl ServingEngine {
             teleport,
             perm,
             scratch: PermuteScratch::default(),
+            touched: TouchedSet::new(),
+            candidates: Vec::new(),
         })
     }
 
@@ -825,6 +1092,8 @@ impl ServingEngine {
                 teleport,
                 perm,
                 scratch,
+                touched: TouchedSet::new(),
+                candidates: Vec::new(),
             },
             outcome,
         ))
@@ -887,6 +1156,22 @@ impl ServingEngine {
     pub fn get(&self, node: u32) -> Option<f64> {
         let pin = Pinned::new(&self.core);
         pin.scores().get(node as usize).copied()
+    }
+
+    /// The `k` best nodes of the published generation — the same pinned
+    /// read as [`ScoreReader::top_k`] (identical cost and exactness
+    /// contracts), without constructing a reader; the in-process path
+    /// [`ShardManager::top_k_global`] gathers per-shard partials on.
+    pub fn top_k(&self, k: usize) -> Vec<(u32, f64)> {
+        let pin = Pinned::new(&self.core);
+        let head = &pin.index().head;
+        if k <= head.len() {
+            return head[..k].iter().map(|e| (e.node, e.score)).collect();
+        }
+        scan_top(pin.scores(), k)
+            .into_iter()
+            .map(|e| (e.node, e.score))
+            .collect()
     }
 
     /// Number of nodes served.
@@ -1005,27 +1290,51 @@ impl ServingEngine {
         let inc = match &self.perm {
             // Baseline layout: unchanged zero-copy path — the solver's
             // iterate is swapped straight into the publish buffer.
-            None => engine.resolve_incremental_into(
+            None => engine.resolve_incremental_tracked(
                 previous,
                 self.teleport.as_deref(),
                 &applied.delta,
                 out,
+                &mut self.touched,
             )?,
             // Permuted layout: warm-start and solve in internal order,
             // then scatter back to external order for publication. Two
             // O(n) passes per refresh; the scratch buffers are reused.
             Some(p) => {
                 p.permute_values(previous, &mut self.scratch.internal_prev);
-                let inc = engine.resolve_incremental_into(
+                let inc = engine.resolve_incremental_tracked(
                     &self.scratch.internal_prev,
                     self.teleport.as_deref(),
                     &applied.delta,
                     &mut self.scratch.internal_next,
+                    &mut self.touched,
                 )?;
                 p.unpermute_values(&self.scratch.internal_next, out);
+                // The frontier is reported in solver (internal) ids; the
+                // index lives over the published external order.
+                for v in &mut self.touched.nodes {
+                    *v = p.to_external(*v);
+                }
                 inc
             }
         };
+        // Bring the back slot's index up to date with the scores just
+        // written, inside the same exclusivity window, so index and
+        // scores flip together at publish.
+        self.core.ev("serving.index.write", back);
+        // SAFETY: still the single writer between `begin_write` and
+        // `publish`; the front slot (and its index) stays immutable while
+        // it is front, and `out`/`back_index` address disjoint cells of
+        // the claimed back slot.
+        let front_index = unsafe { self.core.front_index() };
+        let back_index = unsafe { self.core.back_index(back) };
+        maintain_index(
+            front_index,
+            back_index,
+            out,
+            &mut self.touched,
+            &mut self.candidates,
+        );
         let generation = self.core.publish(back);
         let state = engine.into_state();
         let structure = state.shared_structure();
@@ -1044,6 +1353,38 @@ impl ServingEngine {
             },
             structure,
         ))
+    }
+
+    /// Change the maintained top-k capacity `K_max` (the largest `k`
+    /// [`ScoreReader::top_k`] serves in `O(k)`) and return the generation
+    /// that publishes it.
+    ///
+    /// Runs one full publication cycle — the current front scores are
+    /// copied to the back slot, its index is rebuilt at the new capacity,
+    /// and both are published together — so the change obeys the exact
+    /// same protocol as a refresh: readers never observe a half-resized
+    /// index, and the generation counter advances by one (with unchanged
+    /// scores).
+    pub fn set_top_k_capacity(&mut self, k_max: usize) -> u64 {
+        let back = self.core.begin_write();
+        // SAFETY: `&mut self` makes this the single writer; `begin_write`
+        // drained the back slot, the front slot is immutable while front,
+        // and scores/index are disjoint cells of the back slot.
+        let (previous, out) = unsafe { (self.core.front_scores(), self.core.back_vec(back)) };
+        out.clear();
+        out.extend_from_slice(previous);
+        self.core.ev("serving.index.write", back);
+        let back_index = unsafe { self.core.back_index(back) };
+        back_index.cap = k_max;
+        back_index.rebuild(out);
+        self.core.publish(back)
+    }
+
+    /// The maintained top-k capacity `K_max` of the currently published
+    /// generation.
+    pub fn top_k_capacity(&self) -> usize {
+        // SAFETY: `&self` on the single-writer type — no concurrent flip.
+        unsafe { self.core.front_index() }.cap
     }
 }
 
@@ -1255,6 +1596,53 @@ impl ShardManager {
             }
         }
         results
+    }
+
+    /// The `k` globally highest-scoring `(shard, node, score)` triples
+    /// across **all** shards, descending (score ties broken by ascending
+    /// shard, then ascending node) — the scatter/gather shape a network
+    /// front-end serves global ranked reads with.
+    ///
+    /// Scatter: each shard contributes its own exact top-`k` (an `O(k)`
+    /// copy from its maintained index for `k ≤ K_max`), pinned once per
+    /// shard — within a shard all entries come from a single published
+    /// generation; across shards generations are independent, as always.
+    /// Gather: a `k`-way threshold merge over the per-shard partials — a
+    /// heap of per-shard cursors popped `k` times, so a shard stops
+    /// contributing as soon as its best remaining entry falls below the
+    /// current global cut.
+    pub fn top_k_global(&self, k: usize) -> Vec<(usize, u32, f64)> {
+        use std::collections::BinaryHeap;
+        if k == 0 {
+            return Vec::new();
+        }
+        let partials: Vec<Vec<(u32, f64)>> =
+            self.shards.iter().map(|s| s.top_k(k)).collect();
+        let entry = |shard: usize, (node, score): (u32, f64)| GlobalTopEntry {
+            score,
+            shard,
+            node,
+        };
+        // Max-heap of per-shard cursors on global goodness (score desc,
+        // shard asc, node asc).
+        let mut heap: BinaryHeap<GlobalTopEntry> = partials
+            .iter()
+            .enumerate()
+            .filter_map(|(s, p)| p.first().map(|&e| entry(s, e)))
+            .collect();
+        let mut cursor = vec![0usize; partials.len()];
+        let mut out = Vec::with_capacity(k.min(partials.iter().map(Vec::len).sum()));
+        while out.len() < k {
+            let Some(e) = heap.pop() else {
+                break; // fewer than k nodes exist across all shards
+            };
+            out.push((e.shard, e.node, e.score));
+            cursor[e.shard] += 1;
+            if let Some(&next) = partials[e.shard].get(cursor[e.shard]) {
+                heap.push(entry(e.shard, next));
+            }
+        }
+        out
     }
 
     /// Route one edge batch to the shard owning `key` and refresh it.
@@ -1752,5 +2140,200 @@ mod tests {
         assert!(ShardManager::from_graphs(vec![], MODEL, tight(), 1).is_err());
         let g = barabasi_albert(50, 2, 1).unwrap();
         assert!(ShardManager::personalized(&g, &[], MODEL, tight(), 1).is_err());
+    }
+
+    #[test]
+    fn top_entry_order_is_total_even_for_nan() {
+        use std::cmp::Ordering;
+        let nan = TopEntry {
+            score: f64::NAN,
+            node: 3,
+        };
+        let inf = TopEntry {
+            score: f64::INFINITY,
+            node: 1,
+        };
+        let zero = TopEntry {
+            score: 0.0,
+            node: 2,
+        };
+        let neg_zero = TopEntry {
+            score: -0.0,
+            node: 2,
+        };
+        // `total_cmp` keeps the order total where `partial_cmp` would
+        // return None and break `Ord` inside BinaryHeap/sort: a positive
+        // NaN ranks above +inf — a wrong ranking, never a panic or a
+        // corrupted heap.
+        assert_eq!(nan.cmp(&nan), Ordering::Equal);
+        assert!(nan > inf);
+        assert!(inf > zero);
+        assert!(zero > neg_zero, "-0.0 sorts below +0.0 under total_cmp");
+        let mut entries = [
+            zero,
+            nan,
+            inf,
+            neg_zero,
+            TopEntry {
+                score: f64::NAN,
+                node: 0,
+            },
+        ];
+        entries.sort(); // requires a law-abiding Ord: no panic, total order
+        for w in entries.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        // A scan over NaN-poisoned scores still yields a deterministic
+        // total order: NaNs first (largest under total_cmp), id tie-break.
+        let scores = [0.3, f64::NAN, 0.1, f64::NAN, 0.7];
+        let nodes: Vec<u32> = scan_top(&scores, 5).iter().map(|e| e.node).collect();
+        assert_eq!(nodes, vec![1, 3, 4, 0, 2]);
+    }
+
+    #[test]
+    fn indexed_top_k_matches_scan_across_churn() {
+        // Serving tolerance (1e-6) on a graph large enough that
+        // single-edge churn actually takes the localized path — the
+        // deterministic seed yields a mix of LocalizedPush (index repair)
+        // and HybridPushSweep (index rebuild) rounds.
+        let n = 5000u32;
+        let g = barabasi_albert(n as usize, 3, 23).unwrap();
+        let config = PageRankConfig {
+            tolerance: 1e-6,
+            ..Default::default()
+        };
+        let mut serving = ServingEngine::new(g, MODEL, config, 1).unwrap();
+        // Small capacity so repairs, shrinks, and rebuilds all occur.
+        serving.set_top_k_capacity(16);
+        let reader = serving.reader();
+        let (mut localized, mut swept) = (0, 0);
+        for round in 0..12u32 {
+            let mut batch = EdgeBatch::new();
+            let src = n / 2 + (round * 13) % (n / 2);
+            let mut dst = (round * 37 + 101) % n;
+            while serving.delta_graph().has_arc(src, dst) || dst == src {
+                dst = (dst + 1) % n;
+            }
+            batch.insert(src, dst);
+            let out = serving.ingest(&batch).unwrap();
+            if out.mode == ResolveMode::LocalizedPush {
+                localized += 1;
+            } else {
+                swept += 1;
+            }
+            // Exact (node, score, order) parity for k below, at, and
+            // beyond the maintained capacity, including the full scan.
+            for k in [1usize, 3, 16, 17, 64, n as usize] {
+                assert_eq!(
+                    reader.top_k(k),
+                    reader.top_k_scan(k),
+                    "index/scan divergence at k={k} round={round}"
+                );
+            }
+        }
+        assert!(localized > 0, "churn never exercised the repair path");
+        assert!(swept > 0, "churn never exercised the rebuild path");
+    }
+
+    #[test]
+    fn indexed_top_k_matches_scan_under_permuted_layout() {
+        let g = barabasi_albert(400, 3, 31).unwrap();
+        let mut serving = ServingEngine::with_layout(
+            g,
+            Layout::DegreeDescending,
+            None,
+            MODEL,
+            PageRankConfig::default(),
+            1,
+        )
+        .unwrap();
+        serving.set_top_k_capacity(12);
+        let p = Arc::clone(serving.permutation().unwrap());
+        let reader = serving.reader();
+        for round in 0..8u32 {
+            let mut batch = EdgeBatch::new();
+            let src = 200 + (round * 17) % 200;
+            let mut dst = (round * 53 + 7) % 400;
+            // The delta graph is the solver's permuted copy; probe it in
+            // internal ids while the batch stays external.
+            while dst == src
+                || serving
+                    .delta_graph()
+                    .has_arc(p.to_internal(src), p.to_internal(dst))
+            {
+                dst = (dst + 1) % 400;
+            }
+            batch.insert(src, dst);
+            serving.ingest(&batch).unwrap();
+            for k in [1usize, 12, 40, 400] {
+                assert_eq!(
+                    reader.top_k(k),
+                    reader.top_k_scan(k),
+                    "permuted-layout divergence at k={k} round={round}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn set_top_k_capacity_republishes_exactly() {
+        let g = barabasi_albert(250, 3, 9).unwrap();
+        let mut serving = ServingEngine::new(g, MODEL, tight(), 1).unwrap();
+        let reader = serving.reader();
+        assert_eq!(serving.top_k_capacity(), DEFAULT_TOP_K_CAPACITY);
+        assert_eq!(reader.top_k_capacity(), DEFAULT_TOP_K_CAPACITY);
+        let mut before = Vec::new();
+        reader.snapshot_into(&mut before);
+        let generation = serving.set_top_k_capacity(5);
+        assert_eq!(generation, 1);
+        assert_eq!(reader.generation(), 1);
+        assert_eq!(serving.top_k_capacity(), 5);
+        assert_eq!(reader.top_k_capacity(), 5);
+        // The republished scores are bit-identical.
+        let mut after = Vec::new();
+        reader.snapshot_into(&mut after);
+        assert_eq!(before, after);
+        // Below capacity: O(k) index path; beyond the head: scan
+        // fallback. Both exact.
+        assert_eq!(reader.top_k(5), reader.top_k_scan(5));
+        assert_eq!(reader.top_k(200), reader.top_k_scan(200));
+        // The capacity survives subsequent refreshes (the back slot
+        // inherits it from the front on every repair/rebuild).
+        let mut batch = EdgeBatch::new();
+        batch.insert(0, 249);
+        serving.ingest(&batch).unwrap();
+        assert_eq!(serving.top_k_capacity(), 5);
+        assert_eq!(reader.top_k(5), reader.top_k_scan(5));
+    }
+
+    #[test]
+    fn top_k_global_merges_shards_exactly() {
+        let graphs = vec![
+            barabasi_albert(120, 3, 5).unwrap(),
+            barabasi_albert(90, 2, 6).unwrap(),
+            barabasi_albert(150, 3, 7).unwrap(),
+        ];
+        let mut shards = ShardManager::from_graphs(graphs, MODEL, tight(), 1).unwrap();
+        // Refresh one shard so per-shard generations diverge.
+        let mut batch = EdgeBatch::new();
+        batch.insert(0, 89);
+        shards.ingest(1, &batch).unwrap();
+        // Brute-force reference: every (shard, node, score), globally
+        // ordered by score desc, shard asc, node asc.
+        let mut all: Vec<(usize, u32, f64)> = Vec::new();
+        let mut snap = Vec::new();
+        for (s, r) in shards.readers().into_iter().enumerate() {
+            r.snapshot_into(&mut snap);
+            for (v, &sc) in snap.iter().enumerate() {
+                all.push((s, v as u32, sc));
+            }
+        }
+        all.sort_by(|a, b| b.2.total_cmp(&a.2).then(a.0.cmp(&b.0)).then(a.1.cmp(&b.1)));
+        let total = all.len();
+        for k in [0usize, 1, 7, 40, 360, 1000] {
+            let got = shards.top_k_global(k);
+            assert_eq!(got.len(), k.min(total));
+            assert_eq!(got, all[..k.min(total)], "k={k}");
+        }
     }
 }

@@ -36,12 +36,14 @@ struct Options {
     mode: Option<d2pr_experiments::evolving::RefreshMode>,
     data_dir: Option<String>,
     snapshot_every: Option<u64>,
+    top_k: Option<usize>,
+    query_mix: Option<f64>,
     experiment: String,
 }
 
 const USAGE: &str = "usage: repro [--scale S] [--seed N] [--csv] \
 [--mode sweep|localized|auto] [--readers R] [--shards K] \
-[--data-dir DIR] [--snapshot-every K] \
+[--data-dir DIR] [--snapshot-every K] [--top-k N] [--query-mix R] \
 <table1|table2|table3|fig1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|recs|rewire|stability|evolving|serve|all>\n\
        repro recover <DIR>";
 
@@ -57,6 +59,8 @@ fn parse_args() -> Result<Options, String> {
     let mut mode = None;
     let mut data_dir = None;
     let mut snapshot_every = None;
+    let mut top_k = None;
+    let mut query_mix = None;
     let mut experiment: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -134,6 +138,25 @@ fn parse_args() -> Result<Options, String> {
                         .map_err(|e| format!("bad --snapshot-every: {e}"))?,
                 );
             }
+            "--top-k" => {
+                top_k = Some(
+                    args.next()
+                        .ok_or("--top-k needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad --top-k: {e}"))?,
+                );
+            }
+            "--query-mix" => {
+                let value: f64 = args
+                    .next()
+                    .ok_or("--query-mix needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --query-mix: {e}"))?;
+                if !(0.0..=1.0).contains(&value) {
+                    return Err(format!("bad --query-mix {value}: expected 0..=1"));
+                }
+                query_mix = Some(value);
+            }
             "--csv" => csv = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other if !other.starts_with('-') => {
@@ -161,6 +184,8 @@ fn parse_args() -> Result<Options, String> {
         mode,
         data_dir,
         snapshot_every,
+        top_k,
+        query_mix,
         experiment: experiment.ok_or_else(|| USAGE.to_string())?,
     })
 }
@@ -369,16 +394,34 @@ fn run(opts: &Options) -> Result<(), String> {
             shards: opts.shards.unwrap_or(base.shards),
             data_dir: opts.data_dir.as_ref().map(std::path::PathBuf::from),
             snapshot_every: opts.snapshot_every.unwrap_or(base.snapshot_every),
+            // Either flag alone opts into the ranked mix: a bare
+            // --query-mix ranks at the default k = 100, a bare --top-k
+            // ranks 10% of reads.
+            top_k: opts
+                .top_k
+                .unwrap_or(if opts.query_mix.is_some() { 100 } else { base.top_k }),
+            query_mix: opts
+                .query_mix
+                .unwrap_or(if opts.top_k.is_some() { 0.1 } else { base.query_mix }),
             ..base
         };
         eprintln!(
-            "serve: BA({}, {}), {} batches of {:.2}% churn, {} reader thread(s), {} shard(s){} ...",
+            "serve: BA({}, {}), {} batches of {:.2}% churn, {} reader thread(s), {} shard(s){}{} ...",
             cfg.nodes,
             cfg.attachments,
             cfg.batches,
             cfg.churn * 100.0,
             cfg.readers,
             cfg.shards,
+            if cfg.top_k > 0 {
+                format!(
+                    ", {:.0}% ranked top-{} queries",
+                    cfg.query_mix.clamp(0.0, 1.0) * 100.0,
+                    cfg.top_k
+                )
+            } else {
+                String::new()
+            },
             match &cfg.data_dir {
                 Some(d) => format!(", durable in {}", d.display()),
                 None => String::new(),

@@ -100,6 +100,12 @@ pub struct ServeConfig {
     pub threads: usize,
     /// RNG seed for the graph, the teleports, and the churn stream.
     pub seed: u64,
+    /// Ranked-read size: readers interleave `top_k(top_k)` queries into
+    /// their point-read stream (0 = point reads only, the pre-index mix).
+    pub top_k: usize,
+    /// Fraction of reads that are ranked (`top_k`) queries when
+    /// [`ServeConfig::top_k`] is non-zero; clamped to `[0, 1]`.
+    pub query_mix: f64,
     /// When set, serve on the durable stack persisting into this
     /// directory (refused when it already holds state — `recover` it
     /// instead).
@@ -125,6 +131,8 @@ impl Default for ServeConfig {
             max_iterations: 500,
             threads: 0,
             seed: 0x5EB7,
+            top_k: 0,
+            query_mix: 0.0,
             data_dir: None,
             snapshot_every: 2,
         }
@@ -192,8 +200,12 @@ pub struct ServeStep {
     pub refresh_ms: f64,
     /// Generation every shard publishes after this batch.
     pub generation: u64,
-    /// Point reads the reader threads completed during this refresh.
+    /// Reads (point + ranked) the reader threads completed during this
+    /// refresh.
     pub reads_during_refresh: u64,
+    /// Ranked (`top_k`) reads completed during this refresh — also
+    /// wait-free, answered from the retiring slot's maintained index.
+    pub ranked_during_refresh: u64,
 }
 
 /// Full run record.
@@ -209,8 +221,10 @@ pub struct ServeReport {
     pub readers: usize,
     /// One entry per streamed batch.
     pub steps: Vec<ServeStep>,
-    /// Total point reads over the whole stream.
+    /// Total reads (point + ranked) over the whole stream.
     pub total_reads: u64,
+    /// Ranked (`top_k`) reads of [`ServeReport::total_reads`].
+    pub ranked_reads: u64,
     /// Wall time of the whole stream, milliseconds.
     pub stream_ms: f64,
 }
@@ -230,6 +244,11 @@ impl ServeReport {
     /// discipline — the availability this stack adds).
     pub fn reads_during_refreshes(&self) -> u64 {
         self.steps.iter().map(|s| s.reads_during_refresh).sum()
+    }
+
+    /// Ranked (`top_k`) reads served during refresh windows.
+    pub fn ranked_during_refreshes(&self) -> u64 {
+        self.steps.iter().map(|s| s.ranked_during_refresh).sum()
     }
 }
 
@@ -296,6 +315,16 @@ pub fn run_serve(cfg: &ServeConfig) -> Result<ServeReport, ServeError> {
     let n = cfg.nodes as u32;
     let stop = AtomicBool::new(false);
     let reads = AtomicU64::new(0);
+    let ranked = AtomicU64::new(0);
+    // Ranked-query mix: a read whose LCG draw lands under the threshold
+    // becomes a top_k query instead of a point get (0 = never, the
+    // pre-index mix; the draw reuses the node LCG so the mix costs no
+    // extra RNG work on the hot path).
+    let mix_threshold = if cfg.top_k == 0 {
+        0u32
+    } else {
+        (cfg.query_mix.clamp(0.0, 1.0) * 1024.0) as u32
+    };
     let mut steps = Vec::with_capacity(cfg.batches);
     let mut stream_ms = 0.0f64;
 
@@ -304,21 +333,29 @@ pub fn run_serve(cfg: &ServeConfig) -> Result<ServeReport, ServeError> {
             let readers = &readers;
             let stop = &stop;
             let reads = &reads;
+            let ranked = &ranked;
             scope.spawn(move || {
                 let mut node = r as u32;
                 let mut shard = r;
-                let mut local = 0u64;
+                let mut local_ranked = 0u64;
                 while !stop.load(Ordering::Relaxed) {
                     for _ in 0..32 {
                         node = node.wrapping_mul(1_664_525).wrapping_add(1_013_904_223) % n;
                         shard = (shard + 1) % readers.len();
-                        let score = readers[shard].get(node).expect("in-range node");
-                        assert!(score.is_finite());
-                        local += 1;
+                        if node % 1024 < mix_threshold {
+                            let top = readers[shard].top_k(cfg.top_k);
+                            assert_eq!(top.len(), cfg.top_k.min(cfg.nodes));
+                            assert!(top.iter().all(|&(_, s)| s.is_finite()));
+                            local_ranked += 1;
+                        } else {
+                            let score = readers[shard].get(node).expect("in-range node");
+                            assert!(score.is_finite());
+                        }
                     }
                     reads.fetch_add(32, Ordering::Relaxed);
+                    ranked.fetch_add(local_ranked, Ordering::Relaxed);
+                    local_ranked = 0;
                 }
-                let _ = local;
             });
         }
 
@@ -327,10 +364,12 @@ pub fn run_serve(cfg: &ServeConfig) -> Result<ServeReport, ServeError> {
             for (i, batch) in stream.iter().enumerate() {
                 let b = i + 1;
                 let reads_before = reads.load(Ordering::Relaxed);
+                let ranked_before = ranked.load(Ordering::Relaxed);
                 let t0 = Instant::now();
                 let outcomes = shards.ingest_all(batch)?;
                 let refresh_ms = t0.elapsed().as_secs_f64() * 1e3;
                 let reads_during = reads.load(Ordering::Relaxed) - reads_before;
+                let ranked_during = ranked.load(Ordering::Relaxed) - ranked_before;
                 let lead = &outcomes[0];
                 steps.push(ServeStep {
                     batch: b,
@@ -341,6 +380,7 @@ pub fn run_serve(cfg: &ServeConfig) -> Result<ServeReport, ServeError> {
                     refresh_ms,
                     generation: lead.generation,
                     reads_during_refresh: reads_during,
+                    ranked_during_refresh: ranked_during,
                 });
             }
             Ok(())
@@ -358,6 +398,7 @@ pub fn run_serve(cfg: &ServeConfig) -> Result<ServeReport, ServeError> {
         readers: cfg.readers,
         steps,
         total_reads: reads.load(Ordering::Relaxed),
+        ranked_reads: ranked.load(Ordering::Relaxed),
         stream_ms,
     })
 }
@@ -435,6 +476,7 @@ pub fn serve_report(r: &ServeReport) -> TextTable {
         "refresh_ms",
         "gen",
         "reads_during",
+        "topk_during",
         "reads/ms",
     ]);
     for s in &r.steps {
@@ -453,6 +495,7 @@ pub fn serve_report(r: &ServeReport) -> TextTable {
             format!("{:.2}", s.refresh_ms),
             s.generation.to_string(),
             s.reads_during_refresh.to_string(),
+            s.ranked_during_refresh.to_string(),
             format!(
                 "{:.0}",
                 s.reads_during_refresh as f64 / s.refresh_ms.max(1e-9)
@@ -468,6 +511,7 @@ pub fn serve_report(r: &ServeReport) -> TextTable {
         format!("{:.2}", r.total_refresh_ms()),
         r.steps.last().map_or(0, |s| s.generation).to_string(),
         r.reads_during_refreshes().to_string(),
+        r.ranked_during_refreshes().to_string(),
         format!("{:.0} overall", r.reads_per_ms()),
     ]);
     t
@@ -498,6 +542,30 @@ mod tests {
             assert!(s.refresh_ms > 0.0);
         }
         assert!(r.total_reads > 0, "readers must have been served");
+        let table = serve_report(&r);
+        assert_eq!(table.num_rows(), 4);
+    }
+
+    #[test]
+    fn serve_run_mixes_ranked_queries() {
+        let cfg = ServeConfig {
+            nodes: 1_200,
+            attachments: 4,
+            batches: 3,
+            churn: 0.002,
+            readers: 2,
+            shards: 1,
+            threads: 1,
+            top_k: 8,
+            query_mix: 0.5,
+            ..Default::default()
+        };
+        let r = run_serve(&cfg).unwrap();
+        assert!(r.ranked_reads > 0, "mix 0.5 must produce ranked reads");
+        assert!(
+            r.ranked_reads < r.total_reads,
+            "mix 0.5 must keep point reads too"
+        );
         let table = serve_report(&r);
         assert_eq!(table.num_rows(), 4);
     }

@@ -300,6 +300,7 @@ fn reader_main(
 ) {
     let mut log = vec![ShardLog::default(); handles.len()];
     let mut buf = Vec::new();
+    let mut buf2 = Vec::new();
     let mut node = r as u32;
     for i in 0..reads {
         let s = (r + i) % handles.len();
@@ -321,14 +322,45 @@ fn reader_main(
             }
         }
         if i % 5 == 4 {
-            let top = rd.top_k(3);
-            assert_eq!(top.len(), 3.min(nodes));
-            if top.len() == 3 {
-                assert!(top[0].1 >= top[2].1, "top_k is descending");
+            // Maintained-index parity under the schedule explorer: when
+            // the two snapshots bracket the same generation, the
+            // interleaved top_k pinned that generation too (the counter
+            // is monotone), so it must equal the snapshot's scan exactly
+            // — (node, score, order), however the writer's repairs and
+            // rebuilds interleaved with our pins.
+            let k = 3.min(nodes);
+            let g1 = rd.snapshot_into(&mut buf);
+            let top = rd.top_k(k);
+            assert_eq!(top.len(), k);
+            if k >= 2 {
+                assert!(top[0].1 >= top[k - 1].1, "top_k is descending");
+            }
+            let g2 = rd.snapshot_into(&mut buf2);
+            log[s].sequence.push(g2);
+            if g1 == g2 {
+                assert_eq!(
+                    top,
+                    brute_top_k(&buf, k),
+                    "reader {r} shard {s}: indexed top_k diverges from the scan \
+                     of generation {g1}"
+                );
             }
         }
     }
     // Sole-owner write, after the last serving call: no yield point can
     // park this task while the lock is held.
     *slot.lock().unwrap() = Some(log);
+}
+
+/// Reference ranking of a snapshot — score descending, node id ascending
+/// on ties; exactly `ScoreReader::top_k`'s contract.
+fn brute_top_k(scores: &[f64], k: usize) -> Vec<(u32, f64)> {
+    let mut all: Vec<(u32, f64)> = scores
+        .iter()
+        .enumerate()
+        .map(|(v, &s)| (v as u32, s))
+        .collect();
+    all.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    all.truncate(k);
+    all
 }

@@ -16,7 +16,11 @@
 //!   (`write-begin-while-pinned`, the detector for the planted `sim-bug`);
 //! - **pin-count sanity** — counts never go negative
 //!   (`pin-count-negative`), publishes only follow a claimed write
-//!   (`publish-without-write`).
+//!   (`publish-without-write`);
+//! - **index/score atomicity** — the maintained top-k index is only
+//!   written while its slot is claimed by the writer
+//!   (`index-write-outside-claim`), so it can never be mutated on a
+//!   published (readable) slot.
 //!
 //! Generation monotonicity and score parity are checked by the scenario
 //! (they need the observed values, not just the event stream).
@@ -130,6 +134,20 @@ impl Shadow {
             }
             "serving.write.claim" => None,
             "serving.write.drain" => None,
+            "serving.index.write" => {
+                // The maintained top-k index is written inside the score
+                // buffer's exclusivity window: the writer must hold the
+                // claim on this slot (between write.begin and publish).
+                if core.writing != Some(slot) {
+                    return fail(
+                        "index-write-outside-claim",
+                        format!(
+                            "index write on core {core_id} slot {slot} without a claimed write"
+                        ),
+                    );
+                }
+                None
+            }
             "serving.write.begin" => {
                 if core.phys[slot] != 0 || !core.logical[slot].is_empty() {
                     return fail(
