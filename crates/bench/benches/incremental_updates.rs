@@ -1,11 +1,15 @@
 //! Incremental-update benchmark: the incremental-serving acceptance run.
 //!
 //! Streams fixed sequences of edge-churn batches over a 100k-node / ~1M-arc
-//! Barabási–Albert graph in three regimes — **bulk** (1% of the edges
+//! Barabási–Albert graph in four regimes — **bulk** (1% of the edges
 //! mutated per batch, tol 1e-8), **trickle** (one edge swapped per batch,
-//! tol 1e-8), and **trickle at the serving tolerance** (1e-6, the evolving
-//! scenario's default) — and refreshes D2PR ranks after every batch four
-//! ways:
+//! tol 1e-8), **trickle at the serving tolerance** (1e-6, the evolving
+//! scenario's default), and **weighted trickle** (two existing edges
+//! re-weighted to new half-star ratings per batch on a weighted base under
+//! the paper's Blended β = 0.5 model — the pure re-weight channel, whose
+//! localized refresh reconstructs the pre-batch β>0 operator columns from
+//! the delta's old weights) — and refreshes D2PR ranks after every batch
+//! four ways:
 //!
 //! * **seed_rebuild** — the non-incremental deployment the seed stack would
 //!   run, faithful to PR 0 (and to `engine_p_sweep`'s baseline): rebuild
@@ -203,9 +207,12 @@ struct Stream {
     initial: CsrGraph,
     snapshots: Vec<CsrGraph>,
     deltas: Vec<ArcDelta>,
-    edge_lists: Vec<Vec<(NodeId, NodeId)>>,
+    edge_lists: Vec<Vec<(NodeId, NodeId, f64)>>,
+    /// Whether the edge lists carry real weights (the seed rebuild then
+    /// goes through the weighted builder path).
+    weighted: bool,
     compactions: usize,
-    /// Logical edges changed per batch (inserts + deletes).
+    /// Logical edges changed per batch (inserts + deletes + re-weights).
     edges_changed_per_batch: usize,
 }
 
@@ -214,7 +221,11 @@ struct Stream {
 /// (half deletions, half insertions; minimum one of each).
 fn build_stream(initial: &CsrGraph, edges_per_batch: usize, seed: u64) -> Stream {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut edges: Vec<(NodeId, NodeId)> = initial.arcs().filter(|&(u, v)| u < v).collect();
+    let mut edges: Vec<(NodeId, NodeId, f64)> = initial
+        .arcs()
+        .filter(|&(u, v)| u < v)
+        .map(|(u, v)| (u, v, 1.0))
+        .collect();
     let mut dg = DeltaGraph::new(initial.clone()).expect("unweighted base");
     let mut snapshots = Vec::with_capacity(BATCHES);
     let mut deltas = Vec::with_capacity(BATCHES);
@@ -227,7 +238,7 @@ fn build_stream(initial: &CsrGraph, edges_per_batch: usize, seed: u64) -> Stream
         let mut batch = EdgeBatch::new();
         for _ in 0..deletes {
             let i = rng.gen_range(0..edges.len());
-            let (u, v) = edges.swap_remove(i);
+            let (u, v, _) = edges.swap_remove(i);
             batch.delete(u, v);
         }
         for _ in 0..(mutations - deletes) {
@@ -237,7 +248,7 @@ fn build_stream(initial: &CsrGraph, edges_per_batch: usize, seed: u64) -> Stream
                 let e = (u.min(v), u.max(v));
                 if u != v && !dg.has_arc(e.0, e.1) && !batch.inserts.contains(&e) {
                     batch.insert(e.0, e.1);
-                    edges.push(e);
+                    edges.push((e.0, e.1, 1.0));
                     break;
                 }
             }
@@ -253,8 +264,68 @@ fn build_stream(initial: &CsrGraph, edges_per_batch: usize, seed: u64) -> Stream
         snapshots,
         deltas,
         edge_lists,
+        weighted: false,
         compactions,
         edges_changed_per_batch: mutations,
+    }
+}
+
+/// The weighted world: the same BA topology re-built with deterministic
+/// half-star weights (1.0–5.0) — the ratings shape the evolving scenario
+/// serves under the paper's Blended model.
+fn build_weighted_initial(seed: u64) -> CsrGraph {
+    let base = barabasi_albert(NODES, ATTACH, seed).expect("generator succeeds");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x57A5);
+    let mut b = GraphBuilder::new(Direction::Undirected, NODES);
+    for (u, v) in base.arcs().filter(|&(u, v)| u < v) {
+        let stars = 1.0 + 0.5 * f64::from(rng.gen_range(0..9u32));
+        b.add_weighted_edge(u, v, stars);
+    }
+    b.build().expect("in-range edges")
+}
+
+/// Weighted trickle: per batch, two existing edges get fresh half-star
+/// weights ([`EdgeBatch::set_weight`]) — the pure re-weight channel, no
+/// structural change at all. The delta carries `(old, new)` per arc, so
+/// the localized path reconstructs the pre-batch β>0 operator columns
+/// exactly instead of falling back to a sweep.
+fn build_weighted_stream(initial: &CsrGraph, seed: u64) -> Stream {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<(NodeId, NodeId, f64)> =
+        initial.weighted_arcs().filter(|&(u, v, _)| u < v).collect();
+    let mut dg = DeltaGraph::new(initial.clone()).expect("weighted base");
+    let mut snapshots = Vec::with_capacity(BATCHES);
+    let mut deltas = Vec::with_capacity(BATCHES);
+    let mut edge_lists = Vec::with_capacity(BATCHES);
+    let mut compactions = 0;
+    const MUTATIONS: usize = 2;
+    for _ in 0..BATCHES {
+        let mut batch = EdgeBatch::new();
+        for _ in 0..MUTATIONS {
+            let i = rng.gen_range(0..edges.len());
+            let (u, v, old) = edges[i];
+            // A guaranteed-different half-star rating.
+            let mut stars = 1.0 + 0.5 * f64::from(rng.gen_range(0..9u32));
+            if stars == old {
+                stars = if old >= 5.0 { 0.5 } else { old + 0.5 };
+            }
+            batch.set_weight(u, v, stars);
+            edges[i].2 = stars;
+        }
+        let outcome = dg.apply_batch(&batch).expect("in-range batch");
+        compactions += outcome.compacted as usize;
+        snapshots.push(dg.snapshot());
+        deltas.push(outcome.delta);
+        edge_lists.push(edges.clone());
+    }
+    Stream {
+        initial: initial.clone(),
+        snapshots,
+        deltas,
+        edge_lists,
+        weighted: true,
+        compactions,
+        edges_changed_per_batch: MUTATIONS,
     }
 }
 
@@ -264,16 +335,24 @@ fn build_stream(initial: &CsrGraph, edges_per_batch: usize, seed: u64) -> Stream
 
 /// Seed deployment: full builder rebuild + matrix + transpose + seed
 /// parallel solve from the teleport distribution, per batch.
-fn seed_rebuild(stream: &Stream, config: &PageRankConfig) -> (usize, Vec<Vec<f64>>) {
+fn seed_rebuild(
+    stream: &Stream,
+    config: &PageRankConfig,
+    model: TransitionModel,
+) -> (usize, Vec<Vec<f64>>) {
     let mut iterations = 0;
     let mut scores = Vec::with_capacity(BATCHES);
     for edges in &stream.edge_lists {
         let mut b = GraphBuilder::new(Direction::Undirected, NODES);
-        for &(u, v) in edges {
-            b.add_edge(u, v);
+        for &(u, v, w) in edges {
+            if stream.weighted {
+                b.add_weighted_edge(u, v, w);
+            } else {
+                b.add_edge(u, v);
+            }
         }
         let g = b.build().expect("in-range edges");
-        let matrix = TransitionMatrix::build(&g, MODEL);
+        let matrix = TransitionMatrix::build(&g, model);
         let transpose = SeedTranspose::build(&g, &matrix);
         let r = pagerank_parallel_seed(&transpose, config, SEED_CANONICAL_THREADS);
         assert!(r.converged, "seed baseline must converge");
@@ -284,14 +363,19 @@ fn seed_rebuild(stream: &Stream, config: &PageRankConfig) -> (usize, Vec<Vec<f64
 }
 
 /// Engine cold path: fresh `CscStructure` per batch, teleport start.
-fn cold_engine(stream: &Stream, config: &PageRankConfig, threads: usize) -> (usize, Vec<Vec<f64>>) {
+fn cold_engine(
+    stream: &Stream,
+    config: &PageRankConfig,
+    threads: usize,
+    model: TransitionModel,
+) -> (usize, Vec<Vec<f64>>) {
     let mut iterations = 0;
     let mut scores = Vec::with_capacity(BATCHES);
     for snap in &stream.snapshots {
         let mut engine = Engine::with_threads(snap, threads)
             .with_config(*config)
             .expect("valid config");
-        let r = engine.solve_model(MODEL).expect("valid model");
+        let r = engine.solve_model(model).expect("valid model");
         assert!(r.converged, "cold engine must converge");
         iterations += r.iterations;
         scores.push(r.scores);
@@ -305,6 +389,7 @@ fn warm_incremental(
     stream: &Stream,
     config: &PageRankConfig,
     threads: usize,
+    model: TransitionModel,
     csc0: &CscStructure,
     scores0: &[f64],
 ) -> (usize, Vec<Vec<f64>>) {
@@ -318,7 +403,7 @@ fn warm_incremental(
             .expect("structure matches snapshot")
             .with_config(*config)
             .expect("valid config");
-        engine.set_model(MODEL).expect("valid model");
+        engine.set_model(model).expect("valid model");
         let r = engine.resolve_warm(&prev).expect("valid warm start");
         assert!(r.converged, "warm re-solve must converge");
         iterations += r.iterations;
@@ -339,6 +424,7 @@ fn localized_incremental(
     stream: &Stream,
     config: &PageRankConfig,
     threads: usize,
+    model: TransitionModel,
     csc0: &CscStructure,
     scores0: &[f64],
 ) -> (usize, Vec<Vec<f64>>, Vec<ResolveMode>) {
@@ -354,7 +440,7 @@ fn localized_incremental(
         .expect("fresh structure")
         .with_config(*config)
         .expect("valid config");
-    engine0.set_model(MODEL).expect("valid model");
+    engine0.set_model(model).expect("valid model");
     let mut state = engine0.into_state();
     for (snap, delta) in stream.snapshots.iter().zip(&stream.deltas) {
         state = state.patched(snap, delta).expect("consistent delta");
@@ -397,21 +483,23 @@ struct RegimeResult {
     max_divergence: f64,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_regime(
     c: &mut Criterion,
     label: &str,
     stream: &Stream,
     config: &PageRankConfig,
     threads: usize,
+    model: TransitionModel,
     csc0: &CscStructure,
     scores0: &[f64],
 ) -> RegimeResult {
     // Iteration accounting + cross-strategy agreement, measured once.
-    let (iters_seed, scores_seed) = seed_rebuild(stream, config);
-    let (iters_cold, scores_cold) = cold_engine(stream, config, threads);
-    let (iters_warm, scores_warm) = warm_incremental(stream, config, threads, csc0, scores0);
+    let (iters_seed, scores_seed) = seed_rebuild(stream, config, model);
+    let (iters_cold, scores_cold) = cold_engine(stream, config, threads, model);
+    let (iters_warm, scores_warm) = warm_incremental(stream, config, threads, model, csc0, scores0);
     let (work_localized, scores_localized, localized_modes) =
-        localized_incremental(stream, config, threads, csc0, scores0);
+        localized_incremental(stream, config, threads, model, csc0, scores0);
     let divergence = max_l1(&scores_warm, &scores_seed)
         .max(max_l1(&scores_warm, &scores_cold))
         .max(max_l1(&scores_localized, &scores_cold));
@@ -448,10 +536,10 @@ fn run_regime(
             .measurement_time(Duration::from_secs(30));
     }
     group.bench_function(seed_name.as_str(), |b| {
-        b.iter(|| black_box(seed_rebuild(black_box(stream), config)))
+        b.iter(|| black_box(seed_rebuild(black_box(stream), config, model)))
     });
     group.bench_function(cold_name.as_str(), |b| {
-        b.iter(|| black_box(cold_engine(black_box(stream), config, threads)))
+        b.iter(|| black_box(cold_engine(black_box(stream), config, threads, model)))
     });
     group.bench_function(warm_name.as_str(), |b| {
         b.iter(|| {
@@ -459,6 +547,7 @@ fn run_regime(
                 black_box(stream),
                 config,
                 threads,
+                model,
                 csc0,
                 scores0,
             ))
@@ -470,6 +559,7 @@ fn run_regime(
                 black_box(stream),
                 config,
                 threads,
+                model,
                 csc0,
                 scores0,
             ))
@@ -582,8 +672,8 @@ fn incremental_updates(c: &mut Criterion) {
     let scores0 = engine0.solve_model(MODEL).expect("initial solve").scores;
     drop(engine0);
 
-    let bulk_r = run_regime(c, "bulk", &bulk, &config, threads, &csc0, &scores0);
-    let trickle_r = run_regime(c, "trickle", &trickle, &config, threads, &csc0, &scores0);
+    let bulk_r = run_regime(c, "bulk", &bulk, &config, threads, MODEL, &csc0, &scores0);
+    let trickle_r = run_regime(c, "trickle", &trickle, &config, threads, MODEL, &csc0, &scores0);
 
     // Third regime: the same trickle stream at the *serving* tolerance the
     // evolving scenario defaults to (1e-6 -- re-solving far below the next
@@ -605,8 +695,47 @@ fn incremental_updates(c: &mut Criterion) {
         &trickle,
         &serving_config,
         threads,
+        MODEL,
         &csc0,
         &scores0_serving,
+    );
+
+    // Fourth regime: weighted trickle — half-star re-ratings on a
+    // weighted base under the paper's Blended beta = 0.5 model (arc-mode
+    // operator reads the weights). Pure re-weights change no structure,
+    // so the localized path must hold: the delta's (old, new) weights
+    // let it rebuild the pre-batch operator columns and seed the
+    // residual exactly.
+    const WEIGHTED_MODEL: TransitionModel = TransitionModel::Blended { p: 0.5, beta: 0.5 };
+    let weighted_initial = build_weighted_initial(0xD2);
+    let weighted = build_weighted_stream(&weighted_initial, 0x3A7E);
+    let csc0_w = CscStructure::build(&weighted_initial);
+    let mut engine_w = Engine::with_structure(&weighted_initial, Arc::new(csc0_w.clone()), threads)
+        .expect("fresh structure")
+        .with_config(config)
+        .expect("valid config");
+    let scores0_weighted = engine_w
+        .solve_model(WEIGHTED_MODEL)
+        .expect("initial solve")
+        .scores;
+    drop(engine_w);
+    let weighted_r = run_regime(
+        c,
+        "weighted_trickle",
+        &weighted,
+        &config,
+        threads,
+        WEIGHTED_MODEL,
+        &csc0_w,
+        &scores0_weighted,
+    );
+    assert!(
+        weighted_r
+            .localized_modes
+            .iter()
+            .all(|m| *m != ResolveMode::WarmSweep),
+        "weighted re-weights must not force a sweep: {:?}",
+        weighted_r.localized_modes
     );
 
     // Thread-count axis: the serving pipeline (the hot path this bench
@@ -632,6 +761,7 @@ fn incremental_updates(c: &mut Criterion) {
                         black_box(&trickle),
                         &serving_config,
                         t,
+                        MODEL,
                         &csc0,
                         &scores0_serving,
                     ))
@@ -658,6 +788,7 @@ fn incremental_updates(c: &mut Criterion) {
             "  \"bulk_1pct_churn\": {},\n",
             "  \"trickle_single_edge\": {},\n",
             "  \"trickle_single_edge_serving_tol_1e6\": {},\n",
+            "  \"weighted_trickle_reweight_blended_beta05\": {},\n",
             "  \"localized_trickle_serving_ms_by_threads\": {},\n",
             "  \"note\": \"localized_incremental is the PR-3 serving pipeline: engine-state ",
             "handoff (structurally patched transpose, frontier-patched factored operator) ",
@@ -680,6 +811,7 @@ fn incremental_updates(c: &mut Criterion) {
         regime_json(&bulk_r),
         regime_json(&trickle_r),
         regime_json(&serving_r),
+        regime_json(&weighted_r),
         axis_ms,
     );
     // Smoke runs feed the CI perf guard from a scratch path; acceptance
@@ -698,12 +830,14 @@ fn incremental_updates(c: &mut Criterion) {
     println!(
         "bulk refresh: warm {:.2}x vs seed rebuild, localized {:.2}x vs warm; \
          trickle@1e-8: warm {:.2}x vs seed rebuild, localized {:.2}x vs warm; \
-         trickle@1e-6 serving: localized {:.2}x vs warm",
+         trickle@1e-6 serving: localized {:.2}x vs warm; \
+         weighted trickle (Blended beta=0.5): localized {:.2}x vs warm",
         bulk_r.seed_ms / bulk_r.warm_ms,
         bulk_r.warm_ms / bulk_r.localized_ms,
         trickle_r.seed_ms / trickle_r.warm_ms,
         trickle_r.warm_ms / trickle_r.localized_ms,
         serving_r.warm_ms / serving_r.localized_ms,
+        weighted_r.warm_ms / weighted_r.localized_ms,
     );
 }
 

@@ -276,10 +276,15 @@ impl EngineState {
     /// they are marked stale and rebuilt by [`Engine::from_state`] (the
     /// same `O(E)` cost as before this type existed; no regression).
     ///
+    /// Weighted snapshots patch like unweighted ones: re-weighted arcs
+    /// carry no structural change (the transpose `Arc` identity is even
+    /// preserved when a batch is re-weight-only), but their Θ shifts
+    /// repair the factored tables in place. Node growth append-extends
+    /// every per-node table; removals are tombstones (id space fixed).
+    ///
     /// # Errors
     /// Returns [`UpdateError::Graph`] when the delta does not connect the
-    /// carried structure to `new_graph` (see [`CscStructure::patched`]),
-    /// or [`UpdateError::WeightMismatch`] when `new_graph` is weighted.
+    /// carried structure to `new_graph` (see [`CscStructure::patched`]).
     pub fn patched(
         self,
         new_graph: &CsrGraph,
@@ -328,40 +333,70 @@ impl EngineState {
         delta: &ArcDelta,
         prepatched: Option<Arc<CscStructure>>,
     ) -> Result<EngineState, UpdateError> {
-        if new_graph.is_weighted() {
-            return Err(UpdateError::WeightMismatch {
-                operation: "EngineState::patched",
-            });
-        }
-        if delta.inserted.is_empty() && delta.deleted.is_empty() {
-            // No arcs changed: the carried structure (and its `Arc`
-            // identity — no silent deep copies) is still exact.
+        let structural = !delta.inserted.is_empty()
+            || !delta.deleted.is_empty()
+            || delta.added_nodes() > 0;
+        if structural {
+            // A structural delta rekeys the share: the patched structure
+            // is a new `Arc` generation, other holders of the old one are
+            // unaffected.
+            self.csc = match prepatched {
+                Some(csc) => csc,
+                None => Arc::new(self.csc.patched_structural(new_graph, delta)?),
+            };
+        } else {
+            // Re-weights (and isolated-node tombstones) leave the arc
+            // structure — and the carried `Arc` identity, no silent deep
+            // copies — intact; only the Θ-derived tables move below.
             if new_graph.num_nodes() != self.csc.num_nodes()
                 || new_graph.num_arcs() != self.csc.num_arcs()
             {
                 return Err(UpdateError::Graph(GraphError::Snapshot(
-                    "patched: empty delta but the graph shape changed".into(),
+                    "patched: structure-free delta but the graph shape changed".into(),
                 )));
             }
-            return Ok(self);
+            if let Some(csc) = prepatched {
+                self.csc = csc;
+            }
+            if delta.reweighted.is_empty() {
+                return Ok(self);
+            }
         }
-        // A real delta rekeys the share: the patched structure is a new
-        // `Arc` generation, other holders of the old one are unaffected.
-        self.csc = match prepatched {
-            Some(csc) => csc,
-            None => Arc::new(self.csc.patched_structural(new_graph, delta)?),
-        };
+        // Node growth: append-extend every per-node table. Fresh ids
+        // start dangling with Θ = 0 (so `numer = e⁰ = 1`, `inv_denom = 0`)
+        // — a grown node that gains arcs in the same batch is in the
+        // repair lists below and gets its real values immediately.
+        let n_new = new_graph.num_nodes();
+        if n_new > self.dangling_mask.len() {
+            self.dangling_mask.resize(n_new, true);
+            self.theta.resize(n_new, 0.0);
+            self.log_theta.resize(n_new, 0.0);
+            if self.factored {
+                self.node_numer.resize(n_new, 1.0);
+                self.inv_denom.resize(n_new, 0.0);
+            }
+        }
 
-        // Θ / ln Θ / dangling at changed sources.
+        // Θ / ln Θ / dangling at changed sources. Dangling follows the
+        // arc structure (degree changes); Θ follows the weight mass, so a
+        // pure re-weight repairs Θ with no dangling touch.
         let source_changes = delta.source_degree_changes();
+        let theta_changes = delta.source_theta_changes();
+        let weighted = new_graph.is_weighted();
         let mut theta_changed: Vec<u32> = Vec::new();
-        for &(v, net) in &source_changes {
-            let vu = v as usize;
-            self.dangling_mask[vu] = new_graph.out_degree(v) == 0;
-            if net != 0 {
-                let deg = f64::from(new_graph.kernel_degree(v));
-                self.theta[vu] = deg;
-                self.log_theta[vu] = deg.max(1.0).ln();
+        for &(v, _) in &source_changes {
+            self.dangling_mask[v as usize] = new_graph.out_degree(v) == 0;
+        }
+        for &(v, net) in &theta_changes {
+            if net != 0.0 {
+                let vu = v as usize;
+                let th = if weighted {
+                    new_graph.out_weight(v)
+                } else {
+                    f64::from(new_graph.kernel_degree(v))
+                };
+                self.theta[vu] = th;
+                self.log_theta[vu] = th.max(1.0).ln();
                 theta_changed.push(v);
             }
         }
@@ -373,7 +408,9 @@ impl EngineState {
                 // Patch the factored operator in place: destination
                 // factors at Θ-changed nodes, source denominators at
                 // changed columns (delta sources plus the in-neighbors of
-                // every Θ-changed node).
+                // every Θ-changed node — a re-weighted source's own column
+                // is untouched, the factored operator never reads arc
+                // weights directly).
                 let p = model.p();
                 for &w in &theta_changed {
                     self.node_numer[w as usize] = (-p * self.log_theta[w as usize]).exp();
@@ -1112,7 +1149,8 @@ impl<'g> Engine<'g> {
     /// * tiny graphs run the dense, policy-complete Gauss–Seidel solver
     ///   warm-started from `previous` — push bookkeeping would dominate;
     /// * [`DanglingPolicy::Renormalize`] with dangling nodes present (a
-    ///   non-affine update) and weighted graphs run the warm sweep;
+    ///   non-affine update) and node-churn batches (which shift the
+    ///   teleport vector itself) run the warm sweep;
     /// * a localized attempt that exceeds its work budget (locality lost)
     ///   restarts as a warm sweep from `previous`.
     ///
@@ -1140,15 +1178,18 @@ impl<'g> Engine<'g> {
         self.resolve_inner(previous, teleport, delta, true, None, None)
     }
 
-    /// Whether the localized solver can serve the current configuration:
+    /// Whether the localized solver can serve the current configuration.
+    /// Node churn changes the teleport vector itself (uniform `1/n`
+    /// shifts on growth, removed nodes' explicit mass vanishes), a global
+    /// unseedable residual — those batches take the warm sweep. Weighted
+    /// edge-only batches stay localized: the delta carries pre-batch
+    /// weights, so old operator columns reconstruct exactly.
     /// `Renormalize` is non-affine once dangling nodes exist — in the
     /// post-batch graph *or* the pre-batch one (a batch that heals the
     /// last dangling node leaves `previous` at a projective fixed point,
-    /// `σ ≠ 1`, whose residual `(σ−1)·x̂` is global and unseedable) — and
-    /// weighted graphs cannot arise from `DeltaGraph` batches (their Θ
-    /// table would need weight-aware delta reconciliation).
+    /// `σ ≠ 1`, whose residual `(σ−1)·x̂` is global and unseedable).
     fn localized_supported(&self, delta: &ArcDelta) -> bool {
-        if self.graph.is_weighted() {
+        if delta.added_nodes() > 0 || !delta.removed_nodes.is_empty() {
             return false;
         }
         if self.config.dangling != crate::pagerank::DanglingPolicy::Renormalize {
@@ -1176,14 +1217,48 @@ impl<'g> Engine<'g> {
     }
 
     /// Validate that `delta` actually separates some predecessor graph
-    /// from this engine's graph: inserted arcs must be present, deleted
-    /// arcs absent, all endpoints in range.
+    /// from this engine's graph: inserted and re-weighted arcs must be
+    /// present, deleted arcs absent, all endpoints in range, weight
+    /// side-tables parallel to their arc lists, and the node-count
+    /// bookkeeping consistent with this (post-batch) graph.
     fn validate_delta(&self, delta: &ArcDelta) -> Result<(), UpdateError> {
         let n = self.graph.num_nodes() as u32;
         for &(s, t) in delta.inserted.iter().chain(&delta.deleted) {
             if s >= n || t >= n {
                 return Err(UpdateError::Graph(GraphError::Snapshot(format!(
                     "resolve: delta arc {s} -> {t} is out of range for {n} nodes"
+                ))));
+            }
+        }
+        if delta.inserted_weights.len() != delta.inserted.len()
+            || delta.deleted_weights.len() != delta.deleted.len()
+        {
+            return Err(UpdateError::Graph(GraphError::Snapshot(
+                "resolve: delta weight tables are not parallel to the arc lists".into(),
+            )));
+        }
+        if (delta.added_nodes() > 0 || !delta.removed_nodes.is_empty()) && delta.nodes_after != n {
+            return Err(UpdateError::Graph(GraphError::Snapshot(format!(
+                "resolve: delta reports {} post-batch nodes but the graph has {n}",
+                delta.nodes_after
+            ))));
+        }
+        for &(s, t, _, _) in &delta.reweighted {
+            if s >= n || t >= n {
+                return Err(UpdateError::Graph(GraphError::Snapshot(format!(
+                    "resolve: re-weighted arc {s} -> {t} is out of range for {n} nodes"
+                ))));
+            }
+            if !self.graph.has_arc(s, t) {
+                return Err(UpdateError::Graph(GraphError::Snapshot(format!(
+                    "resolve: re-weighted arc {s} -> {t} is missing from the engine's graph"
+                ))));
+            }
+        }
+        for &v in &delta.removed_nodes {
+            if v >= n {
+                return Err(UpdateError::Graph(GraphError::Snapshot(format!(
+                    "resolve: removed node {v} is out of range for {n} nodes"
                 ))));
             }
         }
@@ -1224,22 +1299,37 @@ impl<'g> Engine<'g> {
         self.config
             .validate()
             .map_err(|e| UpdateError::Solver(SolverError::InvalidConfig(e)))?;
-        // A non-empty delta cannot legally describe a weighted base:
-        // `DeltaGraph` serves unweighted graphs only, so whatever produced
-        // it skipped the weight-reconciliation question entirely. Fail
-        // typed instead of silently warm-sweeping against a Θ table the
-        // delta does not know how to repair. (An empty delta is a
-        // legitimate "nothing changed, re-polish" call and stays served.)
-        if self.graph.is_weighted() && !(delta.inserted.is_empty() && delta.deleted.is_empty()) {
-            return Err(UpdateError::WeightMismatch {
-                operation: if force_localized {
-                    "Engine::resolve_localized"
-                } else {
-                    "Engine::resolve_incremental"
-                },
-            });
-        }
         let n = self.graph.num_nodes();
+        // Node-growth batches: the caller's warm start predates the new
+        // ids — extend it with zero mass (a fresh node starts unranked;
+        // the sweep redistributes immediately). Anything else is a
+        // genuine length mismatch.
+        let added = delta.added_nodes() as usize;
+        let grown_previous: Vec<f64>;
+        let previous = if added > 0 && previous.len() + added == n {
+            grown_previous = previous
+                .iter()
+                .copied()
+                .chain(std::iter::repeat_n(0.0, added))
+                .collect();
+            &grown_previous[..]
+        } else {
+            previous
+        };
+        // Same for an explicit teleport vector: new ids get zero teleport
+        // mass, preserving the caller's personalization over the old ids.
+        let grown_teleport: Vec<f64>;
+        let teleport = match teleport {
+            Some(t) if added > 0 && t.len() + added == n => {
+                grown_teleport = t
+                    .iter()
+                    .copied()
+                    .chain(std::iter::repeat_n(0.0, added))
+                    .collect();
+                Some(&grown_teleport[..])
+            }
+            other => other,
+        };
         if previous.len() != n {
             return Err(UpdateError::Solver(SolverError::WarmStartLength {
                 got: previous.len(),
@@ -1333,12 +1423,12 @@ impl<'g> Engine<'g> {
         } else {
             LocalOp::Arc {
                 csr_probs: &self.csr_probs,
-                in_probs: &self.in_probs,
             }
         };
         let params = LocalizedParams {
             alpha: self.config.alpha,
             p: self.model.expect("checked above").p(),
+            beta: self.model.expect("checked above").beta(),
             policy: self.config.dangling,
             tolerance: self.config.tolerance,
             // Pushing beats sweeping while the residual is concentrated;
@@ -1361,12 +1451,7 @@ impl<'g> Engine<'g> {
             }
             _ => None,
         };
-        let Workspace {
-            rank,
-            residual,
-            teleport: tele_buf,
-            ..
-        } = &mut self.ws;
+        let Workspace { rank, residual, .. } = &mut self.ws;
         let touched_sink = match touched_out.as_deref_mut() {
             Some(t) => {
                 t.all = false;
@@ -1378,8 +1463,8 @@ impl<'g> Engine<'g> {
             self.graph,
             &self.csc,
             &self.dangling_mask,
+            &self.theta,
             &op,
-            tele_buf,
             &params,
             delta,
             rank,
@@ -2867,7 +2952,8 @@ mod tests {
         // A delta that does not describe this graph is rejected up front.
         let bogus = ArcDelta {
             inserted: vec![(0, 19)],
-            deleted: vec![],
+            inserted_weights: vec![1.0],
+            ..Default::default()
         };
         if !g.has_arc(0, 19) {
             assert!(matches!(
@@ -2877,7 +2963,8 @@ mod tests {
         }
         let out_of_range = ArcDelta {
             inserted: vec![(0, 99)],
-            deleted: vec![],
+            inserted_weights: vec![1.0],
+            ..Default::default()
         };
         assert!(matches!(
             engine.resolve_incremental(&[0.05; 20], &out_of_range),
@@ -2944,45 +3031,43 @@ mod tests {
     }
 
     #[test]
-    fn weighted_base_yields_typed_weight_mismatch() {
-        use crate::error::UpdateError;
-        use d2pr_graph::delta::ArcDelta;
-        let mut b = GraphBuilder::new(Direction::Directed, 4);
+    fn weighted_base_resolves_incrementally() {
+        use d2pr_graph::delta::{DeltaGraph, EdgeBatch};
+        let mut b = GraphBuilder::new(Direction::Directed, 5);
         b.add_weighted_edge(0, 1, 2.0);
         b.add_weighted_edge(1, 2, 1.0);
         b.add_weighted_edge(2, 0, 1.0);
         b.add_weighted_edge(0, 3, 0.5);
+        b.add_weighted_edge(3, 4, 1.5);
+        b.add_weighted_edge(4, 0, 0.25);
         let g = b.build().unwrap();
         assert!(g.is_weighted());
-        let mut engine = Engine::with_threads(&g, 1);
-        engine.set_model(TransitionModel::Standard).unwrap();
-        let served = engine.solve().unwrap().scores;
-        // A non-empty delta on a weighted base is a typed error — not the
-        // silent warm-sweep fallback it used to be (the delta cannot say
-        // what the new Θ entries are).
-        let delta = ArcDelta {
-            inserted: vec![(0, 1)],
-            deleted: vec![],
-        };
-        assert!(matches!(
-            engine.resolve_incremental(&served, &delta),
-            Err(UpdateError::WeightMismatch { .. })
-        ));
-        assert!(matches!(
-            engine.resolve_localized(&served, &delta),
-            Err(UpdateError::WeightMismatch { .. })
-        ));
-        // An empty delta means "nothing changed, re-polish": still served.
-        let ok = engine
-            .resolve_incremental(&served, &ArcDelta::default())
-            .unwrap();
-        assert_eq!(ok.mode, ResolveMode::WarmSweep);
-        // The engine-state patch reports the same typed error (it used to
-        // hide the restriction in a stringly GraphError).
-        let state = engine.into_state();
-        let err = state.patched(&g, &delta).unwrap_err();
-        assert!(matches!(err, UpdateError::WeightMismatch { .. }));
-        assert!(err.to_string().contains("unweighted base graph"));
+        for model in [
+            TransitionModel::Standard,
+            TransitionModel::DegreeDecoupled { p: 0.5 },
+            TransitionModel::Blended { beta: 0.5, p: 1.0 },
+        ] {
+            let mut engine = Engine::with_threads(&g, 1);
+            engine.set_model(model).unwrap();
+            let served = engine.solve().unwrap().scores;
+            // A weighted base now takes the full mutation path: weighted
+            // insert, re-weight (insert over an existing arc), delete.
+            let mut dg = DeltaGraph::new(g.clone()).unwrap();
+            let mut batch = EdgeBatch::new();
+            batch.insert_weighted(2, 4, 3.0);
+            batch.insert_weighted(0, 1, 0.75); // re-weight of an existing arc
+            batch.delete(3, 4);
+            let outcome = dg.apply_batch(&batch).unwrap();
+            assert_eq!(outcome.delta.reweighted, vec![(0, 1, 2.0, 0.75)]);
+            assert_eq!(outcome.delta.deleted_weights, vec![1.5]);
+            let g2 = dg.snapshot();
+            let state = engine.into_state().patched(&g2, &outcome.delta).unwrap();
+            let mut engine2 = Engine::from_state(&g2, state).unwrap();
+            let inc = engine2.resolve_incremental(&served, &outcome.delta).unwrap();
+            assert!(inc.result.converged);
+            let cold = engine2.solve().unwrap();
+            assert_close(&cold.scores, &inc.result.scores, 1e-7);
+        }
     }
 
     #[test]

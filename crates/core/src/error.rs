@@ -130,16 +130,6 @@ pub enum UpdateError {
     /// The solver-side step failed: invalid model/config, or a stale
     /// warm-start vector (wrong length / no mass).
     Solver(SolverError),
-    /// The incremental path was invoked on a **weighted** base graph. Edge
-    /// deltas carry no weight-reconciliation rules yet
-    /// ([`DeltaGraph`](d2pr_graph::delta::DeltaGraph) serves unweighted
-    /// graphs only), so neither the engine-state patch nor the incremental
-    /// re-solve can repair a weighted Θ table — the restriction is now a
-    /// typed error instead of an inherited string or a silent fallback.
-    WeightMismatch {
-        /// The operation that was attempted (e.g. `"EngineState::patched"`).
-        operation: &'static str,
-    },
 }
 
 impl fmt::Display for UpdateError {
@@ -147,11 +137,6 @@ impl fmt::Display for UpdateError {
         match self {
             UpdateError::Graph(e) => write!(f, "incremental update failed (graph): {e}"),
             UpdateError::Solver(e) => write!(f, "incremental update failed (solver): {e}"),
-            UpdateError::WeightMismatch { operation } => write!(
-                f,
-                "incremental update failed: {operation} requires an unweighted base graph \
-                 (weighted deltas need weight-reconciliation rules DeltaGraph does not define)"
-            ),
         }
     }
 }
@@ -161,7 +146,6 @@ impl std::error::Error for UpdateError {
         match self {
             UpdateError::Graph(e) => Some(e),
             UpdateError::Solver(e) => Some(e),
-            UpdateError::WeightMismatch { .. } => None,
         }
     }
 }

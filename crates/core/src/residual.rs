@@ -15,19 +15,21 @@
 //! residual mass locally* instead of iterating globally:
 //!
 //! 1. **Frontier.** From the batch's effective [`ArcDelta`] derive the
-//!    changed operator *columns*: sources whose out-arc set changed, plus —
-//!    because degree-decoupled probabilities depend on destination
-//!    degrees — the in-neighbors of every node whose `Θ` changed (their
-//!    normalizing denominators shifted even though their arcs did not).
+//!    changed operator *columns*: sources whose out-arc set or out-arc
+//!    *weights* changed, plus — because degree-decoupled probabilities
+//!    depend on destination degrees — the in-neighbors of every node whose
+//!    `Θ` changed (their normalizing denominators shifted even though
+//!    their arcs did not; on weighted graphs a pure re-weight shifts `Θ`
+//!    the same way an arc flip does).
 //! 2. **Exact residual seeding.** `r₀ = α·(T_new − T_old)·x̂` decomposes
-//!    column-wise, and for the factored operator the *old* column is
-//!    exactly reconstructible from the delta (pre-batch degrees give the
-//!    pre-batch destination factors and denominators). Each changed column
-//!    therefore seeds the residual as a **virtual push** in
-//!    `O(out-degree)` — no row-side in-arc pulls at all. Arc-mode
-//!    operators (whose old per-arc values are not reconstructible) fall
-//!    back to evaluating `r` exactly on the affected rows through the
-//!    current operator. Either way this generalizes
+//!    column-wise, and the *old* column is exactly reconstructible from
+//!    the delta: pre-batch degrees and `Θ` nets give the pre-batch
+//!    destination factors and denominators (factored operator), and the
+//!    delta's pre-batch arc weights (`deleted_weights`, the `old` halves
+//!    of `reweighted`) rebuild the pre-batch neighbor list for the
+//!    arc-mode blend `β·T_conn + (1−β)·T_D` column by column. Each changed
+//!    column therefore seeds the residual as a **virtual push** in
+//!    `O(out-degree)` — no row-side in-arc pulls at all. This generalizes
 //!    [`crate::approx::forward_push`], which handles only the standard
 //!    random-walk operator and a single seed's indicator residual.
 //! 3. **Signed push.** Repeatedly settle residual `ρ` at a node into its
@@ -64,7 +66,7 @@
 //! steady-state serving performs zero allocations here.
 
 use crate::exec::{sim_event, ExecBarrier};
-use crate::kernel::gather_weighted;
+use crate::kernel::DegreeKernel;
 use crate::pagerank::DanglingPolicy;
 use crate::pool::{PadCell, SharedMut, WorkerPool};
 use crate::workspace::ResidualScratch;
@@ -89,10 +91,8 @@ pub(crate) enum LocalOp<'a> {
     },
     /// Materialized per-arc probabilities.
     Arc {
-        /// CSR-ordered per-arc probabilities (push orientation).
+        /// CSR-ordered per-arc probabilities (push + column orientation).
         csr_probs: &'a [f64],
-        /// CSC-ordered per-arc probabilities (pull orientation).
-        in_probs: &'a [f64],
     },
 }
 
@@ -102,8 +102,11 @@ pub(crate) struct LocalizedParams {
     /// Residual probability `α`.
     pub alpha: f64,
     /// De-coupling weight `p` of the loaded model (used to reconstruct
-    /// pre-batch destination factors on the factored seeding path).
+    /// pre-batch destination factors and `T_D` columns when seeding).
     pub p: f64,
+    /// Blend weight `β` of the loaded model (arc-mode column
+    /// reconstruction needs the `T_conn`/`T_D` split).
+    pub beta: f64,
     /// Dangling policy (`Renormalize` only without dangling nodes).
     pub policy: DanglingPolicy,
     /// Stop once the tracked `‖r‖₁` drops below this (the engine's L1
@@ -155,8 +158,12 @@ pub(crate) struct LocalizedStats {
 /// return it holds the refreshed (or, when `converged == false`,
 /// partially refreshed) solution. Callers normalize the converged result
 /// to the simplex, which also realizes the closed-form dangling rescale —
-/// see module docs. The caller guarantees: unweighted graph, delta
-/// consistent with `graph`, and no dangling nodes under `Renormalize`.
+/// see module docs. `theta` is the **post-batch** destination `Θ` table
+/// (degree/`out_weight`); pre-batch values are reconstructed from it and
+/// the delta's per-source nets. The caller guarantees: delta consistent
+/// with `graph` (weights included), fixed node count (node-churn batches
+/// change the teleport vector itself and route to the warm sweep), and no
+/// dangling nodes under `Renormalize`.
 ///
 /// `touched_out`, when given, receives (clear + extend) the exact set of
 /// nodes whose rank or residual this solve wrote — the frontier the
@@ -169,8 +176,8 @@ pub(crate) fn solve_localized(
     graph: &CsrGraph,
     csc: &CscStructure,
     dangling_mask: &[bool],
+    theta: &[f64],
     op: &LocalOp<'_>,
-    teleport: &[f64],
     params: &LocalizedParams,
     delta: &ArcDelta,
     rank: &mut [f64],
@@ -198,24 +205,31 @@ pub(crate) fn solve_localized(
     debug_assert!(touched.is_empty() && cols.is_empty() && queue.is_empty());
 
     let alpha = params.alpha;
-    let uniform = 1.0 / n.max(1) as f64;
     let (offsets, targets, _) = graph.parts();
     let in_offsets = csc.in_offsets();
     let in_sources = csc.in_sources();
     let mut stats = LocalizedStats::default();
 
-    // -- Changed operator columns: sources of flipped arcs, plus every
-    //    in-neighbor of a node whose Θ (kernel degree) changed — their
-    //    normalizing denominators shifted even though their arcs did not.
+    // -- Changed operator columns: sources of flipped and re-weighted
+    //    arcs, plus every in-neighbor of a node whose Θ changed (arc
+    //    flips *and* weight changes shift Θ) — their normalizing
+    //    denominators moved even though their arcs did not.
     let source_changes = delta.source_degree_changes();
-    for &(s, _) in delta.inserted.iter().chain(&delta.deleted) {
+    let theta_changes = delta.source_theta_changes();
+    for &s in delta
+        .inserted
+        .iter()
+        .chain(&delta.deleted)
+        .map(|(s, _)| s)
+        .chain(delta.reweighted.iter().map(|(s, _, _, _)| s))
+    {
         if !col_mark[s as usize] {
             col_mark[s as usize] = true;
             cols.push(s);
         }
     }
-    for &(w, net) in &source_changes {
-        if net == 0 {
+    for &(w, net) in &theta_changes {
+        if net == 0.0 {
             continue; // neighbor set changed but Θ did not: already a column
         }
         let (cs, ce) = (in_offsets[w as usize], in_offsets[w as usize + 1]);
@@ -227,6 +241,13 @@ pub(crate) fn solve_localized(
             }
         }
     }
+    // Pre-batch Θ of any node: the post-batch table minus the delta's net.
+    let theta_old_at = |t: u32| -> f64 {
+        match theta_changes.binary_search_by_key(&t, |&(w, _)| w) {
+            Ok(k) => theta[t as usize] - theta_changes[k].1,
+            Err(_) => theta[t as usize],
+        }
+    };
 
     let mark = |j: usize, touched_mark: &mut [bool], touched: &mut Vec<u32>| {
         if !touched_mark[j] {
@@ -248,12 +269,14 @@ pub(crate) fn solve_localized(
             // reconstructible from the delta — `O(deg(i) + Δ_i·log)` per
             // column, no row pulls at all.
             let p = params.p;
-            // Pre-batch destination factors of Θ-changed nodes, sorted.
-            let numer_old_changed: Vec<(u32, f64)> = source_changes
+            // Pre-batch destination factors of Θ-changed nodes, sorted —
+            // Θ_old comes from the post-batch table minus the delta's net
+            // (weight-aware: a re-weight shifts Θ without an arc flip).
+            let numer_old_changed: Vec<(u32, f64)> = theta_changes
                 .iter()
-                .filter(|&&(_, net)| net != 0)
-                .map(|&(w, net)| {
-                    let old_theta = (i64::from(graph.out_degree(w)) - net) as f64;
+                .filter(|&&(_, net)| net != 0.0)
+                .map(|&(w, _)| {
+                    let old_theta = theta_old_at(w);
                     (w, (-p * old_theta.max(1.0).ln()).exp())
                 })
                 .collect();
@@ -329,58 +352,112 @@ pub(crate) fn solve_localized(
                 }
             }
         }
-        LocalOp::Arc { in_probs, .. } => {
-            // Arc-mode operators (β > 0, extreme p) don't keep their old
-            // per-arc values in a patchable form, so the residual is
-            // instead evaluated exactly on the affected *rows* — the new
-            // out-neighborhoods of the changed columns plus every delta
-            // endpoint — by pulling through the current operator. Costs
-            // the rows' in-arcs; the factored serving path above avoids
-            // this entirely.
-            let dmass_new: f64 = csc.dangling().iter().map(|&v| rank[v as usize]).sum();
-            let mut ddelta = 0.0;
-            for &(v, net) in &source_changes {
-                let new_deg = i64::from(graph.out_degree(v));
-                let was_dangling = new_deg - net == 0;
-                let now_dangling = new_deg == 0;
-                if now_dangling && !was_dangling {
-                    ddelta += rank[v as usize];
-                } else if was_dangling && !now_dangling {
-                    ddelta -= rank[v as usize];
-                }
-            }
-            let tele_coef = match params.policy {
-                DanglingPolicy::RedistributeTeleport => {
-                    (1.0 - alpha) + alpha * (dmass_new - ddelta)
-                }
-                DanglingPolicy::SelfLoop | DanglingPolicy::Renormalize => 1.0 - alpha,
-            };
-            for &(s, t) in delta.inserted.iter().chain(&delta.deleted) {
-                mark(s as usize, touched_mark, touched);
-                mark(t as usize, touched_mark, touched);
-            }
+        LocalOp::Arc { csr_probs } => {
+            // Arc-mode (β > 0, or extreme p) column-wise seeding: for every
+            // changed column `i`, add `α·x̂_i·T_new[·,i]` straight from the
+            // materialized CSR probabilities and subtract the reconstructed
+            // pre-batch column `α·x̂_i·T_old[·,i]`. The pre-batch column is
+            // rebuilt exactly: pre-batch neighbors = (new ∖ inserted) ∪
+            // deleted, pre-batch weights from `deleted_weights` / the `old`
+            // halves of `reweighted`, pre-batch Θ from the table minus the
+            // per-source nets — then the same `β·T_conn + (1−β)·T_D`
+            // formula as [`crate::transition::fill_arc_probs`]. Costs
+            // `O(deg)` per column, no row-side in-arc pulls.
+            let beta = params.beta;
+            let kernel = DegreeKernel::new(params.p);
+            let weighted = graph.is_weighted();
+            // Pre-batch (target, weight) list of one column + kernel
+            // scratch, reused across columns.
+            let mut old_arcs: Vec<(u32, f64)> = Vec::new();
+            let mut old_thetas: Vec<f64> = Vec::new();
+            let mut old_kern: Vec<f64> = Vec::new();
             for &i in cols.iter() {
-                let (s, e) = (offsets[i as usize], offsets[i as usize + 1]);
+                let iu = i as usize;
+                let xi = rank[iu];
+                if xi == 0.0 {
+                    continue;
+                }
+                let (s, e) = (offsets[iu], offsets[iu + 1]);
+                // New column straight off the current operator.
                 stats.work += e - s;
-                for &j in &targets[s..e] {
-                    mark(j as usize, touched_mark, touched);
+                for k in s..e {
+                    let tu = targets[k] as usize;
+                    if csr_probs[k] != 0.0 {
+                        residual[tu] += alpha * xi * csr_probs[k];
+                        mark(tu, touched_mark, touched);
+                    }
                 }
-            }
-            for &j in touched.iter() {
-                let ju = j as usize;
-                let tj = if teleport.is_empty() {
-                    uniform
-                } else {
-                    teleport[ju]
-                };
-                let mut base = tele_coef * tj;
-                if params.policy == DanglingPolicy::SelfLoop && dangling_mask[ju] {
-                    base += alpha * rank[ju];
+                // Pre-batch neighbor list, ascending by target: merge the
+                // retained new arcs with the deleted ones.
+                let ins = &delta.inserted[source_range(&delta.inserted, i)];
+                let del_range = source_range(&delta.deleted, i);
+                let dels = &delta.deleted[del_range.clone()];
+                let del_ws = &delta.deleted_weights[del_range];
+                let rew_range = reweight_range(&delta.reweighted, i);
+                let rews = &delta.reweighted[rew_range];
+                stats.work += dels.len() + rews.len();
+                old_arcs.clear();
+                let ws_new = graph.neighbor_weights(i);
+                let mut dk = 0usize;
+                for k in s..e {
+                    let t = targets[k];
+                    if ins.binary_search_by_key(&t, |&(_, tt)| tt).is_ok() {
+                        continue;
+                    }
+                    while dk < dels.len() && dels[dk].1 < t {
+                        old_arcs.push((dels[dk].1, del_ws[dk]));
+                        dk += 1;
+                    }
+                    let w = match rews.binary_search_by_key(&t, |&(_, tt, _, _)| tt) {
+                        Ok(r) => rews[r].2,
+                        Err(_) => ws_new.map_or(1.0, |ws| ws[k - s]),
+                    };
+                    old_arcs.push((t, w));
                 }
-                let (cs, ce) = (in_offsets[ju], in_offsets[ju + 1]);
-                stats.work += ce - cs;
-                let pull = gather_weighted(&in_sources[cs..ce], &in_probs[cs..ce], rank);
-                residual[ju] = base + alpha * pull - rank[ju];
+                for (d, &w) in dels[dk..].iter().zip(&del_ws[dk..]) {
+                    old_arcs.push((d.1, w));
+                }
+                // Subtract the pre-batch column.
+                if !old_arcs.is_empty() {
+                    let k_old = old_arcs.len() as f64;
+                    let total_w: f64 = old_arcs.iter().map(|&(_, w)| w).sum();
+                    if beta < 1.0 {
+                        old_thetas.clear();
+                        old_thetas.extend(old_arcs.iter().map(|&(t, _)| theta_old_at(t)));
+                        kernel.normalize_into(&old_thetas, &mut old_kern);
+                    }
+                    for (j, &(t, w)) in old_arcs.iter().enumerate() {
+                        let mut prob = 0.0;
+                        if beta > 0.0 {
+                            prob += if weighted && total_w > 0.0 {
+                                beta * (w / total_w)
+                            } else {
+                                beta / k_old
+                            };
+                        }
+                        if beta < 1.0 {
+                            prob += (1.0 - beta) * old_kern[j];
+                        }
+                        let tu = t as usize;
+                        residual[tu] -= alpha * xi * prob;
+                        mark(tu, touched_mark, touched);
+                    }
+                }
+                // Dangling-status flip: SelfLoop adds/removes the `e_i`
+                // column; RedistributeTeleport's flip is teleport-shaped
+                // (the closed-form rescale); Renormalize never gets here
+                // with dangling nodes (engine gate).
+                if params.policy == DanglingPolicy::SelfLoop {
+                    let was = old_arcs.is_empty();
+                    let now = s == e;
+                    if now && !was {
+                        residual[iu] += alpha * xi;
+                        mark(iu, touched_mark, touched);
+                    } else if was && !now {
+                        residual[iu] -= alpha * xi;
+                        mark(iu, touched_mark, touched);
+                    }
+                }
             }
         }
     }
@@ -888,6 +965,14 @@ fn par_worker(w: usize, sh: &ParShared<'_>) {
 fn source_range(list: &[(u32, u32)], v: u32) -> std::ops::Range<usize> {
     let lo = list.partition_point(|&(s, _)| s < v);
     let hi = list.partition_point(|&(s, _)| s <= v);
+    lo..hi
+}
+
+/// Index range of the re-weight records whose source is `v` in a sorted
+/// `(source, target, old, new)` list.
+fn reweight_range(list: &[(u32, u32, f64, f64)], v: u32) -> std::ops::Range<usize> {
+    let lo = list.partition_point(|&(s, _, _, _)| s < v);
+    let hi = list.partition_point(|&(s, _, _, _)| s <= v);
     lo..hi
 }
 

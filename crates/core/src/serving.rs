@@ -172,8 +172,10 @@ struct PublishCore {
     front: AtomicUsize,
     /// Latest published generation (equals the front slot's).
     generation: AtomicU64,
-    /// Node count (fixed: `DeltaGraph` serves fixed node sets).
-    nodes: usize,
+    /// Node count of the latest published generation. Grows when an
+    /// ingested batch adds nodes (the id space never shrinks — removals
+    /// are tombstones); updated by the writer inside the publish window.
+    nodes: AtomicUsize,
     /// Process-unique id distinguishing this core's events in a sim
     /// harness hosting several engines (sharded runs).
     #[cfg(feature = "sim")]
@@ -214,7 +216,7 @@ impl PublishCore {
             ],
             front: AtomicUsize::new(0),
             generation: AtomicU64::new(generation),
-            nodes,
+            nodes: AtomicUsize::new(nodes),
             #[cfg(feature = "sim")]
             sim_id: {
                 static NEXT_SIM_ID: AtomicUsize = AtomicUsize::new(0);
@@ -388,21 +390,22 @@ pub struct ScoreReader {
 impl std::fmt::Debug for ScoreReader {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ScoreReader")
-            .field("nodes", &self.core.nodes)
+            .field("nodes", &self.core.nodes.load(SeqCst))
             .field("generation", &self.generation())
             .finish()
     }
 }
 
 impl ScoreReader {
-    /// Number of nodes served (fixed for the engine's lifetime).
+    /// Number of nodes of the latest published generation (grows when
+    /// batches add nodes; removals are tombstones and never shrink it).
     pub fn len(&self) -> usize {
-        self.core.nodes
+        self.core.nodes.load(SeqCst)
     }
 
     /// Whether the served graph is empty.
     pub fn is_empty(&self) -> bool {
-        self.core.nodes == 0
+        self.len() == 0
     }
 
     /// The latest published generation (starts at 0, +1 per refresh).
@@ -679,6 +682,12 @@ pub struct RefreshOutcome {
     pub inserted_arcs: usize,
     /// Arcs the batch deleted.
     pub deleted_arcs: usize,
+    /// Arcs whose weight the batch replaced (no structural change).
+    pub reweighted_arcs: usize,
+    /// Nodes the batch appended to the id space.
+    pub added_nodes: u32,
+    /// Nodes the batch tombstoned (incident arcs dropped, id retained).
+    pub removed_nodes: usize,
     /// OS threads this engine lineage has spawned since construction —
     /// constant in steady state (the pool rides the state handoffs).
     pub pool_spawns: usize,
@@ -710,6 +719,10 @@ pub struct RecoveredParts {
     /// Durable edge batches logged after the snapshot, oldest first, in
     /// external ids (exactly as the caller passed them to ingest).
     pub tail: Vec<EdgeBatch>,
+    /// Node ids tombstoned **as of the snapshot**, in external order (the
+    /// serving engine's removed set at snapshot time). Replayed tail
+    /// batches may extend or revive entries.
+    pub removed: Vec<u32>,
 }
 
 /// Diagnostics of one [`ServingEngine::recovered`] revival.
@@ -791,12 +804,18 @@ pub struct ServingEngine {
     /// Writer-side candidate scratch of the index repair (reused; holds
     /// the retiring head's allocation between refreshes).
     candidates: Vec<TopEntry>,
+    /// Tombstoned node ids in **external** (reader-visible) order. The id
+    /// space never shrinks: a removed node keeps its slot, its published
+    /// score is masked to `0.0` every generation, and the maintained
+    /// top-k index evicts it. A later batch inserting an arc incident to
+    /// the id revives it.
+    removed: std::collections::BTreeSet<u32>,
 }
 
 impl std::fmt::Debug for ServingEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ServingEngine")
-            .field("nodes", &self.core.nodes)
+            .field("nodes", &self.core.nodes.load(SeqCst))
             .field("arcs", &self.dg.num_arcs())
             .field("generation", &self.generation())
             .field("model", &self.model)
@@ -809,9 +828,14 @@ impl ServingEngine {
     /// generation 0. `threads` sizes the engine's persistent worker pool
     /// (spawned here, reused by every refresh).
     ///
+    /// Weighted graphs are served like unweighted ones — batches carry
+    /// per-arc weights ([`EdgeBatch::insert_weighted`]), re-inserts
+    /// replace weights, and node churn ([`EdgeBatch::add_nodes`] /
+    /// [`EdgeBatch::remove_node`]) grows or tombstones the served id
+    /// space.
+    ///
     /// # Errors
-    /// [`UpdateError::WeightMismatch`] for weighted graphs (deltas carry
-    /// no weight rules), otherwise any constructor/solver failure.
+    /// Any constructor/solver failure.
     pub fn new(
         graph: CsrGraph,
         model: TransitionModel,
@@ -839,11 +863,6 @@ impl ServingEngine {
         config: PageRankConfig,
         threads: usize,
     ) -> Result<Self, UpdateError> {
-        if graph.is_weighted() {
-            return Err(UpdateError::WeightMismatch {
-                operation: "ServingEngine::new",
-            });
-        }
         let dg = DeltaGraph::new(graph)?;
         let snapshot = dg.snapshot();
         let csc = match structure {
@@ -869,6 +888,7 @@ impl ServingEngine {
             scratch: PermuteScratch::default(),
             touched: TouchedSet::new(),
             candidates: Vec::new(),
+            removed: std::collections::BTreeSet::new(),
         })
     }
 
@@ -896,11 +916,6 @@ impl ServingEngine {
     ) -> Result<Self, UpdateError> {
         if matches!(layout, Layout::Baseline) {
             return Self::with_parts(graph, None, teleport, model, config, threads);
-        }
-        if graph.is_weighted() {
-            return Err(UpdateError::WeightMismatch {
-                operation: "ServingEngine::new",
-            });
         }
         let (internal, csc) =
             CscStructure::with_layout(&graph, layout).map_err(UpdateError::Graph)?;
@@ -946,6 +961,7 @@ impl ServingEngine {
             scratch: PermuteScratch::default(),
             touched: TouchedSet::new(),
             candidates: Vec::new(),
+            removed: std::collections::BTreeSet::new(),
         })
     }
 
@@ -970,7 +986,7 @@ impl ServingEngine {
         config: PageRankConfig,
         threads: usize,
     ) -> Result<(Self, RecoveryOutcome), UpdateError> {
-        use std::collections::BTreeSet;
+        use std::collections::{BTreeMap, BTreeSet};
         let RecoveredParts {
             graph,
             perm,
@@ -978,12 +994,8 @@ impl ServingEngine {
             generation,
             teleport,
             tail,
+            removed: snapshot_removed,
         } = parts;
-        if graph.is_weighted() {
-            return Err(UpdateError::WeightMismatch {
-                operation: "ServingEngine::recovered",
-            });
-        }
         if scores.len() != graph.num_nodes() {
             return Err(UpdateError::Graph(GraphError::Snapshot(format!(
                 "recovered scores cover {} nodes but the graph has {}",
@@ -991,12 +1003,25 @@ impl ServingEngine {
                 graph.num_nodes()
             ))));
         }
+        let n_before = graph.num_nodes() as u32;
         let mut dg = DeltaGraph::new(graph)?;
-        // Merge every tail batch into one net delta: an arc inserted by
-        // one batch and deleted by a later one (or vice versa) cancels,
-        // so the single warm re-solve sees only the surviving changes.
-        let mut ins: BTreeSet<(u32, u32)> = BTreeSet::new();
-        let mut del: BTreeSet<(u32, u32)> = BTreeSet::new();
+        // Merge every tail batch into one net delta separating the
+        // snapshot graph from the final replayed state. Per arc, record
+        // its pre-tail state on first touch (`orig`: absent, or present
+        // with its then-weight) and its final state (`present`); the pair
+        // classifies the arc as net-inserted, net-deleted, net-reweighted,
+        // or a full round trip (dropped). Insert→delete chains cancel,
+        // insert→reweight chains collapse to one weighted insert, and a
+        // delete→re-insert at a new weight becomes a re-weight.
+        let mut orig: BTreeMap<(u32, u32), Option<f64>> = BTreeMap::new();
+        let mut present: BTreeMap<(u32, u32), f64> = BTreeMap::new();
+        let mut removed: BTreeSet<u32> = BTreeSet::new();
+        // The engine-level tombstone set (external ids): seeded from the
+        // snapshot's persisted set, advanced by the tail with exactly the
+        // live-ingest rule (removals join, effective-insert endpoints
+        // revive).
+        let mut tombstones: BTreeSet<u32> = snapshot_removed.iter().copied().collect();
+        let mut n_after = n_before;
         let replayed_batches = tail.len();
         for batch in &tail {
             let translated;
@@ -1008,20 +1033,60 @@ impl ServingEngine {
                 None => batch,
             };
             let applied = dg.apply_batch(batch)?;
-            for &a in &applied.delta.inserted {
-                if !del.remove(&a) {
-                    ins.insert(a);
-                }
+            let d = &applied.delta;
+            n_after = d.nodes_after;
+            for (&a, &w) in d.inserted.iter().zip(&d.inserted_weights) {
+                orig.entry(a).or_insert(None);
+                present.insert(a, w);
             }
-            for &a in &applied.delta.deleted {
-                if !ins.remove(&a) {
-                    del.insert(a);
+            for (&a, &w) in d.deleted.iter().zip(&d.deleted_weights) {
+                orig.entry(a).or_insert(Some(w));
+                present.remove(&a);
+            }
+            for &(u, v, old, new) in &d.reweighted {
+                orig.entry((u, v)).or_insert(Some(old));
+                present.insert((u, v), new);
+            }
+            removed.extend(d.removed_nodes.iter().copied());
+            for &v in &d.removed_nodes {
+                tombstones.insert(perm.as_ref().map_or(v, |p| p.to_external(v)));
+            }
+            for &(u, v) in &d.inserted {
+                for node in [u, v] {
+                    tombstones.remove(&perm.as_ref().map_or(node, |p| p.to_external(node)));
                 }
             }
         }
+        let mut net_ins = Vec::new();
+        let mut net_ins_w = Vec::new();
+        let mut net_del = Vec::new();
+        let mut net_del_w = Vec::new();
+        let mut net_rew = Vec::new();
+        for (&a, &o) in orig.iter() {
+            match (o, present.get(&a)) {
+                (None, Some(&w)) => {
+                    net_ins.push(a);
+                    net_ins_w.push(w);
+                }
+                (Some(w_old), None) => {
+                    net_del.push(a);
+                    net_del_w.push(w_old);
+                }
+                (Some(w_old), Some(&w_new)) if w_old != w_new => {
+                    net_rew.push((a.0, a.1, w_old, w_new));
+                }
+                _ => {} // round trip back to the pre-tail state
+            }
+        }
         let delta = ArcDelta {
-            inserted: ins.into_iter().collect(),
-            deleted: del.into_iter().collect(),
+            inserted: net_ins,
+            inserted_weights: net_ins_w,
+            deleted: net_del,
+            deleted_weights: net_del_w,
+            reweighted: net_rew,
+            nodes_before: n_before,
+            nodes_after: n_after,
+            removed_nodes: removed.into_iter().collect(),
         };
         let snapshot = dg.snapshot();
         let mut engine =
@@ -1083,6 +1148,24 @@ impl ServingEngine {
             )
         };
         let state = engine.into_state();
+        // A tail with node growth outgrew the snapshot-length teleport:
+        // zero-extend it to the replayed id space, as live ingests do.
+        let mut teleport = teleport;
+        if let Some(t) = &mut teleport {
+            if t.len() < dg.num_nodes() {
+                t.resize(dg.num_nodes(), 0.0);
+            }
+        }
+        // Re-establish the published tombstone invariant: masked to 0.0
+        // in every generation this core will ever serve (the snapshot's
+        // own scores were persisted masked; the warm re-solve above
+        // recomputes residual mass at tombstoned ids, so mask again).
+        let mut published = published;
+        for &v in &tombstones {
+            if let Some(s) = published.get_mut(v as usize) {
+                *s = 0.0;
+            }
+        }
         Ok((
             Self {
                 dg,
@@ -1094,22 +1177,31 @@ impl ServingEngine {
                 scratch,
                 touched: TouchedSet::new(),
                 candidates: Vec::new(),
+                removed: tombstones,
             },
             outcome,
         ))
     }
 
     /// Check an edge batch against everything [`ServingEngine::ingest`]
-    /// validates **before** any state changes — today, that both endpoints
-    /// of every insert and delete lie inside the fixed node set. A batch
-    /// that passes cannot fail ingest validation later; the durability
-    /// layer relies on this to guarantee that a logged record always
-    /// replays cleanly (validate → append → ingest).
+    /// validates **before** any state changes: every endpoint (and removed
+    /// node) lies inside the post-batch node set (`n + new_nodes`), the
+    /// weight table is parallel to the inserts and holds finite
+    /// non-negative values, non-unit weights only target a weighted base,
+    /// and the grown id space fits `u32`. A batch that passes cannot fail
+    /// ingest validation later; the durability layer relies on this to
+    /// guarantee that a logged record always replays cleanly (validate →
+    /// append → ingest).
     ///
     /// # Errors
     /// [`UpdateError::Graph`] citing the caller's (external) node id.
     pub fn validate_batch(&self, batch: &EdgeBatch) -> Result<(), UpdateError> {
-        let n = self.core.nodes as u32;
+        let nodes = self.core.nodes.load(SeqCst);
+        let after = nodes + batch.new_nodes as usize;
+        if after > u32::MAX as usize {
+            return Err(UpdateError::Graph(GraphError::TooManyNodes(after)));
+        }
+        let n = after as u32;
         for &(u, v) in batch.inserts.iter().chain(batch.deletes.iter()) {
             let bad = if u >= n {
                 Some(u)
@@ -1123,6 +1215,33 @@ impl ServingEngine {
                     node,
                     num_nodes: n,
                 }));
+            }
+        }
+        for &v in &batch.removed_nodes {
+            if v >= n {
+                return Err(UpdateError::Graph(GraphError::NodeOutOfRange {
+                    node: v,
+                    num_nodes: n,
+                }));
+            }
+        }
+        if let Some(ws) = &batch.weights {
+            if ws.len() != batch.inserts.len() {
+                return Err(UpdateError::Graph(GraphError::Snapshot(format!(
+                    "batch carries {} weights for {} inserts",
+                    ws.len(),
+                    batch.inserts.len()
+                ))));
+            }
+            for &w in ws {
+                if !w.is_finite() || w < 0.0 {
+                    return Err(UpdateError::Graph(GraphError::InvalidWeight(w)));
+                }
+                if !self.dg.is_weighted() && w != 1.0 {
+                    return Err(UpdateError::Graph(GraphError::WeightMismatch {
+                        graph_weighted: false,
+                    }));
+                }
             }
         }
         Ok(())
@@ -1174,9 +1293,23 @@ impl ServingEngine {
             .collect()
     }
 
-    /// Number of nodes served.
+    /// Number of nodes of the latest published generation (grows with
+    /// node-adding batches; tombstoned removals never shrink it).
     pub fn num_nodes(&self) -> usize {
-        self.core.nodes
+        self.core.nodes.load(SeqCst)
+    }
+
+    /// Tombstoned node ids in external order, ascending — the set whose
+    /// published scores are masked to `0.0`. The durability layer
+    /// persists it at snapshot time and hands it back via
+    /// [`RecoveredParts::removed`].
+    pub fn removed_nodes(&self) -> Vec<u32> {
+        self.removed.iter().copied().collect()
+    }
+
+    /// Number of live (non-tombstoned) nodes currently served.
+    pub fn live_nodes(&self) -> usize {
+        self.num_nodes() - self.removed.len()
     }
 
     /// The evolving graph behind this engine (inspect arcs, sample churn).
@@ -1269,6 +1402,30 @@ impl ServingEngine {
         // Validated atomically before any state changes: a bad batch
         // cannot poison the engine.
         let applied = self.dg.apply_batch(batch)?;
+        // The stored teleport tracks the id space: fresh ids get zero
+        // mass, preserving the caller's personalization over the old ids
+        // (the same rule the solver applies to the in-flight batch).
+        // Without this, the first ingest *after* a growth batch would
+        // fail validation mid-refresh and poison the engine.
+        if let Some(t) = &mut self.teleport {
+            t.extend(std::iter::repeat_n(0.0, applied.delta.added_nodes() as usize));
+        }
+        // Tombstone bookkeeping in external ids: removed nodes join the
+        // set; any node an effective insert touches revives. (The two can
+        // never conflict inside one batch — a same-batch removal cancels
+        // the batch's own inserts at that node.)
+        for &v in &applied.delta.removed_nodes {
+            let ext = self.perm.as_ref().map_or(v, |p| p.to_external(v));
+            self.removed.insert(ext);
+        }
+        if !self.removed.is_empty() {
+            for &(u, v) in &applied.delta.inserted {
+                for node in [u, v] {
+                    let ext = self.perm.as_ref().map_or(node, |p| p.to_external(node));
+                    self.removed.remove(&ext);
+                }
+            }
+        }
         let snapshot = self.dg.snapshot();
         // From here on a failure loses the consumed state; `state` stays
         // `None` and later calls report the poisoning. Every error below
@@ -1318,6 +1475,21 @@ impl ServingEngine {
                 inc
             }
         };
+        // Tombstone masking: removed nodes publish score 0.0 (the solver
+        // still carries their residual teleport mass internally — the
+        // next refresh's warm start absorbs the difference). They join
+        // the repair frontier so the maintained index evicts them.
+        if !self.removed.is_empty() {
+            for &v in &self.removed {
+                let vu = v as usize;
+                if vu < out.len() {
+                    out[vu] = 0.0;
+                    if !self.touched.all {
+                        self.touched.nodes.push(v);
+                    }
+                }
+            }
+        }
         // Bring the back slot's index up to date with the scores just
         // written, inside the same exclusivity window, so index and
         // scores flip together at publish.
@@ -1335,6 +1507,9 @@ impl ServingEngine {
             &mut self.touched,
             &mut self.candidates,
         );
+        // The published node count follows the buffer just written; the
+        // flip makes both visible together for new pins.
+        self.core.nodes.store(out.len(), SeqCst);
         let generation = self.core.publish(back);
         let state = engine.into_state();
         let structure = state.shared_structure();
@@ -1349,6 +1524,9 @@ impl ServingEngine {
                 converged: inc.result.converged,
                 inserted_arcs: applied.delta.inserted.len(),
                 deleted_arcs: applied.delta.deleted.len(),
+                reweighted_arcs: applied.delta.reweighted.len(),
+                added_nodes: applied.delta.added_nodes(),
+                removed_nodes: applied.delta.removed_nodes.len(),
                 pool_spawns: inc.pool_spawns,
             },
             structure,
@@ -1845,6 +2023,7 @@ mod tests {
                 generation: snap_gen,
                 teleport: None,
                 tail: tail.clone(),
+                removed: Vec::new(),
             },
             MODEL,
             tight(),
@@ -1874,6 +2053,7 @@ mod tests {
                 generation: snap_gen,
                 teleport: None,
                 tail: Vec::new(),
+                removed: Vec::new(),
             },
             MODEL,
             tight(),
@@ -1923,6 +2103,7 @@ mod tests {
                 generation: snap_gen,
                 teleport: serving.teleport().map(<[f64]>::to_vec),
                 tail: vec![batch],
+                removed: Vec::new(),
             },
             MODEL,
             tight(),
@@ -1959,14 +2140,87 @@ mod tests {
     }
 
     #[test]
-    fn weighted_graphs_are_rejected_typed() {
+    fn weighted_graphs_serve_and_ingest_weighted_batches() {
         let mut b = GraphBuilder::new(Direction::Directed, 3);
         b.add_weighted_edge(0, 1, 2.0);
         b.add_weighted_edge(1, 2, 1.0);
+        b.add_weighted_edge(2, 0, 4.0);
         let g = b.build().unwrap();
-        let err = ServingEngine::new(g, MODEL, tight(), 1).unwrap_err();
-        assert!(matches!(err, UpdateError::WeightMismatch { .. }));
-        assert!(err.to_string().contains("unweighted"));
+        let mut serving = ServingEngine::new(g, MODEL, tight(), 1).unwrap();
+        let mut batch = EdgeBatch::new();
+        batch.set_weight(0, 1, 5.0); // re-weight, not a structural flip
+        batch.insert_weighted(0, 2, 0.5);
+        let out = serving.ingest(&batch).unwrap();
+        assert_eq!(out.reweighted_arcs, 1);
+        assert_eq!(out.inserted_arcs, 1);
+        // Served scores match a cold solve of the evolved weighted graph.
+        let evolved = serving.delta_graph().snapshot();
+        let mut engine = Engine::with_threads(&evolved, 1).with_config(tight()).unwrap();
+        engine.set_model(MODEL).unwrap();
+        let direct = engine.solve().unwrap();
+        let mut snap = Vec::new();
+        serving.reader().snapshot_into(&mut snap);
+        assert_close(&direct.scores, &snap, 1e-7);
+
+        // A non-unit weight aimed at an unweighted base stays a typed
+        // rejection — the inverse direction never errors.
+        let gu = barabasi_albert(50, 3, 11).unwrap();
+        let unweighted = ServingEngine::new(gu, MODEL, tight(), 1).unwrap();
+        let mut wb = EdgeBatch::new();
+        wb.insert_weighted(0, 49, 2.0);
+        let err = unweighted.validate_batch(&wb).unwrap_err();
+        assert!(matches!(
+            err,
+            UpdateError::Graph(GraphError::WeightMismatch {
+                graph_weighted: false
+            })
+        ));
+    }
+
+    #[test]
+    fn personalized_teleports_survive_node_churn() {
+        let g = barabasi_albert(80, 3, 21).unwrap();
+        let mut t = vec![0.0; 80];
+        t[11] = 1.0;
+        let mut serving =
+            ServingEngine::with_parts(g.clone(), None, Some(&t), MODEL, tight(), 1).unwrap();
+        let mut b1 = EdgeBatch::new();
+        b1.add_nodes(1);
+        b1.insert(80, 3);
+        serving.ingest(&b1).unwrap();
+        // The regression: a non-growth batch right after a growth batch
+        // used to fail teleport validation mid-refresh (the stored vector
+        // was never extended past the original id space) — poisoning the
+        // engine for good.
+        let mut b2 = EdgeBatch::new();
+        b2.insert(80, 17);
+        serving.ingest(&b2).unwrap();
+        let mut b3 = EdgeBatch::new();
+        b3.add_nodes(1);
+        b3.insert(81, 80);
+        b3.remove_node(2);
+        serving.ingest(&b3).unwrap();
+
+        // Cold reference: replayed graph, zero-extended teleport, masked
+        // tombstone.
+        let mut dg = DeltaGraph::new(g).unwrap();
+        for b in [&b1, &b2, &b3] {
+            dg.apply_batch(b).unwrap();
+        }
+        let snap = dg.snapshot();
+        let mut grown_t = t.clone();
+        grown_t.resize(82, 0.0);
+        let mut engine = Engine::with_threads(&snap, 1).with_config(tight()).unwrap();
+        engine.set_model(MODEL).unwrap();
+        let mut cold = engine
+            .solve_with_teleport(Some(&grown_t))
+            .unwrap()
+            .scores;
+        cold[2] = 0.0;
+        let reader = serving.reader();
+        let mut observed = Vec::new();
+        assert_eq!(reader.snapshot_into(&mut observed), 3);
+        assert_close(&cold, &observed, 1e-7);
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //!   graphs with their expected application groups;
 //! * [`ratings`] — per-interaction 1–5 star ratings for the
 //!   recommendation-flow examples;
+//! * [`evolving`] — the churn-stream counterpart: a weighted bipartite
+//!   ratings world plus edit batches in which users and items arrive and
+//!   depart and ratings are revised, for the incremental serving path;
 //! * [`dist`] — the small random-variate toolkit behind it all.
 //!
 //! ```
@@ -28,10 +31,12 @@
 
 pub mod affiliation;
 pub mod dist;
+pub mod evolving;
 pub mod ratings;
 pub mod significance;
 pub mod worlds;
 
 pub use affiliation::{Affiliation, AffiliationConfig};
+pub use evolving::{EvolvingRatings, EvolvingRatingsConfig};
 pub use significance::SignificanceModel;
 pub use worlds::{ApplicationGroup, Dataset, PaperGraph, World};

@@ -34,6 +34,8 @@ struct Options {
     readers: Option<usize>,
     shards: Option<usize>,
     mode: Option<d2pr_experiments::evolving::RefreshMode>,
+    weighted: bool,
+    node_churn: bool,
     data_dir: Option<String>,
     snapshot_every: Option<u64>,
     top_k: Option<usize>,
@@ -42,7 +44,8 @@ struct Options {
 }
 
 const USAGE: &str = "usage: repro [--scale S] [--seed N] [--csv] \
-[--mode sweep|localized|auto] [--readers R] [--shards K] \
+[--mode sweep|localized|auto] [--weighted] [--node-churn] \
+[--readers R] [--shards K] \
 [--data-dir DIR] [--snapshot-every K] [--top-k N] [--query-mix R] \
 <table1|table2|table3|fig1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|recs|rewire|stability|evolving|serve|all>\n\
        repro recover <DIR>";
@@ -57,6 +60,8 @@ fn parse_args() -> Result<Options, String> {
     let mut readers = None;
     let mut shards = None;
     let mut mode = None;
+    let mut weighted = false;
+    let mut node_churn = false;
     let mut data_dir = None;
     let mut snapshot_every = None;
     let mut top_k = None;
@@ -157,6 +162,8 @@ fn parse_args() -> Result<Options, String> {
                 }
                 query_mix = Some(value);
             }
+            "--weighted" => weighted = true,
+            "--node-churn" => node_churn = true,
             "--csv" => csv = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other if !other.starts_with('-') => {
@@ -182,6 +189,8 @@ fn parse_args() -> Result<Options, String> {
         readers,
         shards,
         mode,
+        weighted,
+        node_churn,
         data_dir,
         snapshot_every,
         top_k,
@@ -365,14 +374,31 @@ fn run(opts: &Options) -> Result<(), String> {
             churn: opts.churn.unwrap_or(base.churn),
             batches: opts.batches.unwrap_or(base.batches),
             mode: opts.mode.unwrap_or(base.mode),
+            weighted: opts.weighted,
+            node_churn: opts.node_churn,
             ..base
         };
         eprintln!(
-            "evolving: BA({}, {}), {} batches of {:.1}% edge churn, {:?} refresh ...",
+            "evolving: {}({}, {}), {} batches of {:.1}% churn{}{}, {:?} refresh ...",
+            if cfg.weighted || cfg.node_churn {
+                "ratings"
+            } else {
+                "BA"
+            },
             cfg.nodes,
             cfg.attachments,
             cfg.batches,
             cfg.churn * 100.0,
+            if cfg.weighted {
+                " + star re-weighting (beta 0.5)"
+            } else {
+                ""
+            },
+            if cfg.node_churn {
+                " + node arrivals/departures"
+            } else {
+                ""
+            },
             cfg.mode
         );
         let report = d2pr_experiments::run_evolving(&cfg).map_err(|e| e.to_string())?;

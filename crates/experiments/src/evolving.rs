@@ -19,6 +19,13 @@
 //! `repro evolving` subcommand prints the per-batch table;
 //! `benches/incremental_updates.rs` records the same quantities at bench
 //! scale in `BENCH_incremental.json`.
+//!
+//! Two opt-in regimes widen the mutation surface beyond unweighted edge
+//! churn: `weighted` swaps the BA world for an evolving bipartite ratings
+//! graph (star-weighted arcs, revised in place) served by the blended
+//! β > 0 model, and `node_churn` adds user/item arrivals and departures
+//! (`add_nodes`/`remove_node`) to the stream. `repro evolving --weighted
+//! --node-churn` drives both.
 
 use crate::report::TextTable;
 use d2pr_core::engine::{default_threads, Engine, ResolveMode};
@@ -29,6 +36,7 @@ use d2pr_graph::csr::CsrGraph;
 use d2pr_graph::delta::{DeltaGraph, EdgeBatch};
 use d2pr_graph::error::GraphError;
 use d2pr_graph::generators::barabasi_albert;
+use d2pr_datagen::evolving::EvolvingRatingsConfig;
 use d2pr_graph::transpose::CscStructure;
 use d2pr_graph::NodeId;
 use rand::rngs::StdRng;
@@ -145,6 +153,15 @@ pub struct EvolvingConfig {
     /// Incremental re-solve strategy for the "warm" side of the
     /// comparison.
     pub mode: RefreshMode,
+    /// Serve star-weighted arcs: the world becomes an evolving bipartite
+    /// ratings graph ([`EvolvingRatingsConfig`]) whose batches insert
+    /// weighted ratings and revise existing ones, and the model blends in
+    /// the connectivity operator (β > 0).
+    pub weighted: bool,
+    /// Stream node arrivals and departures alongside edge churn (also
+    /// switches to the ratings world; combine with `weighted` for the
+    /// full mutation surface).
+    pub node_churn: bool,
 }
 
 impl Default for EvolvingConfig {
@@ -161,6 +178,8 @@ impl Default for EvolvingConfig {
             threads: 0,
             seed: 0xE401,
             mode: RefreshMode::Auto,
+            weighted: false,
+            node_churn: false,
         }
     }
 }
@@ -174,6 +193,13 @@ pub struct BatchStep {
     pub inserted_arcs: usize,
     /// Arcs that became absent.
     pub deleted_arcs: usize,
+    /// Arcs whose weight changed without a structural flip (0 on
+    /// unweighted streams).
+    pub reweighted_arcs: usize,
+    /// Nodes appended by this batch (0 without node churn).
+    pub grown_nodes: u32,
+    /// Nodes tombstoned by this batch (0 without node churn).
+    pub removed_nodes: usize,
     /// Whether the overlay was compacted at the end of this batch.
     pub compacted: bool,
     /// Iterations of the cold re-solve (teleport start).
@@ -195,7 +221,8 @@ pub struct BatchStep {
 /// Full run record.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EvolvingReport {
-    /// Node count (fixed across the run).
+    /// Node count of the initial snapshot (grows under node churn; see
+    /// each step's `grown_nodes`).
     pub nodes: usize,
     /// Arc count of the initial snapshot.
     pub initial_arcs: usize,
@@ -249,12 +276,47 @@ pub fn run_evolving(cfg: &EvolvingConfig) -> Result<EvolvingReport, UpdateError>
         max_iterations: cfg.max_iterations,
         ..Default::default()
     };
-    let model = TransitionModel::DegreeDecoupled { p: cfg.p };
+    // A weighted stream needs β > 0 to matter: the blended model is the
+    // one whose transition actually reads the star values.
+    let model = if cfg.weighted {
+        TransitionModel::Blended {
+            p: cfg.p,
+            beta: 0.5,
+        }
+    } else {
+        TransitionModel::DegreeDecoupled { p: cfg.p }
+    };
     let mut rng = StdRng::seed_from_u64(cfg.seed);
 
-    let g0 = barabasi_albert(cfg.nodes, cfg.attachments, rng.gen())?;
+    let (g0, stream) = if cfg.weighted || cfg.node_churn {
+        // Evolving ratings world: two users per item, `attachments`
+        // ratings per user, per-batch volumes scaled by the same churn
+        // fraction the BA stream uses.
+        let entities = (cfg.nodes * 2 / 3).max(4);
+        let containers = (cfg.nodes - entities).max(4);
+        let memberships = entities * cfg.attachments.max(1);
+        let mutations = ((cfg.churn * memberships as f64).ceil() as usize).max(2);
+        let world = EvolvingRatingsConfig {
+            num_entities: entities,
+            num_containers: containers,
+            ratings_per_entity: cfg.attachments.max(1),
+            batches: cfg.batches,
+            ratings_per_batch: mutations / 2,
+            reratings_per_batch: mutations - mutations / 2,
+            arrivals_per_batch: if cfg.node_churn { (mutations / 4).max(2) } else { 0 },
+            departures_per_batch: if cfg.node_churn { (mutations / 8).max(1) } else { 0 },
+            weighted: cfg.weighted,
+            noise: 0.3,
+            seed: rng.gen(),
+        }
+        .generate()?;
+        (world.base, world.batches)
+    } else {
+        let g0 = barabasi_albert(cfg.nodes, cfg.attachments, rng.gen())?;
+        let stream = churn_stream(&g0, cfg.batches, cfg.churn, &mut rng)?;
+        (g0, stream)
+    };
     let initial_arcs = g0.num_arcs();
-    let stream = churn_stream(&g0, cfg.batches, cfg.churn, &mut rng)?;
 
     let mut snapshot = g0.clone();
     let mut dg = DeltaGraph::new(g0)?;
@@ -278,6 +340,9 @@ pub fn run_evolving(cfg: &EvolvingConfig) -> Result<EvolvingReport, UpdateError>
         let new_snapshot = dg.snapshot();
         state = state.patched(&new_snapshot, &outcome.delta)?;
         let mut engine = Engine::from_state(&new_snapshot, state)?;
+        // Node-growth batches: fresh ids start unranked; extend the warm
+        // start so every mode (including the plain sweep) accepts it.
+        prev_scores.resize(new_snapshot.num_nodes(), 0.0);
         let warm = match cfg.mode {
             RefreshMode::Sweep => {
                 let pool_spawns = engine.pool_spawns();
@@ -301,6 +366,9 @@ pub fn run_evolving(cfg: &EvolvingConfig) -> Result<EvolvingReport, UpdateError>
             batch: b,
             inserted_arcs: outcome.delta.inserted.len(),
             deleted_arcs: outcome.delta.deleted.len(),
+            reweighted_arcs: outcome.delta.reweighted.len(),
+            grown_nodes: outcome.delta.added_nodes(),
+            removed_nodes: outcome.delta.removed_nodes.len(),
             compacted: outcome.compacted,
             cold_iterations: cold.iterations,
             warm_iterations: warm.result.iterations,
@@ -329,6 +397,9 @@ pub fn evolving_report(r: &EvolvingReport) -> TextTable {
         "batch",
         "+arcs",
         "-arcs",
+        "rew",
+        "+nodes",
+        "-nodes",
         "compact",
         "mode",
         "frontier",
@@ -348,6 +419,9 @@ pub fn evolving_report(r: &EvolvingReport) -> TextTable {
             s.batch.to_string(),
             s.inserted_arcs.to_string(),
             s.deleted_arcs.to_string(),
+            s.reweighted_arcs.to_string(),
+            s.grown_nodes.to_string(),
+            s.removed_nodes.to_string(),
             if s.compacted { "yes" } else { "" }.to_string(),
             mode.to_string(),
             s.frontier.to_string(),
@@ -359,6 +433,9 @@ pub fn evolving_report(r: &EvolvingReport) -> TextTable {
     }
     t.push_row(vec![
         "total".to_string(),
+        String::new(),
+        String::new(),
+        String::new(),
         String::new(),
         String::new(),
         String::new(),
@@ -404,6 +481,65 @@ mod tests {
         assert!(r.iteration_ratio() >= 1.0);
         let table = evolving_report(&r);
         assert_eq!(table.num_rows(), 4);
+    }
+
+    #[test]
+    fn weighted_node_churn_run_agrees_with_cold() {
+        let cfg = EvolvingConfig {
+            nodes: 900,
+            attachments: 4,
+            batches: 3,
+            churn: 0.02,
+            threads: 1,
+            tolerance: 1e-9,
+            weighted: true,
+            node_churn: true,
+            ..Default::default()
+        };
+        let r = run_evolving(&cfg).unwrap();
+        assert_eq!(r.steps.len(), 3);
+        assert!(r.steps.iter().any(|s| s.reweighted_arcs > 0));
+        assert!(r.steps.iter().any(|s| s.grown_nodes > 0));
+        assert!(r.steps.iter().any(|s| s.removed_nodes > 0));
+        for s in &r.steps {
+            assert!(
+                s.rank_l1_divergence < 1e-7,
+                "cold and warm must agree under churn: {}",
+                s.rank_l1_divergence
+            );
+        }
+        let table = evolving_report(&r);
+        assert_eq!(table.num_rows(), 4);
+    }
+
+    #[test]
+    fn weighted_trickle_stays_localized() {
+        // Weighted edge-only deltas are localized-supported: a rating
+        // revision at trickle volume must not force a global sweep.
+        let cfg = EvolvingConfig {
+            nodes: 1_200,
+            attachments: 4,
+            batches: 2,
+            churn: 0.0008,
+            threads: 1,
+            tolerance: 1e-9,
+            weighted: true,
+            mode: RefreshMode::Auto,
+            ..Default::default()
+        };
+        let r = run_evolving(&cfg).unwrap();
+        for s in &r.steps {
+            assert!(s.rank_l1_divergence < 1e-7, "{}", s.rank_l1_divergence);
+            assert!(
+                matches!(
+                    s.mode_used,
+                    ResolveMode::LocalizedPush | ResolveMode::HybridPushSweep
+                ),
+                "weighted trickle batch took {:?}",
+                s.mode_used
+            );
+            assert!(s.frontier > 0);
+        }
     }
 
     #[test]

@@ -224,6 +224,19 @@ impl CsrGraph {
         }
     }
 
+    /// Weight of arc `u -> v`, or `None` when the arc is absent. Unweighted
+    /// graphs report 1.0 for every present arc. `O(log deg(u))` on sorted
+    /// adjacency (builder output always is).
+    pub fn arc_weight(&self, u: NodeId, v: NodeId) -> Option<f64> {
+        let ns = self.neighbors(u);
+        let k = if ns.windows(2).all(|w| w[0] <= w[1]) {
+            ns.binary_search(&v).ok()?
+        } else {
+            ns.iter().position(|&t| t == v)?
+        };
+        Some(self.neighbor_weights(u).map_or(1.0, |ws| ws[k]))
+    }
+
     /// Nodes with no out-arcs ("dangling" nodes in PageRank terms).
     pub fn dangling_nodes(&self) -> Vec<NodeId> {
         self.nodes().filter(|&v| self.out_degree(v) == 0).collect()

@@ -2,47 +2,82 @@
 //!
 //! [`CsrGraph`] is deliberately immutable — every solver in the workspace
 //! leans on its frozen layout. A serving system, however, receives edge
-//! insertions and deletions continuously and cannot afford a full
-//! builder-path rebuild (edge soup, counting sort, per-node sort, dedup)
-//! on every change. [`DeltaGraph`] closes the gap with the classic
-//! append/tombstone design:
+//! insertions, deletions, weight changes, and node churn continuously and
+//! cannot afford a full builder-path rebuild (edge soup, counting sort,
+//! per-node sort, dedup) on every change. [`DeltaGraph`] closes the gap with
+//! the classic append/tombstone design:
 //!
 //! * a **base** CSR snapshot (immutable, shared with every reader);
-//! * an **overlay** of pending arc insertions and deletions (tombstones),
-//!   kept as ordered sets so membership tests and per-source merges stay
-//!   logarithmic/linear;
-//! * [`DeltaGraph::apply_batch`] — apply a batch of edge edits, reporting
-//!   the *effective* arc-level delta (no-ops removed, undirected edges
-//!   mirrored) so downstream caches ([`CscStructure`]) can be patched
-//!   instead of rebuilt;
+//! * an **overlay** of pending arc insertions (with weights), deletions
+//!   (tombstones), weight overrides for live base arcs, and a count of
+//!   appended nodes, kept as ordered maps so membership tests and per-source
+//!   merges stay logarithmic/linear;
+//! * [`DeltaGraph::apply_batch`] — apply a batch of edits, reporting the
+//!   *effective* arc-level delta (no-ops removed, undirected edges
+//!   mirrored, pre-batch weights recorded) so downstream caches
+//!   ([`CscStructure`]) can be patched instead of rebuilt;
 //! * **compaction** — once the overlay exceeds a configurable fraction of
 //!   the base arc count, the overlay is folded into a fresh base CSR by a
 //!   per-source merge (no builder round-trip), keeping amortized cost per
 //!   mutated arc constant. See `DESIGN.md` for the threshold rationale.
 //!
-//! The logical graph is always `(base ∖ deletes) ∪ inserts`;
-//! [`DeltaGraph::snapshot`] materializes it as a plain [`CsrGraph`] for the
-//! solver stack.
+//! # Weight reconciliation
+//!
+//! On a weighted base, **re-inserting a present arc replaces its weight**
+//! ([`EdgeBatch::insert_weighted`] / [`EdgeBatch::set_weight`] are the same
+//! operation): the overlay records the override and the batch outcome
+//! reports it in [`ArcDelta::reweighted`] with both the pre-batch and the
+//! new weight, so solvers can reconstruct the pre-batch operator exactly.
+//! Unweighted bases accept only weight-1 edits (anything else fails typed
+//! with [`GraphError::WeightMismatch`]); weighted bases accept plain
+//! [`EdgeBatch::insert`] as weight-1 inserts.
+//!
+//! # Node churn
+//!
+//! [`EdgeBatch::add_nodes`] appends `k` fresh ids to the tail of the id
+//! space (they start isolated — dangling); [`EdgeBatch::remove_node`]
+//! **tombstones** a node: every incident arc (in and out) is dropped, but
+//! the id itself is retained so node ids stay dense and stable. A removed
+//! node is indistinguishable from an isolated node at this layer; the
+//! serving layer zeroes its teleport mass and evicts it from ranked
+//! indexes. Re-adding arcs at a tombstoned id resurrects it.
+//!
+//! The logical graph is always `(base ∖ deletes) ∪ inserts` with overlay
+//! weights taking precedence; [`DeltaGraph::snapshot`] materializes it as a
+//! plain [`CsrGraph`] for the solver stack.
 //!
 //! [`CscStructure`]: crate::transpose::CscStructure
 
 use crate::csr::{CsrGraph, Direction, NodeId};
 use crate::error::{GraphError, Result};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
-/// A batch of logical edge edits to apply in one [`DeltaGraph::apply_batch`]
-/// call. For undirected graphs each edge stands for its two mirrored arcs.
+/// A batch of logical edge and node edits to apply in one
+/// [`DeltaGraph::apply_batch`] call. For undirected graphs each edge stands
+/// for its two mirrored arcs.
 ///
-/// Within one batch, all insertions apply before all deletions (so a batch
-/// that inserts and deletes the same edge nets to "absent"). Self-loops are
-/// dropped, mirroring [`crate::builder::SelfLoopPolicy::Drop`], the policy
-/// every graph in this workspace is built under.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// Within one batch the phases apply in a fixed order: node additions,
+/// then insertions (so inserts may reference freshly added ids), then
+/// deletions (so a batch that inserts and deletes the same edge nets to
+/// "absent"), then node removals (which drop every arc still incident to
+/// the removed ids). Self-loops are dropped, mirroring
+/// [`crate::builder::SelfLoopPolicy::Drop`], the policy every graph in this
+/// workspace is built under.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct EdgeBatch {
-    /// Edges to insert (ignored when already present).
+    /// Edges to insert (re-inserting a present edge replaces its weight).
     pub inserts: Vec<(NodeId, NodeId)>,
+    /// Per-insert weights, parallel to `inserts` when present. `None`
+    /// means every insert carries weight 1 (the structural batch).
+    pub weights: Option<Vec<f64>>,
     /// Edges to delete (ignored when already absent).
     pub deletes: Vec<(NodeId, NodeId)>,
+    /// Fresh node ids to append to the tail of the id space before the
+    /// edge edits apply.
+    pub new_nodes: u32,
+    /// Nodes to tombstone after the edge edits apply: every incident arc
+    /// is dropped; the id stays allocated (isolated).
+    pub removed_nodes: Vec<NodeId>,
 }
 
 impl EdgeBatch {
@@ -51,10 +86,34 @@ impl EdgeBatch {
         Self::default()
     }
 
-    /// Queue an edge insertion.
+    /// Queue an edge insertion with weight 1 (a weight *replace* to 1.0
+    /// when the edge is already present on a weighted base).
     pub fn insert(&mut self, u: NodeId, v: NodeId) -> &mut Self {
         self.inserts.push((u, v));
+        if let Some(w) = self.weights.as_mut() {
+            w.push(1.0);
+        }
         self
+    }
+
+    /// Queue a weighted edge insertion. Reconciliation: when the edge is
+    /// already present, its weight is **replaced** by `w` (reported as a
+    /// reweight, not a structural flip). Requires a weighted base unless
+    /// `w == 1.0`.
+    pub fn insert_weighted(&mut self, u: NodeId, v: NodeId, w: f64) -> &mut Self {
+        let ws = self
+            .weights
+            .get_or_insert_with(|| vec![1.0; self.inserts.len()]);
+        ws.push(w);
+        self.inserts.push((u, v));
+        self
+    }
+
+    /// Set the weight of edge `u — v` to `w`, inserting the edge when
+    /// absent. This is exactly [`EdgeBatch::insert_weighted`] — named for
+    /// call sites whose intent is re-weighting an existing edge.
+    pub fn set_weight(&mut self, u: NodeId, v: NodeId, w: f64) -> &mut Self {
+        self.insert_weighted(u, v, w)
     }
 
     /// Queue an edge deletion.
@@ -63,16 +122,37 @@ impl EdgeBatch {
         self
     }
 
+    /// Append `k` fresh node ids (they take the next ids past the current
+    /// node count, in order, and start isolated).
+    pub fn add_nodes(&mut self, k: u32) -> &mut Self {
+        self.new_nodes += k;
+        self
+    }
+
+    /// Tombstone node `v`: drop every arc incident to it (the id stays
+    /// allocated; serving layers zero its teleport mass).
+    pub fn remove_node(&mut self, v: NodeId) -> &mut Self {
+        self.removed_nodes.push(v);
+        self
+    }
+
+    /// Weight of the `k`-th queued insert (1.0 for structural batches).
+    pub fn insert_weight(&self, k: usize) -> f64 {
+        self.weights.as_ref().map_or(1.0, |w| w[k])
+    }
+
     /// Translate every endpoint through a node permutation (external →
     /// internal ids), preserving edit order. Serving layers that run their
     /// [`DeltaGraph`] in a cache-aware internal order (see
     /// [`crate::permute::NodePermutation`]) translate each incoming batch
     /// once — O(batch) — at the boundary.
     ///
-    /// Out-of-range endpoints are passed through untranslated so the
-    /// receiving [`DeltaGraph::apply_batch`] reports them with the id the
-    /// caller actually supplied (external ids cover `0..n`, exactly the
-    /// permutation's domain, so any in-range id translates).
+    /// Ids at or beyond the permutation's build-time range map to
+    /// themselves (identity-extension): a grown graph's fresh tail ids are
+    /// appended identity-suffixed to the layout, so they need no
+    /// translation, and genuinely out-of-range ids surface from the
+    /// receiving [`DeltaGraph::apply_batch`] with the id the caller
+    /// actually supplied.
     pub fn permuted(&self, perm: &crate::permute::NodePermutation) -> EdgeBatch {
         let map = |v: NodeId| perm.forward().get(v as usize).copied().unwrap_or(v);
         EdgeBatch {
@@ -81,64 +161,107 @@ impl EdgeBatch {
                 .iter()
                 .map(|&(u, v)| (map(u), map(v)))
                 .collect(),
+            weights: self.weights.clone(),
             deletes: self
                 .deletes
                 .iter()
                 .map(|&(u, v)| (map(u), map(v)))
                 .collect(),
+            new_nodes: self.new_nodes,
+            removed_nodes: self.removed_nodes.iter().map(|&v| map(v)).collect(),
         }
     }
 
-    /// Number of queued edit records.
+    /// Number of queued edit records (edge edits plus node ops).
     pub fn len(&self) -> usize {
-        self.inserts.len() + self.deletes.len()
+        self.inserts.len() + self.deletes.len() + self.new_nodes as usize + self.removed_nodes.len()
     }
 
     /// `true` when no edits are queued.
     pub fn is_empty(&self) -> bool {
-        self.inserts.is_empty() && self.deletes.is_empty()
+        self.inserts.is_empty()
+            && self.deletes.is_empty()
+            && self.new_nodes == 0
+            && self.removed_nodes.is_empty()
     }
 }
 
-/// The *effective* arc-level change produced by one batch: exactly the arcs
-/// whose presence flipped, with undirected edges expanded to both mirrored
-/// arcs and all no-ops (re-inserting a present arc, deleting an absent one,
-/// insert-then-delete within the batch) removed.
+/// The *effective* change produced by one batch: exactly the arcs whose
+/// presence flipped or whose weight changed, with undirected edges expanded
+/// to both mirrored arcs and all no-ops (re-inserting a present arc at its
+/// current weight, deleting an absent one, insert-then-delete within the
+/// batch) removed — plus the node-count change and the tombstoned ids.
 ///
-/// Both lists are sorted by `(source, target)` and disjoint. This is the
-/// currency of the incremental maintenance path:
+/// All arc lists are sorted by `(source, target)` and mutually disjoint.
+/// Deleted arcs carry their **pre-batch** weight and reweighted arcs carry
+/// `(old, new)`, so downstream solvers can reconstruct the pre-batch
+/// operator (`Θ_old`, per-column `T_old`) exactly. This is the currency of
+/// the incremental maintenance path:
 /// [`CscStructure::patched`](crate::transpose::CscStructure::patched)
 /// consumes it to update a transpose without a full rebuild.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ArcDelta {
     /// Arcs that became present.
     pub inserted: Vec<(NodeId, NodeId)>,
+    /// Post-batch weight of each inserted arc (parallel to `inserted`;
+    /// all 1.0 on unweighted bases).
+    pub inserted_weights: Vec<f64>,
     /// Arcs that became absent.
     pub deleted: Vec<(NodeId, NodeId)>,
+    /// Pre-batch weight of each deleted arc (parallel to `deleted`).
+    pub deleted_weights: Vec<f64>,
+    /// Arcs present before and after the batch whose weight changed:
+    /// `(source, target, old_weight, new_weight)`. Structurally invisible
+    /// (the transpose is unchanged) but operator-visible.
+    pub reweighted: Vec<(NodeId, NodeId, f64, f64)>,
+    /// Node count before the batch.
+    pub nodes_before: u32,
+    /// Node count after the batch (`>= nodes_before`; removal tombstones,
+    /// it never shrinks the id space).
+    pub nodes_after: u32,
+    /// Nodes tombstoned by this batch, sorted and deduplicated (their
+    /// dropped arcs appear in `deleted` as ordinary deletions).
+    pub removed_nodes: Vec<NodeId>,
 }
 
 impl ArcDelta {
-    /// Total number of flipped arcs.
+    /// Total number of changed arcs (flips plus reweights).
     pub fn len(&self) -> usize {
-        self.inserted.len() + self.deleted.len()
+        self.inserted.len() + self.deleted.len() + self.reweighted.len()
     }
 
-    /// `true` when the batch changed nothing.
+    /// `true` when the batch changed nothing at all (no arc flips, no
+    /// reweights, no node churn).
     pub fn is_empty(&self) -> bool {
-        self.inserted.is_empty() && self.deleted.is_empty()
+        self.inserted.is_empty()
+            && self.deleted.is_empty()
+            && self.reweighted.is_empty()
+            && self.added_nodes() == 0
+            && self.removed_nodes.is_empty()
+    }
+
+    /// Number of nodes the batch appended (ids
+    /// `nodes_before..nodes_after`).
+    pub fn added_nodes(&self) -> u32 {
+        self.nodes_after - self.nodes_before
     }
 
     /// The **touched-node frontier**: every node whose in- or out-arc set
-    /// the batch changed (sources and targets of flipped arcs), sorted and
-    /// deduplicated. This is the seed set of residual-localized re-solvers:
-    /// the warm-start residual of a rank vector is exactly zero (up to the
-    /// previous solve's tolerance) outside the neighborhood of these nodes.
+    /// or incident weights the batch changed (endpoints of flipped and
+    /// reweighted arcs), plus freshly added and tombstoned ids, sorted and
+    /// deduplicated. This is the seed set of residual-localized
+    /// re-solvers: the warm-start residual of a rank vector is exactly
+    /// zero (up to the previous solve's tolerance) outside the
+    /// neighborhood of these nodes.
     pub fn touched_nodes(&self) -> Vec<NodeId> {
         let mut out: Vec<NodeId> = self
             .inserted
             .iter()
             .chain(&self.deleted)
             .flat_map(|&(s, t)| [s, t])
+            .chain(self.reweighted.iter().flat_map(|&(s, t, _, _)| [s, t]))
+            .chain(self.nodes_before..self.nodes_after)
+            .chain(self.removed_nodes.iter().copied())
             .collect();
         out.sort_unstable();
         out.dedup();
@@ -147,9 +270,8 @@ impl ArcDelta {
 
     /// Net out-degree change per source of a flipped arc, sorted by node id
     /// (zero-net sources are retained: their neighbor *set* still changed).
-    /// Downstream consumers use this to find nodes whose degree table (`Θ`)
-    /// entries — and therefore every transition probability pointing at
-    /// them — changed, and to reconstruct pre-batch dangling status.
+    /// Downstream consumers use this to reconstruct pre-batch dangling
+    /// status and — on unweighted graphs — pre-batch degree tables.
     pub fn source_degree_changes(&self) -> Vec<(NodeId, i64)> {
         let mut net: Vec<(NodeId, i64)> = Vec::with_capacity(self.len());
         for &(s, _) in &self.inserted {
@@ -168,10 +290,38 @@ impl ArcDelta {
         }
         out
     }
+
+    /// Net total-out-weight (`Θ`) change per source whose out-arcs the
+    /// batch touched, sorted by node id — the weighted generalization of
+    /// [`ArcDelta::source_degree_changes`] (on unweighted bases the two
+    /// agree numerically). Zero-net sources are retained: their neighbor
+    /// set or per-arc weights still changed, so every transition
+    /// probability in their column changed. `Θ_old(v) = Θ_new(v) − net`.
+    pub fn source_theta_changes(&self) -> Vec<(NodeId, f64)> {
+        let mut net: Vec<(NodeId, f64)> = Vec::with_capacity(self.len());
+        for (&(s, _), &w) in self.inserted.iter().zip(&self.inserted_weights) {
+            net.push((s, w));
+        }
+        for (&(s, _), &w) in self.deleted.iter().zip(&self.deleted_weights) {
+            net.push((s, -w));
+        }
+        for &(s, _, old, new) in &self.reweighted {
+            net.push((s, new - old));
+        }
+        net.sort_unstable_by_key(|&(s, _)| s);
+        let mut out: Vec<(NodeId, f64)> = Vec::new();
+        for (s, d) in net {
+            match out.last_mut() {
+                Some((last, acc)) if *last == s => *acc += d,
+                _ => out.push((s, d)),
+            }
+        }
+        out
+    }
 }
 
 /// What one [`DeltaGraph::apply_batch`] call did.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct BatchOutcome {
     /// Effective arc-level change relative to the pre-batch logical graph.
     pub delta: ArcDelta,
@@ -189,11 +339,8 @@ pub const DEFAULT_COMPACTION_FRACTION: f64 = 1.0 / 16.0;
 pub const DEFAULT_COMPACTION_MIN_ARCS: usize = 256;
 
 /// An evolving graph: an immutable CSR base plus an append/tombstone
-/// overlay of arc edits, with automatic compaction.
-///
-/// Only unweighted graphs are supported (every solver workload this serves
-/// is structural; weighted deltas would need per-arc weight reconciliation
-/// rules that nothing downstream consumes yet).
+/// overlay of arc edits (weighted or structural), weight overrides, and
+/// node growth, with automatic compaction.
 ///
 /// # Examples
 /// ```
@@ -219,30 +366,35 @@ pub const DEFAULT_COMPACTION_MIN_ARCS: usize = 256;
 #[derive(Debug, Clone)]
 pub struct DeltaGraph {
     base: CsrGraph,
-    /// Arcs present in the logical graph but not in `base`. Disjoint from
-    /// `deletes`; never contains an arc of `base`.
-    inserts: BTreeSet<(NodeId, NodeId)>,
+    /// Arcs present in the logical graph but not live in `base`, with
+    /// their logical weight (1.0 on unweighted bases). Disjoint from
+    /// `deletes`; never contains a live `base` arc.
+    inserts: BTreeMap<(NodeId, NodeId), f64>,
     /// Tombstoned arcs of `base` (absent from the logical graph).
     deletes: BTreeSet<(NodeId, NodeId)>,
+    /// Live `base` arcs whose logical weight differs from the stored base
+    /// weight (weighted bases only). Disjoint from `deletes`.
+    reweights: BTreeMap<(NodeId, NodeId), f64>,
+    /// Nodes appended beyond the base's id space (isolated until arcs
+    /// reference them).
+    grown: usize,
     compaction_fraction: f64,
     compaction_min_arcs: usize,
 }
 
 impl DeltaGraph {
-    /// Wrap a base snapshot.
+    /// Wrap a base snapshot (weighted or unweighted).
     ///
     /// # Errors
-    /// Returns [`GraphError::WeightMismatch`] for weighted graphs.
+    /// Infallible today; the `Result` is kept for API stability (earlier
+    /// revisions rejected weighted bases here).
     pub fn new(base: CsrGraph) -> Result<Self> {
-        if base.is_weighted() {
-            return Err(GraphError::WeightMismatch {
-                graph_weighted: true,
-            });
-        }
         Ok(Self {
             base,
-            inserts: BTreeSet::new(),
+            inserts: BTreeMap::new(),
             deletes: BTreeSet::new(),
+            reweights: BTreeMap::new(),
+            grown: 0,
             compaction_fraction: DEFAULT_COMPACTION_FRACTION,
             compaction_min_arcs: DEFAULT_COMPACTION_MIN_ARCS,
         })
@@ -272,9 +424,15 @@ impl DeltaGraph {
         self.base.direction()
     }
 
-    /// Number of nodes (fixed at construction: deltas edit edges only).
+    /// Whether the logical graph carries weights (inherited from the base).
+    pub fn is_weighted(&self) -> bool {
+        self.base.is_weighted()
+    }
+
+    /// Number of nodes in the logical graph (the base's node count plus
+    /// any appended via [`EdgeBatch::add_nodes`]).
     pub fn num_nodes(&self) -> usize {
-        self.base.num_nodes()
+        self.base.num_nodes() + self.grown
     }
 
     /// Number of arcs in the logical graph (base − tombstones + inserts).
@@ -290,14 +448,18 @@ impl DeltaGraph {
         }
     }
 
-    /// Pending overlay entries (inserts + tombstones).
+    /// Pending overlay entries (inserts + tombstones + weight overrides +
+    /// appended nodes).
     pub fn overlay_len(&self) -> usize {
-        self.inserts.len() + self.deletes.len()
+        self.inserts.len() + self.deletes.len() + self.reweights.len() + self.grown
     }
 
     /// `true` when the overlay is empty (base == logical graph).
     pub fn is_compacted(&self) -> bool {
-        self.inserts.is_empty() && self.deletes.is_empty()
+        self.inserts.is_empty()
+            && self.deletes.is_empty()
+            && self.reweights.is_empty()
+            && self.grown == 0
     }
 
     /// Overlay size above which [`DeltaGraph::apply_batch`] compacts.
@@ -314,77 +476,196 @@ impl DeltaGraph {
 
     /// `true` when arc `u -> v` exists in the logical graph.
     pub fn has_arc(&self, u: NodeId, v: NodeId) -> bool {
-        if self.inserts.contains(&(u, v)) {
+        if self.inserts.contains_key(&(u, v)) {
             return true;
         }
-        self.base.has_arc(u, v) && !self.deletes.contains(&(u, v))
+        self.base_has_arc(u, v) && !self.deletes.contains(&(u, v))
+    }
+
+    /// Weight of arc `u -> v` in the logical graph (`None` when absent;
+    /// 1.0 for every present arc of an unweighted base).
+    pub fn arc_weight(&self, u: NodeId, v: NodeId) -> Option<f64> {
+        if let Some(&w) = self.inserts.get(&(u, v)) {
+            return Some(w);
+        }
+        if self.deletes.contains(&(u, v)) || !self.base_has_arc(u, v) {
+            return None;
+        }
+        Some(
+            self.reweights
+                .get(&(u, v))
+                .copied()
+                .unwrap_or_else(|| self.base_arc_weight(u, v)),
+        )
+    }
+
+    /// `base.has_arc`, tolerating sources past the base's id space (grown
+    /// nodes have no base adjacency).
+    fn base_has_arc(&self, u: NodeId, v: NodeId) -> bool {
+        (u as usize) < self.base.num_nodes() && self.base.has_arc(u, v)
+    }
+
+    /// Weight the base stores for arc `u -> v` (caller guarantees the arc
+    /// exists in the base).
+    fn base_arc_weight(&self, u: NodeId, v: NodeId) -> f64 {
+        self.base
+            .arc_weight(u, v)
+            .expect("arc must exist in the base")
     }
 
     /// Iterate the logical graph's arcs as `(source, target)`, sorted.
     pub fn arcs(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
         let n = self.num_nodes() as u32;
-        (0..n).flat_map(move |v| self.merged_neighbors(v).map(move |t| (v, t)))
+        (0..n).flat_map(move |v| self.merged_arcs(v).map(move |(t, _)| (v, t)))
     }
 
     /// Sorted out-neighbors of `v` in the logical graph (base merged with
-    /// the overlay).
-    fn merged_neighbors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
-        let base = self
-            .base
-            .neighbors(v)
+    /// the overlay), with logical weights.
+    fn merged_arcs(&self, v: NodeId) -> impl Iterator<Item = (NodeId, f64)> + '_ {
+        let in_base = (v as usize) < self.base.num_nodes();
+        let base_ns: &[NodeId] = if in_base { self.base.neighbors(v) } else { &[] };
+        let base_ws: Option<&[f64]> = if in_base {
+            self.base.neighbor_weights(v)
+        } else {
+            None
+        };
+        let base = base_ns
             .iter()
-            .copied()
-            .filter(move |&t| !self.deletes.contains(&(v, t)));
+            .enumerate()
+            .filter(move |&(_, &t)| !self.deletes.contains(&(v, t)))
+            .map(move |(k, &t)| {
+                let w = self
+                    .reweights
+                    .get(&(v, t))
+                    .copied()
+                    .unwrap_or_else(|| base_ws.map_or(1.0, |ws| ws[k]));
+                (t, w)
+            });
         let ins = self
             .inserts
             .range((v, 0)..=(v, NodeId::MAX))
-            .map(|&(_, t)| t);
+            .map(|(&(_, t), &w)| (t, w));
         MergeSorted::new(base, ins)
     }
 
-    /// Apply a batch of edge edits. Insertions apply before deletions;
-    /// undirected edges edit both mirrored arcs; self-loops and no-ops
-    /// (inserting a present edge, deleting an absent one) are skipped.
-    /// When the overlay crosses [`DeltaGraph::compaction_threshold`] after
-    /// the batch, it is folded into a fresh base CSR.
+    /// Apply a batch of edits: node additions, then insertions (which
+    /// replace weights of already-present arcs), then deletions, then node
+    /// removals; undirected edges edit both mirrored arcs; self-loops and
+    /// no-ops (inserting a present edge at its current weight, deleting an
+    /// absent one) are skipped. When the overlay crosses
+    /// [`DeltaGraph::compaction_threshold`] after the batch, it is folded
+    /// into a fresh base CSR.
     ///
     /// The batch is validated before any state changes: on error the graph
     /// is untouched.
     ///
     /// # Errors
-    /// Returns [`GraphError::NodeOutOfRange`] when an edit references a
-    /// node outside `0..num_nodes()` (the node set is fixed; deltas edit
-    /// edges only).
+    /// - [`GraphError::NodeOutOfRange`] when an edit references a node
+    ///   outside `0..num_nodes() + batch.new_nodes`.
+    /// - [`GraphError::InvalidWeight`] when a batch weight is not finite
+    ///   and non-negative.
+    /// - [`GraphError::WeightMismatch`] when a non-unit weight targets an
+    ///   unweighted base.
+    /// - [`GraphError::Snapshot`] when `batch.weights` does not parallel
+    ///   `batch.inserts`.
     pub fn apply_batch(&mut self, batch: &EdgeBatch) -> Result<BatchOutcome> {
-        let n = self.num_nodes() as u32;
-        for &(u, v) in batch.inserts.iter().chain(&batch.deletes) {
-            if u >= n || v >= n {
-                return Err(GraphError::NodeOutOfRange {
-                    node: if u >= n { u } else { v },
-                    num_nodes: n,
+        let n_before = self.num_nodes() as u32;
+        let n_after = (n_before as usize).checked_add(batch.new_nodes as usize);
+        let n_after = match n_after {
+            Some(n) if n <= u32::MAX as usize => n as u32,
+            _ => return Err(GraphError::TooManyNodes(usize::MAX)),
+        };
+        if let Some(w) = &batch.weights {
+            if w.len() != batch.inserts.len() {
+                return Err(GraphError::Snapshot(
+                    "batch weights must parallel inserts".into(),
+                ));
+            }
+            if let Some(&bad) = w.iter().find(|x| !x.is_finite() || **x < 0.0) {
+                return Err(GraphError::InvalidWeight(bad));
+            }
+            if !self.base.is_weighted() && w.iter().any(|&x| x != 1.0) {
+                return Err(GraphError::WeightMismatch {
+                    graph_weighted: false,
                 });
             }
         }
-        let mirrored = self.base.direction() == Direction::Undirected;
-        let mut eff_ins: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
-        let mut eff_del: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
+        for &(u, v) in batch.inserts.iter().chain(&batch.deletes) {
+            if u >= n_after || v >= n_after {
+                return Err(GraphError::NodeOutOfRange {
+                    node: if u >= n_after { u } else { v },
+                    num_nodes: n_after,
+                });
+            }
+        }
+        if let Some(&bad) = batch.removed_nodes.iter().find(|&&v| v >= n_after) {
+            return Err(GraphError::NodeOutOfRange {
+                node: bad,
+                num_nodes: n_after,
+            });
+        }
 
-        for &(u, v) in &batch.inserts {
+        self.grown += batch.new_nodes as usize;
+
+        let mirrored = self.base.direction() == Direction::Undirected;
+        let mut eff_ins: BTreeMap<(NodeId, NodeId), f64> = BTreeMap::new();
+        let mut eff_del: BTreeMap<(NodeId, NodeId), f64> = BTreeMap::new();
+        let mut eff_rew: BTreeMap<(NodeId, NodeId), (f64, f64)> = BTreeMap::new();
+
+        for (k, &(u, v)) in batch.inserts.iter().enumerate() {
             if u == v {
                 continue;
             }
-            self.insert_arc(u, v, &mut eff_ins, &mut eff_del);
+            let w = batch.insert_weight(k);
+            self.insert_arc(u, v, w, &mut eff_ins, &mut eff_del, &mut eff_rew);
             if mirrored {
-                self.insert_arc(v, u, &mut eff_ins, &mut eff_del);
+                self.insert_arc(v, u, w, &mut eff_ins, &mut eff_del, &mut eff_rew);
             }
         }
         for &(u, v) in &batch.deletes {
             if u == v {
                 continue;
             }
-            self.delete_arc(u, v, &mut eff_ins, &mut eff_del);
+            self.delete_arc(u, v, &mut eff_ins, &mut eff_del, &mut eff_rew);
             if mirrored {
-                self.delete_arc(v, u, &mut eff_ins, &mut eff_del);
+                self.delete_arc(v, u, &mut eff_ins, &mut eff_del, &mut eff_rew);
+            }
+        }
+
+        let mut removed: Vec<NodeId> = batch.removed_nodes.clone();
+        removed.sort_unstable();
+        removed.dedup();
+        if !removed.is_empty() {
+            let removed_set: BTreeSet<NodeId> = removed.iter().copied().collect();
+            let mut incident: Vec<(NodeId, NodeId)> = Vec::new();
+            if mirrored {
+                // Mirrored storage: the out-arcs of a removed node name
+                // every incident edge; deleting both directions covers it
+                // without a full scan.
+                for &v in &removed {
+                    incident.extend(self.merged_arcs(v).map(|(t, _)| (v, t)));
+                }
+                let both: Vec<(NodeId, NodeId)> = incident
+                    .iter()
+                    .flat_map(|&(v, t)| [(v, t), (t, v)])
+                    .collect();
+                incident = both;
+            } else {
+                // Directed: in-arcs of removed nodes require a sweep over
+                // the logical adjacency — O(V + E) once per batch that
+                // removes nodes (removal is rare relative to edge churn).
+                let n = self.num_nodes() as u32;
+                for s in 0..n {
+                    let s_removed = removed_set.contains(&s);
+                    for (t, _) in self.merged_arcs(s) {
+                        if s_removed || removed_set.contains(&t) {
+                            incident.push((s, t));
+                        }
+                    }
+                }
+            }
+            for (s, t) in incident {
+                self.delete_arc(s, t, &mut eff_ins, &mut eff_del, &mut eff_rew);
             }
         }
 
@@ -394,55 +675,140 @@ impl DeltaGraph {
         }
         Ok(BatchOutcome {
             delta: ArcDelta {
-                inserted: eff_ins.into_iter().collect(),
-                deleted: eff_del.into_iter().collect(),
+                inserted: eff_ins.keys().copied().collect(),
+                inserted_weights: eff_ins.values().copied().collect(),
+                deleted: eff_del.keys().copied().collect(),
+                deleted_weights: eff_del.values().copied().collect(),
+                reweighted: eff_rew
+                    .iter()
+                    .map(|(&(u, v), &(old, new))| (u, v, old, new))
+                    .collect(),
+                nodes_before: n_before,
+                nodes_after: n_after,
+                removed_nodes: removed,
             },
             compacted,
         })
     }
 
-    /// Make arc `(u, v)` present; record the flip (with batch-internal
-    /// delete/insert cancellation) in the effective-delta sets.
+    /// Make arc `(u, v)` present with weight `w` (replacing the weight when
+    /// already present); record the flip or reweight — with batch-internal
+    /// cancellation — in the effective-delta maps. Deleted arcs carry
+    /// pre-batch weights in `eff_del`, so re-inserting one reconstructs the
+    /// correct net effect (a reweight, or nothing).
     fn insert_arc(
         &mut self,
         u: NodeId,
         v: NodeId,
-        eff_ins: &mut BTreeSet<(NodeId, NodeId)>,
-        eff_del: &mut BTreeSet<(NodeId, NodeId)>,
+        w: f64,
+        eff_ins: &mut BTreeMap<(NodeId, NodeId), f64>,
+        eff_del: &mut BTreeMap<(NodeId, NodeId), f64>,
+        eff_rew: &mut BTreeMap<(NodeId, NodeId), (f64, f64)>,
     ) {
         let arc = (u, v);
-        let flipped = if self.deletes.remove(&arc) {
-            true // un-tombstone a base arc
-        } else if self.base.has_arc(u, v) {
-            false // already present in base
+        let weighted = self.base.is_weighted();
+        let live_base = !self.deletes.contains(&arc) && self.base_has_arc(u, v);
+        let present_weight = if let Some(&cw) = self.inserts.get(&arc) {
+            Some(cw)
+        } else if live_base {
+            Some(
+                self.reweights
+                    .get(&arc)
+                    .copied()
+                    .unwrap_or_else(|| self.base_arc_weight(u, v)),
+            )
         } else {
-            self.inserts.insert(arc) // newly present unless already inserted
+            None
         };
-        if flipped && !eff_del.remove(&arc) {
-            eff_ins.insert(arc);
+
+        match present_weight {
+            Some(cur) => {
+                // Reconciliation: replace the weight (no structural flip).
+                if !weighted || w == cur {
+                    return;
+                }
+                if let Some(iw) = self.inserts.get_mut(&arc) {
+                    *iw = w;
+                } else {
+                    let bw = self.base_arc_weight(u, v);
+                    if w == bw {
+                        self.reweights.remove(&arc);
+                    } else {
+                        self.reweights.insert(arc, w);
+                    }
+                }
+                if let Some(iw) = eff_ins.get_mut(&arc) {
+                    // Inserted earlier this batch: still a plain insert,
+                    // now at the newer weight.
+                    *iw = w;
+                } else {
+                    let old = eff_rew.get(&arc).map(|&(o, _)| o).unwrap_or(cur);
+                    if old == w {
+                        eff_rew.remove(&arc);
+                    } else {
+                        eff_rew.insert(arc, (old, w));
+                    }
+                }
+            }
+            None => {
+                if self.deletes.remove(&arc) {
+                    // Un-tombstone a base arc, pinning its weight to `w`.
+                    if weighted {
+                        let bw = self.base_arc_weight(u, v);
+                        if w == bw {
+                            self.reweights.remove(&arc);
+                        } else {
+                            self.reweights.insert(arc, w);
+                        }
+                    }
+                } else {
+                    self.inserts.insert(arc, w);
+                }
+                if let Some(old) = eff_del.remove(&arc) {
+                    // Deleted earlier this batch: present before and
+                    // after — net effect is a reweight (or nothing).
+                    if weighted && old != w {
+                        eff_rew.insert(arc, (old, w));
+                    }
+                } else {
+                    eff_ins.insert(arc, w);
+                }
+            }
         }
     }
 
-    /// Make arc `(u, v)` absent; record the flip as in
-    /// [`DeltaGraph::insert_arc`].
+    /// Make arc `(u, v)` absent; record the flip (with its pre-batch
+    /// weight) as in [`DeltaGraph::insert_arc`].
     fn delete_arc(
         &mut self,
         u: NodeId,
         v: NodeId,
-        eff_ins: &mut BTreeSet<(NodeId, NodeId)>,
-        eff_del: &mut BTreeSet<(NodeId, NodeId)>,
+        eff_ins: &mut BTreeMap<(NodeId, NodeId), f64>,
+        eff_del: &mut BTreeMap<(NodeId, NodeId), f64>,
+        eff_rew: &mut BTreeMap<(NodeId, NodeId), (f64, f64)>,
     ) {
         let arc = (u, v);
-        let flipped = if self.inserts.remove(&arc) {
-            true // drop a pending insert
-        } else if self.base.has_arc(u, v) {
-            self.deletes.insert(arc) // tombstone unless already tombstoned
-        } else {
-            false // never present
-        };
-        if flipped && !eff_ins.remove(&arc) {
-            eff_del.insert(arc);
+        if let Some(cw) = self.inserts.remove(&arc) {
+            // Drop an overlay arc.
+            if eff_ins.remove(&arc).is_none() {
+                // Present pre-batch (an earlier batch's insert); pre-batch
+                // weight is the reweight's `old` if this batch changed it.
+                let old = eff_rew.remove(&arc).map(|(o, _)| o).unwrap_or(cw);
+                eff_del.insert(arc, old);
+            }
+        } else if self.base_has_arc(u, v) && self.deletes.insert(arc) {
+            // Tombstone a live base arc; its weight override (if any)
+            // leaves with it.
+            let cur = self
+                .reweights
+                .remove(&arc)
+                .unwrap_or_else(|| self.base_arc_weight(u, v));
+            let old = eff_rew.remove(&arc).map(|(o, _)| o).unwrap_or(cur);
+            if eff_ins.remove(&arc).is_none() {
+                eff_del.insert(arc, old);
+            }
         }
+        // Otherwise: already absent — no-op.
     }
 
     /// Materialize the logical graph as a plain [`CsrGraph`].
@@ -456,15 +822,31 @@ impl DeltaGraph {
             return self.base.clone();
         }
         let n = self.num_nodes();
+        let weighted = self.base.is_weighted();
         let mut offsets = Vec::with_capacity(n + 1);
         offsets.push(0usize);
         let mut targets: Vec<NodeId> = Vec::with_capacity(self.num_arcs());
+        let mut weights: Vec<f64> = if weighted {
+            Vec::with_capacity(self.num_arcs())
+        } else {
+            Vec::new()
+        };
         for v in 0..n as u32 {
-            targets.extend(self.merged_neighbors(v));
+            for (t, w) in self.merged_arcs(v) {
+                targets.push(t);
+                if weighted {
+                    weights.push(w);
+                }
+            }
             offsets.push(targets.len());
         }
-        CsrGraph::from_csr(self.base.direction(), offsets, targets, None)
-            .expect("delta merge preserves CSR invariants")
+        CsrGraph::from_csr(
+            self.base.direction(),
+            offsets,
+            targets,
+            weighted.then_some(weights),
+        )
+        .expect("delta merge preserves CSR invariants")
     }
 
     /// Fold the overlay into a fresh base snapshot.
@@ -475,6 +857,8 @@ impl DeltaGraph {
         self.base = self.snapshot();
         self.inserts.clear();
         self.deletes.clear();
+        self.reweights.clear();
+        self.grown = 0;
     }
 
     /// Consume the delta graph, returning the compacted CSR.
@@ -484,10 +868,11 @@ impl DeltaGraph {
     }
 }
 
-/// Merge two ascending iterators into one ascending iterator. The two
-/// streams are disjoint by the overlay invariant (an insert never shadows a
-/// live base arc), so equality needs no special casing — but it is handled
-/// anyway (both sides advance) to stay robust.
+/// Merge two ascending `(target, weight)` streams into one ascending
+/// stream, ordered by target. The two streams are disjoint by the overlay
+/// invariant (an insert never shadows a live base arc), so equality needs
+/// no special casing — but it is handled anyway (both sides advance, the
+/// base side wins) to stay robust.
 struct MergeSorted<A: Iterator, B: Iterator> {
     a: std::iter::Peekable<A>,
     b: std::iter::Peekable<B>,
@@ -502,12 +887,16 @@ impl<A: Iterator, B: Iterator> MergeSorted<A, B> {
     }
 }
 
-impl<T: Ord + Copy, A: Iterator<Item = T>, B: Iterator<Item = T>> Iterator for MergeSorted<A, B> {
-    type Item = T;
+impl<A, B> Iterator for MergeSorted<A, B>
+where
+    A: Iterator<Item = (NodeId, f64)>,
+    B: Iterator<Item = (NodeId, f64)>,
+{
+    type Item = (NodeId, f64);
 
-    fn next(&mut self) -> Option<T> {
+    fn next(&mut self) -> Option<(NodeId, f64)> {
         match (self.a.peek().copied(), self.b.peek().copied()) {
-            (Some(x), Some(y)) => {
+            (Some((x, _)), Some((y, _))) => {
                 if x <= y {
                     if x == y {
                         self.b.next();
@@ -536,15 +925,214 @@ mod tests {
         b.build().unwrap()
     }
 
-    #[test]
-    fn rejects_weighted_base() {
-        let mut b = GraphBuilder::new(Direction::Directed, 2);
+    /// Directed weighted triangle-ish graph used by the weighted tests.
+    fn weighted3() -> CsrGraph {
+        let mut b = GraphBuilder::new(Direction::Directed, 3);
         b.add_weighted_edge(0, 1, 2.0);
-        let g = b.build().unwrap();
+        b.add_weighted_edge(0, 2, 0.5);
+        b.add_weighted_edge(1, 2, 1.0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn accepts_weighted_base() {
+        let mut dg = DeltaGraph::new(weighted3()).unwrap();
+        assert!(dg.is_weighted());
+        assert_eq!(dg.arc_weight(0, 1), Some(2.0));
+        assert_eq!(dg.arc_weight(1, 0), None);
+        // A structural insert on a weighted base carries weight 1.
+        let mut batch = EdgeBatch::new();
+        batch.insert(2, 0);
+        let out = dg.apply_batch(&batch).unwrap();
+        assert_eq!(out.delta.inserted, vec![(2, 0)]);
+        assert_eq!(out.delta.inserted_weights, vec![1.0]);
+        assert_eq!(dg.arc_weight(2, 0), Some(1.0));
+    }
+
+    #[test]
+    fn reinsert_replaces_weight() {
+        let mut dg = DeltaGraph::new(weighted3()).unwrap();
+        let mut batch = EdgeBatch::new();
+        batch.set_weight(0, 1, 5.0);
+        let out = dg.apply_batch(&batch).unwrap();
+        assert!(out.delta.inserted.is_empty() && out.delta.deleted.is_empty());
+        assert_eq!(out.delta.reweighted, vec![(0, 1, 2.0, 5.0)]);
+        assert_eq!(dg.arc_weight(0, 1), Some(5.0));
+        assert_eq!(dg.num_arcs(), 3, "reweight is structurally invisible");
+        // Θ change: node 0 went from 2.5 to 5.5.
+        assert_eq!(out.delta.source_theta_changes(), vec![(0, 3.0)]);
+        assert!(out.delta.source_degree_changes().is_empty());
+        // Re-weighting back to the base weight cancels the override.
+        let mut batch = EdgeBatch::new();
+        batch.set_weight(0, 1, 2.0);
+        let out = dg.apply_batch(&batch).unwrap();
+        assert_eq!(out.delta.reweighted, vec![(0, 1, 5.0, 2.0)]);
+        assert!(dg.is_compacted() || dg.overlay_len() == 0);
+        assert_eq!(dg.snapshot(), weighted3());
+    }
+
+    #[test]
+    fn reweight_at_current_weight_is_a_noop() {
+        let mut dg = DeltaGraph::new(weighted3()).unwrap();
+        let mut batch = EdgeBatch::new();
+        batch.set_weight(0, 1, 2.0);
+        let out = dg.apply_batch(&batch).unwrap();
+        assert!(out.delta.is_empty());
+        // Reweight then reweight back within one batch cancels too.
+        let mut batch = EdgeBatch::new();
+        batch.set_weight(0, 1, 9.0).set_weight(0, 1, 2.0);
+        let out = dg.apply_batch(&batch).unwrap();
+        assert!(out.delta.is_empty());
+    }
+
+    #[test]
+    fn delete_reports_prebatch_weight() {
+        let mut dg = DeltaGraph::new(weighted3()).unwrap();
+        // Reweight in one batch, delete in the next: the delete reports
+        // the overlay weight (the pre-batch logical weight).
+        let mut batch = EdgeBatch::new();
+        batch.set_weight(0, 1, 7.0);
+        dg.apply_batch(&batch).unwrap();
+        let mut batch = EdgeBatch::new();
+        batch.delete(0, 1);
+        let out = dg.apply_batch(&batch).unwrap();
+        assert_eq!(out.delta.deleted, vec![(0, 1)]);
+        assert_eq!(out.delta.deleted_weights, vec![7.0]);
+        // Reweight then delete within one batch: still the pre-batch weight.
+        let mut dg = DeltaGraph::new(weighted3()).unwrap();
+        let mut batch = EdgeBatch::new();
+        batch.set_weight(0, 1, 7.0).delete(0, 1);
+        let out = dg.apply_batch(&batch).unwrap();
+        assert_eq!(out.delta.deleted_weights, vec![2.0]);
+        assert!(out.delta.reweighted.is_empty());
+    }
+
+    #[test]
+    fn delete_then_reinsert_nets_to_reweight() {
+        let mut dg = DeltaGraph::new(weighted3()).unwrap();
+        // Deletes run after inserts, so stage across two batches: delete,
+        // then re-insert at a new weight — per batch each is atomic, so
+        // exercise the in-batch path via remove_node + insert ordering
+        // instead: delete and reinsert across batches nets structurally.
+        let mut batch = EdgeBatch::new();
+        batch.delete(0, 1);
+        dg.apply_batch(&batch).unwrap();
+        let mut batch = EdgeBatch::new();
+        batch.insert_weighted(0, 1, 3.0);
+        let out = dg.apply_batch(&batch).unwrap();
+        assert_eq!(out.delta.inserted, vec![(0, 1)]);
+        assert_eq!(out.delta.inserted_weights, vec![3.0]);
+        assert_eq!(dg.arc_weight(0, 1), Some(3.0));
+        // The un-tombstoned base arc carries the new weight in snapshots.
+        let snap = dg.snapshot();
+        assert_eq!(snap.arc_weight(0, 1), Some(3.0));
+    }
+
+    #[test]
+    fn weighted_edit_on_unweighted_base_fails_typed() {
+        let mut dg = DeltaGraph::new(path4()).unwrap();
+        let mut batch = EdgeBatch::new();
+        batch.insert_weighted(0, 3, 2.5);
+        assert_eq!(
+            dg.apply_batch(&batch).unwrap_err(),
+            GraphError::WeightMismatch {
+                graph_weighted: false
+            }
+        );
+        assert!(dg.is_compacted(), "rejected batch must not apply");
+        // Weight-1 entries through the weighted API are fine.
+        let mut batch = EdgeBatch::new();
+        batch.insert_weighted(0, 3, 1.0);
+        let out = dg.apply_batch(&batch).unwrap();
+        assert_eq!(out.delta.inserted, vec![(0, 3), (3, 0)]);
+    }
+
+    #[test]
+    fn invalid_weights_rejected_atomically() {
+        let mut dg = DeltaGraph::new(weighted3()).unwrap();
+        let mut batch = EdgeBatch::new();
+        batch.insert_weighted(2, 0, f64::NAN);
         assert!(matches!(
-            DeltaGraph::new(g),
-            Err(GraphError::WeightMismatch { .. })
+            dg.apply_batch(&batch).unwrap_err(),
+            GraphError::InvalidWeight(_)
         ));
+        let mut batch = EdgeBatch::new();
+        batch.insert_weighted(2, 0, -1.0);
+        assert!(matches!(
+            dg.apply_batch(&batch).unwrap_err(),
+            GraphError::InvalidWeight(_)
+        ));
+        // Mis-parallel weights are malformed.
+        let batch = EdgeBatch {
+            inserts: vec![(2, 0)],
+            weights: Some(vec![]),
+            ..EdgeBatch::default()
+        };
+        assert!(matches!(
+            dg.apply_batch(&batch).unwrap_err(),
+            GraphError::Snapshot(_)
+        ));
+        assert!(dg.is_compacted());
+    }
+
+    #[test]
+    fn add_nodes_grows_id_space() {
+        let mut dg = DeltaGraph::new(path4()).unwrap();
+        let mut batch = EdgeBatch::new();
+        batch.add_nodes(2).insert(3, 5); // 5 is a fresh id
+        let out = dg.apply_batch(&batch).unwrap();
+        assert_eq!(dg.num_nodes(), 6);
+        assert_eq!(out.delta.nodes_before, 4);
+        assert_eq!(out.delta.nodes_after, 6);
+        assert_eq!(out.delta.added_nodes(), 2);
+        assert_eq!(out.delta.inserted, vec![(3, 5), (5, 3)]);
+        // New isolated node 4 and connected node 5 both appear in the
+        // frontier.
+        assert!(out.delta.touched_nodes().contains(&4));
+        assert!(out.delta.touched_nodes().contains(&5));
+        let snap = dg.snapshot();
+        assert_eq!(snap.num_nodes(), 6);
+        assert!(snap.has_arc(3, 5) && snap.has_arc(5, 3));
+        assert_eq!(snap.out_degree(4), 0);
+    }
+
+    #[test]
+    fn remove_node_drops_incident_arcs() {
+        // Undirected: node 1 sits on edges (0,1) and (1,2).
+        let mut dg = DeltaGraph::new(path4()).unwrap();
+        let mut batch = EdgeBatch::new();
+        batch.remove_node(1);
+        let out = dg.apply_batch(&batch).unwrap();
+        assert_eq!(out.delta.removed_nodes, vec![1]);
+        assert_eq!(out.delta.deleted, vec![(0, 1), (1, 0), (1, 2), (2, 1)]);
+        assert_eq!(dg.num_nodes(), 4, "removal tombstones, never shrinks");
+        assert!(!dg.has_arc(0, 1) && !dg.has_arc(1, 2));
+        assert!(dg.has_arc(2, 3));
+
+        // Directed: in-arcs go too.
+        let mut b = GraphBuilder::new(Direction::Directed, 3);
+        b.add_edge(0, 1);
+        b.add_edge(2, 1);
+        b.add_edge(1, 2);
+        let mut dg = DeltaGraph::new(b.build().unwrap()).unwrap();
+        let mut batch = EdgeBatch::new();
+        batch.remove_node(1);
+        let out = dg.apply_batch(&batch).unwrap();
+        assert_eq!(out.delta.deleted, vec![(0, 1), (1, 2), (2, 1)]);
+        assert_eq!(dg.num_arcs(), 0);
+    }
+
+    #[test]
+    fn remove_node_in_same_batch_as_insert_cancels() {
+        let mut dg = DeltaGraph::new(path4()).unwrap();
+        let mut batch = EdgeBatch::new();
+        batch.insert(0, 3).remove_node(3);
+        let out = dg.apply_batch(&batch).unwrap();
+        // The insert is swallowed by the removal; node 3's base edge (2,3)
+        // is the only real deletion.
+        assert!(out.delta.inserted.is_empty());
+        assert_eq!(out.delta.deleted, vec![(2, 3), (3, 2)]);
+        assert!(!dg.has_arc(0, 3));
     }
 
     #[test]
@@ -554,7 +1142,9 @@ mod tests {
         batch.insert(0, 3).delete(1, 2);
         let out = dg.apply_batch(&batch).unwrap();
         assert_eq!(out.delta.inserted, vec![(0, 3), (3, 0)]);
+        assert_eq!(out.delta.inserted_weights, vec![1.0, 1.0]);
         assert_eq!(out.delta.deleted, vec![(1, 2), (2, 1)]);
+        assert_eq!(out.delta.deleted_weights, vec![1.0, 1.0]);
         assert!(!out.compacted);
         assert!(dg.has_arc(0, 3) && dg.has_arc(3, 0));
         assert!(!dg.has_arc(1, 2) && !dg.has_arc(2, 1));
@@ -616,6 +1206,18 @@ mod tests {
         // Nothing from the batch applied.
         assert!(!dg.has_arc(0, 3));
         assert!(dg.is_compacted());
+        // Removals are range-checked too (against the grown id space).
+        let mut batch = EdgeBatch::new();
+        batch.add_nodes(1).remove_node(9);
+        let err = dg.apply_batch(&batch).unwrap_err();
+        assert_eq!(
+            err,
+            GraphError::NodeOutOfRange {
+                node: 9,
+                num_nodes: 5
+            }
+        );
+        assert_eq!(dg.num_nodes(), 4);
     }
 
     #[test]
@@ -636,6 +1238,21 @@ mod tests {
         assert!(dg.is_compacted());
         assert_eq!(dg.base().num_arcs(), 5);
         assert_eq!(dg.num_arcs(), 5);
+    }
+
+    #[test]
+    fn compaction_folds_growth_and_weights() {
+        let mut dg = DeltaGraph::new(weighted3())
+            .unwrap()
+            .with_compaction_threshold(0.0, 0);
+        let mut batch = EdgeBatch::new();
+        batch.add_nodes(1).insert_weighted(2, 3, 4.0);
+        let out = dg.apply_batch(&batch).unwrap();
+        assert!(out.compacted);
+        assert!(dg.is_compacted());
+        assert_eq!(dg.base().num_nodes(), 4);
+        assert_eq!(dg.base().arc_weight(2, 3), Some(4.0));
+        assert_eq!(dg.num_nodes(), 4);
     }
 
     #[test]
@@ -661,6 +1278,23 @@ mod tests {
     }
 
     #[test]
+    fn weighted_snapshot_matches_direct_build() {
+        let mut dg = DeltaGraph::new(weighted3()).unwrap();
+        let mut batch = EdgeBatch::new();
+        batch
+            .insert_weighted(2, 0, 3.0)
+            .set_weight(0, 1, 6.0)
+            .delete(0, 2);
+        dg.apply_batch(&batch).unwrap();
+
+        let mut direct = GraphBuilder::new(Direction::Directed, 3);
+        direct.add_weighted_edge(0, 1, 6.0);
+        direct.add_weighted_edge(1, 2, 1.0);
+        direct.add_weighted_edge(2, 0, 3.0);
+        assert_eq!(dg.snapshot(), direct.build().unwrap());
+    }
+
+    #[test]
     fn touched_nodes_and_degree_changes() {
         let mut dg = DeltaGraph::new(path4()).unwrap();
         let mut batch = EdgeBatch::new();
@@ -674,6 +1308,11 @@ mod tests {
             out.delta.source_degree_changes(),
             vec![(0, 1), (1, -1), (2, -1), (3, 1)]
         );
+        // On an unweighted base the Θ changes agree numerically.
+        assert_eq!(
+            out.delta.source_theta_changes(),
+            vec![(0, 1.0), (1, -1.0), (2, -1.0), (3, 1.0)]
+        );
         // A swap at one source nets to zero but stays reported.
         let mut dg = DeltaGraph::new(path4()).unwrap();
         let mut batch = EdgeBatch::new();
@@ -682,9 +1321,16 @@ mod tests {
         let changes = out.delta.source_degree_changes();
         assert!(changes.contains(&(0, 0)));
         assert!(out.delta.touched_nodes().contains(&0));
+        assert!(out
+            .delta
+            .source_theta_changes()
+            .iter()
+            .any(|&(s, d)| s == 0 && d == 0.0));
         // Empty delta: empty frontier.
         assert!(ArcDelta::default().touched_nodes().is_empty());
         assert!(ArcDelta::default().source_degree_changes().is_empty());
+        assert!(ArcDelta::default().source_theta_changes().is_empty());
+        assert!(ArcDelta::default().is_empty());
     }
 
     #[test]
@@ -694,17 +1340,21 @@ mod tests {
         let p = NodePermutation::degree_descending(&g);
         let mut batch = EdgeBatch::new();
         batch.insert(0, 3).delete(1, 2).insert(0, 9); // 9 is out of range
+        batch.add_nodes(1).remove_node(2);
         let t = batch.permuted(&p);
         assert_eq!(t.inserts[0], (p.to_internal(0), p.to_internal(3)));
         assert_eq!(t.deletes[0], (p.to_internal(1), p.to_internal(2)));
-        // Out-of-range ids pass through so apply_batch names the caller's id.
+        // Beyond-range ids identity-extend so apply_batch names the
+        // caller's id (and grown tail ids pass through untranslated).
         assert_eq!(t.inserts[1], (p.to_internal(0), 9));
+        assert_eq!(t.new_nodes, 1);
+        assert_eq!(t.removed_nodes, vec![p.to_internal(2)]);
         let mut dg = DeltaGraph::new(p.permute_graph(&g).unwrap()).unwrap();
         assert_eq!(
             dg.apply_batch(&t).unwrap_err(),
             GraphError::NodeOutOfRange {
                 node: 9,
-                num_nodes: 4
+                num_nodes: 5
             }
         );
     }

@@ -241,22 +241,20 @@ impl NodePermutation {
         &self.inverse
     }
 
-    /// Internal id of external node `v`.
-    ///
-    /// # Panics
-    /// Panics when `v` is out of range.
+    /// Internal id of external node `v`. Ids beyond the permutation's
+    /// range map to themselves — a permutation computed over `n` nodes
+    /// identity-extends to any node set grown past `n` (new ids are
+    /// appended on both sides, so external and internal coincide there).
     #[inline]
     pub fn to_internal(&self, v: NodeId) -> NodeId {
-        self.forward[v as usize]
+        self.forward.get(v as usize).copied().unwrap_or(v)
     }
 
-    /// External id of internal node `v`.
-    ///
-    /// # Panics
-    /// Panics when `v` is out of range.
+    /// External id of internal node `v`. Identity-extends beyond the
+    /// permutation's range, mirroring [`NodePermutation::to_internal`].
     #[inline]
     pub fn to_external(&self, v: NodeId) -> NodeId {
-        self.inverse[v as usize]
+        self.inverse.get(v as usize).copied().unwrap_or(v)
     }
 
     /// Relabel `graph` into internal order: node `v` becomes
@@ -301,36 +299,40 @@ impl NodePermutation {
     }
 
     /// Reorder an external-order per-node value array into internal order:
-    /// `out[to_internal(v)] = external[v]`.
+    /// `out[to_internal(v)] = external[v]`. Values past the permutation's
+    /// range keep their positions (identity suffix — grown node sets).
     ///
     /// # Panics
-    /// Panics when `external`'s length differs from the node count.
+    /// Panics when `external` is shorter than the permutation.
     pub fn permute_values(&self, external: &[f64], out: &mut Vec<f64>) {
-        assert_eq!(
-            external.len(),
-            self.len(),
-            "value array must cover all nodes"
+        assert!(
+            external.len() >= self.len(),
+            "value array must cover all permuted nodes"
         );
         out.clear();
-        out.resize(self.len(), 0.0);
+        out.resize(external.len(), 0.0);
         for (v, &x) in external.iter().enumerate() {
-            out[self.forward[v] as usize] = x;
+            let i = self.forward.get(v).map_or(v, |&i| i as usize);
+            out[i] = x;
         }
     }
 
     /// Reorder an internal-order per-node value array back into external
-    /// order: `out[v] = internal[to_internal(v)]`.
+    /// order: `out[v] = internal[to_internal(v)]`. Values past the
+    /// permutation's range keep their positions (identity suffix).
     ///
     /// # Panics
-    /// Panics when `internal`'s length differs from the node count.
+    /// Panics when `internal` is shorter than the permutation.
     pub fn unpermute_values(&self, internal: &[f64], out: &mut Vec<f64>) {
-        assert_eq!(
-            internal.len(),
-            self.len(),
-            "value array must cover all nodes"
+        assert!(
+            internal.len() >= self.len(),
+            "value array must cover all permuted nodes"
         );
         out.clear();
-        out.extend(self.forward.iter().map(|&i| internal[i as usize]));
+        out.extend((0..internal.len()).map(|v| {
+            let i = self.forward.get(v).map_or(v, |&i| i as usize);
+            internal[i]
+        }));
     }
 }
 

@@ -224,10 +224,14 @@ impl CscStructure {
         with_permutation: bool,
     ) -> Result<CscStructure> {
         let n = self.num_nodes;
-        if new_graph.num_nodes() != n {
+        // Node growth is append-only: a delta may add ids at the tail
+        // (they have no old in-span), never reorder or shrink. Removal
+        // tombstones at the DeltaGraph layer, so the id space only grows.
+        let n_new = n + delta.added_nodes() as usize;
+        if new_graph.num_nodes() != n_new {
             return Err(GraphError::Snapshot(format!(
-                "patched: node count changed ({} -> {}); deltas edit edges only",
-                n,
+                "patched: delta implies {} nodes but the new graph has {}",
+                n_new,
                 new_graph.num_nodes()
             )));
         }
@@ -245,9 +249,9 @@ impl CscStructure {
         // delta that names the wrong arcs (the merge below would then
         // silently build a corrupt permutation in release builds).
         for &(s, t) in delta.inserted.iter().chain(&delta.deleted) {
-            if (s as usize) >= n || (t as usize) >= n {
+            if (s as usize) >= n_new || (t as usize) >= n_new {
                 return Err(GraphError::Snapshot(format!(
-                    "patched: delta arc {s} -> {t} is out of range for {n} nodes"
+                    "patched: delta arc {s} -> {t} is out of range for {n_new} nodes"
                 )));
             }
         }
@@ -275,12 +279,16 @@ impl CscStructure {
 
         // in_offsets: patch the prefix sums; in_sources: span-copy or merge.
         let m = new_graph.num_arcs();
-        let mut in_offsets = Vec::with_capacity(n + 1);
+        let mut in_offsets = Vec::with_capacity(n_new + 1);
         in_offsets.push(0usize);
         let mut in_sources: Vec<NodeId> = Vec::with_capacity(m);
         let (mut ii, mut di) = (0usize, 0usize);
-        for v in 0..n {
-            let old_span = &self.in_sources[self.in_offsets[v]..self.in_offsets[v + 1]];
+        for v in 0..n_new {
+            let old_span: &[NodeId] = if v < n {
+                &self.in_sources[self.in_offsets[v]..self.in_offsets[v + 1]]
+            } else {
+                &[]
+            };
             let ins_here = run_len(&ins, ii, v as NodeId);
             let del_here = run_len(&del, di, v as NodeId);
             if ins_here == 0 && del_here == 0 {
@@ -304,12 +312,15 @@ impl CscStructure {
         }
         debug_assert_eq!(in_sources.len(), m);
 
-        // Dangling list: only sources named by the delta can change state.
+        // Dangling list: only sources named by the delta — plus freshly
+        // appended ids (isolated until arcs reference them) — can change
+        // state.
         let mut changed: Vec<NodeId> = delta
             .inserted
             .iter()
             .chain(&delta.deleted)
             .map(|&(s, _)| s)
+            .chain(n as NodeId..n_new as NodeId)
             .collect();
         changed.sort_unstable();
         changed.dedup();
@@ -333,7 +344,7 @@ impl CscStructure {
             in_sources,
             csc_slot_of_arc: OnceLock::new(),
             dangling,
-            num_nodes: n,
+            num_nodes: n_new,
             narrow_in_offsets,
             permutation: self.permutation.clone(),
         };
@@ -714,6 +725,42 @@ mod tests {
     }
 
     #[test]
+    fn patched_handles_node_growth_and_removal() {
+        use crate::delta::{DeltaGraph, EdgeBatch};
+        let g = barabasi_albert(100, 3, 41).unwrap();
+        let csc = CscStructure::build(&g);
+        let mut dg = DeltaGraph::new(g.clone()).unwrap();
+        let mut batch = EdgeBatch::new();
+        // Grow by 3: connect one new node, leave two isolated; tombstone
+        // an existing node.
+        batch
+            .add_nodes(3)
+            .insert(100, 7)
+            .insert(12, 101)
+            .remove_node(5);
+        let out = dg.apply_batch(&batch).unwrap();
+        let g2 = dg.snapshot();
+        assert_eq!(g2.num_nodes(), 103);
+        let patched = csc.patched(&g2, &out.delta).unwrap();
+        assert_eq!(patched, CscStructure::build(&g2));
+        // Isolated fresh ids and the tombstoned node are dangling.
+        assert!(patched.dangling().contains(&101) || g2.out_degree(101) > 0);
+        assert!(patched.dangling().contains(&102));
+        assert!(patched.dangling().contains(&5));
+        // Structural patch agrees too.
+        let structural = csc.patched_structural(&g2, &out.delta).unwrap();
+        structural.ensure_arc_permutation(&g2);
+        assert_eq!(structural, CscStructure::build(&g2));
+        // A stale (count-mismatched) growth claim is rejected.
+        let mut wrong = out.delta.clone();
+        wrong.nodes_after += 1;
+        assert!(matches!(
+            csc.patched(&g2, &wrong).unwrap_err(),
+            crate::error::GraphError::Snapshot(_)
+        ));
+    }
+
+    #[test]
     fn patched_creates_and_heals_dangling() {
         // 0 -> 1 only; deleting it makes 0 dangling, inserting 1 -> 0
         // heals 1.
@@ -727,6 +774,8 @@ mod tests {
         let delta = crate::delta::ArcDelta {
             inserted: vec![],
             deleted: vec![(0, 1)],
+            deleted_weights: vec![1.0],
+            ..Default::default()
         };
         let patched = csc.patched(&g2, &delta).unwrap();
         assert_eq!(patched, CscStructure::build(&g2));
@@ -743,7 +792,8 @@ mod tests {
                 &g,
                 &crate::delta::ArcDelta {
                     inserted: vec![(3, 0)],
-                    deleted: vec![],
+                    inserted_weights: vec![1.0],
+                    ..Default::default()
                 },
             )
             .unwrap_err();
@@ -757,8 +807,9 @@ mod tests {
             .patched(
                 &g2,
                 &crate::delta::ArcDelta {
-                    inserted: vec![],
                     deleted: vec![(3, 2)],
+                    deleted_weights: vec![1.0],
+                    ..Default::default()
                 },
             )
             .unwrap_err();
@@ -782,7 +833,10 @@ mod tests {
                 &g2,
                 &crate::delta::ArcDelta {
                     inserted: vec![(1, 0)],
+                    inserted_weights: vec![1.0],
                     deleted: vec![(1, 2)],
+                    deleted_weights: vec![1.0],
+                    ..Default::default()
                 },
             )
             .unwrap_err();
@@ -793,7 +847,10 @@ mod tests {
                 &g2,
                 &crate::delta::ArcDelta {
                     inserted: vec![(1, 3)],
+                    inserted_weights: vec![1.0],
                     deleted: vec![(1, 2)],
+                    deleted_weights: vec![1.0],
+                    ..Default::default()
                 },
             )
             .unwrap();
@@ -804,7 +861,10 @@ mod tests {
                 &g2,
                 &crate::delta::ArcDelta {
                     inserted: vec![(1, 9)],
+                    inserted_weights: vec![1.0],
                     deleted: vec![(1, 2)],
+                    deleted_weights: vec![1.0],
+                    ..Default::default()
                 },
             )
             .unwrap_err();

@@ -12,7 +12,12 @@
 //! `k`-th event boundary enumerates every prefix of the I/O sequence.
 //!
 //! [`run_store_scenario`] drives a seed-derived workload to a crash
-//! point, recovers the store cold, and checks the recovery contract:
+//! point, recovers the store cold, and checks the recovery contract.
+//! Half the seed sweep folds node churn into the stream (grow,
+//! tombstone, grow), so crashes also land inside node-op log frames and
+//! recovery must rebuild the grown id space and the tombstone set; the
+//! cold references below are tombstone-masked the same way publication
+//! is. The contract:
 //!
 //! 1. **No acknowledged generation is lost, nothing unacknowledged is
 //!    invented** — the recovered generation is at least the last ingest
@@ -29,6 +34,7 @@
 //! under test is the durability protocol's I/O ordering, not the
 //! publication interleaving (the scheduler scenario owns that).
 
+use crate::scenario::add_node_churn;
 use d2pr_core::exec::hooks::{self, SimBarrier, SimHooks, SimJoin};
 use d2pr_core::pagerank::{pagerank, PageRankConfig};
 use d2pr_core::transition::TransitionModel;
@@ -156,6 +162,11 @@ pub struct StoreScenarioConfig {
     /// value beyond the run's event count) runs to completion, which is
     /// itself a valid case — recovery after a clean shutdown.
     pub crash_at: Option<u64>,
+    /// Fold node churn into the stream (grow, tombstone, grow — see
+    /// [`crate::scenario`]), so the crash sweep also kills the store in
+    /// the middle of node-op log frames and recovery must rebuild the
+    /// grown id space and the tombstone set.
+    pub node_churn: bool,
 }
 
 impl StoreScenarioConfig {
@@ -173,6 +184,7 @@ impl StoreScenarioConfig {
             snapshot_every: [0, 2, 3][((mix >> 8) % 3) as usize],
             threads: 1 + ((mix >> 16) % 2) as usize,
             crash_at: Some((mix >> 32) % event_bound),
+            node_churn: (mix >> 40) % 2 == 1,
         }
     }
 }
@@ -196,13 +208,37 @@ pub struct StoreCrashReport {
     pub store_events: u64,
 }
 
-/// The graph after replaying `upto` batches onto `base`.
-fn graph_at(base: &CsrGraph, batches: &[EdgeBatch], upto: u64) -> CsrGraph {
+/// The graph after replaying `upto` batches onto `base`, plus the ids the
+/// serving layer holds tombstoned at that generation (removed nodes join
+/// the set, every endpoint of an effective insert revives — the same rule
+/// `ServingEngine` applies on ingest and on recovery).
+fn world_at(
+    base: &CsrGraph,
+    batches: &[EdgeBatch],
+    upto: u64,
+) -> (CsrGraph, std::collections::BTreeSet<u32>) {
     let mut dg = DeltaGraph::new(base.clone()).expect("unweighted base");
+    let mut removed = std::collections::BTreeSet::new();
     for b in &batches[..upto as usize] {
-        dg.apply_batch(b).expect("pre-validated batch");
+        let outcome = dg.apply_batch(b).expect("pre-validated batch");
+        removed.extend(outcome.delta.removed_nodes.iter().copied());
+        for &(u, v) in &outcome.delta.inserted {
+            removed.remove(&u);
+            removed.remove(&v);
+        }
     }
-    dg.into_snapshot()
+    (dg.into_snapshot(), removed)
+}
+
+/// Cold reference for one generation: solve the replayed graph, then mask
+/// the tombstoned ids to 0.0 exactly as publication does.
+fn cold_scores_at(base: &CsrGraph, batches: &[EdgeBatch], upto: u64) -> Vec<f64> {
+    let (graph, tombstoned) = world_at(base, batches, upto);
+    let mut cold = pagerank(&graph, MODEL, &solver_config()).scores;
+    for &v in &tombstoned {
+        cold[v as usize] = 0.0;
+    }
+    cold
 }
 
 fn parity(store: &DurableServingEngine, cold: &[f64]) -> f64 {
@@ -222,8 +258,12 @@ pub fn run_store_scenario(cfg: &StoreScenarioConfig) -> Result<StoreCrashReport,
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5709_AB1E);
     let base =
         barabasi_albert(cfg.nodes, 2, cfg.seed ^ 0x0DD5).map_err(|e| format!("generator: {e}"))?;
-    let batches =
+    let mut batches =
         churn_stream(&base, cfg.batches, 0.15, &mut rng).map_err(|e| format!("churn: {e}"))?;
+    if cfg.node_churn {
+        let victim = (cfg.seed as u32).wrapping_mul(2_654_435_761) % cfg.nodes as u32;
+        add_node_churn(&mut batches, cfg.nodes as u32, victim);
+    }
     let opts = StoreOptions {
         snapshot_every: cfg.snapshot_every,
         retain_snapshots: 2,
@@ -311,13 +351,10 @@ pub fn run_store_scenario(cfg: &StoreScenarioConfig) -> Result<StoreCrashReport,
         ));
     }
 
-    // Check 2: recovered ranks match a cold solve at that generation.
-    let cold = pagerank(
-        &graph_at(&base, &batches, recovered_generation),
-        MODEL,
-        &solver_config(),
-    );
-    let l1 = parity(&store, &cold.scores);
+    // Check 2: recovered ranks match a cold solve at that generation
+    // (tombstone-masked, like publication).
+    let cold = cold_scores_at(&base, &batches, recovered_generation);
+    let l1 = parity(&store, &cold);
     if l1 > PARITY_EPS {
         return Err(format!(
             "recovered ranks diverge from cold solve at generation \
@@ -340,12 +377,8 @@ pub fn run_store_scenario(cfg: &StoreScenarioConfig) -> Result<StoreCrashReport,
             batches.len()
         ));
     }
-    let cold = pagerank(
-        &graph_at(&base, &batches, final_generation),
-        MODEL,
-        &solver_config(),
-    );
-    let l1 = parity(&store, &cold.scores);
+    let cold = cold_scores_at(&base, &batches, final_generation);
+    let l1 = parity(&store, &cold);
     if l1 > PARITY_EPS {
         return Err(format!(
             "post-recovery ranks diverge from cold solve: L1 {l1:.3e}"

@@ -23,8 +23,17 @@
 //!    main thread.
 //!
 //! Scenario shape (graph size, thread count, read mix, whether a poisoned
-//! batch is injected mid-stream, slow-reader chaos) is itself derived from
-//! the seed, so a seed sweep varies the workload as well as the schedule.
+//! batch is injected mid-stream, whether the stream grows and removes
+//! nodes, slow-reader chaos) is itself derived from the seed, so a seed
+//! sweep varies the workload as well as the schedule.
+//!
+//! Under node churn the parity check replicates the serving layer's
+//! bookkeeping exactly: each shard's personalization vector is
+//! zero-extended to the generation's grown id space, and tombstoned
+//! nodes (removed, not yet revived by a later insert) are masked to 0.0
+//! in the cold reference — so a reader that snapshots across a
+//! node-growth publish sees the longer vector with the same scores the
+//! single-threaded model predicts.
 
 use crate::sched::{ChaosPlan, Sim, SimFailure, SimOptions, SimReport};
 use d2pr_core::engine::Engine;
@@ -66,6 +75,12 @@ pub struct ScenarioConfig {
     /// Inject an out-of-range batch mid-stream and assert the documented
     /// error contract (no generation advances on a failed `ingest_all`).
     pub invalid_batch: bool,
+    /// Fold node churn into the stream: the first batch appends a node,
+    /// a middle batch tombstones one, the last batch appends another —
+    /// readers then cross node-growth publishes and tombstone masking
+    /// while the parity check replicates the serving rules (see module
+    /// docs).
+    pub node_churn: bool,
     /// Fault injection forwarded to the scheduler.
     pub chaos: ChaosPlan,
     /// Scheduling-step budget.
@@ -84,6 +99,7 @@ impl ScenarioConfig {
             readers: 2,
             reads_per_reader: 10 + ((mix >> 16) % 9) as usize,
             invalid_batch: seed % 7 == 3,
+            node_churn: seed % 3 == 1,
             chaos: ChaosPlan {
                 panic_at: None,
                 pin_hold_steps: if seed % 5 == 2 { 40 } else { 0 },
@@ -130,6 +146,23 @@ fn lcg(x: u32) -> u32 {
     x.wrapping_mul(1_664_525).wrapping_add(1_013_904_223)
 }
 
+/// Fold deterministic node churn into a sampled edge-churn stream over a
+/// graph of `nodes` nodes: the first batch appends a fresh node wired to
+/// a surviving anchor, a middle batch tombstones `victim`, and the last
+/// batch appends a second node wired to the first arrival (so the grown
+/// region stays connected). Shared with the store crash scenario.
+pub(crate) fn add_node_churn(batches: &mut [EdgeBatch], nodes: u32, victim: u32) {
+    let k = batches.len();
+    assert!(k >= 3, "node churn needs grow/remove/grow batches");
+    let victim = victim % nodes;
+    let anchor = (victim + 1) % nodes;
+    batches[0].add_nodes(1);
+    batches[0].insert(nodes, anchor);
+    batches[k / 2].remove_node(victim);
+    batches[k - 1].add_nodes(1);
+    batches[k - 1].insert(nodes + 1, nodes);
+}
+
 /// Run the standard scenario for `cfg` on a fresh schedule.
 pub fn run_scenario(cfg: &ScenarioConfig) -> Result<SimReport, SimFailure> {
     run_scenario_with(cfg, None)
@@ -144,7 +177,11 @@ pub fn run_scenario_with(
 ) -> Result<SimReport, SimFailure> {
     let graph = barabasi_albert(cfg.nodes, 3, cfg.seed).expect("scenario graph");
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xBA7C_4E55);
-    let batches = churn_stream(&graph, cfg.batches, 0.0, &mut rng).expect("churn stream");
+    let mut batches = churn_stream(&graph, cfg.batches, 0.0, &mut rng).expect("churn stream");
+    if cfg.node_churn {
+        let victim = lcg(cfg.seed as u32) % cfg.nodes as u32;
+        add_node_churn(&mut batches, cfg.nodes as u32, victim);
+    }
     let teleports = cfg.teleports();
     let pr = cfg.pagerank();
 
@@ -226,18 +263,39 @@ pub fn run_scenario_with(
     // cold solves below take the production code path).
     let mut expected: Vec<Vec<Vec<f64>>> = Vec::with_capacity(cfg.batches + 1);
     let mut dg = DeltaGraph::new(graph).expect("delta replay");
+    let mut removed: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
     for g in 0..=cfg.batches {
         if g > 0 {
-            dg.apply_batch(&batches[g - 1]).expect("replay batch");
+            let outcome = dg.apply_batch(&batches[g - 1]).expect("replay batch");
+            // The serving layer's tombstone rule: removed nodes join the
+            // set, every endpoint of an effective insert revives.
+            removed.extend(outcome.delta.removed_nodes.iter().copied());
+            for &(u, v) in &outcome.delta.inserted {
+                removed.remove(&u);
+                removed.remove(&v);
+            }
         }
         let snap = dg.snapshot();
         let mut per_shard = Vec::with_capacity(SHARDS);
         for t in &teleports {
+            // Arrivals get zero personalization mass — the same
+            // zero-extension the serving engine applies to its stored
+            // teleport on a growth ingest.
+            let mut t = t.clone();
+            t.resize(snap.num_nodes(), 0.0);
             let mut eng = Engine::with_threads(&snap, 1)
                 .with_config(cfg.pagerank())
                 .expect("cold engine");
             eng.set_model(MODEL).expect("model");
-            per_shard.push(eng.solve_with_teleport(Some(t)).expect("cold solve").scores);
+            let mut scores = eng
+                .solve_with_teleport(Some(&t))
+                .expect("cold solve")
+                .scores;
+            // Tombstone masking: removed nodes publish 0.0.
+            for &v in &removed {
+                scores[v as usize] = 0.0;
+            }
+            per_shard.push(scores);
         }
         expected.push(per_shard);
     }
@@ -275,6 +333,17 @@ pub fn run_scenario_with(
                     ));
                 }
                 let cold = &expected[*gen as usize][s];
+                if cold.len() != observed.len() {
+                    return Err(fail(
+                        "invariant.parity",
+                        format!(
+                            "reader {r} shard {s}: generation {gen} snapshot has {} \
+                             nodes, its graph has {}",
+                            observed.len(),
+                            cold.len()
+                        ),
+                    ));
+                }
                 let l1: f64 = cold.iter().zip(observed).map(|(a, b)| (a - b).abs()).sum();
                 if l1 >= PARITY_EPS {
                     return Err(fail(

@@ -45,6 +45,23 @@ mod healthy {
         assert!(pin_retries > 0, "no pin ever raced a publication");
     }
 
+    /// Reader parity across node-growth publishes and tombstone masking:
+    /// force node churn onto a few seeds (covering both graph-size bands
+    /// and both thread counts) and let the scenario's parity check — which
+    /// replicates the serving layer's teleport zero-extension and
+    /// tombstone rules — vet every snapshot the readers took.
+    #[test]
+    fn node_churn_scenarios_uphold_reader_parity() {
+        let mut grown_runs = 0;
+        for seed in [1, 4, 9, 13, 19] {
+            let mut cfg = ScenarioConfig::from_seed(seed);
+            cfg.node_churn = true;
+            let report = run_scenario(&cfg).unwrap_or_else(|f| panic!("seed={seed} failed:\n{f}"));
+            grown_runs += u64::from(report.metrics.publishes > 0);
+        }
+        assert_eq!(grown_runs, 5, "every node-churn run must publish");
+    }
+
     /// A successful run replays exactly from its recorded choices.
     #[test]
     fn successful_runs_replay_deterministically() {

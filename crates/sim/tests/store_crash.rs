@@ -9,7 +9,9 @@ use std::collections::BTreeSet;
 
 /// One fixed workload whose event stream covers all eleven `store.*`
 /// labels: snapshots every 2 ingests force rotate + retire traffic, and
-/// enough batches ride the log to crash inside appends and fsyncs.
+/// enough batches ride the log to crash inside appends and fsyncs. Node
+/// churn is on, so the sweep also kills the store between the node-op
+/// frames of the grow/tombstone batches.
 fn exhaustive_config() -> StoreScenarioConfig {
     StoreScenarioConfig {
         seed: 0xE0_0001,
@@ -18,6 +20,7 @@ fn exhaustive_config() -> StoreScenarioConfig {
         snapshot_every: 2,
         threads: 1,
         crash_at: None,
+        node_churn: true,
     }
 }
 

@@ -7,21 +7,24 @@
 //! source file (decoders of framed records pass the frame's position as
 //! `base`).
 //!
-//! # Record payload format (version 1)
+//! # Record payload format
 //!
 //! ```text
 //! [generation u64]
 //! [flags u8]          bit 0: inserts carry weights
+//!                     bit 1: node-ops section present
 //! [n_inserts u32] [n_deletes u32]
 //! n_inserts × [src u32][dst u32]
 //! flags&1   × n_inserts × [weight f64]
 //! n_deletes × [src u32][dst u32]      (tombstones)
+//! flags&2   × [new_nodes u32][n_removed u32] n_removed × [node u32]
 //! ```
 //!
-//! The weight channel exists for forward compatibility with weighted
-//! delta rules; today's serving layer is unweighted and
-//! [`LogRecord::to_batch`] rejects weighted records as corrupt rather
-//! than silently dropping the weights.
+//! The flags byte versions the record in place: a batch with no weights
+//! and no node churn encodes byte-identically to the original format, so
+//! logs written before weights/node-ops existed replay unchanged, and a
+//! reader from that era rejects (never misreads) newer records via the
+//! unknown-flag check.
 //!
 //! # Frame format
 //!
@@ -157,11 +160,15 @@ pub struct LogRecord {
     pub generation: u64,
     /// Inserted arcs, caller (external) ids.
     pub inserts: Vec<(u32, u32)>,
-    /// Optional weights parallel to `inserts` (forward-compat channel;
-    /// the unweighted serving layer never writes it).
+    /// Optional weights parallel to `inserts`; `None` means every insert
+    /// carries weight 1.
     pub weights: Option<Vec<f64>>,
     /// Deleted arcs (tombstones), caller ids.
     pub deletes: Vec<(u32, u32)>,
+    /// Fresh node ids appended by the batch.
+    pub new_nodes: u32,
+    /// Nodes the batch tombstones, caller ids.
+    pub removed_nodes: Vec<u32>,
 }
 
 impl LogRecord {
@@ -170,41 +177,57 @@ impl LogRecord {
         Self {
             generation,
             inserts: batch.inserts.clone(),
-            weights: None,
+            weights: batch.weights.clone(),
             deletes: batch.deletes.clone(),
+            new_nodes: batch.new_nodes,
+            removed_nodes: batch.removed_nodes.clone(),
         }
     }
 
     /// Rebuild the edge batch for replay.
     ///
     /// # Errors
-    /// A weighted record is [`CorruptKind::Malformed`] for the unweighted
-    /// serving layer — dropping the weights silently would replay a
-    /// different batch than the one that was served.
+    /// A weight channel whose length disagrees with the insert list is
+    /// [`CorruptKind::Malformed`] — replaying it would assign weights to
+    /// the wrong arcs ([`LogRecord::decode`] never produces one, but the
+    /// record type is constructible by hand).
     pub fn to_batch(&self) -> Result<EdgeBatch, CorruptFile> {
-        if self.weights.is_some() {
-            return Err(CorruptFile::at(
-                0,
-                CorruptKind::Malformed(
-                    "weighted log record replayed into an unweighted serving engine".into(),
-                ),
-            ));
+        if let Some(w) = &self.weights {
+            if w.len() != self.inserts.len() {
+                return Err(CorruptFile::at(
+                    0,
+                    CorruptKind::Malformed(format!(
+                        "{} weights for {} inserts",
+                        w.len(),
+                        self.inserts.len()
+                    )),
+                ));
+            }
         }
         let mut b = EdgeBatch::new();
-        for &(u, v) in &self.inserts {
-            b.insert(u, v);
+        b.add_nodes(self.new_nodes);
+        for (k, &(u, v)) in self.inserts.iter().enumerate() {
+            match &self.weights {
+                Some(w) => b.insert_weighted(u, v, w[k]),
+                None => b.insert(u, v),
+            };
         }
         for &(u, v) in &self.deletes {
             b.delete(u, v);
         }
+        for &v in &self.removed_nodes {
+            b.remove_node(v);
+        }
         Ok(b)
     }
 
-    /// Encode the payload (unframed).
+    /// Encode the payload (unframed). Records without weights or node
+    /// ops stay byte-identical to the pre-weight format.
     pub fn encode(&self) -> Vec<u8> {
+        let node_ops = self.new_nodes > 0 || !self.removed_nodes.is_empty();
         let mut e = Enc::new();
         e.u64(self.generation);
-        e.u8(u8::from(self.weights.is_some()));
+        e.u8(u8::from(self.weights.is_some()) | (u8::from(node_ops) << 1));
         e.u32(self.inserts.len() as u32);
         e.u32(self.deletes.len() as u32);
         for &(u, v) in &self.inserts {
@@ -221,6 +244,13 @@ impl LogRecord {
             e.u32(u);
             e.u32(v);
         }
+        if node_ops {
+            e.u32(self.new_nodes);
+            e.u32(self.removed_nodes.len() as u32);
+            for &v in &self.removed_nodes {
+                e.u32(v);
+            }
+        }
         e.into_vec()
     }
 
@@ -230,7 +260,7 @@ impl LogRecord {
         let mut d = Dec::new(data, base, path);
         let generation = d.u64()?;
         let flags = d.u8()?;
-        if flags > 1 {
+        if flags > 3 {
             return Err(d.corrupt(CorruptKind::Malformed(format!(
                 "unknown record flags 0x{flags:02x}"
             ))));
@@ -266,6 +296,23 @@ impl LogRecord {
         for _ in 0..n_del {
             deletes.push((d.u32()?, d.u32()?));
         }
+        let (new_nodes, removed_nodes) = if flags & 2 != 0 {
+            let new_nodes = d.u32()?;
+            let n_rem = d.u32()? as usize;
+            if n_rem.saturating_mul(4) > d.remaining() {
+                return Err(d.corrupt(CorruptKind::Truncated {
+                    needed: (n_rem as u64).saturating_mul(4),
+                    available: d.remaining() as u64,
+                }));
+            }
+            let mut removed = Vec::with_capacity(n_rem);
+            for _ in 0..n_rem {
+                removed.push(d.u32()?);
+            }
+            (new_nodes, removed)
+        } else {
+            (0, Vec::new())
+        };
         if d.remaining() != 0 {
             return Err(d.corrupt(CorruptKind::Malformed(format!(
                 "{} trailing bytes after record",
@@ -277,6 +324,8 @@ impl LogRecord {
             inserts,
             weights,
             deletes,
+            new_nodes,
+            removed_nodes,
         })
     }
 }
@@ -349,6 +398,19 @@ mod tests {
             inserts: vec![(0, 7), (3, 9)],
             weights: None,
             deletes: vec![(1, 2)],
+            new_nodes: 0,
+            removed_nodes: vec![],
+        }
+    }
+
+    fn churn_sample() -> LogRecord {
+        LogRecord {
+            generation: 43,
+            inserts: vec![(0, 7), (3, 9)],
+            weights: Some(vec![2.5, 0.125]),
+            deletes: vec![(1, 2)],
+            new_nodes: 4,
+            removed_nodes: vec![5, 6],
         }
     }
 
@@ -356,17 +418,30 @@ mod tests {
     fn record_round_trips() {
         for rec in [
             sample(),
+            churn_sample(),
             LogRecord {
                 generation: 0,
                 inserts: vec![],
                 weights: None,
                 deletes: vec![],
+                new_nodes: 0,
+                removed_nodes: vec![],
             },
             LogRecord {
                 generation: u64::MAX,
                 inserts: vec![(u32::MAX, 0)],
                 weights: Some(vec![2.5]),
                 deletes: vec![(5, 5); 3],
+                new_nodes: 0,
+                removed_nodes: vec![],
+            },
+            LogRecord {
+                generation: 9,
+                inserts: vec![],
+                weights: None,
+                deletes: vec![],
+                new_nodes: u32::MAX,
+                removed_nodes: vec![0],
             },
         ] {
             let bytes = rec.encode();
@@ -376,12 +451,31 @@ mod tests {
     }
 
     #[test]
+    fn plain_records_encode_byte_identically_to_the_original_format() {
+        // The pre-weight layout, written by hand: a reader of old logs
+        // must see exactly these bytes for a weightless, churnless batch.
+        let rec = sample();
+        let mut expect = Vec::new();
+        expect.extend_from_slice(&42u64.to_le_bytes());
+        expect.push(0); // flags
+        expect.extend_from_slice(&2u32.to_le_bytes());
+        expect.extend_from_slice(&1u32.to_le_bytes());
+        for (u, v) in [(0u32, 7u32), (3, 9), (1, 2)] {
+            expect.extend_from_slice(&u.to_le_bytes());
+            expect.extend_from_slice(&v.to_le_bytes());
+        }
+        assert_eq!(rec.encode(), expect);
+    }
+
+    #[test]
     fn decode_rejects_every_truncation_prefix() {
-        let bytes = sample().encode();
-        for cut in 0..bytes.len() {
-            let err = LogRecord::decode(&bytes[..cut], 100, Some("wal")).unwrap_err();
-            assert!(err.offset >= 100, "offsets are absolute");
-            assert_eq!(err.path.as_deref(), Some("wal"));
+        for rec in [sample(), churn_sample()] {
+            let bytes = rec.encode();
+            for cut in 0..bytes.len() {
+                let err = LogRecord::decode(&bytes[..cut], 100, Some("wal")).unwrap_err();
+                assert!(err.offset >= 100, "offsets are absolute");
+                assert_eq!(err.path.as_deref(), Some("wal"));
+            }
         }
     }
 
@@ -403,6 +497,13 @@ mod tests {
         let mut bytes = sample().encode();
         // Blow up the insert count field (offset 9..13).
         bytes[12] = 0xFF;
+        let err = LogRecord::decode(&bytes, 0, None).unwrap_err();
+        assert!(matches!(err.kind, CorruptKind::Truncated { .. }));
+
+        // Same for the removed-node count at the tail of a churn record.
+        let mut bytes = churn_sample().encode();
+        let cnt = bytes.len() - 2 * 4 - 1; // before the two removed ids
+        bytes[cnt] = 0xFF;
         let err = LogRecord::decode(&bytes, 0, None).unwrap_err();
         assert!(matches!(err.kind, CorruptKind::Truncated { .. }));
     }
@@ -439,19 +540,26 @@ mod tests {
     }
 
     #[test]
-    fn weighted_records_cannot_replay_unweighted() {
+    fn batches_replay_with_weights_and_node_ops_intact() {
+        let mut b = EdgeBatch::new();
+        b.add_nodes(2);
+        b.insert(2, 3);
+        b.insert_weighted(4, 6, 0.5);
+        b.delete(4, 5);
+        b.remove_node(1);
+        let rt = LogRecord::from_batch(9, &b).to_batch().unwrap();
+        assert_eq!(rt, b);
+
+        // A hand-built record whose weight channel disagrees with its
+        // insert list must refuse to replay, not misassign weights.
         let rec = LogRecord {
             generation: 1,
             inserts: vec![(0, 1)],
-            weights: Some(vec![1.0]),
+            weights: Some(vec![1.0, 2.0]),
             deletes: vec![],
+            new_nodes: 0,
+            removed_nodes: vec![],
         };
         assert!(rec.to_batch().is_err());
-        let mut b = EdgeBatch::new();
-        b.insert(2, 3);
-        b.delete(4, 5);
-        let rt = LogRecord::from_batch(9, &b).to_batch().unwrap();
-        assert_eq!(rt.inserts, b.inserts);
-        assert_eq!(rt.deletes, b.deletes);
     }
 }

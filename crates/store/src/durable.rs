@@ -312,6 +312,7 @@ impl DurableServingEngine {
             teleport: self.inner.teleport().map(<[f64]>::to_vec),
             model: self.model,
             config: self.config,
+            removed: self.inner.removed_nodes(),
         }
     }
 

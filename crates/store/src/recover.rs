@@ -179,6 +179,7 @@ pub fn recover_dir(dir: &Path) -> Result<RecoveredState> {
             generation: snap.generation,
             teleport: snap.teleport,
             tail,
+            removed: snap.removed,
         },
         model: snap.model,
         config: snap.config,
@@ -218,6 +219,7 @@ mod tests {
             teleport: None,
             model: TransitionModel::DegreeDecoupled { p: 0.5 },
             config: PageRankConfig::default(),
+            removed: Vec::new(),
         }
     }
 

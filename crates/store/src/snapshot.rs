@@ -32,7 +32,10 @@ use std::path::{Path, PathBuf};
 
 /// `"D2SN"` little-endian.
 const SNAP_MAGIC: u32 = u32::from_le_bytes(*b"D2SN");
-const SNAP_VERSION: u32 = 1;
+/// Version 2 appends the tombstoned-node section; version-1 files (no
+/// tombstones — they predate node removal) still decode.
+const SNAP_VERSION: u32 = 2;
+const SNAP_VERSION_MIN: u32 = 1;
 /// magic + version + payload crc + payload length.
 const SNAP_HEADER: usize = 4 + 4 + 4 + 8;
 
@@ -68,6 +71,10 @@ pub struct StoreSnapshot {
     pub model: TransitionModel,
     /// The solver configuration.
     pub config: PageRankConfig,
+    /// Tombstoned node ids (external order, sorted): their published
+    /// scores are masked to zero and stay so until an arc revives them.
+    /// The live node count is `graph.num_nodes() - removed.len()`.
+    pub removed: Vec<u32>,
 }
 
 fn encode_model(e: &mut Enc, model: TransitionModel) {
@@ -167,6 +174,10 @@ impl StoreSnapshot {
         }
         encode_model(&mut e, self.model);
         encode_config(&mut e, &self.config);
+        e.u64(self.removed.len() as u64);
+        for &v in &self.removed {
+            e.u32(v);
+        }
         let payload = e.into_vec();
 
         let mut file = Vec::with_capacity(SNAP_HEADER + payload.len());
@@ -205,7 +216,7 @@ impl StoreSnapshot {
             ));
         }
         let version = u32::from_le_bytes(data[4..8].try_into().expect("4 bytes"));
-        if version != SNAP_VERSION {
+        if !(SNAP_VERSION_MIN..=SNAP_VERSION).contains(&version) {
             return Err(corrupt(
                 4,
                 CorruptKind::UnsupportedVersion {
@@ -286,6 +297,21 @@ impl StoreSnapshot {
         };
         let model = decode_model(&mut d)?;
         let config = decode_config(&mut d)?;
+        let removed = if version >= 2 {
+            let len = d.u64()? as usize;
+            if len.saturating_mul(4) > d.remaining() || len > n {
+                return Err(StoreError::Corrupt(d.corrupt(CorruptKind::Malformed(
+                    format!("{len} tombstoned nodes, graph has {n}"),
+                ))));
+            }
+            let mut r = Vec::with_capacity(len);
+            for _ in 0..len {
+                r.push(d.u32()?);
+            }
+            r
+        } else {
+            Vec::new()
+        };
         if d.remaining() != 0 {
             return Err(StoreError::Corrupt(d.corrupt(CorruptKind::Malformed(
                 format!("{} trailing bytes after snapshot payload", d.remaining()),
@@ -299,6 +325,7 @@ impl StoreSnapshot {
             teleport,
             model,
             config,
+            removed,
         })
     }
 }
@@ -368,6 +395,7 @@ mod tests {
                 max_iterations: 500,
                 dangling: DanglingPolicy::SelfLoop,
             },
+            removed: if with_perm { vec![3, 11] } else { vec![] },
         }
     }
 
@@ -385,7 +413,33 @@ mod tests {
             assert_eq!(back.model, snap.model);
             assert_eq!(back.config.alpha, snap.config.alpha);
             assert_eq!(back.config.dangling, snap.config.dangling);
+            assert_eq!(back.removed, snap.removed);
         }
+    }
+
+    #[test]
+    fn version_one_snapshots_still_load() {
+        // A v1 image is the v2 payload minus the tombstone section (the
+        // trailing empty count), under a version-1 header.
+        let snap = sample(false);
+        assert!(snap.removed.is_empty());
+        let bytes = snap.encode();
+        let payload = &bytes[SNAP_HEADER..bytes.len() - 8];
+        let mut v1 = Vec::with_capacity(SNAP_HEADER + payload.len());
+        v1.extend_from_slice(&SNAP_MAGIC.to_le_bytes());
+        v1.extend_from_slice(&1u32.to_le_bytes());
+        v1.extend_from_slice(&crc32(payload).to_le_bytes());
+        v1.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        v1.extend_from_slice(payload);
+        let back = StoreSnapshot::decode(&v1, "snap-v1.bin").unwrap();
+        assert_eq!(back.generation, snap.generation);
+        assert_eq!(back.scores, snap.scores);
+        assert!(back.removed.is_empty());
+
+        // And a from-the-future version is still typed as unsupported.
+        let mut future = bytes.clone();
+        future[4..8].copy_from_slice(&3u32.to_le_bytes());
+        assert!(StoreSnapshot::decode(&future, "s").is_err());
     }
 
     #[test]

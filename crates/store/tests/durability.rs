@@ -5,7 +5,8 @@
 
 use d2pr_core::pagerank::{pagerank, PageRankConfig};
 use d2pr_core::transition::TransitionModel;
-use d2pr_graph::csr::CsrGraph;
+use d2pr_graph::builder::GraphBuilder;
+use d2pr_graph::csr::{CsrGraph, Direction};
 use d2pr_graph::delta::{DeltaGraph, EdgeBatch};
 use d2pr_graph::generators::barabasi_albert;
 use d2pr_graph::permute::Layout;
@@ -267,6 +268,117 @@ fn sharded_partial_failure_recovers_per_shard() {
     );
     assert_eq!(shards.num_shards(), 3);
     std::fs::remove_dir_all(&root).unwrap();
+}
+
+/// A deterministic weighted digraph (out-degree 3, varied weights).
+fn weighted_base(n: u32) -> CsrGraph {
+    let mut b = GraphBuilder::new(Direction::Directed, n as usize);
+    for s in 0..n {
+        for k in 1..=3u32 {
+            let t = (s * 7 + k * 13 + 1) % n;
+            if t != s {
+                b.add_weighted_edge(s, t, 0.5 + ((s + k) % 5) as f64);
+            }
+        }
+    }
+    b.build().unwrap()
+}
+
+/// Weighted edits plus node churn: growth at generation 2, a tombstone
+/// at generation 4, re-weights throughout.
+fn churn_batches(n: u32) -> Vec<EdgeBatch> {
+    let mut g1 = EdgeBatch::new();
+    g1.insert_weighted(1, 40, 2.5);
+    g1.set_weight(0, 14, 9.0);
+    g1.delete(2, 28);
+    let mut g2 = EdgeBatch::new();
+    g2.add_nodes(1);
+    g2.insert_weighted(n, 7, 2.0);
+    g2.insert_weighted(3, n, 1.25);
+    let mut g3 = EdgeBatch::new();
+    g3.insert_weighted(n, 12, 0.5);
+    g3.delete(3, n);
+    let mut g4 = EdgeBatch::new();
+    g4.remove_node(5);
+    let mut g5 = EdgeBatch::new();
+    g5.insert_weighted(6, 17, 3.5);
+    g5.delete(0, 14);
+    let mut g6 = EdgeBatch::new();
+    g6.set_weight(1, 40, 0.75);
+    vec![g1, g2, g3, g4, g5, g6]
+}
+
+#[test]
+fn weighted_node_churn_survives_crash_and_compaction() {
+    let dir = tmpdir("churn");
+    let n = 60u32;
+    let base = weighted_base(n);
+    let model = TransitionModel::Blended { p: 0.5, beta: 0.5 };
+    let batches = churn_batches(n);
+
+    let mut served = Vec::new();
+    {
+        let mut store = DurableServingEngine::create(
+            &dir,
+            base.clone(),
+            model,
+            tight(),
+            1,
+            StoreOptions::default(),
+        )
+        .unwrap();
+        for (i, b) in batches.iter().enumerate() {
+            let outcome = store.ingest(b).unwrap();
+            assert_eq!(outcome.generation, i as u64 + 1);
+        }
+        assert_eq!(store.engine().removed_nodes(), vec![5]);
+        assert_eq!(store.engine().live_nodes(), n as usize);
+        store.reader().snapshot_into(&mut served);
+        assert_eq!(served.len(), n as usize + 1);
+        assert_eq!(served[5], 0.0, "tombstoned node serves score 0");
+    } // dies before any snapshot: the wal holds all six generations
+
+    // Crash recovery replays the weighted/node-churn tail bit-faithfully.
+    let (store, report) = DurableServingEngine::open(&dir, 1, StoreOptions::default()).unwrap();
+    assert_eq!(report.snapshot_generation, 0);
+    assert_eq!(report.outcome.replayed_batches, 6);
+    assert_eq!(store.engine().removed_nodes(), vec![5]);
+    let mut recovered = Vec::new();
+    store.reader().snapshot_into(&mut recovered);
+    assert_close(&recovered, &served, 1e-7);
+
+    // And matches a cold solve of the evolved graph on every live node.
+    let mut dg = DeltaGraph::new(base).unwrap();
+    for b in &batches {
+        dg.apply_batch(b).unwrap();
+    }
+    let mut cold = pagerank(&dg.into_snapshot(), model, &tight()).scores;
+    cold[5] = 0.0;
+    assert_close(&recovered, &cold, 1e-7);
+
+    // The replay was compacted into a v2 snapshot: the next open replays
+    // nothing, and the tombstone set comes back from the snapshot alone.
+    drop(store);
+    let (store, report) = DurableServingEngine::open(&dir, 1, StoreOptions::default()).unwrap();
+    assert_eq!(report.outcome.replayed_batches, 0);
+    assert_eq!(store.engine().removed_nodes(), vec![5]);
+    let mut again = Vec::new();
+    store.reader().snapshot_into(&mut again);
+    assert_eq!(again[5], 0.0);
+    assert_close(&again, &recovered, 1e-9);
+
+    // A later arc incident to the tombstone revives it durably.
+    let mut store = store;
+    let mut revive = EdgeBatch::new();
+    revive.insert_weighted(5, 9, 1.5);
+    store.ingest(&revive).unwrap();
+    assert!(store.engine().removed_nodes().is_empty());
+    assert!(store.reader().get(5).unwrap() > 0.0);
+    drop(store);
+    let (store, _) = DurableServingEngine::open(&dir, 1, StoreOptions::default()).unwrap();
+    assert!(store.engine().removed_nodes().is_empty());
+    assert!(store.reader().get(5).unwrap() > 0.0);
+    std::fs::remove_dir_all(&dir).unwrap();
 }
 
 #[test]

@@ -1,24 +1,31 @@
 //! Property tests for the log encoding: arbitrary record streams
-//! (unweighted and weighted arcs, tombstones, empty batches) round-trip
-//! through the framed segment format, and truncating the file at *any*
-//! byte yields exactly the records whose frames fit — never an error,
-//! never a panic, never a partially-decoded record.
+//! (unweighted and weighted arcs, tombstones, node growth and removal,
+//! empty batches) round-trip through the framed segment format, and
+//! truncating the file at *any* byte yields exactly the records whose
+//! frames fit — never an error, never a panic, never a partially-decoded
+//! record.
 
 use d2pr_store::codec::LogRecord;
 use d2pr_store::log::{scan_log, LogWriter, ScanStop};
 use proptest::prelude::*;
 
 /// One record's raw content: inserts, whether they carry weights,
-/// deletes.
-type RawRecord = (Vec<(u32, u32)>, bool, Vec<(u32, u32)>);
+/// deletes, appended nodes, tombstoned nodes.
+type RawRecord = (Vec<(u32, u32)>, bool, Vec<(u32, u32)>, u32, Vec<u32>);
 
 fn arb_arcs(max: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
     proptest::collection::vec((0u32..500, 0u32..500), 0..=max)
 }
 
-/// Empty batches (both lists empty) are a legal, loggable case.
+/// Empty batches (every channel empty) are a legal, loggable case.
 fn arb_record() -> impl Strategy<Value = RawRecord> {
-    (arb_arcs(12), any::<bool>(), arb_arcs(12))
+    (
+        arb_arcs(12),
+        any::<bool>(),
+        arb_arcs(12),
+        0u32..4,
+        proptest::collection::vec(0u32..500, 0..=3),
+    )
 }
 
 fn arb_records() -> impl Strategy<Value = Vec<RawRecord>> {
@@ -28,11 +35,13 @@ fn arb_records() -> impl Strategy<Value = Vec<RawRecord>> {
 fn materialize(base: u64, raw: &[RawRecord]) -> Vec<LogRecord> {
     raw.iter()
         .enumerate()
-        .map(|(i, (inserts, weighted, deletes))| LogRecord {
+        .map(|(i, (inserts, weighted, deletes, new_nodes, removed))| LogRecord {
             generation: base + 1 + i as u64,
             weights: weighted.then(|| (0..inserts.len()).map(|k| k as f64 * 0.5 + 0.25).collect()),
             inserts: inserts.clone(),
             deletes: deletes.clone(),
+            new_nodes: *new_nodes,
+            removed_nodes: removed.clone(),
         })
         .collect()
 }
